@@ -1,0 +1,98 @@
+// Ablation of the Sec. IV-C weight design: evaluate the same incident day
+// under (1) expert-only weights, (2) ticket-only (customer) weights, and
+// (3) the paper's AHP-composited weights. Shows how the composition changes
+// both the absolute Performance Indicator and the relative ranking of the
+// event-level drill-down — the reason the paper mixes both perspectives.
+#include <cstdio>
+
+#include "cdi/pipeline.h"
+#include "common/thread_pool.h"
+#include "sim/scenario.h"
+#include "weights/ahp.h"
+
+using namespace cdibot;
+
+int main() {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  Rng rng(31);
+  FaultInjector injector(&catalog, &rng);
+  EventLog log;
+
+  FleetSpec fspec;
+  fspec.regions = 1;
+  fspec.azs_per_region = 2;
+  fspec.clusters_per_az = 2;
+  fspec.ncs_per_cluster = 4;
+  fspec.vms_per_nc = 8;
+  const Fleet fleet = Fleet::Build(fspec).value();
+
+  const TimePoint day_start = TimePoint::Parse("2026-03-15 00:00").value();
+  const Interval day(day_start, day_start + Duration::Days(1));
+  // A day dominated by two performance signals with an expert/customer
+  // mismatch: packet_loss is low-severity to experts but generates many
+  // tickets; inspect_cpu_power_tdp is the reverse.
+  FaultRates rates;
+  rates.episodes_per_vm_day = {{"packet_loss", 2.0},
+                               {"inspect_cpu_power_tdp", 2.0},
+                               {"slow_io", 0.5}};
+  if (!injector.InjectDay(fleet, day_start, rates, &log).ok()) return 1;
+
+  // Customer ticket counts: packet_loss dominates complaints.
+  const std::map<std::string, int64_t> tickets = {
+      {"packet_loss", 500}, {"inspect_cpu_power_tdp", 5}, {"slow_io", 120},
+      {"vcpu_high", 80}};
+
+  // AHP: experts judged the two perspectives equally important.
+  const auto ahp =
+      AhpMatrix::FromSingleComparison(1.0).value().Evaluate().value();
+
+  struct Config {
+    const char* name;
+    double alpha_expert;
+    double alpha_ticket;
+  };
+  const Config configs[] = {
+      {"expert-only", 1.0, 1e-9},
+      {"ticket-only", 1e-9, 1.0},
+      {"AHP-composite", ahp.priorities[0], ahp.priorities[1]},
+  };
+
+  ThreadPool pool(8);
+  std::printf("Weight-design ablation on one incident day (%zu VMs)\n\n",
+              fleet.num_vms());
+  std::printf("%-14s %12s | per-event CDI drill-down\n", "config", "CDI-P");
+  for (const Config& cfg : configs) {
+    EventWeightOptions options;
+    options.alpha_expert = cfg.alpha_expert;
+    options.alpha_ticket = cfg.alpha_ticket;
+    auto model = EventWeightModel::Build(
+        TicketRankModel::FromCounts(tickets, options.ticket_levels).value(),
+        options);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    DailyCdiJob job(&log, &catalog, &*model,
+                    {.pool = &pool, .min_parallel_rows = 1});
+    auto result = job.Run(fleet.ServiceInfos(day).value(), day);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    auto by_event =
+        EventLevelCdi(result->per_event, result->fleet_service_time).value();
+    std::printf("%-14s %12.6f |", cfg.name, result->fleet.performance);
+    for (const char* name :
+         {"packet_loss", "inspect_cpu_power_tdp", "slow_io"}) {
+      auto it = by_event.find(name);
+      std::printf(" %s=%.6f", name, it == by_event.end() ? 0.0 : it->second);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nReading: expert-only underweights the customer-visible packet_loss; "
+      "ticket-only\noverweights it and underweights the engineering-risk TDP "
+      "signal; the AHP\ncomposite balances both, which is why Sec. IV-C "
+      "composes Eq. 1 and Eq. 2.\n");
+  return 0;
+}

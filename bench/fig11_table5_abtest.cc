@@ -1,0 +1,185 @@
+// Regenerates Table V + Fig. 11 + Case 8: the A/B test that selects the
+// operation action for the nc_down_prediction rule.
+//
+// Three candidate actions (all live-migrate every VM off the predicted-
+// failing host, with different migration parameters/sequences) are randomly
+// assigned per hit VM. Each VM's post-action damage is injected into the
+// event log as real events, the daily CDI job computes its 2-day CDI, and
+// the Fig.-10 hypothesis workflow compares the arms per sub-metric.
+//
+// Paper's outcome: omnibus non-significant for Unavailability (p=0.47) and
+// Control-plane (p=0.89); significant for Performance with all three
+// post-hoc pairs significant (A-B p~0, A-C p~0.03, B-C p~0); arm means
+// 0.40 / 0.08 / 0.42 -> Action B wins.
+#include <algorithm>
+#include <cstdio>
+
+#include "abtest/experiment.h"
+#include "cdi/pipeline.h"
+#include "common/thread_pool.h"
+#include "sim/scenario.h"
+
+using namespace cdibot;
+
+namespace {
+
+double Quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const double h = q * (static_cast<double>(v.size()) - 1.0);
+  const auto lo = static_cast<size_t>(h);
+  const auto hi = std::min(v.size() - 1, lo + 1);
+  return v[lo] + (h - static_cast<double>(lo)) * (v[hi] - v[lo]);
+}
+
+}  // namespace
+
+int main() {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  Rng rng(20268);
+  FaultInjector injector(&catalog, &rng);
+  EventLog log;
+
+  // 360 VMs hit by nc_down_prediction over the 3-month test; evaluated over
+  // a common 2-day post-action window for simplicity.
+  FleetSpec fspec;
+  fspec.regions = 1;
+  fspec.azs_per_region = 3;
+  fspec.clusters_per_az = 3;
+  fspec.ncs_per_cluster = 5;
+  fspec.vms_per_nc = 8;
+  const Fleet fleet = Fleet::Build(fspec).value();
+
+  auto ticket_model = TicketRankModel::FromCounts(
+      {{"slow_io", 420}, {"packet_loss", 160}, {"vcpu_high", 230},
+       {"vm_resize_failed", 60}},
+      4);
+  const auto weights =
+      EventWeightModel::Build(std::move(ticket_model).value(), {}).value();
+
+  auto experiment = AbTestExperiment::Create(
+      {{"A", 1.0 / 3}, {"B", 1.0 / 3}, {"C", 1.0 / 3}}, 7).value();
+
+  const TimePoint window_start = TimePoint::Parse("2026-06-01 00:00").value();
+  const Interval window(window_start, window_start + Duration::Days(2));
+
+  // Post-action performance damage per arm, as a fraction of the window the
+  // VM runs degraded (slow_io at critical weighs 0.875 under this model, so
+  // fractions 0.457/0.091/0.48 land the paper's 0.40/0.08/0.42 means).
+  // Variant B's gentler parameters also make its impact more consistent
+  // (smaller spread) — heteroscedasticity the Fig.-10 workflow must route
+  // through Welch's ANOVA + Games-Howell.
+  const double kDamagedFraction[3] = {0.457, 0.0914, 0.480};
+  const double kDamagedSpread[3] = {0.07, 0.025, 0.07};
+
+  std::vector<VmServiceInfo> trial_vms =
+      fleet.ServiceInfos(window).value();
+  trial_vms.resize(360);
+  std::vector<size_t> assigned_arm(trial_vms.size());
+
+  for (size_t i = 0; i < trial_vms.size(); ++i) {
+    const size_t arm = experiment.Assign();
+    assigned_arm[i] = arm;
+    const std::string& vm = trial_vms[i].vm_id;
+    // Performance damage: one long degradation episode whose length depends
+    // on the migration variant.
+    double f = rng.Normal(kDamagedFraction[arm], kDamagedSpread[arm]);
+    f = std::clamp(f, 0.005, 0.95);
+    const auto dur = Duration::Millis(
+        static_cast<int64_t>(f * window.length().millis()));
+    const TimePoint ep_start =
+        window_start + Duration::Millis(rng.UniformInt(
+                           0, window.length().millis() - dur.millis() - 1));
+    if (!injector
+             .InjectEpisode(vm, "slow_io", Interval(ep_start, ep_start + dur),
+                            &log, Severity::kCritical)
+             .ok()) {
+      return 1;
+    }
+    // Arm-independent unavailability (the brief migration blackout) and
+    // control-plane noise: identical distributions across arms.
+    const auto blackout = Duration::Seconds(rng.UniformInt(20, 60));
+    const TimePoint bs = window_start + Duration::Minutes(rng.UniformInt(1, 60));
+    (void)injector.InjectEpisode(vm, "vm_reboot",
+                                 Interval(bs, bs + blackout), &log);
+    if (rng.Bernoulli(0.5)) {
+      const TimePoint cs =
+          window_start + Duration::Hours(rng.UniformInt(1, 40));
+      (void)injector.InjectEpisode(vm, "vm_resize_failed",
+                                   Interval(cs, cs + Duration::Minutes(5)),
+                                   &log);
+    }
+  }
+
+  ThreadPool pool(8);
+  DailyCdiJob job(&log, &catalog, &weights,
+                  {.pool = &pool, .min_parallel_rows = 1});
+  auto result = job.Run(trial_vms, window);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Feed each VM's CDI into its arm's sequence.
+  std::vector<std::vector<double>> perf_by_arm(3);
+  {
+    std::map<std::string, size_t> arm_of;
+    for (size_t i = 0; i < trial_vms.size(); ++i) {
+      arm_of[trial_vms[i].vm_id] = assigned_arm[i];
+    }
+    for (const VmCdiRecord& rec : result->per_vm) {
+      const size_t arm = arm_of.at(rec.vm_id);
+      if (!experiment.AddObservation(arm, rec.cdi).ok()) return 1;
+      perf_by_arm[arm].push_back(rec.cdi.performance);
+    }
+  }
+
+  auto report = experiment.Analyze();
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("TABLE V: Hypothesis Test Results\n\n%s\n",
+              report->ToTableString().c_str());
+
+  std::printf("Fig. 11: Performance Indicator distribution per action\n");
+  std::printf("%-6s %6s %8s %8s %8s %8s %8s\n", "action", "n", "min", "q1",
+              "median", "q3", "max");
+  for (size_t a = 0; a < 3; ++a) {
+    const auto& v = perf_by_arm[a];
+    std::printf("%-6s %6zu %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+                report->arm_names[a].c_str(), v.size(), Quantile(v, 0.0),
+                Quantile(v, 0.25), Quantile(v, 0.5), Quantile(v, 0.75),
+                Quantile(v, 1.0));
+  }
+
+  // Shape checks against the paper.
+  const auto& u = report->per_metric[0];
+  const auto& p = report->per_metric[1];
+  const auto& c = report->per_metric[2];
+  bool all_pairs_significant = !p.posthoc.empty();
+  for (const auto& pr : p.posthoc) {
+    all_pairs_significant &= pr.SignificantAt(0.05);
+  }
+  const bool b_wins = report->arm_means[1][1] < report->arm_means[0][1] &&
+                      report->arm_means[1][1] < report->arm_means[2][1];
+  std::printf("\nshape checks:\n");
+  std::printf("  Unavailability omnibus not significant ... %s (p=%.2f)\n",
+              !u.omnibus_significant ? "yes" : "NO", u.omnibus.p_value);
+  std::printf("  Control-plane omnibus not significant .... %s (p=%.2f)\n",
+              !c.omnibus_significant ? "yes" : "NO", c.omnibus.p_value);
+  std::printf("  Performance omnibus significant .......... %s (p=%.3g)\n",
+              p.omnibus_significant ? "yes" : "NO", p.omnibus.p_value);
+  std::printf("  All performance pairs significant ........ %s\n",
+              all_pairs_significant ? "yes" : "NO");
+  std::printf("  Action B has the lowest mean ............. %s "
+              "(%.2f / %.2f / %.2f vs paper 0.40 / 0.08 / 0.42)\n",
+              b_wins ? "yes" : "NO", report->arm_means[0][1],
+              report->arm_means[1][1], report->arm_means[2][1]);
+  const bool ok = !u.omnibus_significant && !c.omnibus_significant &&
+                  p.omnibus_significant && all_pairs_significant && b_wins;
+  std::printf("%s\n",
+              ok ? "REPRODUCED: Action B is selected for nc_down_prediction."
+                 : "MISMATCH: see checks above.");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Regenerates Fig. 2 ("Distribution of tickets related to ECS stability"):
+// 18 months of synthetic stability tickets (January 2023 - June 2024)
+// classified into the three categories. The paper reports 27% / 44% / 29%.
+#include <cstdio>
+#include <cmath>
+
+#include "telemetry/tickets.h"
+
+using namespace cdibot;
+
+int main() {
+  Rng rng(20230101);
+  TicketWorkloadSpec spec;
+  spec.window = Interval(TimePoint::Parse("2023-01-01 00:00").value(),
+                         TimePoint::Parse("2024-07-01 00:00").value());
+  spec.count = 50000;
+  // Category mix matches production ground truth; the classifier must
+  // recover it from ticket text alone.
+  auto tickets = GenerateTickets(spec, &rng);
+  if (!tickets.ok()) {
+    std::fprintf(stderr, "%s\n", tickets.status().ToString().c_str());
+    return 1;
+  }
+
+  TicketClassifier classifier;
+  auto hist = classifier.Histogram(*tickets);
+  const double n = static_cast<double>(tickets->size());
+
+  struct Row {
+    StabilityCategory cat;
+    const char* label;
+    double paper;
+  };
+  const Row rows[] = {
+      {StabilityCategory::kUnavailability, "unavailability", 0.27},
+      {StabilityCategory::kPerformance, "performance", 0.44},
+      {StabilityCategory::kControlPlane, "control-plane", 0.29},
+  };
+
+  std::printf("Fig. 2: distribution of tickets related to ECS stability\n");
+  std::printf("(%zu tickets, %s .. %s)\n\n", tickets->size(),
+              spec.window.start.ToDateString().c_str(),
+              spec.window.end.ToDateString().c_str());
+  std::printf("%-16s %10s %10s %8s\n", "category", "tickets", "measured",
+              "paper");
+  bool shape_holds = true;
+  for (const Row& row : rows) {
+    const double share = static_cast<double>(hist[row.cat]) / n;
+    std::printf("%-16s %10zu %9.1f%% %7.0f%%\n", row.label, hist[row.cat],
+                100.0 * share, 100.0 * row.paper);
+    if (std::abs(share - row.paper) > 0.02) shape_holds = false;
+  }
+  std::printf("\nKey takeaway (Sec. III-B): unavailability is only ~27%% of "
+              "stability tickets —\ndowntime-based metrics miss the other "
+              "~73%%.\n");
+  std::printf("%s\n", shape_holds ? "REPRODUCED: within 2pp of the paper."
+                                  : "MISMATCH: shares deviate > 2pp.");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Regenerates Fig. 3 / Example 2 ("Example of event period"): a slow_io
+// event resolved by back-tracing its detection window, and a stateful
+// ddos_blackhole with redundant add/del details deduplicated and paired.
+// Prints the resolved timeline plus the resolver's data-quality counters.
+#include <cstdio>
+
+#include "event/period_resolver.h"
+
+using namespace cdibot;
+
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+RawEvent Raw(const char* name, const char* time) {
+  RawEvent ev;
+  ev.name = name;
+  ev.time = T(time);
+  ev.target = "vm-fig3";
+  ev.level = Severity::kFatal;
+  ev.expire_interval = Duration::Hours(24);
+  return ev;
+}
+
+}  // namespace
+
+int main() {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  const PeriodResolver resolver(&catalog);
+
+  // The raw stream of Fig. 3: e1 = slow_io at t1; ddos_blackhole_add at t2
+  // and t3 (t3 redundant); ddos_blackhole_del at t4 and t5 (t5 redundant).
+  std::vector<RawEvent> raw = {
+      Raw("slow_io", "2024-01-01 09:30"),             // t1
+      Raw("ddos_blackhole_add", "2024-01-01 10:00"),  // t2
+      Raw("ddos_blackhole_add", "2024-01-01 10:20"),  // t3 (discarded)
+      Raw("ddos_blackhole_del", "2024-01-01 11:00"),  // t4
+      Raw("ddos_blackhole_del", "2024-01-01 11:30"),  // t5 (discarded)
+  };
+  std::printf("Fig. 3 raw event stream:\n");
+  for (const RawEvent& ev : raw) {
+    std::printf("  %s  %s\n", ev.time.ToString().c_str(), ev.name.c_str());
+  }
+
+  ResolveStats stats;
+  auto resolved = resolver.Resolve(raw, std::nullopt, &stats);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "%s\n", resolved.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nResolved periods (Sec. IV-B):\n");
+  for (const ResolvedEvent& ev : *resolved) {
+    std::printf("  %-16s [%s .. %s)  duration %s\n", ev.name.c_str(),
+                ev.period.start.ToString().c_str(),
+                ev.period.end.ToString().c_str(),
+                ev.period.length().ToString().c_str());
+  }
+  std::printf("\nResolver counters: resolved=%zu duplicate_details_dropped=%zu"
+              " dangling_end_dropped=%zu unpaired_start_closed=%zu\n",
+              stats.resolved, stats.duplicate_details_dropped,
+              stats.dangling_end_dropped, stats.unpaired_start_closed);
+
+  bool ok = resolved->size() == 2 && stats.duplicate_details_dropped == 2;
+  for (const ResolvedEvent& ev : *resolved) {
+    if (ev.name == "ddos_blackhole") {
+      ok = ok && ev.period == Interval(T("2024-01-01 10:00"),
+                                       T("2024-01-01 11:00"));
+    } else if (ev.name == "slow_io") {
+      ok = ok && ev.period.length() == Duration::Minutes(1);
+    } else {
+      ok = false;
+    }
+  }
+  std::printf("\n%s\n",
+              ok ? "REPRODUCED: e1 spans one detection window; e2 = [t2, t4) "
+                   "with t3/t5 discarded."
+                 : "MISMATCH: resolution differs from Example 2.");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+// Regenerates Fig. 5 ("Stability evaluation on selected incidents"):
+// CDI-U/P/C vs Annual Interruption Rate (AIR) and Downtime Percentage (DP)
+// on three incident replays against a quiet baseline day.
+//
+//   20240425  AZ outage (Singapore zone C analogue)         -> U + AIR + DP
+//   20240702  network access abnormality (Shanghai zone N)  -> U/P + AIR + DP
+//   20250107  purchase/modify control-plane outage          -> ONLY CDI-C
+//
+// The paper's point: AIR and DP are blind to the third incident; the CDI's
+// control-plane sub-metric captures it. Values are normalized to the Daily
+// row, as in the paper.
+#include <cstdio>
+
+#include "cdi/pipeline.h"
+#include "common/thread_pool.h"
+#include "sim/incidents.h"
+
+using namespace cdibot;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  int kind;  // 0 = daily, 1 = az outage, 2 = network, 3 = control-plane
+};
+
+struct Measured {
+  double cdi_u, cdi_p, cdi_c, air, dp;
+};
+
+}  // namespace
+
+int main() {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  FleetSpec fspec;
+  fspec.regions = 2;
+  fspec.azs_per_region = 2;
+  fspec.clusters_per_az = 2;
+  fspec.ncs_per_cluster = 4;
+  fspec.vms_per_nc = 8;
+  const Fleet fleet = Fleet::Build(fspec).value();
+
+  auto ticket_model = TicketRankModel::FromCounts(
+      {{"slow_io", 420}, {"packet_loss", 160}, {"vcpu_high", 230},
+       {"api_error", 90}, {"vm_create_failed", 70}, {"vm_resize_failed", 50}},
+      4);
+  const auto weights =
+      EventWeightModel::Build(std::move(ticket_model).value(), {}).value();
+  ThreadPool pool(8);
+
+  const Scenario scenarios[] = {
+      {"Daily", 0}, {"20240425", 1}, {"20240702", 2}, {"20250107", 3}};
+  std::vector<Measured> measured;
+
+  for (const Scenario& sc : scenarios) {
+    Rng rng(1000 + sc.kind);
+    FaultInjector injector(&catalog, &rng);
+    EventLog log;
+    const TimePoint day_start = TimePoint::Parse("2026-01-01 00:00").value();
+    const Interval day(day_start, day_start + Duration::Days(1));
+    // Every day carries the normal background noise.
+    (void)injector.InjectDay(fleet, day_start, BaselineRates(), &log);
+    const Interval peak(day_start + Duration::Hours(17),
+                        day_start + Duration::Hours(20));
+    Status st = Status::OK();
+    switch (sc.kind) {
+      case 1:
+        st = InjectAzOutage(fleet, "r0-az0", peak, &injector, &log);
+        break;
+      case 2:
+        st = InjectNetworkOutage(fleet, "r1-az0", peak, 0.25, &injector,
+                                 &log, &rng);
+        break;
+      case 3:
+        st = InjectControlPlaneOutage(fleet, "r0", peak, &injector, &log);
+        break;
+      default:
+        break;
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    DailyCdiJob job(&log, &catalog, &weights,
+                    {.pool = &pool, .min_parallel_rows = 1});
+    auto result = job.Run(fleet.ServiceInfos(day).value(), day);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    measured.push_back(
+        Measured{result->fleet.unavailability, result->fleet.performance,
+                 result->fleet.control_plane,
+                 result->fleet_baseline.annual_interruption_rate,
+                 result->fleet_baseline.downtime_percentage});
+  }
+
+  auto norm = [](double v, double base) {
+    return base > 0 ? v / base : (v > 0 ? 99.9 : 1.0);
+  };
+  const Measured& base = measured[0];
+
+  std::printf("Fig. 5: incident-day metrics normalized to the Daily row\n\n");
+  std::printf("%-10s %8s %8s %8s %8s %8s\n", "day", "CDI-U", "CDI-P", "CDI-C",
+              "AIR", "DP");
+  for (size_t i = 0; i < measured.size(); ++i) {
+    const Measured& m = measured[i];
+    std::printf("%-10s %8.2f %8.2f %8.2f %8.2f %8.2f\n", scenarios[i].name,
+                norm(m.cdi_u, base.cdi_u), norm(m.cdi_p, base.cdi_p),
+                norm(m.cdi_c, base.cdi_c), norm(m.air, base.air),
+                norm(m.dp, base.dp));
+  }
+
+  std::printf("\nraw values\n%-10s %10s %10s %10s %10s %10s\n", "day",
+              "CDI-U", "CDI-P", "CDI-C", "AIR", "DP");
+  for (size_t i = 0; i < measured.size(); ++i) {
+    const Measured& m = measured[i];
+    std::printf("%-10s %10.6f %10.6f %10.6f %10.2f %10.6f\n",
+                scenarios[i].name, m.cdi_u, m.cdi_p, m.cdi_c, m.air, m.dp);
+  }
+
+  // Shape checks from the paper's reading of the figure.
+  const bool first_two_in_air_dp = measured[1].air > 2 * base.air &&
+                                   measured[1].dp > 2 * base.dp &&
+                                   measured[2].air > 2 * base.air &&
+                                   measured[2].dp > 2 * base.dp;
+  const bool third_invisible_to_air_dp =
+      measured[3].air <= base.air * 1.2 && measured[3].dp <= base.dp * 1.2 &&
+      measured[3].cdi_u <= base.cdi_u * 1.2;
+  const bool third_visible_to_cdi_c = measured[3].cdi_c > 3 * base.cdi_c;
+  std::printf("\nshape checks:\n");
+  std::printf("  20240425/20240702 spike AIR & DP ........ %s\n",
+              first_two_in_air_dp ? "yes" : "NO");
+  std::printf("  20250107 invisible to AIR/DP/CDI-U ...... %s\n",
+              third_invisible_to_air_dp ? "yes" : "NO");
+  std::printf("  20250107 captured by CDI-C .............. %s\n",
+              third_visible_to_cdi_c ? "yes" : "NO");
+  const bool ok =
+      first_two_in_air_dp && third_invisible_to_air_dp && third_visible_to_cdi_c;
+  std::printf("%s\n", ok ? "REPRODUCED: CDI evaluates all three incidents; "
+                           "downtime metrics miss the control-plane one."
+                         : "MISMATCH: see checks above.");
+  return ok ? 0 : 1;
+}

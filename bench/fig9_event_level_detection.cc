@@ -1,0 +1,132 @@
+// Regenerates Fig. 9 + Cases 6-7 ("Event-level CDI for potential problem
+// detection"), one month of daily event-level CDI with K-Sigma detection:
+//
+//  (a) vm_allocation_failed: a scheduling-data bug spikes the curve on Day
+//      14; the data is corrected and Day 15 returns to normal.
+//  (b) inspect_cpu_power_tdp: a power-collection bug zeroes the measured
+//      power from Day 13, the curve DIPS far below expectation until the
+//      fix on Day 18 — dips deserve the same scrutiny as spikes.
+#include <cstdio>
+
+#include "anomaly/ksigma.h"
+#include "cdi/pipeline.h"
+#include "common/thread_pool.h"
+#include "sim/incidents.h"
+
+using namespace cdibot;
+
+namespace {
+
+const char* Mark(AnomalyDirection d) {
+  switch (d) {
+    case AnomalyDirection::kSpike:
+      return "<<< SPIKE";
+    case AnomalyDirection::kDip:
+      return "<<< DIP";
+    default:
+      return "";
+  }
+}
+
+}  // namespace
+
+int main() {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  Rng rng(9);
+  FaultInjector injector(&catalog, &rng);
+
+  FleetSpec fspec;
+  fspec.regions = 1;
+  fspec.azs_per_region = 2;
+  fspec.clusters_per_az = 2;
+  fspec.ncs_per_cluster = 4;
+  fspec.vms_per_nc = 8;
+  const Fleet fleet = Fleet::Build(fspec).value();
+
+  auto ticket_model = TicketRankModel::FromCounts(
+      {{"vm_allocation_failed", 140}, {"inspect_cpu_power_tdp", 30},
+       {"slow_io", 420}, {"vcpu_high", 230}},
+      4);
+  const auto weights =
+      EventWeightModel::Build(std::move(ticket_model).value(), {}).value();
+  ThreadPool pool(8);
+
+  constexpr int kDays = 30;
+  const TimePoint start = TimePoint::Parse("2026-05-01 00:00").value();
+  std::vector<double> alloc_series, tdp_series;
+
+  for (int d = 0; d < kDays; ++d) {
+    const TimePoint day_start = start + Duration::Days(d);
+    const Interval day(day_start, day_start + Duration::Days(1));
+    EventLog log;
+    // Background: a steady trickle of allocation failures from routine
+    // capacity churn (so the curve has a non-zero normal level).
+    FaultRates background;
+    background.episodes_per_vm_day["vm_allocation_failed"] = 0.05;
+    (void)injector.InjectDay(fleet, day_start, background, &log);
+    // Case 6: scheduling-system bug on Day 14 only (index 13).
+    if (d == 13) {
+      (void)InjectAllocationBug(fleet, "r0-az0-c0", day_start, 0.7, &injector,
+                                &log, &rng);
+    }
+    // Case 7: TDP monitoring emits at a steady rate until the collector
+    // breaks (Days 13-17, indexes 12-16), then resumes on Day 18.
+    const double tdp_rate = (d >= 12 && d < 17) ? 0.0 : 0.6;
+    (void)InjectTdpMonitoring(fleet, day_start, tdp_rate, &injector, &log);
+
+    DailyCdiJob job(&log, &catalog, &weights,
+                    {.pool = &pool, .min_parallel_rows = 1});
+    auto result = job.Run(fleet.ServiceInfos(day).value(), day);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    alloc_series.push_back(
+        EventLevelCdiFor(result->per_event, "vm_allocation_failed",
+                         result->fleet_service_time)
+            .value());
+    tdp_series.push_back(
+        EventLevelCdiFor(result->per_event, "inspect_cpu_power_tdp",
+                         result->fleet_service_time)
+            .value());
+  }
+
+  auto alloc_scan = KSigmaScan(alloc_series, 8, 3.0).value();
+  auto tdp_scan = KSigmaScan(tdp_series, 8, 3.0).value();
+
+  std::printf("Fig. 9(a): event-level CDI of vm_allocation_failed (Case 6)\n");
+  std::printf("%4s %14s  %s\n", "day", "CDI(event)", "K-Sigma");
+  for (int d = 0; d < kDays; ++d) {
+    std::printf("%4d %14.6f  %s\n", d + 1, alloc_series[d],
+                Mark(alloc_scan[d]));
+  }
+
+  std::printf("\nFig. 9(b): event-level CDI of inspect_cpu_power_tdp "
+              "(Case 7)\n");
+  std::printf("%4s %14s  %s\n", "day", "CDI(event)", "K-Sigma");
+  for (int d = 0; d < kDays; ++d) {
+    std::printf("%4d %14.6f  %s\n", d + 1, tdp_series[d], Mark(tdp_scan[d]));
+  }
+
+  const bool spike_found = alloc_scan[13] == AnomalyDirection::kSpike;
+  const bool recovered = alloc_series[14] < alloc_series[13] / 3.0;
+  bool dip_found = false;
+  for (int d = 12; d < 17; ++d) {
+    dip_found |= tdp_scan[d] == AnomalyDirection::kDip;
+  }
+  const bool tdp_recovers = tdp_series[17] > 0.0;
+  std::printf("\nshape checks:\n");
+  std::printf("  Day-14 allocation spike detected ........ %s\n",
+              spike_found ? "yes" : "NO");
+  std::printf("  Day-15 back to expected levels .......... %s\n",
+              recovered ? "yes" : "NO");
+  std::printf("  TDP dip flagged during collector bug ..... %s\n",
+              dip_found ? "yes" : "NO");
+  std::printf("  TDP curve recovers from Day 18 ........... %s\n",
+              tdp_recovers ? "yes" : "NO");
+  const bool ok = spike_found && recovered && dip_found && tdp_recovers;
+  std::printf("%s\n", ok ? "REPRODUCED: both the spike and the dip are "
+                           "caught, as Cases 6-7 require."
+                         : "MISMATCH: see checks above.");
+  return ok ? 0 : 1;
+}

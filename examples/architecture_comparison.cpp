@@ -1,0 +1,77 @@
+// Architecture comparison (Case 5 / Fig. 8): track the Performance
+// Indicator of the homogeneous and hybrid deployment pools day by day, with
+// the hybrid-only CPU-contention defect appearing mid-experiment and a
+// rollback restoring parity.
+#include <cstdio>
+
+#include "cdi/pipeline.h"
+#include "common/thread_pool.h"
+#include "sim/incidents.h"
+
+using namespace cdibot;
+
+int main() {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  Rng rng(5);
+  FaultInjector injector(&catalog, &rng);
+  EventLog log;
+
+  FleetSpec spec;
+  spec.regions = 1;
+  spec.azs_per_region = 2;
+  spec.clusters_per_az = 2;
+  spec.ncs_per_cluster = 6;
+  spec.vms_per_nc = 8;
+  spec.hybrid_fraction = 0.5;
+  spec.gen2_fraction = 0.4;  // the defective machine model
+  const Fleet fleet = Fleet::Build(spec).value();
+
+  auto ticket_model =
+      TicketRankModel::FromCounts({{"vcpu_high", 230}, {"slow_io", 420},
+                                   {"packet_loss", 160}, {"api_error", 90}},
+                                  4);
+  const auto weights =
+      EventWeightModel::Build(std::move(ticket_model).value(), {}).value();
+  ThreadPool pool(8);
+  DailyCdiJob job(&log, &catalog, &weights,
+                  {.pool = &pool, .min_parallel_rows = 1});
+
+  const TimePoint start = TimePoint::Parse("2026-03-01 00:00").value();
+  constexpr int kDays = 20;
+  constexpr int kDefectStart = 8;   // defect manifests from day 8
+  constexpr int kRollbackDay = 14;  // affected hosts rolled back on day 14
+
+  std::printf("%4s %18s %18s  %s\n", "day", "homogeneous CDI-P",
+              "hybrid CDI-P", "note");
+  for (int d = 0; d < kDays; ++d) {
+    const TimePoint day_start = start + Duration::Days(d);
+    const Interval day(day_start, day_start + Duration::Days(1));
+    (void)injector.InjectDay(fleet, day_start, BaselineRates(), &log);
+    const bool defect_active = d >= kDefectStart && d < kRollbackDay;
+    if (defect_active) {
+      (void)InjectHybridContentionDefect(fleet, day_start, "gen2",
+                                         /*intensity=*/2.0, &injector, &log,
+                                         &rng);
+    }
+    auto result = job.Run(fleet.ServiceInfos(day).value(), day);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    double homog = 0.0, hybrid = 0.0;
+    for (const GroupCdi& g : DrillDownBy(result->per_vm, "arch")) {
+      if (g.key == "homogeneous") homog = g.cdi.performance;
+      if (g.key == "hybrid") hybrid = g.cdi.performance;
+    }
+    const char* note = "";
+    if (d == kDefectStart) note = "<- defect ships";
+    if (d == kRollbackDay) note = "<- rollback complete";
+    std::printf("%4d %18.6f %18.6f  %s\n", d, homog, hybrid, note);
+  }
+  std::printf(
+      "\nReading the curves as the paper's stability engineers did: parity "
+      "before the\nchange, hybrid divergence while the defective model runs "
+      "the new architecture,\nand reconvergence after the rollback (Fig. "
+      "8).\n");
+  return 0;
+}

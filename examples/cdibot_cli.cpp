@@ -1,0 +1,185 @@
+// cdibot_cli — a small operational driver over the library:
+//
+//   cdibot_cli simulate --days N --seed S --out DIR
+//       simulate N days of a synthetic fleet, run the daily CDI job, and
+//       write vm_cdi.csv / event_cdi.csv per day into DIR
+//   cdibot_cli query CSV "SQL"
+//       load a vm_cdi.csv produced by `simulate` and run a SQL query
+//       against it (table name: vm_cdi)
+//   cdibot_cli weights --tickets name=count,name=count,...
+//       print the Eq. 1-3 composite weight table for the given last-year
+//       ticket counts
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cdi/pipeline.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "dataflow/csv.h"
+#include "dataflow/query.h"
+#include "sim/scenario.h"
+
+using namespace cdibot;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  cdibot_cli simulate [--days N] [--seed S] [--out DIR]\n"
+               "  cdibot_cli query CSV \"SQL\"\n"
+               "  cdibot_cli weights --tickets name=count[,name=count...]\n");
+  return 2;
+}
+
+dataflow::Schema VmCdiSchema() {
+  using dataflow::Field;
+  using dataflow::ValueType;
+  return dataflow::Schema(
+      {Field{"vm_id", ValueType::kString}, Field{"region", ValueType::kString},
+       Field{"az", ValueType::kString}, Field{"cluster", ValueType::kString},
+       Field{"cdi_u", ValueType::kDouble}, Field{"cdi_p", ValueType::kDouble},
+       Field{"cdi_c", ValueType::kDouble},
+       Field{"service_minutes", ValueType::kDouble}});
+}
+
+int RunSimulate(int argc, char** argv) {
+  int days = 3;
+  uint64_t seed = 1;
+  std::string out = ".";
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--days") && i + 1 < argc) {
+      days = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (days < 1) return Usage();
+
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  Rng rng(seed);
+  FaultInjector injector(&catalog, &rng);
+  const Fleet fleet = Fleet::Build(FleetSpec{.seed = seed}).value();
+  auto weights =
+      EventWeightModel::Build(
+          TicketRankModel::FromCounts({{"slow_io", 420},
+                                       {"packet_loss", 160},
+                                       {"vcpu_high", 230},
+                                       {"api_error", 90}},
+                                      4)
+              .value(),
+          {})
+          .value();
+  ThreadPool pool(8);
+  const TimePoint start = TimePoint::Parse("2026-01-01 00:00").value();
+
+  for (int d = 0; d < days; ++d) {
+    const TimePoint day_start = start + Duration::Days(d);
+    const Interval day(day_start, day_start + Duration::Days(1));
+    EventLog log;
+    auto injected =
+        injector.InjectDay(fleet, day_start, BaselineRates().Scaled(8.0),
+                           &log);
+    if (!injected.ok()) {
+      std::fprintf(stderr, "%s\n", injected.status().ToString().c_str());
+      return 1;
+    }
+    DailyCdiJob job(&log, &catalog, &weights,
+                    {.pool = &pool, .min_parallel_rows = 1});
+    auto result = job.Run(fleet.ServiceInfos(day).value(), day);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const std::string date = day_start.ToDateString();
+    const std::string vm_path = out + "/vm_cdi_" + date + ".csv";
+    const std::string ev_path = out + "/event_cdi_" + date + ".csv";
+    Status st = dataflow::WriteCsvFile(result->ToVmTable(), vm_path);
+    if (st.ok()) st = dataflow::WriteCsvFile(result->ToEventTable(), ev_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: %zu events -> CDI-U %.6f  CDI-P %.6f  CDI-C %.6f  "
+                "(%s, %s)\n",
+                date.c_str(), log.size(), result->fleet.unavailability,
+                result->fleet.performance, result->fleet.control_plane,
+                vm_path.c_str(), ev_path.c_str());
+  }
+  return 0;
+}
+
+int RunQuery(int argc, char** argv) {
+  if (argc != 2) return Usage();
+  auto table = dataflow::ReadCsvFile(argv[0], VmCdiSchema());
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  ThreadPool pool(4);
+  dataflow::QueryEngine engine({.pool = &pool, .min_parallel_rows = 1});
+  engine.RegisterTable("vm_cdi", std::move(table).value());
+  auto result = engine.Execute(argv[1]);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", result->ToPrettyString(100).c_str());
+  return 0;
+}
+
+int RunWeights(int argc, char** argv) {
+  std::map<std::string, int64_t> counts;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--tickets") && i + 1 < argc) {
+      for (const std::string& pair : StrSplit(argv[++i], ',')) {
+        const auto kv = StrSplit(pair, '=');
+        if (kv.size() != 2) return Usage();
+        counts[kv[0]] = std::atoll(kv[1].c_str());
+      }
+    } else {
+      return Usage();
+    }
+  }
+  if (counts.empty()) return Usage();
+  auto ticket_model = TicketRankModel::FromCounts(counts, 4);
+  if (!ticket_model.ok()) {
+    std::fprintf(stderr, "%s\n", ticket_model.status().ToString().c_str());
+    return 1;
+  }
+  auto model = EventWeightModel::Build(std::move(ticket_model).value(), {});
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-24s %8s %8s %8s %8s\n", "event", "info", "warning",
+              "critical", "fatal");
+  for (const auto& [name, count] : counts) {
+    std::printf("%-24s", name.c_str());
+    for (Severity s : {Severity::kInfo, Severity::kWarning,
+                       Severity::kCritical, Severity::kFatal}) {
+      const auto w =
+          model->WeightFor(name, s, StabilityCategory::kPerformance);
+      std::printf(" %8.4f", w.ok() ? w.value() : -1.0);
+    }
+    std::printf("   (tickets: %lld)\n", static_cast<long long>(count));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "simulate") return RunSimulate(argc - 2, argv + 2);
+  if (command == "query") return RunQuery(argc - 2, argv + 2);
+  if (command == "weights") return RunWeights(argc - 2, argv + 2);
+  return Usage();
+}

@@ -1,0 +1,97 @@
+// CloudBot end-to-end walkthrough of the paper's Example 1 (Fig. 1):
+// a NIC fault on a host degrades a VM's disk IO. Raw telemetry flows
+// through the Data Collector -> Event Extractor -> Rule Engine ->
+// Operation Platform, ending with a live migration, an IDC repair ticket,
+// and the host locked.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "extract/log_rules.h"
+#include "extract/metric_rules.h"
+#include "ops/operation_platform.h"
+#include "rules/rule_engine.h"
+#include "telemetry/log_stream.h"
+#include "telemetry/metric_series.h"
+
+using namespace cdibot;
+
+int main() {
+  Rng rng(20260706);
+  const TimePoint noon = TimePoint::Parse("2026-07-06 12:00").value();
+
+  // --- Data Collector -------------------------------------------------------
+  // read_latency of the VM's cloud disk, sampled per minute. The NIC fault
+  // at 12:16 pushes latency from ~10ms to ~65ms.
+  MetricSpec spec;
+  spec.metric = "read_latency";
+  spec.target = "vm-7";
+  spec.start = noon;
+  spec.count = 30;
+  spec.base = 10.0;
+  spec.diurnal_amplitude = 0.0;
+  spec.noise_sigma = 0.8;
+  spec.anomalies = {{.begin = 16, .end = 30, .offset = 55.0}};
+  const MetricSeries latency = GenerateMetricSeries(spec, &rng).value();
+
+  std::vector<LogLine> logs = GenerateBenignLogs(
+      "vm-7", Interval(noon, noon + Duration::Minutes(30)), 30.0, &rng);
+  AppendNicFlap("vm-7", noon + Duration::Minutes(16) + Duration::Seconds(28),
+                &logs);
+  std::printf("[collector] %zu metric samples, %zu log lines\n",
+              latency.points.size(), logs.size());
+
+  // --- Event Extractor -------------------------------------------------------
+  auto metric_extractor = MetricThresholdExtractor::BuiltIn();
+  auto log_extractor = LogRuleExtractor::BuiltIn().value();
+  std::vector<RawEvent> events = metric_extractor.Extract(latency);
+  for (RawEvent& ev : log_extractor.ExtractAll(logs)) {
+    events.push_back(std::move(ev));
+  }
+  std::printf("[extractor] %zu events extracted (noise discarded):\n",
+              events.size());
+  size_t shown = 0;
+  for (const RawEvent& ev : events) {
+    if (++shown <= 3 || ev.name != "slow_io") {
+      std::printf("  %s\n", ev.ToString().c_str());
+    }
+  }
+
+  // --- Rule Engine -----------------------------------------------------------
+  auto engine = RuleEngine::BuiltIn().value();
+  const TimePoint eval_at = noon + Duration::Minutes(18);
+  const auto active = RuleEngine::ActiveEventNames(events, eval_at);
+  std::printf("[rules] active events at %s:", eval_at.ToString().c_str());
+  for (const auto& name : active) std::printf(" %s", name.c_str());
+  std::printf("\n");
+  auto matches = engine.Match(active, "vm-7", eval_at);
+  for (const RuleMatch& m : matches) {
+    std::printf("[rules] matched: %s\n", m.rule_name.c_str());
+  }
+  if (matches.empty()) {
+    std::fprintf(stderr, "no rule matched; unexpected\n");
+    return 1;
+  }
+
+  // --- Operation Platform ----------------------------------------------------
+  OperationPlatform platform;
+  auto requests = platform.RequestsFromMatch(matches.front(), "nc-3");
+  if (!requests.ok()) {
+    std::fprintf(stderr, "%s\n", requests.status().ToString().c_str());
+    return 1;
+  }
+  auto records =
+      platform.Submit(std::move(requests).value(), {{"vm-7", "nc-3"}});
+  for (const ActionRecord& rec : records) {
+    std::printf("[ops] %-16s on %-6s -> %s\n",
+                std::string(ActionTypeToString(rec.request.type)).c_str(),
+                rec.request.target.c_str(),
+                rec.outcome == ActionOutcome::kExecuted ? "executed"
+                                                        : "discarded");
+  }
+  std::printf("[ops] nc-3 locked: %s\n",
+              platform.IsLocked("nc-3") ? "yes" : "no");
+  std::printf("\nExample 1 reproduced: the VM live-migrates away, the IDC "
+              "gets a repair ticket,\nand the host accepts no new VMs until "
+              "the repair completes.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// The stability engineer's daily loop (Sec. VI-A + VI-C + Sec. II-F2):
+// run 30 simulated days through the CDI pipeline; the watchdog maintains
+// the fleet trend (CdiHistory), watches every event-level drill-down curve
+// for spikes and dips with root-cause localization (CdiMonitor), and the
+// surge monitor guards against event floods that may indicate batch missed
+// operations. Scripted anomalies: a Case-6 allocation bug on day 14, a
+// Case-7 collector outage days 20-23, and a packet_loss flood on day 26.
+#include <cstdio>
+
+#include "cdi/history.h"
+#include "cdi/monitor.h"
+#include "cdi/pipeline.h"
+#include "common/thread_pool.h"
+#include "extract/surge.h"
+#include "sim/incidents.h"
+
+using namespace cdibot;
+
+int main() {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  Rng rng(30);
+  FaultInjector injector(&catalog, &rng);
+
+  FleetSpec fspec;
+  fspec.regions = 1;
+  fspec.azs_per_region = 2;
+  fspec.clusters_per_az = 2;
+  fspec.ncs_per_cluster = 4;
+  fspec.vms_per_nc = 8;
+  fspec.hybrid_fraction = 0.5;
+  const Fleet fleet = Fleet::Build(fspec).value();
+
+  auto ticket_model = TicketRankModel::FromCounts(
+      {{"slow_io", 420}, {"packet_loss", 160}, {"vcpu_high", 230},
+       {"vm_allocation_failed", 140}, {"inspect_cpu_power_tdp", 30}},
+      4);
+  const auto weights =
+      EventWeightModel::Build(std::move(ticket_model).value(), {}).value();
+  ThreadPool pool(8);
+
+  auto monitor = CdiMonitor::Create().value();
+  auto surge = SurgeDetector::Create().value();
+  CdiHistory history;
+
+  const TimePoint start = TimePoint::Parse("2026-06-01 00:00").value();
+  std::printf("30-day stability watch over %zu VMs\n\n", fleet.num_vms());
+  for (int d = 0; d < 30; ++d) {
+    const TimePoint day_start = start + Duration::Days(d);
+    const Interval day(day_start, day_start + Duration::Days(1));
+    EventLog log;
+    FaultRates rates = BaselineRates().Scaled(6.0);
+    if (d == 26) rates.episodes_per_vm_day["packet_loss"] *= 30.0;
+    (void)injector.InjectDay(fleet, day_start, rates, &log);
+    if (d == 13) {
+      (void)InjectAllocationBug(fleet, "r0-az0-c0", day_start, 0.6,
+                                &injector, &log, &rng);
+    }
+    const double tdp_rate = (d >= 19 && d < 23) ? 0.0 : 0.5;
+    (void)InjectTdpMonitoring(fleet, day_start, tdp_rate, &injector, &log);
+
+    DailyCdiJob job(&log, &catalog, &weights,
+                    {.pool = &pool, .min_parallel_rows = 1});
+    auto result = job.Run(fleet.ServiceInfos(day).value(), day);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    (void)history.Append(day_start, result->fleet);
+
+    auto problems = monitor.IngestDay(day_start, *result);
+    if (!problems.ok()) return 1;
+    for (const PotentialProblem& p : *problems) {
+      std::printf("[day %2d] %-5s %-24s cdi=%.2e baseline=%.2e", d + 1,
+                  p.direction == AnomalyDirection::kSpike ? "SPIKE" : "DIP",
+                  p.event_name.c_str(), p.value, p.baseline);
+      if (!p.root_causes.empty()) {
+        std::printf("  -> %s=%s explains %.0f%%",
+                    p.root_causes[0].dimension.c_str(),
+                    p.root_causes[0].value.c_str(),
+                    100.0 * p.root_causes[0].explanatory_power);
+      }
+      std::printf("\n");
+    }
+
+    for (const SurgeAlert& alert :
+         surge.ObserveDay(day_start, log.Search(day))) {
+      std::printf("[day %2d] SURGE %-24s count=%zu baseline=%.0f "
+                  "targets=%zu -> engineers paged\n",
+                  d + 1, alert.event_name.c_str(), alert.count,
+                  alert.baseline_mean, alert.affected_targets);
+    }
+  }
+
+  auto reduction = history.ReductionBetween(5, 5);
+  std::printf("\nmonth-over-month level change (first 5 vs last 5 days):\n");
+  if (reduction.ok()) {
+    std::printf("  CDI-U %+.0f%%   CDI-P %+.0f%%   CDI-C %+.0f%%\n",
+                -100 * reduction->unavailability,
+                -100 * reduction->performance,
+                -100 * reduction->control_plane);
+  } else {
+    std::printf("  (%s)\n", reduction.status().ToString().c_str());
+  }
+  return 0;
+}

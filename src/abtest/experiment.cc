@@ -1,0 +1,170 @@
+#include "abtest/experiment.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace cdibot {
+
+StatusOr<AbTestExperiment> AbTestExperiment::Create(std::vector<AbArm> arms,
+                                                    uint64_t seed) {
+  if (arms.size() < 2) {
+    return Status::InvalidArgument("A/B test needs >= 2 arms");
+  }
+  double total = 0.0;
+  for (const AbArm& arm : arms) {
+    if (arm.action_name.empty()) {
+      return Status::InvalidArgument("arm needs an action name");
+    }
+    if (!(arm.probability > 0.0)) {
+      return Status::InvalidArgument("arm probabilities must be positive");
+    }
+    total += arm.probability;
+  }
+  if (std::abs(total - 1.0) > 1e-9) {
+    return Status::InvalidArgument("arm probabilities must sum to 1");
+  }
+  return AbTestExperiment(std::move(arms), seed);
+}
+
+size_t AbTestExperiment::Assign() {
+  std::vector<double> probs;
+  probs.reserve(arms_.size());
+  for (const AbArm& arm : arms_) probs.push_back(arm.probability);
+  return rng_.Categorical(probs);
+}
+
+Status AbTestExperiment::AddObservation(size_t arm, const VmCdi& cdi) {
+  if (arm >= arms_.size()) {
+    return Status::OutOfRange("arm index out of range");
+  }
+  auto& obs = observations_[arm];
+  obs[static_cast<int>(StabilityCategory::kUnavailability)].push_back(
+      cdi.unavailability);
+  obs[static_cast<int>(StabilityCategory::kPerformance)].push_back(
+      cdi.performance);
+  obs[static_cast<int>(StabilityCategory::kControlPlane)].push_back(
+      cdi.control_plane);
+  return Status::OK();
+}
+
+size_t AbTestExperiment::ObservationCount(size_t arm) const {
+  if (arm >= observations_.size()) return 0;
+  return observations_[arm][0].size();
+}
+
+StatusOr<AbTestReport> AbTestExperiment::Analyze(
+    const stats::WorkflowOptions& options) const {
+  for (size_t a = 0; a < arms_.size(); ++a) {
+    if (ObservationCount(a) < 3) {
+      return Status::FailedPrecondition(
+          "arm " + arms_[a].action_name + " has < 3 observations");
+    }
+  }
+
+  AbTestReport report;
+  report.arm_names.reserve(arms_.size());
+  for (const AbArm& arm : arms_) report.arm_names.push_back(arm.action_name);
+  report.arm_counts.resize(arms_.size());
+  report.arm_means.resize(arms_.size());
+  for (size_t a = 0; a < arms_.size(); ++a) {
+    report.arm_counts[a] = ObservationCount(a);
+    for (int c = 0; c < kNumStabilityCategories; ++c) {
+      CDIBOT_ASSIGN_OR_RETURN(report.arm_means[a][c],
+                              stats::Mean(observations_[a][c]));
+    }
+  }
+
+  for (int c = 0; c < kNumStabilityCategories; ++c) {
+    std::vector<stats::Sample> groups;
+    groups.reserve(arms_.size());
+    bool all_identical = true;
+    for (size_t a = 0; a < arms_.size(); ++a) {
+      groups.push_back(observations_[a][c]);
+      for (double v : observations_[a][c]) {
+        if (v != observations_[0][c][0]) all_identical = false;
+      }
+    }
+    if (all_identical) {
+      // Common in production: a sub-metric with zero damage everywhere
+      // (e.g. no unavailability during the test). No difference to find.
+      stats::WorkflowResult degenerate;
+      degenerate.omnibus = stats::TestResult{
+          .method = "degenerate (all observations identical)",
+          .statistic = 0.0,
+          .p_value = 1.0};
+      report.per_metric[c] = std::move(degenerate);
+      continue;
+    }
+    CDIBOT_ASSIGN_OR_RETURN(report.per_metric[c],
+                            stats::RunHypothesisWorkflow(groups, options));
+  }
+  return report;
+}
+
+StatusOr<stats::WorkflowResult> AbTestExperiment::AnalyzeComposite(
+    double w_u, double w_p, double w_c,
+    const stats::WorkflowOptions& options) const {
+  if (w_u < 0.0 || w_p < 0.0 || w_c < 0.0 || !(w_u + w_p + w_c > 0.0)) {
+    return Status::InvalidArgument(
+        "composite weights must be non-negative with a positive sum");
+  }
+  std::vector<stats::Sample> groups;
+  groups.reserve(arms_.size());
+  for (size_t a = 0; a < arms_.size(); ++a) {
+    if (ObservationCount(a) < 3) {
+      return Status::FailedPrecondition(
+          "arm " + arms_[a].action_name + " has < 3 observations");
+    }
+    const auto& obs = observations_[a];
+    stats::Sample composite;
+    composite.reserve(obs[0].size());
+    for (size_t i = 0; i < obs[0].size(); ++i) {
+      composite.push_back(w_u * obs[0][i] + w_p * obs[1][i] +
+                          w_c * obs[2][i]);
+    }
+    groups.push_back(std::move(composite));
+  }
+  return stats::RunHypothesisWorkflow(groups, options);
+}
+
+std::string AbTestReport::ToTableString(double alpha) const {
+  static constexpr const char* kMetricNames[] = {"Unavailability",
+                                                 "Performance",
+                                                 "Control-plane"};
+  // Table V order: Unavailability, Control-plane, Performance.
+  static constexpr int kOrder[] = {0, 2, 1};
+  std::string out;
+  out += StrFormat("%-15s %-24s %10s %6s   %s\n", "Sub-metric", "Omnibus",
+                   "P-value", "Sign.", "Post-hoc pairs (p, sign.)");
+  for (int idx : kOrder) {
+    const stats::WorkflowResult& wf = per_metric[idx];
+    out += StrFormat("%-15s %-24s %10.3g %6s   ", kMetricNames[idx],
+                     wf.omnibus.method.c_str(), wf.omnibus.p_value,
+                     wf.omnibus_significant ? "True" : "False");
+    if (wf.posthoc.empty()) {
+      out += "-";
+    } else {
+      std::vector<std::string> pairs;
+      for (const stats::PairwiseResult& pr : wf.posthoc) {
+        pairs.push_back(StrFormat(
+            "%s-%s (%.3g, %s)", arm_names[pr.group_a].c_str(),
+            arm_names[pr.group_b].c_str(), pr.p_value,
+            pr.SignificantAt(alpha) ? "True" : "False"));
+      }
+      out += StrJoin(pairs, "; ");
+    }
+    out += "\n";
+  }
+  out += "\nPer-arm mean CDI:\n";
+  out += StrFormat("%-12s %8s %14s %14s %14s\n", "Arm", "n", "CDI-U",
+                   "CDI-P", "CDI-C");
+  for (size_t a = 0; a < arm_names.size(); ++a) {
+    out += StrFormat("%-12s %8zu %14.4g %14.4g %14.4g\n",
+                     arm_names[a].c_str(), arm_counts[a], arm_means[a][0],
+                     arm_means[a][1], arm_means[a][2]);
+  }
+  return out;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,93 @@
+#ifndef CDIBOT_ABTEST_EXPERIMENT_H_
+#define CDIBOT_ABTEST_EXPERIMENT_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cdi/vm_cdi.h"
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "stats/workflow.h"
+
+namespace cdibot {
+
+/// One experiment arm: a candidate operation action and its assignment
+/// probability (Sec. VI-D: "randomly carry out one of the potential
+/// actions, following a predefined probability distribution").
+struct AbArm {
+  std::string action_name;
+  double probability = 0.0;
+};
+
+/// The analyzed outcome of an A/B test: one Fig.-10 workflow run per CDI
+/// sub-metric (Table V has one row per sub-metric), plus per-arm summary
+/// statistics of the Performance-Indicator distributions (Fig. 11).
+struct AbTestReport {
+  /// Indexed by StabilityCategory.
+  std::array<stats::WorkflowResult, kNumStabilityCategories> per_metric;
+  /// Arm x category mean CDI.
+  std::vector<std::array<double, kNumStabilityCategories>> arm_means;
+  /// Observations per arm.
+  std::vector<size_t> arm_counts;
+  /// Arm action names, aligned with arm_means.
+  std::vector<std::string> arm_names;
+
+  /// Renders the Table-V layout (omnibus p-value and significance per
+  /// sub-metric, post-hoc pairs where run).
+  std::string ToTableString(double alpha = 0.05) const;
+};
+
+/// A/B experiment for operation-action optimization (Sec. VI-D / Case 8).
+/// VMs hit by the rule under study are randomly assigned an arm; the CDI of
+/// each VM over the following observation window becomes one observation in
+/// that arm's sequence; hypothesis testing then compares arms per
+/// sub-metric.
+class AbTestExperiment {
+ public:
+  /// Requires >= 2 arms with positive probabilities summing to 1 (+-1e-9).
+  static StatusOr<AbTestExperiment> Create(std::vector<AbArm> arms,
+                                           uint64_t seed);
+
+  size_t num_arms() const { return arms_.size(); }
+  const std::vector<AbArm>& arms() const { return arms_; }
+
+  /// Randomly assigns the next VM to an arm (by the configured
+  /// probabilities) and returns the arm index.
+  size_t Assign();
+
+  /// Records one VM's post-action CDI under arm `arm`.
+  Status AddObservation(size_t arm, const VmCdi& cdi);
+
+  size_t ObservationCount(size_t arm) const;
+
+  /// Runs the Fig.-10 workflow for each sub-metric across arms. Requires
+  /// every arm to have >= 3 observations.
+  StatusOr<AbTestReport> Analyze(
+      const stats::WorkflowOptions& options = {}) const;
+
+  /// Sec. VI-D's alternative: "aggregate the three sub-metrics into a
+  /// single one using techniques like weighted summation before proceeding
+  /// with the test" — one hypothesis workflow over the scalarized CDI
+  /// w_u*U + w_p*P + w_c*C per VM. Requires non-negative weights with a
+  /// positive sum and >= 3 observations per arm.
+  StatusOr<stats::WorkflowResult> AnalyzeComposite(
+      double w_u, double w_p, double w_c,
+      const stats::WorkflowOptions& options = {}) const;
+
+ private:
+  AbTestExperiment(std::vector<AbArm> arms, uint64_t seed)
+      : arms_(std::move(arms)), rng_(seed) {
+    observations_.resize(arms_.size());
+  }
+
+  std::vector<AbArm> arms_;
+  Rng rng_;
+  // observations_[arm][category] is the CDI sequence for that sub-metric.
+  std::vector<std::array<std::vector<double>, kNumStabilityCategories>>
+      observations_;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_ABTEST_EXPERIMENT_H_

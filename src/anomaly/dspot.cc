@@ -1,0 +1,82 @@
+#include "anomaly/dspot.h"
+
+namespace cdibot {
+
+StatusOr<DSpotDetector> DSpotDetector::Calibrate(
+    const std::vector<double>& calibration, Options options) {
+  if (options.depth < 2) {
+    return Status::InvalidArgument("depth must be >= 2");
+  }
+  if (calibration.size() < options.depth + 10) {
+    return Status::InvalidArgument(
+        "calibration must hold at least depth + 10 points");
+  }
+  // Residuals of each calibration point against the trailing mean of the
+  // preceding `depth` points.
+  std::deque<double> window(calibration.begin(),
+                            calibration.begin() +
+                                static_cast<long>(options.depth));
+  double sum = 0.0;
+  for (double v : window) sum += v;
+
+  std::vector<double> upper_residuals, lower_residuals;
+  for (size_t i = options.depth; i < calibration.size(); ++i) {
+    const double mean = sum / static_cast<double>(window.size());
+    const double r = calibration[i] - mean;
+    upper_residuals.push_back(r);
+    lower_residuals.push_back(-r);
+    sum += calibration[i] - window.front();
+    window.pop_front();
+    window.push_back(calibration[i]);
+  }
+
+  CDIBOT_ASSIGN_OR_RETURN(
+      SpotDetector upper,
+      SpotDetector::Calibrate(upper_residuals, options.q, options.level));
+  CDIBOT_ASSIGN_OR_RETURN(
+      SpotDetector lower,
+      SpotDetector::Calibrate(lower_residuals, options.q, options.level));
+
+  DSpotDetector det(options, std::move(upper), std::move(lower));
+  det.window_ = std::move(window);
+  det.window_sum_ = sum;
+  return det;
+}
+
+double DSpotDetector::LocalMean() const {
+  return window_sum_ / static_cast<double>(window_.size());
+}
+
+void DSpotDetector::PushWindow(double x) {
+  window_.push_back(x);
+  window_sum_ += x;
+  if (window_.size() > options_.depth) {
+    window_sum_ -= window_.front();
+    window_.pop_front();
+  }
+}
+
+AnomalyDirection DSpotDetector::Observe(double x) {
+  const double mean = LocalMean();
+  const double residual = x - mean;
+  // Each side's SPOT consumes every residual so their tail models stay in
+  // sync; anomaly on either side wins (both cannot fire at once).
+  const bool spike = upper_.Observe(residual);
+  const bool dip = lower_.Observe(-residual);
+  if (spike) return AnomalyDirection::kSpike;
+  if (dip) return AnomalyDirection::kDip;
+  // Normal points advance the local level; anomalies do not, so a fault
+  // plateau keeps alarming until acknowledged or recalibrated.
+  PushWindow(x);
+  return AnomalyDirection::kNone;
+}
+
+double DSpotDetector::upper_threshold() const {
+  return LocalMean() + upper_.threshold();
+}
+
+double DSpotDetector::lower_threshold() const {
+  return LocalMean() - lower_.threshold();
+}
+
+}  // namespace cdibot

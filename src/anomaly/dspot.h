@@ -1,0 +1,68 @@
+#ifndef CDIBOT_ANOMALY_DSPOT_H_
+#define CDIBOT_ANOMALY_DSPOT_H_
+
+#include <deque>
+
+#include "anomaly/evt.h"
+#include "anomaly/ksigma.h"
+#include "common/statusor.h"
+
+namespace cdibot {
+
+/// DSPOT: the drift-aware, bidirectional variant of SPOT (Siffer et al.,
+/// KDD'17, Sec. 4.3 of that paper). Two additions over the plain SpotDetector:
+///
+///  * Drift handling: each point is judged relative to a trailing moving
+///    average, so slow level changes (legitimate load growth) do not
+///    trigger alarms — only departures from the local level do.
+///  * Bidirectionality: an upper SPOT detects spikes and a mirrored lower
+///    SPOT detects dips. The paper's Case 7 (power collection failing to
+///    zero) is exactly the dip case the upper-only detector misses.
+class DSpotDetector {
+ public:
+  struct Options {
+    /// Target tail probability per side.
+    double q = 1e-4;
+    /// Calibration quantile level for the peaks thresholds.
+    double level = 0.98;
+    /// Trailing window width for the local level. >= 2.
+    size_t depth = 50;
+  };
+
+  /// Calibrates on an initial batch (must hold at least depth + 10 points
+  /// with enough spread for both tails).
+  static StatusOr<DSpotDetector> Calibrate(
+      const std::vector<double>& calibration, Options options);
+  static StatusOr<DSpotDetector> Calibrate(
+      const std::vector<double>& calibration) {
+    return Calibrate(calibration, Options());
+  }
+
+  /// Classifies one observation (kSpike above the upper threshold, kDip
+  /// below the lower one) and updates the model. Anomalous points do not
+  /// enter the local-level window.
+  AnomalyDirection Observe(double x);
+
+  /// Current absolute thresholds (local level +- the SPOT excess bounds).
+  double upper_threshold() const;
+  double lower_threshold() const;
+
+ private:
+  DSpotDetector(Options options, SpotDetector upper, SpotDetector lower)
+      : options_(options),
+        upper_(std::move(upper)),
+        lower_(std::move(lower)) {}
+
+  double LocalMean() const;
+  void PushWindow(double x);
+
+  Options options_;
+  SpotDetector upper_;  // operates on (x - local mean)
+  SpotDetector lower_;  // operates on (local mean - x)
+  std::deque<double> window_;
+  double window_sum_ = 0.0;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_ANOMALY_DSPOT_H_

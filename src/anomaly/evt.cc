@@ -1,0 +1,105 @@
+#include "anomaly/evt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace cdibot {
+
+StatusOr<GpdFit> FitGpdPwm(const std::vector<double>& excesses) {
+  if (excesses.size() < 2) {
+    return Status::InvalidArgument("GPD fit needs >= 2 excesses");
+  }
+  for (double e : excesses) {
+    if (!(e >= 0.0)) {
+      return Status::InvalidArgument("excesses must be non-negative");
+    }
+  }
+  std::vector<double> x = excesses;
+  std::sort(x.begin(), x.end());
+  const auto n = static_cast<double>(x.size());
+  // Probability-weighted moments (Hosking & Wallis): b0 = mean and
+  // b1 estimates E[X (1 - F(X))] via decreasing weights on the ascending
+  // order statistics.
+  double b0 = 0.0;
+  double b1 = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    b0 += x[i];
+    b1 += x[i] * (n - 1.0 - static_cast<double>(i)) / (n - 1.0);
+  }
+  b0 /= n;
+  b1 /= n;
+  const double denom = b0 - 2.0 * b1;
+  if (std::abs(denom) < 1e-12 || b0 <= 0.0) {
+    // Degenerate (near-exponential with vanishing spread): exponential fit.
+    return GpdFit{.shape = 0.0, .scale = std::max(b0, 1e-12)};
+  }
+  GpdFit fit;
+  // Hosking & Wallis: shape k_HW = b0/(b0-2 b1) - 2; GPD xi = -k_HW.
+  const double k_hw = b0 / denom - 2.0;
+  fit.shape = -k_hw;
+  fit.scale = b0 * (1.0 + k_hw);
+  if (fit.scale <= 0.0) {
+    return GpdFit{.shape = 0.0, .scale = std::max(b0, 1e-12)};
+  }
+  return fit;
+}
+
+StatusOr<SpotDetector> SpotDetector::Calibrate(
+    const std::vector<double>& calibration, double q, double level) {
+  if (!(q > 0.0) || q >= 1.0) {
+    return Status::InvalidArgument("q must be in (0, 1)");
+  }
+  if (!(level > 0.0) || level >= 1.0) {
+    return Status::InvalidArgument("level must be in (0, 1)");
+  }
+  if (calibration.size() < 10) {
+    return Status::InvalidArgument("SPOT calibration needs >= 10 points");
+  }
+  SpotDetector det;
+  det.q_ = q;
+  CDIBOT_ASSIGN_OR_RETURN(det.t_, stats::Quantile(calibration, level));
+  for (double x : calibration) {
+    if (x > det.t_) det.peaks_.push_back(x - det.t_);
+  }
+  if (det.peaks_.size() < 2) {
+    return Status::FailedPrecondition(
+        "calibration has < 2 peaks over the level quantile");
+  }
+  det.n_ = calibration.size();
+  det.Refit();
+  return det;
+}
+
+void SpotDetector::Refit() {
+  auto fit_or = FitGpdPwm(peaks_);
+  const GpdFit fit = fit_or.ok() ? fit_or.value() : GpdFit{};
+  const double n = static_cast<double>(n_);
+  const double n_t = static_cast<double>(peaks_.size());
+  const double r = q_ * n / n_t;
+  // z_q = t + (sigma/gamma) * (r^{-gamma} - 1); limit gamma->0 gives
+  // t - sigma * log(r).
+  if (std::abs(fit.shape) < 1e-9) {
+    z_q_ = t_ - fit.scale * std::log(r);
+  } else {
+    z_q_ = t_ + fit.scale / fit.shape * (std::pow(r, -fit.shape) - 1.0);
+  }
+  // The extreme threshold never sits below the peaks threshold.
+  z_q_ = std::max(z_q_, t_);
+}
+
+bool SpotDetector::Observe(double x) {
+  ++n_;
+  if (x > z_q_) {
+    // Anomaly: excluded from the model so it cannot raise the threshold.
+    return true;
+  }
+  if (x > t_) {
+    peaks_.push_back(x - t_);
+    Refit();
+  }
+  return false;
+}
+
+}  // namespace cdibot

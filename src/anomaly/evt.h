@@ -1,0 +1,64 @@
+#ifndef CDIBOT_ANOMALY_EVT_H_
+#define CDIBOT_ANOMALY_EVT_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace cdibot {
+
+/// Generalized Pareto Distribution parameters for peaks-over-threshold.
+struct GpdFit {
+  /// Shape (gamma / xi). Positive = heavy tail.
+  double shape = 0.0;
+  /// Scale (sigma) > 0.
+  double scale = 1.0;
+};
+
+/// Fits a GPD to threshold excesses via probability-weighted moments
+/// (Hosking & Wallis 1987) — robust, closed-form, and accurate enough for
+/// threshold setting. Requires >= 2 positive excesses.
+StatusOr<GpdFit> FitGpdPwm(const std::vector<double>& excesses);
+
+/// Streaming SPOT detector (Siffer et al., KDD'17 — ref. [28]): sets an
+/// extreme-quantile threshold z_q from extreme value theory and adapts it as
+/// new peaks arrive. Used by CloudBot's statistic-based event extraction and
+/// by the event-level CDI monitoring of Sec. VI-C.
+///
+/// Operation: calibrate on an initial batch, then Observe() each point.
+///  * x > z_q            -> anomaly (not added to the model)
+///  * t < x <= z_q       -> new peak; the GPD refits and z_q updates
+///  * otherwise          -> normal
+class SpotDetector {
+ public:
+  /// `q` is the target anomaly probability (e.g. 1e-4); `calibration` must
+  /// hold >= 10 points with at least 2 exceeding its own `level` quantile
+  /// (default 0.98) which becomes the initial peaks threshold t.
+  static StatusOr<SpotDetector> Calibrate(
+      const std::vector<double>& calibration, double q,
+      double level = 0.98);
+
+  /// Classifies one observation and updates the model.
+  bool Observe(double x);
+
+  /// Current extreme threshold z_q.
+  double threshold() const { return z_q_; }
+  /// Current peaks threshold t.
+  double peaks_threshold() const { return t_; }
+  size_t num_peaks() const { return peaks_.size(); }
+
+ private:
+  SpotDetector() = default;
+
+  void Refit();
+
+  double q_ = 1e-4;
+  double t_ = 0.0;
+  double z_q_ = 0.0;
+  size_t n_ = 0;  // total observations seen (incl. calibration)
+  std::vector<double> peaks_;  // excesses over t_
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_ANOMALY_EVT_H_

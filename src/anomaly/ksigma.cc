@@ -1,0 +1,55 @@
+#include "anomaly/ksigma.h"
+
+#include <cmath>
+
+namespace cdibot {
+
+StatusOr<KSigmaDetector> KSigmaDetector::Create(size_t window, double k) {
+  if (window < 3) {
+    return Status::InvalidArgument("K-Sigma window must be >= 3");
+  }
+  if (!(k > 0.0)) return Status::InvalidArgument("k must be > 0");
+  return KSigmaDetector(window, k);
+}
+
+AnomalyDirection KSigmaDetector::Observe(double x) {
+  ++count_;
+  AnomalyDirection result = AnomalyDirection::kNone;
+  if (buffer_.size() >= window_) {
+    const auto n = static_cast<double>(buffer_.size());
+    const double mean = sum_ / n;
+    const double var = std::max(0.0, sum_sq_ / n - mean * mean);
+    const double sigma = std::sqrt(var);
+    // A flat window (sigma == 0) flags any departure from the constant.
+    const double limit = k_ * sigma;
+    if (x > mean + limit && x != mean) {
+      result = AnomalyDirection::kSpike;
+    } else if (x < mean - limit && x != mean) {
+      result = AnomalyDirection::kDip;
+    }
+  }
+  // Anomalous points still enter the window: a persistent shift becomes the
+  // new normal, which matches how the paper's daily curves are read.
+  buffer_.push_back(x);
+  sum_ += x;
+  sum_sq_ += x * x;
+  if (buffer_.size() > window_) {
+    const double old = buffer_.front();
+    buffer_.pop_front();
+    sum_ -= old;
+    sum_sq_ -= old * old;
+  }
+  return result;
+}
+
+StatusOr<std::vector<AnomalyDirection>> KSigmaScan(
+    const std::vector<double>& series, size_t window, double k) {
+  CDIBOT_ASSIGN_OR_RETURN(KSigmaDetector det,
+                          KSigmaDetector::Create(window, k));
+  std::vector<AnomalyDirection> out;
+  out.reserve(series.size());
+  for (double x : series) out.push_back(det.Observe(x));
+  return out;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,50 @@
+#ifndef CDIBOT_ANOMALY_KSIGMA_H_
+#define CDIBOT_ANOMALY_KSIGMA_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace cdibot {
+
+/// Direction of a detected anomaly. The paper's Case 7 stresses that dips
+/// deserve the same scrutiny as spikes, so detectors report both.
+enum class AnomalyDirection : int { kNone = 0, kSpike = 1, kDip = 2 };
+
+/// Rolling K-Sigma detector (Sec. VI-C): a point is anomalous when it falls
+/// more than k standard deviations from the trailing-window mean. Streaming
+/// interface; the anomalous point itself is excluded from the statistics it
+/// is judged against.
+class KSigmaDetector {
+ public:
+  /// `window` >= 3 trailing points, threshold `k` > 0.
+  static StatusOr<KSigmaDetector> Create(size_t window, double k);
+
+  /// Feeds one observation and returns its classification. The first
+  /// `window` points are calibration and always return kNone.
+  AnomalyDirection Observe(double x);
+
+  /// Number of observations consumed so far.
+  size_t count() const { return count_; }
+
+ private:
+  KSigmaDetector(size_t window, double k) : window_(window), k_(k) {}
+
+  size_t window_;
+  double k_;
+  size_t count_ = 0;
+  std::deque<double> buffer_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Batch convenience: classification of every point of `series` using a
+/// trailing window (points before the window fills are kNone).
+StatusOr<std::vector<AnomalyDirection>> KSigmaScan(
+    const std::vector<double>& series, size_t window, double k);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_ANOMALY_KSIGMA_H_

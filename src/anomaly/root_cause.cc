@@ -1,0 +1,63 @@
+#include "anomaly/root_cause.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdibot {
+namespace {
+
+using SliceKey = std::pair<std::string, std::string>;
+
+void Accumulate(const std::vector<DimensionedRecord>& records,
+                std::map<SliceKey, double>* per_slice, double* total) {
+  for (const DimensionedRecord& rec : records) {
+    *total += rec.measure;
+    for (const auto& [dim, value] : rec.dims) {
+      (*per_slice)[{dim, value}] += rec.measure;
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<RootCauseCandidate>> LocalizeRootCause(
+    const std::vector<DimensionedRecord>& baseline,
+    const std::vector<DimensionedRecord>& anomalous, size_t top_k) {
+  std::map<SliceKey, double> base_slice, anom_slice;
+  double base_total = 0.0, anom_total = 0.0;
+  Accumulate(baseline, &base_slice, &base_total);
+  Accumulate(anomalous, &anom_slice, &anom_total);
+
+  const double total_change = anom_total - base_total;
+  if (std::abs(total_change) < 1e-12) {
+    return Status::FailedPrecondition(
+        "total measure did not change; nothing to localize");
+  }
+
+  // Union of slices seen in either snapshot.
+  std::map<SliceKey, std::pair<double, double>> slices;
+  for (const auto& [key, v] : base_slice) slices[key].first = v;
+  for (const auto& [key, v] : anom_slice) slices[key].second = v;
+
+  std::vector<RootCauseCandidate> candidates;
+  candidates.reserve(slices.size());
+  for (const auto& [key, values] : slices) {
+    const double delta = values.second - values.first;
+    RootCauseCandidate c;
+    c.dimension = key.first;
+    c.value = key.second;
+    c.baseline = values.first;
+    c.anomalous = values.second;
+    c.explanatory_power = delta / total_change;
+    candidates.push_back(std::move(c));
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const RootCauseCandidate& a,
+                      const RootCauseCandidate& b) {
+                     return a.explanatory_power > b.explanatory_power;
+                   });
+  if (candidates.size() > top_k) candidates.resize(top_k);
+  return candidates;
+}
+
+}  // namespace cdibot

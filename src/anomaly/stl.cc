@@ -1,0 +1,130 @@
+#include "anomaly/stl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cdibot {
+
+StatusOr<Decomposition> DecomposeSeries(const std::vector<double>& series,
+                                        size_t period) {
+  if (period < 2) return Status::InvalidArgument("period must be >= 2");
+  if (series.size() < 2 * period) {
+    return Status::InvalidArgument("series must span >= 2 periods");
+  }
+  const size_t n = series.size();
+  Decomposition d;
+  d.trend.resize(n);
+  d.seasonal.resize(n);
+  d.residual.resize(n);
+
+  // Trend: centered moving average of width `period` (split the half-window
+  // for even periods), clamped at the boundaries.
+  const size_t half = period / 2;
+  std::vector<double> prefix(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + series[i];
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= half ? i - half : 0;
+    const size_t hi = std::min(n, i + half + 1);
+    d.trend[i] = (prefix[hi] - prefix[lo]) / static_cast<double>(hi - lo);
+  }
+
+  // Seasonal: per-phase mean of the detrended series, centered to sum to 0.
+  std::vector<double> phase_sum(period, 0.0);
+  std::vector<size_t> phase_count(period, 0);
+  for (size_t i = 0; i < n; ++i) {
+    phase_sum[i % period] += series[i] - d.trend[i];
+    ++phase_count[i % period];
+  }
+  std::vector<double> phase_mean(period, 0.0);
+  double seasonal_mean = 0.0;
+  for (size_t p = 0; p < period; ++p) {
+    phase_mean[p] = phase_sum[p] / static_cast<double>(phase_count[p]);
+    seasonal_mean += phase_mean[p];
+  }
+  seasonal_mean /= static_cast<double>(period);
+  for (size_t p = 0; p < period; ++p) phase_mean[p] -= seasonal_mean;
+
+  for (size_t i = 0; i < n; ++i) {
+    d.seasonal[i] = phase_mean[i % period];
+    d.residual[i] = series[i] - d.trend[i] - d.seasonal[i];
+  }
+  return d;
+}
+
+StatusOr<OnlineStl> OnlineStl::Create(size_t period, double trend_alpha,
+                                      double seasonal_alpha, bool robust,
+                                      double outlier_k) {
+  if (period < 2) return Status::InvalidArgument("period must be >= 2");
+  if (!(trend_alpha > 0.0) || trend_alpha > 1.0) {
+    return Status::InvalidArgument("trend_alpha must be in (0, 1]");
+  }
+  if (!(seasonal_alpha > 0.0) || seasonal_alpha > 1.0) {
+    return Status::InvalidArgument("seasonal_alpha must be in (0, 1]");
+  }
+  if (robust && !(outlier_k > 1.0)) {
+    return Status::InvalidArgument("outlier_k must be > 1 when robust");
+  }
+  return OnlineStl(period, trend_alpha, seasonal_alpha, robust, outlier_k);
+}
+
+bool OnlineStl::IsOutlier(double residual) const {
+  // Need one full period of residual history for a stable scale estimate.
+  if (!robust_ || recent_abs_residuals_.size() < period_) return false;
+  std::vector<double> sorted = recent_abs_residuals_;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double scale = sorted[sorted.size() / 2];
+  // A zero scale means the history is still degenerate (e.g. a constant
+  // series); no basis to call anything an outlier yet.
+  if (scale <= 0.0) return false;
+  return std::abs(residual) > outlier_k_ * scale;
+}
+
+void OnlineStl::RecordResidualScale(double residual) {
+  if (recent_abs_residuals_.size() < period_) {
+    recent_abs_residuals_.push_back(std::abs(residual));
+  } else {
+    recent_abs_residuals_[residual_cursor_] = std::abs(residual);
+    residual_cursor_ = (residual_cursor_ + 1) % period_;
+  }
+}
+
+double OnlineStl::Observe(double x) {
+  const size_t phase = count_ % period_;
+  if (count_ == 0) trend_ = x;
+
+  const double deseason = initialized_[phase] ? x - seasonal_[phase] : x;
+  // Tentative residual against the CURRENT components, before any update.
+  const double tentative_residual =
+      initialized_[phase] ? deseason - trend_ : 0.0;
+
+  if (IsOutlier(tentative_residual)) {
+    // Backtrack: report the anomaly but leave the model untouched so the
+    // outlier neither inflates the trend nor imprints on this phase's
+    // seasonal value.
+    ++outliers_skipped_;
+    ++count_;
+    return tentative_residual;
+  }
+
+  trend_ = trend_alpha_ * deseason + (1.0 - trend_alpha_) * trend_;
+  const double detrended = x - trend_;
+  double residual = 0.0;
+  if (initialized_[phase]) {
+    residual = detrended - seasonal_[phase];
+    seasonal_[phase] = seasonal_alpha_ * detrended +
+                       (1.0 - seasonal_alpha_) * seasonal_[phase];
+    // Only meaningful residuals feed the robust scale: the warm-up zeros
+    // of uninitialized phases would drive the median to 0 and flag every
+    // later point.
+    RecordResidualScale(residual);
+  } else {
+    seasonal_[phase] = detrended;
+    initialized_[phase] = true;
+  }
+  ++count_;
+  return residual;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,88 @@
+#ifndef CDIBOT_ANOMALY_STL_H_
+#define CDIBOT_ANOMALY_STL_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace cdibot {
+
+/// Output of a seasonal-trend decomposition: x = trend + seasonal + residual
+/// componentwise.
+struct Decomposition {
+  std::vector<double> trend;
+  std::vector<double> seasonal;
+  std::vector<double> residual;
+};
+
+/// Lightweight online seasonal-trend decomposition in the spirit of
+/// BacktrackSTL (ref. [27]): a centered moving average supplies the trend, a
+/// per-phase robust mean of the detrended series supplies the seasonal
+/// component, and the residual feeds anomaly detection (EVT/SPOT or
+/// K-Sigma). O(n) time, single pass per component.
+///
+/// Requires period >= 2 and a series of at least two full periods.
+StatusOr<Decomposition> DecomposeSeries(const std::vector<double>& series,
+                                        size_t period);
+
+/// Streaming wrapper: maintains the decomposition state incrementally and
+/// exposes the most recent residual, which is what the metric extractors
+/// monitor. After `Warmup` full periods the residuals become meaningful.
+///
+/// With `robust = true` the update applies BacktrackSTL's key idea
+/// (ref. [27]): a point whose residual is extreme relative to the recent
+/// residual scale is treated as an outlier — its residual is still
+/// reported (so detectors see it) but the trend and seasonal components do
+/// NOT absorb it, so one anomaly cannot contaminate the model and mask or
+/// mirror itself one period later.
+class OnlineStl {
+ public:
+  /// `period` >= 2; `trend_alpha` in (0, 1] controls the EWMA trend;
+  /// robust updates skip points beyond `outlier_k` times the recent median
+  /// absolute residual (outlier_k > 1 when robust).
+  static StatusOr<OnlineStl> Create(size_t period, double trend_alpha = 0.05,
+                                    double seasonal_alpha = 0.1,
+                                    bool robust = false,
+                                    double outlier_k = 8.0);
+
+  /// Feeds one observation; returns its residual (0 during the first
+  /// period while the seasonal profile initializes).
+  double Observe(double x);
+
+  size_t count() const { return count_; }
+  double trend() const { return trend_; }
+  /// Points skipped by the robust update so far.
+  size_t outliers_skipped() const { return outliers_skipped_; }
+
+ private:
+  OnlineStl(size_t period, double trend_alpha, double seasonal_alpha,
+            bool robust, double outlier_k)
+      : period_(period),
+        trend_alpha_(trend_alpha),
+        seasonal_alpha_(seasonal_alpha),
+        robust_(robust),
+        outlier_k_(outlier_k),
+        seasonal_(period, 0.0),
+        initialized_(period, false) {}
+
+  bool IsOutlier(double residual) const;
+  void RecordResidualScale(double residual);
+
+  size_t period_;
+  double trend_alpha_;
+  double seasonal_alpha_;
+  bool robust_;
+  double outlier_k_;
+  size_t count_ = 0;
+  size_t outliers_skipped_ = 0;
+  double trend_ = 0.0;
+  std::vector<double> seasonal_;
+  std::vector<bool> initialized_;
+  /// Recent |residual| ring buffer for the robust scale estimate.
+  std::vector<double> recent_abs_residuals_;
+  size_t residual_cursor_ = 0;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_ANOMALY_STL_H_

@@ -1,0 +1,35 @@
+#include "cdi/aggregate.h"
+
+namespace cdibot {
+
+void CdiAccumulator::Add(Duration service_time, double cdi) {
+  weighted_sum_ += static_cast<double>(service_time.millis()) * cdi;
+  total_service_ms_ += service_time.millis();
+}
+
+void CdiAccumulator::Merge(const CdiAccumulator& other) {
+  weighted_sum_ += other.weighted_sum_;
+  total_service_ms_ += other.total_service_ms_;
+}
+
+double CdiAccumulator::Value() const {
+  if (total_service_ms_ == 0) return 0.0;
+  return weighted_sum_ / static_cast<double>(total_service_ms_);
+}
+
+VmCdi AggregateVmCdi(const std::vector<VmCdi>& vms) {
+  CdiAccumulator u, p, c;
+  Duration total;
+  for (const VmCdi& vm : vms) {
+    u.Add(vm.service_time, vm.unavailability);
+    p.Add(vm.service_time, vm.performance);
+    c.Add(vm.service_time, vm.control_plane);
+    total += vm.service_time;
+  }
+  return VmCdi{.unavailability = u.Value(),
+               .performance = p.Value(),
+               .control_plane = c.Value(),
+               .service_time = total};
+}
+
+}  // namespace cdibot

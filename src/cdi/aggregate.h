@@ -1,0 +1,48 @@
+#ifndef CDIBOT_CDI_AGGREGATE_H_
+#define CDIBOT_CDI_AGGREGATE_H_
+
+#include <vector>
+
+#include "cdi/vm_cdi.h"
+#include "common/statusor.h"
+#include "common/time.h"
+
+namespace cdibot {
+
+/// Service-time-weighted mean of per-VM CDI values — Eq. 4:
+///
+///   Q = sum_i(T_i * Q_i) / sum_i(T_i)
+///
+/// Usable incrementally (the BI drill-down of Sec. V re-aggregates the same
+/// records along different dimensions). Merging two accumulators yields the
+/// same result as accumulating their union.
+class CdiAccumulator {
+ public:
+  CdiAccumulator() = default;
+
+  /// Adds one VM's indicator value with its service time.
+  void Add(Duration service_time, double cdi);
+
+  /// Merges another accumulator into this one.
+  void Merge(const CdiAccumulator& other);
+
+  /// The aggregated Q. Returns 0 when no service time has been added.
+  double Value() const;
+
+  Duration total_service_time() const {
+    return Duration::Millis(total_service_ms_);
+  }
+  bool empty() const { return total_service_ms_ == 0; }
+
+ private:
+  double weighted_sum_ = 0.0;  // sum of T_i (ms) * Q_i
+  int64_t total_service_ms_ = 0;
+};
+
+/// Aggregates full per-VM results into one fleet-level VmCdi via Eq. 4,
+/// applied independently to each sub-metric.
+VmCdi AggregateVmCdi(const std::vector<VmCdi>& vms);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_CDI_AGGREGATE_H_

@@ -1,0 +1,91 @@
+#include "cdi/baselines.h"
+
+#include <algorithm>
+
+namespace cdibot {
+namespace {
+
+constexpr double kMillisPerYear = 365.0 * 86400.0 * 1000.0;
+
+}  // namespace
+
+StatusOr<UnavailabilityStats> ComputeUnavailabilityStats(
+    const std::vector<ResolvedEvent>& events, const Interval& service_period) {
+  if (service_period.empty()) {
+    return Status::InvalidArgument("service period must be non-empty");
+  }
+  std::vector<Interval> episodes;
+  for (const ResolvedEvent& ev : events) {
+    if (ev.category != StabilityCategory::kUnavailability) continue;
+    const Interval clamped = ev.period.ClampTo(service_period);
+    if (!clamped.empty()) episodes.push_back(clamped);
+  }
+  std::sort(episodes.begin(), episodes.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  // Coalesce overlapping or touching intervals: a continuous stretch of
+  // unavailability is one interruption from the customer's point of view.
+  std::vector<Interval> merged;
+  for (const Interval& ep : episodes) {
+    if (!merged.empty() && ep.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, ep.end);
+    } else {
+      merged.push_back(ep);
+    }
+  }
+
+  UnavailabilityStats stats;
+  stats.interruption_count = merged.size();
+  Duration down;
+  for (const Interval& ep : merged) down += ep.length();
+  stats.downtime = down;
+
+  const auto service_ms = static_cast<double>(service_period.length().millis());
+  stats.downtime_percentage =
+      static_cast<double>(down.millis()) / service_ms;
+  stats.annual_interruption_rate =
+      static_cast<double>(merged.size()) * kMillisPerYear / service_ms;
+  stats.mtbf = merged.empty()
+                   ? service_period.length()
+                   : Duration::Millis(service_period.length().millis() /
+                                      static_cast<int64_t>(merged.size()));
+  stats.mttr = merged.empty()
+                   ? Duration::Zero()
+                   : Duration::Millis(down.millis() /
+                                      static_cast<int64_t>(merged.size()));
+  return stats;
+}
+
+UnavailabilityStats AggregateUnavailabilityStats(
+    const std::vector<UnavailabilityStats>& per_vm,
+    const std::vector<Duration>& service_times) {
+  UnavailabilityStats total;
+  Duration service_total;
+  for (size_t i = 0; i < per_vm.size(); ++i) {
+    total.interruption_count += per_vm[i].interruption_count;
+    total.downtime += per_vm[i].downtime;
+    if (i < service_times.size()) service_total += service_times[i];
+  }
+  const auto service_ms = static_cast<double>(service_total.millis());
+  if (service_ms > 0) {
+    total.downtime_percentage =
+        static_cast<double>(total.downtime.millis()) / service_ms;
+    total.annual_interruption_rate =
+        static_cast<double>(total.interruption_count) * kMillisPerYear /
+        service_ms;
+    total.mtbf =
+        total.interruption_count == 0
+            ? service_total
+            : Duration::Millis(service_total.millis() /
+                               static_cast<int64_t>(total.interruption_count));
+    total.mttr =
+        total.interruption_count == 0
+            ? Duration::Zero()
+            : Duration::Millis(total.downtime.millis() /
+                               static_cast<int64_t>(total.interruption_count));
+  }
+  return total;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,48 @@
+#ifndef CDIBOT_CDI_BASELINES_H_
+#define CDIBOT_CDI_BASELINES_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/time.h"
+#include "event/event.h"
+
+namespace cdibot {
+
+/// The traditional unavailability-only metrics CDI is compared against in
+/// Sec. III-A and Fig. 5. All of them look exclusively at unavailability
+/// events, which is exactly why they miss performance and control-plane
+/// damage.
+struct UnavailabilityStats {
+  /// Downtime Percentage: unavailable time / total service time.
+  double downtime_percentage = 0.0;
+  /// Interruption episodes per year of service time (Azure's Annual
+  /// Interruption Rate, ref. [4]: frequency rather than duration).
+  double annual_interruption_rate = 0.0;
+  /// Mean time between failures (service time / episode count); zero
+  /// episodes reports the whole service time.
+  Duration mtbf;
+  /// Mean time to repair (mean episode length); zero when no episodes.
+  Duration mttr;
+  /// Number of merged unavailability episodes.
+  size_t interruption_count = 0;
+  /// Total unavailable time after merging overlaps.
+  Duration downtime;
+};
+
+/// Merges the unavailability events in `events` into disjoint episodes
+/// (overlapping or touching intervals coalesce into one interruption) and
+/// derives the classic metrics over `service_period`. Non-unavailability
+/// events are ignored — by construction, mirroring industry practice.
+StatusOr<UnavailabilityStats> ComputeUnavailabilityStats(
+    const std::vector<ResolvedEvent>& events, const Interval& service_period);
+
+/// Fleet-level aggregation of the classic metrics: durations and episode
+/// counts add; rates re-normalize by total service time.
+UnavailabilityStats AggregateUnavailabilityStats(
+    const std::vector<UnavailabilityStats>& per_vm,
+    const std::vector<Duration>& service_times);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_CDI_BASELINES_H_

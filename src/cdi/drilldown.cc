@@ -1,0 +1,65 @@
+#include "cdi/drilldown.h"
+
+#include <algorithm>
+
+namespace cdibot {
+
+std::vector<GroupCdi> DrillDownBy(const std::vector<VmCdiRecord>& records,
+                                  const std::string& dimension) {
+  struct Accums {
+    CdiAccumulator u, p, c;
+    Duration service;
+    size_t count = 0;
+  };
+  std::map<std::string, Accums> groups;
+  for (const VmCdiRecord& rec : records) {
+    auto it = rec.dims.find(dimension);
+    const std::string key = it == rec.dims.end() ? "" : it->second;
+    Accums& acc = groups[key];
+    acc.u.Add(rec.cdi.service_time, rec.cdi.unavailability);
+    acc.p.Add(rec.cdi.service_time, rec.cdi.performance);
+    acc.c.Add(rec.cdi.service_time, rec.cdi.control_plane);
+    acc.service += rec.cdi.service_time;
+    ++acc.count;
+  }
+  std::vector<GroupCdi> out;
+  out.reserve(groups.size());
+  for (const auto& [key, acc] : groups) {
+    out.push_back(GroupCdi{
+        .key = key,
+        .cdi = VmCdi{.unavailability = acc.u.Value(),
+                     .performance = acc.p.Value(),
+                     .control_plane = acc.c.Value(),
+                     .service_time = acc.service},
+        .vm_count = acc.count});
+  }
+  return out;  // std::map iteration is already key-sorted
+}
+
+StatusOr<std::map<std::string, double>> EventLevelCdi(
+    const std::vector<EventCdiRecord>& records, Duration fleet_service_time) {
+  if (fleet_service_time.millis() <= 0) {
+    return Status::InvalidArgument("fleet service time must be positive");
+  }
+  const double service_minutes = fleet_service_time.minutes();
+  std::map<std::string, double> out;
+  for (const EventCdiRecord& rec : records) {
+    out[rec.event_name] += rec.damage_minutes / service_minutes;
+  }
+  return out;
+}
+
+StatusOr<double> EventLevelCdiFor(const std::vector<EventCdiRecord>& records,
+                                  const std::string& event_name,
+                                  Duration fleet_service_time) {
+  if (fleet_service_time.millis() <= 0) {
+    return Status::InvalidArgument("fleet service time must be positive");
+  }
+  double damage = 0.0;
+  for (const EventCdiRecord& rec : records) {
+    if (rec.event_name == event_name) damage += rec.damage_minutes;
+  }
+  return damage / fleet_service_time.minutes();
+}
+
+}  // namespace cdibot

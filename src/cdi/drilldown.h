@@ -1,0 +1,67 @@
+#ifndef CDIBOT_CDI_DRILLDOWN_H_
+#define CDIBOT_CDI_DRILLDOWN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cdi/aggregate.h"
+#include "cdi/vm_cdi.h"
+#include "common/statusor.h"
+
+namespace cdibot {
+
+/// Per-VM output row of the daily CDI job (first MaxCompute table of
+/// Sec. V): the three indicators, the service time, and the VM's placement
+/// dimensions for BI drill-down (region, availability zone, cluster, NC,
+/// deployment architecture, ...).
+struct VmCdiRecord {
+  std::string vm_id;
+  std::map<std::string, std::string> dims;
+  VmCdi cdi;
+};
+
+/// Per-(VM, event-name) output row (second table of Sec. V): the damage an
+/// event name contributed on one VM. Event-level CDI curves (Sec. VI-C)
+/// re-aggregate these rows.
+struct EventCdiRecord {
+  std::string vm_id;
+  std::string event_name;
+  StabilityCategory category = StabilityCategory::kPerformance;
+  /// Max-overlap weighted damage of this event name on this VM, in minutes.
+  double damage_minutes = 0.0;
+  /// The VM's service time (denominator for event-level CDI).
+  Duration service_time;
+  std::map<std::string, std::string> dims;
+};
+
+/// One drill-down group: the dimension value and its Eq.-4 aggregate.
+struct GroupCdi {
+  std::string key;
+  VmCdi cdi;
+  size_t vm_count = 0;
+};
+
+/// Aggregates per-VM records along one placement dimension (Sec. V: "drill
+/// down to the region, availability zone, or even the cluster level").
+/// Records missing the dimension group under "". Output sorted by key.
+std::vector<GroupCdi> DrillDownBy(const std::vector<VmCdiRecord>& records,
+                                  const std::string& dimension);
+
+/// Event-level CDI per event name (Sec. VI-C: Algorithm 1 with the input
+/// narrowed to specific events, aggregated with Eq. 4 over the whole
+/// fleet): total damage of the event divided by `fleet_service_time`, the
+/// summed service time of ALL evaluated VMs — unaffected VMs contribute
+/// zero damage but full service time, exactly as in the paper's drill-down
+/// curves. Requires a positive fleet service time.
+StatusOr<std::map<std::string, double>> EventLevelCdi(
+    const std::vector<EventCdiRecord>& records, Duration fleet_service_time);
+
+/// Event-level CDI restricted to one event name; 0 when absent.
+StatusOr<double> EventLevelCdiFor(const std::vector<EventCdiRecord>& records,
+                                  const std::string& event_name,
+                                  Duration fleet_service_time);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_CDI_DRILLDOWN_H_

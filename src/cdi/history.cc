@@ -1,0 +1,86 @@
+#include "cdi/history.h"
+
+#include "stats/descriptive.h"
+
+namespace cdibot {
+
+Status CdiHistory::Append(TimePoint day, const VmCdi& fleet_cdi) {
+  if (!days_.empty() && !(days_.back() < day)) {
+    return Status::InvalidArgument(
+        "days must be appended in strictly increasing order");
+  }
+  days_.push_back(day);
+  values_.push_back(fleet_cdi);
+  return Status::OK();
+}
+
+Status CdiHistory::ExcludeDay(TimePoint day) {
+  for (const TimePoint& d : days_) {
+    if (d == day) {
+      excluded_.insert(day.millis());
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("day not in history: " + day.ToDateString());
+}
+
+StatusOr<VmCdi> CdiHistory::At(TimePoint day) const {
+  for (size_t i = 0; i < days_.size(); ++i) {
+    if (days_[i] == day) return values_[i];
+  }
+  return Status::NotFound("day not in history: " + day.ToDateString());
+}
+
+std::vector<double> CdiHistory::FilteredSeries(
+    StabilityCategory category) const {
+  std::vector<double> out;
+  out.reserve(values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (excluded_.count(days_[i].millis()) > 0) continue;
+    out.push_back(values_[i].ForCategory(category));
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> CdiHistory::SmoothedSeries(
+    StabilityCategory category, double alpha) const {
+  return stats::Ewma(FilteredSeries(category), alpha);
+}
+
+StatusOr<CdiReduction> CdiHistory::ReductionBetween(size_t head_days,
+                                                    size_t tail_days) const {
+  if (head_days == 0 || tail_days == 0) {
+    return Status::InvalidArgument("window sizes must be >= 1");
+  }
+  const std::vector<double> u =
+      FilteredSeries(StabilityCategory::kUnavailability);
+  if (u.size() < head_days + tail_days) {
+    return Status::FailedPrecondition(
+        "history shorter than head + tail windows");
+  }
+  auto reduction_of = [&](StabilityCategory category) -> StatusOr<double> {
+    const std::vector<double> series = FilteredSeries(category);
+    double head = 0.0, tail = 0.0;
+    for (size_t i = 0; i < head_days; ++i) head += series[i];
+    for (size_t i = series.size() - tail_days; i < series.size(); ++i) {
+      tail += series[i];
+    }
+    head /= static_cast<double>(head_days);
+    tail /= static_cast<double>(tail_days);
+    if (!(head > 0.0)) {
+      return Status::FailedPrecondition(
+          "head-window level is zero; reduction undefined");
+    }
+    return 1.0 - tail / head;
+  };
+  CdiReduction out;
+  CDIBOT_ASSIGN_OR_RETURN(out.unavailability,
+                          reduction_of(StabilityCategory::kUnavailability));
+  CDIBOT_ASSIGN_OR_RETURN(out.performance,
+                          reduction_of(StabilityCategory::kPerformance));
+  CDIBOT_ASSIGN_OR_RETURN(out.control_plane,
+                          reduction_of(StabilityCategory::kControlPlane));
+  return out;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,65 @@
+#ifndef CDIBOT_CDI_HISTORY_H_
+#define CDIBOT_CDI_HISTORY_H_
+
+#include <set>
+#include <vector>
+
+#include "cdi/vm_cdi.h"
+#include "common/statusor.h"
+
+namespace cdibot {
+
+/// Per-category reduction between two periods, as fractions in (-inf, 1]:
+/// 0.4 means "40% lower" (Case 4's headline numbers).
+struct CdiReduction {
+  double unavailability = 0.0;
+  double performance = 0.0;
+  double control_plane = 0.0;
+};
+
+/// CdiHistory is the longitudinal store behind Fig. 6 / Case 4: one fleet
+/// CDI record per evaluation day, appended chronologically, with incident
+/// days excludable from trend computations (the paper's annual curve "has
+/// been adjusted to exclude the impact of particularly significant
+/// incidents").
+class CdiHistory {
+ public:
+  CdiHistory() = default;
+
+  /// Appends one day's fleet CDI. Days must be strictly increasing.
+  Status Append(TimePoint day, const VmCdi& fleet_cdi);
+
+  size_t size() const { return days_.size(); }
+  bool empty() const { return days_.empty(); }
+
+  /// Marks a day as an excluded incident day (it stays stored but is
+  /// skipped by SmoothedSeries and ReductionBetween). NotFound for days
+  /// never appended.
+  Status ExcludeDay(TimePoint day);
+
+  /// The fleet CDI recorded for `day`. NotFound if absent.
+  StatusOr<VmCdi> At(TimePoint day) const;
+
+  /// The non-excluded daily values of one sub-metric, EWMA-smoothed with
+  /// `alpha` (the paper displays smoothed annual curves). alpha in (0, 1].
+  StatusOr<std::vector<double>> SmoothedSeries(StabilityCategory category,
+                                               double alpha = 0.1) const;
+
+  /// Case 4's computation: per-category reduction of the mean level of the
+  /// last `tail_days` non-excluded days relative to the first `head_days`
+  /// non-excluded days. Requires both windows non-empty and a positive
+  /// head level in each category.
+  StatusOr<CdiReduction> ReductionBetween(size_t head_days,
+                                          size_t tail_days) const;
+
+ private:
+  std::vector<double> FilteredSeries(StabilityCategory category) const;
+
+  std::vector<TimePoint> days_;
+  std::vector<VmCdi> values_;
+  std::set<int64_t> excluded_;  // day millis
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_CDI_HISTORY_H_

@@ -1,0 +1,91 @@
+#include "cdi/monitor.h"
+
+#include "cdi/drilldown.h"
+
+namespace cdibot {
+
+StatusOr<CdiMonitor> CdiMonitor::Create(Options options) {
+  if (options.window < 3) {
+    return Status::InvalidArgument("window must be >= 3");
+  }
+  if (!(options.k > 0.0)) return Status::InvalidArgument("k must be > 0");
+  if (options.top_k_causes < 1) {
+    return Status::InvalidArgument("top_k_causes must be >= 1");
+  }
+  return CdiMonitor(options);
+}
+
+StatusOr<std::vector<PotentialProblem>> CdiMonitor::IngestDay(
+    TimePoint day, const DailyCdiResult& result) {
+  // Today's event-level CDI values and dimensioned damage.
+  auto today_or = EventLevelCdi(result.per_event, result.fleet_service_time);
+  if (!today_or.ok()) return today_or.status();
+  const std::map<std::string, double>& today = today_or.value();
+  std::map<std::string, std::vector<DimensionedRecord>> today_damage;
+  for (const EventCdiRecord& rec : result.per_event) {
+    today_damage[rec.event_name].push_back(
+        DimensionedRecord{.dims = rec.dims, .measure = rec.damage_minutes});
+  }
+
+  // New event names start a curve backfilled with the zeros of the days
+  // before the event first appeared, so their baseline is correct.
+  for (const auto& [name, value] : today) {
+    if (curves_.count(name) > 0) continue;
+    CDIBOT_ASSIGN_OR_RETURN(KSigmaDetector det,
+                            KSigmaDetector::Create(options_.window,
+                                                   options_.k));
+    Curve curve{.series = {}, .detector = std::move(det)};
+    for (size_t d = 0; d < days_; ++d) {
+      curve.series.push_back(0.0);
+      (void)curve.detector.Observe(0.0);
+    }
+    curves_.emplace(name, std::move(curve));
+  }
+
+  std::vector<PotentialProblem> problems;
+  for (auto& [name, curve] : curves_) {
+    const auto it = today.find(name);
+    const double value = it == today.end() ? 0.0 : it->second;
+    // Baseline before observing today's point.
+    double baseline = 0.0;
+    if (!curve.series.empty()) {
+      const size_t w = std::min(options_.window, curve.series.size());
+      for (size_t i = curve.series.size() - w; i < curve.series.size(); ++i) {
+        baseline += curve.series[i];
+      }
+      baseline /= static_cast<double>(w);
+    }
+    const AnomalyDirection direction = curve.detector.Observe(value);
+    curve.series.push_back(value);
+    if (direction == AnomalyDirection::kNone) continue;
+
+    PotentialProblem problem;
+    problem.day = day;
+    problem.event_name = name;
+    problem.direction = direction;
+    problem.value = value;
+    problem.baseline = baseline;
+    // Localize against yesterday's damage distribution; a failed
+    // localization (e.g. no change in the dimensioned measure) simply
+    // leaves the candidate list empty.
+    auto prev_it = previous_damage_.find(name);
+    const std::vector<DimensionedRecord> empty;
+    auto causes = LocalizeRootCause(
+        prev_it == previous_damage_.end() ? empty : prev_it->second,
+        today_damage.count(name) > 0 ? today_damage[name] : empty,
+        options_.top_k_causes);
+    if (causes.ok()) problem.root_causes = std::move(causes).value();
+    problems.push_back(std::move(problem));
+  }
+
+  previous_damage_ = std::move(today_damage);
+  ++days_;
+  return problems;
+}
+
+std::vector<double> CdiMonitor::SeriesFor(const std::string& event_name) const {
+  auto it = curves_.find(event_name);
+  return it == curves_.end() ? std::vector<double>{} : it->second.series;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,76 @@
+#ifndef CDIBOT_CDI_MONITOR_H_
+#define CDIBOT_CDI_MONITOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "anomaly/ksigma.h"
+#include "anomaly/root_cause.h"
+#include "cdi/pipeline.h"
+#include "common/statusor.h"
+
+namespace cdibot {
+
+/// A potential problem surfaced by the monitor: one event-level CDI curve
+/// moved sharply (Sec. VI-C — spikes AND dips both warrant investigation),
+/// with root-cause candidates to aim the investigation.
+struct PotentialProblem {
+  TimePoint day;
+  std::string event_name;
+  AnomalyDirection direction = AnomalyDirection::kNone;
+  /// Today's event-level CDI and the trailing-window mean it broke from.
+  double value = 0.0;
+  double baseline = 0.0;
+  /// (dimension, value) slices explaining the change, best first.
+  std::vector<RootCauseCandidate> root_causes;
+};
+
+/// CdiMonitor is the daily watchdog of Sec. VI-C: it ingests each day's
+/// DailyCdiResult, maintains the event-level drill-down curves, flags
+/// sudden spikes or dips with K-Sigma, and localizes each flag to the
+/// placement dimensions (region / az / cluster / arch / model) whose damage
+/// moved the most against the previous day.
+class CdiMonitor {
+ public:
+  struct Options {
+    /// Trailing window (days) for the per-curve detector. >= 3.
+    size_t window = 7;
+    /// K-Sigma threshold.
+    double k = 3.0;
+    /// Root-cause candidates reported per problem.
+    size_t top_k_causes = 3;
+  };
+
+  static StatusOr<CdiMonitor> Create(Options options);
+  static StatusOr<CdiMonitor> Create() { return Create(Options()); }
+
+  /// Ingests one day's job output; returns the problems detected that day.
+  /// Days must be ingested in chronological order.
+  StatusOr<std::vector<PotentialProblem>> IngestDay(
+      TimePoint day, const DailyCdiResult& result);
+
+  /// The stored event-level CDI series for one event (ingestion order);
+  /// empty if the event has produced no damage yet.
+  std::vector<double> SeriesFor(const std::string& event_name) const;
+
+  size_t days_ingested() const { return days_; }
+
+ private:
+  explicit CdiMonitor(Options options) : options_(options) {}
+
+  struct Curve {
+    std::vector<double> series;
+    KSigmaDetector detector;
+  };
+
+  Options options_;
+  size_t days_ = 0;
+  std::map<std::string, Curve> curves_;
+  // Yesterday's per-event dimensioned damage, for root-cause deltas.
+  std::map<std::string, std::vector<DimensionedRecord>> previous_damage_;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_CDI_MONITOR_H_

@@ -1,0 +1,169 @@
+#include "cdi/pipeline.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "cdi/indicator.h"
+#include "cdi/vm_cdi.h"
+#include "common/strings.h"
+
+namespace cdibot {
+
+dataflow::Table DailyCdiResult::ToVmTable() const {
+  using dataflow::Field;
+  using dataflow::Value;
+  using dataflow::ValueType;
+  dataflow::Table table(dataflow::Schema(
+      {Field{"vm_id", ValueType::kString}, Field{"region", ValueType::kString},
+       Field{"az", ValueType::kString}, Field{"cluster", ValueType::kString},
+       Field{"cdi_u", ValueType::kDouble}, Field{"cdi_p", ValueType::kDouble},
+       Field{"cdi_c", ValueType::kDouble},
+       Field{"service_minutes", ValueType::kDouble}}));
+  auto dim = [](const VmCdiRecord& rec, const char* key) {
+    auto it = rec.dims.find(key);
+    return it == rec.dims.end() ? std::string() : it->second;
+  };
+  for (const VmCdiRecord& rec : per_vm) {
+    table.AppendUnchecked(
+        {Value(rec.vm_id), Value(dim(rec, "region")), Value(dim(rec, "az")),
+         Value(dim(rec, "cluster")), Value(rec.cdi.unavailability),
+         Value(rec.cdi.performance), Value(rec.cdi.control_plane),
+         Value(rec.cdi.service_time.minutes())});
+  }
+  return table;
+}
+
+dataflow::Table DailyCdiResult::ToEventTable() const {
+  using dataflow::Field;
+  using dataflow::Value;
+  using dataflow::ValueType;
+  dataflow::Table table(dataflow::Schema(
+      {Field{"vm_id", ValueType::kString}, Field{"event", ValueType::kString},
+       Field{"category", ValueType::kString},
+       Field{"damage_minutes", ValueType::kDouble},
+       Field{"service_minutes", ValueType::kDouble}}));
+  for (const EventCdiRecord& rec : per_event) {
+    table.AppendUnchecked(
+        {Value(rec.vm_id), Value(rec.event_name),
+         Value(std::string(StabilityCategoryToString(rec.category))),
+         Value(rec.damage_minutes), Value(rec.service_time.minutes())});
+  }
+  return table;
+}
+
+StatusOr<DailyCdiResult> DailyCdiJob::Run(
+    const std::vector<VmServiceInfo>& vms, const Interval& day) const {
+  if (day.empty()) {
+    return Status::InvalidArgument("evaluation window must be non-empty");
+  }
+  PeriodResolver resolver(catalog_);
+
+  struct VmOutput {
+    VmCdiRecord record;
+    std::vector<EventCdiRecord> events;
+    UnavailabilityStats baseline;
+    ResolveStats resolve_stats;
+    bool skipped = false;
+  };
+  std::vector<VmOutput> outputs(vms.size());
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  Status first_error;
+
+  auto process_vm = [&](size_t i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    const VmServiceInfo& vm = vms[i];
+    VmOutput& out = outputs[i];
+    const Interval service = vm.service_period.ClampTo(day);
+    if (service.empty()) {
+      out.skipped = true;
+      return;
+    }
+    auto fail = [&](const Status& st) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) {
+        first_error = Status::Internal("vm " + vm.vm_id + ": " +
+                                       st.ToString());
+      }
+      failed.store(true, std::memory_order_relaxed);
+    };
+
+    // Events extracted up to one day past the window can still describe
+    // periods inside it (stateless events trace backward); the clamp below
+    // discards anything outside the service window.
+    const Interval search(service.start - Duration::Days(1),
+                          service.end + Duration::Days(1));
+    std::vector<RawEvent> raw = log_->SearchTarget(search, vm.vm_id);
+
+    auto resolved_or = resolver.Resolve(std::move(raw), service,
+                                        &out.resolve_stats);
+    if (!resolved_or.ok()) return fail(resolved_or.status());
+    const std::vector<ResolvedEvent>& resolved = resolved_or.value();
+
+    auto weighted_or = AttachWeights(resolved, *weights_);
+    if (!weighted_or.ok()) return fail(weighted_or.status());
+    const std::vector<WeightedEvent>& weighted = weighted_or.value();
+
+    auto cdi_or = ComputeVmCdi(weighted, service);
+    if (!cdi_or.ok()) return fail(cdi_or.status());
+    out.record =
+        VmCdiRecord{.vm_id = vm.vm_id, .dims = vm.dims, .cdi = cdi_or.value()};
+
+    auto baseline_or = ComputeUnavailabilityStats(resolved, service);
+    if (!baseline_or.ok()) return fail(baseline_or.status());
+    out.baseline = baseline_or.value();
+
+    // Event-level rows: damage of each event name in isolation.
+    std::map<std::string, std::vector<WeightedEvent>> by_name;
+    for (const WeightedEvent& ev : weighted) by_name[ev.name].push_back(ev);
+    for (const auto& [name, evs] : by_name) {
+      auto damage_or = ComputeDamageMinutes(evs, service);
+      if (!damage_or.ok()) return fail(damage_or.status());
+      if (damage_or.value() <= 0.0) continue;
+      out.events.push_back(
+          EventCdiRecord{.vm_id = vm.vm_id,
+                         .event_name = name,
+                         .category = evs.front().category,
+                         .damage_minutes = damage_or.value(),
+                         .service_time = service.length(),
+                         .dims = vm.dims});
+    }
+  };
+
+  if (ctx_.pool != nullptr && vms.size() > 1) {
+    ctx_.pool->ParallelFor(vms.size(), process_vm);
+  } else {
+    for (size_t i = 0; i < vms.size(); ++i) process_vm(i);
+  }
+  if (failed.load()) return first_error;
+
+  DailyCdiResult result;
+  std::vector<VmCdi> all_cdi;
+  std::vector<UnavailabilityStats> all_baselines;
+  std::vector<Duration> all_service;
+  for (VmOutput& out : outputs) {
+    if (out.skipped) continue;
+    all_cdi.push_back(out.record.cdi);
+    all_baselines.push_back(out.baseline);
+    all_service.push_back(out.record.cdi.service_time);
+    result.fleet_service_time += out.record.cdi.service_time;
+    result.resolve_stats.resolved += out.resolve_stats.resolved;
+    result.resolve_stats.unknown_dropped += out.resolve_stats.unknown_dropped;
+    result.resolve_stats.duplicate_details_dropped +=
+        out.resolve_stats.duplicate_details_dropped;
+    result.resolve_stats.dangling_end_dropped +=
+        out.resolve_stats.dangling_end_dropped;
+    result.resolve_stats.unpaired_start_closed +=
+        out.resolve_stats.unpaired_start_closed;
+    result.per_vm.push_back(std::move(out.record));
+    for (EventCdiRecord& rec : out.events) {
+      result.per_event.push_back(std::move(rec));
+    }
+  }
+  result.fleet = AggregateVmCdi(all_cdi);
+  result.fleet_baseline =
+      AggregateUnavailabilityStats(all_baselines, all_service);
+  return result;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,78 @@
+#ifndef CDIBOT_CDI_PIPELINE_H_
+#define CDIBOT_CDI_PIPELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cdi/baselines.h"
+#include "cdi/drilldown.h"
+#include "common/statusor.h"
+#include "dataflow/engine.h"
+#include "event/catalog.h"
+#include "event/period_resolver.h"
+#include "storage/event_log.h"
+#include "weights/event_weights.h"
+
+namespace cdibot {
+
+/// Per-VM input to the daily job: identity, placement dimensions, and the
+/// VM's service window within the evaluation day (VMs created or released
+/// mid-day have partial windows).
+struct VmServiceInfo {
+  std::string vm_id;
+  std::map<std::string, std::string> dims;
+  Interval service_period;
+};
+
+/// Full output of one daily CDI computation — the two MaxCompute tables of
+/// Sec. V plus fleet-level aggregates and the classic baselines for
+/// comparison.
+struct DailyCdiResult {
+  /// First table: one row per VM.
+  std::vector<VmCdiRecord> per_vm;
+  /// Second table: one row per (VM, event name) with damage.
+  std::vector<EventCdiRecord> per_event;
+  /// Eq.-4 aggregate over every VM.
+  VmCdi fleet;
+  /// Downtime Percentage / AIR / MTBF / MTTR over the same inputs.
+  UnavailabilityStats fleet_baseline;
+  /// Total service time across the fleet (denominator for event-level CDI).
+  Duration fleet_service_time;
+  /// Data-quality counters from period resolution.
+  ResolveStats resolve_stats;
+
+  /// Exports per_vm as a table (vm_id, region, az, cluster, cdi_u, cdi_p,
+  /// cdi_c, service_minutes) for the BI layer.
+  dataflow::Table ToVmTable() const;
+  /// Exports per_event as a table (vm_id, event, category, damage_minutes,
+  /// service_minutes).
+  dataflow::Table ToEventTable() const;
+};
+
+/// The daily CDI job of Sec. V: reads raw events from the event log, resolves
+/// periods, attaches weights, runs Algorithm 1 per VM and category, and
+/// emits the two result tables. VM computations run in parallel on the
+/// ExecContext's pool (the Spark-executor stand-in).
+class DailyCdiJob {
+ public:
+  /// All referenced objects must outlive the job.
+  DailyCdiJob(const EventLog* log, const EventCatalog* catalog,
+              const EventWeightModel* weights, dataflow::ExecContext ctx)
+      : log_(log), catalog_(catalog), weights_(weights), ctx_(ctx) {}
+
+  /// Runs the job for `vms` over the evaluation window `day` (typically one
+  /// UTC day; any window works). Service periods are clamped into `day`.
+  StatusOr<DailyCdiResult> Run(const std::vector<VmServiceInfo>& vms,
+                               const Interval& day) const;
+
+ private:
+  const EventLog* log_;
+  const EventCatalog* catalog_;
+  const EventWeightModel* weights_;
+  dataflow::ExecContext ctx_;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_CDI_PIPELINE_H_

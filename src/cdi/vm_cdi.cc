@@ -1,0 +1,56 @@
+#include "cdi/vm_cdi.h"
+
+#include "cdi/indicator.h"
+
+namespace cdibot {
+
+StatusOr<std::vector<WeightedEvent>> AttachWeights(
+    const std::vector<ResolvedEvent>& events, const EventWeightModel& model) {
+  std::vector<WeightedEvent> out;
+  out.reserve(events.size());
+  for (const ResolvedEvent& ev : events) {
+    CDIBOT_ASSIGN_OR_RETURN(const double w, model.WeightFor(ev));
+    out.push_back(WeightedEvent{.period = ev.period,
+                                .weight = w,
+                                .name = ev.name,
+                                .target = ev.target,
+                                .category = ev.category});
+  }
+  return out;
+}
+
+StatusOr<VmCdi> ComputeVmCdi(const std::vector<WeightedEvent>& events,
+                             const Interval& service_period) {
+  if (service_period.empty()) {
+    return Status::InvalidArgument("service period must be non-empty");
+  }
+  std::vector<WeightedEvent> by_cat[kNumStabilityCategories];
+  for (const WeightedEvent& ev : events) {
+    by_cat[static_cast<int>(ev.category)].push_back(ev);
+  }
+  VmCdi result;
+  result.service_time = service_period.length();
+  CDIBOT_ASSIGN_OR_RETURN(
+      result.unavailability,
+      ComputeCdi(by_cat[static_cast<int>(StabilityCategory::kUnavailability)],
+                 service_period));
+  CDIBOT_ASSIGN_OR_RETURN(
+      result.performance,
+      ComputeCdi(by_cat[static_cast<int>(StabilityCategory::kPerformance)],
+                 service_period));
+  CDIBOT_ASSIGN_OR_RETURN(
+      result.control_plane,
+      ComputeCdi(by_cat[static_cast<int>(StabilityCategory::kControlPlane)],
+                 service_period));
+  return result;
+}
+
+StatusOr<VmCdi> ComputeVmCdi(const std::vector<ResolvedEvent>& events,
+                             const EventWeightModel& model,
+                             const Interval& service_period) {
+  CDIBOT_ASSIGN_OR_RETURN(const std::vector<WeightedEvent> weighted,
+                          AttachWeights(events, model));
+  return ComputeVmCdi(weighted, service_period);
+}
+
+}  // namespace cdibot

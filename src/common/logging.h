@@ -1,0 +1,66 @@
+#ifndef CDIBOT_COMMON_LOGGING_H_
+#define CDIBOT_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cdibot {
+
+/// Severity levels for diagnostic logging, lowest to highest.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log verbosity; messages below this level are dropped. Defaults to
+/// kWarning so tests and benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style message builder used by the CDIBOT_LOG macro; emits on
+/// destruction. Fatal messages abort the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define CDIBOT_LOG(level)                                              \
+  ::cdibot::internal_logging::LogMessage(::cdibot::LogLevel::k##level, \
+                                         __FILE__, __LINE__)
+
+/// Invariant check: always on (not compiled out in release builds), aborts
+/// with a message on failure. Use for programmer errors, not user input.
+#define CDIBOT_CHECK(cond)                                                   \
+  if (!(cond))                                                               \
+  ::cdibot::internal_logging::LogMessage(::cdibot::LogLevel::kError,         \
+                                         __FILE__, __LINE__, /*fatal=*/true) \
+      << "CHECK failed: " #cond " "
+
+#define CDIBOT_CHECK_OK(status_expr)                          \
+  do {                                                        \
+    const ::cdibot::Status _st = (status_expr);               \
+    CDIBOT_CHECK(_st.ok()) << _st.ToString();                 \
+  } while (false)
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_COMMON_LOGGING_H_

@@ -1,0 +1,142 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cdibot {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextUint64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = NextUint64();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::Exponential(double rate) {
+  assert(rate > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return -std::log(u) / rate;
+}
+
+int64_t Rng::Poisson(double mean) {
+  if (mean <= 0) return 0;
+  if (mean > 30.0) {
+    // Normal approximation with continuity correction.
+    const double v = Normal(mean, std::sqrt(mean));
+    return v < 0 ? 0 : static_cast<int64_t>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double prod = NextDouble();
+  int64_t n = 0;
+  while (prod > limit) {
+    prod *= NextDouble();
+    ++n;
+  }
+  return n;
+}
+
+double Rng::Pareto(double xm, double alpha) {
+  assert(xm > 0 && alpha > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) {
+    return static_cast<size_t>(
+        UniformInt(0, static_cast<int64_t>(weights.size()) - 1));
+  }
+  double x = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,78 @@
+#ifndef CDIBOT_COMMON_RNG_H_
+#define CDIBOT_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cdibot {
+
+/// Deterministic pseudo-random generator (xoshiro256**) with the sampling
+/// helpers the simulator and A/B framework need. All randomness in the
+/// library flows through explicitly seeded Rng instances so every experiment
+/// is reproducible bit-for-bit.
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 so nearby seeds give unrelated streams.
+  explicit Rng(uint64_t seed);
+
+  /// A new Rng whose stream is independent of this one (useful for giving
+  /// each simulated entity its own generator).
+  Rng Fork();
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box–Muller (cached pair).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double Exponential(double rate);
+
+  /// Poisson-distributed count with the given mean. Uses inversion for small
+  /// means and a normal approximation above 30 (adequate for workload
+  /// generation).
+  int64_t Poisson(double mean);
+
+  /// Pareto (heavy-tailed) sample with scale xm > 0 and shape alpha > 0.
+  double Pareto(double xm, double alpha);
+
+  /// LogNormal sample where the underlying normal has (mu, sigma).
+  double LogNormal(double mu, double sigma);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Zero-total weights fall back to uniform. Requires non-empty weights
+  /// with no negative entries.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_COMMON_RNG_H_

@@ -1,0 +1,91 @@
+#ifndef CDIBOT_COMMON_STATUSOR_H_
+#define CDIBOT_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cdibot {
+
+/// StatusOr<T> holds either a value of type T or a non-OK Status explaining
+/// why the value is absent. It is the return type for fallible functions that
+/// produce a value:
+///
+///   StatusOr<double> q = ComputeCdi(events, period);
+///   if (!q.ok()) return q.status();
+///   Use(q.value());
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit so `return status;` works).
+  /// Constructing from an OK status is a logic error and is converted to an
+  /// Internal error to keep the invariant "no value implies !ok()".
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Unwraps a StatusOr into `lhs`, returning the error to the caller on
+/// failure. `lhs` must be a declaration or assignable expression:
+///   CDIBOT_ASSIGN_OR_RETURN(auto table, LoadTable(name));
+#define CDIBOT_ASSIGN_OR_RETURN(lhs, expr)              \
+  CDIBOT_ASSIGN_OR_RETURN_IMPL_(                        \
+      CDIBOT_STATUS_CONCAT_(_status_or_, __LINE__), lhs, expr)
+
+#define CDIBOT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)   \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define CDIBOT_STATUS_CONCAT_(a, b) CDIBOT_STATUS_CONCAT_IMPL_(a, b)
+#define CDIBOT_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_COMMON_STATUSOR_H_

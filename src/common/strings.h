@@ -1,0 +1,34 @@
+#ifndef CDIBOT_COMMON_STRINGS_H_
+#define CDIBOT_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdibot {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `text` at every occurrence of `sep`; empty pieces are kept so that
+/// Join(Split(x)) round-trips.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `pieces` with `sep` between them.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+/// Lowercases ASCII characters.
+std::string StrToLower(std::string_view text);
+
+/// True if `text` contains `needle`.
+bool StrContains(std::string_view text, std::string_view needle);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_COMMON_STRINGS_H_

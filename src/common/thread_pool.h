@@ -1,0 +1,62 @@
+#ifndef CDIBOT_COMMON_THREAD_POOL_H_
+#define CDIBOT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cdibot {
+
+/// Fixed-size worker pool backing the dataflow engine's parallel operators.
+/// Tasks are closures; Submit returns a future. The pool drains and joins in
+/// its destructor, so a ThreadPool must outlive all work submitted to it.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn`; the returned future resolves with its result.
+  template <typename Fn>
+  auto Submit(Fn fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all
+  /// iterations finish. Iterations are chunked to limit task overhead.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// A process-wide default pool sized to the hardware concurrency. Intended
+/// for benches and examples; library code takes an explicit pool.
+ThreadPool& DefaultThreadPool();
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_COMMON_THREAD_POOL_H_

@@ -1,0 +1,150 @@
+#ifndef CDIBOT_COMMON_TIME_H_
+#define CDIBOT_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/statusor.h"
+
+namespace cdibot {
+
+/// Duration is a signed span of time with millisecond resolution. All event
+/// periods, expire intervals, and service times in the library use this type
+/// so unit mix-ups (seconds vs minutes) are caught at the type level.
+class Duration {
+ public:
+  constexpr Duration() : ms_(0) {}
+
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms); }
+  static constexpr Duration Seconds(int64_t s) { return Duration(s * 1000); }
+  static constexpr Duration Minutes(int64_t m) {
+    return Duration(m * 60 * 1000);
+  }
+  static constexpr Duration Hours(int64_t h) {
+    return Duration(h * 3600 * 1000);
+  }
+  static constexpr Duration Days(int64_t d) {
+    return Duration(d * 86400 * 1000);
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr int64_t millis() const { return ms_; }
+  constexpr double seconds() const { return static_cast<double>(ms_) / 1e3; }
+  constexpr double minutes() const { return static_cast<double>(ms_) / 6e4; }
+  constexpr double hours() const { return static_cast<double>(ms_) / 3.6e6; }
+  constexpr double days() const { return static_cast<double>(ms_) / 8.64e7; }
+
+  constexpr bool IsZero() const { return ms_ == 0; }
+  constexpr bool IsNegative() const { return ms_ < 0; }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(ms_ + o.ms_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(ms_ - o.ms_);
+  }
+  constexpr Duration operator*(int64_t k) const { return Duration(ms_ * k); }
+  constexpr Duration operator/(int64_t k) const { return Duration(ms_ / k); }
+  Duration& operator+=(Duration o) {
+    ms_ += o.ms_;
+    return *this;
+  }
+  Duration& operator-=(Duration o) {
+    ms_ -= o.ms_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Human-readable rendering, e.g. "2m30s", "1d4h", "850ms".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(int64_t ms) : ms_(ms) {}
+  int64_t ms_;
+};
+
+/// TimePoint is an absolute instant: milliseconds since the Unix epoch, UTC.
+/// The library treats all timestamps as UTC; rendering uses a fixed calendar
+/// (proleptic Gregorian) with no time-zone or leap-second handling, which is
+/// sufficient for synthetic workloads and daily CDI windows.
+class TimePoint {
+ public:
+  constexpr TimePoint() : ms_(0) {}
+
+  static constexpr TimePoint FromMillis(int64_t ms) { return TimePoint(ms); }
+
+  /// Builds a TimePoint from calendar fields (UTC). Returns InvalidArgument
+  /// for out-of-range fields.
+  static StatusOr<TimePoint> FromCalendar(int year, int month, int day,
+                                          int hour = 0, int minute = 0,
+                                          int second = 0);
+
+  /// Parses "YYYY-MM-DD" or "YYYY-MM-DD HH:MM[:SS]".
+  static StatusOr<TimePoint> Parse(const std::string& text);
+
+  constexpr int64_t millis() const { return ms_; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(ms_ + d.millis());
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(ms_ - d.millis());
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::Millis(ms_ - o.ms_);
+  }
+  TimePoint& operator+=(Duration d) {
+    ms_ += d.millis();
+    return *this;
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  /// Start of the UTC day containing this instant.
+  TimePoint StartOfDay() const;
+
+  /// "YYYY-MM-DD HH:MM:SS" (UTC).
+  std::string ToString() const;
+  /// "YYYY-MM-DD" (UTC).
+  std::string ToDateString() const;
+
+ private:
+  explicit constexpr TimePoint(int64_t ms) : ms_(ms) {}
+  int64_t ms_;
+};
+
+/// A half-open time interval [start, end). Intervals with end <= start are
+/// empty. Event periods and service windows are Intervals.
+struct Interval {
+  TimePoint start;
+  TimePoint end;
+
+  constexpr Interval() = default;
+  constexpr Interval(TimePoint s, TimePoint e) : start(s), end(e) {}
+
+  constexpr bool empty() const { return end <= start; }
+  constexpr Duration length() const {
+    return empty() ? Duration::Zero() : end - start;
+  }
+  constexpr bool Contains(TimePoint t) const { return start <= t && t < end; }
+  /// True when the two intervals share at least one instant. Empty
+  /// intervals (including inverted ones, end <= start) overlap nothing.
+  constexpr bool Overlaps(const Interval& o) const {
+    return !empty() && !o.empty() && start < o.end && o.start < end;
+  }
+
+  /// The overlap of two intervals (possibly empty).
+  Interval Intersect(const Interval& o) const {
+    return Interval(std::max(start, o.start), std::min(end, o.end));
+  }
+
+  /// Clamps this interval into `bounds` (possibly producing empty).
+  Interval ClampTo(const Interval& bounds) const { return Intersect(bounds); }
+
+  std::string ToString() const;
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_COMMON_TIME_H_

@@ -1,0 +1,200 @@
+#include "dataflow/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace cdibot::dataflow {
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendCell(const std::string& s, std::string* out) {
+  if (!NeedsQuoting(s)) {
+    *out += s;
+    return;
+  }
+  *out += '"';
+  for (char c : s) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+std::string RenderValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt:
+      return StrFormat("%lld",
+                       static_cast<long long>(v.int_unchecked()));
+    case ValueType::kDouble:
+      return StrFormat("%.17g", v.double_unchecked());
+    case ValueType::kString:
+      return v.string_unchecked();
+  }
+  return "";
+}
+
+// Splits one CSV record (no trailing newline) into cells, handling quotes.
+StatusOr<std::vector<std::string>> SplitRecord(const std::string& line,
+                                               size_t line_no) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      if (!cell.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("stray quote on line %zu", line_no));
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument(
+        StrFormat("unterminated quote on line %zu", line_no));
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+StatusOr<Value> ParseCell(const std::string& cell, ValueType type,
+                          size_t line_no) {
+  if (cell.empty()) return Value();
+  char* end = nullptr;
+  switch (type) {
+    case ValueType::kInt: {
+      const long long v = std::strtoll(cell.c_str(), &end, 10);
+      if (end != cell.c_str() + cell.size()) {
+        return Status::InvalidArgument(
+            StrFormat("bad int '%s' on line %zu", cell.c_str(), line_no));
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end != cell.c_str() + cell.size()) {
+        return Status::InvalidArgument(
+            StrFormat("bad double '%s' on line %zu", cell.c_str(), line_no));
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(cell);
+    case ValueType::kNull:
+      return Value();
+  }
+  return Value();
+}
+
+}  // namespace
+
+std::string ToCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) out += ',';
+    AppendCell(schema.field(c).name, &out);
+  }
+  out += '\n';
+  for (const Row& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      AppendCell(RenderValue(row[c]), &out);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::Internal("cannot open for write: " + path);
+  const std::string csv = ToCsv(table);
+  file.write(csv.data(), static_cast<std::streamsize>(csv.size()));
+  file.flush();
+  if (!file) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Table> FromCsv(const std::string& csv, const Schema& schema) {
+  std::istringstream stream(csv);
+  std::string line;
+  size_t line_no = 0;
+
+  // Header.
+  if (!std::getline(stream, line)) {
+    return Status::InvalidArgument("CSV is empty (no header)");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  ++line_no;
+  CDIBOT_ASSIGN_OR_RETURN(const auto header, SplitRecord(line, line_no));
+  if (header.size() != schema.num_fields()) {
+    return Status::InvalidArgument(StrFormat(
+        "header has %zu columns, schema has %zu", header.size(),
+        schema.num_fields()));
+  }
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (header[c] != schema.field(c).name) {
+      return Status::InvalidArgument("header column '" + header[c] +
+                                     "' does not match schema column '" +
+                                     schema.field(c).name + "'");
+    }
+  }
+
+  Table table(schema);
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    ++line_no;
+    if (line.empty()) continue;
+    CDIBOT_ASSIGN_OR_RETURN(const auto cells, SplitRecord(line, line_no));
+    if (cells.size() != schema.num_fields()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu cells, expected %zu", line_no,
+                    cells.size(), schema.num_fields()));
+    }
+    Row row;
+    row.reserve(cells.size());
+    for (size_t c = 0; c < cells.size(); ++c) {
+      CDIBOT_ASSIGN_OR_RETURN(
+          Value v, ParseCell(cells[c], schema.field(c).type, line_no));
+      row.push_back(std::move(v));
+    }
+    table.AppendUnchecked(std::move(row));
+  }
+  return table;
+}
+
+StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return FromCsv(buffer.str(), schema);
+}
+
+}  // namespace cdibot::dataflow

@@ -1,0 +1,31 @@
+#ifndef CDIBOT_DATAFLOW_CSV_H_
+#define CDIBOT_DATAFLOW_CSV_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "dataflow/table.h"
+
+namespace cdibot::dataflow {
+
+/// Serializes `table` as RFC-4180-style CSV: a header row of column names,
+/// then one row per record. Strings containing commas, quotes, or newlines
+/// are double-quoted with internal quotes doubled; nulls serialize as empty
+/// cells.
+std::string ToCsv(const Table& table);
+
+/// Writes ToCsv(table) to `path`. Fails with Internal on I/O errors.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+/// Parses CSV text into a table with the given schema. The header row must
+/// name exactly the schema's columns in order; cells parse according to the
+/// column type (empty cell = null). Fails with InvalidArgument on malformed
+/// input.
+StatusOr<Table> FromCsv(const std::string& csv, const Schema& schema);
+
+/// Reads and parses a CSV file.
+StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema);
+
+}  // namespace cdibot::dataflow
+
+#endif  // CDIBOT_DATAFLOW_CSV_H_

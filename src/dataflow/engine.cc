@@ -1,0 +1,372 @@
+#include "dataflow/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+namespace cdibot::dataflow {
+namespace {
+
+// Splits [0, n) into roughly equal chunks, at most 4x pool width.
+std::vector<std::pair<size_t, size_t>> MakeChunks(size_t n,
+                                                  const ExecContext& ctx) {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  if (n == 0) return chunks;
+  size_t num_chunks = 1;
+  if (ctx.pool != nullptr && n >= ctx.min_parallel_rows) {
+    num_chunks = std::min(n, ctx.pool->num_threads() * 4);
+  }
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    chunks.emplace_back(begin, std::min(n, begin + chunk));
+  }
+  return chunks;
+}
+
+// Runs fn(chunk_index, begin, end) over the chunks, parallel when a pool is
+// available.
+void RunChunks(const std::vector<std::pair<size_t, size_t>>& chunks,
+               const ExecContext& ctx,
+               const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (chunks.size() <= 1 || ctx.pool == nullptr) {
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      fn(i, chunks[i].first, chunks[i].second);
+    }
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks.size());
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    futures.push_back(ctx.pool->Submit([i, &chunks, &fn]() {
+      fn(i, chunks[i].first, chunks[i].second);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+struct KeyHash {
+  size_t operator()(const Row& key) const {
+    size_t h = 0x811c9dc5;
+    for (const Value& v : key) {
+      h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct KeyEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+};
+
+// Partial state for all AggKinds; cheap to merge.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+
+  void Merge(const AggState& o) {
+    count += o.count;
+    sum += o.sum;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+    weighted_sum += o.weighted_sum;
+    weight_total += o.weight_total;
+  }
+};
+
+Value Finalize(const AggSpec& spec, const AggState& s) {
+  switch (spec.kind) {
+    case AggKind::kCount:
+      return Value(s.count);
+    case AggKind::kSum:
+      return Value(s.sum);
+    case AggKind::kMin:
+      return s.count == 0 ? Value() : Value(s.min);
+    case AggKind::kMax:
+      return s.count == 0 ? Value() : Value(s.max);
+    case AggKind::kMean:
+      return s.count == 0 ? Value()
+                          : Value(s.sum / static_cast<double>(s.count));
+    case AggKind::kWeightedMean:
+      return s.weight_total == 0.0 ? Value()
+                                   : Value(s.weighted_sum / s.weight_total);
+  }
+  return Value();
+}
+
+using GroupMap = std::unordered_map<Row, std::vector<AggState>, KeyHash, KeyEq>;
+
+}  // namespace
+
+StatusOr<Table> ParallelMap(
+    const Table& in, Schema out_schema,
+    const std::function<StatusOr<Row>(const Row&)>& fn,
+    const ExecContext& ctx) {
+  const size_t n = in.num_rows();
+  std::vector<Row> out_rows(n);
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  Status first_error;
+
+  const auto chunks = MakeChunks(n, ctx);
+  RunChunks(chunks, ctx, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end && !failed.load(std::memory_order_relaxed);
+         ++i) {
+      auto row_or = fn(in.row(i));
+      if (!row_or.ok()) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error.ok()) first_error = row_or.status();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      out_rows[i] = std::move(row_or).value();
+    }
+  });
+  if (failed.load()) return first_error;
+
+  Table out(std::move(out_schema));
+  out.mutable_rows() = std::move(out_rows);
+  return out;
+}
+
+StatusOr<Table> ParallelFilter(const Table& in,
+                               const std::function<bool(const Row&)>& pred,
+                               const ExecContext& ctx) {
+  const size_t n = in.num_rows();
+  const auto chunks = MakeChunks(n, ctx);
+  std::vector<std::vector<Row>> kept(chunks.size());
+  RunChunks(chunks, ctx, [&](size_t c, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (pred(in.row(i))) kept[c].push_back(in.row(i));
+    }
+  });
+  Table out(in.schema());
+  for (auto& part : kept) {
+    for (auto& row : part) out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+StatusOr<Table> HashGroupBy(const Table& in,
+                            const std::vector<std::string>& key_columns,
+                            const std::vector<AggSpec>& aggs,
+                            const ExecContext& ctx) {
+  // Resolve column indexes once.
+  std::vector<size_t> key_idx;
+  key_idx.reserve(key_columns.size());
+  for (const auto& name : key_columns) {
+    CDIBOT_ASSIGN_OR_RETURN(const size_t idx, in.schema().IndexOf(name));
+    key_idx.push_back(idx);
+  }
+  struct ResolvedAgg {
+    AggSpec spec;
+    size_t input_idx = 0;
+    size_t weight_idx = 0;
+    bool needs_input = false;
+    bool needs_weight = false;
+  };
+  std::vector<ResolvedAgg> resolved;
+  resolved.reserve(aggs.size());
+  for (const AggSpec& spec : aggs) {
+    ResolvedAgg ra;
+    ra.spec = spec;
+    if (spec.kind != AggKind::kCount) {
+      CDIBOT_ASSIGN_OR_RETURN(ra.input_idx,
+                              in.schema().IndexOf(spec.input_column));
+      ra.needs_input = true;
+    }
+    if (spec.kind == AggKind::kWeightedMean) {
+      CDIBOT_ASSIGN_OR_RETURN(ra.weight_idx,
+                              in.schema().IndexOf(spec.weight_column));
+      ra.needs_weight = true;
+    }
+    resolved.push_back(ra);
+  }
+
+  // Partial aggregation per chunk.
+  const auto chunks = MakeChunks(in.num_rows(), ctx);
+  std::vector<GroupMap> partials(std::max<size_t>(1, chunks.size()));
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  Status first_error;
+
+  RunChunks(chunks, ctx, [&](size_t c, size_t begin, size_t end) {
+    GroupMap& local = partials[c];
+    for (size_t i = begin; i < end && !failed.load(std::memory_order_relaxed);
+         ++i) {
+      const Row& row = in.row(i);
+      Row key;
+      key.reserve(key_idx.size());
+      for (size_t k : key_idx) key.push_back(row[k]);
+      auto [it, inserted] = local.try_emplace(
+          std::move(key), std::vector<AggState>(resolved.size()));
+      for (size_t a = 0; a < resolved.size(); ++a) {
+        const ResolvedAgg& ra = resolved[a];
+        AggState& st = it->second[a];
+        double x = 0.0;
+        if (ra.needs_input) {
+          if (row[ra.input_idx].is_null()) continue;  // nulls skip the agg
+          auto x_or = row[ra.input_idx].AsDouble();
+          if (!x_or.ok()) {
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (first_error.ok()) first_error = x_or.status();
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          x = x_or.value();
+        }
+        st.count += 1;
+        st.sum += x;
+        st.min = std::min(st.min, x);
+        st.max = std::max(st.max, x);
+        if (ra.needs_weight) {
+          auto w_or = row[ra.weight_idx].AsDouble();
+          if (!w_or.ok()) {
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (first_error.ok()) first_error = w_or.status();
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          st.weighted_sum += w_or.value() * x;
+          st.weight_total += w_or.value();
+        }
+      }
+    }
+  });
+  if (failed.load()) return first_error;
+
+  // Merge partials; std::map gives deterministic key-sorted output.
+  std::map<Row, std::vector<AggState>> merged;
+  for (GroupMap& partial : partials) {
+    for (auto& [key, states] : partial) {
+      auto it = merged.find(key);
+      if (it == merged.end()) {
+        merged.emplace(key, std::move(states));
+      } else {
+        for (size_t a = 0; a < states.size(); ++a) {
+          it->second[a].Merge(states[a]);
+        }
+      }
+    }
+  }
+
+  // Output schema: keys then aggregate columns.
+  std::vector<Field> out_fields;
+  for (size_t k = 0; k < key_columns.size(); ++k) {
+    out_fields.push_back(
+        {key_columns[k], in.schema().field(key_idx[k]).type});
+  }
+  for (const ResolvedAgg& ra : resolved) {
+    const ValueType t =
+        ra.spec.kind == AggKind::kCount ? ValueType::kInt : ValueType::kDouble;
+    out_fields.push_back({ra.spec.output_name, t});
+  }
+  Table out(Schema(std::move(out_fields)));
+  for (const auto& [key, states] : merged) {
+    Row row = key;
+    for (size_t a = 0; a < resolved.size(); ++a) {
+      row.push_back(Finalize(resolved[a].spec, states[a]));
+    }
+    out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+StatusOr<Table> HashJoin(const Table& left, const Table& right,
+                         const std::vector<std::string>& left_keys,
+                         const std::vector<std::string>& right_keys,
+                         const ExecContext& ctx) {
+  if (left_keys.size() != right_keys.size() || left_keys.empty()) {
+    return Status::InvalidArgument("join key lists must match and be non-empty");
+  }
+  std::vector<size_t> lk, rk;
+  for (const auto& name : left_keys) {
+    CDIBOT_ASSIGN_OR_RETURN(const size_t idx, left.schema().IndexOf(name));
+    lk.push_back(idx);
+  }
+  for (const auto& name : right_keys) {
+    CDIBOT_ASSIGN_OR_RETURN(const size_t idx, right.schema().IndexOf(name));
+    rk.push_back(idx);
+  }
+  // Non-key columns of the right side carried into the output.
+  std::vector<size_t> right_payload;
+  for (size_t i = 0; i < right.schema().num_fields(); ++i) {
+    if (std::find(rk.begin(), rk.end(), i) == rk.end()) {
+      right_payload.push_back(i);
+    }
+  }
+
+  // Build on right.
+  std::unordered_map<Row, std::vector<size_t>, KeyHash, KeyEq> build;
+  build.reserve(right.num_rows());
+  for (size_t i = 0; i < right.num_rows(); ++i) {
+    Row key;
+    key.reserve(rk.size());
+    for (size_t k : rk) key.push_back(right.row(i)[k]);
+    build[std::move(key)].push_back(i);
+  }
+
+  // Probe with left, parallel per chunk.
+  const auto chunks = MakeChunks(left.num_rows(), ctx);
+  std::vector<std::vector<Row>> outputs(std::max<size_t>(1, chunks.size()));
+  RunChunks(chunks, ctx, [&](size_t c, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Row& lrow = left.row(i);
+      Row key;
+      key.reserve(lk.size());
+      for (size_t k : lk) key.push_back(lrow[k]);
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (size_t ridx : it->second) {
+        Row out = lrow;
+        for (size_t p : right_payload) out.push_back(right.row(ridx)[p]);
+        outputs[c].push_back(std::move(out));
+      }
+    }
+  });
+
+  std::vector<Field> out_fields = left.schema().fields();
+  for (size_t p : right_payload) out_fields.push_back(right.schema().field(p));
+  Table out(Schema(std::move(out_fields)));
+  for (auto& part : outputs) {
+    for (auto& row : part) out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+StatusOr<Table> SortBy(const Table& in,
+                       const std::vector<std::string>& columns,
+                       const ExecContext& ctx) {
+  (void)ctx;  // sort is single-threaded; inputs after group-by are small
+  std::vector<size_t> idx;
+  for (const auto& name : columns) {
+    CDIBOT_ASSIGN_OR_RETURN(const size_t i, in.schema().IndexOf(name));
+    idx.push_back(i);
+  }
+  Table out(in.schema());
+  out.mutable_rows() = in.rows();
+  std::stable_sort(out.mutable_rows().begin(), out.mutable_rows().end(),
+                   [&idx](const Row& a, const Row& b) {
+                     for (size_t i : idx) {
+                       if (a[i] < b[i]) return true;
+                       if (b[i] < a[i]) return false;
+                     }
+                     return false;
+                   });
+  return out;
+}
+
+}  // namespace cdibot::dataflow

@@ -1,0 +1,83 @@
+#ifndef CDIBOT_DATAFLOW_ENGINE_H_
+#define CDIBOT_DATAFLOW_ENGINE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/thread_pool.h"
+#include "dataflow/table.h"
+
+namespace cdibot::dataflow {
+
+/// Execution environment for the parallel operators. The pool is borrowed
+/// and must outlive every call that uses the context.
+struct ExecContext {
+  ThreadPool* pool = nullptr;
+  /// Below this row count operators run single-threaded (task overhead
+  /// dominates otherwise).
+  size_t min_parallel_rows = 4096;
+};
+
+/// Applies `fn` to every row in parallel, producing a table with
+/// `out_schema`. `fn` must be thread-safe; a failing row fails the job.
+/// Output row order matches input order.
+StatusOr<Table> ParallelMap(
+    const Table& in, Schema out_schema,
+    const std::function<StatusOr<Row>(const Row&)>& fn,
+    const ExecContext& ctx);
+
+/// Keeps rows for which `pred` returns true, preserving order.
+StatusOr<Table> ParallelFilter(const Table& in,
+                               const std::function<bool(const Row&)>& pred,
+                               const ExecContext& ctx);
+
+/// Aggregation functions for HashGroupBy.
+enum class AggKind : int {
+  kCount = 0,  ///< row count; input column ignored
+  kSum = 1,
+  kMin = 2,
+  kMax = 3,
+  kMean = 4,
+  /// Weighted mean sum(w*x)/sum(w) — expresses Eq. 4 directly in the BI
+  /// layer: CDI re-aggregation weights indicator values by service time.
+  kWeightedMean = 5,
+};
+
+/// One aggregate output column.
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  /// Input value column (ignored for kCount). Must be numeric.
+  std::string input_column;
+  /// Weight column for kWeightedMean.
+  std::string weight_column;
+  /// Name of the output column.
+  std::string output_name;
+};
+
+/// Parallel hash aggregation: groups `in` by the key columns and computes
+/// each AggSpec per group. Runs partial aggregation per input chunk followed
+/// by a single-threaded merge (the classic map-side-combine plan the
+/// paper's Spark job uses). Output rows are sorted by key for determinism.
+StatusOr<Table> HashGroupBy(const Table& in,
+                            const std::vector<std::string>& key_columns,
+                            const std::vector<AggSpec>& aggs,
+                            const ExecContext& ctx);
+
+/// Inner hash join: builds a hash table on `right` (broadcast side) and
+/// probes with `left` in parallel. Output schema is left's fields followed
+/// by right's non-key fields. Key columns must have matching counts.
+StatusOr<Table> HashJoin(const Table& left, const Table& right,
+                         const std::vector<std::string>& left_keys,
+                         const std::vector<std::string>& right_keys,
+                         const ExecContext& ctx);
+
+/// Stable sort by the given columns (ascending, Value ordering).
+StatusOr<Table> SortBy(const Table& in,
+                       const std::vector<std::string>& columns,
+                       const ExecContext& ctx);
+
+}  // namespace cdibot::dataflow
+
+#endif  // CDIBOT_DATAFLOW_ENGINE_H_

@@ -1,0 +1,579 @@
+#include "dataflow/query.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace cdibot::dataflow {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind {
+    kIdent,    // column / table names and keywords (normalized upper-case
+               // check via Is())
+    kNumber,   // numeric literal
+    kString,   // 'quoted'
+    kSymbol,   // punctuation / operators
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;   // original text (identifiers keep their case)
+  double number = 0;  // for kNumber
+  size_t pos = 0;
+
+  bool IsKeyword(const char* kw) const {
+    if (kind != Kind::kIdent) return false;
+    if (text.size() != std::string_view(kw).size()) return false;
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text[i])) != kw[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+  bool IsSymbol(const char* s) const {
+    return kind == Kind::kSymbol && text == s;
+  }
+};
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+              sql[j] == '_')) {
+        ++j;
+      }
+      out.push_back({Token::Kind::kIdent, sql.substr(i, j - i), 0, i});
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < sql.size() &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      while (j < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+              sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' ||
+              ((sql[j] == '+' || sql[j] == '-') &&
+               (sql[j - 1] == 'e' || sql[j - 1] == 'E')))) {
+        ++j;
+      }
+      Token tok{Token::Kind::kNumber, sql.substr(i, j - i), 0, i};
+      char* end = nullptr;
+      tok.number = std::strtod(tok.text.c_str(), &end);
+      if (end != tok.text.c_str() + tok.text.size()) {
+        return Status::InvalidArgument(
+            StrFormat("bad number at position %zu", i));
+      }
+      out.push_back(std::move(tok));
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string value;
+      while (j < sql.size() && sql[j] != '\'') value.push_back(sql[j++]);
+      if (j >= sql.size()) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string at position %zu", i));
+      }
+      out.push_back({Token::Kind::kString, value, 0, i});
+      i = j + 1;
+    } else if (c == '<' || c == '>' || c == '!') {
+      if (i + 1 < sql.size() && sql[i + 1] == '=') {
+        out.push_back({Token::Kind::kSymbol, sql.substr(i, 2), 0, i});
+        i += 2;
+      } else {
+        out.push_back({Token::Kind::kSymbol, std::string(1, c), 0, i});
+        ++i;
+      }
+    } else if (c == '=' || c == '(' || c == ')' || c == ',' || c == '*') {
+      out.push_back({Token::Kind::kSymbol, std::string(1, c), 0, i});
+      ++i;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unexpected character '%c' at position %zu", c, i));
+    }
+  }
+  out.push_back({Token::Kind::kEnd, "", 0, sql.size()});
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  enum class Kind { kColumn, kAggregate } kind = Kind::kColumn;
+  std::string column;  // input column (or "*" for COUNT(*))
+  std::string weight;  // WAVG weight column
+  AggKind agg = AggKind::kCount;
+  std::string alias;   // output name
+
+  std::string DefaultName() const {
+    if (kind == Kind::kColumn) return column;
+    const char* fn = "";
+    switch (agg) {
+      case AggKind::kCount:
+        fn = "count";
+        break;
+      case AggKind::kSum:
+        fn = "sum";
+        break;
+      case AggKind::kMin:
+        fn = "min";
+        break;
+      case AggKind::kMax:
+        fn = "max";
+        break;
+      case AggKind::kMean:
+        fn = "avg";
+        break;
+      case AggKind::kWeightedMean:
+        fn = "wavg";
+        break;
+    }
+    return std::string(fn) + "_" + (column == "*" ? "all" : column);
+  }
+};
+
+struct Comparison {
+  std::string column;
+  std::string op;  // = != < <= > >=
+  Value literal;
+};
+
+struct Predicate {
+  enum class Kind { kComparison, kAnd, kOr, kNot } kind = Kind::kComparison;
+  Comparison cmp;
+  std::unique_ptr<Predicate> lhs;
+  std::unique_ptr<Predicate> rhs;
+};
+
+struct OrderKey {
+  std::string column;
+  bool ascending = true;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::unique_ptr<Predicate> where;
+  std::vector<std::string> group_by;
+  std::unique_ptr<Predicate> having;
+  std::vector<OrderKey> order_by;
+  std::optional<size_t> limit;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<SelectStatement> Parse() {
+    SelectStatement stmt;
+    CDIBOT_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    CDIBOT_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    CDIBOT_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    CDIBOT_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
+    if (Peek().IsKeyword("WHERE")) {
+      Consume();
+      CDIBOT_ASSIGN_OR_RETURN(stmt.where, ParseOr());
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Consume();
+      CDIBOT_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        CDIBOT_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        stmt.group_by.push_back(std::move(col));
+      } while (TryConsumeSymbol(","));
+    }
+    if (Peek().IsKeyword("HAVING")) {
+      Consume();
+      CDIBOT_ASSIGN_OR_RETURN(stmt.having, ParseOr());
+    }
+    if (Peek().IsKeyword("ORDER")) {
+      Consume();
+      CDIBOT_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderKey key;
+        CDIBOT_ASSIGN_OR_RETURN(key.column, ExpectIdent());
+        if (Peek().IsKeyword("ASC")) {
+          Consume();
+        } else if (Peek().IsKeyword("DESC")) {
+          Consume();
+          key.ascending = false;
+        }
+        stmt.order_by.push_back(std::move(key));
+      } while (TryConsumeSymbol(","));
+    }
+    if (Peek().IsKeyword("LIMIT")) {
+      Consume();
+      if (Peek().kind != Token::Kind::kNumber || Peek().number < 0) {
+        return Status::InvalidArgument("LIMIT needs a non-negative number");
+      }
+      stmt.limit = static_cast<size_t>(Consume().number);
+    }
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Status::InvalidArgument(
+          StrFormat("unexpected token '%s' at position %zu",
+                    Peek().text.c_str(), Peek().pos));
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[cursor_]; }
+  Token Consume() { return tokens_[cursor_++]; }
+
+  bool TryConsumeSymbol(const char* s) {
+    if (Peek().IsSymbol(s)) {
+      Consume();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return Status::InvalidArgument(
+          StrFormat("expected %s at position %zu", kw, Peek().pos));
+    }
+    Consume();
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdent() {
+    if (Peek().kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument(
+          StrFormat("expected identifier at position %zu", Peek().pos));
+    }
+    return Consume().text;
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    do {
+      CDIBOT_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt->items.push_back(std::move(item));
+    } while (TryConsumeSymbol(","));
+    return Status::OK();
+  }
+
+  static std::optional<AggKind> AggFromName(const Token& tok) {
+    if (tok.IsKeyword("COUNT")) return AggKind::kCount;
+    if (tok.IsKeyword("SUM")) return AggKind::kSum;
+    if (tok.IsKeyword("MIN")) return AggKind::kMin;
+    if (tok.IsKeyword("MAX")) return AggKind::kMax;
+    if (tok.IsKeyword("AVG")) return AggKind::kMean;
+    if (tok.IsKeyword("WAVG")) return AggKind::kWeightedMean;
+    return std::nullopt;
+  }
+
+  StatusOr<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    CDIBOT_ASSIGN_OR_RETURN(const std::string name, ExpectIdent());
+    const Token name_tok{Token::Kind::kIdent, name, 0, 0};
+    const auto agg = AggFromName(name_tok);
+    if (agg.has_value() && Peek().IsSymbol("(")) {
+      Consume();  // (
+      item.kind = SelectItem::Kind::kAggregate;
+      item.agg = *agg;
+      if (*agg == AggKind::kCount && Peek().IsSymbol("*")) {
+        Consume();
+        item.column = "*";
+      } else {
+        CDIBOT_ASSIGN_OR_RETURN(item.column, ExpectIdent());
+        if (*agg == AggKind::kWeightedMean) {
+          if (!TryConsumeSymbol(",")) {
+            return Status::InvalidArgument(
+                "WAVG needs two arguments: WAVG(value, weight)");
+          }
+          CDIBOT_ASSIGN_OR_RETURN(item.weight, ExpectIdent());
+        }
+      }
+      if (!TryConsumeSymbol(")")) {
+        return Status::InvalidArgument("missing ')' in aggregate");
+      }
+    } else {
+      item.kind = SelectItem::Kind::kColumn;
+      item.column = name;
+    }
+    if (Peek().IsKeyword("AS")) {
+      Consume();
+      CDIBOT_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+    }
+    if (item.alias.empty()) item.alias = item.DefaultName();
+    return item;
+  }
+
+  StatusOr<std::unique_ptr<Predicate>> ParseOr() {
+    CDIBOT_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+    while (Peek().IsKeyword("OR")) {
+      Consume();
+      CDIBOT_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::kOr;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Predicate>> ParseAnd() {
+    CDIBOT_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+    while (Peek().IsKeyword("AND")) {
+      Consume();
+      CDIBOT_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::kAnd;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Predicate>> ParseUnary() {
+    if (Peek().IsKeyword("NOT")) {
+      Consume();
+      CDIBOT_ASSIGN_OR_RETURN(auto operand, ParseUnary());
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::kNot;
+      node->lhs = std::move(operand);
+      return node;
+    }
+    if (Peek().IsSymbol("(")) {
+      Consume();
+      CDIBOT_ASSIGN_OR_RETURN(auto inner, ParseOr());
+      if (!TryConsumeSymbol(")")) {
+        return Status::InvalidArgument("missing ')' in predicate");
+      }
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<std::unique_ptr<Predicate>> ParseComparison() {
+    auto node = std::make_unique<Predicate>();
+    node->kind = Predicate::Kind::kComparison;
+    CDIBOT_ASSIGN_OR_RETURN(node->cmp.column, ExpectIdent());
+    if (Peek().kind != Token::Kind::kSymbol ||
+        (Peek().text != "=" && Peek().text != "!=" && Peek().text != "<" &&
+         Peek().text != "<=" && Peek().text != ">" && Peek().text != ">=")) {
+      return Status::InvalidArgument(
+          StrFormat("expected comparison operator at position %zu",
+                    Peek().pos));
+    }
+    node->cmp.op = Consume().text;
+    if (Peek().kind == Token::Kind::kNumber) {
+      node->cmp.literal = Value(Consume().number);
+    } else if (Peek().kind == Token::Kind::kString) {
+      node->cmp.literal = Value(Consume().text);
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("expected literal at position %zu", Peek().pos));
+    }
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t cursor_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+StatusOr<std::function<bool(const Row&)>> CompilePredicate(
+    const Predicate& pred, const Schema& schema);
+
+StatusOr<std::function<bool(const Row&)>> CompileComparison(
+    const Comparison& cmp, const Schema& schema) {
+  CDIBOT_ASSIGN_OR_RETURN(const size_t col, schema.IndexOf(cmp.column));
+  const Value literal = cmp.literal;
+  const std::string op = cmp.op;
+  return std::function<bool(const Row&)>(
+      [col, literal, op](const Row& row) {
+        const Value& v = row[col];
+        if (v.is_null()) return false;  // SQL-ish: NULL never matches
+        if (op == "=") return v == literal;
+        if (op == "!=") return !(v == literal);
+        if (op == "<") return v < literal;
+        if (op == "<=") return !(literal < v);
+        if (op == ">") return literal < v;
+        return !(v < literal);  // >=
+      });
+}
+
+StatusOr<std::function<bool(const Row&)>> CompilePredicate(
+    const Predicate& pred, const Schema& schema) {
+  switch (pred.kind) {
+    case Predicate::Kind::kComparison:
+      return CompileComparison(pred.cmp, schema);
+    case Predicate::Kind::kAnd: {
+      CDIBOT_ASSIGN_OR_RETURN(auto l, CompilePredicate(*pred.lhs, schema));
+      CDIBOT_ASSIGN_OR_RETURN(auto r, CompilePredicate(*pred.rhs, schema));
+      return std::function<bool(const Row&)>(
+          [l, r](const Row& row) { return l(row) && r(row); });
+    }
+    case Predicate::Kind::kOr: {
+      CDIBOT_ASSIGN_OR_RETURN(auto l, CompilePredicate(*pred.lhs, schema));
+      CDIBOT_ASSIGN_OR_RETURN(auto r, CompilePredicate(*pred.rhs, schema));
+      return std::function<bool(const Row&)>(
+          [l, r](const Row& row) { return l(row) || r(row); });
+    }
+    case Predicate::Kind::kNot: {
+      CDIBOT_ASSIGN_OR_RETURN(auto l, CompilePredicate(*pred.lhs, schema));
+      return std::function<bool(const Row&)>(
+          [l](const Row& row) { return !l(row); });
+    }
+  }
+  return Status::Internal("unhandled predicate kind");
+}
+
+// Projects/renames columns of `in` to exactly the selected plain columns.
+StatusOr<Table> Project(const Table& in,
+                        const std::vector<SelectItem>& items,
+                        const ExecContext& ctx) {
+  std::vector<size_t> idx;
+  std::vector<Field> fields;
+  for (const SelectItem& item : items) {
+    CDIBOT_ASSIGN_OR_RETURN(const size_t i,
+                            in.schema().IndexOf(item.column));
+    idx.push_back(i);
+    fields.push_back({item.alias, in.schema().field(i).type});
+  }
+  return ParallelMap(
+      in, Schema(std::move(fields)),
+      [idx](const Row& row) -> StatusOr<Row> {
+        Row out;
+        out.reserve(idx.size());
+        for (size_t i : idx) out.push_back(row[i]);
+        return out;
+      },
+      ctx);
+}
+
+}  // namespace
+
+void QueryEngine::RegisterTable(const std::string& name, Table table) {
+  tables_[name] = std::move(table);
+}
+
+StatusOr<Table> QueryEngine::Execute(const std::string& sql) const {
+  CDIBOT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  CDIBOT_ASSIGN_OR_RETURN(SelectStatement stmt, parser.Parse());
+
+  auto table_it = tables_.find(stmt.table);
+  if (table_it == tables_.end()) {
+    return Status::NotFound("no table named " + stmt.table);
+  }
+  const Table* current = &table_it->second;
+  Table filtered;
+
+  // WHERE.
+  if (stmt.where != nullptr) {
+    CDIBOT_ASSIGN_OR_RETURN(auto pred,
+                            CompilePredicate(*stmt.where, current->schema()));
+    CDIBOT_ASSIGN_OR_RETURN(filtered, ParallelFilter(*current, pred, ctx_));
+    current = &filtered;
+  }
+
+  const bool has_aggregates =
+      std::any_of(stmt.items.begin(), stmt.items.end(),
+                  [](const SelectItem& item) {
+                    return item.kind == SelectItem::Kind::kAggregate;
+                  });
+
+  Table result;
+  if (has_aggregates || !stmt.group_by.empty()) {
+    // Validate: plain columns must be group keys.
+    for (const SelectItem& item : stmt.items) {
+      if (item.kind == SelectItem::Kind::kColumn &&
+          std::find(stmt.group_by.begin(), stmt.group_by.end(),
+                    item.column) == stmt.group_by.end()) {
+        return Status::InvalidArgument(
+            "column " + item.column +
+            " must appear in GROUP BY when aggregates are selected");
+      }
+    }
+    std::vector<AggSpec> aggs;
+    for (const SelectItem& item : stmt.items) {
+      if (item.kind != SelectItem::Kind::kAggregate) continue;
+      aggs.push_back(AggSpec{.kind = item.agg,
+                             .input_column = item.column == "*" ? ""
+                                                                : item.column,
+                             .weight_column = item.weight,
+                             .output_name = item.alias});
+    }
+    CDIBOT_ASSIGN_OR_RETURN(Table grouped,
+                            HashGroupBy(*current, stmt.group_by, aggs, ctx_));
+    // Reorder/rename to the SELECT order (keys may be interleaved with
+    // aggregates in the select list).
+    std::vector<SelectItem> projection;
+    for (const SelectItem& item : stmt.items) {
+      SelectItem p = item;
+      // After grouping, aggregates already carry their alias; keys keep
+      // their column name.
+      p.kind = SelectItem::Kind::kColumn;
+      p.column = item.kind == SelectItem::Kind::kAggregate ? item.alias
+                                                           : item.column;
+      projection.push_back(std::move(p));
+    }
+    CDIBOT_ASSIGN_OR_RETURN(result, Project(grouped, projection, ctx_));
+    // HAVING filters the aggregated, projected rows.
+    if (stmt.having != nullptr) {
+      CDIBOT_ASSIGN_OR_RETURN(
+          auto having_pred, CompilePredicate(*stmt.having, result.schema()));
+      CDIBOT_ASSIGN_OR_RETURN(result,
+                              ParallelFilter(result, having_pred, ctx_));
+    }
+  } else {
+    if (stmt.having != nullptr) {
+      return Status::InvalidArgument("HAVING requires aggregation");
+    }
+    CDIBOT_ASSIGN_OR_RETURN(result, Project(*current, stmt.items, ctx_));
+  }
+
+  // ORDER BY over the projected schema.
+  if (!stmt.order_by.empty()) {
+    // SortBy is ascending-only; apply descending keys by sorting each key
+    // from the least significant to the most significant with stable sort.
+    for (auto it = stmt.order_by.rbegin(); it != stmt.order_by.rend(); ++it) {
+      CDIBOT_ASSIGN_OR_RETURN(const size_t col,
+                              result.schema().IndexOf(it->column));
+      const bool asc = it->ascending;
+      std::stable_sort(result.mutable_rows().begin(),
+                       result.mutable_rows().end(),
+                       [col, asc](const Row& a, const Row& b) {
+                         return asc ? a[col] < b[col] : b[col] < a[col];
+                       });
+    }
+  }
+
+  if (stmt.limit.has_value() && result.num_rows() > *stmt.limit) {
+    result.mutable_rows().resize(*stmt.limit);
+  }
+  return result;
+}
+
+}  // namespace cdibot::dataflow

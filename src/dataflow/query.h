@@ -1,0 +1,62 @@
+#ifndef CDIBOT_DATAFLOW_QUERY_H_
+#define CDIBOT_DATAFLOW_QUERY_H_
+
+#include <map>
+#include <string>
+
+#include "common/statusor.h"
+#include "dataflow/engine.h"
+#include "dataflow/table.h"
+
+namespace cdibot::dataflow {
+
+/// QueryEngine executes a compact SQL dialect over registered tables — the
+/// BI layer of Sec. V ("this system facilitates SQL queries... it is able
+/// to aggregate the CDI across diverse dimensions in accordance with
+/// Formula 4").
+///
+/// Supported grammar (case-insensitive keywords):
+///
+///   SELECT item [, item ...]
+///   FROM table_name
+///   [WHERE predicate]
+///   [GROUP BY column [, column ...]]
+///   [HAVING predicate]            -- over the aggregated output columns
+///   [ORDER BY column [ASC|DESC] [, ...]]
+///   [LIMIT n]
+///
+///   item      := column
+///              | COUNT(*)                [AS alias]
+///              | SUM(col) | MIN(col) | MAX(col) | AVG(col)   [AS alias]
+///              | WAVG(col, weight_col)   [AS alias]    -- Eq. 4
+///   predicate := disjunction of conjunctions of comparisons,
+///                with NOT and parentheses;
+///                comparison := column (= | != | < | <= | > | >=) literal
+///   literal   := number | 'string'
+///
+/// Aggregate items require GROUP BY (or aggregate-only SELECT for a global
+/// aggregate); plain columns in an aggregated SELECT must appear in GROUP
+/// BY. WAVG is the service-time-weighted mean that re-aggregates CDI values
+/// exactly as Formula 4 prescribes.
+class QueryEngine {
+ public:
+  explicit QueryEngine(ExecContext ctx) : ctx_(ctx) {}
+
+  /// Registers `table` under `name` (replacing any previous registration).
+  void RegisterTable(const std::string& name, Table table);
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Parses and executes `sql`, returning the result table.
+  StatusOr<Table> Execute(const std::string& sql) const;
+
+ private:
+  ExecContext ctx_;
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace cdibot::dataflow
+
+#endif  // CDIBOT_DATAFLOW_QUERY_H_

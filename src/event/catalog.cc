@@ -1,0 +1,156 @@
+#include "event/catalog.h"
+
+namespace cdibot {
+
+Status EventCatalog::Register(EventSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("event spec must have a name");
+  }
+  if (index_.count(spec.name) > 0) {
+    return Status::AlreadyExists("event already registered: " + spec.name);
+  }
+  if (spec.period_kind == PeriodKind::kStateful) {
+    if (spec.start_detail.empty() || spec.end_detail.empty()) {
+      return Status::InvalidArgument(
+          "stateful event needs start_detail and end_detail: " + spec.name);
+    }
+    if (index_.count(spec.start_detail) > 0 ||
+        index_.count(spec.end_detail) > 0) {
+      return Status::AlreadyExists("detail name already registered for " +
+                                   spec.name);
+    }
+  }
+  const size_t idx = specs_.size();
+  index_[spec.name] = idx;
+  if (spec.period_kind == PeriodKind::kStateful) {
+    index_[spec.start_detail] = idx;
+    index_[spec.end_detail] = idx;
+  }
+  specs_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+StatusOr<EventSpec> EventCatalog::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown event: " + name);
+  }
+  return specs_[it->second];
+}
+
+bool EventCatalog::Contains(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+EventCatalog EventCatalog::BuiltIn() {
+  EventCatalog catalog;
+  auto add = [&catalog](EventSpec spec) {
+    Status st = catalog.Register(std::move(spec));
+    (void)st;  // BuiltIn specs are disjoint by construction.
+  };
+
+  const auto u = StabilityCategory::kUnavailability;
+  const auto p = StabilityCategory::kPerformance;
+  const auto c = StabilityCategory::kControlPlane;
+
+  // --- Unavailability events (CDI-U) ---------------------------------------
+  // VM crashed; detected per 1-minute liveness window.
+  add({.name = "vm_crash", .category = u, .default_level = Severity::kFatal,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(1)});
+  // VM stalled / unresponsive (Fig. 1 mentions vm_hang).
+  add({.name = "vm_hang", .category = u, .default_level = Severity::kFatal,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(1)});
+  // Host (NC) down takes every resident VM down; emitted per VM.
+  add({.name = "nc_down", .category = u, .default_level = Severity::kFatal,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(1)});
+  // Planned in-place reboot: impact duration is known and logged.
+  add({.name = "vm_reboot", .category = u, .default_level = Severity::kCritical,
+       .period_kind = PeriodKind::kLoggedDuration,
+       .default_duration = Duration::Minutes(2)});
+  // DDoS blackholing makes the VM unreachable; stateful add/del pair from the
+  // security team (Sec. IV-B2 / Example 2).
+  add({.name = "ddos_blackhole", .category = u,
+       .default_level = Severity::kFatal,
+       .period_kind = PeriodKind::kStateful,
+       .start_detail = "ddos_blackhole_add",
+       .end_detail = "ddos_blackhole_del"});
+  // Encrypted cloud-disk unavailability (Case 2 data-plane symptom).
+  add({.name = "disk_unavailable", .category = u,
+       .default_level = Severity::kFatal,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(1)});
+
+  // --- Performance events (CDI-P) ------------------------------------------
+  // Cloud-disk read latency above threshold; 1-minute detection window
+  // (Fig. 1, Table IV).
+  add({.name = "slow_io", .category = p, .default_level = Severity::kCritical,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(1)});
+  // Network packet loss (Table IV, weight 0.3 example).
+  add({.name = "packet_loss", .category = p,
+       .default_level = Severity::kWarning,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(1)});
+  // vCPU steal/contention above threshold (Table IV, Case 5).
+  add({.name = "vcpu_high", .category = p,
+       .default_level = Severity::kCritical,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(1)});
+  // NIC link flapping from host logs (Example 1).
+  add({.name = "nic_flapping", .category = p,
+       .default_level = Severity::kCritical,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(1)});
+  // QEMU live upgrade; logs the pause in milliseconds (Sec. IV-B1).
+  add({.name = "qemu_live_upgrade", .category = p,
+       .default_level = Severity::kWarning,
+       .period_kind = PeriodKind::kLoggedDuration,
+       .default_duration = Duration::Millis(500)});
+  // Live migration of the VM itself causes a brief brown-out.
+  add({.name = "live_migration", .category = p,
+       .default_level = Severity::kWarning,
+       .period_kind = PeriodKind::kLoggedDuration,
+       .default_duration = Duration::Seconds(2)});
+  // Scheduling data error left the VM without exclusive cores (Case 6).
+  add({.name = "vm_allocation_failed", .category = p,
+       .default_level = Severity::kCritical,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(5)});
+  // CPU power reached TDP; frequency throttling risk (Case 7).
+  add({.name = "inspect_cpu_power_tdp", .category = p,
+       .default_level = Severity::kWarning,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(5)});
+  // GPU dropped from the passthrough VM: major compute loss (Sec. IV-C).
+  add({.name = "gpu_drop", .category = p, .default_level = Severity::kFatal,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(1)});
+  // Memory bandwidth contention on shared hosts.
+  add({.name = "mem_bw_contention", .category = p,
+       .default_level = Severity::kWarning,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(1)});
+
+  // --- Control-plane events (CDI-C) -----------------------------------------
+  // Management-operation failures (Definition 1 / Sec. IV-A examples).
+  for (const char* name :
+       {"vm_start_failed", "vm_stop_failed", "vm_release_failed",
+        "vm_resize_failed", "vm_create_failed"}) {
+    add({.name = name, .category = c, .default_level = Severity::kCritical,
+         .period_kind = PeriodKind::kWindowed,
+         .window = Duration::Minutes(5)});
+  }
+  // Management API errors / console login failures / metric loss (Case 2).
+  add({.name = "api_error", .category = c,
+       .default_level = Severity::kCritical,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(1)});
+  add({.name = "console_unavailable", .category = c,
+       .default_level = Severity::kCritical,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(1)});
+  add({.name = "monitoring_loss", .category = c,
+       .default_level = Severity::kWarning,
+       .period_kind = PeriodKind::kWindowed, .window = Duration::Minutes(1)});
+
+  // --- Informational events that feed rules but not the CDI directly -------
+  // IDC ticket: network cable repaired (Fig. 1). Modeled as a zero-damage
+  // informational performance event.
+  add({.name = "net_cable_repaired", .category = p,
+       .default_level = Severity::kInfo,
+       .period_kind = PeriodKind::kLoggedDuration,
+       .default_duration = Duration::Millis(0)});
+
+  return catalog;
+}
+
+}  // namespace cdibot

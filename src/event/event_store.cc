@@ -1,0 +1,83 @@
+#include "event/event_store.h"
+
+#include <algorithm>
+
+namespace cdibot {
+namespace {
+
+bool Matches(const RawEvent& ev, const EventQuery& q) {
+  if (q.time_range.has_value() && !q.time_range->Contains(ev.time)) {
+    return false;
+  }
+  if (!q.target.empty() && ev.target != q.target) return false;
+  if (!q.name.empty() && ev.name != q.name) return false;
+  if (q.min_level.has_value() && ev.level < *q.min_level) return false;
+  return true;
+}
+
+void SortByTime(std::vector<RawEvent>* events) {
+  std::stable_sort(events->begin(), events->end(),
+                   [](const RawEvent& a, const RawEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+}  // namespace
+
+void EventStore::Append(RawEvent event) {
+  by_target_[event.target].push_back(events_.size());
+  events_.push_back(std::move(event));
+}
+
+void EventStore::AppendBatch(std::vector<RawEvent> events) {
+  events_.reserve(events_.size() + events.size());
+  for (auto& ev : events) Append(std::move(ev));
+}
+
+std::vector<RawEvent> EventStore::Query(const EventQuery& query) const {
+  std::vector<RawEvent> out;
+  if (!query.target.empty()) {
+    auto it = by_target_.find(query.target);
+    if (it == by_target_.end()) return out;
+    for (size_t idx : it->second) {
+      if (Matches(events_[idx], query)) out.push_back(events_[idx]);
+    }
+  } else {
+    for (const RawEvent& ev : events_) {
+      if (Matches(ev, query)) out.push_back(ev);
+    }
+  }
+  SortByTime(&out);
+  return out;
+}
+
+std::vector<RawEvent> EventStore::ForTarget(const std::string& target) const {
+  std::vector<RawEvent> out;
+  auto it = by_target_.find(target);
+  if (it == by_target_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t idx : it->second) out.push_back(events_[idx]);
+  SortByTime(&out);
+  return out;
+}
+
+std::vector<std::string> EventStore::Targets() const {
+  std::vector<std::string> out;
+  out.reserve(by_target_.size());
+  for (const auto& [target, _] : by_target_) out.push_back(target);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unordered_map<std::string, size_t> EventStore::CountsByName() const {
+  std::unordered_map<std::string, size_t> out;
+  for (const RawEvent& ev : events_) ++out[ev.name];
+  return out;
+}
+
+void EventStore::Clear() {
+  events_.clear();
+  by_target_.clear();
+}
+
+}  // namespace cdibot

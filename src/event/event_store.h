@@ -1,0 +1,70 @@
+#ifndef CDIBOT_EVENT_EVENT_STORE_H_
+#define CDIBOT_EVENT_EVENT_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/time.h"
+#include "event/event.h"
+
+namespace cdibot {
+
+/// Filter for EventStore queries; unset fields match everything.
+struct EventQuery {
+  /// Restricts to events extracted within this interval when non-empty.
+  std::optional<Interval> time_range;
+  /// Restricts to a single target when non-empty.
+  std::string target;
+  /// Restricts to a single event name when non-empty.
+  std::string name;
+  /// Minimum severity level (inclusive).
+  std::optional<Severity> min_level;
+};
+
+/// In-memory raw-event store — the SLS-like short-term layer of Fig. 4 that
+/// the daily CDI job reads. Events are appended as extracted and queried by
+/// time range, target, and name. Appends keep insertion order; queries return
+/// results sorted by extraction time.
+///
+/// Thread-compatible: concurrent reads are safe once loading has finished.
+class EventStore {
+ public:
+  EventStore() = default;
+
+  /// Appends one event.
+  void Append(RawEvent event);
+
+  /// Appends a batch.
+  void AppendBatch(std::vector<RawEvent> events);
+
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Returns all events matching `query`, sorted by extraction time.
+  std::vector<RawEvent> Query(const EventQuery& query) const;
+
+  /// All events for one target, sorted by time (fast path used by the
+  /// per-VM CDI computation).
+  std::vector<RawEvent> ForTarget(const std::string& target) const;
+
+  /// Distinct targets that have at least one stored event.
+  std::vector<std::string> Targets() const;
+
+  /// Number of events per event name (used by the weight module's
+  /// ticket-rank inputs and by surge alerting, Sec. II-F2).
+  std::unordered_map<std::string, size_t> CountsByName() const;
+
+  /// Drops all events.
+  void Clear();
+
+ private:
+  std::vector<RawEvent> events_;
+  // target -> indexes into events_, in append order.
+  std::unordered_map<std::string, std::vector<size_t>> by_target_;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_EVENT_EVENT_STORE_H_

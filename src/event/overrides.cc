@@ -1,0 +1,50 @@
+#include "event/overrides.h"
+
+#include <map>
+
+namespace cdibot {
+
+StatusOr<EventCatalog> ApplyOverrides(
+    const EventCatalog& base, const std::vector<EventOverride>& overrides) {
+  // Index overrides; validate against the base catalog.
+  std::map<std::string, const EventOverride*> by_name;
+  for (const EventOverride& ov : overrides) {
+    CDIBOT_ASSIGN_OR_RETURN(const EventSpec spec, base.Find(ov.event_name));
+    if (spec.name != ov.event_name) {
+      return Status::InvalidArgument(
+          "override must target the parent event, not a detail: " +
+          ov.event_name);
+    }
+    if (ov.window.has_value() && spec.period_kind != PeriodKind::kWindowed) {
+      return Status::InvalidArgument(
+          "window override on non-windowed event: " + ov.event_name);
+    }
+    if (ov.window.has_value() && ov.window->millis() <= 0) {
+      return Status::InvalidArgument("window must be positive: " +
+                                     ov.event_name);
+    }
+    if (ov.expire_interval.has_value() &&
+        ov.expire_interval->millis() <= 0) {
+      return Status::InvalidArgument("expire_interval must be positive: " +
+                                     ov.event_name);
+    }
+    by_name[ov.event_name] = &ov;
+  }
+
+  EventCatalog out;
+  for (EventSpec spec : base.specs()) {
+    auto it = by_name.find(spec.name);
+    if (it != by_name.end()) {
+      const EventOverride& ov = *it->second;
+      if (ov.level.has_value()) spec.default_level = *ov.level;
+      if (ov.window.has_value()) spec.window = *ov.window;
+      if (ov.expire_interval.has_value()) {
+        spec.expire_interval = *ov.expire_interval;
+      }
+    }
+    CDIBOT_RETURN_IF_ERROR(out.Register(std::move(spec)));
+  }
+  return out;
+}
+
+}  // namespace cdibot

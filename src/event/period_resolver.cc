@@ -1,0 +1,151 @@
+#include "event/period_resolver.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace cdibot {
+namespace {
+
+// Emits `ev` into `out` after clamping into optional bounds; drops empties.
+void EmitClamped(ResolvedEvent ev, const std::optional<Interval>& bounds,
+                 std::vector<ResolvedEvent>* out, ResolveStats* stats) {
+  if (bounds.has_value()) {
+    ev.period = ev.period.ClampTo(*bounds);
+  }
+  if (ev.period.empty()) return;
+  ++stats->resolved;
+  out->push_back(std::move(ev));
+}
+
+}  // namespace
+
+PeriodResolver::PeriodResolver(const EventCatalog* catalog)
+    : catalog_(catalog) {}
+
+StatusOr<std::vector<ResolvedEvent>> PeriodResolver::Resolve(
+    std::vector<RawEvent> raw, std::optional<Interval> bounds,
+    ResolveStats* stats) const {
+  ResolveStats local_stats;
+  ResolveStats* s = stats != nullptr ? stats : &local_stats;
+  *s = ResolveStats{};
+
+  // Sort by (target, parent event, time) so stateful start/end details of
+  // the same issue stream interleave chronologically — sorting by the raw
+  // detail name would batch all starts before all ends and break both the
+  // consecutive-run dedup and the pairing.
+  struct Keyed {
+    std::string parent;
+    RawEvent event;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(raw.size());
+  for (RawEvent& ev : raw) {
+    auto spec_or = catalog_->Find(ev.name);
+    if (!spec_or.ok()) {
+      ++s->unknown_dropped;
+      continue;
+    }
+    keyed.push_back(Keyed{spec_or->name, std::move(ev)});
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    return std::tie(a.event.target, a.parent, a.event.time) <
+           std::tie(b.event.target, b.parent, b.event.time);
+  });
+
+  std::vector<ResolvedEvent> out;
+  out.reserve(keyed.size());
+
+  // Pending stateful start details keyed by (parent name, target).
+  struct PendingStart {
+    TimePoint time;
+    Severity level;
+  };
+  std::map<std::pair<std::string, std::string>, PendingStart> pending;
+  // Last seen detail name per (parent, target), for consecutive-run dedup.
+  std::map<std::pair<std::string, std::string>, std::string> last_detail;
+
+  for (Keyed& item : keyed) {
+    RawEvent& ev = item.event;
+    auto spec_or = catalog_->Find(ev.name);
+    if (!spec_or.ok()) continue;  // filtered above; defensive
+    const EventSpec& spec = spec_or.value();
+
+    switch (spec.period_kind) {
+      case PeriodKind::kLoggedDuration: {
+        Duration d = spec.default_duration;
+        auto logged = ev.LoggedDuration();
+        if (logged.ok()) d = logged.value();
+        EmitClamped(
+            ResolvedEvent{.name = spec.name,
+                          .target = ev.target,
+                          .period = Interval(ev.time - d, ev.time),
+                          .level = ev.level,
+                          .category = spec.category},
+            bounds, &out, s);
+        break;
+      }
+      case PeriodKind::kWindowed: {
+        EmitClamped(
+            ResolvedEvent{.name = spec.name,
+                          .target = ev.target,
+                          .period = Interval(ev.time - spec.window, ev.time),
+                          .level = ev.level,
+                          .category = spec.category},
+            bounds, &out, s);
+        break;
+      }
+      case PeriodKind::kStateful: {
+        const auto key = std::make_pair(spec.name, ev.target);
+        // Sec. IV-B2: among consecutive occurrences of the same detail,
+        // keep only the earliest.
+        auto ld = last_detail.find(key);
+        if (ld != last_detail.end() && ld->second == ev.name) {
+          ++s->duplicate_details_dropped;
+          break;
+        }
+        last_detail[key] = ev.name;
+
+        if (ev.name == spec.start_detail) {
+          pending[key] = PendingStart{ev.time, ev.level};
+        } else {  // end detail
+          auto pit = pending.find(key);
+          if (pit == pending.end()) {
+            ++s->dangling_end_dropped;
+            break;
+          }
+          EmitClamped(
+              ResolvedEvent{.name = spec.name,
+                            .target = ev.target,
+                            .period = Interval(pit->second.time, ev.time),
+                            .level = pit->second.level,
+                            .category = spec.category},
+              bounds, &out, s);
+          pending.erase(pit);
+        }
+        break;
+      }
+    }
+  }
+
+  // Close unpaired starts at start + expire (clamped to bounds.end).
+  for (const auto& [key, start] : pending) {
+    auto spec_or = catalog_->Find(key.first);
+    if (!spec_or.ok()) continue;
+    const EventSpec& spec = spec_or.value();
+    TimePoint end = start.time + spec.expire_interval;
+    if (bounds.has_value() && bounds->end < end) end = bounds->end;
+    ++s->unpaired_start_closed;
+    EmitClamped(ResolvedEvent{.name = spec.name,
+                              .target = key.second,
+                              .period = Interval(start.time, end),
+                              .level = start.level,
+                              .category = spec.category},
+                bounds, &out, s);
+    // EmitClamped already incremented resolved if kept.
+  }
+
+  return out;
+}
+
+}  // namespace cdibot

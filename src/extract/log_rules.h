@@ -1,0 +1,62 @@
+#ifndef CDIBOT_EXTRACT_LOG_RULES_H_
+#define CDIBOT_EXTRACT_LOG_RULES_H_
+
+#include <optional>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "event/event.h"
+#include "telemetry/log_stream.h"
+
+namespace cdibot {
+
+/// One expert-authored log extraction rule (Sec. II-C, "Expert rules"):
+/// log lines matching `pattern` become events named `event_name`. If the
+/// regex has a capture group named by index `duration_group` (>0), its
+/// integer value becomes the event's duration_ms attribute (the
+/// qemu_live_upgrade case).
+struct LogRule {
+  std::string event_name;
+  std::string pattern;
+  Severity level = Severity::kWarning;
+  /// 1-based regex capture group holding an impact duration in ms; 0 = none.
+  int duration_group = 0;
+  Duration expire_interval = Duration::Hours(24);
+};
+
+/// Compiles expert log rules and extracts events from log lines. Lines that
+/// match no rule are discarded (Fig. 1 discards two of the three NIC log
+/// entries). Rules are tried in registration order; the first match wins.
+class LogRuleExtractor {
+ public:
+  /// Compiles `rules`; fails with InvalidArgument on a bad regex.
+  static StatusOr<LogRuleExtractor> Create(std::vector<LogRule> rules);
+
+  /// The built-in expert rule set covering the paper's log events
+  /// (nic_flapping, qemu_live_upgrade, vm crash/hang markers).
+  static StatusOr<LogRuleExtractor> BuiltIn();
+
+  /// Extracts from one line; nullopt when no rule matches.
+  std::optional<RawEvent> Extract(const LogLine& line) const;
+
+  /// Extracts from a batch, preserving time order of the matches.
+  std::vector<RawEvent> ExtractAll(const std::vector<LogLine>& lines) const;
+
+  size_t num_rules() const { return rules_.size(); }
+
+ private:
+  struct CompiledRule {
+    LogRule rule;
+    std::regex re;
+  };
+  explicit LogRuleExtractor(std::vector<CompiledRule> rules)
+      : rules_(std::move(rules)) {}
+
+  std::vector<CompiledRule> rules_;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_EXTRACT_LOG_RULES_H_

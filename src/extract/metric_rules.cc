@@ -1,0 +1,69 @@
+#include "extract/metric_rules.h"
+
+#include <cmath>
+
+namespace cdibot {
+
+MetricThresholdExtractor MetricThresholdExtractor::BuiltIn() {
+  return MetricThresholdExtractor({
+      // Fig. 1 / Table IV: cloud-disk read latency spike -> slow_io.
+      MetricThresholdRule{.metric = "read_latency",
+                          .event_name = "slow_io",
+                          .direction = ThresholdDirection::kAbove,
+                          .threshold = 20.0,
+                          .level = Severity::kWarning,
+                          .escalation_threshold = 50.0,
+                          .escalated_level = Severity::kCritical},
+      // Table IV: vCPU contention -> vcpu_high.
+      MetricThresholdRule{.metric = "cpu_steal",
+                          .event_name = "vcpu_high",
+                          .direction = ThresholdDirection::kAbove,
+                          .threshold = 0.15,
+                          .level = Severity::kWarning,
+                          .escalation_threshold = 0.30,
+                          .escalated_level = Severity::kCritical},
+      MetricThresholdRule{.metric = "packet_loss_rate",
+                          .event_name = "packet_loss",
+                          .direction = ThresholdDirection::kAbove,
+                          .threshold = 0.01,
+                          .level = Severity::kWarning},
+      // Case 7: power at TDP risks frequency throttling.
+      MetricThresholdRule{.metric = "cpu_power_tdp_ratio",
+                          .event_name = "inspect_cpu_power_tdp",
+                          .direction = ThresholdDirection::kAbove,
+                          .threshold = 0.98,
+                          .level = Severity::kWarning},
+  });
+}
+
+std::vector<RawEvent> MetricThresholdExtractor::Extract(
+    const MetricSeries& series) const {
+  std::vector<RawEvent> out;
+  for (const MetricThresholdRule& rule : rules_) {
+    if (rule.metric != series.metric) continue;
+    for (const MetricPoint& pt : series.points) {
+      const bool violated = rule.direction == ThresholdDirection::kAbove
+                                ? pt.value > rule.threshold
+                                : pt.value < rule.threshold;
+      if (!violated) continue;
+      Severity level = rule.level;
+      if (!std::isnan(rule.escalation_threshold)) {
+        const bool escalated =
+            rule.direction == ThresholdDirection::kAbove
+                ? pt.value > rule.escalation_threshold
+                : pt.value < rule.escalation_threshold;
+        if (escalated) level = rule.escalated_level;
+      }
+      RawEvent ev;
+      ev.name = rule.event_name;
+      ev.time = pt.time;
+      ev.target = series.target;
+      ev.level = level;
+      ev.expire_interval = rule.expire_interval;
+      out.push_back(std::move(ev));
+    }
+  }
+  return out;
+}
+
+}  // namespace cdibot

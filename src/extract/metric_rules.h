@@ -1,0 +1,59 @@
+#ifndef CDIBOT_EXTRACT_METRIC_RULES_H_
+#define CDIBOT_EXTRACT_METRIC_RULES_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "event/event.h"
+#include "telemetry/metric_series.h"
+
+namespace cdibot {
+
+/// Direction of a threshold violation.
+enum class ThresholdDirection : int { kAbove = 0, kBelow = 1 };
+
+/// Expert threshold rule on a metric (Sec. II-C): every sample violating
+/// the threshold emits one windowed event — a persistently compromised VM
+/// therefore produces consecutive events whose windows tile the episode
+/// (Sec. IV-B1). A second, higher (or lower) escalation threshold upgrades
+/// the severity, modeling "events with identical names may correspond to
+/// varying levels" (Table II).
+struct MetricThresholdRule {
+  std::string metric;      ///< metric name this rule applies to
+  std::string event_name;  ///< emitted event name, e.g. slow_io
+  ThresholdDirection direction = ThresholdDirection::kAbove;
+  double threshold = 0.0;
+  Severity level = Severity::kWarning;
+  /// Optional escalation: beyond this value the event is emitted at
+  /// `escalated_level`. Disabled when NaN.
+  double escalation_threshold = std::numeric_limits<double>::quiet_NaN();
+  Severity escalated_level = Severity::kCritical;
+  Duration expire_interval = Duration::Hours(24);
+};
+
+/// Applies threshold rules to metric series.
+class MetricThresholdExtractor {
+ public:
+  explicit MetricThresholdExtractor(std::vector<MetricThresholdRule> rules)
+      : rules_(std::move(rules)) {}
+
+  /// The built-in rules for the paper's metric events: slow_io over
+  /// read_latency, vcpu_high over cpu_steal, packet_loss over loss rate,
+  /// and inspect_cpu_power_tdp over the power/TDP ratio (Case 7).
+  static MetricThresholdExtractor BuiltIn();
+
+  /// Emits one event per violating sample of `series` (rules whose metric
+  /// name differs are skipped).
+  std::vector<RawEvent> Extract(const MetricSeries& series) const;
+
+  size_t num_rules() const { return rules_.size(); }
+
+ private:
+  std::vector<MetricThresholdRule> rules_;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_EXTRACT_METRIC_RULES_H_

@@ -1,0 +1,116 @@
+#include "extract/statistical.h"
+
+#include <cmath>
+
+namespace cdibot {
+
+StatusOr<StatisticalExtractor> StatisticalExtractor::Calibrate(
+    const MetricSeries& calibration, Options options) {
+  if (options.event_name.empty()) {
+    return Status::InvalidArgument("extractor needs an event name");
+  }
+  CDIBOT_ASSIGN_OR_RETURN(
+      OnlineStl stl,
+      OnlineStl::Create(options.period, 0.05, 0.1, options.robust_stl));
+  std::vector<double> residuals;
+  residuals.reserve(calibration.points.size());
+  for (const MetricPoint& pt : calibration.points) {
+    residuals.push_back(stl.Observe(pt.value));
+  }
+  // The first period's residuals are zero while the seasonal profile
+  // initializes; calibrate the tail model on the remainder.
+  if (residuals.size() < options.period + 10) {
+    return Status::InvalidArgument(
+        "calibration series too short for the configured period");
+  }
+  residuals.erase(residuals.begin(),
+                  residuals.begin() + static_cast<long>(options.period));
+  std::optional<SpotDetector> spot;
+  std::optional<DSpotDetector> dspot;
+  if (options.detector == Detector::kSpot) {
+    CDIBOT_ASSIGN_OR_RETURN(
+        SpotDetector det,
+        SpotDetector::Calibrate(residuals, options.q, options.level));
+    spot = std::move(det);
+  } else {
+    DSpotDetector::Options dopts;
+    dopts.q = options.q;
+    dopts.level = options.level;
+    CDIBOT_ASSIGN_OR_RETURN(DSpotDetector det,
+                            DSpotDetector::Calibrate(residuals, dopts));
+    dspot = std::move(det);
+  }
+  return StatisticalExtractor(std::move(options), std::move(stl),
+                              std::move(spot), std::move(dspot));
+}
+
+std::optional<RawEvent> StatisticalExtractor::Observe(
+    const MetricPoint& point, const std::string& target) {
+  const double residual = stl_.Observe(point.value);
+  const char* direction = nullptr;
+  if (spot_.has_value()) {
+    if (spot_->Observe(residual)) direction = "spike";
+  } else {
+    switch (dspot_->Observe(residual)) {
+      case AnomalyDirection::kSpike:
+        direction = "spike";
+        break;
+      case AnomalyDirection::kDip:
+        direction = "dip";
+        break;
+      case AnomalyDirection::kNone:
+        break;
+    }
+  }
+  if (direction == nullptr) return std::nullopt;
+  RawEvent ev;
+  ev.name = options_.event_name;
+  ev.time = point.time;
+  ev.target = target;
+  ev.level = options_.event_level;
+  ev.expire_interval = Duration::Hours(24);
+  ev.attrs["direction"] = direction;
+  return ev;
+}
+
+std::vector<RawEvent> StatisticalExtractor::ExtractAll(
+    const MetricSeries& series) {
+  std::vector<RawEvent> out;
+  for (const MetricPoint& pt : series.points) {
+    auto ev = Observe(pt, series.target);
+    if (ev.has_value()) out.push_back(std::move(*ev));
+  }
+  return out;
+}
+
+StatusOr<FailurePredictor> FailurePredictor::Create(double threshold) {
+  if (!(threshold > 0.0) || !(threshold < 1.0)) {
+    return Status::InvalidArgument("threshold must be in (0, 1)");
+  }
+  return FailurePredictor(threshold);
+}
+
+double FailurePredictor::Score(const Features& f) const {
+  // Calibrated so an all-zero host scores ~0.02 and a host with several
+  // saturated indicators scores > 0.9.
+  const double z = -4.0 + 3.2 * f.corrected_memory_errors +
+                   2.8 * f.disk_reallocated_sectors +
+                   1.6 * f.cpu_throttle_ratio + 2.4 * f.nic_error_rate +
+                   1.2 * f.fan_speed_deviation;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+std::optional<RawEvent> FailurePredictor::Predict(const std::string& nc_id,
+                                                  TimePoint now,
+                                                  const Features& f) const {
+  if (Score(f) <= threshold_) return std::nullopt;
+  RawEvent ev;
+  ev.name = "nc_down_prediction";
+  ev.time = now;
+  ev.target = nc_id;
+  ev.level = Severity::kCritical;
+  ev.expire_interval = Duration::Hours(24);
+  return ev;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,112 @@
+#ifndef CDIBOT_EXTRACT_STATISTICAL_H_
+#define CDIBOT_EXTRACT_STATISTICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "anomaly/dspot.h"
+#include "anomaly/evt.h"
+#include "anomaly/stl.h"
+#include "common/statusor.h"
+#include "event/event.h"
+#include "telemetry/metric_series.h"
+
+namespace cdibot {
+
+/// Statistic-based event extraction (Sec. II-C, second bullet): combines
+/// seasonal-trend decomposition with EVT threshold setting — the
+/// BacktrackSTL + SPOT pairing the paper cites. Each metric sample is
+/// deseasonalized online; residuals exceeding the SPOT extreme threshold
+/// emit one windowed event.
+class StatisticalExtractor {
+ public:
+  /// Tail detector driving the extraction.
+  enum class Detector {
+    /// Upper-tail SPOT: spikes only (the common latency/error-rate case).
+    kSpot = 0,
+    /// Bidirectional drift-aware DSPOT: spikes AND dips (Case 7's zeroed
+    /// collector is a dip the upper-only detector misses).
+    kDSpot = 1,
+  };
+
+  struct Options {
+    /// Seasonal period in samples (1440 = daily at one-minute sampling).
+    size_t period = 1440;
+    /// SPOT target anomaly probability (per side for kDSpot).
+    double q = 1e-4;
+    /// Initial-calibration quantile level for the peaks threshold.
+    double level = 0.98;
+    /// Name of the emitted event.
+    std::string event_name = "metric_anomaly";
+    Severity event_level = Severity::kCritical;
+    Detector detector = Detector::kSpot;
+    /// BacktrackSTL-style robust component updates: anomalies do not
+    /// contaminate the trend/seasonal model.
+    bool robust_stl = false;
+  };
+
+  /// Calibrates the STL + SPOT chain on `calibration` (>= 2 periods of
+  /// clean data recommended) and returns a ready extractor.
+  static StatusOr<StatisticalExtractor> Calibrate(
+      const MetricSeries& calibration, Options options);
+
+  /// Feeds one observation; returns an event when it is anomalous. Events
+  /// from the kDSpot detector carry a "direction" attribute ("spike" or
+  /// "dip").
+  std::optional<RawEvent> Observe(const MetricPoint& point,
+                                  const std::string& target);
+
+  /// Batch form over a series.
+  std::vector<RawEvent> ExtractAll(const MetricSeries& series);
+
+ private:
+  StatisticalExtractor(Options options, OnlineStl stl,
+                       std::optional<SpotDetector> spot,
+                       std::optional<DSpotDetector> dspot)
+      : options_(std::move(options)),
+        stl_(std::move(stl)),
+        spot_(std::move(spot)),
+        dspot_(std::move(dspot)) {}
+
+  Options options_;
+  OnlineStl stl_;
+  std::optional<SpotDetector> spot_;
+  std::optional<DSpotDetector> dspot_;
+};
+
+/// The "deep learning" failure-prediction stand-in (Sec. II-C, third
+/// bullet; refs. [7][8]): a logistic scorer over host health features. The
+/// paper's TAAT/MISP transformers are proprietary models trained on
+/// production telemetry; a calibrated logistic model exercises the same
+/// pipeline contract — features in, risk score out, nc_down_prediction
+/// event when the score crosses a threshold.
+class FailurePredictor {
+ public:
+  /// Host health features, normalized to roughly [0, 1].
+  struct Features {
+    double corrected_memory_errors = 0.0;  ///< rate vs. alert budget
+    double disk_reallocated_sectors = 0.0;
+    double cpu_throttle_ratio = 0.0;
+    double nic_error_rate = 0.0;
+    double fan_speed_deviation = 0.0;
+  };
+
+  /// Creates a predictor with the default calibrated weights and decision
+  /// threshold in (0, 1).
+  static StatusOr<FailurePredictor> Create(double threshold = 0.7);
+
+  /// Failure risk score in (0, 1).
+  double Score(const Features& f) const;
+
+  /// Emits an nc_down_prediction event when Score > threshold.
+  std::optional<RawEvent> Predict(const std::string& nc_id, TimePoint now,
+                                  const Features& f) const;
+
+ private:
+  explicit FailurePredictor(double threshold) : threshold_(threshold) {}
+  double threshold_;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_EXTRACT_STATISTICAL_H_

@@ -1,0 +1,58 @@
+#include "extract/surge.h"
+
+namespace cdibot {
+
+StatusOr<SurgeDetector> SurgeDetector::Create(Options options) {
+  if (options.baseline_days < 3) {
+    return Status::InvalidArgument("baseline_days must be >= 3");
+  }
+  if (!(options.surge_multiplier > 1.0)) {
+    return Status::InvalidArgument("surge_multiplier must be > 1");
+  }
+  return SurgeDetector(options);
+}
+
+std::vector<SurgeAlert> SurgeDetector::ObserveDay(
+    TimePoint day, const std::vector<RawEvent>& events) {
+  // Today's per-event counts and distinct targets.
+  std::map<std::string, size_t> counts;
+  std::map<std::string, std::set<std::string>> targets;
+  for (const RawEvent& ev : events) {
+    ++counts[ev.name];
+    targets[ev.name].insert(ev.target);
+  }
+
+  std::vector<SurgeAlert> alerts;
+  for (const auto& [name, count] : counts) {
+    History& hist = history_[name];
+    // Alert decision against the existing baseline (before adding today).
+    if (hist.daily_counts.size() >= options_.baseline_days &&
+        count >= options_.min_count) {
+      double mean = 0.0;
+      for (size_t c : hist.daily_counts) mean += static_cast<double>(c);
+      mean /= static_cast<double>(hist.daily_counts.size());
+      const size_t affected = targets[name].size();
+      if (static_cast<double>(count) > options_.surge_multiplier * mean &&
+          affected >= options_.min_affected_targets) {
+        alerts.push_back(SurgeAlert{.event_name = name,
+                                    .day = day,
+                                    .count = count,
+                                    .baseline_mean = mean,
+                                    .affected_targets = affected});
+      }
+    }
+  }
+
+  // Every known event's history advances (absent events count 0 today;
+  // names first seen today were inserted by the alert loop above).
+  for (auto& [name, hist] : history_) {
+    auto it = counts.find(name);
+    hist.daily_counts.push_back(it == counts.end() ? 0 : it->second);
+    if (hist.daily_counts.size() > options_.baseline_days) {
+      hist.daily_counts.pop_front();
+    }
+  }
+  return alerts;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,68 @@
+#ifndef CDIBOT_EXTRACT_SURGE_H_
+#define CDIBOT_EXTRACT_SURGE_H_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/time.h"
+#include "event/event.h"
+
+namespace cdibot {
+
+/// An alert raised by the surge monitor (Sec. II-F2: "for the unexpected
+/// surge in events and the potential batch of missing operations it may
+/// trigger, we establish an alert mechanism ... if the surge is influenced
+/// by multiple customers, engineers are requested to intervene").
+struct SurgeAlert {
+  std::string event_name;
+  TimePoint day;
+  /// Today's event count vs the trailing baseline mean.
+  size_t count = 0;
+  double baseline_mean = 0.0;
+  /// Distinct targets affected today — the "multiple customers" signal.
+  size_t affected_targets = 0;
+};
+
+/// SurgeDetector watches per-event daily volumes and flags days whose
+/// count is far above the trailing baseline AND touches many distinct
+/// targets (a single noisy VM is an operations problem, not a surge).
+class SurgeDetector {
+ public:
+  struct Options {
+    /// Trailing days forming the baseline. >= 3.
+    size_t baseline_days = 7;
+    /// Alert when count > multiplier * baseline mean (and above min_count).
+    double surge_multiplier = 3.0;
+    /// Counts below this never alert (cold-start noise floor).
+    size_t min_count = 10;
+    /// Minimum distinct affected targets for an alert.
+    size_t min_affected_targets = 3;
+  };
+
+  static StatusOr<SurgeDetector> Create(Options options);
+  static StatusOr<SurgeDetector> Create() { return Create(Options()); }
+
+  /// Feeds one day of raw events; returns the alerts for that day. Events
+  /// are grouped internally by name; counts also update the baseline so a
+  /// persistent surge alerts once and then becomes the new normal.
+  std::vector<SurgeAlert> ObserveDay(TimePoint day,
+                                     const std::vector<RawEvent>& events);
+
+ private:
+  explicit SurgeDetector(Options options) : options_(options) {}
+
+  struct History {
+    std::deque<size_t> daily_counts;
+  };
+
+  Options options_;
+  std::map<std::string, History> history_;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_EXTRACT_SURGE_H_

@@ -1,0 +1,86 @@
+#include "ops/actions.h"
+
+namespace cdibot {
+
+std::string_view ActionTypeToString(ActionType t) {
+  switch (t) {
+    case ActionType::kLiveMigration:
+      return "live_migration";
+    case ActionType::kInPlaceReboot:
+      return "in_place_reboot";
+    case ActionType::kColdMigration:
+      return "cold_migration";
+    case ActionType::kDiskClean:
+      return "disk_clean";
+    case ActionType::kMemoryCompaction:
+      return "memory_compaction";
+    case ActionType::kProcessRepair:
+      return "process_repair";
+    case ActionType::kDeviceDisable:
+      return "device_disable";
+    case ActionType::kRepairRequest:
+      return "repair_request";
+    case ActionType::kFpgaSoftRepair:
+      return "fpga_soft_repair";
+    case ActionType::kNcReboot:
+      return "nc_reboot";
+    case ActionType::kNcLock:
+      return "nc_lock";
+    case ActionType::kNcDecommission:
+      return "nc_decommission";
+    case ActionType::kNullAction:
+      return "null_action";
+  }
+  return "?";
+}
+
+StatusOr<ActionType> ActionTypeFromString(std::string_view name) {
+  static constexpr ActionType kAll[] = {
+      ActionType::kLiveMigration,  ActionType::kInPlaceReboot,
+      ActionType::kColdMigration,  ActionType::kDiskClean,
+      ActionType::kMemoryCompaction, ActionType::kProcessRepair,
+      ActionType::kDeviceDisable,  ActionType::kRepairRequest,
+      ActionType::kFpgaSoftRepair, ActionType::kNcReboot,
+      ActionType::kNcLock,         ActionType::kNcDecommission,
+      ActionType::kNullAction,
+  };
+  for (ActionType t : kAll) {
+    if (ActionTypeToString(t) == name) return t;
+  }
+  return Status::NotFound("unknown action: " + std::string(name));
+}
+
+ActionCategory CategoryOf(ActionType t) {
+  switch (t) {
+    case ActionType::kLiveMigration:
+    case ActionType::kInPlaceReboot:
+    case ActionType::kColdMigration:
+      return ActionCategory::kVmOperation;
+    case ActionType::kDiskClean:
+    case ActionType::kMemoryCompaction:
+    case ActionType::kProcessRepair:
+      return ActionCategory::kNcSoftwareRepair;
+    case ActionType::kDeviceDisable:
+    case ActionType::kRepairRequest:
+    case ActionType::kFpgaSoftRepair:
+      return ActionCategory::kNcHardwareRepair;
+    case ActionType::kNcReboot:
+    case ActionType::kNcLock:
+    case ActionType::kNcDecommission:
+      return ActionCategory::kNcControl;
+    case ActionType::kNullAction:
+      return ActionCategory::kNone;
+  }
+  return ActionCategory::kNone;
+}
+
+bool IsVmDisruptive(ActionType t) {
+  return t == ActionType::kLiveMigration || t == ActionType::kInPlaceReboot ||
+         t == ActionType::kColdMigration;
+}
+
+bool IsNcDisruptive(ActionType t) {
+  return t == ActionType::kNcReboot || t == ActionType::kNcDecommission;
+}
+
+}  // namespace cdibot

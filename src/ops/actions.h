@@ -1,0 +1,57 @@
+#ifndef CDIBOT_OPS_ACTIONS_H_
+#define CDIBOT_OPS_ACTIONS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+
+namespace cdibot {
+
+/// The operation actions of Table III, grouped by type.
+enum class ActionType : int {
+  // VM operations.
+  kLiveMigration = 0,   ///< migrate a VM without shutdown
+  kInPlaceReboot = 1,   ///< reboot a VM on the same NC
+  kColdMigration = 2,   ///< reboot and migrate a VM
+  // NC software repair.
+  kDiskClean = 3,
+  kMemoryCompaction = 4,
+  kProcessRepair = 5,
+  // NC hardware repair.
+  kDeviceDisable = 6,
+  kRepairRequest = 7,   ///< create a ticket to IDC engineers
+  kFpgaSoftRepair = 8,
+  // NC control.
+  kNcReboot = 9,
+  kNcLock = 10,         ///< halt VM creation/migration onto the NC
+  kNcDecommission = 11,
+  /// No-op control arm for A/B tests (Sec. VI-D).
+  kNullAction = 12,
+};
+
+/// Coarse action category (the row groups of Table III).
+enum class ActionCategory : int {
+  kVmOperation = 0,
+  kNcSoftwareRepair = 1,
+  kNcHardwareRepair = 2,
+  kNcControl = 3,
+  kNone = 4,
+};
+
+std::string_view ActionTypeToString(ActionType t);
+StatusOr<ActionType> ActionTypeFromString(std::string_view name);
+ActionCategory CategoryOf(ActionType t);
+
+/// Whether the action moves or restarts the VM itself (these conflict with
+/// each other on the same target: a VM cannot be live-migrated and
+/// cold-migrated at once).
+bool IsVmDisruptive(ActionType t);
+
+/// Whether the action restarts or removes the whole NC (these supersede
+/// per-VM actions on resident VMs).
+bool IsNcDisruptive(ActionType t);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_OPS_ACTIONS_H_

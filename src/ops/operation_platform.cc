@@ -1,0 +1,133 @@
+#include "ops/operation_platform.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cdibot {
+
+StatusOr<std::vector<ActionRequest>> OperationPlatform::RequestsFromMatch(
+    const RuleMatch& match, const std::string& nc_id) const {
+  std::vector<ActionRequest> out;
+  out.reserve(match.actions.size());
+  for (const ActionSpec& spec : match.actions) {
+    CDIBOT_ASSIGN_OR_RETURN(const ActionType type,
+                            ActionTypeFromString(spec.action));
+    ActionRequest req;
+    req.type = type;
+    req.target = CategoryOf(type) == ActionCategory::kVmOperation
+                     ? match.target
+                     : nc_id;
+    req.source_rule = match.rule_name;
+    req.priority = spec.priority;
+    req.submitted_at = match.time;
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+std::vector<ActionRecord> OperationPlatform::Submit(
+    std::vector<ActionRequest> requests,
+    const std::map<std::string, std::string>& vm_to_nc) {
+  // Priority order (stable: submission order breaks ties).
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const ActionRequest& a, const ActionRequest& b) {
+                     return a.priority > b.priority;
+                   });
+
+  std::vector<ActionRecord> records;
+  records.reserve(requests.size());
+  std::set<std::pair<int, std::string>> seen;      // (type, target) dedup
+  std::set<std::string> vm_disrupted;              // VMs already claimed
+  std::set<std::string> nc_disrupted;              // NCs being rebooted etc.
+
+  for (ActionRequest& req : requests) {
+    ActionRecord record{.request = req, .outcome = ActionOutcome::kExecuted};
+
+    const auto key =
+        std::make_pair(static_cast<int>(req.type), req.target);
+    if (!seen.insert(key).second) {
+      record.outcome = ActionOutcome::kDiscardedConflict;
+      records.push_back(std::move(record));
+      continue;
+    }
+
+    if (CategoryOf(req.type) == ActionCategory::kVmOperation) {
+      auto host_it = vm_to_nc.find(req.target);
+      const std::string host =
+          host_it == vm_to_nc.end() ? "" : host_it->second;
+      if (IsVmDisruptive(req.type)) {
+        if (vm_disrupted.count(req.target) > 0 ||
+            (!host.empty() && nc_disrupted.count(host) > 0)) {
+          record.outcome = ActionOutcome::kDiscardedConflict;
+          records.push_back(std::move(record));
+          continue;
+        }
+        vm_disrupted.insert(req.target);
+      }
+      // Migrations need a destination: with the fleet locked down they
+      // cannot run. (In-place reboot is allowed on a locked host.)
+      if ((req.type == ActionType::kLiveMigration ||
+           req.type == ActionType::kColdMigration) &&
+          !host.empty() && IsDecommissioned(host)) {
+        record.outcome = ActionOutcome::kDiscardedLocked;
+        records.push_back(std::move(record));
+        continue;
+      }
+    } else {
+      if (IsNcDisruptive(req.type)) {
+        nc_disrupted.insert(req.target);
+      }
+      if (IsDecommissioned(req.target) &&
+          req.type != ActionType::kNcDecommission) {
+        record.outcome = ActionOutcome::kDiscardedLocked;
+        records.push_back(std::move(record));
+        continue;
+      }
+    }
+
+    Execute(req);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+void OperationPlatform::Execute(const ActionRequest& request) {
+  switch (request.type) {
+    case ActionType::kNcLock:
+      locked_ncs_.insert(request.target);
+      break;
+    case ActionType::kNcDecommission:
+      decommissioned_ncs_.insert(request.target);
+      locked_ncs_.insert(request.target);
+      break;
+    default:
+      break;  // other actions only leave an audit record in this model
+  }
+  history_.push_back(
+      ActionRecord{.request = request, .outcome = ActionOutcome::kExecuted});
+}
+
+bool OperationPlatform::IsLocked(const std::string& nc_id) const {
+  return locked_ncs_.count(nc_id) > 0;
+}
+
+bool OperationPlatform::IsDecommissioned(const std::string& nc_id) const {
+  return decommissioned_ncs_.count(nc_id) > 0;
+}
+
+void OperationPlatform::Unlock(const std::string& nc_id) {
+  locked_ncs_.erase(nc_id);
+}
+
+size_t OperationPlatform::ExecutedCount(ActionType type) const {
+  size_t count = 0;
+  for (const ActionRecord& rec : history_) {
+    if (rec.request.type == type &&
+        rec.outcome == ActionOutcome::kExecuted) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace cdibot

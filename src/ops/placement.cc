@@ -1,0 +1,97 @@
+#include "ops/placement.h"
+
+#include <algorithm>
+
+namespace cdibot {
+namespace {
+
+// Whether a VM of `type` may land on an NC with `arch` hosting `resident`
+// types. Homogeneous NCs host one type (Fig. 7 a/b); hybrid NCs host both
+// (Fig. 7 c).
+bool ArchitectureAccepts(DeploymentArch arch, VmType vm_type,
+                         const std::vector<VmType>& resident_types) {
+  if (arch == DeploymentArch::kHybrid) return true;
+  for (VmType t : resident_types) {
+    if (t != vm_type) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<int> PlacementScheduler::FreeCores(const std::string& nc_id) const {
+  CDIBOT_ASSIGN_OR_RETURN(const NcInfo nc, topology_->FindNc(nc_id));
+  int used = 0;
+  for (const std::string& vm_id : topology_->VmsOnNc(nc_id)) {
+    CDIBOT_ASSIGN_OR_RETURN(const VmInfo vm, topology_->FindVm(vm_id));
+    used += vm.core_end - vm.core_begin;
+  }
+  return nc.num_cores - used;
+}
+
+StatusOr<PlacementDecision> PlacementScheduler::ChooseWithUsage(
+    const VmInfo& vm, const std::map<std::string, int>& extra_usage) const {
+  const int needed = vm.core_end - vm.core_begin;
+  std::vector<PlacementDecision> feasible;
+
+  for (const NcInfo& nc : topology_->ncs()) {
+    if (nc.nc_id == vm.nc_id) continue;  // must actually move
+    if (platform_->IsLocked(nc.nc_id) ||
+        platform_->IsDecommissioned(nc.nc_id)) {
+      continue;
+    }
+    std::vector<VmType> resident_types;
+    for (const std::string& other : topology_->VmsOnNc(nc.nc_id)) {
+      CDIBOT_ASSIGN_OR_RETURN(const VmInfo info, topology_->FindVm(other));
+      resident_types.push_back(info.type);
+    }
+    if (!ArchitectureAccepts(nc.arch, vm.type, resident_types)) continue;
+
+    CDIBOT_ASSIGN_OR_RETURN(int free, FreeCores(nc.nc_id));
+    auto extra = extra_usage.find(nc.nc_id);
+    if (extra != extra_usage.end()) free -= extra->second;
+    if (free < needed) continue;
+
+    feasible.push_back(PlacementDecision{.vm_id = vm.vm_id,
+                                         .source_nc = vm.nc_id,
+                                         .destination_nc = nc.nc_id,
+                                         .destination_free_cores =
+                                             free - needed});
+  }
+  if (feasible.empty()) {
+    return Status::ResourceExhausted("no feasible destination for " +
+                                     vm.vm_id);
+  }
+  // Worst-fit: keep the most headroom; ties by NC id for determinism.
+  std::sort(feasible.begin(), feasible.end(),
+            [](const PlacementDecision& a, const PlacementDecision& b) {
+              if (a.destination_free_cores != b.destination_free_cores) {
+                return a.destination_free_cores > b.destination_free_cores;
+              }
+              return a.destination_nc < b.destination_nc;
+            });
+  return feasible.front();
+}
+
+StatusOr<PlacementDecision> PlacementScheduler::ChooseDestination(
+    const std::string& vm_id) const {
+  CDIBOT_ASSIGN_OR_RETURN(const VmInfo vm, topology_->FindVm(vm_id));
+  return ChooseWithUsage(vm, {});
+}
+
+StatusOr<std::vector<PlacementDecision>> PlacementScheduler::PlanEvacuation(
+    const std::string& nc_id) const {
+  CDIBOT_RETURN_IF_ERROR(topology_->FindNc(nc_id).status());
+  std::vector<PlacementDecision> plan;
+  std::map<std::string, int> extra_usage;
+  for (const std::string& vm_id : topology_->VmsOnNc(nc_id)) {
+    CDIBOT_ASSIGN_OR_RETURN(const VmInfo vm, topology_->FindVm(vm_id));
+    CDIBOT_ASSIGN_OR_RETURN(PlacementDecision decision,
+                            ChooseWithUsage(vm, extra_usage));
+    extra_usage[decision.destination_nc] += vm.core_end - vm.core_begin;
+    plan.push_back(std::move(decision));
+  }
+  return plan;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,71 @@
+#ifndef CDIBOT_OPS_PLACEMENT_H_
+#define CDIBOT_OPS_PLACEMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "ops/operation_platform.h"
+#include "telemetry/topology.h"
+
+namespace cdibot {
+
+/// A chosen migration destination.
+struct PlacementDecision {
+  std::string vm_id;
+  std::string source_nc;
+  std::string destination_nc;
+  /// Free cores remaining on the destination after placing the VM.
+  int destination_free_cores = 0;
+};
+
+/// PlacementScheduler answers the question the Operation Platform's
+/// migrations leave open: WHERE does an evacuated VM go? It models the
+/// scheduling constraints the paper's cases revolve around:
+///
+///  * capacity — the destination must have enough free physical cores for
+///    the VM's allocation (Case 6 is exactly what happens when this
+///    bookkeeping is wrong);
+///  * locks — locked or decommissioned NCs accept no new VMs (Example 1
+///    locks the faulty host for the repair duration);
+///  * architecture — dedicated VMs only land on hosts whose deployment
+///    architecture accepts them (homogeneous-dedicated, or hybrid);
+///    shared VMs likewise (Case 5's pools);
+///  * spread — among feasible hosts, pick the one with the most free cores
+///    (worst-fit keeps headroom for elasticity), ties broken by NC id.
+class PlacementScheduler {
+ public:
+  /// `topology` and `platform` are borrowed and must outlive the scheduler.
+  /// The platform supplies the NC lock state.
+  PlacementScheduler(const FleetTopology* topology,
+                     const OperationPlatform* platform)
+      : topology_(topology), platform_(platform) {}
+
+  /// Chooses a destination for `vm_id`, excluding its current host.
+  /// Returns ResourceExhausted when no feasible destination exists.
+  StatusOr<PlacementDecision> ChooseDestination(
+      const std::string& vm_id) const;
+
+  /// Plans destinations for every VM on `nc_id` (the nc_down_prediction /
+  /// Example 1 evacuation). Decisions account for the capacity consumed by
+  /// earlier decisions in the same plan. Returns ResourceExhausted if any
+  /// VM cannot be placed (no partial plans: evacuation is all-or-nothing).
+  StatusOr<std::vector<PlacementDecision>> PlanEvacuation(
+      const std::string& nc_id) const;
+
+  /// Free cores currently available on `nc_id` (capacity minus the cores of
+  /// resident VMs). NotFound for unknown NCs.
+  StatusOr<int> FreeCores(const std::string& nc_id) const;
+
+ private:
+  StatusOr<PlacementDecision> ChooseWithUsage(
+      const VmInfo& vm, const std::map<std::string, int>& extra_usage) const;
+
+  const FleetTopology* topology_;
+  const OperationPlatform* platform_;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_OPS_PLACEMENT_H_

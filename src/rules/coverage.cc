@@ -1,0 +1,52 @@
+#include "rules/coverage.h"
+
+#include <set>
+
+namespace cdibot {
+
+RuleCoverageReport AnalyzeRuleCoverage(const RuleEngine& engine,
+                                       const EventCatalog& catalog) {
+  return AnalyzeRuleCoverage(engine, catalog, {});
+}
+
+RuleCoverageReport AnalyzeRuleCoverage(
+    const RuleEngine& engine, const EventCatalog& catalog,
+    const std::vector<RuleMatch>& matches) {
+  RuleCoverageReport report;
+
+  // Which events does each rule reference?
+  std::set<std::string> referenced;
+  for (const OperationRule& rule : engine.rules()) {
+    for (const std::string& name : rule.expr.ReferencedEvents()) {
+      if (catalog.Contains(name)) {
+        referenced.insert(name);
+        report.covered_events[name].push_back(rule.name);
+      } else {
+        report.unknown_references[rule.name].push_back(name);
+      }
+    }
+  }
+
+  // Catalog events never referenced. Stateful detail names resolve to their
+  // parent; informational (kInfo) events are intentionally uncovered.
+  for (const EventSpec& spec : catalog.specs()) {
+    if (spec.default_level == Severity::kInfo) continue;
+    if (referenced.count(spec.name) == 0) {
+      report.uncovered_events.push_back(spec.name);
+    }
+  }
+
+  // Observed match history.
+  for (const OperationRule& rule : engine.rules()) {
+    report.match_counts[rule.name] = 0;
+  }
+  for (const RuleMatch& match : matches) {
+    ++report.match_counts[match.rule_name];
+  }
+  for (const auto& [rule, count] : report.match_counts) {
+    if (count == 0) report.unmatched_rules.push_back(rule);
+  }
+  return report;
+}
+
+}  // namespace cdibot

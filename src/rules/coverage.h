@@ -1,0 +1,47 @@
+#ifndef CDIBOT_RULES_COVERAGE_H_
+#define CDIBOT_RULES_COVERAGE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "event/catalog.h"
+#include "rules/rule_engine.h"
+
+namespace cdibot {
+
+/// The rule-review report of Sec. II-F2 ("we regularly review and update
+/// the rules to ensure that they cover a wider range of failure conditions
+/// and reduce the likelihood of missing operations").
+struct RuleCoverageReport {
+  /// Catalog events referenced by no rule expression: failure conditions
+  /// with no automated response — missing-operation candidates.
+  std::vector<std::string> uncovered_events;
+  /// Events referenced by rules, with the referencing rule names.
+  std::map<std::string, std::vector<std::string>> covered_events;
+  /// Rules whose expressions reference at least one name absent from the
+  /// catalog (typos or retired events — the rule can never fire on those).
+  std::map<std::string, std::vector<std::string>> unknown_references;
+  /// Rules that never matched in the observed history ("dead rules" —
+  /// either healthy prevention or obsolete logic; both deserve review).
+  std::vector<std::string> unmatched_rules;
+  /// Match counts per rule over the observed history.
+  std::map<std::string, size_t> match_counts;
+};
+
+/// Static analysis: which catalog events do the rules cover, and which rule
+/// expressions reference unknown names. Informational events (kInfo default
+/// severity) are not counted as uncovered — they carry no damage.
+RuleCoverageReport AnalyzeRuleCoverage(const RuleEngine& engine,
+                                       const EventCatalog& catalog);
+
+/// Extends the static report with observed match history: `matches` is the
+/// stream of RuleMatch records collected over the review period.
+RuleCoverageReport AnalyzeRuleCoverage(const RuleEngine& engine,
+                                       const EventCatalog& catalog,
+                                       const std::vector<RuleMatch>& matches);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_RULES_COVERAGE_H_

@@ -1,0 +1,56 @@
+#ifndef CDIBOT_RULES_EXPRESSION_H_
+#define CDIBOT_RULES_EXPRESSION_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace cdibot {
+
+/// A readable boolean expression over event names (Sec. II-D: "an operation
+/// rule contains a readable boolean expression"). Grammar:
+///
+///   expr    := or
+///   or      := and ( ("||" | "or") and )*
+///   and     := unary ( ("&&" | "and") unary )*
+///   unary   := "!" unary | "not" unary | primary
+///   primary := identifier | "(" expr ")"
+///
+/// Identifiers are event names ([A-Za-z_][A-Za-z0-9_]*). An expression
+/// evaluates against the set of event names currently active on a target.
+/// Example 1's rule: "slow_io && nic_flapping".
+class Expression {
+ public:
+  /// Parses `text`; InvalidArgument with a position hint on syntax errors.
+  static StatusOr<Expression> Parse(const std::string& text);
+
+  Expression(Expression&&) noexcept;
+  Expression& operator=(Expression&&) noexcept;
+  Expression(const Expression& other);
+  Expression& operator=(const Expression& other);
+  ~Expression();
+
+  /// Evaluates against the set of active event names.
+  bool Eval(const std::set<std::string>& active_events) const;
+
+  /// Every event name the expression mentions (sorted, unique).
+  std::vector<std::string> ReferencedEvents() const;
+
+  /// Canonical rendering of the parsed expression.
+  std::string ToString() const;
+
+  /// Parse-tree node. Public for the implementation's free functions; not
+  /// part of the supported API surface.
+  struct Node;
+
+ private:
+  explicit Expression(std::unique_ptr<Node> root);
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_RULES_EXPRESSION_H_

@@ -1,0 +1,17 @@
+#include "rules/meta_events.h"
+
+namespace cdibot {
+
+StatusOr<std::set<std::string>> MetaEventsForVm(const FleetTopology& topology,
+                                                const std::string& vm_id) {
+  CDIBOT_ASSIGN_OR_RETURN(const VmInfo vm, topology.FindVm(vm_id));
+  CDIBOT_ASSIGN_OR_RETURN(const NcInfo nc, topology.FindNc(vm.nc_id));
+  std::set<std::string> meta;
+  meta.insert(vm.type == VmType::kShared ? "shared_vm" : "dedicated_vm");
+  meta.insert(nc.arch == DeploymentArch::kHybrid ? "hybrid_host"
+                                                 : "homogeneous_host");
+  meta.insert("model_" + nc.model);
+  return meta;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,33 @@
+#ifndef CDIBOT_RULES_META_EVENTS_H_
+#define CDIBOT_RULES_META_EVENTS_H_
+
+#include <set>
+#include <string>
+
+#include "common/statusor.h"
+#include "telemetry/topology.h"
+
+namespace cdibot {
+
+/// Meta-information events of Sec. II-F1: the rule engine combines detected
+/// events "with meta-information such as product configurations" — e.g.
+/// CPU contention on a SHARED VM is consistent with the product definition
+/// and needs no action. This helper derives the synthetic meta event names
+/// for a VM from the fleet topology so rule expressions can reference them:
+///
+///   shared_vm / dedicated_vm       — VM resource-isolation type
+///   hybrid_host / homogeneous_host — host deployment architecture
+///   model_<name>                   — host machine model (e.g. model_gen2)
+///
+/// Usage: union these names into the active event set before Match():
+///
+///   auto active = RuleEngine::ActiveEventNames(events, now);
+///   auto meta = MetaEventsForVm(topology, vm_id).value();
+///   active.insert(meta.begin(), meta.end());
+///   engine.Match(active, vm_id, now);
+StatusOr<std::set<std::string>> MetaEventsForVm(const FleetTopology& topology,
+                                                const std::string& vm_id);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_RULES_META_EVENTS_H_

@@ -1,0 +1,228 @@
+#include "rules/mining.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace cdibot {
+namespace {
+
+// FP-tree node. Children keyed by item; node links thread equal items.
+struct FpNode {
+  std::string item;
+  size_t count = 0;
+  FpNode* parent = nullptr;
+  std::map<std::string, std::unique_ptr<FpNode>> children;
+  FpNode* next_same_item = nullptr;  // header-table chain
+};
+
+// Header table entry: total support and chain head.
+struct HeaderEntry {
+  size_t support = 0;
+  FpNode* head = nullptr;
+};
+
+class FpTree {
+ public:
+  // Builds the tree from (itemset, count) pairs; items within each itemset
+  // must already be filtered to frequent ones and sorted by the global
+  // frequency order.
+  FpTree() : root_(std::make_unique<FpNode>()) {}
+
+  void Insert(const std::vector<std::string>& items, size_t count) {
+    FpNode* node = root_.get();
+    for (const std::string& item : items) {
+      auto it = node->children.find(item);
+      if (it == node->children.end()) {
+        auto child = std::make_unique<FpNode>();
+        child->item = item;
+        child->parent = node;
+        // Thread into the header chain.
+        HeaderEntry& entry = header_[item];
+        child->next_same_item = entry.head;
+        entry.head = child.get();
+        it = node->children.emplace(item, std::move(child)).first;
+      }
+      it->second->count += count;
+      header_[item].support += count;
+      node = it->second.get();
+    }
+  }
+
+  const std::map<std::string, HeaderEntry>& header() const { return header_; }
+
+  bool empty() const { return root_->children.empty(); }
+
+ private:
+  std::unique_ptr<FpNode> root_;
+  std::map<std::string, HeaderEntry> header_;
+};
+
+// Recursive FP-Growth: mines `tree`, emitting (suffix + new item) itemsets.
+void FpGrowth(const FpTree& tree, const std::vector<std::string>& suffix,
+              const MiningOptions& options,
+              const std::unordered_map<std::string, size_t>& global_order,
+              std::vector<FrequentItemset>* out) {
+  if (suffix.size() >= options.max_itemset_size) return;
+  for (const auto& [item, entry] : tree.header()) {
+    if (entry.support < options.min_support) continue;
+
+    std::vector<std::string> itemset = suffix;
+    itemset.push_back(item);
+    std::sort(itemset.begin(), itemset.end());
+    out->push_back(FrequentItemset{itemset, entry.support});
+
+    // Conditional pattern base: prefix paths of every node of `item`.
+    FpTree conditional;
+    for (FpNode* node = entry.head; node != nullptr;
+         node = node->next_same_item) {
+      std::vector<std::string> path;
+      for (FpNode* p = node->parent; p != nullptr && !p->item.empty();
+           p = p->parent) {
+        path.push_back(p->item);
+      }
+      if (path.empty()) continue;
+      // Paths were collected leaf->root; restore global frequency order.
+      std::sort(path.begin(), path.end(),
+                [&global_order](const std::string& a, const std::string& b) {
+                  return global_order.at(a) < global_order.at(b);
+                });
+      conditional.Insert(path, node->count);
+    }
+    if (!conditional.empty()) {
+      std::vector<std::string> next_suffix = suffix;
+      next_suffix.push_back(item);
+      FpGrowth(conditional, next_suffix, options, global_order, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string AssociationRule::ToExpression() const {
+  return StrJoin(antecedent, " && ");
+}
+
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsets(
+    const std::vector<EventTransaction>& transactions,
+    const MiningOptions& options) {
+  if (options.min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (options.max_itemset_size < 1) {
+    return Status::InvalidArgument("max_itemset_size must be >= 1");
+  }
+
+  // Pass 1: item frequencies.
+  std::unordered_map<std::string, size_t> freq;
+  for (const EventTransaction& txn : transactions) {
+    for (const std::string& item : txn) ++freq[item];
+  }
+  // Global order: descending frequency, ties lexicographic. Items are
+  // inserted into FP-tree paths in this order so shared prefixes compress.
+  std::vector<std::string> order;
+  for (const auto& [item, count] : freq) {
+    if (count >= options.min_support) order.push_back(item);
+  }
+  std::sort(order.begin(), order.end(),
+            [&freq](const std::string& a, const std::string& b) {
+              if (freq[a] != freq[b]) return freq[a] > freq[b];
+              return a < b;
+            });
+  std::unordered_map<std::string, size_t> rank;
+  for (size_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+
+  // Pass 2: build the tree.
+  FpTree tree;
+  for (const EventTransaction& txn : transactions) {
+    std::vector<std::string> items;
+    for (const std::string& item : txn) {
+      if (rank.count(item) > 0) items.push_back(item);
+    }
+    if (items.empty()) continue;
+    std::sort(items.begin(), items.end(),
+              [&rank](const std::string& a, const std::string& b) {
+                return rank[a] < rank[b];
+              });
+    tree.Insert(items, 1);
+  }
+
+  std::vector<FrequentItemset> out;
+  FpGrowth(tree, {}, options, rank, &out);
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.items < b.items;
+            });
+  return out;
+}
+
+StatusOr<std::vector<AssociationRule>> MineAssociationRules(
+    const std::vector<EventTransaction>& transactions,
+    const MiningOptions& options) {
+  CDIBOT_ASSIGN_OR_RETURN(const std::vector<FrequentItemset> itemsets,
+                          MineFrequentItemsets(transactions, options));
+  // Support lookup for all frequent itemsets.
+  std::map<std::vector<std::string>, size_t> support;
+  for (const FrequentItemset& fi : itemsets) support[fi.items] = fi.support;
+
+  const auto n = static_cast<double>(transactions.size());
+  if (n == 0) return std::vector<AssociationRule>{};
+
+  std::vector<AssociationRule> rules;
+  for (const FrequentItemset& fi : itemsets) {
+    if (fi.items.size() < 2) continue;
+    // Single-item consequents only: the mined rule maps directly onto an
+    // operation-rule expression "antecedent events co-occur".
+    for (size_t c = 0; c < fi.items.size(); ++c) {
+      std::vector<std::string> antecedent;
+      for (size_t i = 0; i < fi.items.size(); ++i) {
+        if (i != c) antecedent.push_back(fi.items[i]);
+      }
+      auto ant_it = support.find(antecedent);
+      if (ant_it == support.end()) continue;  // below min_support
+      const double confidence = static_cast<double>(fi.support) /
+                                static_cast<double>(ant_it->second);
+      if (confidence < options.min_confidence) continue;
+      auto cons_it = support.find({fi.items[c]});
+      if (cons_it == support.end()) continue;
+      const double p_consequent =
+          static_cast<double>(cons_it->second) / n;
+      const double lift = p_consequent > 0 ? confidence / p_consequent : 0.0;
+      if (lift < options.min_lift) continue;
+      rules.push_back(AssociationRule{.antecedent = antecedent,
+                                      .consequent = fi.items[c],
+                                      .support = fi.support,
+                                      .confidence = confidence,
+                                      .lift = lift});
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.lift != b.lift) return a.lift > b.lift;
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.antecedent < b.antecedent;
+            });
+  return rules;
+}
+
+std::vector<EventTransaction> TransactionsFromEvents(
+    const std::vector<RawEvent>& events, Duration window) {
+  // Group by (target, window bucket).
+  std::map<std::pair<std::string, int64_t>, EventTransaction> buckets;
+  const int64_t w = std::max<int64_t>(1, window.millis());
+  for (const RawEvent& ev : events) {
+    const int64_t bucket = ev.time.millis() / w;
+    buckets[{ev.target, bucket}].insert(ev.name);
+  }
+  std::vector<EventTransaction> out;
+  out.reserve(buckets.size());
+  for (auto& [key, txn] : buckets) out.push_back(std::move(txn));
+  return out;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,75 @@
+#ifndef CDIBOT_RULES_MINING_H_
+#define CDIBOT_RULES_MINING_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/time.h"
+#include "event/event.h"
+
+namespace cdibot {
+
+/// A transaction for association mining: the set of event names observed
+/// together on one target within one co-occurrence window.
+using EventTransaction = std::set<std::string>;
+
+/// A frequent event itemset with its absolute support count.
+struct FrequentItemset {
+  std::vector<std::string> items;  ///< sorted event names
+  size_t support = 0;              ///< transactions containing all items
+};
+
+/// An association rule antecedent -> consequent with its quality measures.
+/// Mined rules are candidate operation-rule expressions (Sec. II-D: "based
+/// on association mining algorithms, we can optimize existing rules and
+/// discover new rules").
+struct AssociationRule {
+  std::vector<std::string> antecedent;  ///< sorted event names
+  std::string consequent;               ///< single event name
+  size_t support = 0;                   ///< count of (antecedent u consequent)
+  double confidence = 0.0;              ///< support / support(antecedent)
+  double lift = 0.0;  ///< confidence / P(consequent); > 1 = positive assoc.
+
+  /// Renders the antecedent as a rule-engine expression, e.g.
+  /// "nic_flapping && slow_io".
+  std::string ToExpression() const;
+};
+
+/// Options for mining.
+struct MiningOptions {
+  /// Minimum absolute support for frequent itemsets.
+  size_t min_support = 2;
+  /// Minimum confidence for emitted rules.
+  double min_confidence = 0.6;
+  /// Minimum lift for emitted rules (filters coincidental pairs).
+  double min_lift = 1.0;
+  /// Maximum itemset size explored (runaway guard).
+  size_t max_itemset_size = 5;
+};
+
+/// FP-Growth frequent-itemset mining (Borgelt's formulation, ref. [29]).
+/// Returns all itemsets of size >= 1 with support >= min_support, sorted by
+/// descending support then lexicographic items. Requires min_support >= 1.
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsets(
+    const std::vector<EventTransaction>& transactions,
+    const MiningOptions& options = {});
+
+/// Derives association rules with a single consequent from the frequent
+/// itemsets of `transactions`, filtered by the confidence and lift
+/// thresholds. Sorted by descending lift then confidence.
+StatusOr<std::vector<AssociationRule>> MineAssociationRules(
+    const std::vector<EventTransaction>& transactions,
+    const MiningOptions& options = {});
+
+/// Builds co-occurrence transactions from raw events: for each target, the
+/// event stream is cut into windows of length `window` and each non-empty
+/// window becomes one transaction of the distinct event names in it.
+std::vector<EventTransaction> TransactionsFromEvents(
+    const std::vector<RawEvent>& events, Duration window);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_RULES_MINING_H_

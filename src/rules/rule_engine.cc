@@ -1,0 +1,70 @@
+#include "rules/rule_engine.h"
+
+namespace cdibot {
+
+Status RuleEngine::Register(const std::string& name,
+                            const std::string& expr_text,
+                            std::vector<ActionSpec> actions) {
+  if (name.empty()) return Status::InvalidArgument("rule needs a name");
+  if (names_.count(name) > 0) {
+    return Status::AlreadyExists("rule exists: " + name);
+  }
+  CDIBOT_ASSIGN_OR_RETURN(Expression expr, Expression::Parse(expr_text));
+  names_.insert(name);
+  rules_.push_back(OperationRule{.name = name,
+                                 .expr = std::move(expr),
+                                 .actions = std::move(actions)});
+  return Status::OK();
+}
+
+std::set<std::string> RuleEngine::ActiveEventNames(
+    const std::vector<RawEvent>& events, TimePoint at) {
+  std::set<std::string> active;
+  for (const RawEvent& ev : events) {
+    if (ev.time <= at && at < ev.time + ev.expire_interval) {
+      active.insert(ev.name);
+    }
+  }
+  return active;
+}
+
+std::vector<RuleMatch> RuleEngine::Match(const std::set<std::string>& active,
+                                         const std::string& target,
+                                         TimePoint at) const {
+  std::vector<RuleMatch> out;
+  for (const OperationRule& rule : rules_) {
+    if (rule.expr.Eval(active)) {
+      out.push_back(RuleMatch{.rule_name = rule.name,
+                              .target = target,
+                              .time = at,
+                              .actions = rule.actions});
+    }
+  }
+  return out;
+}
+
+std::vector<RuleMatch> RuleEngine::MatchEvents(
+    const std::vector<RawEvent>& events, const std::string& target,
+    TimePoint at) const {
+  return Match(ActiveEventNames(events, at), target, at);
+}
+
+StatusOr<RuleEngine> RuleEngine::BuiltIn() {
+  RuleEngine engine;
+  // Example 1: NIC fault degrading disk IO -> live-migrate the VM, ticket
+  // the IDC, and lock the host against new placements.
+  CDIBOT_RETURN_IF_ERROR(engine.Register(
+      "nic_error_cause_slow_io", "slow_io && nic_flapping",
+      {{"live_migration", 10}, {"repair_request", 5}, {"nc_lock", 8}}));
+  // Example 1's second rule: needs the vm_hang event too.
+  CDIBOT_RETURN_IF_ERROR(engine.Register(
+      "nic_error_cause_vm_hang", "nic_flapping && vm_hang",
+      {{"cold_migration", 10}, {"repair_request", 5}, {"nc_lock", 8}}));
+  // Case 8: predicted NC failure -> preventive live migration of all VMs.
+  CDIBOT_RETURN_IF_ERROR(engine.Register(
+      "nc_down_prediction", "nc_down_prediction",
+      {{"live_migration", 9}, {"nc_lock", 8}}));
+  return engine;
+}
+
+}  // namespace cdibot

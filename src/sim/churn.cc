@@ -1,0 +1,35 @@
+#include "sim/churn.h"
+
+namespace cdibot {
+
+StatusOr<std::vector<VmServiceInfo>> ChurnedServiceInfos(
+    const Fleet& fleet, const Interval& day, const ChurnSpec& spec,
+    Rng* rng) {
+  if (spec.created_fraction < 0.0 || spec.created_fraction > 1.0 ||
+      spec.released_fraction < 0.0 || spec.released_fraction > 1.0) {
+    return Status::InvalidArgument("churn fractions must be in [0, 1]");
+  }
+  CDIBOT_ASSIGN_OR_RETURN(std::vector<VmServiceInfo> infos,
+                          fleet.ServiceInfos(day));
+  std::vector<VmServiceInfo> out;
+  out.reserve(infos.size());
+  for (VmServiceInfo& info : infos) {
+    TimePoint start = day.start;
+    TimePoint end = day.end;
+    if (rng->Bernoulli(spec.created_fraction)) {
+      start = day.start +
+              Duration::Millis(rng->UniformInt(0, day.length().millis() - 1));
+    }
+    if (rng->Bernoulli(spec.released_fraction)) {
+      const int64_t lo = start.millis() - day.start.millis();
+      end = day.start +
+            Duration::Millis(rng->UniformInt(lo, day.length().millis() - 1));
+    }
+    if (end - start < spec.min_service) continue;
+    info.service_period = Interval(start, end);
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,34 @@
+#ifndef CDIBOT_SIM_CHURN_H_
+#define CDIBOT_SIM_CHURN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "sim/fleet.h"
+
+namespace cdibot {
+
+/// Lifecycle churn for one evaluation day: cloud fleets are elastic, so a
+/// fraction of VMs is created mid-day and a fraction released mid-day.
+/// Their partial service periods are exactly the T_i weights of Eq. 4 —
+/// a VM that served 6 hours contributes 6 hours of denominator, no more.
+struct ChurnSpec {
+  /// Probability a VM was created at a uniform instant within the day.
+  double created_fraction = 0.1;
+  /// Probability a VM is released at a uniform instant within the day
+  /// (after its creation when both apply).
+  double released_fraction = 0.1;
+  /// Minimum service span; VMs whose create/release window would be
+  /// shorter are dropped from the day entirely (they contribute nothing).
+  Duration min_service = Duration::Minutes(10);
+};
+
+/// Applies churn to the fleet's service infos over `day`. Deterministic
+/// under `rng`. Requires fractions in [0, 1].
+StatusOr<std::vector<VmServiceInfo>> ChurnedServiceInfos(
+    const Fleet& fleet, const Interval& day, const ChurnSpec& spec, Rng* rng);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_SIM_CHURN_H_

@@ -1,0 +1,151 @@
+#include "sim/cloudbot_loop.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "ops/placement.h"
+
+namespace cdibot {
+namespace {
+
+// One in-flight NIC incident on a VM.
+struct Incident {
+  std::string vm_id;
+  std::string nc_id;
+  TimePoint start;
+  TimePoint natural_end;  // when it would end without intervention
+  TimePoint actual_end;   // truncated by automation when it acts
+  bool migrated = false;
+};
+
+RawEvent MakeEvent(const std::string& name, TimePoint time,
+                   const std::string& target, Severity level,
+                   Duration expire = Duration::Hours(1)) {
+  RawEvent ev;
+  ev.name = name;
+  ev.time = time;
+  ev.target = target;
+  ev.level = level;
+  ev.expire_interval = expire;
+  return ev;
+}
+
+}  // namespace
+
+StatusOr<AutomationLoopResult> RunAutomationDay(
+    const Fleet& fleet, TimePoint day_start, const EventCatalog& catalog,
+    const EventWeightModel& weights, const AutomationLoopOptions& options,
+    Rng* rng, dataflow::ExecContext ctx) {
+  if (options.tick.millis() <= 0) {
+    return Status::InvalidArgument("tick must be positive");
+  }
+  const Interval day(day_start, day_start + Duration::Days(1));
+
+  // --- Plan the day's incidents ---------------------------------------------
+  std::vector<Incident> incidents;
+  for (const VmInfo& vm : fleet.topology().vms()) {
+    if (!rng->Bernoulli(options.incident_probability)) continue;
+    Incident inc;
+    inc.vm_id = vm.vm_id;
+    inc.nc_id = vm.nc_id;
+    // Start early enough that the natural course fits the day (keeps the
+    // on/off comparison apples-to-apples).
+    const int64_t latest_start =
+        day.end.millis() - options.natural_duration_mean.millis() * 2;
+    inc.start = TimePoint::FromMillis(
+        rng->UniformInt(day.start.millis(),
+                        std::max(day.start.millis() + 1, latest_start)));
+    const double hours = std::max(
+        0.25, rng->Normal(options.natural_duration_mean.hours(),
+                          options.natural_duration_mean.hours() / 4.0));
+    inc.natural_end = inc.start + Duration::Millis(static_cast<int64_t>(
+                                      hours * 3600.0 * 1000.0));
+    if (day.end < inc.natural_end) inc.natural_end = day.end;
+    inc.actual_end = inc.natural_end;
+    incidents.push_back(std::move(inc));
+  }
+
+  CDIBOT_ASSIGN_OR_RETURN(RuleEngine engine, RuleEngine::BuiltIn());
+  OperationPlatform platform;
+  PlacementScheduler scheduler(&fleet.topology(), &platform);
+  AutomationLoopResult result;
+  result.incidents = incidents.size();
+
+  EventLog log;
+  std::map<std::string, std::string> vm_to_nc;
+
+  // --- Drive each incident through the loop ---------------------------------
+  for (Incident& inc : incidents) {
+    vm_to_nc[inc.vm_id] = inc.nc_id;
+    // The NIC flap is logged once at the incident start (Example 1).
+    RawEvent flap =
+        MakeEvent("nic_flapping", inc.start, inc.vm_id, Severity::kCritical);
+    log.Append(flap);
+
+    // Emit slow_io minute by minute; after each tick boundary, let the rule
+    // engine look at the events extracted so far.
+    std::vector<RawEvent> vm_events = {std::move(flap)};
+    TimePoint next_tick =
+        inc.start + options.tick -
+        Duration::Millis(inc.start.millis() % options.tick.millis());
+    TimePoint t = inc.start + Duration::Minutes(1);
+    while (t <= inc.actual_end) {
+      RawEvent ev =
+          MakeEvent("slow_io", t, inc.vm_id, Severity::kCritical);
+      log.Append(ev);
+      vm_events.push_back(std::move(ev));
+
+      if (t >= next_tick) {
+        next_tick += options.tick;
+        auto matches = engine.MatchEvents(vm_events, inc.vm_id, t);
+        if (!matches.empty()) {
+          ++result.rule_matches;
+          if (options.automation_enabled && !inc.migrated) {
+            // The migration needs somewhere to go: locked hosts, capacity
+            // and pool architecture all constrain the choice. (The faulty
+            // host gets locked by this very batch, so destinations on it
+            // are already impossible for later incidents too.)
+            auto placement = scheduler.ChooseDestination(inc.vm_id);
+            if (!placement.ok()) {
+              ++result.placements_failed;
+              continue;
+            }
+            CDIBOT_ASSIGN_OR_RETURN(
+                auto requests,
+                platform.RequestsFromMatch(matches.front(), inc.nc_id));
+            const auto records =
+                platform.Submit(std::move(requests), vm_to_nc);
+            for (const ActionRecord& rec : records) {
+              if (rec.request.type == ActionType::kLiveMigration &&
+                  rec.outcome == ActionOutcome::kExecuted) {
+                ++result.migrations_executed;
+                inc.migrated = true;
+                inc.actual_end = t;
+                // Migration brown-out: a short logged-duration event.
+                RawEvent brownout = MakeEvent(
+                    "live_migration", t + options.migration_brownout,
+                    inc.vm_id, Severity::kWarning);
+                brownout.attrs["duration_ms"] = StrFormat(
+                    "%lld",
+                    static_cast<long long>(
+                        options.migration_brownout.millis()));
+                log.Append(brownout);
+              }
+            }
+          }
+        }
+      }
+      t += Duration::Minutes(1);
+    }
+    result.damage_avoided += inc.natural_end - inc.actual_end;
+  }
+
+  // --- Evaluate the day with the standard pipeline ---------------------------
+  DailyCdiJob job(&log, &catalog, &weights, ctx);
+  CDIBOT_ASSIGN_OR_RETURN(const auto vms, fleet.ServiceInfos(day));
+  CDIBOT_ASSIGN_OR_RETURN(const DailyCdiResult daily, job.Run(vms, day));
+  result.fleet_cdi = daily.fleet;
+  return result;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,97 @@
+#include "sim/fleet.h"
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace cdibot {
+
+StatusOr<Fleet> Fleet::Build(const FleetSpec& spec) {
+  if (spec.regions < 1 || spec.azs_per_region < 1 ||
+      spec.clusters_per_az < 1 || spec.ncs_per_cluster < 1 ||
+      spec.vms_per_nc < 1) {
+    return Status::InvalidArgument("fleet counts must be >= 1");
+  }
+  if (spec.hybrid_fraction < 0.0 || spec.hybrid_fraction > 1.0 ||
+      spec.gen2_fraction < 0.0 || spec.gen2_fraction > 1.0) {
+    return Status::InvalidArgument("fractions must be in [0, 1]");
+  }
+
+  Rng rng(spec.seed);
+  FleetTopology topo;
+  for (int r = 0; r < spec.regions; ++r) {
+    for (int a = 0; a < spec.azs_per_region; ++a) {
+      for (int c = 0; c < spec.clusters_per_az; ++c) {
+        const std::string region = StrFormat("r%d", r);
+        const std::string az = StrFormat("r%d-az%d", r, a);
+        const std::string cluster = StrFormat("r%d-az%d-c%d", r, a, c);
+        CDIBOT_RETURN_IF_ERROR(topo.AddCluster(region, az, cluster));
+        for (int n = 0; n < spec.ncs_per_cluster; ++n) {
+          NcInfo nc;
+          nc.nc_id = StrFormat("%s-nc%03d", cluster.c_str(), n);
+          nc.cluster_id = cluster;
+          const bool hybrid = rng.Bernoulli(spec.hybrid_fraction);
+          nc.arch = hybrid ? DeploymentArch::kHybrid
+                           : DeploymentArch::kHomogeneous;
+          nc.model = rng.Bernoulli(spec.gen2_fraction) ? "gen2" : "gen3";
+          nc.num_cores = 104;
+          CDIBOT_RETURN_IF_ERROR(topo.AddNc(nc));
+
+          // Homogeneous NCs alternate between all-dedicated and all-shared
+          // pools (Fig. 7 a/b); hybrid NCs split their cores (Fig. 7 c).
+          const bool homogeneous_dedicated = !hybrid && n % 2 == 0;
+          int next_core = 0;
+          for (int v = 0; v < spec.vms_per_nc; ++v) {
+            VmInfo vm;
+            vm.vm_id = StrFormat("%s-vm%02d", nc.nc_id.c_str(), v);
+            vm.nc_id = nc.nc_id;
+            if (hybrid) {
+              vm.type = v % 2 == 0 ? VmType::kDedicated : VmType::kShared;
+            } else {
+              vm.type = homogeneous_dedicated ? VmType::kDedicated
+                                              : VmType::kShared;
+            }
+            const int cores = vm.type == VmType::kDedicated ? 8 : 4;
+            vm.core_begin = next_core;
+            vm.core_end = next_core + cores;
+            next_core += cores;
+            CDIBOT_RETURN_IF_ERROR(topo.AddVm(vm));
+          }
+        }
+      }
+    }
+  }
+  return Fleet(spec, std::move(topo));
+}
+
+StatusOr<std::vector<VmServiceInfo>> Fleet::ServiceInfos(
+    const Interval& window) const {
+  if (window.empty()) {
+    return Status::InvalidArgument("service window must be non-empty");
+  }
+  std::vector<VmServiceInfo> out;
+  out.reserve(topology_.num_vms());
+  for (const VmInfo& vm : topology_.vms()) {
+    CDIBOT_ASSIGN_OR_RETURN(auto dims, topology_.DimsForVm(vm.vm_id));
+    out.push_back(VmServiceInfo{.vm_id = vm.vm_id,
+                                .dims = std::move(dims),
+                                .service_period = window});
+  }
+  return out;
+}
+
+StatusOr<std::vector<VmServiceInfo>> Fleet::ServiceInfosWhere(
+    const Interval& window, const std::string& dim,
+    const std::string& value) const {
+  CDIBOT_ASSIGN_OR_RETURN(std::vector<VmServiceInfo> all,
+                          ServiceInfos(window));
+  std::vector<VmServiceInfo> out;
+  for (VmServiceInfo& info : all) {
+    auto it = info.dims.find(dim);
+    if (it != info.dims.end() && it->second == value) {
+      out.push_back(std::move(info));
+    }
+  }
+  return out;
+}
+
+}  // namespace cdibot

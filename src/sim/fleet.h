@@ -1,0 +1,66 @@
+#ifndef CDIBOT_SIM_FLEET_H_
+#define CDIBOT_SIM_FLEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cdi/pipeline.h"
+#include "common/statusor.h"
+#include "telemetry/topology.h"
+
+namespace cdibot {
+
+/// Shape of a synthetic fleet. Ids are generated deterministically:
+/// regions "r0..", AZs "r0-az0..", clusters "r0-az0-c0..", NCs
+/// "r0-az0-c0-nc000..", VMs "<nc>-vm00..".
+struct FleetSpec {
+  int regions = 2;
+  int azs_per_region = 2;
+  int clusters_per_az = 2;
+  int ncs_per_cluster = 4;
+  int vms_per_nc = 8;
+  /// Fraction of NCs deployed with the hybrid architecture (Case 5);
+  /// the rest alternate homogeneous-dedicated / homogeneous-shared.
+  double hybrid_fraction = 0.0;
+  /// Fraction of NCs of machine model "gen2" (the Case 5 defect only
+  /// manifests on one model); the rest are "gen3".
+  double gen2_fraction = 0.3;
+  uint64_t seed = 42;
+};
+
+/// A deterministic synthetic fleet: topology plus the per-VM service
+/// information the CDI pipeline consumes. The stand-in for the paper's
+/// million-server production environment.
+class Fleet {
+ public:
+  /// Builds the fleet from `spec`. Requires positive counts and fractions
+  /// in [0, 1].
+  static StatusOr<Fleet> Build(const FleetSpec& spec);
+
+  const FleetTopology& topology() const { return topology_; }
+  const FleetSpec& spec() const { return spec_; }
+  size_t num_vms() const { return topology_.num_vms(); }
+
+  /// Service infos for every VM, serving the full `window` (the common
+  /// case: long-lived VMs evaluated over one day).
+  StatusOr<std::vector<VmServiceInfo>> ServiceInfos(
+      const Interval& window) const;
+
+  /// Service infos restricted to VMs whose dimension `dim` equals `value`
+  /// (e.g. arch == "hybrid" for the Fig. 8 comparison).
+  StatusOr<std::vector<VmServiceInfo>> ServiceInfosWhere(
+      const Interval& window, const std::string& dim,
+      const std::string& value) const;
+
+ private:
+  Fleet(FleetSpec spec, FleetTopology topology)
+      : spec_(spec), topology_(std::move(topology)) {}
+
+  FleetSpec spec_;
+  FleetTopology topology_;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_SIM_FLEET_H_

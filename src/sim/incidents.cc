@@ -1,0 +1,131 @@
+#include "sim/incidents.h"
+
+#include <cmath>
+
+namespace cdibot {
+
+Status InjectAzOutage(const Fleet& fleet, const std::string& az,
+                      const Interval& outage, FaultInjector* injector,
+                      EventLog* log) {
+  if (outage.empty()) return Status::InvalidArgument("empty outage window");
+  CDIBOT_ASSIGN_OR_RETURN(const auto vms,
+                          fleet.ServiceInfosWhere(outage, "az", az));
+  if (vms.empty()) return Status::NotFound("no VMs in az " + az);
+  for (const VmServiceInfo& vm : vms) {
+    CDIBOT_RETURN_IF_ERROR(
+        injector->InjectEpisode(vm.vm_id, "nc_down", outage, log));
+    // The outage also breaks management APIs for the affected zone.
+    CDIBOT_RETURN_IF_ERROR(
+        injector->InjectEpisode(vm.vm_id, "api_error", outage, log));
+  }
+  return Status::OK();
+}
+
+Status InjectNetworkOutage(const Fleet& fleet, const std::string& az,
+                           const Interval& outage, double unreachable_fraction,
+                           FaultInjector* injector, EventLog* log, Rng* rng) {
+  if (outage.empty()) return Status::InvalidArgument("empty outage window");
+  if (unreachable_fraction < 0.0 || unreachable_fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in [0, 1]");
+  }
+  CDIBOT_ASSIGN_OR_RETURN(const auto vms,
+                          fleet.ServiceInfosWhere(outage, "az", az));
+  if (vms.empty()) return Status::NotFound("no VMs in az " + az);
+  for (const VmServiceInfo& vm : vms) {
+    if (rng->Bernoulli(unreachable_fraction)) {
+      // Fully cut off: unavailability for the whole window.
+      CDIBOT_RETURN_IF_ERROR(
+          injector->InjectEpisode(vm.vm_id, "vm_hang", outage, log));
+    } else {
+      CDIBOT_RETURN_IF_ERROR(injector->InjectEpisode(
+          vm.vm_id, "packet_loss", outage, log, Severity::kCritical));
+    }
+  }
+  return Status::OK();
+}
+
+Status InjectControlPlaneOutage(const Fleet& fleet, const std::string& region,
+                                const Interval& outage,
+                                FaultInjector* injector, EventLog* log) {
+  if (outage.empty()) return Status::InvalidArgument("empty outage window");
+  CDIBOT_ASSIGN_OR_RETURN(const auto vms,
+                          fleet.ServiceInfosWhere(outage, "region", region));
+  if (vms.empty()) return Status::NotFound("no VMs in region " + region);
+  for (const VmServiceInfo& vm : vms) {
+    // Purchases and modifications fail; the data plane is untouched.
+    CDIBOT_RETURN_IF_ERROR(injector->InjectEpisode(
+        vm.vm_id, "vm_create_failed", outage, log, Severity::kCritical));
+    CDIBOT_RETURN_IF_ERROR(injector->InjectEpisode(
+        vm.vm_id, "vm_resize_failed", outage, log, Severity::kCritical));
+  }
+  return Status::OK();
+}
+
+Status InjectHybridContentionDefect(const Fleet& fleet, TimePoint day_start,
+                                    const std::string& defective_model,
+                                    double intensity, FaultInjector* injector,
+                                    EventLog* log, Rng* rng) {
+  if (intensity < 0.0) return Status::InvalidArgument("negative intensity");
+  const Interval day(day_start, day_start + Duration::Days(1));
+  for (const VmInfo& vm : fleet.topology().vms()) {
+    CDIBOT_ASSIGN_OR_RETURN(const NcInfo nc, fleet.topology().FindNc(vm.nc_id));
+    // The incompatibility only bites hybrid deployments on one model
+    // (Fig. 7 d): shared VMs' allocation range overlaps dedicated cores.
+    if (nc.arch != DeploymentArch::kHybrid || nc.model != defective_model) {
+      continue;
+    }
+    const int64_t episodes = rng->Poisson(intensity);
+    for (int64_t i = 0; i < episodes; ++i) {
+      const auto length = Duration::Minutes(rng->UniformInt(5, 40));
+      const int64_t latest = day.end.millis() - length.millis() - 1;
+      if (latest <= day.start.millis()) continue;
+      const TimePoint start = TimePoint::FromMillis(
+          rng->UniformInt(day.start.millis(), latest));
+      CDIBOT_RETURN_IF_ERROR(injector->InjectEpisode(
+          vm.vm_id, "vcpu_high", Interval(start, start + length), log,
+          Severity::kCritical));
+    }
+  }
+  return Status::OK();
+}
+
+Status InjectAllocationBug(const Fleet& fleet, const std::string& cluster,
+                           TimePoint day_start, double affected_fraction,
+                           FaultInjector* injector, EventLog* log, Rng* rng) {
+  if (affected_fraction < 0.0 || affected_fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in [0, 1]");
+  }
+  const Interval day(day_start, day_start + Duration::Days(1));
+  CDIBOT_ASSIGN_OR_RETURN(const auto vms,
+                          fleet.ServiceInfosWhere(day, "cluster", cluster));
+  if (vms.empty()) return Status::NotFound("no VMs in cluster " + cluster);
+  for (const VmServiceInfo& vm : vms) {
+    if (!rng->Bernoulli(affected_fraction)) continue;
+    // The over-committed VM runs without exclusive cores for hours until
+    // the data is corrected.
+    const auto length = Duration::Hours(rng->UniformInt(2, 8));
+    const int64_t latest = day.end.millis() - length.millis() - 1;
+    if (latest <= day.start.millis()) continue;
+    const TimePoint start =
+        TimePoint::FromMillis(rng->UniformInt(day.start.millis(), latest));
+    CDIBOT_RETURN_IF_ERROR(injector->InjectEpisode(
+        vm.vm_id, "vm_allocation_failed", Interval(start, start + length),
+        log, Severity::kCritical));
+  }
+  return Status::OK();
+}
+
+Status InjectTdpMonitoring(const Fleet& fleet, TimePoint day_start,
+                           double rate, FaultInjector* injector,
+                           EventLog* log) {
+  if (rate < 0.0) return Status::InvalidArgument("negative rate");
+  if (rate == 0.0) return Status::OK();  // broken collector: silence
+  FaultRates rates;
+  rates.episodes_per_vm_day["inspect_cpu_power_tdp"] = rate;
+  CDIBOT_ASSIGN_OR_RETURN(const size_t injected,
+                          injector->InjectDay(fleet, day_start, rates, log));
+  (void)injected;
+  return Status::OK();
+}
+
+}  // namespace cdibot

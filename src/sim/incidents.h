@@ -1,0 +1,63 @@
+#ifndef CDIBOT_SIM_INCIDENTS_H_
+#define CDIBOT_SIM_INCIDENTS_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "sim/scenario.h"
+
+namespace cdibot {
+
+/// Scripted replays of the paper's incidents and cases. Each injector
+/// writes raw events into the log for the affected subset of the fleet;
+/// running the daily CDI job afterwards reproduces the corresponding
+/// figure.
+
+/// Fig. 5, incident 20240425: an availability-zone outage takes down every
+/// VM in `az` for `outage`. Emits nc_down (unavailability) plus api_error
+/// noise. Visible in CDI-U, AIR, and DP.
+Status InjectAzOutage(const Fleet& fleet, const std::string& az,
+                      const Interval& outage, FaultInjector* injector,
+                      EventLog* log);
+
+/// Fig. 5, incident 20240702: network access abnormalities in `az` — heavy
+/// packet loss everywhere and a fraction of VMs fully unreachable.
+/// Visible in CDI-U/CDI-P, AIR, and DP.
+Status InjectNetworkOutage(const Fleet& fleet, const std::string& az,
+                           const Interval& outage, double unreachable_fraction,
+                           FaultInjector* injector, EventLog* log, Rng* rng);
+
+/// Fig. 5, incident 20250107: a purchase/modify control-plane outage in
+/// `region`. Existing VMs keep running — only control-plane events are
+/// emitted, so AIR and DP stay flat while CDI-C spikes (the paper's key
+/// demonstration).
+Status InjectControlPlaneOutage(const Fleet& fleet, const std::string& region,
+                                const Interval& outage,
+                                FaultInjector* injector, EventLog* log);
+
+/// Case 5 / Fig. 8: the hybrid-deployment defect — CPU contention episodes
+/// on shared+dedicated core-overlap, but ONLY on hybrid NCs of the
+/// defective machine model. `intensity` scales episodes per affected VM
+/// for the day.
+Status InjectHybridContentionDefect(const Fleet& fleet, TimePoint day_start,
+                                    const std::string& defective_model,
+                                    double intensity, FaultInjector* injector,
+                                    EventLog* log, Rng* rng);
+
+/// Case 6 / Fig. 9(a): scheduling-data corruption in one cluster causes
+/// vm_allocation_failed episodes for a fraction of its VMs during the day.
+Status InjectAllocationBug(const Fleet& fleet, const std::string& cluster,
+                           TimePoint day_start, double affected_fraction,
+                           FaultInjector* injector, EventLog* log, Rng* rng);
+
+/// Case 7 / Fig. 9(b): normal TDP monitoring emits inspect_cpu_power_tdp
+/// episodes at `rate` per VM-day; during a collector outage the measured
+/// power reads zero and NO events are emitted. Call with rate = 0 to model
+/// the broken-collector days.
+Status InjectTdpMonitoring(const Fleet& fleet, TimePoint day_start,
+                           double rate, FaultInjector* injector,
+                           EventLog* log);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_SIM_INCIDENTS_H_

@@ -1,0 +1,161 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace cdibot {
+
+FaultRates FaultRates::Scaled(double factor) const {
+  FaultRates out;
+  for (const auto& [name, rate] : episodes_per_vm_day) {
+    out.episodes_per_vm_day[name] = rate * factor;
+  }
+  return out;
+}
+
+FaultRates BaselineRates() {
+  // Expected episodes per VM per day in a healthy fleet. Unavailability is
+  // rare (fleet availability ~99.99%); performance noise dominates ticket
+  // volume (Fig. 2); control-plane failures sit in between.
+  FaultRates rates;
+  rates.episodes_per_vm_day = {
+      {"vm_crash", 0.002},
+      {"vm_hang", 0.001},
+      {"ddos_blackhole", 0.0005},
+      {"slow_io", 0.05},
+      {"packet_loss", 0.04},
+      {"vcpu_high", 0.03},
+      {"nic_flapping", 0.005},
+      {"qemu_live_upgrade", 0.01},
+      {"inspect_cpu_power_tdp", 0.02},
+      {"vm_start_failed", 0.004},
+      {"vm_stop_failed", 0.003},
+      {"vm_resize_failed", 0.003},
+      {"api_error", 0.006},
+  };
+  return rates;
+}
+
+Status FaultInjector::InjectEpisode(const std::string& target,
+                                    const std::string& event_name,
+                                    const Interval& episode, EventLog* log,
+                                    std::optional<Severity> level) {
+  if (episode.empty()) {
+    return Status::InvalidArgument("episode must be non-empty");
+  }
+  CDIBOT_ASSIGN_OR_RETURN(const EventSpec spec, catalog_->Find(event_name));
+  const Severity severity = level.value_or(spec.default_level);
+
+  switch (spec.period_kind) {
+    case PeriodKind::kWindowed: {
+      // One raw event per detection window, stamped at the window end.
+      // The resolver traces each back by one window, so the resolved
+      // periods tile the episode.
+      const int64_t window_ms = spec.window.millis();
+      for (int64_t end = episode.start.millis() + window_ms;
+           end <= episode.end.millis(); end += window_ms) {
+        RawEvent ev;
+        ev.name = spec.name;
+        ev.time = TimePoint::FromMillis(end);
+        ev.target = target;
+        ev.level = severity;
+        ev.expire_interval = spec.expire_interval;
+        log->Append(ev);
+      }
+      // Partial trailing window: emit one more event at episode end.
+      const int64_t covered =
+          (episode.length().millis() / window_ms) * window_ms;
+      if (covered < episode.length().millis()) {
+        RawEvent ev;
+        ev.name = spec.name;
+        ev.time = episode.end;
+        ev.target = target;
+        ev.level = severity;
+        ev.expire_interval = spec.expire_interval;
+        log->Append(ev);
+      }
+      return Status::OK();
+    }
+    case PeriodKind::kLoggedDuration: {
+      RawEvent ev;
+      ev.name = spec.name;
+      ev.time = episode.end;
+      ev.target = target;
+      ev.level = severity;
+      ev.expire_interval = spec.expire_interval;
+      ev.attrs["duration_ms"] = StrFormat(
+          "%lld", static_cast<long long>(episode.length().millis()));
+      log->Append(ev);
+      return Status::OK();
+    }
+    case PeriodKind::kStateful: {
+      RawEvent add;
+      add.name = spec.start_detail;
+      add.time = episode.start;
+      add.target = target;
+      add.level = severity;
+      add.expire_interval = spec.expire_interval;
+      log->Append(add);
+      RawEvent del;
+      del.name = spec.end_detail;
+      del.time = episode.end;
+      del.target = target;
+      del.level = severity;
+      del.expire_interval = spec.expire_interval;
+      log->Append(del);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled period kind");
+}
+
+StatusOr<size_t> FaultInjector::InjectDayForVms(
+    const std::vector<VmServiceInfo>& vms, TimePoint day_start,
+    const FaultRates& rates, EventLog* log) {
+  const Interval day(day_start, day_start + Duration::Days(1));
+  size_t episodes = 0;
+  for (const VmServiceInfo& vm : vms) {
+    for (const auto& [event_name, rate] : rates.episodes_per_vm_day) {
+      const int64_t count = rng_->Poisson(rate);
+      for (int64_t i = 0; i < count; ++i) {
+        // Episode length: log-normal with median ~3 minutes, capped at 2h.
+        const double minutes =
+            std::min(120.0, rng_->LogNormal(std::log(3.0), 0.8));
+        const auto length =
+            Duration::Millis(static_cast<int64_t>(minutes * 60000.0));
+        const int64_t latest_start =
+            day.end.millis() - length.millis() - 1;
+        if (latest_start <= day.start.millis()) continue;
+        const TimePoint start = TimePoint::FromMillis(
+            rng_->UniformInt(day.start.millis(), latest_start));
+        CDIBOT_RETURN_IF_ERROR(InjectEpisode(
+            vm.vm_id, event_name, Interval(start, start + length), log));
+        ++episodes;
+      }
+    }
+  }
+  return episodes;
+}
+
+StatusOr<size_t> FaultInjector::InjectDay(const Fleet& fleet,
+                                          TimePoint day_start,
+                                          const FaultRates& rates,
+                                          EventLog* log) {
+  const Interval day(day_start, day_start + Duration::Days(1));
+  CDIBOT_ASSIGN_OR_RETURN(const std::vector<VmServiceInfo> vms,
+                          fleet.ServiceInfos(day));
+  return InjectDayForVms(vms, day_start, rates, log);
+}
+
+StatusOr<size_t> FaultInjector::InjectDayWhere(
+    const Fleet& fleet, TimePoint day_start, const FaultRates& rates,
+    const std::string& dim, const std::string& value, EventLog* log) {
+  const Interval day(day_start, day_start + Duration::Days(1));
+  CDIBOT_ASSIGN_OR_RETURN(const std::vector<VmServiceInfo> vms,
+                          fleet.ServiceInfosWhere(day, dim, value));
+  return InjectDayForVms(vms, day_start, rates, log);
+}
+
+}  // namespace cdibot

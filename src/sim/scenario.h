@@ -1,0 +1,74 @@
+#ifndef CDIBOT_SIM_SCENARIO_H_
+#define CDIBOT_SIM_SCENARIO_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "common/time.h"
+#include "event/catalog.h"
+#include "sim/fleet.h"
+#include "storage/event_log.h"
+
+namespace cdibot {
+
+/// Per-event daily fault rates: the expected number of issue EPISODES per
+/// VM per day for each event name. An episode of a windowed event produces
+/// a run of consecutive raw events tiling its duration (Sec. IV-B1).
+struct FaultRates {
+  std::map<std::string, double> episodes_per_vm_day;
+
+  /// Multiplies every rate by `factor` (for trend scenarios like Fig. 6).
+  FaultRates Scaled(double factor) const;
+};
+
+/// Baseline daily rates for a healthy production fleet: rare
+/// unavailability, modest performance noise, rare control-plane failures.
+FaultRates BaselineRates();
+
+/// FaultInjector converts episode specifications into raw events in the
+/// event log, honoring each event's PeriodKind from the catalog:
+///  * windowed events emit one raw event per detection window covering the
+///    episode (window-end timestamps);
+///  * logged-duration events emit a single raw event with a duration_ms
+///    attribute;
+///  * stateful events emit the start/end detail pair.
+class FaultInjector {
+ public:
+  /// `catalog` and `rng` must outlive the injector.
+  FaultInjector(const EventCatalog* catalog, Rng* rng)
+      : catalog_(catalog), rng_(rng) {}
+
+  /// Injects one issue episode of `event_name` on `target` covering
+  /// `episode`. Severity defaults to the catalog level; pass `level` to
+  /// override. Unknown events fail with NotFound.
+  Status InjectEpisode(const std::string& target, const std::string& event_name,
+                       const Interval& episode, EventLog* log,
+                       std::optional<Severity> level = std::nullopt);
+
+  /// Samples Poisson(rate) episodes per (VM, event) for one day and injects
+  /// them with log-normal episode lengths (median ~3 minutes). Returns the
+  /// number of episodes injected.
+  StatusOr<size_t> InjectDay(const Fleet& fleet, TimePoint day_start,
+                             const FaultRates& rates, EventLog* log);
+
+  /// Like InjectDay but only for VMs matching a placement dimension.
+  StatusOr<size_t> InjectDayWhere(const Fleet& fleet, TimePoint day_start,
+                                  const FaultRates& rates,
+                                  const std::string& dim,
+                                  const std::string& value, EventLog* log);
+
+ private:
+  StatusOr<size_t> InjectDayForVms(const std::vector<VmServiceInfo>& vms,
+                                   TimePoint day_start,
+                                   const FaultRates& rates, EventLog* log);
+
+  const EventCatalog* catalog_;
+  Rng* rng_;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_SIM_SCENARIO_H_

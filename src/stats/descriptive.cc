@@ -1,0 +1,124 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cdibot::stats {
+
+StatusOr<double> Mean(const Sample& x) {
+  if (x.empty()) return Status::InvalidArgument("Mean needs n >= 1");
+  return std::accumulate(x.begin(), x.end(), 0.0) /
+         static_cast<double>(x.size());
+}
+
+StatusOr<double> Variance(const Sample& x) {
+  if (x.size() < 2) return Status::InvalidArgument("Variance needs n >= 2");
+  CDIBOT_ASSIGN_OR_RETURN(const double m, Mean(x));
+  double ss = 0.0;
+  for (double v : x) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(x.size() - 1);
+}
+
+StatusOr<double> StdDev(const Sample& x) {
+  CDIBOT_ASSIGN_OR_RETURN(const double var, Variance(x));
+  return std::sqrt(var);
+}
+
+StatusOr<double> Median(const Sample& x) { return Quantile(x, 0.5); }
+
+StatusOr<double> Quantile(const Sample& x, double p) {
+  if (x.empty()) return Status::InvalidArgument("Quantile needs n >= 1");
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("Quantile needs p in [0, 1]");
+  }
+  Sample sorted = x;
+  std::sort(sorted.begin(), sorted.end());
+  const double h = p * (static_cast<double>(sorted.size()) - 1.0);
+  const auto lo = static_cast<size_t>(std::floor(h));
+  const auto hi = std::min(sorted.size() - 1, lo + 1);
+  const double frac = h - std::floor(h);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+namespace {
+
+// Central moments m2, m3, m4 about the mean (biased, /n).
+Status CentralMoments(const Sample& x, double* m2, double* m3, double* m4) {
+  if (x.empty()) return Status::InvalidArgument("empty sample");
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double s2 = 0.0, s3 = 0.0, s4 = 0.0;
+  for (double v : x) {
+    const double d = v - mean;
+    const double d2 = d * d;
+    s2 += d2;
+    s3 += d2 * d;
+    s4 += d2 * d2;
+  }
+  const auto n = static_cast<double>(x.size());
+  *m2 = s2 / n;
+  *m3 = s3 / n;
+  *m4 = s4 / n;
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<double> Skewness(const Sample& x) {
+  if (x.size() < 3) return Status::InvalidArgument("Skewness needs n >= 3");
+  double m2, m3, m4;
+  CDIBOT_RETURN_IF_ERROR(CentralMoments(x, &m2, &m3, &m4));
+  if (m2 <= 0.0) return Status::FailedPrecondition("degenerate sample");
+  return m3 / std::pow(m2, 1.5);
+}
+
+StatusOr<double> ExcessKurtosis(const Sample& x) {
+  if (x.size() < 4) {
+    return Status::InvalidArgument("ExcessKurtosis needs n >= 4");
+  }
+  double m2, m3, m4;
+  CDIBOT_RETURN_IF_ERROR(CentralMoments(x, &m2, &m3, &m4));
+  if (m2 <= 0.0) return Status::FailedPrecondition("degenerate sample");
+  return m4 / (m2 * m2) - 3.0;
+}
+
+std::vector<double> MidRanks(const Sample& x) {
+  const size_t n = x.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&x](size_t a, size_t b) { return x[a] < x[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && x[order[j + 1]] == x[order[i]]) ++j;
+    // Positions i..j (0-based) share the average 1-based rank.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                       1.0;
+    for (size_t t = i; t <= j; ++t) ranks[order[t]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+StatusOr<std::vector<double>> Ewma(const std::vector<double>& series,
+                                   double alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    return Status::InvalidArgument("Ewma needs alpha in (0, 1]");
+  }
+  std::vector<double> out;
+  out.reserve(series.size());
+  double acc = 0.0;
+  bool first = true;
+  for (double v : series) {
+    acc = first ? v : alpha * v + (1.0 - alpha) * acc;
+    first = false;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+}  // namespace cdibot::stats

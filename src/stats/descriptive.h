@@ -1,0 +1,51 @@
+#ifndef CDIBOT_STATS_DESCRIPTIVE_H_
+#define CDIBOT_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace cdibot::stats {
+
+/// Sample of observations. All descriptive helpers take a const ref and do
+/// not modify the input.
+using Sample = std::vector<double>;
+
+/// Arithmetic mean. Requires a non-empty sample.
+StatusOr<double> Mean(const Sample& x);
+
+/// Unbiased sample variance (n - 1 denominator). Requires n >= 2.
+StatusOr<double> Variance(const Sample& x);
+
+/// Sample standard deviation. Requires n >= 2.
+StatusOr<double> StdDev(const Sample& x);
+
+/// Median (average of the two middle order statistics for even n).
+/// Requires a non-empty sample.
+StatusOr<double> Median(const Sample& x);
+
+/// Quantile via linear interpolation of order statistics (type-7, the
+/// default of R and NumPy). Requires non-empty sample and p in [0, 1].
+StatusOr<double> Quantile(const Sample& x, double p);
+
+/// Sample skewness g1 = m3 / m2^{3/2} (biased moment form). Requires n >= 3
+/// and non-degenerate variance.
+StatusOr<double> Skewness(const Sample& x);
+
+/// Sample excess kurtosis g2 = m4 / m2^2 - 3. Requires n >= 4 and
+/// non-degenerate variance.
+StatusOr<double> ExcessKurtosis(const Sample& x);
+
+/// Midranks: ranks 1..n with ties receiving the average of their positions
+/// (the transform behind Kruskal-Wallis and Dunn). Output is parallel to
+/// the input.
+std::vector<double> MidRanks(const Sample& x);
+
+/// Exponentially weighted moving average of a series with smoothing factor
+/// alpha in (0, 1]; used to produce the paper's "smoothed" annual curves.
+StatusOr<std::vector<double>> Ewma(const std::vector<double>& series,
+                                   double alpha);
+
+}  // namespace cdibot::stats
+
+#endif  // CDIBOT_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,176 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+#include "stats/special_functions.h"
+
+namespace cdibot::stats {
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+// CDF of the range of k independent standard normals:
+//   W_k(x) = k * Int phi(z) * [Phi(z) - Phi(z - x)]^{k-1} dz
+// evaluated by composite Simpson over z in [-9, 9] (the phi(z) factor makes
+// the tails negligible at double precision).
+double NormalRangeCdf(double x, int k) {
+  if (x <= 0.0) return 0.0;
+  constexpr double kLo = -9.0;
+  constexpr double kHi = 9.0;
+  constexpr int kSteps = 960;  // must be even for Simpson
+  const double h = (kHi - kLo) / kSteps;
+  auto f = [x, k](double z) {
+    const double inner = NormalCdf(z) - NormalCdf(z - x);
+    if (inner <= 0.0) return 0.0;
+    return NormalPdf(z) * std::pow(inner, k - 1);
+  };
+  double sum = f(kLo) + f(kHi);
+  for (int i = 1; i < kSteps; ++i) {
+    sum += f(kLo + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  const double integral = sum * h / 3.0;
+  const double w = static_cast<double>(k) * integral;
+  return std::min(1.0, std::max(0.0, w));
+}
+
+}  // namespace
+
+double NormalPdf(double x) {
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / kSqrt2); }
+
+double NormalSf(double x) { return 0.5 * std::erfc(x / kSqrt2); }
+
+StatusOr<double> NormalQuantile(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    return Status::InvalidArgument("NormalQuantile needs p in (0, 1)");
+  }
+  // Acklam's rational approximation with one Halley refinement step.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // Halley refinement for full double accuracy.
+  const double e = NormalCdf(x) - p;
+  const double u = e / NormalPdf(x);
+  x -= u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+StatusOr<double> ChiSquaredCdf(double x, double df) {
+  if (!(df > 0.0)) return Status::InvalidArgument("df must be > 0");
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(df / 2.0, x / 2.0);
+}
+
+StatusOr<double> ChiSquaredSf(double x, double df) {
+  if (!(df > 0.0)) return Status::InvalidArgument("df must be > 0");
+  if (x <= 0.0) return 1.0;
+  return RegularizedGammaQ(df / 2.0, x / 2.0);
+}
+
+StatusOr<double> StudentTCdf(double t, double df) {
+  if (!(df > 0.0)) return Status::InvalidArgument("df must be > 0");
+  const double x = df / (df + t * t);
+  CDIBOT_ASSIGN_OR_RETURN(const double ib,
+                          RegularizedBeta(x, df / 2.0, 0.5));
+  return t >= 0.0 ? 1.0 - 0.5 * ib : 0.5 * ib;
+}
+
+StatusOr<double> StudentTTwoSidedP(double t, double df) {
+  if (!(df > 0.0)) return Status::InvalidArgument("df must be > 0");
+  const double x = df / (df + t * t);
+  return RegularizedBeta(x, df / 2.0, 0.5);
+}
+
+StatusOr<double> FCdf(double x, double df1, double df2) {
+  if (!(df1 > 0.0) || !(df2 > 0.0)) {
+    return Status::InvalidArgument("F df must be > 0");
+  }
+  if (x <= 0.0) return 0.0;
+  return RegularizedBeta(df1 * x / (df1 * x + df2), df1 / 2.0, df2 / 2.0);
+}
+
+StatusOr<double> FSf(double x, double df1, double df2) {
+  if (!(df1 > 0.0) || !(df2 > 0.0)) {
+    return Status::InvalidArgument("F df must be > 0");
+  }
+  if (x <= 0.0) return 1.0;
+  return RegularizedBeta(df2 / (df2 + df1 * x), df2 / 2.0, df1 / 2.0);
+}
+
+StatusOr<double> StudentizedRangeCdf(double q, int k, double df) {
+  if (k < 2) return Status::InvalidArgument("studentized range needs k >= 2");
+  if (!(df > 0.0)) return Status::InvalidArgument("df must be > 0");
+  if (q <= 0.0) return 0.0;
+
+  // Large df: the chi scale concentrates at 1, so P(Q <= q) -> W_k(q).
+  if (df > 2000.0) return NormalRangeCdf(q, k);
+
+  // Outer integral over the scale u = chi_df / sqrt(df), density
+  //   g(u) = C * u^{df-1} * exp(-df u^2 / 2),
+  //   log C = (df/2) log(df) + (1 - df/2) log(2) - lgamma(df/2).
+  const double log_c = 0.5 * df * std::log(df) +
+                       (1.0 - 0.5 * df) * std::log(2.0) - LogGamma(df / 2.0);
+  // Integration window: the density's mass lies within ~10 relative sigma
+  // of 1; sigma of u is about 1/sqrt(2 df).
+  const double sigma = 1.0 / std::sqrt(2.0 * df);
+  const double lo = std::max(1e-8, 1.0 - 10.0 * sigma);
+  const double hi = 1.0 + 12.0 * sigma;
+  constexpr int kSteps = 256;  // even
+  const double h = (hi - lo) / kSteps;
+  auto f = [&](double u) {
+    const double log_g =
+        log_c + (df - 1.0) * std::log(u) - 0.5 * df * u * u;
+    return std::exp(log_g) * NormalRangeCdf(q * u, k);
+  };
+  double sum = f(lo) + f(hi);
+  for (int i = 1; i < kSteps; ++i) {
+    sum += f(lo + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  double cdf = sum * h / 3.0;
+  // For small df the density has a heavy right tail beyond the window; add
+  // it assuming W ~ its value at hi (upper bound is 1, so this slightly
+  // overestimates; the tail mass is < 1e-8 for df >= 3).
+  if (df < 3.0) {
+    CDIBOT_ASSIGN_OR_RETURN(const double tail_mass,
+                            ChiSquaredSf(df * hi * hi, df));
+    cdf += tail_mass * NormalRangeCdf(q * hi, k);
+  }
+  return std::min(1.0, std::max(0.0, cdf));
+}
+
+StatusOr<double> StudentizedRangeSf(double q, int k, double df) {
+  CDIBOT_ASSIGN_OR_RETURN(const double cdf, StudentizedRangeCdf(q, k, df));
+  return 1.0 - cdf;
+}
+
+}  // namespace cdibot::stats

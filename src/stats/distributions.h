@@ -1,0 +1,51 @@
+#ifndef CDIBOT_STATS_DISTRIBUTIONS_H_
+#define CDIBOT_STATS_DISTRIBUTIONS_H_
+
+#include "common/statusor.h"
+
+namespace cdibot::stats {
+
+/// Standard normal CDF Phi(x).
+double NormalCdf(double x);
+
+/// Standard normal survival function 1 - Phi(x), computed accurately in the
+/// tail via erfc.
+double NormalSf(double x);
+
+/// Standard normal quantile Phi^{-1}(p) for p in (0, 1) (Acklam's
+/// rational approximation, |relative error| < 1.15e-9).
+StatusOr<double> NormalQuantile(double p);
+
+/// Standard normal density phi(x).
+double NormalPdf(double x);
+
+/// Chi-squared CDF with df > 0 degrees of freedom.
+StatusOr<double> ChiSquaredCdf(double x, double df);
+/// Chi-squared upper tail.
+StatusOr<double> ChiSquaredSf(double x, double df);
+
+/// Student-t CDF with df > 0.
+StatusOr<double> StudentTCdf(double t, double df);
+/// Two-sided Student-t p-value P(|T| >= |t|).
+StatusOr<double> StudentTTwoSidedP(double t, double df);
+
+/// F-distribution CDF with df1, df2 > 0.
+StatusOr<double> FCdf(double x, double df1, double df2);
+/// F-distribution upper tail (the ANOVA p-value).
+StatusOr<double> FSf(double x, double df1, double df2);
+
+/// CDF of the studentized range distribution: P(Q <= q) for the range of
+/// `k` independent standard normals divided by an independent chi estimate
+/// with `df` degrees of freedom. This is the reference distribution of the
+/// Tukey HSD / Tukey-Kramer / Games-Howell statistics. Computed by direct
+/// numerical quadrature of the classical double integral (the same
+/// formulation as R's ptukey); accuracy ~1e-6, ample for significance
+/// decisions. Requires k >= 2, df > 0, q >= 0.
+StatusOr<double> StudentizedRangeCdf(double q, int k, double df);
+
+/// Upper tail of the studentized range distribution.
+StatusOr<double> StudentizedRangeSf(double q, int k, double df);
+
+}  // namespace cdibot::stats
+
+#endif  // CDIBOT_STATS_DISTRIBUTIONS_H_

@@ -1,0 +1,181 @@
+#include "stats/posthoc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace cdibot::stats {
+namespace {
+
+Status ValidateGroups(const std::vector<Sample>& groups, size_t min_n) {
+  if (groups.size() < 2) {
+    return Status::InvalidArgument("need at least 2 groups");
+  }
+  for (const Sample& g : groups) {
+    if (g.size() < min_n) {
+      return Status::InvalidArgument("every group needs n >= " +
+                                     std::to_string(min_n));
+    }
+  }
+  return Status::OK();
+}
+
+// Pooled within-group mean square (the ANOVA MSE) and its df.
+Status PooledMse(const std::vector<Sample>& groups, double* mse, double* df) {
+  double ss = 0.0;
+  double n_total = 0.0;
+  for (const Sample& g : groups) {
+    double m = 0.0;
+    for (double v : g) m += v;
+    m /= static_cast<double>(g.size());
+    for (double v : g) ss += (v - m) * (v - m);
+    n_total += static_cast<double>(g.size());
+  }
+  *df = n_total - static_cast<double>(groups.size());
+  if (*df <= 0.0) return Status::InvalidArgument("not enough observations");
+  if (ss <= 0.0) {
+    return Status::FailedPrecondition(
+        "zero within-group variance; studentized range undefined");
+  }
+  *mse = ss / *df;
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::vector<PairwiseResult>> TukeyHsd(
+    const std::vector<Sample>& groups) {
+  CDIBOT_RETURN_IF_ERROR(ValidateGroups(groups, 2));
+  const size_t n0 = groups.front().size();
+  for (const Sample& g : groups) {
+    if (g.size() != n0) {
+      return Status::InvalidArgument(
+          "Tukey HSD needs equal group sizes; use TukeyKramer");
+    }
+  }
+  return TukeyKramer(groups);  // Kramer reduces to HSD for equal sizes
+}
+
+StatusOr<std::vector<PairwiseResult>> TukeyKramer(
+    const std::vector<Sample>& groups) {
+  CDIBOT_RETURN_IF_ERROR(ValidateGroups(groups, 2));
+  double mse = 0.0, df = 0.0;
+  CDIBOT_RETURN_IF_ERROR(PooledMse(groups, &mse, &df));
+  const int k = static_cast<int>(groups.size());
+
+  std::vector<double> means(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    CDIBOT_ASSIGN_OR_RETURN(means[i], Mean(groups[i]));
+  }
+
+  std::vector<PairwiseResult> out;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    for (size_t j = i + 1; j < groups.size(); ++j) {
+      const double ni = static_cast<double>(groups[i].size());
+      const double nj = static_cast<double>(groups[j].size());
+      const double se =
+          std::sqrt(mse / 2.0 * (1.0 / ni + 1.0 / nj));
+      const double q = std::abs(means[i] - means[j]) / se;
+      CDIBOT_ASSIGN_OR_RETURN(const double p,
+                              StudentizedRangeSf(q, k, df));
+      out.push_back(PairwiseResult{
+          .group_a = i, .group_b = j, .statistic = q, .df = df, .p_value = p});
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<PairwiseResult>> GamesHowell(
+    const std::vector<Sample>& groups) {
+  CDIBOT_RETURN_IF_ERROR(ValidateGroups(groups, 2));
+  const int k = static_cast<int>(groups.size());
+  std::vector<double> means(groups.size());
+  std::vector<double> vars(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    CDIBOT_ASSIGN_OR_RETURN(means[i], Mean(groups[i]));
+    CDIBOT_ASSIGN_OR_RETURN(vars[i], Variance(groups[i]));
+    if (vars[i] <= 0.0) {
+      return Status::FailedPrecondition(
+          "Games-Howell needs positive group variances");
+    }
+  }
+
+  std::vector<PairwiseResult> out;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    for (size_t j = i + 1; j < groups.size(); ++j) {
+      const double ni = static_cast<double>(groups[i].size());
+      const double nj = static_cast<double>(groups[j].size());
+      const double vi = vars[i] / ni;
+      const double vj = vars[j] / nj;
+      const double se2 = vi + vj;
+      // Welch-Satterthwaite per-pair degrees of freedom.
+      const double df = se2 * se2 /
+                        (vi * vi / (ni - 1.0) + vj * vj / (nj - 1.0));
+      const double q = std::abs(means[i] - means[j]) / std::sqrt(se2 / 2.0);
+      CDIBOT_ASSIGN_OR_RETURN(const double p, StudentizedRangeSf(q, k, df));
+      out.push_back(PairwiseResult{
+          .group_a = i, .group_b = j, .statistic = q, .df = df, .p_value = p});
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<PairwiseResult>> DunnTest(
+    const std::vector<Sample>& groups, bool bonferroni) {
+  CDIBOT_RETURN_IF_ERROR(ValidateGroups(groups, 1));
+  Sample pooled;
+  for (const Sample& g : groups) {
+    pooled.insert(pooled.end(), g.begin(), g.end());
+  }
+  const auto n = static_cast<double>(pooled.size());
+  const std::vector<double> ranks = MidRanks(pooled);
+
+  // Mean rank per group.
+  std::vector<double> mean_rank(groups.size());
+  size_t offset = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    double sum = 0.0;
+    for (size_t i = 0; i < groups[g].size(); ++i) sum += ranks[offset + i];
+    offset += groups[g].size();
+    mean_rank[g] = sum / static_cast<double>(groups[g].size());
+  }
+
+  // Tie correction term sum(t^3 - t) / (12 (N - 1)).
+  Sample sorted = pooled;
+  std::sort(sorted.begin(), sorted.end());
+  double tie_sum = 0.0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const auto t = static_cast<double>(j - i + 1);
+    tie_sum += t * t * t - t;
+    i = j + 1;
+  }
+  const double tie_term = tie_sum / (12.0 * (n - 1.0));
+  const double base_var = n * (n + 1.0) / 12.0 - tie_term;
+  if (base_var <= 0.0) {
+    return Status::FailedPrecondition("all observations are tied");
+  }
+
+  const double num_pairs =
+      static_cast<double>(groups.size() * (groups.size() - 1) / 2);
+  std::vector<PairwiseResult> out;
+  for (size_t a = 0; a < groups.size(); ++a) {
+    for (size_t b = a + 1; b < groups.size(); ++b) {
+      const double na = static_cast<double>(groups[a].size());
+      const double nb = static_cast<double>(groups[b].size());
+      const double se = std::sqrt(base_var * (1.0 / na + 1.0 / nb));
+      const double z = std::abs(mean_rank[a] - mean_rank[b]) / se;
+      double p = 2.0 * NormalSf(z);
+      if (bonferroni) p = std::min(1.0, p * num_pairs);
+      out.push_back(PairwiseResult{
+          .group_a = a, .group_b = b, .statistic = z, .df = 0.0,
+          .p_value = p});
+    }
+  }
+  return out;
+}
+
+}  // namespace cdibot::stats

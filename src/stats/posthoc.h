@@ -1,0 +1,51 @@
+#ifndef CDIBOT_STATS_POSTHOC_H_
+#define CDIBOT_STATS_POSTHOC_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "stats/descriptive.h"
+
+namespace cdibot::stats {
+
+/// One pairwise comparison from a post-hoc analysis.
+struct PairwiseResult {
+  /// Indexes of the compared groups in the input vector.
+  size_t group_a = 0;
+  size_t group_b = 0;
+  /// Test statistic (studentized range q, or z for Dunn).
+  double statistic = 0.0;
+  /// Error degrees of freedom used for this pair (0 for Dunn).
+  double df = 0.0;
+  double p_value = 1.0;
+
+  bool SignificantAt(double alpha) const { return p_value < alpha; }
+};
+
+/// Tukey's HSD (ref. [44]): all-pairs comparison after a significant ANOVA
+/// with equal group sizes, using the studentized range distribution.
+/// Requires >= 2 groups of identical size n >= 2.
+StatusOr<std::vector<PairwiseResult>> TukeyHsd(
+    const std::vector<Sample>& groups);
+
+/// Tukey-Kramer (ref. [45]): the HSD generalization to unequal group sizes.
+/// Requires >= 2 groups, each n >= 2. With equal sizes it coincides with
+/// TukeyHsd.
+StatusOr<std::vector<PairwiseResult>> TukeyKramer(
+    const std::vector<Sample>& groups);
+
+/// Games-Howell (ref. [47]): pairwise comparisons without the equal-variance
+/// assumption; per-pair Welch-Satterthwaite degrees of freedom. Requires
+/// >= 2 groups, each n >= 2, with positive variances.
+StatusOr<std::vector<PairwiseResult>> GamesHowell(
+    const std::vector<Sample>& groups);
+
+/// Dunn's multiple comparison on ranks (ref. [49]), the post-hoc companion
+/// of Kruskal-Wallis. Two-sided normal p-values; `bonferroni` multiplies by
+/// the number of pairs (capped at 1).
+StatusOr<std::vector<PairwiseResult>> DunnTest(
+    const std::vector<Sample>& groups, bool bonferroni = true);
+
+}  // namespace cdibot::stats
+
+#endif  // CDIBOT_STATS_POSTHOC_H_

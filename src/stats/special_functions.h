@@ -1,0 +1,26 @@
+#ifndef CDIBOT_STATS_SPECIAL_FUNCTIONS_H_
+#define CDIBOT_STATS_SPECIAL_FUNCTIONS_H_
+
+#include "common/statusor.h"
+
+namespace cdibot::stats {
+
+/// log Gamma(x) for x > 0 (thin wrapper over std::lgamma, kept here so all
+/// numeric kernels route through one audited surface).
+double LogGamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a, x) / Gamma(a),
+/// for a > 0, x >= 0. Series expansion for x < a + 1, continued fraction
+/// otherwise (Numerical Recipes 6.2). Absolute accuracy ~1e-12.
+StatusOr<double> RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+StatusOr<double> RegularizedGammaQ(double a, double x);
+
+/// Regularized incomplete beta I_x(a, b) for a, b > 0 and x in [0, 1],
+/// via the Lentz continued fraction (Numerical Recipes 6.4).
+StatusOr<double> RegularizedBeta(double x, double a, double b);
+
+}  // namespace cdibot::stats
+
+#endif  // CDIBOT_STATS_SPECIAL_FUNCTIONS_H_

@@ -1,0 +1,326 @@
+#include "stats/tests.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/distributions.h"
+
+namespace cdibot::stats {
+namespace {
+
+Status ValidateGroups(const std::vector<Sample>& groups, size_t min_n) {
+  if (groups.size() < 2) {
+    return Status::InvalidArgument("need at least 2 groups");
+  }
+  for (const Sample& g : groups) {
+    if (g.size() < min_n) {
+      return Status::InvalidArgument("every group needs n >= " +
+                                     std::to_string(min_n));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<TestResult> DAgostinoK2Test(const Sample& x) {
+  const auto n = static_cast<double>(x.size());
+  if (x.size() < 8) {
+    return Status::InvalidArgument("D'Agostino K^2 needs n >= 8");
+  }
+  CDIBOT_ASSIGN_OR_RETURN(const double g1, Skewness(x));
+  CDIBOT_ASSIGN_OR_RETURN(const double g2, ExcessKurtosis(x));
+  const double b2 = g2 + 3.0;  // raw kurtosis
+
+  // Skewness transform (D'Agostino 1970).
+  const double y = g1 * std::sqrt((n + 1.0) * (n + 3.0) / (6.0 * (n - 2.0)));
+  const double beta2 = 3.0 * (n * n + 27.0 * n - 70.0) * (n + 1.0) *
+                       (n + 3.0) /
+                       ((n - 2.0) * (n + 5.0) * (n + 7.0) * (n + 9.0));
+  const double w2 = -1.0 + std::sqrt(2.0 * (beta2 - 1.0));
+  const double delta = 1.0 / std::sqrt(std::log(std::sqrt(w2)));
+  const double alpha = std::sqrt(2.0 / (w2 - 1.0));
+  const double ya = y / alpha;
+  const double z1 = delta * std::log(ya + std::sqrt(ya * ya + 1.0));
+
+  // Kurtosis transform (Anscombe & Glynn 1983).
+  const double eb2 = 3.0 * (n - 1.0) / (n + 1.0);
+  const double vb2 = 24.0 * n * (n - 2.0) * (n - 3.0) /
+                     ((n + 1.0) * (n + 1.0) * (n + 3.0) * (n + 5.0));
+  const double xx = (b2 - eb2) / std::sqrt(vb2);
+  const double sqrt_beta1 =
+      6.0 * (n * n - 5.0 * n + 2.0) / ((n + 7.0) * (n + 9.0)) *
+      std::sqrt(6.0 * (n + 3.0) * (n + 5.0) / (n * (n - 2.0) * (n - 3.0)));
+  const double a = 6.0 + 8.0 / sqrt_beta1 *
+                             (2.0 / sqrt_beta1 +
+                              std::sqrt(1.0 + 4.0 / (sqrt_beta1 * sqrt_beta1)));
+  const double term =
+      (1.0 - 2.0 / a) / (1.0 + xx * std::sqrt(2.0 / (a - 4.0)));
+  const double z2 = ((1.0 - 2.0 / (9.0 * a)) - std::cbrt(term)) /
+                    std::sqrt(2.0 / (9.0 * a));
+
+  const double k2 = z1 * z1 + z2 * z2;
+  CDIBOT_ASSIGN_OR_RETURN(const double p, ChiSquaredSf(k2, 2.0));
+  return TestResult{.method = "D'Agostino K^2",
+                    .statistic = k2,
+                    .df1 = 2.0,
+                    .df2 = 0.0,
+                    .p_value = p};
+}
+
+StatusOr<TestResult> ShapiroWilkTest(const Sample& x) {
+  const size_t n = x.size();
+  if (n < 3 || n > 5000) {
+    return Status::InvalidArgument("Shapiro-Wilk needs 3 <= n <= 5000");
+  }
+  Sample sorted = x;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.front() == sorted.back()) {
+    return Status::FailedPrecondition("degenerate sample");
+  }
+  const auto nd = static_cast<double>(n);
+
+  // Expected normal order statistics m_i (Blom approximation) and their
+  // normalization.
+  std::vector<double> m(n);
+  double m_norm2 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    CDIBOT_ASSIGN_OR_RETURN(
+        m[i], NormalQuantile((static_cast<double>(i) + 1.0 - 0.375) /
+                             (nd + 0.25)));
+    m_norm2 += m[i] * m[i];
+  }
+
+  // Royston's polynomial-corrected coefficients a_i.
+  std::vector<double> a(n);
+  const double u = 1.0 / std::sqrt(nd);
+  if (n == 3) {
+    a[0] = -std::sqrt(0.5);
+    a[2] = std::sqrt(0.5);
+    a[1] = 0.0;
+  } else {
+    const double c_n = m[n - 1] / std::sqrt(m_norm2);
+    const double a_n = c_n + 0.221157 * u - 0.147981 * u * u -
+                       2.071190 * u * u * u + 4.434685 * u * u * u * u -
+                       2.706056 * u * u * u * u * u;
+    double a_n1 = 0.0;
+    size_t tail = 1;  // coefficients fixed at each end
+    double phi_num = m_norm2 - 2.0 * m[n - 1] * m[n - 1];
+    double phi_den = 1.0 - 2.0 * a_n * a_n;
+    if (n > 5) {
+      const double c_n1 = m[n - 2] / std::sqrt(m_norm2);
+      a_n1 = c_n1 + 0.042981 * u - 0.293762 * u * u -
+             1.752461 * u * u * u + 5.682633 * u * u * u * u -
+             3.582633 * u * u * u * u * u;
+      tail = 2;
+      phi_num -= 2.0 * m[n - 2] * m[n - 2];
+      phi_den -= 2.0 * a_n1 * a_n1;
+    }
+    const double phi = phi_num / phi_den;
+    const double sqrt_phi = std::sqrt(phi);
+    for (size_t i = 0; i < n; ++i) a[i] = m[i] / sqrt_phi;
+    a[n - 1] = a_n;
+    a[0] = -a_n;
+    if (tail == 2) {
+      a[n - 2] = a_n1;
+      a[1] = -a_n1;
+    }
+  }
+
+  // W = (sum a_i x_(i))^2 / SS.
+  double mean = 0.0;
+  for (double v : sorted) mean += v;
+  mean /= nd;
+  double numerator = 0.0;
+  double ss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    numerator += a[i] * sorted[i];
+    ss += (sorted[i] - mean) * (sorted[i] - mean);
+  }
+  const double w = numerator * numerator / ss;
+
+  // Royston's normalizing transformation for the p-value.
+  double p = 1.0;
+  if (n == 3) {
+    // Exact for n = 3.
+    p = 6.0 / M_PI * (std::asin(std::sqrt(w)) - std::asin(std::sqrt(0.75)));
+    p = std::min(1.0, std::max(0.0, p));
+  } else if (n <= 11) {
+    const double gamma = -2.273 + 0.459 * nd;
+    const double wt = -std::log(gamma - std::log(1.0 - w));
+    const double mu = 0.5440 - 0.39978 * nd + 0.025054 * nd * nd -
+                      0.0006714 * nd * nd * nd;
+    const double sigma = std::exp(1.3822 - 0.77857 * nd +
+                                  0.062767 * nd * nd -
+                                  0.0020322 * nd * nd * nd);
+    p = NormalSf((wt - mu) / sigma);
+  } else {
+    const double ln_n = std::log(nd);
+    const double wt = std::log(1.0 - w);
+    const double mu = -1.5861 - 0.31082 * ln_n - 0.083751 * ln_n * ln_n +
+                      0.0038915 * ln_n * ln_n * ln_n;
+    const double sigma =
+        std::exp(-0.4803 - 0.082676 * ln_n + 0.0030302 * ln_n * ln_n);
+    p = NormalSf((wt - mu) / sigma);
+  }
+
+  return TestResult{.method = "Shapiro-Wilk",
+                    .statistic = w,
+                    .df1 = nd,
+                    .df2 = 0.0,
+                    .p_value = p};
+}
+
+StatusOr<TestResult> LeveneTest(const std::vector<Sample>& groups) {
+  CDIBOT_RETURN_IF_ERROR(ValidateGroups(groups, 2));
+  std::vector<Sample> deviations;
+  deviations.reserve(groups.size());
+  for (const Sample& g : groups) {
+    CDIBOT_ASSIGN_OR_RETURN(const double med, Median(g));
+    Sample z;
+    z.reserve(g.size());
+    for (double v : g) z.push_back(std::abs(v - med));
+    deviations.push_back(std::move(z));
+  }
+  CDIBOT_ASSIGN_OR_RETURN(TestResult anova, OneWayAnova(deviations));
+  anova.method = "Levene (Brown-Forsythe)";
+  return anova;
+}
+
+StatusOr<TestResult> OneWayAnova(const std::vector<Sample>& groups) {
+  CDIBOT_RETURN_IF_ERROR(ValidateGroups(groups, 2));
+  const auto k = static_cast<double>(groups.size());
+  double total_n = 0.0;
+  double grand_sum = 0.0;
+  for (const Sample& g : groups) {
+    total_n += static_cast<double>(g.size());
+    for (double v : g) grand_sum += v;
+  }
+  const double grand_mean = grand_sum / total_n;
+
+  double ss_between = 0.0;
+  double ss_within = 0.0;
+  for (const Sample& g : groups) {
+    CDIBOT_ASSIGN_OR_RETURN(const double m, Mean(g));
+    ss_between += static_cast<double>(g.size()) * (m - grand_mean) *
+                  (m - grand_mean);
+    for (double v : g) ss_within += (v - m) * (v - m);
+  }
+  const double df1 = k - 1.0;
+  const double df2 = total_n - k;
+  if (df2 <= 0.0) return Status::InvalidArgument("not enough observations");
+  if (ss_within <= 0.0) {
+    // All groups are internally constant; any between-group difference is
+    // infinitely significant, identical groups are not.
+    const double p = ss_between > 0.0 ? 0.0 : 1.0;
+    return TestResult{.method = "one-way ANOVA",
+                      .statistic = ss_between > 0.0
+                                       ? std::numeric_limits<double>::infinity()
+                                       : 0.0,
+                      .df1 = df1,
+                      .df2 = df2,
+                      .p_value = p};
+  }
+  const double f = (ss_between / df1) / (ss_within / df2);
+  CDIBOT_ASSIGN_OR_RETURN(const double p, FSf(f, df1, df2));
+  return TestResult{.method = "one-way ANOVA",
+                    .statistic = f,
+                    .df1 = df1,
+                    .df2 = df2,
+                    .p_value = p};
+}
+
+StatusOr<TestResult> WelchAnova(const std::vector<Sample>& groups) {
+  CDIBOT_RETURN_IF_ERROR(ValidateGroups(groups, 2));
+  const auto k = static_cast<double>(groups.size());
+  std::vector<double> w(groups.size());
+  std::vector<double> means(groups.size());
+  double w_total = 0.0;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    CDIBOT_ASSIGN_OR_RETURN(means[i], Mean(groups[i]));
+    CDIBOT_ASSIGN_OR_RETURN(const double var, Variance(groups[i]));
+    if (var <= 0.0) {
+      return Status::FailedPrecondition(
+          "Welch ANOVA needs positive within-group variance");
+    }
+    w[i] = static_cast<double>(groups[i].size()) / var;
+    w_total += w[i];
+  }
+  double weighted_mean = 0.0;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    weighted_mean += w[i] * means[i];
+  }
+  weighted_mean /= w_total;
+
+  double a = 0.0;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    a += w[i] * (means[i] - weighted_mean) * (means[i] - weighted_mean);
+  }
+  a /= (k - 1.0);
+
+  double lambda = 0.0;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    const double t = 1.0 - w[i] / w_total;
+    lambda += t * t / (static_cast<double>(groups[i].size()) - 1.0);
+  }
+  const double b = 1.0 + 2.0 * (k - 2.0) / (k * k - 1.0) * lambda;
+  const double f = a / b;
+  const double df1 = k - 1.0;
+  const double df2 = (k * k - 1.0) / (3.0 * lambda);
+  CDIBOT_ASSIGN_OR_RETURN(const double p, FSf(f, df1, df2));
+  return TestResult{.method = "Welch's ANOVA",
+                    .statistic = f,
+                    .df1 = df1,
+                    .df2 = df2,
+                    .p_value = p};
+}
+
+StatusOr<TestResult> KruskalWallisTest(const std::vector<Sample>& groups) {
+  CDIBOT_RETURN_IF_ERROR(ValidateGroups(groups, 1));
+  Sample pooled;
+  for (const Sample& g : groups) {
+    pooled.insert(pooled.end(), g.begin(), g.end());
+  }
+  const auto n = static_cast<double>(pooled.size());
+  if (n < 3) return Status::InvalidArgument("Kruskal-Wallis needs N >= 3");
+  const std::vector<double> ranks = MidRanks(pooled);
+
+  double h = 0.0;
+  size_t offset = 0;
+  for (const Sample& g : groups) {
+    double rank_sum = 0.0;
+    for (size_t i = 0; i < g.size(); ++i) rank_sum += ranks[offset + i];
+    offset += g.size();
+    h += rank_sum * rank_sum / static_cast<double>(g.size());
+  }
+  h = 12.0 / (n * (n + 1.0)) * h - 3.0 * (n + 1.0);
+
+  // Tie correction: 1 - sum(t^3 - t) / (N^3 - N).
+  Sample sorted = pooled;
+  std::sort(sorted.begin(), sorted.end());
+  double tie_sum = 0.0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const auto t = static_cast<double>(j - i + 1);
+    tie_sum += t * t * t - t;
+    i = j + 1;
+  }
+  const double correction = 1.0 - tie_sum / (n * n * n - n);
+  if (correction <= 0.0) {
+    return Status::FailedPrecondition("all observations are tied");
+  }
+  h /= correction;
+
+  const double df = static_cast<double>(groups.size()) - 1.0;
+  CDIBOT_ASSIGN_OR_RETURN(const double p, ChiSquaredSf(h, df));
+  return TestResult{.method = "Kruskal-Wallis H",
+                    .statistic = h,
+                    .df1 = df,
+                    .df2 = 0.0,
+                    .p_value = p};
+}
+
+}  // namespace cdibot::stats

@@ -1,0 +1,58 @@
+#ifndef CDIBOT_STATS_TESTS_H_
+#define CDIBOT_STATS_TESTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "stats/descriptive.h"
+
+namespace cdibot::stats {
+
+/// Outcome of a single statistical test.
+struct TestResult {
+  /// Human-readable test name, e.g. "one-way ANOVA".
+  std::string method;
+  /// Test statistic (F, H, K^2, ...).
+  double statistic = 0.0;
+  /// Degrees of freedom (df2 is 0 for single-df-family tests).
+  double df1 = 0.0;
+  double df2 = 0.0;
+  double p_value = 1.0;
+
+  bool SignificantAt(double alpha) const { return p_value < alpha; }
+};
+
+/// D'Agostino's K^2 omnibus normality test (the "omnibus test for
+/// normality" of ref. [41]): combines z-transformed skewness and kurtosis
+/// into a statistic that is chi-squared with 2 df under normality.
+/// Requires n >= 8.
+StatusOr<TestResult> DAgostinoK2Test(const Sample& x);
+
+/// Shapiro-Wilk normality test (Royston's AS R94 approximation): the
+/// standard small-sample normality check. W in (0, 1]; small W rejects
+/// normality. Requires 3 <= n <= 5000 and a non-degenerate sample.
+/// Accuracy of the p-value approximation: ~1e-3, ample for the workflow's
+/// branch decisions.
+StatusOr<TestResult> ShapiroWilkTest(const Sample& x);
+
+/// Brown-Forsythe variant of Levene's test for homogeneity of variances
+/// (median-centered absolute deviations run through a one-way ANOVA).
+/// Requires >= 2 groups, each with n >= 2.
+StatusOr<TestResult> LeveneTest(const std::vector<Sample>& groups);
+
+/// Classical one-way ANOVA (ref. [43]). Requires >= 2 groups, each n >= 2,
+/// and a non-zero within-group variance.
+StatusOr<TestResult> OneWayAnova(const std::vector<Sample>& groups);
+
+/// Welch's heteroscedastic ANOVA (ref. [46]): does not assume equal
+/// variances. Requires >= 2 groups, each n >= 2, with positive variances.
+StatusOr<TestResult> WelchAnova(const std::vector<Sample>& groups);
+
+/// Kruskal-Wallis H test (ref. [48]) with tie correction. Requires >= 2
+/// groups, each n >= 1, and at least one pair of distinct values overall.
+StatusOr<TestResult> KruskalWallisTest(const std::vector<Sample>& groups);
+
+}  // namespace cdibot::stats
+
+#endif  // CDIBOT_STATS_TESTS_H_

@@ -1,0 +1,80 @@
+#include "stats/workflow.h"
+
+namespace cdibot::stats {
+
+StatusOr<WorkflowResult> RunHypothesisWorkflow(
+    const std::vector<Sample>& groups, const WorkflowOptions& options) {
+  if (groups.size() < 2) {
+    return Status::InvalidArgument("workflow needs at least 2 groups");
+  }
+  WorkflowResult result;
+
+  // Step 1: per-group normality — Shapiro-Wilk for small samples,
+  // D'Agostino K^2 for larger ones (Fig. 10: the choice of tests varies
+  // with the number of samples).
+  result.all_normal = true;
+  result.normality.resize(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i].size() < options.min_normality_n) {
+      result.all_normal = false;
+      continue;
+    }
+    auto normality = groups[i].size() < options.dagostino_min_n
+                         ? ShapiroWilkTest(groups[i])
+                         : DAgostinoK2Test(groups[i]);
+    if (!normality.ok()) {
+      // Degenerate (e.g. constant) samples are certainly not normal.
+      result.all_normal = false;
+      continue;
+    }
+    result.normality[i] = normality.value();
+    if (normality->SignificantAt(options.alpha)) result.all_normal = false;
+  }
+
+  // Step 2: variance homogeneity (only informs the normal branch but is
+  // always reported).
+  auto levene = LeveneTest(groups);
+  if (levene.ok()) {
+    result.variance_test = levene.value();
+    result.equal_variances = !levene->SignificantAt(options.alpha);
+  } else {
+    result.equal_variances = false;
+  }
+
+  // Step 3: omnibus selection.
+  if (result.all_normal && result.equal_variances) {
+    CDIBOT_ASSIGN_OR_RETURN(result.omnibus, OneWayAnova(groups));
+  } else if (result.all_normal) {
+    CDIBOT_ASSIGN_OR_RETURN(result.omnibus, WelchAnova(groups));
+  } else {
+    CDIBOT_ASSIGN_OR_RETURN(result.omnibus, KruskalWallisTest(groups));
+  }
+  result.omnibus_significant = result.omnibus.SignificantAt(options.alpha);
+
+  // Step 4: post-hoc only for a significant omnibus with > 2 groups.
+  if (!result.omnibus_significant || groups.size() <= 2) return result;
+
+  if (result.all_normal && result.equal_variances) {
+    bool equal_sizes = true;
+    for (const Sample& g : groups) {
+      if (g.size() != groups.front().size()) equal_sizes = false;
+    }
+    if (equal_sizes) {
+      result.posthoc_method = "Tukey HSD";
+      CDIBOT_ASSIGN_OR_RETURN(result.posthoc, TukeyHsd(groups));
+    } else {
+      result.posthoc_method = "Tukey-Kramer";
+      CDIBOT_ASSIGN_OR_RETURN(result.posthoc, TukeyKramer(groups));
+    }
+  } else if (result.all_normal) {
+    result.posthoc_method = "Games-Howell";
+    CDIBOT_ASSIGN_OR_RETURN(result.posthoc, GamesHowell(groups));
+  } else {
+    result.posthoc_method = "Dunn";
+    CDIBOT_ASSIGN_OR_RETURN(result.posthoc,
+                            DunnTest(groups, options.bonferroni_dunn));
+  }
+  return result;
+}
+
+}  // namespace cdibot::stats

@@ -1,0 +1,63 @@
+#ifndef CDIBOT_STATS_WORKFLOW_H_
+#define CDIBOT_STATS_WORKFLOW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "stats/posthoc.h"
+#include "stats/tests.h"
+
+namespace cdibot::stats {
+
+/// Options for the Fig.-10 hypothesis-test workflow.
+struct WorkflowOptions {
+  /// Significance level for every decision in the workflow.
+  double alpha = 0.05;
+  /// Groups smaller than this skip the normality test and are treated as
+  /// non-normal (too few points to establish normality at all).
+  size_t min_normality_n = 8;
+  /// Groups with min_normality_n <= n < this use Shapiro-Wilk (the better
+  /// small-sample test); n >= this use D'Agostino's K^2.
+  size_t dagostino_min_n = 20;
+  /// Bonferroni-adjust Dunn's pairwise p-values.
+  bool bonferroni_dunn = true;
+};
+
+/// Full outcome of the paper's hypothesis-test workflow (Fig. 10):
+/// distribution and variance checks, the selected omnibus test, and — when
+/// the omnibus is significant with more than two groups — the selected
+/// post-hoc analysis.
+struct WorkflowResult {
+  /// Whether every group passed the normality check.
+  bool all_normal = false;
+  /// Whether Levene accepted variance homogeneity (meaningful only when
+  /// all_normal).
+  bool equal_variances = false;
+  /// Per-group normality results (empty entries for groups below the
+  /// minimum size, which count as non-normal).
+  std::vector<TestResult> normality;
+  TestResult variance_test;
+  TestResult omnibus;
+  bool omnibus_significant = false;
+  /// Post-hoc method actually run ("" when skipped).
+  std::string posthoc_method;
+  std::vector<PairwiseResult> posthoc;
+};
+
+/// Runs the complete Fig.-10 decision procedure on `groups`:
+///
+///   normal + equal variances   -> one-way ANOVA, then Tukey HSD
+///                                 (equal sizes) or Tukey-Kramer
+///   normal + unequal variances -> Welch's ANOVA, then Games-Howell
+///   non-normal                 -> Kruskal-Wallis, then Dunn
+///
+/// Post-hoc analysis runs only when the omnibus test is significant and
+/// there are more than two groups (Sec. VI-D). Requires >= 2 groups with
+/// n >= 2 each.
+StatusOr<WorkflowResult> RunHypothesisWorkflow(
+    const std::vector<Sample>& groups, const WorkflowOptions& options = {});
+
+}  // namespace cdibot::stats
+
+#endif  // CDIBOT_STATS_WORKFLOW_H_

@@ -1,0 +1,43 @@
+#include "storage/catalog_config.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace cdibot {
+
+StatusOr<std::vector<EventOverride>> LoadOverridesFromConfig(
+    const ConfigStore& config) {
+  std::map<std::string, EventOverride> by_event;
+  for (const std::string& key : config.KeysWithPrefix("catalog/")) {
+    const std::vector<std::string> parts = StrSplit(key, '/');
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("bad override key: " + key);
+    }
+    EventOverride& ov = by_event[parts[1]];
+    ov.event_name = parts[1];
+    if (parts[2] == "level") {
+      CDIBOT_ASSIGN_OR_RETURN(const std::string text, config.Get(key));
+      auto level = SeverityFromString(text);
+      if (!level.ok()) {
+        return Status::InvalidArgument("bad severity in " + key + ": " +
+                                       text);
+      }
+      ov.level = level.value();
+    } else if (parts[2] == "window_ms") {
+      CDIBOT_ASSIGN_OR_RETURN(const int64_t ms, config.GetInt(key));
+      ov.window = Duration::Millis(ms);
+    } else if (parts[2] == "expire_ms") {
+      CDIBOT_ASSIGN_OR_RETURN(const int64_t ms, config.GetInt(key));
+      ov.expire_interval = Duration::Millis(ms);
+    } else {
+      return Status::InvalidArgument("unknown override field: " + key);
+    }
+  }
+  std::vector<EventOverride> out;
+  out.reserve(by_event.size());
+  for (auto& [name, ov] : by_event) out.push_back(std::move(ov));
+  return out;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,27 @@
+#ifndef CDIBOT_STORAGE_CATALOG_CONFIG_H_
+#define CDIBOT_STORAGE_CATALOG_CONFIG_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "event/overrides.h"
+#include "storage/config_store.h"
+
+namespace cdibot {
+
+/// Loads catalog overrides from a ConfigStore (the MySQL-backed
+/// configuration of Fig. 4), implementing Sec. VIII-A's per-scenario
+/// customization. Keys, all optional per event:
+///
+///   catalog/<event>/level       = info|warning|critical|fatal
+///   catalog/<event>/window_ms   = <int>
+///   catalog/<event>/expire_ms   = <int>
+///
+/// Unparseable values fail with InvalidArgument naming the key. Apply the
+/// result with ApplyOverrides(base_catalog, overrides).
+StatusOr<std::vector<EventOverride>> LoadOverridesFromConfig(
+    const ConfigStore& config);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_STORAGE_CATALOG_CONFIG_H_

@@ -1,0 +1,90 @@
+#include "storage/config_store.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace cdibot {
+
+int64_t ConfigStore::Set(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_[key] = value;
+  return ++version_;
+}
+
+int64_t ConfigStore::SetInt(const std::string& key, int64_t value) {
+  return Set(key, StrFormat("%lld", static_cast<long long>(value)));
+}
+
+int64_t ConfigStore::SetDouble(const std::string& key, double value) {
+  return Set(key, StrFormat("%.17g", value));
+}
+
+StatusOr<std::string> ConfigStore::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key);
+  if (it == data_.end()) return Status::NotFound("no config key " + key);
+  return it->second;
+}
+
+StatusOr<int64_t> ConfigStore::GetInt(const std::string& key) const {
+  CDIBOT_ASSIGN_OR_RETURN(const std::string text, Get(key));
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("config " + key + " is not an int: " +
+                                   text);
+  }
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<double> ConfigStore::GetDouble(const std::string& key) const {
+  CDIBOT_ASSIGN_OR_RETURN(const std::string text, Get(key));
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("config " + key + " is not a double: " +
+                                   text);
+  }
+  return v;
+}
+
+std::string ConfigStore::GetOr(const std::string& key,
+                               const std::string& fallback) const {
+  auto v = Get(key);
+  return v.ok() ? v.value() : fallback;
+}
+
+StatusOr<double> ConfigStore::GetDoubleOr(const std::string& key,
+                                          double fallback) const {
+  auto v = Get(key);
+  if (!v.ok()) return fallback;
+  return GetDouble(key);
+}
+
+Status ConfigStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key);
+  if (it == data_.end()) return Status::NotFound("no config key " + key);
+  data_.erase(it);
+  ++version_;
+  return Status::OK();
+}
+
+std::vector<std::string> ConfigStore::KeysWithPrefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+int64_t ConfigStore::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,56 @@
+#ifndef CDIBOT_STORAGE_CONFIG_STORE_H_
+#define CDIBOT_STORAGE_CONFIG_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace cdibot {
+
+/// Small transactional key-value configuration store — the MySQL stand-in
+/// of Fig. 4, holding event weight configuration, rule parameters, and
+/// A/B-test assignments. Values are strings with typed accessors; every
+/// write bumps a global version so readers can detect configuration drift
+/// between job runs. Thread-safe.
+class ConfigStore {
+ public:
+  ConfigStore() = default;
+
+  /// Sets `key` to `value`, creating it if needed. Returns the new store
+  /// version.
+  int64_t Set(const std::string& key, const std::string& value);
+  int64_t SetInt(const std::string& key, int64_t value);
+  int64_t SetDouble(const std::string& key, double value);
+
+  /// Reads a value; NotFound if absent.
+  StatusOr<std::string> Get(const std::string& key) const;
+  /// Typed reads; InvalidArgument when the stored text does not parse.
+  StatusOr<int64_t> GetInt(const std::string& key) const;
+  StatusOr<double> GetDouble(const std::string& key) const;
+
+  /// Reads with a default when the key is absent (parse errors still fail).
+  std::string GetOr(const std::string& key, const std::string& fallback) const;
+  StatusOr<double> GetDoubleOr(const std::string& key, double fallback) const;
+
+  /// Removes a key. NotFound if absent.
+  Status Delete(const std::string& key);
+
+  /// All keys with the given prefix, sorted.
+  std::vector<std::string> KeysWithPrefix(const std::string& prefix) const;
+
+  /// Monotonically increasing store version (0 before any write).
+  int64_t version() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> data_;
+  int64_t version_ = 0;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_STORAGE_CONFIG_STORE_H_

@@ -1,0 +1,180 @@
+#include "storage/event_log.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/strings.h"
+#include "dataflow/csv.h"
+
+namespace cdibot {
+
+void EventLog::Append(const RawEvent& event) {
+  Partition& part = partitions_[event.time.StartOfDay().millis()];
+  part.by_target[event.target].push_back(part.events.size());
+  part.events.push_back(event);
+  ++size_;
+}
+
+void EventLog::AppendBatch(const std::vector<RawEvent>& events) {
+  for (const RawEvent& ev : events) Append(ev);
+}
+
+size_t EventLog::size() const { return size_; }
+
+std::vector<RawEvent> EventLog::Search(const Interval& range) const {
+  std::vector<RawEvent> out;
+  if (range.empty()) return out;
+  const int64_t first_day = range.start.StartOfDay().millis();
+  for (auto it = partitions_.lower_bound(first_day);
+       it != partitions_.end() && it->first < range.end.millis(); ++it) {
+    for (const RawEvent& ev : it->second.events) {
+      if (range.Contains(ev.time)) out.push_back(ev);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RawEvent& a, const RawEvent& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+std::vector<RawEvent> EventLog::SearchTarget(const Interval& range,
+                                             const std::string& target) const {
+  std::vector<RawEvent> out;
+  if (range.empty()) return out;
+  const int64_t first_day = range.start.StartOfDay().millis();
+  for (auto it = partitions_.lower_bound(first_day);
+       it != partitions_.end() && it->first < range.end.millis(); ++it) {
+    auto idx = it->second.by_target.find(target);
+    if (idx == it->second.by_target.end()) continue;
+    for (size_t i : idx->second) {
+      const RawEvent& ev = it->second.events[i];
+      if (range.Contains(ev.time)) out.push_back(ev);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RawEvent& a, const RawEvent& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+std::vector<TimePoint> EventLog::PartitionDays() const {
+  std::vector<TimePoint> out;
+  out.reserve(partitions_.size());
+  for (const auto& [day_ms, _] : partitions_) {
+    out.push_back(TimePoint::FromMillis(day_ms));
+  }
+  return out;
+}
+
+namespace {
+
+dataflow::Schema ExportSchema() {
+  using dataflow::Field;
+  using dataflow::ValueType;
+  return dataflow::Schema({Field{"name", ValueType::kString},
+                           Field{"time_ms", ValueType::kInt},
+                           Field{"target", ValueType::kString},
+                           Field{"level", ValueType::kInt},
+                           Field{"expire_ms", ValueType::kInt},
+                           Field{"duration_ms", ValueType::kInt}});
+}
+
+}  // namespace
+
+StatusOr<dataflow::Table> EventLog::ExportDay(TimePoint day) const {
+  using dataflow::Value;
+  dataflow::Table table(ExportSchema());
+  auto it = partitions_.find(day.StartOfDay().millis());
+  if (it == partitions_.end()) return table;  // empty day is a valid export
+  for (const RawEvent& ev : it->second.events) {
+    int64_t duration_ms = -1;
+    auto logged = ev.LoggedDuration();
+    if (logged.ok()) duration_ms = logged->millis();
+    CDIBOT_RETURN_IF_ERROR(table.Append(
+        {Value(ev.name), Value(ev.time.millis()), Value(ev.target),
+         Value(static_cast<int64_t>(ev.level)),
+         Value(ev.expire_interval.millis()), Value(duration_ms)}));
+  }
+  return table;
+}
+
+StatusOr<std::vector<RawEvent>> EventLog::ImportTable(
+    const dataflow::Table& table) {
+  if (!(table.schema() == ExportSchema())) {
+    return Status::InvalidArgument("table schema is not an event export: " +
+                                   table.schema().ToString());
+  }
+  std::vector<RawEvent> out;
+  out.reserve(table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const dataflow::Row& row = table.row(i);
+    RawEvent ev;
+    CDIBOT_ASSIGN_OR_RETURN(ev.name, row[0].AsString());
+    CDIBOT_ASSIGN_OR_RETURN(const int64_t time_ms, row[1].AsInt());
+    ev.time = TimePoint::FromMillis(time_ms);
+    CDIBOT_ASSIGN_OR_RETURN(ev.target, row[2].AsString());
+    CDIBOT_ASSIGN_OR_RETURN(const int64_t level, row[3].AsInt());
+    if (level < 1 || level > kNumSeverityLevels) {
+      return Status::InvalidArgument(
+          StrFormat("bad severity ordinal %lld", static_cast<long long>(level)));
+    }
+    ev.level = static_cast<Severity>(level);
+    CDIBOT_ASSIGN_OR_RETURN(const int64_t expire_ms, row[4].AsInt());
+    ev.expire_interval = Duration::Millis(expire_ms);
+    CDIBOT_ASSIGN_OR_RETURN(const int64_t duration_ms, row[5].AsInt());
+    if (duration_ms >= 0) {
+      ev.attrs["duration_ms"] =
+          StrFormat("%lld", static_cast<long long>(duration_ms));
+    }
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+Status EventLog::SaveToDir(const std::string& dir) const {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::NotFound("not a directory: " + dir);
+  }
+  for (const TimePoint day : PartitionDays()) {
+    CDIBOT_ASSIGN_OR_RETURN(const dataflow::Table table, ExportDay(day));
+    const std::string path =
+        dir + "/events_" + day.ToDateString() + ".csv";
+    CDIBOT_RETURN_IF_ERROR(dataflow::WriteCsvFile(table, path));
+  }
+  return Status::OK();
+}
+
+StatusOr<EventLog> EventLog::LoadFromDir(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::NotFound("not a directory: " + dir);
+  }
+  // Deterministic load order.
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("events_", 0) == 0 &&
+        name.size() > 4 && name.substr(name.size() - 4) == ".csv") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) return Status::Internal("cannot list " + dir + ": " + ec.message());
+  std::sort(paths.begin(), paths.end());
+
+  EventLog log;
+  // Reuse ExportDay's schema via a probe export of an empty log.
+  const dataflow::Table empty = EventLog().ExportDay(TimePoint()).value();
+  for (const std::string& path : paths) {
+    CDIBOT_ASSIGN_OR_RETURN(const dataflow::Table table,
+                            dataflow::ReadCsvFile(path, empty.schema()));
+    CDIBOT_ASSIGN_OR_RETURN(const std::vector<RawEvent> events,
+                            ImportTable(table));
+    for (const RawEvent& ev : events) log.Append(ev);
+  }
+  return log;
+}
+
+}  // namespace cdibot

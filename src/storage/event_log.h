@@ -1,0 +1,77 @@
+#ifndef CDIBOT_STORAGE_EVENT_LOG_H_
+#define CDIBOT_STORAGE_EVENT_LOG_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/time.h"
+#include "dataflow/table.h"
+#include "event/event.h"
+
+namespace cdibot {
+
+/// Append-only time-partitioned raw-event log — the SLS stand-in of Fig. 4.
+/// Events land in daily partitions for fast time-range search, and a
+/// partition can be exported ("synchronized") into a dataflow Table, which
+/// plays the role of the long-term MaxCompute table the Spark job reads.
+class EventLog {
+ public:
+  EventLog() = default;
+
+  /// Appends one event into its daily partition.
+  void Append(const RawEvent& event);
+  void AppendBatch(const std::vector<RawEvent>& events);
+
+  size_t size() const;
+
+  /// All events whose extraction time falls in [range.start, range.end),
+  /// sorted by time. Scans only the overlapping daily partitions.
+  std::vector<RawEvent> Search(const Interval& range) const;
+
+  /// Search narrowed to one target.
+  std::vector<RawEvent> SearchTarget(const Interval& range,
+                                     const std::string& target) const;
+
+  /// The partition days present in the log, sorted.
+  std::vector<TimePoint> PartitionDays() const;
+
+  /// Exports the events of one UTC day as a Table with schema
+  /// (name:string, time_ms:int, target:string, level:int,
+  ///  expire_ms:int, duration_ms:int) — duration_ms is -1 when the event
+  /// carries no logged duration. This is the nightly SLS -> MaxCompute
+  /// synchronization of Sec. V.
+  StatusOr<dataflow::Table> ExportDay(TimePoint day) const;
+
+  /// Rebuilds RawEvents from an exported table (the reverse mapping, used
+  /// by jobs that consume MaxCompute tables).
+  static StatusOr<std::vector<RawEvent>> ImportTable(
+      const dataflow::Table& table);
+
+  /// Persists every daily partition as `events_<YYYY-MM-DD>.csv` under
+  /// `dir` (which must exist) — the long-term-storage sync of Fig. 4 made
+  /// durable. Existing files for the same days are overwritten.
+  Status SaveToDir(const std::string& dir) const;
+
+  /// Loads every `events_*.csv` in `dir` into a fresh log.
+  static StatusOr<EventLog> LoadFromDir(const std::string& dir);
+
+ private:
+  // Daily partitions keyed by start-of-day millis; events within a
+  // partition are kept in append order. The per-target index keeps
+  // SearchTarget proportional to the target's own events — the daily CDI
+  // job calls it once per VM, so a partition-wide scan would make the job
+  // quadratic in fleet size.
+  struct Partition {
+    std::vector<RawEvent> events;
+    std::unordered_map<std::string, std::vector<size_t>> by_target;
+  };
+  std::map<int64_t, Partition> partitions_;
+  size_t size_ = 0;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_STORAGE_EVENT_LOG_H_

@@ -1,0 +1,61 @@
+#include "telemetry/log_stream.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace cdibot {
+
+std::vector<LogLine> GenerateBenignLogs(const std::string& target,
+                                        const Interval& window,
+                                        double lines_per_hour, Rng* rng) {
+  static constexpr const char* kBenign[] = {
+      "systemd[1]: Started Daily apt download activities.",
+      "kernel: perf: interrupt took too long, lowering rate",
+      "sshd[%d]: Accepted publickey for ops from 10.0.%d.%d",
+      "kvm: vcpu scheduling latency within budget",
+      "chronyd[%d]: Selected source 10.0.0.%d",
+  };
+  std::vector<LogLine> out;
+  if (window.empty() || lines_per_hour <= 0.0) return out;
+  const double hours = window.length().hours();
+  const auto n = static_cast<size_t>(rng->Poisson(lines_per_hour * hours));
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t offset_ms =
+        rng->UniformInt(0, window.length().millis() - 1);
+    const size_t which = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(std::size(kBenign)) - 1));
+    out.push_back(LogLine{
+        .time = window.start + Duration::Millis(offset_ms),
+        .target = target,
+        .text = StrFormat(kBenign[which],
+                          static_cast<int>(rng->UniformInt(100, 9999)),
+                          static_cast<int>(rng->UniformInt(0, 255)),
+                          static_cast<int>(rng->UniformInt(1, 254)))});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LogLine& a, const LogLine& b) { return a.time < b.time; });
+  return out;
+}
+
+void AppendNicFlap(const std::string& target, TimePoint at,
+                   std::vector<LogLine>* lines) {
+  lines->push_back(LogLine{.time = at,
+                           .target = target,
+                           .text = "kernel: eth0 NIC Link is Down"});
+  lines->push_back(LogLine{.time = at + Duration::Seconds(7),
+                           .target = target,
+                           .text = "kernel: eth0 NIC Link is Up 25Gbps"});
+}
+
+void AppendQemuLiveUpgrade(const std::string& target, TimePoint at,
+                           int64_t pause_ms, std::vector<LogLine>* lines) {
+  lines->push_back(LogLine{
+      .time = at,
+      .target = target,
+      .text = StrFormat("qemu: live upgrade complete, pause=%lldms",
+                        static_cast<long long>(pause_ms))});
+}
+
+}  // namespace cdibot

@@ -1,0 +1,39 @@
+#ifndef CDIBOT_TELEMETRY_LOG_STREAM_H_
+#define CDIBOT_TELEMETRY_LOG_STREAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace cdibot {
+
+/// One raw log line from a physical machine or VM — one of the data
+/// modalities of Fig. 1.
+struct LogLine {
+  TimePoint time;
+  std::string target;  ///< emitting VM or NC
+  std::string text;
+};
+
+/// Generates a background stream of benign kernel/hypervisor log lines for
+/// `target` across `window`, roughly `lines_per_hour` of them. Benign lines
+/// must not match any expert log rule (tests assert this).
+std::vector<LogLine> GenerateBenignLogs(const std::string& target,
+                                        const Interval& window,
+                                        double lines_per_hour, Rng* rng);
+
+/// Appends the fault log lines the paper's Example 1 describes: an
+/// "eth0 NIC Link is Down" / "...Up" flap pair at `at`.
+void AppendNicFlap(const std::string& target, TimePoint at,
+                   std::vector<LogLine>* lines);
+
+/// Appends a QEMU live-upgrade completion line carrying the measured pause
+/// duration in milliseconds (Sec. IV-B1).
+void AppendQemuLiveUpgrade(const std::string& target, TimePoint at,
+                           int64_t pause_ms, std::vector<LogLine>* lines);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_TELEMETRY_LOG_STREAM_H_

@@ -1,0 +1,44 @@
+#include "telemetry/metric_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdibot {
+
+StatusOr<MetricSeries> GenerateMetricSeries(const MetricSpec& spec, Rng* rng) {
+  if (spec.count == 0) return Status::InvalidArgument("count must be >= 1");
+  if (spec.interval.millis() <= 0) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  if (spec.noise_sigma < 0.0) {
+    return Status::InvalidArgument("noise_sigma must be >= 0");
+  }
+  MetricSeries series;
+  series.metric = spec.metric;
+  series.target = spec.target;
+  series.points.reserve(spec.count);
+
+  constexpr double kDayMs = 86400.0 * 1000.0;
+  for (size_t i = 0; i < spec.count; ++i) {
+    const TimePoint t =
+        spec.start + spec.interval * static_cast<int64_t>(i);
+    // Diurnal seasonality peaks in the (UTC) evening, like the paper's
+    // business-peak incidents.
+    const double phase =
+        2.0 * M_PI *
+        (static_cast<double>(t.millis() % static_cast<int64_t>(kDayMs)) /
+         kDayMs);
+    double v = spec.base +
+               spec.diurnal_amplitude * std::sin(phase - M_PI / 2.0) +
+               rng->Normal(0.0, spec.noise_sigma);
+    for (const MetricAnomaly& a : spec.anomalies) {
+      if (i >= a.begin && i < a.end) {
+        v = v * a.factor + a.offset;
+      }
+    }
+    series.points.push_back({t, std::max(0.0, v)});
+  }
+  return series;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,62 @@
+#ifndef CDIBOT_TELEMETRY_METRIC_SERIES_H_
+#define CDIBOT_TELEMETRY_METRIC_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "common/time.h"
+
+namespace cdibot {
+
+/// One observation of a monitored metric.
+struct MetricPoint {
+  TimePoint time;
+  double value = 0.0;
+};
+
+/// A regularly-sampled metric time series for one target (e.g. read_latency
+/// of a VM's cloud disk, Fig. 1).
+struct MetricSeries {
+  std::string metric;  ///< metric name, e.g. "read_latency"
+  std::string target;  ///< VM or NC id
+  std::vector<MetricPoint> points;
+};
+
+/// An anomaly to inject into a generated series.
+struct MetricAnomaly {
+  /// Index range [begin, end) of affected samples.
+  size_t begin = 0;
+  size_t end = 0;
+  /// Additive offset applied during the range (positive = spike plateau).
+  double offset = 0.0;
+  /// Multiplicative factor applied during the range (1 = none).
+  double factor = 1.0;
+};
+
+/// Specification for the synthetic metric generator: a base level, a
+/// diurnal (daily) seasonal component, Gaussian noise, and optional
+/// injected anomalies. This is the Data-Collector stand-in: the paper's
+/// eBPF collectors produce exactly such per-minute series.
+struct MetricSpec {
+  std::string metric = "read_latency";
+  std::string target;
+  TimePoint start;
+  Duration interval = Duration::Minutes(1);
+  size_t count = 1440;
+  double base = 10.0;
+  /// Peak-to-mean amplitude of the sinusoidal daily pattern.
+  double diurnal_amplitude = 2.0;
+  double noise_sigma = 0.5;
+  std::vector<MetricAnomaly> anomalies;
+};
+
+/// Generates a synthetic series from `spec` using `rng`. Values are clamped
+/// at zero (latencies and rates are non-negative). Requires count >= 1 and
+/// a positive interval.
+StatusOr<MetricSeries> GenerateMetricSeries(const MetricSpec& spec, Rng* rng);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_TELEMETRY_METRIC_SERIES_H_

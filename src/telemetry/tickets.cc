@@ -1,0 +1,131 @@
+#include "telemetry/tickets.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace cdibot {
+namespace {
+
+// Ticket text templates per category, mirroring the paper's cases: Case 1
+// (API latency after a change) is performance; Case 2 (console/API outage)
+// is control-plane.
+constexpr const char* kUnavailabilityTexts[] = {
+    "instance crashed and is unreachable",
+    "VM hangs, no response on any port",
+    "server went down unexpectedly this morning",
+    "disk unavailable, instance cannot boot",
+};
+constexpr const char* kPerformanceTexts[] = {
+    "API latency of our service markedly increased",
+    "disk IO is very slow during peak hours",
+    "packet loss degrades our video stream",
+    "CPU steal time is high, throughput dropped",
+};
+constexpr const char* kControlPlaneTexts[] = {
+    "cannot stop or release the instance from the console",
+    "resize operation keeps failing with an internal error",
+    "console login fails, management API calls time out",
+    "unable to purchase or modify ECS instances",
+};
+
+// Catalog event names per category for the related_event field.
+constexpr const char* kUnavailabilityEvents[] = {"vm_crash", "vm_hang",
+                                                 "nc_down", "ddos_blackhole"};
+constexpr const char* kPerformanceEvents[] = {"slow_io", "packet_loss",
+                                              "vcpu_high", "nic_flapping",
+                                              "vm_allocation_failed"};
+constexpr const char* kControlPlaneEvents[] = {
+    "vm_start_failed", "vm_stop_failed", "vm_release_failed",
+    "vm_resize_failed", "api_error"};
+
+template <size_t N>
+const char* Pick(const char* const (&arr)[N], Rng* rng) {
+  return arr[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(N) - 1))];
+}
+
+}  // namespace
+
+TicketClassifier::TicketClassifier() {
+  const auto u = StabilityCategory::kUnavailability;
+  const auto p = StabilityCategory::kPerformance;
+  const auto c = StabilityCategory::kControlPlane;
+  keywords_ = {
+      // Control-plane first: "console", "resize", "release" are decisive.
+      {"console", c}, {"resize", c}, {"release the instance", c},
+      {"management api", c}, {"purchase", c}, {"cannot stop", c},
+      // Unavailability.
+      {"crash", u}, {"unreachable", u}, {"hang", u}, {"went down", u},
+      {"cannot boot", u}, {"unavailable", u},
+      // Performance.
+      {"latency", p}, {"slow", p}, {"packet loss", p}, {"steal", p},
+      {"throughput", p}, {"degrad", p},
+  };
+}
+
+StabilityCategory TicketClassifier::Classify(const Ticket& ticket) const {
+  const std::string text = StrToLower(ticket.text);
+  for (const auto& [keyword, category] : keywords_) {
+    if (StrContains(text, keyword)) return category;
+  }
+  return StabilityCategory::kPerformance;
+}
+
+std::map<StabilityCategory, size_t> TicketClassifier::Histogram(
+    const std::vector<Ticket>& tickets) const {
+  std::map<StabilityCategory, size_t> out;
+  for (const Ticket& t : tickets) ++out[Classify(t)];
+  return out;
+}
+
+StatusOr<std::vector<Ticket>> GenerateTickets(const TicketWorkloadSpec& spec,
+                                              Rng* rng) {
+  if (spec.window.empty()) {
+    return Status::InvalidArgument("ticket window must be non-empty");
+  }
+  const double total =
+      spec.p_unavailability + spec.p_performance + spec.p_control_plane;
+  if (std::abs(total - 1.0) > 1e-9) {
+    return Status::InvalidArgument("category probabilities must sum to 1");
+  }
+  std::vector<Ticket> out;
+  out.reserve(spec.count);
+  for (size_t i = 0; i < spec.count; ++i) {
+    Ticket t;
+    t.id = static_cast<int64_t>(i) + 1;
+    t.time = spec.window.start +
+             Duration::Millis(rng->UniformInt(
+                 0, spec.window.length().millis() - 1));
+    t.target = StrFormat("vm-%05d", static_cast<int>(rng->UniformInt(0, 99999)));
+    const size_t cat = rng->Categorical(
+        {spec.p_unavailability, spec.p_performance, spec.p_control_plane});
+    switch (cat) {
+      case 0:
+        t.text = Pick(kUnavailabilityTexts, rng);
+        t.related_event = Pick(kUnavailabilityEvents, rng);
+        break;
+      case 1:
+        t.text = Pick(kPerformanceTexts, rng);
+        t.related_event = Pick(kPerformanceEvents, rng);
+        break;
+      default:
+        t.text = Pick(kControlPlaneTexts, rng);
+        t.related_event = Pick(kControlPlaneEvents, rng);
+        break;
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::map<std::string, int64_t> CountTicketsByEvent(
+    const std::vector<Ticket>& tickets) {
+  std::map<std::string, int64_t> out;
+  for (const Ticket& t : tickets) {
+    if (!t.related_event.empty()) ++out[t.related_event];
+  }
+  return out;
+}
+
+}  // namespace cdibot

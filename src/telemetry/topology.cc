@@ -1,0 +1,102 @@
+#include "telemetry/topology.h"
+
+#include <algorithm>
+
+namespace cdibot {
+
+std::string_view VmTypeToString(VmType t) {
+  switch (t) {
+    case VmType::kDedicated:
+      return "dedicated";
+    case VmType::kShared:
+      return "shared";
+  }
+  return "?";
+}
+
+std::string_view DeploymentArchToString(DeploymentArch a) {
+  switch (a) {
+    case DeploymentArch::kHomogeneous:
+      return "homogeneous";
+    case DeploymentArch::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+Status FleetTopology::AddCluster(const std::string& region,
+                                 const std::string& az,
+                                 const std::string& cluster_id) {
+  if (clusters_.count(cluster_id) > 0) {
+    return Status::AlreadyExists("cluster exists: " + cluster_id);
+  }
+  clusters_[cluster_id] = ClusterInfo{region, az};
+  return Status::OK();
+}
+
+Status FleetTopology::AddNc(NcInfo nc) {
+  if (clusters_.count(nc.cluster_id) == 0) {
+    return Status::NotFound("unknown cluster: " + nc.cluster_id);
+  }
+  if (ncs_.count(nc.nc_id) > 0) {
+    return Status::AlreadyExists("NC exists: " + nc.nc_id);
+  }
+  nc_order_.push_back(nc);
+  ncs_[nc.nc_id] = std::move(nc);
+  return Status::OK();
+}
+
+Status FleetTopology::AddVm(VmInfo vm) {
+  if (ncs_.count(vm.nc_id) == 0) {
+    return Status::NotFound("unknown NC: " + vm.nc_id);
+  }
+  if (vms_.count(vm.vm_id) > 0) {
+    return Status::AlreadyExists("VM exists: " + vm.vm_id);
+  }
+  vms_by_nc_[vm.nc_id].push_back(vm.vm_id);
+  vm_order_.push_back(vm);
+  vms_[vm.vm_id] = std::move(vm);
+  return Status::OK();
+}
+
+StatusOr<VmInfo> FleetTopology::FindVm(const std::string& vm_id) const {
+  auto it = vms_.find(vm_id);
+  if (it == vms_.end()) return Status::NotFound("unknown VM: " + vm_id);
+  return it->second;
+}
+
+StatusOr<NcInfo> FleetTopology::FindNc(const std::string& nc_id) const {
+  auto it = ncs_.find(nc_id);
+  if (it == ncs_.end()) return Status::NotFound("unknown NC: " + nc_id);
+  return it->second;
+}
+
+std::vector<std::string> FleetTopology::VmsOnNc(
+    const std::string& nc_id) const {
+  auto it = vms_by_nc_.find(nc_id);
+  if (it == vms_by_nc_.end()) return {};
+  std::vector<std::string> out = it->second;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StatusOr<std::map<std::string, std::string>> FleetTopology::DimsForVm(
+    const std::string& vm_id) const {
+  CDIBOT_ASSIGN_OR_RETURN(const VmInfo vm, FindVm(vm_id));
+  CDIBOT_ASSIGN_OR_RETURN(const NcInfo nc, FindNc(vm.nc_id));
+  auto cluster_it = clusters_.find(nc.cluster_id);
+  if (cluster_it == clusters_.end()) {
+    return Status::Internal("NC references unknown cluster");
+  }
+  return std::map<std::string, std::string>{
+      {"region", cluster_it->second.region},
+      {"az", cluster_it->second.az},
+      {"cluster", nc.cluster_id},
+      {"nc", vm.nc_id},
+      {"type", std::string(VmTypeToString(vm.type))},
+      {"arch", std::string(DeploymentArchToString(nc.arch))},
+      {"model", nc.model},
+  };
+}
+
+}  // namespace cdibot

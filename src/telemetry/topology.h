@@ -1,0 +1,93 @@
+#ifndef CDIBOT_TELEMETRY_TOPOLOGY_H_
+#define CDIBOT_TELEMETRY_TOPOLOGY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace cdibot {
+
+/// VM resource-isolation type (Case 5: dedicated VMs pin physical cores;
+/// shared VMs multiplex them).
+enum class VmType : int { kDedicated = 0, kShared = 1 };
+
+/// Deployment architecture of a physical machine's VM population (Case 5).
+enum class DeploymentArch : int {
+  /// Only one VM type per NC (two separate resource pools).
+  kHomogeneous = 0,
+  /// Dedicated and shared VMs co-hosted on disjoint core ranges.
+  kHybrid = 1,
+};
+
+std::string_view VmTypeToString(VmType t);
+std::string_view DeploymentArchToString(DeploymentArch a);
+
+/// A virtual machine placement record.
+struct VmInfo {
+  std::string vm_id;
+  std::string nc_id;
+  VmType type = VmType::kShared;
+  /// Physical-core allocation range [core_begin, core_end) on the NC.
+  int core_begin = 0;
+  int core_end = 0;
+};
+
+/// A physical machine (node controller).
+struct NcInfo {
+  std::string nc_id;
+  std::string cluster_id;
+  DeploymentArch arch = DeploymentArch::kHomogeneous;
+  int num_cores = 104;  // the paper's Case 6 machine size
+  /// Machine model; Case 5's defect only affects one model.
+  std::string model = "gen3";
+};
+
+/// Static fleet topology: region -> AZ -> cluster -> NC -> VM, as collected
+/// by the Data Collector. Provides the placement dimensions the BI layer
+/// drills into.
+class FleetTopology {
+ public:
+  FleetTopology() = default;
+
+  /// Registers entities. Parents must exist; ids must be unique.
+  Status AddCluster(const std::string& region, const std::string& az,
+                    const std::string& cluster_id);
+  Status AddNc(NcInfo nc);
+  Status AddVm(VmInfo vm);
+
+  size_t num_vms() const { return vms_.size(); }
+  size_t num_ncs() const { return ncs_.size(); }
+
+  StatusOr<VmInfo> FindVm(const std::string& vm_id) const;
+  StatusOr<NcInfo> FindNc(const std::string& nc_id) const;
+
+  /// All VM ids hosted on `nc_id`, sorted.
+  std::vector<std::string> VmsOnNc(const std::string& nc_id) const;
+
+  /// All VMs, in insertion order.
+  const std::vector<VmInfo>& vms() const { return vm_order_; }
+  const std::vector<NcInfo>& ncs() const { return nc_order_; }
+
+  /// The drill-down dimension map of a VM: region, az, cluster, nc, type,
+  /// arch, model. NotFound when the VM or its host is unknown.
+  StatusOr<std::map<std::string, std::string>> DimsForVm(
+      const std::string& vm_id) const;
+
+ private:
+  struct ClusterInfo {
+    std::string region;
+    std::string az;
+  };
+  std::map<std::string, ClusterInfo> clusters_;
+  std::map<std::string, NcInfo> ncs_;
+  std::map<std::string, VmInfo> vms_;
+  std::map<std::string, std::vector<std::string>> vms_by_nc_;
+  std::vector<VmInfo> vm_order_;
+  std::vector<NcInfo> nc_order_;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_TELEMETRY_TOPOLOGY_H_

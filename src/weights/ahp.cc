@@ -1,0 +1,100 @@
+#include "weights/ahp.h"
+
+#include <cmath>
+
+namespace cdibot {
+
+double AhpRandomIndex(size_t k) {
+  // Saaty's RI values for k = 1..10.
+  static constexpr double kRi[] = {0.0,  0.0,  0.0,  0.58, 0.90, 1.12,
+                                   1.24, 1.32, 1.41, 1.45, 1.49};
+  if (k == 0) return 0.0;
+  if (k > 10) k = 10;
+  return kRi[k];
+}
+
+StatusOr<AhpMatrix> AhpMatrix::FromJudgments(
+    std::vector<std::vector<double>> judgments) {
+  const size_t k = judgments.size();
+  if (k == 0) return Status::InvalidArgument("empty judgment matrix");
+  for (const auto& row : judgments) {
+    if (row.size() != k) {
+      return Status::InvalidArgument("judgment matrix must be square");
+    }
+  }
+  for (size_t i = 0; i < k; ++i) {
+    if (std::abs(judgments[i][i] - 1.0) > 1e-9) {
+      return Status::InvalidArgument("judgment matrix diagonal must be 1");
+    }
+    for (size_t j = 0; j < k; ++j) {
+      if (!(judgments[i][j] > 0.0)) {
+        return Status::InvalidArgument("judgment entries must be positive");
+      }
+      if (std::abs(judgments[i][j] * judgments[j][i] - 1.0) > 1e-6) {
+        return Status::InvalidArgument(
+            "judgment matrix must be reciprocal: a[j][i] == 1/a[i][j]");
+      }
+    }
+  }
+  return AhpMatrix(std::move(judgments));
+}
+
+StatusOr<AhpMatrix> AhpMatrix::FromSingleComparison(
+    double importance_0_over_1) {
+  if (!(importance_0_over_1 > 0.0)) {
+    return Status::InvalidArgument("importance must be positive");
+  }
+  return FromJudgments(
+      {{1.0, importance_0_over_1}, {1.0 / importance_0_over_1, 1.0}});
+}
+
+StatusOr<AhpResult> AhpMatrix::Evaluate() const {
+  const size_t k = judgments_.size();
+  // Power iteration for the principal eigenvector. Reciprocal positive
+  // matrices have a dominant positive eigenvalue (Perron–Frobenius), so this
+  // converges quickly.
+  std::vector<double> v(k, 1.0 / static_cast<double>(k));
+  std::vector<double> next(k, 0.0);
+  double lambda = 0.0;
+  constexpr int kMaxIters = 500;
+  constexpr double kTol = 1e-12;
+  for (int iter = 0; iter < kMaxIters; ++iter) {
+    for (size_t i = 0; i < k; ++i) {
+      double s = 0.0;
+      for (size_t j = 0; j < k; ++j) s += judgments_[i][j] * v[j];
+      next[i] = s;
+    }
+    double norm = 0.0;
+    for (double x : next) norm += x;
+    if (norm <= 0.0) return Status::Internal("AHP power iteration degenerate");
+    double delta = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      next[i] /= norm;
+      delta += std::abs(next[i] - v[i]);
+    }
+    v = next;
+    // Rayleigh-style estimate: lambda_max = mean over i of (Av)_i / v_i.
+    double est = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      double s = 0.0;
+      for (size_t j = 0; j < k; ++j) s += judgments_[i][j] * v[j];
+      est += s / v[i];
+    }
+    lambda = est / static_cast<double>(k);
+    if (delta < kTol) break;
+  }
+
+  AhpResult result;
+  result.priorities = v;
+  result.lambda_max = lambda;
+  if (k > 1) {
+    result.consistency_index =
+        (lambda - static_cast<double>(k)) / (static_cast<double>(k) - 1.0);
+    const double ri = AhpRandomIndex(k);
+    result.consistency_ratio =
+        ri > 0.0 ? result.consistency_index / ri : 0.0;
+  }
+  return result;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,61 @@
+#ifndef CDIBOT_WEIGHTS_AHP_H_
+#define CDIBOT_WEIGHTS_AHP_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace cdibot {
+
+/// Result of an Analytic Hierarchy Process evaluation: the priority (weight)
+/// of each criterion plus the consistency diagnostics of the judgment matrix.
+struct AhpResult {
+  /// Normalized priority weights, one per criterion; sums to 1.
+  std::vector<double> priorities;
+  /// Principal eigenvalue of the judgment matrix.
+  double lambda_max = 0.0;
+  /// Consistency index CI = (lambda_max - k) / (k - 1).
+  double consistency_index = 0.0;
+  /// Consistency ratio CR = CI / RI(k). Judgments with CR <= 0.1 are
+  /// conventionally acceptable.
+  double consistency_ratio = 0.0;
+};
+
+/// Analytic Hierarchy Process (Forman & Gass; ref. [3] in the paper):
+/// converts a pairwise qualitative comparison matrix of criteria importance
+/// into a normalized weight vector, used by Sec. IV-C to mix the expert and
+/// customer perspectives of event severity.
+class AhpMatrix {
+ public:
+  /// Builds from a full k x k judgment matrix. Entries use Saaty's 1–9
+  /// scale; a[i][j] states how much more important criterion i is than j.
+  /// Requires a square matrix with positive entries, unit diagonal, and
+  /// reciprocal symmetry a[j][i] = 1 / a[i][j] (within 1e-6).
+  static StatusOr<AhpMatrix> FromJudgments(
+      std::vector<std::vector<double>> judgments);
+
+  /// Builds a 2-criteria matrix from a single comparison value: how much
+  /// more important criterion 0 is than criterion 1.
+  static StatusOr<AhpMatrix> FromSingleComparison(double importance_0_over_1);
+
+  size_t size() const { return judgments_.size(); }
+
+  /// Computes priorities via power iteration on the judgment matrix and the
+  /// consistency diagnostics. Fails with Internal if iteration does not
+  /// converge (does not happen for valid reciprocal matrices).
+  StatusOr<AhpResult> Evaluate() const;
+
+ private:
+  explicit AhpMatrix(std::vector<std::vector<double>> judgments)
+      : judgments_(std::move(judgments)) {}
+
+  std::vector<std::vector<double>> judgments_;
+};
+
+/// Saaty's random consistency index RI for matrix sizes 1..10; used to form
+/// the consistency ratio. Sizes outside the table clamp to the last entry.
+double AhpRandomIndex(size_t k);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_WEIGHTS_AHP_H_

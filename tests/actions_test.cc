@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "ops/actions.h"
+
+namespace cdibot {
+namespace {
+
+TEST(ActionsTest, NameRoundTrip) {
+  for (ActionType t : {ActionType::kLiveMigration, ActionType::kInPlaceReboot,
+                       ActionType::kColdMigration, ActionType::kDiskClean,
+                       ActionType::kMemoryCompaction, ActionType::kProcessRepair,
+                       ActionType::kDeviceDisable, ActionType::kRepairRequest,
+                       ActionType::kFpgaSoftRepair, ActionType::kNcReboot,
+                       ActionType::kNcLock, ActionType::kNcDecommission,
+                       ActionType::kNullAction}) {
+    auto parsed = ActionTypeFromString(ActionTypeToString(t));
+    ASSERT_TRUE(parsed.ok()) << ActionTypeToString(t);
+    EXPECT_EQ(parsed.value(), t);
+  }
+  EXPECT_TRUE(ActionTypeFromString("nonsense").status().IsNotFound());
+}
+
+TEST(ActionsTest, TableIiiCategories) {
+  EXPECT_EQ(CategoryOf(ActionType::kLiveMigration),
+            ActionCategory::kVmOperation);
+  EXPECT_EQ(CategoryOf(ActionType::kColdMigration),
+            ActionCategory::kVmOperation);
+  EXPECT_EQ(CategoryOf(ActionType::kDiskClean),
+            ActionCategory::kNcSoftwareRepair);
+  EXPECT_EQ(CategoryOf(ActionType::kMemoryCompaction),
+            ActionCategory::kNcSoftwareRepair);
+  EXPECT_EQ(CategoryOf(ActionType::kRepairRequest),
+            ActionCategory::kNcHardwareRepair);
+  EXPECT_EQ(CategoryOf(ActionType::kFpgaSoftRepair),
+            ActionCategory::kNcHardwareRepair);
+  EXPECT_EQ(CategoryOf(ActionType::kNcLock), ActionCategory::kNcControl);
+  EXPECT_EQ(CategoryOf(ActionType::kNcDecommission),
+            ActionCategory::kNcControl);
+  EXPECT_EQ(CategoryOf(ActionType::kNullAction), ActionCategory::kNone);
+}
+
+TEST(ActionsTest, DisruptivenessFlags) {
+  EXPECT_TRUE(IsVmDisruptive(ActionType::kLiveMigration));
+  EXPECT_TRUE(IsVmDisruptive(ActionType::kInPlaceReboot));
+  EXPECT_TRUE(IsVmDisruptive(ActionType::kColdMigration));
+  EXPECT_FALSE(IsVmDisruptive(ActionType::kRepairRequest));
+  EXPECT_FALSE(IsVmDisruptive(ActionType::kNcLock));
+  EXPECT_TRUE(IsNcDisruptive(ActionType::kNcReboot));
+  EXPECT_TRUE(IsNcDisruptive(ActionType::kNcDecommission));
+  EXPECT_FALSE(IsNcDisruptive(ActionType::kNcLock));
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "weights/ahp.h"
+
+namespace cdibot {
+namespace {
+
+TEST(AhpTest, EqualImportanceGivesEqualPriorities) {
+  auto m = AhpMatrix::FromSingleComparison(1.0);
+  ASSERT_TRUE(m.ok());
+  auto res = m->Evaluate();
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->priorities.size(), 2u);
+  EXPECT_NEAR(res->priorities[0], 0.5, 1e-9);
+  EXPECT_NEAR(res->priorities[1], 0.5, 1e-9);
+  EXPECT_NEAR(res->lambda_max, 2.0, 1e-9);
+  EXPECT_NEAR(res->consistency_ratio, 0.0, 1e-9);
+}
+
+TEST(AhpTest, TwoCriteriaRatioMatchesComparison) {
+  // "Criterion 0 is 3x as important as criterion 1" -> 0.75 / 0.25.
+  auto m = AhpMatrix::FromSingleComparison(3.0);
+  ASSERT_TRUE(m.ok());
+  auto res = m->Evaluate();
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res->priorities[0], 0.75, 1e-9);
+  EXPECT_NEAR(res->priorities[1], 0.25, 1e-9);
+}
+
+TEST(AhpTest, PrioritiesSumToOne) {
+  auto m = AhpMatrix::FromJudgments({{1.0, 3.0, 5.0},
+                                     {1.0 / 3.0, 1.0, 2.0},
+                                     {1.0 / 5.0, 1.0 / 2.0, 1.0}});
+  ASSERT_TRUE(m.ok());
+  auto res = m->Evaluate();
+  ASSERT_TRUE(res.ok());
+  double sum = 0.0;
+  for (double p : res->priorities) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Ordering follows the judgments.
+  EXPECT_GT(res->priorities[0], res->priorities[1]);
+  EXPECT_GT(res->priorities[1], res->priorities[2]);
+}
+
+TEST(AhpTest, ConsistentMatrixHasNearZeroCr) {
+  // A perfectly consistent matrix built from weights (4, 2, 1).
+  auto m = AhpMatrix::FromJudgments(
+      {{1.0, 2.0, 4.0}, {0.5, 1.0, 2.0}, {0.25, 0.5, 1.0}});
+  ASSERT_TRUE(m.ok());
+  auto res = m->Evaluate();
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res->lambda_max, 3.0, 1e-6);
+  EXPECT_LT(res->consistency_ratio, 1e-6);
+  EXPECT_NEAR(res->priorities[0], 4.0 / 7.0, 1e-6);
+  EXPECT_NEAR(res->priorities[1], 2.0 / 7.0, 1e-6);
+  EXPECT_NEAR(res->priorities[2], 1.0 / 7.0, 1e-6);
+}
+
+TEST(AhpTest, InconsistentMatrixHasPositiveCr) {
+  // Saaty's classic inconsistent example: a>b=3, b>c=3, but a>c only 1/3.
+  auto m = AhpMatrix::FromJudgments({{1.0, 3.0, 1.0 / 3.0},
+                                     {1.0 / 3.0, 1.0, 3.0},
+                                     {3.0, 1.0 / 3.0, 1.0}});
+  ASSERT_TRUE(m.ok());
+  auto res = m->Evaluate();
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res->consistency_ratio, 0.1);  // clearly inconsistent
+}
+
+TEST(AhpTest, ValidationRejectsBadMatrices) {
+  EXPECT_TRUE(AhpMatrix::FromJudgments({}).status().IsInvalidArgument());
+  // Not square.
+  EXPECT_TRUE(AhpMatrix::FromJudgments({{1.0, 2.0}})
+                  .status()
+                  .IsInvalidArgument());
+  // Diagonal not 1.
+  EXPECT_TRUE(AhpMatrix::FromJudgments({{2.0, 1.0}, {1.0, 1.0}})
+                  .status()
+                  .IsInvalidArgument());
+  // Not reciprocal.
+  EXPECT_TRUE(AhpMatrix::FromJudgments({{1.0, 2.0}, {2.0, 1.0}})
+                  .status()
+                  .IsInvalidArgument());
+  // Non-positive entries.
+  EXPECT_TRUE(AhpMatrix::FromJudgments({{1.0, -2.0}, {-0.5, 1.0}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AhpMatrix::FromSingleComparison(0.0).status().IsInvalidArgument());
+}
+
+TEST(AhpTest, RandomIndexTable) {
+  EXPECT_DOUBLE_EQ(AhpRandomIndex(1), 0.0);
+  EXPECT_DOUBLE_EQ(AhpRandomIndex(2), 0.0);
+  EXPECT_DOUBLE_EQ(AhpRandomIndex(3), 0.58);
+  EXPECT_DOUBLE_EQ(AhpRandomIndex(10), 1.49);
+  EXPECT_DOUBLE_EQ(AhpRandomIndex(50), 1.49);  // clamps
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "cdi/pipeline.h"
+#include "sim/churn.h"
+#include "sim/scenario.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+class ChurnTest : public ::testing::Test {
+ protected:
+  ChurnTest() : fleet_(Fleet::Build(FleetSpec{}).value()) {
+    day_ = Interval(T("2024-05-01 00:00"), T("2024-05-02 00:00"));
+  }
+  Fleet fleet_;
+  Interval day_;
+};
+
+TEST_F(ChurnTest, Validation) {
+  Rng rng(1);
+  ChurnSpec bad;
+  bad.created_fraction = 1.5;
+  EXPECT_TRUE(ChurnedServiceInfos(fleet_, day_, bad, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ChurnTest, ZeroChurnIsFullDayForEveryVm) {
+  Rng rng(2);
+  ChurnSpec spec;
+  spec.created_fraction = 0.0;
+  spec.released_fraction = 0.0;
+  auto infos = ChurnedServiceInfos(fleet_, day_, spec, &rng);
+  ASSERT_TRUE(infos.ok());
+  EXPECT_EQ(infos->size(), fleet_.num_vms());
+  for (const VmServiceInfo& info : *infos) {
+    EXPECT_EQ(info.service_period, day_);
+  }
+}
+
+TEST_F(ChurnTest, PartialPeriodsStayInsideDayAndAboveMinimum) {
+  Rng rng(3);
+  ChurnSpec spec;
+  spec.created_fraction = 0.5;
+  spec.released_fraction = 0.5;
+  auto infos = ChurnedServiceInfos(fleet_, day_, spec, &rng);
+  ASSERT_TRUE(infos.ok());
+  EXPECT_LE(infos->size(), fleet_.num_vms());
+  size_t partial = 0;
+  for (const VmServiceInfo& info : *infos) {
+    EXPECT_GE(info.service_period.start, day_.start);
+    EXPECT_LE(info.service_period.end, day_.end);
+    EXPECT_GE(info.service_period.length(), spec.min_service);
+    if (info.service_period.length() < day_.length()) ++partial;
+  }
+  EXPECT_GT(partial, 0u);
+}
+
+TEST_F(ChurnTest, ChurnReducesFleetServiceTimeInPipeline) {
+  // Eq. 4 denominator: partial-service VMs contribute less T_i.
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  auto ticket = TicketRankModel::FromCounts({{"slow_io", 10}}, 4);
+  const auto weights =
+      EventWeightModel::Build(std::move(ticket).value(), {}).value();
+  EventLog log;
+  DailyCdiJob job(&log, &catalog, &weights, {});
+
+  Rng rng(4);
+  ChurnSpec spec;
+  spec.created_fraction = 0.4;
+  spec.released_fraction = 0.4;
+  auto churned = ChurnedServiceInfos(fleet_, day_, spec, &rng).value();
+  auto full = fleet_.ServiceInfos(day_).value();
+
+  auto churned_result = job.Run(churned, day_);
+  auto full_result = job.Run(full, day_);
+  ASSERT_TRUE(churned_result.ok());
+  ASSERT_TRUE(full_result.ok());
+  EXPECT_LT(churned_result->fleet_service_time.millis(),
+            full_result->fleet_service_time.millis());
+  EXPECT_EQ(full_result->fleet_service_time,
+            Duration::Days(1) * static_cast<int64_t>(fleet_.num_vms()));
+}
+
+TEST_F(ChurnTest, EventsOutsideAPartialPeriodDoNotCount) {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  auto ticket = TicketRankModel::FromCounts({{"slow_io", 10}}, 4);
+  const auto weights =
+      EventWeightModel::Build(std::move(ticket).value(), {}).value();
+  Rng rng(5);
+  FaultInjector injector(&catalog, &rng);
+  EventLog log;
+
+  // A VM released at 12:00 suffers slow_io at 18:00: no damage counted.
+  const std::string vm = fleet_.topology().vms().front().vm_id;
+  ASSERT_TRUE(injector
+                  .InjectEpisode(vm, "slow_io",
+                                 Interval(T("2024-05-01 18:00"),
+                                          T("2024-05-01 18:30")),
+                                 &log)
+                  .ok());
+  std::vector<VmServiceInfo> infos = {VmServiceInfo{
+      .vm_id = vm,
+      .service_period = Interval(day_.start, T("2024-05-01 12:00"))}};
+  DailyCdiJob job(&log, &catalog, &weights, {});
+  auto result = job.Run(infos, day_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->fleet.performance, 0.0);
+  EXPECT_EQ(result->fleet_service_time, Duration::Hours(12));
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "sim/cloudbot_loop.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+class CloudBotLoopTest : public ::testing::Test {
+ protected:
+  CloudBotLoopTest() : catalog_(EventCatalog::BuiltIn()) {
+    FleetSpec spec;
+    spec.regions = 1;
+    spec.azs_per_region = 1;
+    spec.clusters_per_az = 2;
+    spec.ncs_per_cluster = 4;
+    spec.vms_per_nc = 6;
+    fleet_.emplace(Fleet::Build(spec).value());
+    auto ticket = TicketRankModel::FromCounts(
+        {{"slow_io", 100}, {"nic_flapping", 30}, {"live_migration", 5}}, 4);
+    weights_.emplace(
+        EventWeightModel::Build(std::move(ticket).value(), {}).value());
+  }
+
+  EventCatalog catalog_;
+  std::optional<Fleet> fleet_;
+  std::optional<EventWeightModel> weights_;
+};
+
+TEST_F(CloudBotLoopTest, Validation) {
+  Rng rng(1);
+  AutomationLoopOptions options;
+  options.tick = Duration::Zero();
+  EXPECT_TRUE(RunAutomationDay(*fleet_, T("2024-01-01 00:00"), catalog_,
+                               *weights_, options, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(CloudBotLoopTest, AutomationReducesCdi) {
+  AutomationLoopOptions on;
+  on.automation_enabled = true;
+  AutomationLoopOptions off = on;
+  off.automation_enabled = false;
+
+  // Same seed: the planned incidents are identical in both worlds.
+  Rng rng_on(42), rng_off(42);
+  auto with = RunAutomationDay(*fleet_, T("2024-01-01 00:00"), catalog_,
+                               *weights_, on, &rng_on);
+  auto without = RunAutomationDay(*fleet_, T("2024-01-01 00:00"), catalog_,
+                                  *weights_, off, &rng_off);
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+  ASSERT_GT(with->incidents, 0u);
+  EXPECT_EQ(with->incidents, without->incidents);
+
+  // With automation the incidents are truncated within ~one tick, so the
+  // performance damage collapses.
+  EXPECT_GT(with->migrations_executed, 0u);
+  EXPECT_EQ(without->migrations_executed, 0u);
+  EXPECT_GT(with->damage_avoided, Duration::Zero());
+  EXPECT_EQ(without->damage_avoided, Duration::Zero());
+  EXPECT_LT(with->fleet_cdi.performance,
+            without->fleet_cdi.performance / 5.0);
+}
+
+TEST_F(CloudBotLoopTest, RulesMatchEvenWhenAutomationOff) {
+  // The engine still observes matches in monitor-only mode (what the paper
+  // calls gray releases of rules), it just doesn't act.
+  AutomationLoopOptions off;
+  off.automation_enabled = false;
+  Rng rng(7);
+  auto result = RunAutomationDay(*fleet_, T("2024-01-01 00:00"), catalog_,
+                                 *weights_, off, &rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->incidents, 0u);
+  EXPECT_GT(result->rule_matches, 0u);
+  EXPECT_EQ(result->migrations_executed, 0u);
+}
+
+TEST_F(CloudBotLoopTest, MigrationBrownoutIsChargedToCdi) {
+  // Automation is not free: the live migration itself contributes a small
+  // performance cost, which the CDI accounts for honestly.
+  AutomationLoopOptions on;
+  on.incident_probability = 0.5;  // many incidents -> measurable brown-outs
+  Rng rng(11);
+  auto result = RunAutomationDay(*fleet_, T("2024-01-01 00:00"), catalog_,
+                                 *weights_, on, &rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->migrations_executed, 0u);
+  EXPECT_GT(result->fleet_cdi.performance, 0.0);
+}
+
+TEST_F(CloudBotLoopTest, FullFleetBlocksMigrations) {
+  // Every NC packed to capacity: matched migrations have no destination,
+  // so automation cannot help and the damage equals the natural course.
+  FleetSpec packed;
+  packed.regions = 1;
+  packed.azs_per_region = 1;
+  packed.clusters_per_az = 1;
+  packed.ncs_per_cluster = 4;
+  packed.vms_per_nc = 13;  // 13 * 8 = 104 cores: dedicated hosts are full
+  packed.hybrid_fraction = 0.0;
+  const Fleet full_fleet = Fleet::Build(packed).value();
+  // Dedicated NCs are full (13 x 8 = 104); shared NCs hold 13 x 4 = 52 of
+  // 104, but dedicated VMs cannot land there and shared VMs fit — so make
+  // every incident hit a dedicated VM by checking the outcome instead.
+  AutomationLoopOptions on;
+  on.automation_enabled = true;
+  on.incident_probability = 0.3;
+  Rng rng(21);
+  auto result = RunAutomationDay(full_fleet, T("2024-01-01 00:00"), catalog_,
+                                 *weights_, on, &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->incidents, 0u);
+  // Dedicated-VM incidents fail placement; shared-VM incidents migrate.
+  EXPECT_GT(result->placements_failed, 0u);
+}
+
+TEST_F(CloudBotLoopTest, ZeroIncidentProbabilityIsCleanDay) {
+  AutomationLoopOptions options;
+  options.incident_probability = 0.0;
+  Rng rng(3);
+  auto result = RunAutomationDay(*fleet_, T("2024-01-01 00:00"), catalog_,
+                                 *weights_, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->incidents, 0u);
+  EXPECT_DOUBLE_EQ(result->fleet_cdi.performance, 0.0);
+  EXPECT_DOUBLE_EQ(result->fleet_cdi.unavailability, 0.0);
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace cdibot {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StrFormatTest, LongOutputAllocatesCorrectly) {
+  const std::string big(1000, 'a');
+  EXPECT_EQ(StrFormat("%s!", big.c_str()).size(), 1001u);
+}
+
+TEST(StrSplitTest, SplitsAndKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StrSplitJoinTest, RoundTrips) {
+  const std::string text = "x,,y,z,";
+  EXPECT_EQ(StrJoin(StrSplit(text, ','), ","), text);
+}
+
+TEST(StrTrimTest, TrimsAsciiWhitespace) {
+  EXPECT_EQ(StrTrim("  hi \t\n"), "hi");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("inner space kept"), "inner space kept");
+}
+
+TEST(StrToLowerTest, LowercasesAscii) {
+  EXPECT_EQ(StrToLower("API Latency HIGH"), "api latency high");
+}
+
+TEST(StrContainsTest, FindsSubstrings) {
+  EXPECT_TRUE(StrContains("slow_io event", "slow_io"));
+  EXPECT_FALSE(StrContains("slow_io", "packet"));
+  EXPECT_TRUE(StrContains("abc", ""));
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace cdibot {
+namespace {
+
+TEST(DurationTest, FactoriesAndAccessors) {
+  EXPECT_EQ(Duration::Seconds(2).millis(), 2000);
+  EXPECT_EQ(Duration::Minutes(3).millis(), 180000);
+  EXPECT_EQ(Duration::Hours(1).millis(), 3600000);
+  EXPECT_EQ(Duration::Days(1).millis(), 86400000);
+  EXPECT_DOUBLE_EQ(Duration::Minutes(90).hours(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::Seconds(30).minutes(), 0.5);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration d = Duration::Minutes(2) + Duration::Seconds(30);
+  EXPECT_EQ(d.millis(), 150000);
+  EXPECT_EQ((d - Duration::Seconds(30)).millis(), 120000);
+  EXPECT_EQ((Duration::Minutes(1) * 3).millis(), 180000);
+  EXPECT_EQ((Duration::Minutes(3) / 3).millis(), 60000);
+  EXPECT_LT(Duration::Seconds(59), Duration::Minutes(1));
+}
+
+TEST(DurationTest, ToStringRendersComponents) {
+  EXPECT_EQ(Duration::Zero().ToString(), "0s");
+  EXPECT_EQ(Duration::Seconds(150).ToString(), "2m30s");
+  EXPECT_EQ(Duration::Millis(850).ToString(), "850ms");
+  EXPECT_EQ((Duration::Days(1) + Duration::Hours(4)).ToString(), "1d4h");
+  EXPECT_EQ((Duration::Zero() - Duration::Seconds(5)).ToString(), "-5s");
+}
+
+TEST(TimePointTest, CalendarRoundTrip) {
+  auto tp = TimePoint::FromCalendar(2024, 4, 25, 12, 30, 15);
+  ASSERT_TRUE(tp.ok());
+  EXPECT_EQ(tp->ToString(), "2024-04-25 12:30:15");
+  EXPECT_EQ(tp->ToDateString(), "2024-04-25");
+}
+
+TEST(TimePointTest, EpochIsZero) {
+  auto tp = TimePoint::FromCalendar(1970, 1, 1);
+  ASSERT_TRUE(tp.ok());
+  EXPECT_EQ(tp->millis(), 0);
+}
+
+TEST(TimePointTest, LeapYearHandling) {
+  EXPECT_TRUE(TimePoint::FromCalendar(2024, 2, 29).ok());
+  EXPECT_FALSE(TimePoint::FromCalendar(2023, 2, 29).ok());
+  EXPECT_TRUE(TimePoint::FromCalendar(2000, 2, 29).ok());   // div by 400
+  EXPECT_FALSE(TimePoint::FromCalendar(1900, 2, 29).ok());  // div by 100
+}
+
+TEST(TimePointTest, RejectsOutOfRangeFields) {
+  EXPECT_FALSE(TimePoint::FromCalendar(2024, 13, 1).ok());
+  EXPECT_FALSE(TimePoint::FromCalendar(2024, 0, 1).ok());
+  EXPECT_FALSE(TimePoint::FromCalendar(2024, 4, 31).ok());
+  EXPECT_FALSE(TimePoint::FromCalendar(2024, 4, 1, 24, 0, 0).ok());
+  EXPECT_FALSE(TimePoint::FromCalendar(2024, 4, 1, 0, 60, 0).ok());
+}
+
+TEST(TimePointTest, ParseAcceptsDateAndDateTime) {
+  auto d = TimePoint::Parse("2023-11-12");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->ToDateString(), "2023-11-12");
+
+  auto dt = TimePoint::Parse("2023-11-12 17:45");
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt->ToString(), "2023-11-12 17:45:00");
+
+  auto dts = TimePoint::Parse("2023-11-12 17:45:30");
+  ASSERT_TRUE(dts.ok());
+  EXPECT_EQ(dts->ToString(), "2023-11-12 17:45:30");
+
+  EXPECT_FALSE(TimePoint::Parse("yesterday").ok());
+  EXPECT_FALSE(TimePoint::Parse("").ok());
+}
+
+TEST(TimePointTest, ArithmeticWithDurations) {
+  auto tp = TimePoint::Parse("2024-07-02 08:00").value();
+  EXPECT_EQ((tp + Duration::Minutes(90)).ToString(), "2024-07-02 09:30:00");
+  EXPECT_EQ((tp - Duration::Hours(9)).ToString(), "2024-07-01 23:00:00");
+  const auto later = TimePoint::Parse("2024-07-02 10:00").value();
+  EXPECT_EQ((later - tp).minutes(), 120.0);
+}
+
+TEST(TimePointTest, StartOfDay) {
+  auto tp = TimePoint::Parse("2024-07-02 23:59:59").value();
+  EXPECT_EQ(tp.StartOfDay().ToString(), "2024-07-02 00:00:00");
+  // Pre-epoch instants floor correctly too.
+  auto old = TimePoint::Parse("1969-12-31 13:00").value();
+  EXPECT_EQ(old.StartOfDay().ToString(), "1969-12-31 00:00:00");
+}
+
+TEST(IntervalTest, EmptinessAndLength) {
+  const auto a = TimePoint::Parse("2024-01-01 10:00").value();
+  const auto b = TimePoint::Parse("2024-01-01 11:00").value();
+  EXPECT_TRUE(Interval(b, a).empty());
+  EXPECT_TRUE(Interval(a, a).empty());
+  EXPECT_EQ(Interval(b, a).length(), Duration::Zero());
+  EXPECT_EQ(Interval(a, b).length(), Duration::Hours(1));
+}
+
+TEST(IntervalTest, ContainsIsHalfOpen) {
+  const auto a = TimePoint::Parse("2024-01-01 10:00").value();
+  const auto b = TimePoint::Parse("2024-01-01 11:00").value();
+  const Interval iv(a, b);
+  EXPECT_TRUE(iv.Contains(a));
+  EXPECT_FALSE(iv.Contains(b));
+  EXPECT_TRUE(iv.Contains(a + Duration::Minutes(59)));
+}
+
+TEST(IntervalTest, OverlapAndIntersection) {
+  const auto t = [](const char* s) { return TimePoint::Parse(s).value(); };
+  const Interval a(t("2024-01-01 10:00"), t("2024-01-01 12:00"));
+  const Interval b(t("2024-01-01 11:00"), t("2024-01-01 13:00"));
+  const Interval c(t("2024-01-01 12:00"), t("2024-01-01 13:00"));
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Overlaps(c));  // touching but half-open: no overlap
+  const Interval ab = a.Intersect(b);
+  EXPECT_EQ(ab.start, t("2024-01-01 11:00"));
+  EXPECT_EQ(ab.end, t("2024-01-01 12:00"));
+  EXPECT_TRUE(a.Intersect(c).empty());
+}
+
+TEST(IntervalTest, ClampTo) {
+  const auto t = [](const char* s) { return TimePoint::Parse(s).value(); };
+  const Interval ev(t("2024-01-01 09:30"), t("2024-01-01 10:30"));
+  const Interval day(t("2024-01-01 10:00"), t("2024-01-02 00:00"));
+  const Interval clamped = ev.ClampTo(day);
+  EXPECT_EQ(clamped.start, t("2024-01-01 10:00"));
+  EXPECT_EQ(clamped.end, t("2024-01-01 10:30"));
+}
+
+}  // namespace
+}  // namespace cdibot

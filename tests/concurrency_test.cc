@@ -1,0 +1,161 @@
+// Thread-compatibility checks: the read paths documented as safe for
+// concurrent use really are — concurrent SQL queries over one engine,
+// concurrent daily jobs over one event log, concurrent rule matching, and
+// concurrent CDI computations sharing one weight model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cdi/pipeline.h"
+#include "common/thread_pool.h"
+#include "dataflow/query.h"
+#include "rules/rule_engine.h"
+#include "sim/scenario.h"
+#include "storage/config_store.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+TEST(ConcurrencyTest, ParallelQueriesOverOneEngineAgree) {
+  ThreadPool pool(4);
+  dataflow::QueryEngine engine({.pool = &pool, .min_parallel_rows = 1});
+  dataflow::Table t(dataflow::Schema(
+      {dataflow::Field{"k", dataflow::ValueType::kString},
+       dataflow::Field{"v", dataflow::ValueType::kDouble}}));
+  for (int i = 0; i < 2000; ++i) {
+    t.AppendUnchecked({dataflow::Value("g" + std::to_string(i % 7)),
+                       dataflow::Value(static_cast<double>(i))});
+  }
+  engine.RegisterTable("t", std::move(t));
+
+  const char* sql = "SELECT k, SUM(v) AS s FROM t GROUP BY k ORDER BY k";
+  auto reference = engine.Execute(sql);
+  ASSERT_TRUE(reference.ok());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int th = 0; th < 8; ++th) {
+    threads.emplace_back([&engine, &reference, &mismatches, sql]() {
+      for (int i = 0; i < 25; ++i) {
+        auto result = engine.Execute(sql);
+        if (!result.ok() ||
+            result->num_rows() != reference->num_rows()) {
+          ++mismatches;
+          continue;
+        }
+        for (size_t r = 0; r < result->num_rows(); ++r) {
+          if (result->row(r)[1].double_unchecked() !=
+              reference->row(r)[1].double_unchecked()) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, ParallelDailyJobsOverOneLogAgree) {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  Rng rng(77);
+  FaultInjector injector(&catalog, &rng);
+  const Fleet fleet = Fleet::Build(FleetSpec{}).value();
+  EventLog log;
+  const TimePoint day_start = T("2024-02-01 00:00");
+  const Interval day(day_start, day_start + Duration::Days(1));
+  ASSERT_TRUE(injector
+                  .InjectDay(fleet, day_start, BaselineRates().Scaled(8.0),
+                             &log)
+                  .ok());
+  auto ticket = TicketRankModel::FromCounts({{"slow_io", 10}}, 4);
+  const auto weights =
+      EventWeightModel::Build(std::move(ticket).value(), {}).value();
+
+  ThreadPool pool(4);
+  DailyCdiJob job(&log, &catalog, &weights,
+                  {.pool = &pool, .min_parallel_rows = 1});
+  const auto vms = fleet.ServiceInfos(day).value();
+  auto reference = job.Run(vms, day);
+  ASSERT_TRUE(reference.ok());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int th = 0; th < 4; ++th) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 5; ++i) {
+        auto result = job.Run(vms, day);
+        if (!result.ok() ||
+            result->fleet.performance != reference->fleet.performance ||
+            result->per_event.size() != reference->per_event.size()) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, ParallelRuleMatching) {
+  auto engine = RuleEngine::BuiltIn().value();
+  std::vector<RawEvent> events;
+  RawEvent a;
+  a.name = "slow_io";
+  a.time = T("2024-01-01 12:00");
+  a.target = "vm-1";
+  a.expire_interval = Duration::Hours(1);
+  events.push_back(a);
+  a.name = "nic_flapping";
+  events.push_back(a);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int th = 0; th < 8; ++th) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 500; ++i) {
+        const auto matches =
+            engine.MatchEvents(events, "vm-1", T("2024-01-01 12:01"));
+        if (matches.size() != 1 ||
+            matches[0].rule_name != "nic_error_cause_slow_io") {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, ConfigStoreConcurrentReadWrite) {
+  ConfigStore config;
+  std::atomic<bool> stop{false};
+  std::thread writer([&]() {
+    for (int i = 0; i < 2000; ++i) {
+      config.SetInt("counter", i);
+      config.SetDouble("ratio", i * 0.5);
+    }
+    stop = true;
+  });
+  std::atomic<int> errors{0};
+  std::vector<std::thread> readers;
+  for (int th = 0; th < 4; ++th) {
+    readers.emplace_back([&]() {
+      while (!stop.load()) {
+        auto v = config.GetInt("counter");
+        if (v.ok() && (v.value() < 0 || v.value() >= 2000)) ++errors;
+        (void)config.KeysWithPrefix("co");
+      }
+    });
+  }
+  writer.join();
+  for (auto& thread : readers) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(config.GetInt("counter").value(), 1999);
+}
+
+}  // namespace
+}  // namespace cdibot

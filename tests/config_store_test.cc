@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "storage/config_store.h"
+
+namespace cdibot {
+namespace {
+
+TEST(ConfigStoreTest, SetGetRoundTrip) {
+  ConfigStore store;
+  store.Set("weights/slow_io", "0.75");
+  EXPECT_EQ(store.Get("weights/slow_io").value(), "0.75");
+  EXPECT_TRUE(store.Get("missing").status().IsNotFound());
+}
+
+TEST(ConfigStoreTest, TypedAccessors) {
+  ConfigStore store;
+  store.SetInt("m", 4);
+  store.SetDouble("alpha", 0.5);
+  EXPECT_EQ(store.GetInt("m").value(), 4);
+  EXPECT_DOUBLE_EQ(store.GetDouble("alpha").value(), 0.5);
+  store.Set("text", "abc");
+  EXPECT_TRUE(store.GetInt("text").status().IsInvalidArgument());
+  EXPECT_TRUE(store.GetDouble("text").status().IsInvalidArgument());
+}
+
+TEST(ConfigStoreTest, Defaults) {
+  ConfigStore store;
+  EXPECT_EQ(store.GetOr("missing", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(store.GetDoubleOr("missing", 0.9).value(), 0.9);
+  store.SetDouble("x", 0.1);
+  EXPECT_DOUBLE_EQ(store.GetDoubleOr("x", 0.9).value(), 0.1);
+}
+
+TEST(ConfigStoreTest, VersionBumpsOnEveryWrite) {
+  ConfigStore store;
+  EXPECT_EQ(store.version(), 0);
+  store.Set("a", "1");
+  EXPECT_EQ(store.version(), 1);
+  store.Set("a", "2");  // overwrite also bumps
+  EXPECT_EQ(store.version(), 2);
+  ASSERT_TRUE(store.Delete("a").ok());
+  EXPECT_EQ(store.version(), 3);
+}
+
+TEST(ConfigStoreTest, DeleteMissingFails) {
+  ConfigStore store;
+  EXPECT_TRUE(store.Delete("nope").IsNotFound());
+}
+
+TEST(ConfigStoreTest, PrefixScan) {
+  ConfigStore store;
+  store.Set("weights/a", "1");
+  store.Set("weights/b", "2");
+  store.Set("rules/x", "3");
+  EXPECT_EQ(store.KeysWithPrefix("weights/"),
+            (std::vector<std::string>{"weights/a", "weights/b"}));
+  EXPECT_TRUE(store.KeysWithPrefix("none/").empty());
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rules/coverage.h"
+#include "rules/meta_events.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+TEST(RuleCoverageTest, BuiltInRulesCoverTheirEvents) {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  auto engine = RuleEngine::BuiltIn().value();
+  const RuleCoverageReport report = AnalyzeRuleCoverage(engine, catalog);
+
+  // slow_io, nic_flapping, vm_hang are referenced by the built-in rules.
+  ASSERT_EQ(report.covered_events.count("slow_io"), 1u);
+  EXPECT_EQ(report.covered_events.at("slow_io"),
+            (std::vector<std::string>{"nic_error_cause_slow_io"}));
+  EXPECT_EQ(report.covered_events.count("vm_hang"), 1u);
+
+  // Plenty of catalog events have no rule yet: they are review candidates.
+  EXPECT_FALSE(report.uncovered_events.empty());
+  EXPECT_NE(std::find(report.uncovered_events.begin(),
+                      report.uncovered_events.end(), "packet_loss"),
+            report.uncovered_events.end());
+
+  // Informational events are not flagged.
+  EXPECT_EQ(std::find(report.uncovered_events.begin(),
+                      report.uncovered_events.end(), "net_cable_repaired"),
+            report.uncovered_events.end());
+}
+
+TEST(RuleCoverageTest, UnknownReferencesAreFlagged) {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  RuleEngine engine;
+  ASSERT_TRUE(engine.Register("typo_rule", "slow_io && slw_io_typo",
+                              {{"nc_lock", 1}})
+                  .ok());
+  const RuleCoverageReport report = AnalyzeRuleCoverage(engine, catalog);
+  ASSERT_EQ(report.unknown_references.count("typo_rule"), 1u);
+  EXPECT_EQ(report.unknown_references.at("typo_rule"),
+            (std::vector<std::string>{"slw_io_typo"}));
+}
+
+TEST(RuleCoverageTest, MatchHistoryIdentifiesDeadRules) {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  auto engine = RuleEngine::BuiltIn().value();
+  std::vector<RuleMatch> history = {
+      RuleMatch{.rule_name = "nic_error_cause_slow_io",
+                .target = "vm-1",
+                .time = T("2024-01-01 12:00")},
+      RuleMatch{.rule_name = "nic_error_cause_slow_io",
+                .target = "vm-2",
+                .time = T("2024-01-02 12:00")},
+  };
+  const RuleCoverageReport report =
+      AnalyzeRuleCoverage(engine, catalog, history);
+  EXPECT_EQ(report.match_counts.at("nic_error_cause_slow_io"), 2u);
+  EXPECT_EQ(report.match_counts.at("nic_error_cause_vm_hang"), 0u);
+  EXPECT_NE(std::find(report.unmatched_rules.begin(),
+                      report.unmatched_rules.end(),
+                      "nic_error_cause_vm_hang"),
+            report.unmatched_rules.end());
+  EXPECT_EQ(std::find(report.unmatched_rules.begin(),
+                      report.unmatched_rules.end(),
+                      "nic_error_cause_slow_io"),
+            report.unmatched_rules.end());
+}
+
+TEST(MetaEventsTest, DerivesProductConfigurationNames) {
+  FleetTopology topo;
+  ASSERT_TRUE(topo.AddCluster("r0", "az0", "c0").ok());
+  ASSERT_TRUE(topo.AddNc({.nc_id = "nc0",
+                          .cluster_id = "c0",
+                          .arch = DeploymentArch::kHybrid,
+                          .model = "gen2"})
+                  .ok());
+  ASSERT_TRUE(
+      topo.AddVm({.vm_id = "vm0", .nc_id = "nc0", .type = VmType::kShared})
+          .ok());
+  auto meta = MetaEventsForVm(topo, "vm0");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(*meta, (std::set<std::string>{"shared_vm", "hybrid_host",
+                                          "model_gen2"}));
+  EXPECT_TRUE(MetaEventsForVm(topo, "ghost").status().IsNotFound());
+}
+
+TEST(MetaEventsTest, SuppressesContentionRuleOnSharedVms) {
+  // Sec. II-F1's exact scenario: CPU contention on a shared VM is within
+  // the product definition, so the rule excludes shared_vm.
+  FleetTopology topo;
+  ASSERT_TRUE(topo.AddCluster("r0", "az0", "c0").ok());
+  ASSERT_TRUE(topo.AddNc({.nc_id = "nc0", .cluster_id = "c0"}).ok());
+  ASSERT_TRUE(topo.AddVm({.vm_id = "vm-shared",
+                          .nc_id = "nc0",
+                          .type = VmType::kShared})
+                  .ok());
+  ASSERT_TRUE(topo.AddVm({.vm_id = "vm-dedicated",
+                          .nc_id = "nc0",
+                          .type = VmType::kDedicated})
+                  .ok());
+
+  RuleEngine engine;
+  ASSERT_TRUE(engine.Register("contention_on_dedicated",
+                              "vcpu_high && !shared_vm",
+                              {{"live_migration", 9}})
+                  .ok());
+  for (const char* vm : {"vm-shared", "vm-dedicated"}) {
+    std::set<std::string> active = {"vcpu_high"};
+    auto meta = MetaEventsForVm(topo, vm).value();
+    active.insert(meta.begin(), meta.end());
+    const auto matches = engine.Match(active, vm, T("2024-01-01 00:00"));
+    if (std::string(vm) == "vm-shared") {
+      EXPECT_TRUE(matches.empty());
+    } else {
+      EXPECT_EQ(matches.size(), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdibot

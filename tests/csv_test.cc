@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dataflow/csv.h"
+
+namespace cdibot::dataflow {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field{"name", ValueType::kString},
+                 Field{"count", ValueType::kInt},
+                 Field{"ratio", ValueType::kDouble}});
+}
+
+Table TestTable() {
+  Table t(TestSchema());
+  t.AppendUnchecked({Value("plain"), Value(int64_t{3}), Value(0.5)});
+  t.AppendUnchecked({Value("with,comma"), Value(int64_t{-7}), Value(1.25)});
+  t.AppendUnchecked({Value("with \"quotes\""), Value(), Value()});
+  return t;
+}
+
+TEST(CsvTest, RoundTripPreservesValues) {
+  const Table original = TestTable();
+  const std::string csv = ToCsv(original);
+  auto parsed = FromCsv(csv, TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_rows(), original.num_rows());
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_TRUE(parsed->row(r)[c] == original.row(r)[c])
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(CsvTest, HeaderAndQuoting) {
+  const std::string csv = ToCsv(TestTable());
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "name,count,ratio");
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with \"\"quotes\"\"\""), std::string::npos);
+}
+
+TEST(CsvTest, NullsAreEmptyCells) {
+  Table t(Schema({Field{"a", ValueType::kInt}, Field{"b", ValueType::kInt}}));
+  t.AppendUnchecked({Value(), Value(int64_t{1})});
+  const std::string csv = ToCsv(t);
+  EXPECT_NE(csv.find("\n,1\n"), std::string::npos);
+  auto parsed = FromCsv(csv, t.schema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->row(0)[0].is_null());
+}
+
+TEST(CsvTest, ParseErrors) {
+  const Schema schema = TestSchema();
+  EXPECT_TRUE(FromCsv("", schema).status().IsInvalidArgument());
+  EXPECT_TRUE(FromCsv("wrong,header,row\n", schema).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(FromCsv("name,count\n", schema).status().IsInvalidArgument());
+  EXPECT_TRUE(FromCsv("name,count,ratio\nonly_two,1\n", schema)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(FromCsv("name,count,ratio\nx,notanint,0.5\n", schema)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(FromCsv("name,count,ratio\n\"unterminated,1,0.5\n", schema)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CsvTest, CrlfAndBlankLinesTolerated) {
+  auto parsed = FromCsv("name,count,ratio\r\nx,1,0.5\r\n\r\n", TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_rows(), 1u);
+  EXPECT_EQ(parsed->At(0, "name")->AsString().value(), "x");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cdibot_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(TestTable(), path).ok());
+  auto parsed = ReadCsvFile(path, TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_rows(), 3u);
+  std::remove(path.c_str());
+  EXPECT_TRUE(ReadCsvFile(path, TestSchema()).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace cdibot::dataflow

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "dataflow/engine.h"
+
+namespace cdibot::dataflow {
+namespace {
+
+Table MakeNumbers(int n) {
+  Table t(Schema({Field{"k", ValueType::kString},
+                  Field{"x", ValueType::kDouble},
+                  Field{"w", ValueType::kDouble}}));
+  for (int i = 0; i < n; ++i) {
+    t.AppendUnchecked({Value(i % 2 == 0 ? "even" : "odd"),
+                       Value(static_cast<double>(i)), Value(1.0)});
+  }
+  return t;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : pool_(4), ctx_{.pool = &pool_, .min_parallel_rows = 1} {}
+  ThreadPool pool_;
+  ExecContext ctx_;
+};
+
+TEST_F(EngineTest, ParallelMapTransformsEveryRowInOrder) {
+  const Table in = MakeNumbers(1000);
+  auto out = ParallelMap(
+      in, Schema({Field{"doubled", ValueType::kDouble}}),
+      [](const Row& row) -> StatusOr<Row> {
+        return Row{Value(row[1].double_unchecked() * 2.0)};
+      },
+      ctx_);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1000u);
+  for (size_t i = 0; i < out->num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(out->row(i)[0].double_unchecked(), 2.0 * i);
+  }
+}
+
+TEST_F(EngineTest, ParallelMapPropagatesRowError) {
+  const Table in = MakeNumbers(100);
+  auto out = ParallelMap(
+      in, Schema({Field{"x", ValueType::kDouble}}),
+      [](const Row& row) -> StatusOr<Row> {
+        if (row[1].double_unchecked() == 57.0) {
+          return Status::Internal("boom at 57");
+        }
+        return Row{row[1]};
+      },
+      ctx_);
+  EXPECT_TRUE(out.status().IsInternal());
+}
+
+TEST_F(EngineTest, ParallelFilterPreservesOrder) {
+  const Table in = MakeNumbers(101);
+  auto out = ParallelFilter(
+      in, [](const Row& row) { return row[1].double_unchecked() >= 50.0; },
+      ctx_);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 51u);
+  EXPECT_DOUBLE_EQ(out->row(0)[1].double_unchecked(), 50.0);
+  EXPECT_DOUBLE_EQ(out->row(50)[1].double_unchecked(), 100.0);
+}
+
+TEST_F(EngineTest, HashGroupByAllAggregates) {
+  const Table in = MakeNumbers(10);  // evens 0,2,4,6,8; odds 1,3,5,7,9
+  auto out = HashGroupBy(
+      in, {"k"},
+      {
+          AggSpec{.kind = AggKind::kCount, .output_name = "n"},
+          AggSpec{.kind = AggKind::kSum, .input_column = "x",
+                  .output_name = "sum"},
+          AggSpec{.kind = AggKind::kMin, .input_column = "x",
+                  .output_name = "min"},
+          AggSpec{.kind = AggKind::kMax, .input_column = "x",
+                  .output_name = "max"},
+          AggSpec{.kind = AggKind::kMean, .input_column = "x",
+                  .output_name = "mean"},
+      },
+      ctx_);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 2u);  // sorted: even, odd
+  EXPECT_EQ(out->At(0, "k")->AsString().value(), "even");
+  EXPECT_EQ(out->At(0, "n")->AsInt().value(), 5);
+  EXPECT_DOUBLE_EQ(out->At(0, "sum")->AsDouble().value(), 20.0);
+  EXPECT_DOUBLE_EQ(out->At(0, "min")->AsDouble().value(), 0.0);
+  EXPECT_DOUBLE_EQ(out->At(0, "max")->AsDouble().value(), 8.0);
+  EXPECT_DOUBLE_EQ(out->At(0, "mean")->AsDouble().value(), 4.0);
+  EXPECT_DOUBLE_EQ(out->At(1, "mean")->AsDouble().value(), 5.0);
+}
+
+TEST_F(EngineTest, HashGroupByWeightedMeanImplementsEq4) {
+  // Eq. 4: service-time-weighted mean of CDI values.
+  Table t(Schema({Field{"g", ValueType::kString},
+                  Field{"cdi", ValueType::kDouble},
+                  Field{"service", ValueType::kDouble}}));
+  t.AppendUnchecked({Value("all"), Value(0.020), Value(60.0)});
+  t.AppendUnchecked({Value("all"), Value(0.002), Value(1440.0)});
+  t.AppendUnchecked({Value("all"), Value(0.004), Value(1000.0)});
+  auto out = HashGroupBy(
+      t, {"g"},
+      {AggSpec{.kind = AggKind::kWeightedMean, .input_column = "cdi",
+               .weight_column = "service", .output_name = "q"}},
+      ctx_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->At(0, "q")->AsDouble().value(),
+              (60 * 0.020 + 1440 * 0.002 + 1000 * 0.004) / 2500.0, 1e-12);
+}
+
+TEST_F(EngineTest, GroupByUnknownColumnFails) {
+  const Table in = MakeNumbers(10);
+  EXPECT_TRUE(HashGroupBy(in, {"missing"}, {}, ctx_).status().IsNotFound());
+  EXPECT_TRUE(HashGroupBy(in, {"k"},
+                          {AggSpec{.kind = AggKind::kSum,
+                                   .input_column = "missing",
+                                   .output_name = "s"}},
+                          ctx_)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(EngineTest, GroupByNullInputsSkipAggregation) {
+  Table t(Schema({Field{"g", ValueType::kString},
+                  Field{"x", ValueType::kDouble}}));
+  t.AppendUnchecked({Value("a"), Value(1.0)});
+  t.AppendUnchecked({Value("a"), Value()});
+  auto out = HashGroupBy(t, {"g"},
+                         {AggSpec{.kind = AggKind::kMean, .input_column = "x",
+                                  .output_name = "m"}},
+                         ctx_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->At(0, "m")->AsDouble().value(), 1.0);
+}
+
+TEST_F(EngineTest, ParallelAndSerialGroupByAgree) {
+  const Table in = MakeNumbers(5000);
+  ExecContext serial{};  // no pool
+  const std::vector<AggSpec> aggs = {
+      AggSpec{.kind = AggKind::kSum, .input_column = "x",
+              .output_name = "s"}};
+  auto a = HashGroupBy(in, {"k"}, aggs, ctx_);
+  auto b = HashGroupBy(in, {"k"}, aggs, serial);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (size_t i = 0; i < a->num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a->row(i)[1].double_unchecked(),
+                     b->row(i)[1].double_unchecked());
+  }
+}
+
+TEST_F(EngineTest, HashJoinInner) {
+  Table left(Schema({Field{"vm", ValueType::kString},
+                     Field{"cdi", ValueType::kDouble}}));
+  left.AppendUnchecked({Value("vm-1"), Value(0.1)});
+  left.AppendUnchecked({Value("vm-2"), Value(0.2)});
+  left.AppendUnchecked({Value("vm-3"), Value(0.3)});
+  Table right(Schema({Field{"vm", ValueType::kString},
+                      Field{"region", ValueType::kString}}));
+  right.AppendUnchecked({Value("vm-1"), Value("r0")});
+  right.AppendUnchecked({Value("vm-3"), Value("r1")});
+
+  auto out = HashJoin(left, right, {"vm"}, {"vm"}, ctx_);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 2u);  // vm-2 has no match
+  EXPECT_EQ(out->schema().num_fields(), 3u);
+  EXPECT_EQ(out->At(0, "region")->AsString().value(), "r0");
+}
+
+TEST_F(EngineTest, HashJoinDuplicateBuildKeysFanOut) {
+  Table left(Schema({Field{"k", ValueType::kInt}}));
+  left.AppendUnchecked({Value(int64_t{1})});
+  Table right(Schema({Field{"k", ValueType::kInt},
+                      Field{"v", ValueType::kString}}));
+  right.AppendUnchecked({Value(int64_t{1}), Value("a")});
+  right.AppendUnchecked({Value(int64_t{1}), Value("b")});
+  auto out = HashJoin(left, right, {"k"}, {"k"}, ctx_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2u);
+}
+
+TEST_F(EngineTest, HashJoinValidation) {
+  const Table t = MakeNumbers(1);
+  EXPECT_TRUE(
+      HashJoin(t, t, {}, {}, ctx_).status().IsInvalidArgument());
+  EXPECT_TRUE(HashJoin(t, t, {"k"}, {"k", "x"}, ctx_)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(EngineTest, SortByMultipleColumns) {
+  Table t(Schema({Field{"a", ValueType::kString},
+                  Field{"b", ValueType::kDouble}}));
+  t.AppendUnchecked({Value("y"), Value(1.0)});
+  t.AppendUnchecked({Value("x"), Value(2.0)});
+  t.AppendUnchecked({Value("x"), Value(1.0)});
+  auto out = SortBy(t, {"a", "b"}, ctx_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->row(0)[0].string_unchecked(), "x");
+  EXPECT_DOUBLE_EQ(out->row(0)[1].double_unchecked(), 1.0);
+  EXPECT_DOUBLE_EQ(out->row(1)[1].double_unchecked(), 2.0);
+  EXPECT_EQ(out->row(2)[0].string_unchecked(), "y");
+}
+
+TEST_F(EngineTest, EmptyInputsProduceEmptyOutputs) {
+  Table empty(Schema({Field{"k", ValueType::kString},
+                      Field{"x", ValueType::kDouble},
+                      Field{"w", ValueType::kDouble}}));
+  EXPECT_EQ(ParallelFilter(empty, [](const Row&) { return true; }, ctx_)
+                ->num_rows(),
+            0u);
+  EXPECT_EQ(HashGroupBy(empty, {"k"},
+                        {AggSpec{.kind = AggKind::kCount,
+                                 .output_name = "n"}},
+                        ctx_)
+                ->num_rows(),
+            0u);
+}
+
+}  // namespace
+}  // namespace cdibot::dataflow

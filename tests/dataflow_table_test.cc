@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/table.h"
+
+namespace cdibot::dataflow {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field{"id", ValueType::kInt},
+                 Field{"name", ValueType::kString},
+                 Field{"score", ValueType::kDouble}});
+}
+
+TEST(SchemaTest, IndexOf) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.IndexOf("id").value(), 0u);
+  EXPECT_EQ(s.IndexOf("score").value(), 2u);
+  EXPECT_TRUE(s.IndexOf("missing").status().IsNotFound());
+  EXPECT_EQ(s.ToString(), "(id:int, name:string, score:double)");
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_TRUE(TestSchema() == TestSchema());
+  EXPECT_FALSE(TestSchema() == Schema({Field{"id", ValueType::kInt}}));
+  EXPECT_FALSE(TestSchema() ==
+               Schema({Field{"id", ValueType::kDouble},
+                       Field{"name", ValueType::kString},
+                       Field{"score", ValueType::kDouble}}));
+}
+
+TEST(TableTest, AppendValidatesArityAndTypes) {
+  Table t(TestSchema());
+  EXPECT_TRUE(
+      t.Append({Value(int64_t{1}), Value("a"), Value(0.5)}).ok());
+  EXPECT_TRUE(t.Append({Value(int64_t{1})}).IsInvalidArgument());
+  EXPECT_TRUE(t.Append({Value("wrong"), Value("a"), Value(0.5)})
+                  .IsInvalidArgument());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, NullsAcceptedForAnyColumn) {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.Append({Value(), Value(), Value()}).ok());
+}
+
+TEST(TableTest, AtAccessor) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.Append({Value(int64_t{1}), Value("a"), Value(0.5)}).ok());
+  EXPECT_EQ(t.At(0, "name")->AsString().value(), "a");
+  EXPECT_TRUE(t.At(5, "name").status().IsOutOfRange());
+  EXPECT_TRUE(t.At(0, "nope").status().IsNotFound());
+}
+
+TEST(TableTest, PrettyStringShowsHeaderAndTruncation) {
+  Table t(TestSchema());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.Append({Value(int64_t{i}), Value("row"), Value(1.0)}).ok());
+  }
+  const std::string rendered = t.ToPrettyString(2);
+  EXPECT_NE(rendered.find("id"), std::string::npos);
+  EXPECT_NE(rendered.find("(3 more rows)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdibot::dataflow

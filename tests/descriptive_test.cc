@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace cdibot::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanVarianceStdDev) {
+  const Sample x = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(x).value(), 5.0);
+  EXPECT_NEAR(Variance(x).value(), 32.0 / 7.0, 1e-12);  // n-1 denominator
+  EXPECT_NEAR(StdDev(x).value(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, Validation) {
+  EXPECT_TRUE(Mean({}).status().IsInvalidArgument());
+  EXPECT_TRUE(Variance({1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(Median({}).status().IsInvalidArgument());
+  EXPECT_TRUE(Quantile({1.0}, 1.5).status().IsInvalidArgument());
+  EXPECT_TRUE(Skewness({1.0, 2.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(ExcessKurtosis({1.0, 2.0, 3.0}).status().IsInvalidArgument());
+}
+
+TEST(DescriptiveTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}).value(), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}).value(), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7.0}).value(), 7.0);
+}
+
+TEST(DescriptiveTest, QuantileType7Interpolation) {
+  const Sample x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 1.0).value(), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.5).value(), 2.5);
+  // h = 0.25 * 3 = 0.75 -> 1 + 0.75 * (2 - 1) = 1.75.
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.25).value(), 1.75);
+}
+
+TEST(DescriptiveTest, SymmetricSampleHasZeroSkewness) {
+  EXPECT_NEAR(Skewness({1.0, 2.0, 3.0, 4.0, 5.0}).value(), 0.0, 1e-12);
+  // Right-skewed sample has positive skewness.
+  EXPECT_GT(Skewness({1.0, 1.0, 1.0, 1.0, 10.0}).value(), 1.0);
+}
+
+TEST(DescriptiveTest, UniformKurtosisIsNegative) {
+  Sample x;
+  for (int i = 0; i < 1000; ++i) x.push_back(static_cast<double>(i));
+  // Continuous uniform excess kurtosis is -1.2.
+  EXPECT_NEAR(ExcessKurtosis(x).value(), -1.2, 0.01);
+}
+
+TEST(DescriptiveTest, DegenerateSampleMomentsFail) {
+  EXPECT_TRUE(Skewness({3.0, 3.0, 3.0}).status().IsFailedPrecondition());
+  EXPECT_TRUE(
+      ExcessKurtosis({3.0, 3.0, 3.0, 3.0}).status().IsFailedPrecondition());
+}
+
+TEST(MidRanksTest, NoTies) {
+  const std::vector<double> ranks = MidRanks({30.0, 10.0, 20.0});
+  EXPECT_EQ(ranks, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(MidRanksTest, TiesGetAverageRank) {
+  // 10, 20, 20, 30 -> ranks 1, 2.5, 2.5, 4.
+  const std::vector<double> ranks = MidRanks({10.0, 20.0, 20.0, 30.0});
+  EXPECT_EQ(ranks, (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+}
+
+TEST(MidRanksTest, AllTied) {
+  const std::vector<double> ranks = MidRanks({5.0, 5.0, 5.0});
+  EXPECT_EQ(ranks, (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+TEST(MidRanksTest, RankSumInvariant) {
+  // Ranks always sum to n(n+1)/2 regardless of ties.
+  const std::vector<double> ranks = MidRanks({1.0, 1.0, 2.0, 9.0, 9.0, 9.0});
+  double sum = 0.0;
+  for (double r : ranks) sum += r;
+  EXPECT_DOUBLE_EQ(sum, 21.0);
+}
+
+TEST(EwmaTest, AlphaOneIsIdentity) {
+  const std::vector<double> x = {3.0, 1.0, 4.0};
+  EXPECT_EQ(Ewma(x, 1.0).value(), x);
+}
+
+TEST(EwmaTest, SmoothsTowardHistory) {
+  auto out = Ewma({10.0, 0.0, 0.0}, 0.5).value();
+  EXPECT_DOUBLE_EQ(out[0], 10.0);
+  EXPECT_DOUBLE_EQ(out[1], 5.0);
+  EXPECT_DOUBLE_EQ(out[2], 2.5);
+}
+
+TEST(EwmaTest, Validation) {
+  EXPECT_TRUE(Ewma({1.0}, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(Ewma({1.0}, 1.5).status().IsInvalidArgument());
+  EXPECT_TRUE(Ewma({}, 0.5)->empty());
+}
+
+}  // namespace
+}  // namespace cdibot::stats

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace cdibot::stats {
+namespace {
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-9);
+  EXPECT_NEAR(NormalCdf(3.0), 0.99865, 1e-5);
+}
+
+TEST(NormalTest, SfComplementsCdf) {
+  for (double x : {-3.0, -1.0, 0.0, 0.5, 2.0, 6.0}) {
+    EXPECT_NEAR(NormalCdf(x) + NormalSf(x), 1.0, 1e-12);
+  }
+  // Tail accuracy: sf(6) ~ 9.866e-10 (erfc-based, not 1-cdf).
+  EXPECT_NEAR(NormalSf(6.0), 9.8659e-10, 1e-13);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+    const double x = NormalQuantile(p).value();
+    EXPECT_NEAR(NormalCdf(x), p, 1e-10) << p;
+  }
+  EXPECT_NEAR(NormalQuantile(0.975).value(), 1.959963985, 1e-7);
+  EXPECT_TRUE(NormalQuantile(0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(NormalQuantile(1.0).status().IsInvalidArgument());
+}
+
+TEST(NormalTest, PdfIntegratesToCdfDerivative) {
+  const double h = 1e-6;
+  for (double x : {-1.0, 0.0, 1.5}) {
+    EXPECT_NEAR((NormalCdf(x + h) - NormalCdf(x - h)) / (2 * h), NormalPdf(x),
+                1e-6);
+  }
+}
+
+TEST(ChiSquaredTest, CriticalValues) {
+  // chi2(0.95; 1) = 3.841459, chi2(0.95; 2) = 5.991465.
+  EXPECT_NEAR(ChiSquaredCdf(3.841459, 1.0).value(), 0.95, 1e-6);
+  EXPECT_NEAR(ChiSquaredSf(5.991465, 2.0).value(), 0.05, 1e-6);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(0.0, 3.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredSf(-1.0, 3.0).value(), 1.0);
+}
+
+TEST(ChiSquaredTest, TwoDfIsExponential) {
+  // chi2 with 2 df: cdf(x) = 1 - exp(-x/2).
+  for (double x : {0.5, 2.0, 6.0}) {
+    EXPECT_NEAR(ChiSquaredCdf(x, 2.0).value(), 1.0 - std::exp(-x / 2.0),
+                1e-12);
+  }
+}
+
+TEST(StudentTTest, CriticalValues) {
+  // t(0.975; 10) = 2.228139.
+  EXPECT_NEAR(StudentTCdf(2.228139, 10.0).value(), 0.975, 1e-6);
+  EXPECT_NEAR(StudentTTwoSidedP(2.228139, 10.0).value(), 0.05, 1e-6);
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0).value(), 0.5, 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(StudentTCdf(-1.3, 7.0).value() + StudentTCdf(1.3, 7.0).value(),
+              1.0, 1e-12);
+}
+
+TEST(StudentTTest, LargeDfApproachesNormal) {
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6).value(), NormalCdf(1.96), 1e-5);
+}
+
+TEST(FDistTest, CriticalValues) {
+  // F(0.95; 3, 10) = 3.708.
+  EXPECT_NEAR(FSf(3.708, 3.0, 10.0).value(), 0.05, 2e-4);
+  EXPECT_DOUBLE_EQ(FCdf(0.0, 2.0, 2.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(FSf(-1.0, 2.0, 2.0).value(), 1.0);
+}
+
+TEST(FDistTest, SquaredTIdentity) {
+  // F(1, v) == t(v)^2: P(F <= t^2) = P(|T| <= t).
+  const double t = 1.7;
+  const double v = 9.0;
+  EXPECT_NEAR(FCdf(t * t, 1.0, v).value(),
+              1.0 - StudentTTwoSidedP(t, v).value(), 1e-10);
+}
+
+TEST(FDistTest, ReciprocalIdentity) {
+  // P(F(d1,d2) <= x) = P(F(d2,d1) >= 1/x).
+  EXPECT_NEAR(FCdf(2.5, 4.0, 7.0).value(), FSf(1.0 / 2.5, 7.0, 4.0).value(),
+              1e-10);
+}
+
+TEST(StudentizedRangeTest, TwoGroupsReducesToStudentT) {
+  // For k = 2: P(Q <= q) = P(|T| <= q / sqrt(2)).
+  for (double q : {1.0, 2.5, 3.46, 5.0}) {
+    for (double df : {6.0, 15.0, 60.0}) {
+      EXPECT_NEAR(
+          StudentizedRangeCdf(q, 2, df).value(),
+          1.0 - StudentTTwoSidedP(q / std::sqrt(2.0), df).value(), 2e-4)
+          << "q=" << q << " df=" << df;
+    }
+  }
+}
+
+TEST(StudentizedRangeTest, TabledCriticalValues) {
+  // Standard q-table: q(0.05; k=3, df=10) = 3.88, q(0.05; k=4, df=20)=3.96.
+  EXPECT_NEAR(StudentizedRangeSf(3.88, 3, 10.0).value(), 0.05, 3e-3);
+  EXPECT_NEAR(StudentizedRangeSf(3.96, 4, 20.0).value(), 0.05, 3e-3);
+  // q(0.05; k=2, df=6) = 3.46.
+  EXPECT_NEAR(StudentizedRangeSf(3.46, 2, 6.0).value(), 0.05, 3e-3);
+}
+
+TEST(StudentizedRangeTest, MonotoneInQ) {
+  double prev = -1.0;
+  for (double q = 0.5; q < 8.0; q += 0.5) {
+    const double cdf = StudentizedRangeCdf(q, 3, 12.0).value();
+    EXPECT_GE(cdf, prev);
+    EXPECT_GE(cdf, 0.0);
+    EXPECT_LE(cdf, 1.0);
+    prev = cdf;
+  }
+}
+
+TEST(StudentizedRangeTest, LargeDfMatchesNormalRange) {
+  // df -> infinity: q(0.05; k=3, inf) = 3.31.
+  EXPECT_NEAR(StudentizedRangeSf(3.31, 3, 1e5).value(), 0.05, 3e-3);
+}
+
+TEST(StudentizedRangeTest, Validation) {
+  EXPECT_TRUE(StudentizedRangeCdf(1.0, 1, 5.0).status().IsInvalidArgument());
+  EXPECT_TRUE(StudentizedRangeCdf(1.0, 3, 0.0).status().IsInvalidArgument());
+  EXPECT_DOUBLE_EQ(StudentizedRangeCdf(0.0, 3, 5.0).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace cdibot::stats

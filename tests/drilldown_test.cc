@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "cdi/drilldown.h"
+
+namespace cdibot {
+namespace {
+
+VmCdiRecord Rec(const std::string& vm, const std::string& region,
+                const std::string& az, double u, double p, double c,
+                int64_t minutes = 1440) {
+  return VmCdiRecord{
+      .vm_id = vm,
+      .dims = {{"region", region}, {"az", az}},
+      .cdi = VmCdi{.unavailability = u,
+                   .performance = p,
+                   .control_plane = c,
+                   .service_time = Duration::Minutes(minutes)}};
+}
+
+TEST(DrillDownTest, GroupsByDimension) {
+  std::vector<VmCdiRecord> records = {
+      Rec("vm-1", "r0", "r0-az0", 0.1, 0.0, 0.0),
+      Rec("vm-2", "r0", "r0-az1", 0.3, 0.0, 0.0),
+      Rec("vm-3", "r1", "r1-az0", 0.5, 0.0, 0.0),
+  };
+  auto by_region = DrillDownBy(records, "region");
+  ASSERT_EQ(by_region.size(), 2u);
+  EXPECT_EQ(by_region[0].key, "r0");
+  EXPECT_EQ(by_region[0].vm_count, 2u);
+  EXPECT_NEAR(by_region[0].cdi.unavailability, 0.2, 1e-12);
+  EXPECT_EQ(by_region[1].key, "r1");
+  EXPECT_NEAR(by_region[1].cdi.unavailability, 0.5, 1e-12);
+}
+
+TEST(DrillDownTest, ServiceTimeWeighting) {
+  std::vector<VmCdiRecord> records = {
+      Rec("vm-1", "r0", "az", 0.0, 0.1, 0.0, 100),
+      Rec("vm-2", "r0", "az", 0.0, 0.4, 0.0, 300),
+  };
+  auto groups = DrillDownBy(records, "region");
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_NEAR(groups[0].cdi.performance, (100 * 0.1 + 300 * 0.4) / 400.0,
+              1e-12);
+  EXPECT_EQ(groups[0].cdi.service_time, Duration::Minutes(400));
+}
+
+TEST(DrillDownTest, MissingDimensionGroupsUnderEmptyKey) {
+  std::vector<VmCdiRecord> records = {Rec("vm-1", "r0", "az", 0.1, 0, 0)};
+  records.push_back(VmCdiRecord{
+      .vm_id = "vm-nodim",
+      .cdi = VmCdi{.unavailability = 0.9,
+                   .service_time = Duration::Minutes(10)}});
+  auto groups = DrillDownBy(records, "region");
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].key, "");  // sorted first
+  EXPECT_EQ(groups[0].vm_count, 1u);
+}
+
+TEST(DrillDownTest, DrillDownConsistency) {
+  // Aggregating the drill-down groups reproduces the global aggregate.
+  std::vector<VmCdiRecord> records = {
+      Rec("vm-1", "r0", "az0", 0.1, 0.2, 0.3, 100),
+      Rec("vm-2", "r0", "az1", 0.4, 0.5, 0.6, 200),
+      Rec("vm-3", "r1", "az2", 0.7, 0.8, 0.9, 300),
+  };
+  std::vector<VmCdi> all;
+  for (const auto& r : records) all.push_back(r.cdi);
+  const VmCdi global = AggregateVmCdi(all);
+
+  std::vector<VmCdi> group_cdis;
+  for (const GroupCdi& g : DrillDownBy(records, "region")) {
+    group_cdis.push_back(g.cdi);
+  }
+  const VmCdi regrouped = AggregateVmCdi(group_cdis);
+  EXPECT_NEAR(global.unavailability, regrouped.unavailability, 1e-12);
+  EXPECT_NEAR(global.performance, regrouped.performance, 1e-12);
+  EXPECT_NEAR(global.control_plane, regrouped.control_plane, 1e-12);
+}
+
+EventCdiRecord EvRec(const std::string& vm, const std::string& event,
+                     double damage, int64_t service_min = 1440) {
+  return EventCdiRecord{.vm_id = vm,
+                        .event_name = event,
+                        .category = StabilityCategory::kPerformance,
+                        .damage_minutes = damage,
+                        .service_time = Duration::Minutes(service_min)};
+}
+
+TEST(EventLevelCdiTest, NormalizesByFleetServiceTime) {
+  // Two VMs with slow_io damage, fleet of 10 VM-days.
+  std::vector<EventCdiRecord> records = {EvRec("vm-1", "slow_io", 14.4),
+                                         EvRec("vm-2", "slow_io", 14.4),
+                                         EvRec("vm-3", "vcpu_high", 144.0)};
+  const Duration fleet = Duration::Days(10);
+  auto by_event = EventLevelCdi(records, fleet);
+  ASSERT_TRUE(by_event.ok());
+  EXPECT_NEAR(by_event->at("slow_io"), 28.8 / 14400.0, 1e-12);
+  EXPECT_NEAR(by_event->at("vcpu_high"), 0.01, 1e-12);
+
+  auto single = EventLevelCdiFor(records, "slow_io", fleet);
+  ASSERT_TRUE(single.ok());
+  EXPECT_NEAR(single.value(), 28.8 / 14400.0, 1e-12);
+}
+
+TEST(EventLevelCdiTest, AbsentEventIsZero) {
+  auto v = EventLevelCdiFor({}, "slow_io", Duration::Days(1));
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v.value(), 0.0);
+}
+
+TEST(EventLevelCdiTest, RejectsNonPositiveFleetTime) {
+  EXPECT_TRUE(
+      EventLevelCdi({}, Duration::Zero()).status().IsInvalidArgument());
+  EXPECT_TRUE(EventLevelCdiFor({}, "x", Duration::Zero())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cdibot

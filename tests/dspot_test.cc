@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anomaly/dspot.h"
+#include "common/rng.h"
+
+namespace cdibot {
+namespace {
+
+std::vector<double> Series(Rng* rng, size_t n, double level, double sigma,
+                           double drift_per_step = 0.0) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(level + drift_per_step * static_cast<double>(i) +
+                  rng->Normal(0.0, sigma));
+  }
+  return out;
+}
+
+TEST(DSpotTest, Validation) {
+  Rng rng(1);
+  const auto data = Series(&rng, 500, 10.0, 1.0);
+  DSpotDetector::Options bad;
+  bad.depth = 1;
+  EXPECT_TRUE(DSpotDetector::Calibrate(data, bad).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DSpotDetector::Calibrate({1.0, 2.0}).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DSpotDetector::Calibrate(data).ok());
+}
+
+TEST(DSpotTest, QuietOnStationaryNoise) {
+  Rng rng(2);
+  auto det = DSpotDetector::Calibrate(Series(&rng, 2000, 10.0, 1.0)).value();
+  int alarms = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (det.Observe(rng.Normal(10.0, 1.0)) != AnomalyDirection::kNone) {
+      ++alarms;
+    }
+  }
+  EXPECT_LT(alarms, 10);
+}
+
+TEST(DSpotTest, DetectsSpikeAndDip) {
+  Rng rng(3);
+  auto det = DSpotDetector::Calibrate(Series(&rng, 2000, 10.0, 1.0)).value();
+  EXPECT_EQ(det.Observe(100.0), AnomalyDirection::kSpike);
+  // Case 7's zeroed-collector dip.
+  EXPECT_EQ(det.Observe(-80.0), AnomalyDirection::kDip);
+}
+
+TEST(DSpotTest, ToleratesSlowDriftThatWouldBreakPlainSpot) {
+  Rng rng(4);
+  // Slow upward drift: +0.01 per step, sigma 1. Over 5000 steps the level
+  // rises by 50 — far beyond any fixed threshold from calibration at the
+  // original level.
+  const auto calibration = Series(&rng, 1000, 10.0, 1.0, 0.01);
+  auto dspot = DSpotDetector::Calibrate(calibration).value();
+  auto plain = SpotDetector::Calibrate(calibration, 1e-4).value();
+
+  int dspot_alarms = 0, plain_alarms = 0;
+  double level = 10.0 + 0.01 * 1000;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = level + rng.Normal(0.0, 1.0);
+    level += 0.01;
+    if (dspot.Observe(x) != AnomalyDirection::kNone) ++dspot_alarms;
+    if (plain.Observe(x)) ++plain_alarms;
+  }
+  // Drift-aware stays near its q-rate (a handful of alarms in 5000 points);
+  // the fixed-threshold detector drowns. Two orders of magnitude apart.
+  EXPECT_LT(dspot_alarms, 40);
+  EXPECT_GT(plain_alarms, 1000);
+  EXPECT_LT(dspot_alarms * 25, plain_alarms);
+}
+
+TEST(DSpotTest, DetectsAnomalyOnTopOfDrift) {
+  Rng rng(5);
+  const auto calibration = Series(&rng, 1000, 10.0, 1.0, 0.01);
+  auto det = DSpotDetector::Calibrate(calibration).value();
+  double level = 10.0 + 0.01 * 1000;
+  for (int i = 0; i < 500; ++i) {
+    (void)det.Observe(level + rng.Normal(0.0, 1.0));
+    level += 0.01;
+  }
+  EXPECT_EQ(det.Observe(level + 60.0), AnomalyDirection::kSpike);
+  EXPECT_EQ(det.Observe(level - 60.0), AnomalyDirection::kDip);
+}
+
+TEST(DSpotTest, ThresholdsTrackTheLocalLevel) {
+  Rng rng(6);
+  auto det = DSpotDetector::Calibrate(Series(&rng, 1000, 10.0, 1.0)).value();
+  const double upper_before = det.upper_threshold();
+  EXPECT_GT(upper_before, 10.0);
+  EXPECT_LT(det.lower_threshold(), 10.0);
+  // Shift the level to 30 gradually (small steps stay under the threshold);
+  // thresholds follow.
+  for (int i = 0; i < 3000; ++i) {
+    (void)det.Observe(10.0 + 20.0 * std::min(1.0, i / 2000.0) +
+                      rng.Normal(0.0, 1.0));
+  }
+  EXPECT_GT(det.upper_threshold(), upper_before + 10.0);
+}
+
+TEST(DSpotTest, AnomaliesDoNotShiftTheLevel) {
+  Rng rng(7);
+  auto det = DSpotDetector::Calibrate(Series(&rng, 1000, 10.0, 1.0)).value();
+  const double upper = det.upper_threshold();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(det.Observe(1000.0), AnomalyDirection::kSpike);
+  }
+  // 50 extreme outliers in a row must not raise the local level.
+  EXPECT_NEAR(det.upper_threshold(), upper, 1.0);
+}
+
+}  // namespace
+}  // namespace cdibot

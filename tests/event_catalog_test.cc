@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "event/catalog.h"
+
+namespace cdibot {
+namespace {
+
+TEST(EventEnumsTest, CategoryRoundTrip) {
+  for (StabilityCategory c :
+       {StabilityCategory::kUnavailability, StabilityCategory::kPerformance,
+        StabilityCategory::kControlPlane}) {
+    auto parsed = StabilityCategoryFromString(StabilityCategoryToString(c));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), c);
+  }
+  EXPECT_FALSE(StabilityCategoryFromString("bogus").ok());
+}
+
+TEST(EventEnumsTest, SeverityRoundTripAndOrdering) {
+  for (Severity s : {Severity::kInfo, Severity::kWarning, Severity::kCritical,
+                     Severity::kFatal}) {
+    auto parsed = SeverityFromString(SeverityToString(s));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), s);
+  }
+  EXPECT_LT(static_cast<int>(Severity::kInfo),
+            static_cast<int>(Severity::kFatal));
+  EXPECT_FALSE(SeverityFromString("bogus").ok());
+}
+
+TEST(RawEventTest, LoggedDurationParsing) {
+  RawEvent ev;
+  EXPECT_TRUE(ev.LoggedDuration().status().IsNotFound());
+  ev.attrs["duration_ms"] = "1500";
+  ASSERT_TRUE(ev.LoggedDuration().ok());
+  EXPECT_EQ(ev.LoggedDuration()->millis(), 1500);
+  ev.attrs["duration_ms"] = "abc";
+  EXPECT_TRUE(ev.LoggedDuration().status().IsInvalidArgument());
+  ev.attrs["duration_ms"] = "-5";
+  EXPECT_TRUE(ev.LoggedDuration().status().IsInvalidArgument());
+  ev.attrs["duration_ms"] = "12x";
+  EXPECT_TRUE(ev.LoggedDuration().status().IsInvalidArgument());
+}
+
+TEST(EventCatalogTest, RegisterAndFind) {
+  EventCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .Register({.name = "my_event",
+                             .category = StabilityCategory::kPerformance,
+                             .default_level = Severity::kWarning})
+                  .ok());
+  EXPECT_TRUE(catalog.Contains("my_event"));
+  auto spec = catalog.Find("my_event");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->category, StabilityCategory::kPerformance);
+  EXPECT_FALSE(catalog.Find("other").ok());
+}
+
+TEST(EventCatalogTest, RejectsDuplicatesAndEmptyName) {
+  EventCatalog catalog;
+  ASSERT_TRUE(catalog.Register({.name = "dup"}).ok());
+  EXPECT_TRUE(catalog.Register({.name = "dup"}).IsAlreadyExists());
+  EXPECT_TRUE(catalog.Register({.name = ""}).IsInvalidArgument());
+}
+
+TEST(EventCatalogTest, StatefulRequiresDetailNames) {
+  EventCatalog catalog;
+  EXPECT_TRUE(catalog
+                  .Register({.name = "bad_stateful",
+                             .period_kind = PeriodKind::kStateful})
+                  .IsInvalidArgument());
+}
+
+TEST(EventCatalogTest, StatefulDetailNamesResolveToParent) {
+  EventCatalog catalog;
+  ASSERT_TRUE(catalog
+                  .Register({.name = "blackhole",
+                             .period_kind = PeriodKind::kStateful,
+                             .start_detail = "blackhole_add",
+                             .end_detail = "blackhole_del"})
+                  .ok());
+  auto from_detail = catalog.Find("blackhole_add");
+  ASSERT_TRUE(from_detail.ok());
+  EXPECT_EQ(from_detail->name, "blackhole");
+  // Detail names are reserved.
+  EXPECT_TRUE(catalog.Register({.name = "blackhole_del"}).IsAlreadyExists());
+}
+
+TEST(EventCatalogTest, BuiltInCoversPaperEvents) {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  // Events named in the paper's figures, tables, and cases.
+  for (const char* name :
+       {"slow_io", "packet_loss", "vcpu_high", "nic_flapping",
+        "qemu_live_upgrade", "ddos_blackhole", "vm_allocation_failed",
+        "inspect_cpu_power_tdp", "vm_hang", "net_cable_repaired"}) {
+    EXPECT_TRUE(catalog.Contains(name)) << name;
+  }
+  // ddos_blackhole detail events resolve.
+  EXPECT_TRUE(catalog.Contains("ddos_blackhole_add"));
+  EXPECT_TRUE(catalog.Contains("ddos_blackhole_del"));
+}
+
+TEST(EventCatalogTest, BuiltInCategoriesMatchPaper) {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  EXPECT_EQ(catalog.Find("slow_io")->category,
+            StabilityCategory::kPerformance);
+  EXPECT_EQ(catalog.Find("vm_crash")->category,
+            StabilityCategory::kUnavailability);
+  EXPECT_EQ(catalog.Find("vm_start_failed")->category,
+            StabilityCategory::kControlPlane);
+  EXPECT_EQ(catalog.Find("ddos_blackhole")->category,
+            StabilityCategory::kUnavailability);
+}
+
+TEST(EventCatalogTest, BuiltInPeriodKinds) {
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  EXPECT_EQ(catalog.Find("slow_io")->period_kind, PeriodKind::kWindowed);
+  EXPECT_EQ(catalog.Find("slow_io")->window, Duration::Minutes(1));
+  EXPECT_EQ(catalog.Find("qemu_live_upgrade")->period_kind,
+            PeriodKind::kLoggedDuration);
+  EXPECT_EQ(catalog.Find("ddos_blackhole")->period_kind,
+            PeriodKind::kStateful);
+}
+
+TEST(EventCatalogTest, SpecsPreserveRegistrationOrder) {
+  EventCatalog catalog;
+  ASSERT_TRUE(catalog.Register({.name = "a"}).ok());
+  ASSERT_TRUE(catalog.Register({.name = "b"}).ok());
+  ASSERT_EQ(catalog.specs().size(), 2u);
+  EXPECT_EQ(catalog.specs()[0].name, "a");
+  EXPECT_EQ(catalog.specs()[1].name, "b");
+}
+
+}  // namespace
+}  // namespace cdibot

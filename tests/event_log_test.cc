@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/event_log.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+RawEvent Make(const char* name, const char* time, const char* target,
+              int64_t duration_ms = -1) {
+  RawEvent ev;
+  ev.name = name;
+  ev.time = T(time);
+  ev.target = target;
+  ev.level = Severity::kCritical;
+  ev.expire_interval = Duration::Hours(24);
+  if (duration_ms >= 0) {
+    ev.attrs["duration_ms"] = std::to_string(duration_ms);
+  }
+  return ev;
+}
+
+TEST(EventLogTest, AppendAndSearchAcrossDays) {
+  EventLog log;
+  log.Append(Make("slow_io", "2024-01-01 23:59", "vm-1"));
+  log.Append(Make("slow_io", "2024-01-02 00:01", "vm-1"));
+  log.Append(Make("slow_io", "2024-01-03 12:00", "vm-2"));
+  EXPECT_EQ(log.size(), 3u);
+  auto res = log.Search(Interval(T("2024-01-01 00:00"), T("2024-01-03 00:00")));
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_LT(res[0].time, res[1].time);
+}
+
+TEST(EventLogTest, SearchIsHalfOpen) {
+  EventLog log;
+  log.Append(Make("a", "2024-01-02 00:00", "vm-1"));
+  EXPECT_TRUE(
+      log.Search(Interval(T("2024-01-01 00:00"), T("2024-01-02 00:00")))
+          .empty());
+  EXPECT_EQ(
+      log.Search(Interval(T("2024-01-02 00:00"), T("2024-01-03 00:00")))
+          .size(),
+      1u);
+}
+
+TEST(EventLogTest, SearchTargetFilters) {
+  EventLog log;
+  log.Append(Make("a", "2024-01-01 10:00", "vm-1"));
+  log.Append(Make("a", "2024-01-01 11:00", "vm-2"));
+  auto res = log.SearchTarget(
+      Interval(T("2024-01-01 00:00"), T("2024-01-02 00:00")), "vm-2");
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].target, "vm-2");
+}
+
+TEST(EventLogTest, PartitionDays) {
+  EventLog log;
+  log.Append(Make("a", "2024-01-05 10:00", "vm-1"));
+  log.Append(Make("a", "2024-01-03 10:00", "vm-1"));
+  log.Append(Make("a", "2024-01-05 12:00", "vm-1"));
+  auto days = log.PartitionDays();
+  ASSERT_EQ(days.size(), 2u);
+  EXPECT_EQ(days[0].ToDateString(), "2024-01-03");
+  EXPECT_EQ(days[1].ToDateString(), "2024-01-05");
+}
+
+TEST(EventLogTest, ExportImportRoundTrip) {
+  EventLog log;
+  log.Append(Make("qemu_live_upgrade", "2024-01-01 10:00", "vm-1", 2500));
+  log.Append(Make("slow_io", "2024-01-01 11:00", "vm-2"));
+  auto table = log.ExportDay(T("2024-01-01 05:00"));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+
+  auto events = EventLog::ImportTable(table.value());
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].name, "qemu_live_upgrade");
+  EXPECT_EQ((*events)[0].LoggedDuration()->millis(), 2500);
+  EXPECT_TRUE((*events)[1].LoggedDuration().status().IsNotFound());
+  EXPECT_EQ((*events)[1].target, "vm-2");
+  EXPECT_EQ((*events)[1].level, Severity::kCritical);
+}
+
+TEST(EventLogTest, ExportEmptyDayIsEmptyTable) {
+  EventLog log;
+  auto table = log.ExportDay(T("2024-06-01 00:00"));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 0u);
+}
+
+TEST(EventLogTest, ImportRejectsWrongSchema) {
+  dataflow::Table wrong(dataflow::Schema(
+      {dataflow::Field{"x", dataflow::ValueType::kInt}}));
+  EXPECT_TRUE(EventLog::ImportTable(wrong).status().IsInvalidArgument());
+}
+
+TEST(EventLogTest, SaveAndLoadDirectoryRoundTrip) {
+  EventLog log;
+  log.Append(Make("slow_io", "2024-01-01 10:00", "vm-1"));
+  log.Append(Make("qemu_live_upgrade", "2024-01-01 11:00", "vm-2", 900));
+  log.Append(Make("packet_loss", "2024-01-03 09:00", "vm-1"));
+
+  const std::string dir = ::testing::TempDir() + "/cdibot_event_log";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(log.SaveToDir(dir).ok());
+
+  auto loaded = EventLog::LoadFromDir(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->PartitionDays().size(), 2u);
+  auto events = loaded->Search(
+      Interval(T("2024-01-01 00:00"), T("2024-01-05 00:00")));
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].LoggedDuration()->millis(), 900);
+  EXPECT_EQ(events[2].name, "packet_loss");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EventLogTest, LoadFromMissingDirectoryFails) {
+  EXPECT_TRUE(EventLog::LoadFromDir("/definitely/not/here")
+                  .status()
+                  .IsNotFound());
+  EventLog log;
+  EXPECT_TRUE(log.SaveToDir("/definitely/not/here").IsNotFound());
+}
+
+TEST(EventLogTest, EmptySearchRange) {
+  EventLog log;
+  log.Append(Make("a", "2024-01-01 10:00", "vm-1"));
+  EXPECT_TRUE(
+      log.Search(Interval(T("2024-01-01 10:00"), T("2024-01-01 10:00")))
+          .empty());
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "event/event_store.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+RawEvent Make(const char* name, const char* time, const char* target,
+              Severity level = Severity::kWarning) {
+  RawEvent ev;
+  ev.name = name;
+  ev.time = T(time);
+  ev.target = target;
+  ev.level = level;
+  return ev;
+}
+
+TEST(EventStoreTest, AppendAndSize) {
+  EventStore store;
+  EXPECT_TRUE(store.empty());
+  store.Append(Make("slow_io", "2024-01-01 10:00", "vm-1"));
+  store.AppendBatch({Make("slow_io", "2024-01-01 10:01", "vm-1"),
+                     Make("vm_crash", "2024-01-01 10:02", "vm-2")});
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(EventStoreTest, QueryByTarget) {
+  EventStore store;
+  store.Append(Make("slow_io", "2024-01-01 10:00", "vm-1"));
+  store.Append(Make("slow_io", "2024-01-01 10:01", "vm-2"));
+  auto res = store.Query({.target = "vm-1"});
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].target, "vm-1");
+  EXPECT_TRUE(store.Query({.target = "vm-9"}).empty());
+}
+
+TEST(EventStoreTest, QueryByTimeRangeIsHalfOpen) {
+  EventStore store;
+  store.Append(Make("slow_io", "2024-01-01 10:00", "vm-1"));
+  store.Append(Make("slow_io", "2024-01-01 11:00", "vm-1"));
+  EventQuery q;
+  q.time_range = Interval(T("2024-01-01 10:00"), T("2024-01-01 11:00"));
+  auto res = store.Query(q);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].time, T("2024-01-01 10:00"));
+}
+
+TEST(EventStoreTest, QueryByNameAndLevel) {
+  EventStore store;
+  store.Append(Make("slow_io", "2024-01-01 10:00", "vm-1", Severity::kWarning));
+  store.Append(
+      Make("slow_io", "2024-01-01 10:01", "vm-1", Severity::kCritical));
+  store.Append(Make("vm_crash", "2024-01-01 10:02", "vm-1", Severity::kFatal));
+  EXPECT_EQ(store.Query({.name = "slow_io"}).size(), 2u);
+  EventQuery q;
+  q.min_level = Severity::kCritical;
+  EXPECT_EQ(store.Query(q).size(), 2u);
+  q.name = "slow_io";
+  EXPECT_EQ(store.Query(q).size(), 1u);
+}
+
+TEST(EventStoreTest, ResultsAreTimeSorted) {
+  EventStore store;
+  store.Append(Make("slow_io", "2024-01-01 12:00", "vm-1"));
+  store.Append(Make("slow_io", "2024-01-01 10:00", "vm-1"));
+  store.Append(Make("slow_io", "2024-01-01 11:00", "vm-1"));
+  auto res = store.ForTarget("vm-1");
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_LT(res[0].time, res[1].time);
+  EXPECT_LT(res[1].time, res[2].time);
+}
+
+TEST(EventStoreTest, TargetsAreSortedUnique) {
+  EventStore store;
+  store.Append(Make("a", "2024-01-01 10:00", "vm-b"));
+  store.Append(Make("a", "2024-01-01 10:01", "vm-a"));
+  store.Append(Make("a", "2024-01-01 10:02", "vm-b"));
+  EXPECT_EQ(store.Targets(), (std::vector<std::string>{"vm-a", "vm-b"}));
+}
+
+TEST(EventStoreTest, CountsByName) {
+  EventStore store;
+  store.Append(Make("slow_io", "2024-01-01 10:00", "vm-1"));
+  store.Append(Make("slow_io", "2024-01-01 10:01", "vm-2"));
+  store.Append(Make("vm_crash", "2024-01-01 10:02", "vm-1"));
+  auto counts = store.CountsByName();
+  EXPECT_EQ(counts["slow_io"], 2u);
+  EXPECT_EQ(counts["vm_crash"], 1u);
+}
+
+TEST(EventStoreTest, ClearEmptiesEverything) {
+  EventStore store;
+  store.Append(Make("a", "2024-01-01 10:00", "vm-1"));
+  store.Clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_TRUE(store.ForTarget("vm-1").empty());
+  EXPECT_TRUE(store.Targets().empty());
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "weights/event_weights.h"
+
+namespace cdibot {
+namespace {
+
+TEST(ExpertLevelWeightTest, Equation1) {
+  // l_i = i / m with m = 4 (Eq. 1).
+  EXPECT_DOUBLE_EQ(ExpertLevelWeight(Severity::kInfo).value(), 0.25);
+  EXPECT_DOUBLE_EQ(ExpertLevelWeight(Severity::kWarning).value(), 0.5);
+  EXPECT_DOUBLE_EQ(ExpertLevelWeight(Severity::kCritical).value(), 0.75);
+  EXPECT_DOUBLE_EQ(ExpertLevelWeight(Severity::kFatal).value(), 1.0);
+}
+
+TEST(ExpertLevelWeightTest, Validation) {
+  EXPECT_TRUE(ExpertLevelWeight(Severity::kFatal, 0).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ExpertLevelWeight(Severity::kFatal, 3).status().IsOutOfRange());
+}
+
+TEST(TicketRankModelTest, RanksDistributeProportionally) {
+  // 8 events in 4 levels: 2 per level by ascending ticket count.
+  std::map<std::string, int64_t> counts;
+  for (int i = 0; i < 8; ++i) {
+    counts["e" + std::to_string(i)] = 10 * (i + 1);
+  }
+  auto model = TicketRankModel::FromCounts(counts, 4);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->LevelFor("e0"), 1);
+  EXPECT_EQ(model->LevelFor("e1"), 1);
+  EXPECT_EQ(model->LevelFor("e2"), 2);
+  EXPECT_EQ(model->LevelFor("e3"), 2);
+  EXPECT_EQ(model->LevelFor("e6"), 4);
+  EXPECT_EQ(model->LevelFor("e7"), 4);
+  EXPECT_DOUBLE_EQ(model->WeightFor("e7"), 1.0);
+  EXPECT_DOUBLE_EQ(model->WeightFor("e0"), 0.25);
+}
+
+TEST(TicketRankModelTest, Example3Percentile) {
+  // Example 3: an event with more tickets than 43% of events lands in the
+  // second of four levels -> p = 0.5. Build 100 events; the one ranked 44th
+  // (ascending) is higher than 43% of them.
+  std::map<std::string, int64_t> counts;
+  for (int i = 0; i < 100; ++i) {
+    counts["e" + std::to_string(i + 1000)] = i;  // distinct counts
+  }
+  auto model = TicketRankModel::FromCounts(counts, 4);
+  ASSERT_TRUE(model.ok());
+  // Rank 44 (value 43): ceil(44 * 4 / 100) = 2 -> p = 0.5.
+  EXPECT_EQ(model->LevelFor("e1043"), 2);
+  EXPECT_DOUBLE_EQ(model->WeightFor("e1043"), 0.5);
+}
+
+TEST(TicketRankModelTest, UnknownEventsGetLowestLevel) {
+  auto model = TicketRankModel::FromCounts({{"a", 5}}, 4);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->LevelFor("never_seen"), 1);
+  EXPECT_DOUBLE_EQ(model->WeightFor("never_seen"), 0.25);
+}
+
+TEST(TicketRankModelTest, Validation) {
+  EXPECT_TRUE(TicketRankModel::FromCounts({}, 4).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      TicketRankModel::FromCounts({{"a", 1}}, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(TicketRankModel::FromCounts({{"a", -1}}, 4)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+EventWeightModel MakeModel(
+    const std::map<std::string, int64_t>& counts = {{"low", 1},
+                                                    {"mid_a", 10},
+                                                    {"mid_b", 20},
+                                                    {"high", 100}},
+    EventWeightOptions options = {}) {
+  auto ticket = TicketRankModel::FromCounts(counts, options.ticket_levels);
+  EXPECT_TRUE(ticket.ok());
+  auto model = EventWeightModel::Build(std::move(ticket).value(), options);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+TEST(EventWeightModelTest, PaperExample3ExactValue) {
+  // Example 3: critical level (3rd of 4) -> l = 0.75; customer level 2 of 4
+  // -> p = 0.5; alpha_1 = alpha_2 = 0.5 -> w = 0.625 (Eq. 3).
+  // "mid_a" ranks 2nd ascending of 4 events -> level 2.
+  EventWeightModel model = MakeModel();
+  auto w = model.WeightFor("mid_a", Severity::kCritical,
+                           StabilityCategory::kPerformance);
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(w.value(), 0.625);
+}
+
+TEST(EventWeightModelTest, UnavailabilityAlwaysWeighsOne) {
+  EventWeightModel model = MakeModel();
+  auto w = model.WeightFor("low", Severity::kInfo,
+                           StabilityCategory::kUnavailability);
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(w.value(), 1.0);
+}
+
+TEST(EventWeightModelTest, AsymmetricAlphas) {
+  // alpha_expert = 0.8, alpha_ticket = 0.2:
+  // w = (0.8 * l + 0.2 * p) / 1.0.
+  EventWeightOptions options;
+  options.alpha_expert = 0.8;
+  options.alpha_ticket = 0.2;
+  EventWeightModel model = MakeModel(
+      {{"low", 1}, {"mid_a", 10}, {"mid_b", 20}, {"high", 100}}, options);
+  auto w = model.WeightFor("high", Severity::kWarning,
+                           StabilityCategory::kControlPlane);
+  ASSERT_TRUE(w.ok());
+  // l = 0.5, p = 1.0 -> 0.8*0.5 + 0.2*1.0 = 0.6.
+  EXPECT_NEAR(w.value(), 0.6, 1e-12);
+}
+
+TEST(EventWeightModelTest, WeightsAreInUnitInterval) {
+  EventWeightModel model = MakeModel();
+  for (const char* name : {"low", "mid_a", "mid_b", "high", "unknown"}) {
+    for (Severity s : {Severity::kInfo, Severity::kWarning,
+                       Severity::kCritical, Severity::kFatal}) {
+      for (StabilityCategory c : {StabilityCategory::kUnavailability,
+                                  StabilityCategory::kPerformance,
+                                  StabilityCategory::kControlPlane}) {
+        auto w = model.WeightFor(name, s, c);
+        ASSERT_TRUE(w.ok());
+        EXPECT_GE(w.value(), 0.0);
+        EXPECT_LE(w.value(), 1.0);
+      }
+    }
+  }
+}
+
+TEST(EventWeightModelTest, WeightIncreasesWithSeverity) {
+  EventWeightModel model = MakeModel();
+  double prev = -1.0;
+  for (Severity s : {Severity::kInfo, Severity::kWarning, Severity::kCritical,
+                     Severity::kFatal}) {
+    const double w =
+        model.WeightFor("mid_a", s, StabilityCategory::kPerformance).value();
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(EventWeightModelTest, OverridesWinForNonUnavailability) {
+  EventWeightModel model = MakeModel();
+  ASSERT_TRUE(model.SetOverride("mid_a", 0.99).ok());
+  EXPECT_DOUBLE_EQ(model
+                       .WeightFor("mid_a", Severity::kInfo,
+                                  StabilityCategory::kPerformance)
+                       .value(),
+                   0.99);
+  // Unavailability stays pinned at 1.
+  EXPECT_DOUBLE_EQ(model
+                       .WeightFor("mid_a", Severity::kInfo,
+                                  StabilityCategory::kUnavailability)
+                       .value(),
+                   1.0);
+  EXPECT_TRUE(model.SetOverride("mid_a", 1.5).IsInvalidArgument());
+}
+
+TEST(EventWeightModelTest, BuildValidation) {
+  auto ticket = TicketRankModel::FromCounts({{"a", 1}}, 4).value();
+  EventWeightOptions bad;
+  bad.alpha_expert = 0.0;
+  EXPECT_TRUE(
+      EventWeightModel::Build(ticket, bad).status().IsInvalidArgument());
+  EventWeightOptions mismatch;
+  mismatch.ticket_levels = 5;  // ticket model was built with 4
+  EXPECT_TRUE(
+      EventWeightModel::Build(ticket, mismatch).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anomaly/evt.h"
+#include "common/rng.h"
+
+namespace cdibot {
+namespace {
+
+TEST(GpdFitTest, ExponentialExcessesGiveNearZeroShape) {
+  Rng rng(5);
+  std::vector<double> excesses;
+  for (int i = 0; i < 5000; ++i) excesses.push_back(rng.Exponential(0.5));
+  auto fit = FitGpdPwm(excesses);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->shape, 0.0, 0.08);
+  EXPECT_NEAR(fit->scale, 2.0, 0.15);  // mean of exp(0.5) is 2
+}
+
+TEST(GpdFitTest, HeavyTailGivesPositiveShape) {
+  Rng rng(6);
+  std::vector<double> excesses;
+  // Pareto(1, 2) - 1 is GPD with shape 0.5, scale 0.5.
+  for (int i = 0; i < 20000; ++i) excesses.push_back(rng.Pareto(1.0, 2.0) - 1.0);
+  auto fit = FitGpdPwm(excesses);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->shape, 0.3);
+}
+
+TEST(GpdFitTest, Validation) {
+  EXPECT_TRUE(FitGpdPwm({1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(FitGpdPwm({1.0, -0.5}).status().IsInvalidArgument());
+}
+
+std::vector<double> GaussianSeries(Rng* rng, int n) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(rng->Normal(0.0, 1.0));
+  return out;
+}
+
+TEST(SpotTest, CalibrationValidation) {
+  Rng rng(7);
+  const auto data = GaussianSeries(&rng, 500);
+  EXPECT_TRUE(SpotDetector::Calibrate(data, 0.0).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SpotDetector::Calibrate(data, 1e-4, 1.5).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SpotDetector::Calibrate({1.0, 2.0}, 1e-4).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SpotDetector::Calibrate(data, 1e-4).ok());
+}
+
+TEST(SpotTest, ThresholdAboveCalibrationQuantile) {
+  Rng rng(8);
+  const auto data = GaussianSeries(&rng, 2000);
+  auto det = SpotDetector::Calibrate(data, 1e-4).value();
+  EXPECT_GT(det.threshold(), det.peaks_threshold());
+  EXPECT_GT(det.threshold(), 2.0);  // far above the 98% quantile of N(0,1)
+}
+
+TEST(SpotTest, FlagsExtremesNotNoise) {
+  Rng rng(9);
+  auto det = SpotDetector::Calibrate(GaussianSeries(&rng, 2000), 1e-5).value();
+  int false_alarms = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (det.Observe(rng.Normal(0.0, 1.0))) ++false_alarms;
+  }
+  EXPECT_LT(false_alarms, 5);
+  EXPECT_TRUE(det.Observe(1000.0));
+}
+
+TEST(SpotTest, AdaptsThresholdWithNewPeaks) {
+  Rng rng(10);
+  auto det = SpotDetector::Calibrate(GaussianSeries(&rng, 2000), 1e-4).value();
+  const size_t initial_peaks = det.num_peaks();
+  // Feed values between t and z_q: they become peaks and refit the tail.
+  const double mid = (det.peaks_threshold() + det.threshold()) / 2.0;
+  for (int i = 0; i < 50; ++i) det.Observe(mid);
+  EXPECT_GT(det.num_peaks(), initial_peaks);
+}
+
+TEST(SpotTest, AnomaliesDoNotPolluteModel) {
+  Rng rng(11);
+  auto det = SpotDetector::Calibrate(GaussianSeries(&rng, 2000), 1e-4).value();
+  const double before = det.threshold();
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(det.Observe(1e6));
+  // Extreme anomalies are excluded from refitting, so z_q cannot explode.
+  EXPECT_DOUBLE_EQ(det.threshold(), before);
+}
+
+}  // namespace
+}  // namespace cdibot

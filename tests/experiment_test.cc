@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "abtest/experiment.h"
+#include "common/rng.h"
+
+namespace cdibot {
+namespace {
+
+std::vector<AbArm> ThreeArms() {
+  return {{"action_a", 0.3}, {"action_b", 0.4}, {"action_c", 0.3}};
+}
+
+VmCdi Cdi(double u, double p, double c) {
+  return VmCdi{.unavailability = u,
+               .performance = p,
+               .control_plane = c,
+               .service_time = Duration::Days(2)};
+}
+
+TEST(AbTestExperimentTest, CreateValidation) {
+  EXPECT_TRUE(AbTestExperiment::Create({{"only", 1.0}}, 1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AbTestExperiment::Create({{"a", 0.5}, {"b", 0.6}}, 1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AbTestExperiment::Create({{"a", 0.5}, {"", 0.5}}, 1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AbTestExperiment::Create(ThreeArms(), 1).ok());
+}
+
+TEST(AbTestExperimentTest, AssignmentFollowsProbabilities) {
+  auto exp = AbTestExperiment::Create(ThreeArms(), 42).value();
+  std::vector<size_t> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[exp.Assign()];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.4, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.3, 0.02);
+}
+
+TEST(AbTestExperimentTest, ObservationBookkeeping) {
+  auto exp = AbTestExperiment::Create(ThreeArms(), 1).value();
+  EXPECT_TRUE(exp.AddObservation(0, Cdi(0.1, 0.2, 0.3)).ok());
+  EXPECT_TRUE(exp.AddObservation(0, Cdi(0.0, 0.1, 0.0)).ok());
+  EXPECT_TRUE(exp.AddObservation(9, Cdi(0, 0, 0)).IsOutOfRange());
+  EXPECT_EQ(exp.ObservationCount(0), 2u);
+  EXPECT_EQ(exp.ObservationCount(1), 0u);
+}
+
+TEST(AbTestExperimentTest, AnalyzeRequiresObservations) {
+  auto exp = AbTestExperiment::Create(ThreeArms(), 1).value();
+  EXPECT_TRUE(exp.Analyze().status().IsFailedPrecondition());
+}
+
+TEST(AbTestExperimentTest, DetectsPerformanceDifferenceOnly) {
+  // Case 8's structure: arms identical on U and C, arm B much better on P.
+  auto exp = AbTestExperiment::Create(ThreeArms(), 17).value();
+  Rng rng(5);
+  for (int i = 0; i < 120; ++i) {
+    const size_t arm = exp.Assign();
+    const double p_mean = arm == 1 ? 0.08 : 0.41;
+    ASSERT_TRUE(exp.AddObservation(
+                       arm, Cdi(std::max(0.0, rng.Normal(0.01, 0.005)),
+                                std::max(0.0, rng.Normal(p_mean, 0.05)),
+                                std::max(0.0, rng.Normal(0.02, 0.01))))
+                    .ok());
+  }
+  auto report = exp.Analyze();
+  ASSERT_TRUE(report.ok());
+  const auto& perf = report->per_metric[static_cast<int>(
+      StabilityCategory::kPerformance)];
+  EXPECT_TRUE(perf.omnibus_significant);
+  const auto& unavail = report->per_metric[static_cast<int>(
+      StabilityCategory::kUnavailability)];
+  EXPECT_FALSE(unavail.omnibus_significant);
+  const auto& control = report->per_metric[static_cast<int>(
+      StabilityCategory::kControlPlane)];
+  EXPECT_FALSE(control.omnibus_significant);
+  // Arm B's mean Performance Indicator is clearly the lowest.
+  EXPECT_LT(report->arm_means[1][1], report->arm_means[0][1] / 2.0);
+  EXPECT_LT(report->arm_means[1][1], report->arm_means[2][1] / 2.0);
+}
+
+TEST(AbTestExperimentTest, ReportRendersTableV) {
+  auto exp = AbTestExperiment::Create(ThreeArms(), 17).value();
+  Rng rng(6);
+  for (int i = 0; i < 60; ++i) {
+    const size_t arm = exp.Assign();
+    ASSERT_TRUE(exp.AddObservation(arm, Cdi(0.0, rng.Uniform(0.0, 1.0), 0.0))
+                    .ok());
+  }
+  auto report = exp.Analyze();
+  ASSERT_TRUE(report.ok());
+  const std::string table = report->ToTableString();
+  EXPECT_NE(table.find("Unavailability"), std::string::npos);
+  EXPECT_NE(table.find("Control-plane"), std::string::npos);
+  EXPECT_NE(table.find("Performance"), std::string::npos);
+  EXPECT_NE(table.find("action_b"), std::string::npos);
+}
+
+TEST(AbTestExperimentTest, CompositeScalarizationFindsDifference) {
+  // Sec. VI-D's weighted-summation alternative: one test instead of three.
+  auto exp = AbTestExperiment::Create(ThreeArms(), 31).value();
+  Rng rng(9);
+  for (int i = 0; i < 150; ++i) {
+    const size_t arm = exp.Assign();
+    const double p_mean = arm == 1 ? 0.08 : 0.40;
+    ASSERT_TRUE(exp.AddObservation(
+                       arm, Cdi(std::max(0.0, rng.Normal(0.01, 0.004)),
+                                std::max(0.0, rng.Normal(p_mean, 0.05)),
+                                std::max(0.0, rng.Normal(0.02, 0.01))))
+                    .ok());
+  }
+  auto composite = exp.AnalyzeComposite(1.0, 1.0, 1.0);
+  ASSERT_TRUE(composite.ok()) << composite.status().ToString();
+  EXPECT_TRUE(composite->omnibus_significant);
+  // Weighting performance to zero hides the only real difference.
+  auto no_perf = exp.AnalyzeComposite(1.0, 0.0, 1.0);
+  ASSERT_TRUE(no_perf.ok());
+  EXPECT_FALSE(no_perf->omnibus_significant);
+}
+
+TEST(AbTestExperimentTest, CompositeValidation) {
+  auto exp = AbTestExperiment::Create(ThreeArms(), 31).value();
+  EXPECT_TRUE(
+      exp.AnalyzeComposite(-1.0, 1.0, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      exp.AnalyzeComposite(0.0, 0.0, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      exp.AnalyzeComposite(1.0, 1.0, 1.0).status().IsFailedPrecondition());
+}
+
+TEST(AbTestExperimentTest, NullActionArmEvaluatesRuleEffectiveness) {
+  // Sec. VI-D: "this methodology can also serve to evaluate the
+  // effectiveness of the operation rules if a null action is included".
+  // Acting (any migration) vs doing nothing: the rule is effective when
+  // the null arm's post-window CDI is significantly worse.
+  auto exp = AbTestExperiment::Create(
+      {{"live_migration", 0.5}, {"null_action", 0.5}}, 53).value();
+  Rng rng(13);
+  for (int i = 0; i < 120; ++i) {
+    const size_t arm = exp.Assign();
+    const double p_mean = arm == 0 ? 0.05 : 0.35;  // untreated VMs suffer
+    ASSERT_TRUE(exp.AddObservation(
+                       arm, Cdi(0.0, std::max(0.0, rng.Normal(p_mean, 0.05)),
+                                0.0))
+                    .ok());
+  }
+  auto report = exp.Analyze();
+  ASSERT_TRUE(report.ok());
+  const auto& perf =
+      report->per_metric[static_cast<int>(StabilityCategory::kPerformance)];
+  EXPECT_TRUE(perf.omnibus_significant);
+  EXPECT_LT(report->arm_means[0][1], report->arm_means[1][1]);
+}
+
+TEST(AbTestExperimentTest, IdenticalArmsNotSignificant) {
+  auto exp =
+      AbTestExperiment::Create({{"a", 0.5}, {"b", 0.5}}, 23).value();
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const size_t arm = exp.Assign();
+    ASSERT_TRUE(exp.AddObservation(
+                       arm, Cdi(0.0, std::max(0.0, rng.Normal(0.2, 0.05)),
+                                0.0))
+                    .ok());
+  }
+  auto report = exp.Analyze();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report
+                   ->per_metric[static_cast<int>(
+                       StabilityCategory::kPerformance)]
+                   .omnibus_significant);
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "rules/expression.h"
+
+namespace cdibot {
+namespace {
+
+bool Eval(const std::string& text, const std::set<std::string>& active) {
+  auto expr = Expression::Parse(text);
+  EXPECT_TRUE(expr.ok()) << text << ": " << expr.status().ToString();
+  return expr->Eval(active);
+}
+
+TEST(ExpressionTest, SingleEvent) {
+  EXPECT_TRUE(Eval("slow_io", {"slow_io"}));
+  EXPECT_FALSE(Eval("slow_io", {"packet_loss"}));
+  EXPECT_FALSE(Eval("slow_io", {}));
+}
+
+// Example 1: nic_error_cause_slow_io matches when both events co-occur;
+// nic_error_cause_vm_hang does not match without vm_hang.
+TEST(ExpressionTest, PaperExample1Rules) {
+  const std::set<std::string> active = {"slow_io", "nic_flapping"};
+  EXPECT_TRUE(Eval("slow_io && nic_flapping", active));
+  EXPECT_FALSE(Eval("nic_flapping && vm_hang", active));
+}
+
+TEST(ExpressionTest, OrAndNot) {
+  EXPECT_TRUE(Eval("a || b", {"b"}));
+  EXPECT_FALSE(Eval("a || b", {"c"}));
+  EXPECT_TRUE(Eval("!a", {}));
+  EXPECT_FALSE(Eval("!a", {"a"}));
+  EXPECT_TRUE(Eval("!!a", {"a"}));
+}
+
+TEST(ExpressionTest, PrecedenceAndBeforeOr) {
+  // a || b && c parses as a || (b && c).
+  EXPECT_TRUE(Eval("a || b && c", {"a"}));
+  EXPECT_FALSE(Eval("a || b && c", {"b"}));
+  EXPECT_TRUE(Eval("a || b && c", {"b", "c"}));
+}
+
+TEST(ExpressionTest, ParenthesesOverridePrecedence) {
+  EXPECT_FALSE(Eval("(a || b) && c", {"a"}));
+  EXPECT_TRUE(Eval("(a || b) && c", {"a", "c"}));
+}
+
+TEST(ExpressionTest, WordOperators) {
+  EXPECT_TRUE(Eval("a and b", {"a", "b"}));
+  EXPECT_TRUE(Eval("a or b", {"b"}));
+  EXPECT_TRUE(Eval("not a", {}));
+  // Words are not stolen from identifiers containing them.
+  EXPECT_TRUE(Eval("android", {"android"}));
+  EXPECT_TRUE(Eval("not_a_keyword", {"not_a_keyword"}));
+}
+
+TEST(ExpressionTest, NotBindsTighterThanAnd) {
+  EXPECT_TRUE(Eval("!a && b", {"b"}));
+  EXPECT_FALSE(Eval("!a && b", {"a", "b"}));
+  EXPECT_FALSE(Eval("!(a && b)", {"a", "b"}));
+}
+
+TEST(ExpressionTest, SyntaxErrors) {
+  EXPECT_FALSE(Expression::Parse("").ok());
+  EXPECT_FALSE(Expression::Parse("a &&").ok());
+  EXPECT_FALSE(Expression::Parse("&& a").ok());
+  EXPECT_FALSE(Expression::Parse("(a").ok());
+  EXPECT_FALSE(Expression::Parse("a)").ok());
+  EXPECT_FALSE(Expression::Parse("a & b").ok());
+  EXPECT_FALSE(Expression::Parse("a | b").ok());
+  EXPECT_FALSE(Expression::Parse("a b").ok());
+  EXPECT_FALSE(Expression::Parse("123").ok());
+}
+
+TEST(ExpressionTest, ReferencedEventsSortedUnique) {
+  auto expr = Expression::Parse("(slow_io && nic_flapping) || !slow_io");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr->ReferencedEvents(),
+            (std::vector<std::string>{"nic_flapping", "slow_io"}));
+}
+
+TEST(ExpressionTest, ToStringIsReparseable) {
+  auto expr = Expression::Parse("a && (b || !c)");
+  ASSERT_TRUE(expr.ok());
+  auto round = Expression::Parse(expr->ToString());
+  ASSERT_TRUE(round.ok());
+  // Same truth table over the referenced events.
+  for (int mask = 0; mask < 8; ++mask) {
+    std::set<std::string> active;
+    if (mask & 1) active.insert("a");
+    if (mask & 2) active.insert("b");
+    if (mask & 4) active.insert("c");
+    EXPECT_EQ(expr->Eval(active), round->Eval(active)) << mask;
+  }
+}
+
+TEST(ExpressionTest, CopySemantics) {
+  auto expr = Expression::Parse("a && b").value();
+  Expression copy = expr;
+  EXPECT_TRUE(copy.Eval({"a", "b"}));
+  EXPECT_FALSE(copy.Eval({"a"}));
+  Expression assigned = Expression::Parse("x").value();
+  assigned = expr;
+  EXPECT_TRUE(assigned.Eval({"a", "b"}));
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "sim/fleet.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+TEST(FleetTest, Validation) {
+  FleetSpec spec;
+  spec.regions = 0;
+  EXPECT_TRUE(Fleet::Build(spec).status().IsInvalidArgument());
+  spec = FleetSpec{};
+  spec.hybrid_fraction = 1.5;
+  EXPECT_TRUE(Fleet::Build(spec).status().IsInvalidArgument());
+}
+
+TEST(FleetTest, SizesMatchSpec) {
+  FleetSpec spec;
+  spec.regions = 2;
+  spec.azs_per_region = 2;
+  spec.clusters_per_az = 2;
+  spec.ncs_per_cluster = 3;
+  spec.vms_per_nc = 4;
+  auto fleet = Fleet::Build(spec);
+  ASSERT_TRUE(fleet.ok());
+  EXPECT_EQ(fleet->topology().num_ncs(), 2u * 2 * 2 * 3);
+  EXPECT_EQ(fleet->num_vms(), 2u * 2 * 2 * 3 * 4);
+}
+
+TEST(FleetTest, DeterministicForSameSeed) {
+  FleetSpec spec;
+  spec.hybrid_fraction = 0.5;
+  auto a = Fleet::Build(spec).value();
+  auto b = Fleet::Build(spec).value();
+  ASSERT_EQ(a.topology().ncs().size(), b.topology().ncs().size());
+  for (size_t i = 0; i < a.topology().ncs().size(); ++i) {
+    EXPECT_EQ(a.topology().ncs()[i].arch, b.topology().ncs()[i].arch);
+    EXPECT_EQ(a.topology().ncs()[i].model, b.topology().ncs()[i].model);
+  }
+}
+
+TEST(FleetTest, HybridFractionZeroAndOne) {
+  FleetSpec spec;
+  spec.hybrid_fraction = 0.0;
+  auto fleet = Fleet::Build(spec).value();
+  for (const NcInfo& nc : fleet.topology().ncs()) {
+    EXPECT_EQ(nc.arch, DeploymentArch::kHomogeneous);
+  }
+  spec.hybrid_fraction = 1.0;
+  fleet = Fleet::Build(spec).value();
+  for (const NcInfo& nc : fleet.topology().ncs()) {
+    EXPECT_EQ(nc.arch, DeploymentArch::kHybrid);
+  }
+}
+
+TEST(FleetTest, HomogeneousNcsHostOneVmType) {
+  FleetSpec spec;
+  spec.hybrid_fraction = 0.0;
+  auto fleet = Fleet::Build(spec).value();
+  for (const NcInfo& nc : fleet.topology().ncs()) {
+    std::set<VmType> types;
+    for (const std::string& vm_id : fleet.topology().VmsOnNc(nc.nc_id)) {
+      types.insert(fleet.topology().FindVm(vm_id)->type);
+    }
+    EXPECT_EQ(types.size(), 1u) << nc.nc_id;
+  }
+}
+
+TEST(FleetTest, HybridNcsMixTypesOnDisjointCores) {
+  FleetSpec spec;
+  spec.hybrid_fraction = 1.0;
+  spec.vms_per_nc = 6;
+  auto fleet = Fleet::Build(spec).value();
+  for (const NcInfo& nc : fleet.topology().ncs()) {
+    std::set<VmType> types;
+    std::vector<std::pair<int, int>> ranges;
+    for (const std::string& vm_id : fleet.topology().VmsOnNc(nc.nc_id)) {
+      const VmInfo vm = fleet.topology().FindVm(vm_id).value();
+      types.insert(vm.type);
+      ranges.emplace_back(vm.core_begin, vm.core_end);
+    }
+    EXPECT_EQ(types.size(), 2u) << nc.nc_id;
+    // Core ranges are pairwise disjoint (Fig. 7c: "different cores").
+    std::sort(ranges.begin(), ranges.end());
+    for (size_t i = 1; i < ranges.size(); ++i) {
+      EXPECT_LE(ranges[i - 1].second, ranges[i].first);
+    }
+  }
+}
+
+TEST(FleetTest, ServiceInfosCoverEveryVm) {
+  auto fleet = Fleet::Build(FleetSpec{}).value();
+  const Interval day(T("2024-01-01 00:00"), T("2024-01-02 00:00"));
+  auto infos = fleet.ServiceInfos(day);
+  ASSERT_TRUE(infos.ok());
+  EXPECT_EQ(infos->size(), fleet.num_vms());
+  for (const VmServiceInfo& info : *infos) {
+    EXPECT_EQ(info.service_period, day);
+    EXPECT_EQ(info.dims.count("region"), 1u);
+    EXPECT_EQ(info.dims.count("arch"), 1u);
+  }
+}
+
+TEST(FleetTest, ServiceInfosWhereFilters) {
+  FleetSpec spec;
+  spec.hybrid_fraction = 0.5;
+  auto fleet = Fleet::Build(spec).value();
+  const Interval day(T("2024-01-01 00:00"), T("2024-01-02 00:00"));
+  auto hybrid = fleet.ServiceInfosWhere(day, "arch", "hybrid").value();
+  auto homogeneous =
+      fleet.ServiceInfosWhere(day, "arch", "homogeneous").value();
+  EXPECT_EQ(hybrid.size() + homogeneous.size(), fleet.num_vms());
+  EXPECT_GT(hybrid.size(), 0u);
+  EXPECT_GT(homogeneous.size(), 0u);
+  for (const VmServiceInfo& info : hybrid) {
+    EXPECT_EQ(info.dims.at("arch"), "hybrid");
+  }
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "cdi/history.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint Day(int d) {
+  return TimePoint::Parse("2023-04-01 00:00").value() + Duration::Days(d);
+}
+
+VmCdi Cdi(double u, double p, double c) {
+  return VmCdi{.unavailability = u,
+               .performance = p,
+               .control_plane = c,
+               .service_time = Duration::Days(1)};
+}
+
+TEST(CdiHistoryTest, AppendRequiresIncreasingDays) {
+  CdiHistory history;
+  ASSERT_TRUE(history.Append(Day(0), Cdi(0.1, 0.2, 0.3)).ok());
+  EXPECT_TRUE(history.Append(Day(0), Cdi(0, 0, 0)).IsInvalidArgument());
+  EXPECT_TRUE(
+      history.Append(Day(0) - Duration::Days(1), Cdi(0, 0, 0))
+          .IsInvalidArgument());
+  ASSERT_TRUE(history.Append(Day(1), Cdi(0, 0, 0)).ok());
+  EXPECT_EQ(history.size(), 2u);
+}
+
+TEST(CdiHistoryTest, AtLooksUpStoredDays) {
+  CdiHistory history;
+  ASSERT_TRUE(history.Append(Day(0), Cdi(0.1, 0.2, 0.3)).ok());
+  auto v = history.At(Day(0));
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->performance, 0.2);
+  EXPECT_TRUE(history.At(Day(5)).status().IsNotFound());
+}
+
+TEST(CdiHistoryTest, Case4ReductionComputation) {
+  // A year where U halves, P drops 80%, C drops 35% — Case 4's numbers.
+  CdiHistory history;
+  const int n = 100;
+  for (int d = 0; d < n; ++d) {
+    const double t = static_cast<double>(d) / (n - 1);
+    ASSERT_TRUE(history
+                    .Append(Day(d), Cdi(0.010 * (1.0 - 0.40 * t),
+                                        0.050 * (1.0 - 0.80 * t),
+                                        0.020 * (1.0 - 0.35 * t)))
+                    .ok());
+  }
+  auto reduction = history.ReductionBetween(1, 1);
+  ASSERT_TRUE(reduction.ok());
+  EXPECT_NEAR(reduction->unavailability, 0.40, 1e-9);
+  EXPECT_NEAR(reduction->performance, 0.80, 1e-9);
+  EXPECT_NEAR(reduction->control_plane, 0.35, 1e-9);
+}
+
+TEST(CdiHistoryTest, WindowedReductionAverages) {
+  CdiHistory history;
+  ASSERT_TRUE(history.Append(Day(0), Cdi(0.2, 0.2, 0.2)).ok());
+  ASSERT_TRUE(history.Append(Day(1), Cdi(0.4, 0.4, 0.4)).ok());
+  ASSERT_TRUE(history.Append(Day(2), Cdi(0.1, 0.1, 0.1)).ok());
+  ASSERT_TRUE(history.Append(Day(3), Cdi(0.2, 0.2, 0.2)).ok());
+  // head mean 0.3, tail mean 0.15 -> reduction 0.5.
+  auto reduction = history.ReductionBetween(2, 2);
+  ASSERT_TRUE(reduction.ok());
+  EXPECT_NEAR(reduction->performance, 0.5, 1e-12);
+}
+
+TEST(CdiHistoryTest, ReductionValidation) {
+  CdiHistory history;
+  ASSERT_TRUE(history.Append(Day(0), Cdi(0.1, 0.1, 0.1)).ok());
+  EXPECT_TRUE(history.ReductionBetween(0, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(history.ReductionBetween(1, 1).status().IsFailedPrecondition());
+  ASSERT_TRUE(history.Append(Day(1), Cdi(0.05, 0.05, 0.05)).ok());
+  EXPECT_TRUE(history.ReductionBetween(1, 1).ok());
+  // Zero head level is undefined.
+  CdiHistory zero;
+  ASSERT_TRUE(zero.Append(Day(0), Cdi(0, 0, 0)).ok());
+  ASSERT_TRUE(zero.Append(Day(1), Cdi(0.1, 0.1, 0.1)).ok());
+  EXPECT_TRUE(zero.ReductionBetween(1, 1).status().IsFailedPrecondition());
+}
+
+TEST(CdiHistoryTest, ExcludedIncidentDaysSkipTrend) {
+  CdiHistory history;
+  ASSERT_TRUE(history.Append(Day(0), Cdi(0.1, 0.10, 0.1)).ok());
+  // Day 1 is a massive incident that would wreck the trend.
+  ASSERT_TRUE(history.Append(Day(1), Cdi(0.9, 0.90, 0.9)).ok());
+  ASSERT_TRUE(history.Append(Day(2), Cdi(0.1, 0.05, 0.1)).ok());
+  EXPECT_TRUE(history.ExcludeDay(Day(9)).IsNotFound());
+  ASSERT_TRUE(history.ExcludeDay(Day(1)).ok());
+
+  auto reduction = history.ReductionBetween(1, 1);
+  ASSERT_TRUE(reduction.ok());
+  // Head = day 0 (0.10), tail = day 2 (0.05): the incident day is invisible.
+  EXPECT_NEAR(reduction->performance, 0.5, 1e-12);
+
+  auto series = history.SmoothedSeries(StabilityCategory::kPerformance, 1.0);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), 2u);  // excluded day dropped
+}
+
+TEST(CdiHistoryTest, SmoothedSeriesUsesEwma) {
+  CdiHistory history;
+  ASSERT_TRUE(history.Append(Day(0), Cdi(0, 1.0, 0)).ok());
+  ASSERT_TRUE(history.Append(Day(1), Cdi(0, 0.0, 0)).ok());
+  auto series = history.SmoothedSeries(StabilityCategory::kPerformance, 0.5);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_DOUBLE_EQ((*series)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*series)[1], 0.5);
+  EXPECT_TRUE(history.SmoothedSeries(StabilityCategory::kPerformance, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cdibot

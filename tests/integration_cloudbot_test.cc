@@ -1,0 +1,101 @@
+// End-to-end test of the CloudBot workflow from Fig. 1 / Example 1:
+// raw telemetry -> Event Extractor -> Rule Engine -> Operation Platform.
+#include <gtest/gtest.h>
+
+#include "extract/log_rules.h"
+#include "extract/metric_rules.h"
+#include "ops/operation_platform.h"
+#include "rules/rule_engine.h"
+#include "telemetry/log_stream.h"
+#include "telemetry/metric_series.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+TEST(CloudBotIntegrationTest, Example1NicWorkflow) {
+  // --- Data Collector: metrics, logs ---------------------------------------
+  Rng rng(12);
+  MetricSpec latency_spec;
+  latency_spec.metric = "read_latency";
+  latency_spec.target = "vm-7";
+  latency_spec.start = T("2024-01-01 12:00");
+  latency_spec.count = 30;
+  latency_spec.base = 10.0;
+  latency_spec.diurnal_amplitude = 0.0;
+  latency_spec.noise_sigma = 0.5;
+  // Latency spikes from minute 16 (12:16) onward: the NIC fault's effect.
+  latency_spec.anomalies = {
+      MetricAnomaly{.begin = 16, .end = 30, .offset = 55.0}};
+  const MetricSeries latency =
+      GenerateMetricSeries(latency_spec, &rng).value();
+
+  std::vector<LogLine> logs =
+      GenerateBenignLogs("vm-7", Interval(T("2024-01-01 12:00"),
+                                          T("2024-01-01 12:30")),
+                         20.0, &rng);
+  AppendNicFlap("vm-7", T("2024-01-01 12:16:28"), &logs);
+
+  // --- Event Extractor ------------------------------------------------------
+  auto metric_extractor = MetricThresholdExtractor::BuiltIn();
+  auto log_extractor = LogRuleExtractor::BuiltIn().value();
+  std::vector<RawEvent> events = metric_extractor.Extract(latency);
+  for (RawEvent& ev : log_extractor.ExtractAll(logs)) {
+    events.push_back(std::move(ev));
+  }
+  // slow_io events (escalated to critical by the +55 offset) and exactly
+  // one nic_flapping event; all benign lines discarded.
+  size_t slow_io = 0, nic_flapping = 0, other = 0;
+  for (const RawEvent& ev : events) {
+    if (ev.name == "slow_io") {
+      ++slow_io;
+      EXPECT_EQ(ev.level, Severity::kCritical);
+    } else if (ev.name == "nic_flapping") {
+      ++nic_flapping;
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_EQ(slow_io, 14u);
+  EXPECT_EQ(nic_flapping, 1u);
+  EXPECT_EQ(other, 0u);
+
+  // --- Rule Engine -----------------------------------------------------------
+  auto engine = RuleEngine::BuiltIn().value();
+  auto matches = engine.MatchEvents(events, "vm-7", T("2024-01-01 12:17"));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].rule_name, "nic_error_cause_slow_io");
+
+  // --- Operation Platform ----------------------------------------------------
+  OperationPlatform platform;
+  auto requests = platform.RequestsFromMatch(matches[0], "nc-3");
+  ASSERT_TRUE(requests.ok());
+  auto records = platform.Submit(std::move(requests).value(),
+                                 {{"vm-7", "nc-3"}});
+  // All three of Example 1's actions execute: live migration of the VM,
+  // repair ticket for the host, NC lock during the repair.
+  ASSERT_EQ(records.size(), 3u);
+  for (const ActionRecord& rec : records) {
+    EXPECT_EQ(rec.outcome, ActionOutcome::kExecuted);
+  }
+  EXPECT_EQ(platform.ExecutedCount(ActionType::kLiveMigration), 1u);
+  EXPECT_EQ(platform.ExecutedCount(ActionType::kRepairRequest), 1u);
+  EXPECT_TRUE(platform.IsLocked("nc-3"));
+}
+
+TEST(CloudBotIntegrationTest, NoVmHangMeansNoSecondRule) {
+  // The paper stresses nic_error_cause_vm_hang must NOT match on
+  // nic_flapping alone.
+  auto engine = RuleEngine::BuiltIn().value();
+  RawEvent flap;
+  flap.name = "nic_flapping";
+  flap.time = T("2024-01-01 12:16:28");
+  flap.target = "vm-7";
+  flap.expire_interval = Duration::Hours(1);
+  auto matches = engine.MatchEvents({flap}, "vm-7", T("2024-01-01 12:17"));
+  EXPECT_TRUE(matches.empty());
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "anomaly/ksigma.h"
+#include "common/rng.h"
+
+namespace cdibot {
+namespace {
+
+TEST(KSigmaTest, ValidatesParameters) {
+  EXPECT_TRUE(KSigmaDetector::Create(2, 3.0).status().IsInvalidArgument());
+  EXPECT_TRUE(KSigmaDetector::Create(10, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(KSigmaDetector::Create(3, 3.0).ok());
+}
+
+TEST(KSigmaTest, CalibrationPeriodIsSilent) {
+  auto det = KSigmaDetector::Create(5, 3.0).value();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(det.Observe(1000.0 * i), AnomalyDirection::kNone);
+  }
+}
+
+TEST(KSigmaTest, DetectsSpike) {
+  // k = 5 keeps ordinary noise quiet (a trailing-window sigma estimate on
+  // 10 points lets the odd 3-sigma noise point fire), while a z = 80 spike
+  // must alert.
+  auto det = KSigmaDetector::Create(10, 5.0).value();
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(det.Observe(rng.Normal(10.0, 0.5)), AnomalyDirection::kNone);
+  }
+  EXPECT_EQ(det.Observe(50.0), AnomalyDirection::kSpike);
+}
+
+TEST(KSigmaTest, DetectsDip) {
+  auto det = KSigmaDetector::Create(10, 3.0).value();
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) det.Observe(rng.Normal(10.0, 0.5));
+  // Case 7: power collection failing to zero must be flagged as a dip.
+  EXPECT_EQ(det.Observe(0.0), AnomalyDirection::kDip);
+}
+
+TEST(KSigmaTest, ToleratesNormalNoise) {
+  auto det = KSigmaDetector::Create(20, 4.0).value();
+  Rng rng(3);
+  int anomalies = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (det.Observe(rng.Normal(5.0, 1.0)) != AnomalyDirection::kNone) {
+      ++anomalies;
+    }
+  }
+  // 4-sigma on normal data: a handful at most.
+  EXPECT_LT(anomalies, 10);
+}
+
+TEST(KSigmaTest, FlatWindowFlagsAnyDeparture) {
+  auto det = KSigmaDetector::Create(5, 3.0).value();
+  for (int i = 0; i < 10; ++i) det.Observe(7.0);
+  EXPECT_EQ(det.Observe(7.1), AnomalyDirection::kSpike);
+  EXPECT_EQ(det.Observe(7.0), AnomalyDirection::kNone);
+}
+
+TEST(KSigmaScanTest, BatchMatchesStreaming) {
+  Rng rng(4);
+  std::vector<double> series;
+  for (int i = 0; i < 200; ++i) series.push_back(rng.Normal(0.0, 1.0));
+  series[150] = 25.0;
+  auto scan = KSigmaScan(series, 20, 3.0);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ((*scan)[150], AnomalyDirection::kSpike);
+
+  auto det = KSigmaDetector::Create(20, 3.0).value();
+  for (size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(det.Observe(series[i]), (*scan)[i]) << i;
+  }
+}
+
+TEST(KSigmaTest, LevelShiftBecomesNewNormal) {
+  auto det = KSigmaDetector::Create(5, 3.0).value();
+  for (int i = 0; i < 10; ++i) det.Observe(1.0);
+  EXPECT_EQ(det.Observe(100.0), AnomalyDirection::kSpike);
+  // After the window fills with the new level, it stops alerting.
+  for (int i = 0; i < 6; ++i) det.Observe(100.0);
+  EXPECT_EQ(det.Observe(100.0), AnomalyDirection::kNone);
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "extract/log_rules.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+TEST(LogRulesTest, CreateValidation) {
+  EXPECT_TRUE(LogRuleExtractor::Create({LogRule{.event_name = "",
+                                                .pattern = "x"}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(LogRuleExtractor::Create({LogRule{.event_name = "bad",
+                                                .pattern = "("}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// Fig. 1: "eth0 NIC Link is Down" becomes nic_flapping; the Up line and
+// unrelated noise are discarded.
+TEST(LogRulesTest, PaperExample1NicFlapping) {
+  auto extractor = LogRuleExtractor::BuiltIn().value();
+  const LogLine down{.time = T("2024-01-01 12:16:28"),
+                     .target = "nc-3",
+                     .text = "kernel: eth0 NIC Link is Down"};
+  auto ev = extractor.Extract(down);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->name, "nic_flapping");
+  EXPECT_EQ(ev->target, "nc-3");
+  EXPECT_EQ(ev->level, Severity::kCritical);
+  EXPECT_EQ(ev->time, T("2024-01-01 12:16:28"));
+
+  EXPECT_FALSE(extractor
+                   .Extract({.time = T("2024-01-01 12:16:35"),
+                             .target = "nc-3",
+                             .text = "kernel: eth0 NIC Link is Up 25Gbps"})
+                   .has_value());
+  EXPECT_FALSE(extractor
+                   .Extract({.time = T("2024-01-01 12:16:40"),
+                             .target = "nc-3",
+                             .text = "systemd: session opened"})
+                   .has_value());
+}
+
+TEST(LogRulesTest, QemuDurationCapture) {
+  auto extractor = LogRuleExtractor::BuiltIn().value();
+  auto ev = extractor.Extract(
+      {.time = T("2024-01-01 03:00"),
+       .target = "vm-9",
+       .text = "qemu: live upgrade complete, pause=1234ms"});
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->name, "qemu_live_upgrade");
+  EXPECT_EQ(ev->LoggedDuration()->millis(), 1234);
+}
+
+TEST(LogRulesTest, FirstMatchingRuleWins) {
+  auto extractor =
+      LogRuleExtractor::Create(
+          {LogRule{.event_name = "first", .pattern = "error"},
+           LogRule{.event_name = "second", .pattern = "disk error"}})
+          .value();
+  auto ev = extractor.Extract(
+      {.time = T("2024-01-01 00:00"), .target = "x", .text = "disk error"});
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->name, "first");
+}
+
+TEST(LogRulesTest, ExtractAllKeepsOnlyMatches) {
+  auto extractor = LogRuleExtractor::BuiltIn().value();
+  std::vector<LogLine> lines = {
+      {.time = T("2024-01-01 00:01"), .target = "a", .text = "noise"},
+      {.time = T("2024-01-01 00:02"), .target = "a",
+       .text = "watchdog: guest unresponsive"},
+      {.time = T("2024-01-01 00:03"), .target = "a", .text = "more noise"},
+      {.time = T("2024-01-01 00:04"), .target = "a",
+       .text = "GPU has fallen off the bus"},
+  };
+  auto events = extractor.ExtractAll(lines);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "vm_hang");
+  EXPECT_EQ(events[1].name, "gpu_drop");
+}
+
+TEST(LogRulesTest, BuiltInRuleCount) {
+  auto extractor = LogRuleExtractor::BuiltIn().value();
+  EXPECT_EQ(extractor.num_rules(), 5u);
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "extract/log_rules.h"
+#include "telemetry/log_stream.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+TEST(LogStreamTest, BenignVolumeMatchesRate) {
+  Rng rng(1);
+  const Interval window(T("2024-01-01 00:00"), T("2024-01-02 00:00"));
+  auto lines = GenerateBenignLogs("nc-1", window, 10.0, &rng);
+  // Poisson(240): within a loose band.
+  EXPECT_GT(lines.size(), 150u);
+  EXPECT_LT(lines.size(), 350u);
+  for (const LogLine& line : lines) {
+    EXPECT_TRUE(window.Contains(line.time));
+    EXPECT_EQ(line.target, "nc-1");
+  }
+}
+
+TEST(LogStreamTest, BenignLogsAreTimeSorted) {
+  Rng rng(2);
+  const Interval window(T("2024-01-01 00:00"), T("2024-01-01 06:00"));
+  auto lines = GenerateBenignLogs("nc-1", window, 50.0, &rng);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_LE(lines[i - 1].time, lines[i].time);
+  }
+}
+
+TEST(LogStreamTest, EmptyWindowOrZeroRate) {
+  Rng rng(3);
+  const Interval empty(T("2024-01-01 00:00"), T("2024-01-01 00:00"));
+  EXPECT_TRUE(GenerateBenignLogs("nc-1", empty, 10.0, &rng).empty());
+  const Interval window(T("2024-01-01 00:00"), T("2024-01-02 00:00"));
+  EXPECT_TRUE(GenerateBenignLogs("nc-1", window, 0.0, &rng).empty());
+}
+
+TEST(LogStreamTest, BenignLinesMatchNoExpertRule) {
+  // The extractor must discard all benign noise (Fig. 1 discards 2 of 3
+  // entries; here all are non-events).
+  Rng rng(4);
+  const Interval window(T("2024-01-01 00:00"), T("2024-01-02 00:00"));
+  auto lines = GenerateBenignLogs("nc-1", window, 30.0, &rng);
+  auto extractor = LogRuleExtractor::BuiltIn().value();
+  EXPECT_TRUE(extractor.ExtractAll(lines).empty());
+}
+
+TEST(LogStreamTest, NicFlapProducesDownAndUpLines) {
+  std::vector<LogLine> lines;
+  AppendNicFlap("nc-7", T("2024-01-01 12:16:28"), &lines);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].text.find("NIC Link is Down"), std::string::npos);
+  EXPECT_NE(lines[1].text.find("NIC Link is Up"), std::string::npos);
+  EXPECT_LT(lines[0].time, lines[1].time);
+}
+
+TEST(LogStreamTest, QemuUpgradeCarriesDuration) {
+  std::vector<LogLine> lines;
+  AppendQemuLiveUpgrade("nc-7", T("2024-01-01 03:00"), 850, &lines);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].text.find("pause=850ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdibot

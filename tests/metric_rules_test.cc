@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "extract/metric_rules.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+MetricSeries Latency(std::vector<double> values) {
+  MetricSeries series;
+  series.metric = "read_latency";
+  series.target = "vm-1";
+  TimePoint t = T("2024-01-01 12:00");
+  for (double v : values) {
+    series.points.push_back({t, v});
+    t += Duration::Minutes(1);
+  }
+  return series;
+}
+
+TEST(MetricRulesTest, ThresholdViolationsEmitEvents) {
+  auto extractor = MetricThresholdExtractor::BuiltIn();
+  // slow_io threshold is 20: 3 of 5 samples violate.
+  auto events = extractor.Extract(Latency({5.0, 25.0, 30.0, 10.0, 21.0}));
+  ASSERT_EQ(events.size(), 3u);
+  for (const RawEvent& ev : events) {
+    EXPECT_EQ(ev.name, "slow_io");
+    EXPECT_EQ(ev.target, "vm-1");
+    EXPECT_EQ(ev.level, Severity::kWarning);
+  }
+}
+
+TEST(MetricRulesTest, EscalationUpgradesSeverity) {
+  auto extractor = MetricThresholdExtractor::BuiltIn();
+  // 60 exceeds the 50 escalation threshold -> critical.
+  auto events = extractor.Extract(Latency({60.0, 30.0}));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].level, Severity::kCritical);
+  EXPECT_EQ(events[1].level, Severity::kWarning);
+}
+
+TEST(MetricRulesTest, NonMatchingMetricIgnored) {
+  auto extractor = MetricThresholdExtractor::BuiltIn();
+  MetricSeries other;
+  other.metric = "unrelated_metric";
+  other.target = "vm-1";
+  other.points = {{T("2024-01-01 12:00"), 1e9}};
+  EXPECT_TRUE(extractor.Extract(other).empty());
+}
+
+TEST(MetricRulesTest, BelowDirectionRule) {
+  MetricThresholdExtractor extractor(
+      {MetricThresholdRule{.metric = "free_memory",
+                           .event_name = "low_memory",
+                           .direction = ThresholdDirection::kBelow,
+                           .threshold = 1.0,
+                           .level = Severity::kCritical}});
+  MetricSeries series;
+  series.metric = "free_memory";
+  series.target = "nc-1";
+  series.points = {{T("2024-01-01 00:00"), 0.5},
+                   {T("2024-01-01 00:01"), 2.0}};
+  auto events = extractor.Extract(series);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "low_memory");
+}
+
+TEST(MetricRulesTest, ExactThresholdDoesNotFire) {
+  auto extractor = MetricThresholdExtractor::BuiltIn();
+  EXPECT_TRUE(extractor.Extract(Latency({20.0})).empty());
+}
+
+TEST(MetricRulesTest, TdpRuleFromCase7) {
+  auto extractor = MetricThresholdExtractor::BuiltIn();
+  MetricSeries power;
+  power.metric = "cpu_power_tdp_ratio";
+  power.target = "nc-1";
+  power.points = {{T("2024-01-01 00:00"), 0.99},
+                  {T("2024-01-01 00:05"), 0.5},
+                  {T("2024-01-01 00:10"), 0.0}};  // broken collector: silent
+  auto events = extractor.Extract(power);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "inspect_cpu_power_tdp");
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "telemetry/metric_series.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+TEST(MetricSeriesTest, Validation) {
+  Rng rng(1);
+  MetricSpec spec;
+  spec.count = 0;
+  EXPECT_TRUE(GenerateMetricSeries(spec, &rng).status().IsInvalidArgument());
+  spec.count = 10;
+  spec.interval = Duration::Zero();
+  EXPECT_TRUE(GenerateMetricSeries(spec, &rng).status().IsInvalidArgument());
+  spec.interval = Duration::Minutes(1);
+  spec.noise_sigma = -1.0;
+  EXPECT_TRUE(GenerateMetricSeries(spec, &rng).status().IsInvalidArgument());
+}
+
+TEST(MetricSeriesTest, ShapeAndTimestamps) {
+  Rng rng(2);
+  MetricSpec spec;
+  spec.metric = "read_latency";
+  spec.target = "vm-1";
+  spec.start = T("2024-01-01 00:00");
+  spec.count = 100;
+  auto series = GenerateMetricSeries(spec, &rng);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->metric, "read_latency");
+  EXPECT_EQ(series->points.size(), 100u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(series->points[i].time,
+              spec.start + Duration::Minutes(static_cast<int64_t>(i)));
+    EXPECT_GE(series->points[i].value, 0.0);
+  }
+}
+
+TEST(MetricSeriesTest, MeanNearBase) {
+  Rng rng(3);
+  MetricSpec spec;
+  spec.start = T("2024-01-01 00:00");
+  spec.count = 1440;  // one full day cancels the diurnal term
+  spec.base = 10.0;
+  spec.diurnal_amplitude = 2.0;
+  spec.noise_sigma = 0.5;
+  auto series = GenerateMetricSeries(spec, &rng);
+  ASSERT_TRUE(series.ok());
+  double sum = 0.0;
+  for (const auto& pt : series->points) sum += pt.value;
+  EXPECT_NEAR(sum / 1440.0, 10.0, 0.2);
+}
+
+TEST(MetricSeriesTest, DiurnalPatternPresent) {
+  Rng rng(4);
+  MetricSpec spec;
+  spec.start = T("2024-01-01 00:00");
+  spec.count = 1440;
+  spec.base = 10.0;
+  spec.diurnal_amplitude = 5.0;
+  spec.noise_sigma = 0.0;
+  auto series = GenerateMetricSeries(spec, &rng);
+  ASSERT_TRUE(series.ok());
+  // Midnight trough (phase -pi/2 at t=0) vs midday peak.
+  EXPECT_LT(series->points[0].value, series->points[720].value);
+  EXPECT_NEAR(series->points[0].value, 5.0, 0.1);
+  EXPECT_NEAR(series->points[720].value, 15.0, 0.1);
+}
+
+TEST(MetricSeriesTest, AnomalyInjection) {
+  Rng rng(5);
+  MetricSpec spec;
+  spec.start = T("2024-01-01 00:00");
+  spec.count = 100;
+  spec.base = 10.0;
+  spec.diurnal_amplitude = 0.0;
+  spec.noise_sigma = 0.0;
+  spec.anomalies = {MetricAnomaly{.begin = 50, .end = 60, .offset = 40.0}};
+  auto series = GenerateMetricSeries(spec, &rng);
+  ASSERT_TRUE(series.ok());
+  EXPECT_NEAR(series->points[49].value, 10.0, 1e-9);
+  EXPECT_NEAR(series->points[50].value, 50.0, 1e-9);
+  EXPECT_NEAR(series->points[59].value, 50.0, 1e-9);
+  EXPECT_NEAR(series->points[60].value, 10.0, 1e-9);
+}
+
+TEST(MetricSeriesTest, MultiplicativeAnomalyAndClamping) {
+  Rng rng(6);
+  MetricSpec spec;
+  spec.start = T("2024-01-01 00:00");
+  spec.count = 10;
+  spec.base = 10.0;
+  spec.diurnal_amplitude = 0.0;
+  spec.noise_sigma = 0.0;
+  spec.anomalies = {
+      MetricAnomaly{.begin = 0, .end = 5, .offset = 0.0, .factor = 0.0}};
+  auto series = GenerateMetricSeries(spec, &rng);
+  ASSERT_TRUE(series.ok());
+  // Case 7's zeroed collector: factor 0 forces exact zeros.
+  EXPECT_DOUBLE_EQ(series->points[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(series->points[4].value, 0.0);
+  EXPECT_NEAR(series->points[5].value, 10.0, 1e-9);
+}
+
+TEST(MetricSeriesTest, DeterministicForSameSeed) {
+  MetricSpec spec;
+  spec.start = T("2024-01-01 00:00");
+  spec.count = 50;
+  Rng a(7), b(7);
+  auto s1 = GenerateMetricSeries(spec, &a);
+  auto s2 = GenerateMetricSeries(spec, &b);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(s1->points[i].value, s2->points[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "rules/mining.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+// Classic FP-Growth example transactions.
+std::vector<EventTransaction> Classic() {
+  return {
+      {"a", "b"},
+      {"b", "c", "d"},
+      {"a", "c", "d", "e"},
+      {"a", "d", "e"},
+      {"a", "b", "c"},
+      {"a", "b", "c", "d"},
+      {"a"},
+      {"a", "b", "c"},
+      {"a", "b", "d"},
+      {"b", "c", "e"},
+  };
+}
+
+size_t SupportOf(const std::vector<FrequentItemset>& itemsets,
+                 std::vector<std::string> items) {
+  std::sort(items.begin(), items.end());
+  for (const FrequentItemset& fi : itemsets) {
+    if (fi.items == items) return fi.support;
+  }
+  return 0;
+}
+
+TEST(MiningTest, Validation) {
+  MiningOptions bad;
+  bad.min_support = 0;
+  EXPECT_TRUE(MineFrequentItemsets({}, bad).status().IsInvalidArgument());
+  bad = MiningOptions{};
+  bad.max_itemset_size = 0;
+  EXPECT_TRUE(MineFrequentItemsets({}, bad).status().IsInvalidArgument());
+}
+
+TEST(MiningTest, SingletonSupportsAreExactCounts) {
+  MiningOptions options;
+  options.min_support = 1;
+  auto itemsets = MineFrequentItemsets(Classic(), options);
+  ASSERT_TRUE(itemsets.ok());
+  EXPECT_EQ(SupportOf(*itemsets, {"a"}), 8u);
+  EXPECT_EQ(SupportOf(*itemsets, {"b"}), 7u);
+  EXPECT_EQ(SupportOf(*itemsets, {"c"}), 6u);
+  EXPECT_EQ(SupportOf(*itemsets, {"d"}), 5u);
+  EXPECT_EQ(SupportOf(*itemsets, {"e"}), 3u);
+}
+
+TEST(MiningTest, PairSupportsMatchBruteForce) {
+  const auto txns = Classic();
+  MiningOptions options;
+  options.min_support = 1;
+  auto itemsets = MineFrequentItemsets(txns, options);
+  ASSERT_TRUE(itemsets.ok());
+  const std::string names[] = {"a", "b", "c", "d", "e"};
+  for (const std::string& x : names) {
+    for (const std::string& y : names) {
+      if (x >= y) continue;
+      size_t expected = 0;
+      for (const EventTransaction& txn : txns) {
+        if (txn.count(x) > 0 && txn.count(y) > 0) ++expected;
+      }
+      if (expected == 0) continue;
+      EXPECT_EQ(SupportOf(*itemsets, {x, y}), expected) << x << "," << y;
+    }
+  }
+}
+
+TEST(MiningTest, TripleSupportMatchesBruteForce) {
+  const auto txns = Classic();
+  MiningOptions options;
+  options.min_support = 1;
+  auto itemsets = MineFrequentItemsets(txns, options);
+  ASSERT_TRUE(itemsets.ok());
+  size_t abc = 0;
+  for (const EventTransaction& txn : txns) {
+    if (txn.count("a") && txn.count("b") && txn.count("c")) ++abc;
+  }
+  EXPECT_EQ(SupportOf(*itemsets, {"a", "b", "c"}), abc);
+}
+
+TEST(MiningTest, MinSupportPrunes) {
+  MiningOptions options;
+  options.min_support = 4;
+  auto itemsets = MineFrequentItemsets(Classic(), options);
+  ASSERT_TRUE(itemsets.ok());
+  for (const FrequentItemset& fi : *itemsets) {
+    EXPECT_GE(fi.support, 4u);
+  }
+  // e appears 3 times: must be pruned.
+  EXPECT_EQ(SupportOf(*itemsets, {"e"}), 0u);
+}
+
+TEST(MiningTest, MaxItemsetSizeLimits) {
+  MiningOptions options;
+  options.min_support = 1;
+  options.max_itemset_size = 2;
+  auto itemsets = MineFrequentItemsets(Classic(), options);
+  ASSERT_TRUE(itemsets.ok());
+  for (const FrequentItemset& fi : *itemsets) {
+    EXPECT_LE(fi.items.size(), 2u);
+  }
+}
+
+TEST(MiningTest, EmptyTransactions) {
+  auto itemsets = MineFrequentItemsets({}, {});
+  ASSERT_TRUE(itemsets.ok());
+  EXPECT_TRUE(itemsets->empty());
+}
+
+TEST(MiningTest, RulesHaveCorrectConfidenceAndLift) {
+  // nic_flapping strongly implies slow_io; vm_hang is independent noise.
+  std::vector<EventTransaction> txns;
+  for (int i = 0; i < 8; ++i) txns.push_back({"nic_flapping", "slow_io"});
+  txns.push_back({"nic_flapping"});
+  txns.push_back({"nic_flapping"});
+  for (int i = 0; i < 10; ++i) txns.push_back({"slow_io"});
+  for (int i = 0; i < 20; ++i) txns.push_back({"vm_hang"});
+
+  MiningOptions options;
+  options.min_support = 2;
+  options.min_confidence = 0.5;
+  options.min_lift = 1.0;
+  auto rules = MineAssociationRules(txns, options);
+  ASSERT_TRUE(rules.ok());
+  bool found = false;
+  for (const AssociationRule& rule : *rules) {
+    if (rule.antecedent == std::vector<std::string>{"nic_flapping"} &&
+        rule.consequent == "slow_io") {
+      found = true;
+      EXPECT_EQ(rule.support, 8u);
+      EXPECT_DOUBLE_EQ(rule.confidence, 0.8);
+      // P(slow_io) = 18/40 -> lift = 0.8 / 0.45.
+      EXPECT_NEAR(rule.lift, 0.8 / 0.45, 1e-12);
+      EXPECT_EQ(rule.ToExpression(), "nic_flapping");
+    }
+    // No rule should involve the independent vm_hang with lift >= 1 beyond
+    // its own singleton (singletons never form rules).
+    for (const std::string& a : rule.antecedent) {
+      EXPECT_NE(a, "vm_hang");
+    }
+    EXPECT_NE(rule.consequent, "vm_hang");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MiningTest, RuleDiscoveryFindsExample1Pattern) {
+  // Co-occurrence streams where nic_flapping + slow_io recur together:
+  // mining proposes exactly the antecedent of nic_error_cause_slow_io.
+  std::vector<EventTransaction> txns;
+  for (int i = 0; i < 15; ++i) {
+    txns.push_back({"nic_flapping", "slow_io", "net_cable_repaired"});
+  }
+  for (int i = 0; i < 30; ++i) txns.push_back({"slow_io"});
+  for (int i = 0; i < 30; ++i) txns.push_back({"vcpu_high"});
+  MiningOptions options;
+  options.min_support = 10;
+  options.min_confidence = 0.9;
+  options.min_lift = 1.5;
+  auto rules = MineAssociationRules(txns, options);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_FALSE(rules->empty());
+  // The top rule by lift links the NIC events.
+  const AssociationRule& top = rules->front();
+  EXPECT_GE(top.lift, 1.5);
+  EXPECT_GE(top.confidence, 0.9);
+}
+
+TEST(TransactionsFromEventsTest, GroupsByTargetAndWindow) {
+  auto mk = [](const char* name, const char* time, const char* target) {
+    RawEvent ev;
+    ev.name = name;
+    ev.time = T(time);
+    ev.target = target;
+    return ev;
+  };
+  const auto txns = TransactionsFromEvents(
+      {
+          mk("a", "2024-01-01 10:01", "vm-1"),
+          mk("b", "2024-01-01 10:05", "vm-1"),  // same 10-min window
+          mk("a", "2024-01-01 10:15", "vm-1"),  // next window
+          mk("a", "2024-01-01 10:02", "vm-2"),  // other target
+          mk("a", "2024-01-01 10:03", "vm-2"),  // duplicate name, same txn
+      },
+      Duration::Minutes(10));
+  ASSERT_EQ(txns.size(), 3u);
+  size_t pair_txns = 0, single_txns = 0;
+  for (const EventTransaction& txn : txns) {
+    if (txn.size() == 2) ++pair_txns;
+    if (txn.size() == 1) ++single_txns;
+  }
+  EXPECT_EQ(pair_txns, 1u);
+  EXPECT_EQ(single_txns, 2u);
+}
+
+}  // namespace
+}  // namespace cdibot

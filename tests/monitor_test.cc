@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "cdi/monitor.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint Day(int d) {
+  return TimePoint::Parse("2024-01-01 00:00").value() + Duration::Days(d);
+}
+
+// A DailyCdiResult with one event's damage spread over the given clusters.
+DailyCdiResult MakeResult(
+    const std::string& event, double total_damage_minutes,
+    const std::map<std::string, double>& cluster_share) {
+  DailyCdiResult result;
+  result.fleet_service_time = Duration::Days(100);  // 100 VM-days
+  int i = 0;
+  for (const auto& [cluster, share] : cluster_share) {
+    result.per_event.push_back(EventCdiRecord{
+        .vm_id = "vm-" + std::to_string(i++),
+        .event_name = event,
+        .category = StabilityCategory::kPerformance,
+        .damage_minutes = total_damage_minutes * share,
+        .service_time = Duration::Days(1),
+        .dims = {{"cluster", cluster}}});
+  }
+  return result;
+}
+
+TEST(CdiMonitorTest, Validation) {
+  CdiMonitor::Options bad;
+  bad.window = 2;
+  EXPECT_TRUE(CdiMonitor::Create(bad).status().IsInvalidArgument());
+  bad = CdiMonitor::Options{};
+  bad.k = 0.0;
+  EXPECT_TRUE(CdiMonitor::Create(bad).status().IsInvalidArgument());
+  EXPECT_TRUE(CdiMonitor::Create().ok());
+}
+
+TEST(CdiMonitorTest, SteadyCurveStaysQuiet) {
+  auto monitor = CdiMonitor::Create().value();
+  for (int d = 0; d < 20; ++d) {
+    auto problems = monitor.IngestDay(
+        Day(d), MakeResult("slow_io", 100.0, {{"c0", 1.0}}));
+    ASSERT_TRUE(problems.ok());
+    EXPECT_TRUE(problems->empty()) << "day " << d;
+  }
+  EXPECT_EQ(monitor.days_ingested(), 20u);
+  EXPECT_EQ(monitor.SeriesFor("slow_io").size(), 20u);
+}
+
+TEST(CdiMonitorTest, SpikeDetectedAndLocalized) {
+  auto monitor = CdiMonitor::Create().value();
+  for (int d = 0; d < 10; ++d) {
+    (void)monitor.IngestDay(
+        Day(d), MakeResult("vm_allocation_failed", 50.0,
+                           {{"c0", 0.5}, {"c1", 0.5}}));
+  }
+  // Day 10: 10x damage, all of the increase in cluster c1 (Case 6's
+  // corrupted scheduling data in one cluster).
+  auto problems = monitor.IngestDay(
+      Day(10), MakeResult("vm_allocation_failed", 500.0,
+                          {{"c0", 0.05}, {"c1", 0.95}}));
+  ASSERT_TRUE(problems.ok());
+  ASSERT_EQ(problems->size(), 1u);
+  const PotentialProblem& p = problems->front();
+  EXPECT_EQ(p.event_name, "vm_allocation_failed");
+  EXPECT_EQ(p.direction, AnomalyDirection::kSpike);
+  EXPECT_GT(p.value, p.baseline * 5.0);
+  ASSERT_FALSE(p.root_causes.empty());
+  EXPECT_EQ(p.root_causes.front().dimension, "cluster");
+  EXPECT_EQ(p.root_causes.front().value, "c1");
+}
+
+TEST(CdiMonitorTest, DipDetected) {
+  // Case 7: the TDP curve collapses when the collector breaks.
+  auto monitor = CdiMonitor::Create().value();
+  for (int d = 0; d < 10; ++d) {
+    (void)monitor.IngestDay(
+        Day(d), MakeResult("inspect_cpu_power_tdp", 200.0, {{"c0", 1.0}}));
+  }
+  auto problems = monitor.IngestDay(
+      Day(10), MakeResult("inspect_cpu_power_tdp", 0.0, {}));
+  ASSERT_TRUE(problems.ok());
+  ASSERT_EQ(problems->size(), 1u);
+  EXPECT_EQ(problems->front().direction, AnomalyDirection::kDip);
+  EXPECT_DOUBLE_EQ(problems->front().value, 0.0);
+}
+
+TEST(CdiMonitorTest, NewEventBackfillsZeros) {
+  auto monitor = CdiMonitor::Create().value();
+  for (int d = 0; d < 10; ++d) {
+    (void)monitor.IngestDay(Day(d),
+                            MakeResult("slow_io", 100.0, {{"c0", 1.0}}));
+  }
+  // A brand-new event appearing with large damage: its curve baseline is
+  // the backfilled zeros, so the first appearance is itself a spike.
+  auto problems = monitor.IngestDay(
+      Day(10), MakeResult("gpu_drop", 300.0, {{"c0", 1.0}}));
+  ASSERT_TRUE(problems.ok());
+  bool flagged = false;
+  for (const PotentialProblem& p : *problems) {
+    if (p.event_name == "gpu_drop") {
+      flagged = p.direction == AnomalyDirection::kSpike;
+    }
+  }
+  EXPECT_TRUE(flagged);
+  EXPECT_EQ(monitor.SeriesFor("gpu_drop").size(), 11u);
+  EXPECT_DOUBLE_EQ(monitor.SeriesFor("gpu_drop")[0], 0.0);
+}
+
+TEST(CdiMonitorTest, UnknownSeriesIsEmpty) {
+  auto monitor = CdiMonitor::Create().value();
+  EXPECT_TRUE(monitor.SeriesFor("never_seen").empty());
+}
+
+}  // namespace
+}  // namespace cdibot

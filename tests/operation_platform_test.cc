@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "ops/operation_platform.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+ActionRequest Req(ActionType type, const std::string& target,
+                  int priority = 0) {
+  return ActionRequest{.type = type,
+                       .target = target,
+                       .source_rule = "test",
+                       .priority = priority,
+                       .submitted_at = T("2024-01-01 12:00")};
+}
+
+size_t CountOutcome(const std::vector<ActionRecord>& records,
+                    ActionOutcome outcome) {
+  size_t n = 0;
+  for (const auto& r : records) {
+    if (r.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+TEST(OperationPlatformTest, RequestsFromMatchRoutesTargets) {
+  OperationPlatform platform;
+  RuleMatch match{.rule_name = "nic_error_cause_slow_io",
+                  .target = "vm-1",
+                  .time = T("2024-01-01 12:18"),
+                  .actions = {{"live_migration", 10},
+                              {"repair_request", 5},
+                              {"nc_lock", 8}}};
+  auto reqs = platform.RequestsFromMatch(match, "nc-3");
+  ASSERT_TRUE(reqs.ok());
+  ASSERT_EQ(reqs->size(), 3u);
+  EXPECT_EQ((*reqs)[0].target, "vm-1");  // VM operation targets the VM
+  EXPECT_EQ((*reqs)[1].target, "nc-3");  // hardware repair targets the host
+  EXPECT_EQ((*reqs)[2].target, "nc-3");  // lock targets the host
+}
+
+TEST(OperationPlatformTest, RequestsFromMatchRejectsUnknownAction) {
+  OperationPlatform platform;
+  RuleMatch match{.rule_name = "r",
+                  .target = "vm-1",
+                  .time = T("2024-01-01 12:00"),
+                  .actions = {{"teleport", 1}}};
+  EXPECT_TRUE(platform.RequestsFromMatch(match, "nc-1").status().IsNotFound());
+}
+
+TEST(OperationPlatformTest, Example1FullFlowLocksNc) {
+  OperationPlatform platform;
+  std::vector<ActionRequest> reqs = {
+      Req(ActionType::kLiveMigration, "vm-1", 10),
+      Req(ActionType::kRepairRequest, "nc-3", 5),
+      Req(ActionType::kNcLock, "nc-3", 8),
+  };
+  auto records = platform.Submit(std::move(reqs), {{"vm-1", "nc-3"}});
+  EXPECT_EQ(CountOutcome(records, ActionOutcome::kExecuted), 3u);
+  EXPECT_TRUE(platform.IsLocked("nc-3"));
+  EXPECT_FALSE(platform.IsDecommissioned("nc-3"));
+  // Repair done: Example 1 ends with the machine unlocked.
+  platform.Unlock("nc-3");
+  EXPECT_FALSE(platform.IsLocked("nc-3"));
+}
+
+TEST(OperationPlatformTest, ConflictingVmActionsKeepHighestPriority) {
+  OperationPlatform platform;
+  auto records = platform.Submit(
+      {Req(ActionType::kLiveMigration, "vm-1", 10),
+       Req(ActionType::kInPlaceReboot, "vm-1", 3)},
+      {{"vm-1", "nc-1"}});
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].request.type, ActionType::kLiveMigration);
+  EXPECT_EQ(records[0].outcome, ActionOutcome::kExecuted);
+  EXPECT_EQ(records[1].outcome, ActionOutcome::kDiscardedConflict);
+  EXPECT_EQ(platform.ExecutedCount(ActionType::kInPlaceReboot), 0u);
+}
+
+TEST(OperationPlatformTest, DuplicateRequestsCollapse) {
+  OperationPlatform platform;
+  auto records = platform.Submit({Req(ActionType::kRepairRequest, "nc-1", 5),
+                                  Req(ActionType::kRepairRequest, "nc-1", 5)},
+                                 {});
+  EXPECT_EQ(CountOutcome(records, ActionOutcome::kExecuted), 1u);
+  EXPECT_EQ(CountOutcome(records, ActionOutcome::kDiscardedConflict), 1u);
+}
+
+TEST(OperationPlatformTest, NcRebootSupersedesVmMigration) {
+  OperationPlatform platform;
+  auto records = platform.Submit(
+      {Req(ActionType::kNcReboot, "nc-1", 20),
+       Req(ActionType::kLiveMigration, "vm-1", 10)},
+      {{"vm-1", "nc-1"}});
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].request.type, ActionType::kNcReboot);
+  EXPECT_EQ(records[0].outcome, ActionOutcome::kExecuted);
+  EXPECT_EQ(records[1].outcome, ActionOutcome::kDiscardedConflict);
+}
+
+TEST(OperationPlatformTest, DecommissionedHostRejectsMigrationsAndRepairs) {
+  OperationPlatform platform;
+  platform.Submit({Req(ActionType::kNcDecommission, "nc-1", 30)}, {});
+  ASSERT_TRUE(platform.IsDecommissioned("nc-1"));
+  auto records = platform.Submit(
+      {Req(ActionType::kLiveMigration, "vm-1", 10),
+       Req(ActionType::kDiskClean, "nc-1", 5)},
+      {{"vm-1", "nc-1"}});
+  EXPECT_EQ(CountOutcome(records, ActionOutcome::kDiscardedLocked), 2u);
+}
+
+TEST(OperationPlatformTest, PriorityOrdersExecution) {
+  OperationPlatform platform;
+  platform.Submit({Req(ActionType::kRepairRequest, "nc-1", 1),
+                   Req(ActionType::kNcLock, "nc-2", 9),
+                   Req(ActionType::kDiskClean, "nc-3", 5)},
+                  {});
+  const auto& history = platform.history();
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0].request.type, ActionType::kNcLock);
+  EXPECT_EQ(history[1].request.type, ActionType::kDiskClean);
+  EXPECT_EQ(history[2].request.type, ActionType::kRepairRequest);
+}
+
+TEST(OperationPlatformTest, DifferentVmsDoNotConflict) {
+  OperationPlatform platform;
+  auto records = platform.Submit(
+      {Req(ActionType::kLiveMigration, "vm-1", 10),
+       Req(ActionType::kLiveMigration, "vm-2", 10)},
+      {{"vm-1", "nc-1"}, {"vm-2", "nc-1"}});
+  EXPECT_EQ(CountOutcome(records, ActionOutcome::kExecuted), 2u);
+  EXPECT_EQ(platform.ExecutedCount(ActionType::kLiveMigration), 2u);
+}
+
+}  // namespace
+}  // namespace cdibot

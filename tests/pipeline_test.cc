@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "cdi/pipeline.h"
+#include "common/thread_pool.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() : catalog_(EventCatalog::BuiltIn()) {
+    auto ticket = TicketRankModel::FromCounts(
+        {{"slow_io", 100}, {"packet_loss", 60}, {"vcpu_high", 40},
+         {"vm_start_failed", 20}},
+        4);
+    weights_.emplace(
+        EventWeightModel::Build(std::move(ticket).value(), {}).value());
+    day_ = Interval(T("2024-04-25 00:00"), T("2024-04-26 00:00"));
+  }
+
+  // Emits one windowed raw event per minute across `episode`.
+  void InjectWindowed(const char* name, const char* vm, TimePoint start,
+                      int minutes, Severity level = Severity::kCritical) {
+    for (int i = 1; i <= minutes; ++i) {
+      RawEvent ev;
+      ev.name = name;
+      ev.time = start + Duration::Minutes(i);
+      ev.target = vm;
+      ev.level = level;
+      ev.expire_interval = Duration::Hours(24);
+      log_.Append(ev);
+    }
+  }
+
+  std::vector<VmServiceInfo> TwoVms() const {
+    return {
+        VmServiceInfo{.vm_id = "vm-1",
+                      .dims = {{"region", "r0"}, {"az", "r0-az0"}},
+                      .service_period = day_},
+        VmServiceInfo{.vm_id = "vm-2",
+                      .dims = {{"region", "r0"}, {"az", "r0-az1"}},
+                      .service_period = day_},
+    };
+  }
+
+  EventCatalog catalog_;
+  std::optional<EventWeightModel> weights_;
+  EventLog log_;
+  Interval day_;
+};
+
+TEST_F(PipelineTest, CleanFleetHasZeroCdi) {
+  DailyCdiJob job(&log_, &catalog_, &*weights_, {});
+  auto result = job.Run(TwoVms(), day_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->per_vm.size(), 2u);
+  EXPECT_DOUBLE_EQ(result->fleet.unavailability, 0.0);
+  EXPECT_DOUBLE_EQ(result->fleet.performance, 0.0);
+  EXPECT_DOUBLE_EQ(result->fleet.control_plane, 0.0);
+  EXPECT_EQ(result->fleet_service_time, Duration::Days(2));
+  EXPECT_TRUE(result->per_event.empty());
+}
+
+TEST_F(PipelineTest, ComputesPerVmAndFleetValues) {
+  // vm-1: 144 minutes of slow_io (10% of day, weight 0.875 for critical level
+  // 0.75 composed with top ticket rank 1.0).
+  InjectWindowed("slow_io", "vm-1", T("2024-04-25 08:00"), 144);
+  DailyCdiJob job(&log_, &catalog_, &*weights_, {});
+  auto result = job.Run(TwoVms(), day_);
+  ASSERT_TRUE(result.ok());
+  const VmCdiRecord* vm1 = nullptr;
+  for (const auto& rec : result->per_vm) {
+    if (rec.vm_id == "vm-1") vm1 = &rec;
+  }
+  ASSERT_NE(vm1, nullptr);
+  EXPECT_NEAR(vm1->cdi.performance, 0.875 * 0.1, 1e-9);
+  // Fleet averages across two equal-service VMs.
+  EXPECT_NEAR(result->fleet.performance, 0.875 * 0.1 / 2.0, 1e-9);
+  // Event-level table has a slow_io row for vm-1.
+  ASSERT_EQ(result->per_event.size(), 1u);
+  EXPECT_EQ(result->per_event[0].event_name, "slow_io");
+  EXPECT_NEAR(result->per_event[0].damage_minutes, 144 * 0.875, 1e-6);
+}
+
+TEST_F(PipelineTest, BaselineSeesOnlyUnavailability) {
+  InjectWindowed("vm_crash", "vm-1", T("2024-04-25 10:00"), 72,
+                 Severity::kFatal);
+  InjectWindowed("slow_io", "vm-2", T("2024-04-25 10:00"), 720);
+  DailyCdiJob job(&log_, &catalog_, &*weights_, {});
+  auto result = job.Run(TwoVms(), day_);
+  ASSERT_TRUE(result.ok());
+  // DP = 72 / 2880 VM-minutes.
+  EXPECT_NEAR(result->fleet_baseline.downtime_percentage, 72.0 / 2880.0,
+              1e-9);
+  EXPECT_EQ(result->fleet_baseline.interruption_count, 1u);
+  EXPECT_GT(result->fleet.performance, 0.0);
+}
+
+TEST_F(PipelineTest, VmsOutsideWindowAreSkipped) {
+  auto vms = TwoVms();
+  vms.push_back(VmServiceInfo{
+      .vm_id = "vm-old",
+      .service_period = Interval(T("2024-04-20 00:00"),
+                                 T("2024-04-21 00:00"))});
+  DailyCdiJob job(&log_, &catalog_, &*weights_, {});
+  auto result = job.Run(vms, day_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->per_vm.size(), 2u);
+}
+
+TEST_F(PipelineTest, PartialDayServiceClamps) {
+  // VM released mid-day: its service time is 12h and an event beyond the
+  // release is discarded.
+  std::vector<VmServiceInfo> vms = {VmServiceInfo{
+      .vm_id = "vm-1",
+      .service_period = Interval(T("2024-04-25 00:00"),
+                                 T("2024-04-25 12:00"))}};
+  InjectWindowed("slow_io", "vm-1", T("2024-04-25 13:00"), 30);
+  DailyCdiJob job(&log_, &catalog_, &*weights_, {});
+  auto result = job.Run(vms, day_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->per_vm.size(), 1u);
+  EXPECT_EQ(result->per_vm[0].cdi.service_time, Duration::Hours(12));
+  EXPECT_DOUBLE_EQ(result->per_vm[0].cdi.performance, 0.0);
+}
+
+TEST_F(PipelineTest, ParallelAndSerialAgree) {
+  InjectWindowed("slow_io", "vm-1", T("2024-04-25 08:00"), 60);
+  InjectWindowed("vm_crash", "vm-2", T("2024-04-25 09:00"), 10,
+                 Severity::kFatal);
+  DailyCdiJob serial(&log_, &catalog_, &*weights_, {});
+  ThreadPool pool(4);
+  DailyCdiJob parallel(&log_, &catalog_, &*weights_,
+                       {.pool = &pool, .min_parallel_rows = 1});
+  auto a = serial.Run(TwoVms(), day_);
+  auto b = parallel.Run(TwoVms(), day_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->fleet.performance, b->fleet.performance);
+  EXPECT_DOUBLE_EQ(a->fleet.unavailability, b->fleet.unavailability);
+  EXPECT_EQ(a->per_event.size(), b->per_event.size());
+}
+
+TEST_F(PipelineTest, TablesExportExpectedSchemas) {
+  InjectWindowed("slow_io", "vm-1", T("2024-04-25 08:00"), 10);
+  DailyCdiJob job(&log_, &catalog_, &*weights_, {});
+  auto result = job.Run(TwoVms(), day_);
+  ASSERT_TRUE(result.ok());
+  const dataflow::Table vm_table = result->ToVmTable();
+  EXPECT_EQ(vm_table.num_rows(), 2u);
+  EXPECT_TRUE(vm_table.schema().IndexOf("cdi_p").ok());
+  EXPECT_TRUE(vm_table.schema().IndexOf("region").ok());
+  const dataflow::Table ev_table = result->ToEventTable();
+  EXPECT_EQ(ev_table.num_rows(), 1u);
+  EXPECT_EQ(ev_table.At(0, "event")->AsString().value(), "slow_io");
+}
+
+TEST_F(PipelineTest, EmptyWindowFails) {
+  DailyCdiJob job(&log_, &catalog_, &*weights_, {});
+  const Interval empty(day_.start, day_.start);
+  EXPECT_TRUE(job.Run(TwoVms(), empty).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cdibot

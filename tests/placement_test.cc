@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "ops/placement.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+// Three-NC topology: nc0 (dedicated VMs), nc1 (dedicated, lots of room),
+// nc2 (shared pool).
+class PlacementTest : public ::testing::Test {
+ protected:
+  PlacementTest() {
+    EXPECT_TRUE(topo_.AddCluster("r0", "az0", "c0").ok());
+    EXPECT_TRUE(topo_.AddNc({.nc_id = "nc0", .cluster_id = "c0",
+                             .num_cores = 32})
+                    .ok());
+    EXPECT_TRUE(topo_.AddNc({.nc_id = "nc1", .cluster_id = "c0",
+                             .num_cores = 32})
+                    .ok());
+    EXPECT_TRUE(topo_.AddNc({.nc_id = "nc2", .cluster_id = "c0",
+                             .num_cores = 32})
+                    .ok());
+    // nc0: two dedicated VMs of 8 cores.
+    AddVm("vm-a", "nc0", VmType::kDedicated, 0, 8);
+    AddVm("vm-b", "nc0", VmType::kDedicated, 8, 16);
+    // nc1: one dedicated VM of 8 cores -> 24 free.
+    AddVm("vm-c", "nc1", VmType::kDedicated, 0, 8);
+    // nc2: one shared VM of 4 cores -> 28 free.
+    AddVm("vm-d", "nc2", VmType::kShared, 0, 4);
+  }
+
+  void AddVm(const char* id, const char* nc, VmType type, int begin,
+             int end) {
+    EXPECT_TRUE(topo_.AddVm({.vm_id = id, .nc_id = nc, .type = type,
+                             .core_begin = begin, .core_end = end})
+                    .ok());
+  }
+
+  FleetTopology topo_;
+  OperationPlatform platform_;
+};
+
+TEST_F(PlacementTest, FreeCores) {
+  PlacementScheduler scheduler(&topo_, &platform_);
+  EXPECT_EQ(scheduler.FreeCores("nc0").value(), 16);
+  EXPECT_EQ(scheduler.FreeCores("nc1").value(), 24);
+  EXPECT_EQ(scheduler.FreeCores("nc2").value(), 28);
+  EXPECT_TRUE(scheduler.FreeCores("ghost").status().IsNotFound());
+}
+
+TEST_F(PlacementTest, DedicatedVmAvoidsSharedPool) {
+  PlacementScheduler scheduler(&topo_, &platform_);
+  // nc2 has the most free cores but hosts shared VMs on a homogeneous
+  // arch: a dedicated VM must go to nc1.
+  auto decision = scheduler.ChooseDestination("vm-a");
+  ASSERT_TRUE(decision.ok()) << decision.status().ToString();
+  EXPECT_EQ(decision->destination_nc, "nc1");
+  EXPECT_EQ(decision->source_nc, "nc0");
+  EXPECT_EQ(decision->destination_free_cores, 16);  // 24 - 8
+}
+
+TEST_F(PlacementTest, SharedVmHasNoHomogeneousDestination) {
+  PlacementScheduler scheduler(&topo_, &platform_);
+  // vm-d lives on nc2; the only other hosts (nc0/nc1) are homogeneous
+  // dedicated pools, which reject a shared VM (Fig. 7 a/b separation).
+  auto decision = scheduler.ChooseDestination("vm-d");
+  EXPECT_EQ(decision.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(PlacementTest, HybridHostAcceptsBothTypes) {
+  ASSERT_TRUE(topo_.AddNc({.nc_id = "nc3", .cluster_id = "c0",
+                           .arch = DeploymentArch::kHybrid,
+                           .num_cores = 16})
+                  .ok());
+  PlacementScheduler scheduler(&topo_, &platform_);
+  auto shared = scheduler.ChooseDestination("vm-d");
+  ASSERT_TRUE(shared.ok());
+  EXPECT_EQ(shared->destination_nc, "nc3");
+  auto dedicated = scheduler.ChooseDestination("vm-a");
+  ASSERT_TRUE(dedicated.ok());
+  // Worst fit still prefers nc1 (24 free) over nc3 (16 free).
+  EXPECT_EQ(dedicated->destination_nc, "nc1");
+}
+
+TEST_F(PlacementTest, LockedAndDecommissionedHostsExcluded) {
+  // Lock nc1 (the natural destination for dedicated VMs).
+  platform_.Submit({ActionRequest{.type = ActionType::kNcLock,
+                                  .target = "nc1",
+                                  .priority = 1,
+                                  .submitted_at = T("2024-01-01 00:00")}},
+                   {});
+  PlacementScheduler scheduler(&topo_, &platform_);
+  auto decision = scheduler.ChooseDestination("vm-a");
+  // Only nc2 remains and it is shared-homogeneous: exhausted.
+  EXPECT_TRUE(decision.status().code() == StatusCode::kResourceExhausted);
+}
+
+TEST_F(PlacementTest, CapacityIsRespected) {
+  // Fill nc1 so only 4 cores remain: an 8-core dedicated VM cannot fit.
+  AddVm("vm-e", "nc1", VmType::kDedicated, 8, 28);
+  PlacementScheduler scheduler(&topo_, &platform_);
+  EXPECT_EQ(scheduler.FreeCores("nc1").value(), 4);
+  auto decision = scheduler.ChooseDestination("vm-a");
+  EXPECT_TRUE(decision.status().code() == StatusCode::kResourceExhausted);
+}
+
+TEST_F(PlacementTest, EvacuationAccountsForItsOwnPlacements) {
+  // nc1 has 24 free cores; evacuating both 8-core VMs of nc0 must track
+  // the running usage (after vm-a lands, 16 remain for vm-b).
+  PlacementScheduler scheduler(&topo_, &platform_);
+  auto plan = scheduler.PlanEvacuation("nc0");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->size(), 2u);
+  EXPECT_EQ((*plan)[0].destination_nc, "nc1");
+  EXPECT_EQ((*plan)[1].destination_nc, "nc1");
+  EXPECT_EQ((*plan)[0].destination_free_cores, 16);
+  EXPECT_EQ((*plan)[1].destination_free_cores, 8);
+}
+
+TEST_F(PlacementTest, EvacuationFailsAtomically) {
+  // Shrink nc1's headroom so only one of nc0's two VMs fits.
+  AddVm("vm-e", "nc1", VmType::kDedicated, 8, 24);  // 8 free left
+  PlacementScheduler scheduler(&topo_, &platform_);
+  auto plan = scheduler.PlanEvacuation("nc0");
+  EXPECT_TRUE(plan.status().code() == StatusCode::kResourceExhausted);
+}
+
+TEST_F(PlacementTest, UnknownEntitiesFail) {
+  PlacementScheduler scheduler(&topo_, &platform_);
+  EXPECT_TRUE(scheduler.ChooseDestination("ghost").status().IsNotFound());
+  EXPECT_TRUE(scheduler.PlanEvacuation("ghost").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/posthoc.h"
+
+namespace cdibot::stats {
+namespace {
+
+Sample NormalSample(cdibot::Rng* rng, size_t n, double mean, double sd) {
+  Sample x;
+  x.reserve(n);
+  for (size_t i = 0; i < n; ++i) x.push_back(rng->Normal(mean, sd));
+  return x;
+}
+
+TEST(TukeyHsdTest, SeparatedPairSignificantCloseNot) {
+  cdibot::Rng rng(21);
+  // a ~ b, c far away.
+  auto res = TukeyHsd({NormalSample(&rng, 20, 0.0, 1.0),
+                       NormalSample(&rng, 20, 0.2, 1.0),
+                       NormalSample(&rng, 20, 5.0, 1.0)});
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 3u);  // 3 choose 2
+  for (const PairwiseResult& pr : *res) {
+    if (pr.group_b == 2) {
+      EXPECT_LT(pr.p_value, 0.001) << pr.group_a << "-" << pr.group_b;
+    } else {
+      EXPECT_GT(pr.p_value, 0.05);
+    }
+    EXPECT_DOUBLE_EQ(pr.df, 57.0);  // N - k = 60 - 3
+  }
+}
+
+TEST(TukeyHsdTest, RequiresEqualSizes) {
+  EXPECT_TRUE(TukeyHsd({{1.0, 2.0, 3.0}, {1.0, 2.0}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TukeyKramerTest, HandlesUnequalSizes) {
+  cdibot::Rng rng(22);
+  auto res = TukeyKramer({NormalSample(&rng, 12, 0.0, 1.0),
+                          NormalSample(&rng, 30, 4.0, 1.0)});
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 1u);
+  EXPECT_LT(res->front().p_value, 0.001);
+}
+
+TEST(TukeyKramerTest, EqualSizesMatchesHsd) {
+  cdibot::Rng rng(23);
+  const std::vector<Sample> groups = {NormalSample(&rng, 15, 0.0, 1.0),
+                                      NormalSample(&rng, 15, 1.0, 1.0),
+                                      NormalSample(&rng, 15, 2.0, 1.0)};
+  auto hsd = TukeyHsd(groups);
+  auto kramer = TukeyKramer(groups);
+  ASSERT_TRUE(hsd.ok());
+  ASSERT_TRUE(kramer.ok());
+  for (size_t i = 0; i < hsd->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*hsd)[i].statistic, (*kramer)[i].statistic);
+    EXPECT_DOUBLE_EQ((*hsd)[i].p_value, (*kramer)[i].p_value);
+  }
+}
+
+TEST(TukeyKramerTest, QStatisticFormula) {
+  // Two groups of two: hand-check q = |diff| / sqrt(MSE/2 * (1/2 + 1/2)).
+  auto res = TukeyKramer({{0.0, 2.0}, {10.0, 12.0}});
+  ASSERT_TRUE(res.ok());
+  // Group means 1 and 11; within-SS = 2 + 2 = 4 over df = 2 -> MSE = 2.
+  const double expected_q = 10.0 / std::sqrt(2.0 / 2.0 * (0.5 + 0.5));
+  EXPECT_NEAR(res->front().statistic, expected_q, 1e-12);
+}
+
+TEST(TukeyKramerTest, ZeroVarianceFails) {
+  EXPECT_TRUE(TukeyKramer({{1.0, 1.0}, {2.0, 2.0}})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(GamesHowellTest, DetectsDifferenceUnderHeteroscedasticity) {
+  cdibot::Rng rng(24);
+  auto res = GamesHowell({NormalSample(&rng, 40, 0.0, 0.3),
+                          NormalSample(&rng, 40, 2.0, 3.0),
+                          NormalSample(&rng, 40, 0.1, 0.3)});
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 3u);
+  // 0 vs 2 and 1 vs 2 involve the distant group-1 mean.
+  for (const PairwiseResult& pr : *res) {
+    if (pr.group_a == 0 && pr.group_b == 2) {
+      EXPECT_GT(pr.p_value, 0.05);  // near-identical groups
+    } else {
+      EXPECT_LT(pr.p_value, 0.05);
+    }
+  }
+}
+
+TEST(GamesHowellTest, PerPairDfIsWelchSatterthwaite) {
+  cdibot::Rng rng(25);
+  auto res = GamesHowell({NormalSample(&rng, 10, 0.0, 1.0),
+                          NormalSample(&rng, 40, 1.0, 5.0)});
+  ASSERT_TRUE(res.ok());
+  // df must be below the pooled N - k and above min(n_i) - 1.
+  EXPECT_LT(res->front().df, 48.0);
+  EXPECT_GT(res->front().df, 9.0);
+}
+
+TEST(GamesHowellTest, ZeroVarianceFails) {
+  EXPECT_TRUE(GamesHowell({{1.0, 1.0}, {2.0, 3.0}})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(DunnTest, SeparatedGroupsSignificant) {
+  // With n = 5 per group the rank test only has power for the extreme
+  // pair: mean ranks 3, 8, 13 give z = 5/sqrt(8) ~ 1.77 for adjacent pairs
+  // (p ~ 0.077) but z ~ 3.54 for the 0-2 pair.
+  auto res = DunnTest({{1.0, 2.0, 3.0, 4.0, 5.0},
+                       {11.0, 12.0, 13.0, 14.0, 15.0},
+                       {21.0, 22.0, 23.0, 24.0, 25.0}},
+                      /*bonferroni=*/false);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 3u);
+  for (const PairwiseResult& pr : *res) {
+    EXPECT_GT(pr.statistic, 0.0);
+    if (pr.group_a == 0 && pr.group_b == 2) {
+      EXPECT_LT(pr.p_value, 0.001);
+    } else {
+      EXPECT_NEAR(pr.p_value, 0.0771, 1e-3);
+    }
+  }
+}
+
+TEST(DunnTest, BonferroniInflatesP) {
+  const std::vector<Sample> groups = {{1.0, 2.0, 3.0, 4.0, 5.0},
+                                      {3.0, 4.0, 5.0, 6.0, 7.0},
+                                      {5.0, 6.0, 7.0, 8.0, 9.0}};
+  auto plain = DunnTest(groups, false);
+  auto adjusted = DunnTest(groups, true);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(adjusted.ok());
+  for (size_t i = 0; i < plain->size(); ++i) {
+    EXPECT_NEAR((*adjusted)[i].p_value,
+                std::min(1.0, (*plain)[i].p_value * 3.0), 1e-12);
+  }
+}
+
+TEST(DunnTest, HandComputedZ) {
+  // Groups {1,2,3} and {4,5,6}: mean ranks 2 and 5; no ties.
+  // z = 3 / sqrt((6*7/12) * (1/3 + 1/3)) = 3 / sqrt(7/3).
+  auto res = DunnTest({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}}, false);
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res->front().statistic, 3.0 / std::sqrt(7.0 / 3.0), 1e-12);
+}
+
+TEST(DunnTest, AllTiedFails) {
+  EXPECT_TRUE(DunnTest({{2.0, 2.0}, {2.0, 2.0}}, false)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(PosthocTest, PairEnumerationCoversAllPairs) {
+  cdibot::Rng rng(26);
+  std::vector<Sample> groups;
+  for (int g = 0; g < 5; ++g) {
+    groups.push_back(NormalSample(&rng, 10, g * 1.0, 1.0));
+  }
+  auto res = TukeyKramer(groups);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->size(), 10u);  // 5 choose 2
+  std::set<std::pair<size_t, size_t>> seen;
+  for (const PairwiseResult& pr : *res) {
+    EXPECT_LT(pr.group_a, pr.group_b);
+    seen.insert({pr.group_a, pr.group_b});
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+}  // namespace
+}  // namespace cdibot::stats

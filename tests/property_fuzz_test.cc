@@ -1,0 +1,198 @@
+// Randomized property tests: differential checks and invariants that hold
+// for arbitrary inputs, swept over many seeds with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cdi/aggregate.h"
+#include "common/rng.h"
+#include "dataflow/engine.h"
+#include "event/period_resolver.h"
+
+namespace cdibot {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+// --- Interval algebra -------------------------------------------------------
+
+TEST_P(FuzzTest, IntervalAlgebraLaws) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    auto mk = [&rng]() {
+      const int64_t a = rng.UniformInt(0, 1000);
+      const int64_t b = rng.UniformInt(0, 1000);
+      return Interval(TimePoint::FromMillis(a), TimePoint::FromMillis(b));
+    };
+    const Interval x = mk(), y = mk(), z = mk();
+    // Intersection is commutative (as a set: empty==empty in length terms).
+    EXPECT_EQ(x.Intersect(y).length(), y.Intersect(x).length());
+    // Clamping is idempotent.
+    const Interval once = x.ClampTo(y);
+    EXPECT_EQ(once.ClampTo(y).length(), once.length());
+    // Intersection is associative in length.
+    EXPECT_EQ(x.Intersect(y).Intersect(z).length(),
+              x.Intersect(y.Intersect(z)).length());
+    // Overlap symmetric and consistent with intersection.
+    EXPECT_EQ(x.Overlaps(y), y.Overlaps(x));
+    EXPECT_EQ(x.Overlaps(y), !x.Intersect(y).empty());
+  }
+}
+
+// --- Period resolver invariants ---------------------------------------------
+
+TEST_P(FuzzTest, ResolverInvariantsOnRandomStreams) {
+  Rng rng(GetParam() + 1000);
+  const EventCatalog catalog = EventCatalog::BuiltIn();
+  const PeriodResolver resolver(&catalog);
+  const TimePoint day0 = TimePoint::Parse("2024-06-01 00:00").value();
+  const Interval bounds(day0, day0 + Duration::Days(1));
+
+  const char* names[] = {"slow_io",           "packet_loss",
+                         "qemu_live_upgrade", "ddos_blackhole_add",
+                         "ddos_blackhole_del", "not_in_catalog"};
+  std::vector<RawEvent> raw;
+  const int n = static_cast<int>(rng.UniformInt(0, 120));
+  for (int i = 0; i < n; ++i) {
+    RawEvent ev;
+    ev.name = names[rng.UniformInt(0, 5)];
+    ev.time = day0 + Duration::Millis(
+                  rng.UniformInt(-3600000, bounds.length().millis()));
+    ev.target = rng.Bernoulli(0.5) ? "vm-a" : "vm-b";
+    ev.level = static_cast<Severity>(rng.UniformInt(1, 4));
+    ev.expire_interval = Duration::Hours(rng.UniformInt(1, 24));
+    if (rng.Bernoulli(0.3)) {
+      ev.attrs["duration_ms"] =
+          std::to_string(rng.UniformInt(100, 600000));
+    }
+    raw.push_back(std::move(ev));
+  }
+
+  ResolveStats stats;
+  auto resolved = resolver.Resolve(raw, bounds, &stats);
+  ASSERT_TRUE(resolved.ok());
+
+  size_t unknown_in = 0;
+  for (const RawEvent& ev : raw) {
+    if (ev.name == std::string("not_in_catalog")) ++unknown_in;
+  }
+  EXPECT_EQ(stats.unknown_dropped, unknown_in);
+
+  std::map<std::string, std::vector<Interval>> stateful_periods;
+  for (const ResolvedEvent& ev : *resolved) {
+    // Every period is non-empty and inside the bounds.
+    EXPECT_FALSE(ev.period.empty());
+    EXPECT_GE(ev.period.start, bounds.start);
+    EXPECT_LE(ev.period.end, bounds.end);
+    // Names are parent names, never details or unknowns.
+    EXPECT_TRUE(catalog.Contains(ev.name));
+    EXPECT_NE(ev.name, "ddos_blackhole_add");
+    EXPECT_NE(ev.name, "not_in_catalog");
+    if (ev.name == "ddos_blackhole") {
+      stateful_periods[ev.target].push_back(ev.period);
+    }
+  }
+  // Stateful episodes of one target never overlap (pairing is sequential).
+  for (auto& [target, periods] : stateful_periods) {
+    std::sort(periods.begin(), periods.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.start < b.start;
+              });
+    for (size_t i = 1; i < periods.size(); ++i) {
+      EXPECT_LE(periods[i - 1].end, periods[i].start) << target;
+    }
+  }
+  // Counters are consistent: every input is resolved, dropped, or merged
+  // into a stateful pair (a resolved pair consumes 2 inputs; an unpaired
+  // start consumes 1).
+  EXPECT_LE(stats.resolved, raw.size());
+}
+
+// --- Dataflow group-by differential ------------------------------------------
+
+TEST_P(FuzzTest, GroupByMatchesBruteForce) {
+  Rng rng(GetParam() + 2000);
+  using namespace dataflow;
+  Table t(Schema({Field{"k", ValueType::kString},
+                  Field{"x", ValueType::kDouble},
+                  Field{"w", ValueType::kDouble}}));
+  const int n = static_cast<int>(rng.UniformInt(0, 400));
+  for (int i = 0; i < n; ++i) {
+    t.AppendUnchecked(
+        {Value("g" + std::to_string(rng.UniformInt(0, 5))),
+         Value(rng.Uniform(-10.0, 10.0)), Value(rng.Uniform(0.1, 5.0))});
+  }
+  ExecContext ctx{};  // single-threaded is fine for the differential
+  auto grouped = HashGroupBy(
+      t, {"k"},
+      {AggSpec{.kind = AggKind::kCount, .output_name = "n"},
+       AggSpec{.kind = AggKind::kSum, .input_column = "x",
+               .output_name = "sum"},
+       AggSpec{.kind = AggKind::kWeightedMean, .input_column = "x",
+               .weight_column = "w", .output_name = "wavg"}},
+      ctx);
+  ASSERT_TRUE(grouped.ok());
+
+  struct Expect {
+    int64_t count = 0;
+    double sum = 0.0;
+    double wsum = 0.0;
+    double wtotal = 0.0;
+  };
+  std::map<std::string, Expect> expected;
+  for (const Row& row : t.rows()) {
+    Expect& e = expected[row[0].string_unchecked()];
+    ++e.count;
+    e.sum += row[1].double_unchecked();
+    e.wsum += row[1].double_unchecked() * row[2].double_unchecked();
+    e.wtotal += row[2].double_unchecked();
+  }
+  ASSERT_EQ(grouped->num_rows(), expected.size());
+  for (size_t r = 0; r < grouped->num_rows(); ++r) {
+    const std::string key = grouped->row(r)[0].string_unchecked();
+    ASSERT_EQ(expected.count(key), 1u);
+    const Expect& e = expected[key];
+    EXPECT_EQ(grouped->At(r, "n")->AsInt().value(), e.count);
+    EXPECT_NEAR(grouped->At(r, "sum")->AsDouble().value(), e.sum, 1e-9);
+    EXPECT_NEAR(grouped->At(r, "wavg")->AsDouble().value(),
+                e.wsum / e.wtotal, 1e-9);
+  }
+}
+
+// --- Eq. 4 accumulator laws ---------------------------------------------------
+
+TEST_P(FuzzTest, AccumulatorMergeIsSplitInvariant) {
+  Rng rng(GetParam() + 3000);
+  std::vector<std::pair<Duration, double>> samples;
+  const int n = static_cast<int>(rng.UniformInt(1, 60));
+  for (int i = 0; i < n; ++i) {
+    samples.emplace_back(Duration::Minutes(rng.UniformInt(1, 3000)),
+                         rng.Uniform(0.0, 1.0));
+  }
+  CdiAccumulator whole;
+  for (const auto& [svc, q] : samples) whole.Add(svc, q);
+
+  // Split at a random point; merged halves equal the whole.
+  const size_t cut = static_cast<size_t>(rng.UniformInt(0, n));
+  CdiAccumulator left, right;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    (i < cut ? left : right).Add(samples[i].first, samples[i].second);
+  }
+  left.Merge(right);
+  EXPECT_NEAR(left.Value(), whole.Value(), 1e-12);
+  EXPECT_EQ(left.total_service_time(), whole.total_service_time());
+
+  // Q is a weighted mean: bounded by min/max of inputs.
+  double lo = 1.0, hi = 0.0;
+  for (const auto& [svc, q] : samples) {
+    lo = std::min(lo, q);
+    hi = std::max(hi, q);
+  }
+  EXPECT_GE(whole.Value() + 1e-12, lo);
+  EXPECT_LE(whole.Value() - 1e-12, hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "dataflow/query.h"
+
+namespace cdibot::dataflow {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() : pool_(4), engine_({.pool = &pool_, .min_parallel_rows = 1}) {
+    Table t(Schema({Field{"vm_id", ValueType::kString},
+                    Field{"region", ValueType::kString},
+                    Field{"az", ValueType::kString},
+                    Field{"cdi_p", ValueType::kDouble},
+                    Field{"service_minutes", ValueType::kDouble}}));
+    auto add = [&t](const char* vm, const char* region, const char* az,
+                    double cdi, double svc) {
+      t.AppendUnchecked({Value(vm), Value(region), Value(az), Value(cdi),
+                         Value(svc)});
+    };
+    add("vm-1", "r0", "az0", 0.020, 60);
+    add("vm-2", "r0", "az0", 0.002, 1440);
+    add("vm-3", "r0", "az1", 0.004, 1000);
+    add("vm-4", "r1", "az2", 0.100, 500);
+    engine_.RegisterTable("vm_cdi", std::move(t));
+  }
+
+  ThreadPool pool_;
+  QueryEngine engine_;
+};
+
+TEST_F(QueryTest, SimpleProjection) {
+  auto result = engine_.Execute("SELECT vm_id, cdi_p FROM vm_cdi");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 4u);
+  EXPECT_EQ(result->schema().num_fields(), 2u);
+  EXPECT_EQ(result->At(0, "vm_id")->AsString().value(), "vm-1");
+}
+
+TEST_F(QueryTest, WhereFilters) {
+  auto result = engine_.Execute(
+      "SELECT vm_id FROM vm_cdi WHERE region = 'r0' AND cdi_p > 0.003");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);  // vm-1 and vm-3
+}
+
+TEST_F(QueryTest, WhereOrAndNotAndParens) {
+  auto result = engine_.Execute(
+      "SELECT vm_id FROM vm_cdi WHERE NOT (region = 'r0' OR cdi_p >= 0.1)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 0u);
+  result = engine_.Execute(
+      "SELECT vm_id FROM vm_cdi WHERE region = 'r1' OR az = 'az1'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2u);
+}
+
+TEST_F(QueryTest, GroupByWithWavgImplementsEq4) {
+  // Formula 4 re-aggregation at the AZ level, exactly as Sec. V describes.
+  auto result = engine_.Execute(
+      "SELECT az, WAVG(cdi_p, service_minutes) AS q, COUNT(*) AS n "
+      "FROM vm_cdi GROUP BY az ORDER BY az");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 3u);
+  EXPECT_EQ(result->At(0, "az")->AsString().value(), "az0");
+  EXPECT_NEAR(result->At(0, "q")->AsDouble().value(),
+              (60 * 0.020 + 1440 * 0.002) / 1500.0, 1e-12);
+  EXPECT_EQ(result->At(0, "n")->AsInt().value(), 2);
+  EXPECT_NEAR(result->At(1, "q")->AsDouble().value(), 0.004, 1e-12);
+}
+
+TEST_F(QueryTest, HavingFiltersAggregatedGroups) {
+  auto result = engine_.Execute(
+      "SELECT az, COUNT(*) AS n FROM vm_cdi GROUP BY az "
+      "HAVING n >= 2 ORDER BY az");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 1u);  // only az0 has 2 VMs
+  EXPECT_EQ(result->At(0, "az")->AsString().value(), "az0");
+
+  result = engine_.Execute(
+      "SELECT az, WAVG(cdi_p, service_minutes) AS q FROM vm_cdi "
+      "GROUP BY az HAVING q > 0.003 AND n >= 0");
+  // 'n' is not a column of the aggregated output: NotFound.
+  EXPECT_TRUE(result.status().IsNotFound());
+
+  result = engine_.Execute(
+      "SELECT az, WAVG(cdi_p, service_minutes) AS q FROM vm_cdi "
+      "GROUP BY az HAVING q > 0.003 ORDER BY q DESC");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 2u);  // az2 (0.1) and az1 (0.004)
+}
+
+TEST_F(QueryTest, HavingWithoutAggregationFails) {
+  EXPECT_TRUE(engine_.Execute("SELECT vm_id FROM vm_cdi HAVING vm_id = 'x'")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QueryTest, GlobalAggregateWithoutGroupBy) {
+  auto result = engine_.Execute(
+      "SELECT COUNT(*) AS n, SUM(service_minutes) AS total, MIN(cdi_p) AS "
+      "lo, MAX(cdi_p) AS hi, AVG(cdi_p) AS mean FROM vm_cdi");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->At(0, "n")->AsInt().value(), 4);
+  EXPECT_DOUBLE_EQ(result->At(0, "total")->AsDouble().value(), 3000.0);
+  EXPECT_DOUBLE_EQ(result->At(0, "lo")->AsDouble().value(), 0.002);
+  EXPECT_DOUBLE_EQ(result->At(0, "hi")->AsDouble().value(), 0.100);
+  EXPECT_NEAR(result->At(0, "mean")->AsDouble().value(), 0.1260 / 4, 1e-12);
+}
+
+TEST_F(QueryTest, OrderByAndLimit) {
+  auto result = engine_.Execute(
+      "SELECT vm_id, cdi_p FROM vm_cdi ORDER BY cdi_p DESC LIMIT 2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->At(0, "vm_id")->AsString().value(), "vm-4");
+  EXPECT_EQ(result->At(1, "vm_id")->AsString().value(), "vm-1");
+}
+
+TEST_F(QueryTest, MultiKeyOrderBy) {
+  auto result = engine_.Execute(
+      "SELECT region, cdi_p FROM vm_cdi ORDER BY region ASC, cdi_p DESC");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->At(0, "region")->AsString().value(), "r0");
+  EXPECT_DOUBLE_EQ(result->At(0, "cdi_p")->AsDouble().value(), 0.020);
+  EXPECT_EQ(result->At(3, "region")->AsString().value(), "r1");
+}
+
+TEST_F(QueryTest, KeywordsAreCaseInsensitive) {
+  auto result = engine_.Execute(
+      "select vm_id from vm_cdi where cdi_p > 0.05 order by vm_id limit 5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 1u);
+}
+
+TEST_F(QueryTest, ErrorCases) {
+  EXPECT_TRUE(engine_.Execute("SELECT x FROM missing").status().IsNotFound());
+  EXPECT_TRUE(engine_.Execute("SELECT nope FROM vm_cdi").status()
+                  .IsNotFound());
+  EXPECT_TRUE(engine_.Execute("SELECT FROM vm_cdi").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(engine_.Execute("SELECT vm_id vm_cdi").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(engine_.Execute("SELECT vm_id FROM vm_cdi WHERE cdi_p >")
+                  .status()
+                  .IsInvalidArgument());
+  // Plain column with aggregate but no GROUP BY membership.
+  EXPECT_TRUE(engine_.Execute("SELECT vm_id, COUNT(*) FROM vm_cdi")
+                  .status()
+                  .IsInvalidArgument());
+  // WAVG arity.
+  EXPECT_TRUE(engine_.Execute("SELECT WAVG(cdi_p) FROM vm_cdi")
+                  .status()
+                  .IsInvalidArgument());
+  // Unterminated string.
+  EXPECT_TRUE(engine_.Execute("SELECT vm_id FROM vm_cdi WHERE region = 'r0")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QueryTest, NullNeverMatchesWhere) {
+  Table t(Schema({Field{"k", ValueType::kString},
+                  Field{"v", ValueType::kDouble}}));
+  t.AppendUnchecked({Value("a"), Value()});
+  t.AppendUnchecked({Value("b"), Value(1.0)});
+  engine_.RegisterTable("nulls", std::move(t));
+  auto result = engine_.Execute("SELECT k FROM nulls WHERE v < 100");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->At(0, "k")->AsString().value(), "b");
+}
+
+TEST_F(QueryTest, DefaultAggregateNames) {
+  auto result =
+      engine_.Execute("SELECT COUNT(*), SUM(cdi_p) FROM vm_cdi");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->schema().IndexOf("count_all").ok());
+  EXPECT_TRUE(result->schema().IndexOf("sum_cdi_p").ok());
+}
+
+}  // namespace
+}  // namespace cdibot::dataflow

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "anomaly/root_cause.h"
+
+namespace cdibot {
+namespace {
+
+DimensionedRecord Rec(const std::string& region, const std::string& cluster,
+                      double measure) {
+  return DimensionedRecord{.dims = {{"region", region}, {"cluster", cluster}},
+                           .measure = measure};
+}
+
+TEST(RootCauseTest, IdentifiesTheGrowingSlice) {
+  const std::vector<DimensionedRecord> baseline = {
+      Rec("r0", "c0", 10.0), Rec("r0", "c1", 10.0), Rec("r1", "c2", 10.0)};
+  const std::vector<DimensionedRecord> anomalous = {
+      Rec("r0", "c0", 10.0), Rec("r0", "c1", 60.0), Rec("r1", "c2", 10.0)};
+  auto result = LocalizeRootCause(baseline, anomalous);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->empty());
+  // The cluster slice "c1" explains 100% of the change; region "r0" too.
+  const RootCauseCandidate& top = result->front();
+  EXPECT_NEAR(top.explanatory_power, 1.0, 1e-9);
+  EXPECT_TRUE((top.dimension == "cluster" && top.value == "c1") ||
+              (top.dimension == "region" && top.value == "r0"));
+}
+
+TEST(RootCauseTest, RanksByExplanatoryPower) {
+  const std::vector<DimensionedRecord> baseline = {Rec("r0", "c0", 0.0),
+                                                   Rec("r1", "c1", 0.0)};
+  const std::vector<DimensionedRecord> anomalous = {Rec("r0", "c0", 30.0),
+                                                    Rec("r1", "c1", 10.0)};
+  auto result = LocalizeRootCause(baseline, anomalous, 10);
+  ASSERT_TRUE(result.ok());
+  // c0/r0 slices (0.75) rank above c1/r1 slices (0.25).
+  EXPECT_NEAR(result->front().explanatory_power, 0.75, 1e-9);
+  EXPECT_NEAR(result->back().explanatory_power, 0.25, 1e-9);
+}
+
+TEST(RootCauseTest, HandlesNewAndVanishedSlices) {
+  const std::vector<DimensionedRecord> baseline = {Rec("r0", "c0", 10.0)};
+  const std::vector<DimensionedRecord> anomalous = {Rec("r1", "c1", 25.0)};
+  auto result = LocalizeRootCause(baseline, anomalous, 10);
+  ASSERT_TRUE(result.ok());
+  // Total change +15; new slice c1 explains 25/15, vanished c0 explains
+  // -10/15 (negative).
+  bool saw_new = false, saw_vanished = false;
+  for (const RootCauseCandidate& c : *result) {
+    if (c.value == "c1") {
+      EXPECT_NEAR(c.explanatory_power, 25.0 / 15.0, 1e-9);
+      saw_new = true;
+    }
+    if (c.value == "c0") {
+      EXPECT_NEAR(c.explanatory_power, -10.0 / 15.0, 1e-9);
+      saw_vanished = true;
+    }
+  }
+  EXPECT_TRUE(saw_new);
+  EXPECT_TRUE(saw_vanished);
+}
+
+TEST(RootCauseTest, TopKTruncates) {
+  std::vector<DimensionedRecord> baseline, anomalous;
+  for (int i = 0; i < 20; ++i) {
+    baseline.push_back(Rec("r" + std::to_string(i), "c", 1.0));
+    anomalous.push_back(
+        Rec("r" + std::to_string(i), "c", 1.0 + 0.1 * (i + 1)));
+  }
+  auto result = LocalizeRootCause(baseline, anomalous, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+  // Sorted descending.
+  EXPECT_GE((*result)[0].explanatory_power, (*result)[1].explanatory_power);
+  EXPECT_GE((*result)[1].explanatory_power, (*result)[2].explanatory_power);
+}
+
+TEST(RootCauseTest, DipsLocalizeToo) {
+  // Case 7: a collapsing slice (collector bug) is found via negative change.
+  const std::vector<DimensionedRecord> baseline = {Rec("r0", "c0", 50.0),
+                                                   Rec("r1", "c1", 50.0)};
+  const std::vector<DimensionedRecord> anomalous = {Rec("r0", "c0", 0.0),
+                                                    Rec("r1", "c1", 50.0)};
+  auto result = LocalizeRootCause(baseline, anomalous, 10);
+  ASSERT_TRUE(result.ok());
+  // Change is -50; the c0 slice explains all of it (power 1.0).
+  EXPECT_NEAR(result->front().explanatory_power, 1.0, 1e-9);
+}
+
+TEST(RootCauseTest, NoChangeFails) {
+  const std::vector<DimensionedRecord> same = {Rec("r0", "c0", 5.0)};
+  EXPECT_TRUE(
+      LocalizeRootCause(same, same).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "rules/rule_engine.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+RawEvent Make(const char* name, const char* time,
+              Duration expire = Duration::Hours(1)) {
+  RawEvent ev;
+  ev.name = name;
+  ev.time = T(time);
+  ev.target = "vm-1";
+  ev.expire_interval = expire;
+  return ev;
+}
+
+TEST(RuleEngineTest, RegisterValidation) {
+  RuleEngine engine;
+  EXPECT_TRUE(engine.Register("", "a", {}).IsInvalidArgument());
+  EXPECT_TRUE(engine.Register("bad_expr", "a &&", {}).IsInvalidArgument());
+  ASSERT_TRUE(engine.Register("ok", "a", {}).ok());
+  EXPECT_TRUE(engine.Register("ok", "b", {}).IsAlreadyExists());
+  EXPECT_EQ(engine.num_rules(), 1u);
+}
+
+TEST(RuleEngineTest, ActiveEventNamesHonorExpiry) {
+  const std::vector<RawEvent> events = {
+      Make("slow_io", "2024-01-01 12:00", Duration::Minutes(10)),
+      Make("nic_flapping", "2024-01-01 11:00", Duration::Minutes(30)),
+  };
+  // At 12:05: slow_io active, nic_flapping expired (11:30).
+  auto active = RuleEngine::ActiveEventNames(events, T("2024-01-01 12:05"));
+  EXPECT_EQ(active, (std::set<std::string>{"slow_io"}));
+  // Before extraction: nothing.
+  EXPECT_TRUE(
+      RuleEngine::ActiveEventNames(events, T("2024-01-01 10:00")).empty());
+  // Expiry boundary is exclusive.
+  active = RuleEngine::ActiveEventNames(events, T("2024-01-01 12:10"));
+  EXPECT_TRUE(active.empty());
+}
+
+// Example 1's complete scenario: slow_io at 12:17 + nic_flapping at
+// 12:16:28 match nic_error_cause_slow_io but not nic_error_cause_vm_hang.
+TEST(RuleEngineTest, PaperExample1EndToEnd) {
+  auto engine = RuleEngine::BuiltIn().value();
+  const std::vector<RawEvent> events = {
+      Make("slow_io", "2024-01-01 12:17"),
+      Make("nic_flapping", "2024-01-01 12:16:28"),
+  };
+  auto matches = engine.MatchEvents(events, "vm-1", T("2024-01-01 12:18"));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].rule_name, "nic_error_cause_slow_io");
+  EXPECT_EQ(matches[0].target, "vm-1");
+  ASSERT_EQ(matches[0].actions.size(), 3u);
+  EXPECT_EQ(matches[0].actions[0].action, "live_migration");
+}
+
+TEST(RuleEngineTest, MultipleRulesCanMatch) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.Register("r1", "a", {{"x", 1}}).ok());
+  ASSERT_TRUE(engine.Register("r2", "a || b", {{"y", 2}}).ok());
+  auto matches = engine.Match({"a"}, "vm-1", T("2024-01-01 00:00"));
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].rule_name, "r1");  // registration order
+  EXPECT_EQ(matches[1].rule_name, "r2");
+}
+
+TEST(RuleEngineTest, NoMatchOnEmptyActiveSet) {
+  auto engine = RuleEngine::BuiltIn().value();
+  EXPECT_TRUE(engine.Match({}, "vm-1", T("2024-01-01 00:00")).empty());
+}
+
+TEST(RuleEngineTest, NegationRules) {
+  RuleEngine engine;
+  // Sec. II-F1: CPU contention on a shared VM is expected; only act when
+  // the VM is NOT shared (modeled via a meta-event).
+  ASSERT_TRUE(
+      engine.Register("contention", "vcpu_high && !shared_vm", {{"m", 1}})
+          .ok());
+  EXPECT_EQ(engine.Match({"vcpu_high"}, "vm", T("2024-01-01 00:00")).size(),
+            1u);
+  EXPECT_TRUE(engine.Match({"vcpu_high", "shared_vm"}, "vm",
+                           T("2024-01-01 00:00"))
+                  .empty());
+}
+
+}  // namespace
+}  // namespace cdibot

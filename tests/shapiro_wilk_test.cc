@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/tests.h"
+#include "stats/workflow.h"
+
+namespace cdibot::stats {
+namespace {
+
+Sample NormalSample(cdibot::Rng* rng, size_t n, double mean, double sd) {
+  Sample x;
+  x.reserve(n);
+  for (size_t i = 0; i < n; ++i) x.push_back(rng->Normal(mean, sd));
+  return x;
+}
+
+TEST(ShapiroWilkTest, Validation) {
+  EXPECT_TRUE(ShapiroWilkTest({1.0, 2.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ShapiroWilkTest({5.0, 5.0, 5.0}).status().IsFailedPrecondition());
+  Sample big(5001, 0.0);
+  EXPECT_TRUE(ShapiroWilkTest(big).status().IsInvalidArgument());
+}
+
+TEST(ShapiroWilkTest, WIsInUnitIntervalAndHighForNormal) {
+  cdibot::Rng rng(1);
+  auto res = ShapiroWilkTest(NormalSample(&rng, 50, 10.0, 2.0));
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res->statistic, 0.9);
+  EXPECT_LE(res->statistic, 1.0);
+  EXPECT_GT(res->p_value, 0.01);
+}
+
+TEST(ShapiroWilkTest, TypeIErrorRateRoughlyNominal) {
+  cdibot::Rng rng(2);
+  int rejections = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    auto res = ShapiroWilkTest(NormalSample(&rng, 12, 0.0, 1.0));
+    ASSERT_TRUE(res.ok());
+    if (res->SignificantAt(0.05)) ++rejections;
+  }
+  // Nominal 5% of 200 = 10; allow [1, 25].
+  EXPECT_GE(rejections, 1);
+  EXPECT_LE(rejections, 25);
+}
+
+TEST(ShapiroWilkTest, RejectsExponentialAtSmallN) {
+  cdibot::Rng rng(3);
+  int rejections = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    Sample x;
+    for (int i = 0; i < 15; ++i) x.push_back(rng.Exponential(1.0));
+    auto res = ShapiroWilkTest(x);
+    ASSERT_TRUE(res.ok());
+    if (res->SignificantAt(0.05)) ++rejections;
+  }
+  // SW has decent power against exponential even at n = 15.
+  EXPECT_GT(rejections, 50);
+}
+
+TEST(ShapiroWilkTest, RejectsUniformAtModerateN) {
+  cdibot::Rng rng(4);
+  int rejections = 0;
+  for (int t = 0; t < 50; ++t) {
+    Sample x;
+    for (int i = 0; i < 100; ++i) x.push_back(rng.Uniform(0.0, 1.0));
+    auto res = ShapiroWilkTest(x);
+    ASSERT_TRUE(res.ok());
+    if (res->SignificantAt(0.05)) ++rejections;
+  }
+  EXPECT_GT(rejections, 25);
+}
+
+TEST(ShapiroWilkTest, KnownSmallSampleValue) {
+  // Classic reference sample (Royston's paper uses similar): for a clearly
+  // skewed n=10 sample, W is well below the 0.05 critical value (~0.842).
+  auto res = ShapiroWilkTest(
+      {1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 2.0, 25.0});
+  ASSERT_TRUE(res.ok());
+  EXPECT_LT(res->statistic, 0.6);
+  EXPECT_LT(res->p_value, 0.001);
+}
+
+TEST(ShapiroWilkTest, ScaleAndShiftInvariant) {
+  cdibot::Rng rng(5);
+  const Sample x = NormalSample(&rng, 30, 0.0, 1.0);
+  Sample y;
+  for (double v : x) y.push_back(100.0 + 5.0 * v);
+  auto rx = ShapiroWilkTest(x);
+  auto ry = ShapiroWilkTest(y);
+  ASSERT_TRUE(rx.ok());
+  ASSERT_TRUE(ry.ok());
+  EXPECT_NEAR(rx->statistic, ry->statistic, 1e-12);
+}
+
+TEST(ShapiroWilkWorkflowTest, SmallNormalGroupsUseAnovaBranch) {
+  // n = 12 per group: below the D'Agostino floor of the old behavior but
+  // clean normals — Shapiro-Wilk accepts and the parametric branch runs.
+  cdibot::Rng rng(6);
+  auto res = RunHypothesisWorkflow({NormalSample(&rng, 12, 0.0, 1.0),
+                                    NormalSample(&rng, 12, 4.0, 1.0),
+                                    NormalSample(&rng, 12, 8.0, 1.0)});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->all_normal);
+  EXPECT_EQ(res->omnibus.method, "one-way ANOVA");
+  for (const TestResult& t : res->normality) {
+    EXPECT_EQ(t.method, "Shapiro-Wilk");
+  }
+}
+
+TEST(ShapiroWilkWorkflowTest, SmallSkewedGroupsStillGoNonParametric) {
+  cdibot::Rng rng(7);
+  std::vector<Sample> groups;
+  for (int g = 0; g < 2; ++g) {
+    Sample x;
+    for (int i = 0; i < 15; ++i) {
+      x.push_back(std::pow(rng.Exponential(1.0), 2.0) * (g + 1));
+    }
+    groups.push_back(std::move(x));
+  }
+  auto res = RunHypothesisWorkflow(groups);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res->all_normal);
+  EXPECT_EQ(res->omnibus.method, "Kruskal-Wallis H");
+}
+
+}  // namespace
+}  // namespace cdibot::stats

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/special_functions.h"
+
+namespace cdibot::stats {
+namespace {
+
+TEST(LogGammaTest, KnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(RegularizedGammaTest, ExponentialIdentity) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x).value(), 1.0 - std::exp(-x), 1e-12)
+        << x;
+  }
+}
+
+TEST(RegularizedGammaTest, ErfIdentity) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.01, 0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(RegularizedGammaP(0.5, x).value(), std::erf(std::sqrt(x)),
+                1e-12)
+        << x;
+  }
+}
+
+TEST(RegularizedGammaTest, PAndQSumToOne) {
+  for (double a : {0.3, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0, 80.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x).value() +
+                      RegularizedGammaQ(a, x).value(),
+                  1.0, 1e-12);
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, BoundaryAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0).value(), 1.0);
+  double prev = -1.0;
+  for (double x = 0.0; x < 20.0; x += 0.5) {
+    const double p = RegularizedGammaP(3.0, x).value();
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_NEAR(RegularizedGammaP(3.0, 100.0).value(), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, Validation) {
+  EXPECT_TRUE(RegularizedGammaP(0.0, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(RegularizedGammaP(1.0, -1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(RegularizedGammaQ(-1.0, 1.0).status().IsInvalidArgument());
+}
+
+TEST(RegularizedBetaTest, UniformIdentity) {
+  // I_x(1, 1) = x.
+  for (double x : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(RegularizedBeta(x, 1.0, 1.0).value(), x, 1e-12);
+  }
+}
+
+TEST(RegularizedBetaTest, PolynomialIdentity) {
+  // I_x(2, 2) = 3x^2 - 2x^3.
+  for (double x : {0.1, 0.3, 0.5, 0.8}) {
+    EXPECT_NEAR(RegularizedBeta(x, 2.0, 2.0).value(),
+                3.0 * x * x - 2.0 * x * x * x, 1e-12);
+  }
+}
+
+TEST(RegularizedBetaTest, ArcsineIdentity) {
+  // I_x(1/2, 1/2) = (2/pi) asin(sqrt(x)).
+  for (double x : {0.1, 0.4, 0.7}) {
+    EXPECT_NEAR(RegularizedBeta(x, 0.5, 0.5).value(),
+                2.0 / M_PI * std::asin(std::sqrt(x)), 1e-10);
+  }
+}
+
+TEST(RegularizedBetaTest, SymmetryRelation) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.2, 0.6}) {
+    for (double a : {0.7, 3.0}) {
+      for (double b : {1.5, 6.0}) {
+        EXPECT_NEAR(RegularizedBeta(x, a, b).value(),
+                    1.0 - RegularizedBeta(1.0 - x, b, a).value(), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(RegularizedBetaTest, Validation) {
+  EXPECT_TRUE(RegularizedBeta(0.5, 0.0, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(RegularizedBeta(0.5, 1.0, -1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(RegularizedBeta(1.5, 1.0, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(RegularizedBeta(-0.1, 1.0, 1.0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cdibot::stats

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "extract/statistical.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+MetricSeries SeasonalSeries(size_t days, double anomaly_at_minute = -1,
+                            double anomaly_size = 0.0, uint64_t seed = 1) {
+  Rng rng(seed);
+  MetricSeries series;
+  series.metric = "read_latency";
+  series.target = "vm-1";
+  const TimePoint start = T("2024-01-01 00:00");
+  const size_t n = days * 1440;
+  for (size_t i = 0; i < n; ++i) {
+    const double seasonal =
+        3.0 * std::sin(2.0 * M_PI * static_cast<double>(i % 1440) / 1440.0);
+    double v = 10.0 + seasonal + rng.Normal(0.0, 0.4);
+    if (anomaly_at_minute >= 0 &&
+        static_cast<double>(i) == anomaly_at_minute) {
+      v += anomaly_size;
+    }
+    series.points.push_back(
+        {start + Duration::Minutes(static_cast<int64_t>(i)), v});
+  }
+  return series;
+}
+
+TEST(StatisticalExtractorTest, CalibrationValidation) {
+  StatisticalExtractor::Options options;
+  options.event_name = "";
+  EXPECT_TRUE(StatisticalExtractor::Calibrate(SeasonalSeries(3), options)
+                  .status()
+                  .IsInvalidArgument());
+  options.event_name = "metric_anomaly";
+  MetricSeries tiny;
+  tiny.points = {{T("2024-01-01 00:00"), 1.0}};
+  EXPECT_TRUE(StatisticalExtractor::Calibrate(tiny, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(StatisticalExtractorTest, QuietOnNormalTraffic) {
+  StatisticalExtractor::Options options;
+  options.q = 1e-5;
+  auto extractor =
+      StatisticalExtractor::Calibrate(SeasonalSeries(3), options).value();
+  auto events = extractor.ExtractAll(SeasonalSeries(2, -1, 0.0, 99));
+  // Allow a stray alarm on 2880 points at q=1e-5, but no more.
+  EXPECT_LE(events.size(), 2u);
+}
+
+TEST(StatisticalExtractorTest, FlagsInjectedSpike) {
+  StatisticalExtractor::Options options;
+  options.q = 1e-4;
+  auto extractor =
+      StatisticalExtractor::Calibrate(SeasonalSeries(3), options).value();
+  // A +30 spike at minute 700 of the follow-on day.
+  auto events = extractor.ExtractAll(SeasonalSeries(1, 700, 30.0, 77));
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "metric_anomaly");
+  EXPECT_EQ(events[0].target, "vm-1");
+  // The flagged minute is the injected one.
+  EXPECT_EQ(events[0].time, T("2024-01-01 00:00") + Duration::Minutes(700));
+}
+
+TEST(StatisticalExtractorTest, DSpotDetectorFlagsDips) {
+  StatisticalExtractor::Options options;
+  options.q = 1e-4;
+  options.detector = StatisticalExtractor::Detector::kDSpot;
+  auto extractor =
+      StatisticalExtractor::Calibrate(SeasonalSeries(3), options).value();
+  // A day whose minute 500 collapses toward zero (Case 7's broken
+  // collector): the bidirectional detector must flag the dip.
+  MetricSeries day = SeasonalSeries(1, -1, 0.0, 55);
+  day.points[500].value = 0.0;
+  auto events = extractor.ExtractAll(day);
+  bool dip_found = false;
+  for (const RawEvent& ev : events) {
+    if (ev.attrs.count("direction") > 0 &&
+        ev.attrs.at("direction") == "dip") {
+      dip_found = true;
+    }
+  }
+  EXPECT_TRUE(dip_found);
+}
+
+TEST(StatisticalExtractorTest, SpotDetectorIsBlindToDips) {
+  StatisticalExtractor::Options options;
+  options.q = 1e-4;
+  options.detector = StatisticalExtractor::Detector::kSpot;
+  auto extractor =
+      StatisticalExtractor::Calibrate(SeasonalSeries(3), options).value();
+  MetricSeries day = SeasonalSeries(1, -1, 0.0, 55);
+  day.points[500].value = 0.0;
+  for (const RawEvent& ev : extractor.ExtractAll(day)) {
+    EXPECT_NE(ev.attrs.at("direction"), "dip");
+  }
+}
+
+TEST(StatisticalExtractorTest, RobustStlOptionAccepted) {
+  StatisticalExtractor::Options options;
+  options.robust_stl = true;
+  EXPECT_TRUE(
+      StatisticalExtractor::Calibrate(SeasonalSeries(3), options).ok());
+}
+
+TEST(FailurePredictorTest, Validation) {
+  EXPECT_TRUE(FailurePredictor::Create(0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(FailurePredictor::Create(1.0).status().IsInvalidArgument());
+}
+
+TEST(FailurePredictorTest, HealthyHostScoresLow) {
+  auto predictor = FailurePredictor::Create().value();
+  EXPECT_LT(predictor.Score({}), 0.05);
+  EXPECT_FALSE(
+      predictor.Predict("nc-1", T("2024-01-01 00:00"), {}).has_value());
+}
+
+TEST(FailurePredictorTest, DegradedHostTriggersPrediction) {
+  auto predictor = FailurePredictor::Create().value();
+  FailurePredictor::Features sick;
+  sick.corrected_memory_errors = 1.0;
+  sick.disk_reallocated_sectors = 1.0;
+  sick.nic_error_rate = 0.8;
+  EXPECT_GT(predictor.Score(sick), 0.9);
+  auto ev = predictor.Predict("nc-1", T("2024-01-01 00:00"), sick);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->name, "nc_down_prediction");
+  EXPECT_EQ(ev->target, "nc-1");
+  EXPECT_EQ(ev->level, Severity::kCritical);
+}
+
+TEST(FailurePredictorTest, ScoreIsMonotoneInEachFeature) {
+  auto predictor = FailurePredictor::Create().value();
+  FailurePredictor::Features f;
+  double prev = predictor.Score(f);
+  for (double level = 0.2; level <= 1.0; level += 0.2) {
+    f.corrected_memory_errors = level;
+    const double s = predictor.Score(f);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/tests.h"
+
+namespace cdibot::stats {
+namespace {
+
+Sample NormalSample(cdibot::Rng* rng, size_t n, double mean, double sd) {
+  Sample x;
+  x.reserve(n);
+  for (size_t i = 0; i < n; ++i) x.push_back(rng->Normal(mean, sd));
+  return x;
+}
+
+TEST(DAgostinoTest, AcceptsNormalData) {
+  cdibot::Rng rng(7);
+  int rejections = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto res = DAgostinoK2Test(NormalSample(&rng, 200, 10.0, 2.0));
+    ASSERT_TRUE(res.ok());
+    if (res->SignificantAt(0.05)) ++rejections;
+  }
+  // ~5% type-I rate: 20 trials should rarely exceed 4 rejections.
+  EXPECT_LE(rejections, 4);
+}
+
+TEST(DAgostinoTest, RejectsHeavySkew) {
+  cdibot::Rng rng(7);
+  Sample x;
+  for (int i = 0; i < 300; ++i) x.push_back(rng.Exponential(1.0));
+  auto res = DAgostinoK2Test(x);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LT(res->p_value, 1e-6);
+}
+
+TEST(DAgostinoTest, MinimumSampleSize) {
+  EXPECT_TRUE(DAgostinoK2Test({1, 2, 3, 4, 5, 6, 7}).status()
+                  .IsInvalidArgument());
+}
+
+TEST(OneWayAnovaTest, TwoGroupFEqualsPooledTSquared) {
+  const Sample a = {6.0, 8.0, 4.0, 5.0, 3.0, 4.0};
+  const Sample b = {8.0, 12.0, 9.0, 11.0, 6.0, 8.0};
+  auto anova = OneWayAnova({a, b});
+  ASSERT_TRUE(anova.ok());
+  // Independent pooled two-sample t, computed directly.
+  const double ma = Mean(a).value(), mb = Mean(b).value();
+  const double va = Variance(a).value(), vb = Variance(b).value();
+  const double sp2 = ((a.size() - 1) * va + (b.size() - 1) * vb) /
+                     (a.size() + b.size() - 2.0);
+  const double t =
+      (ma - mb) / std::sqrt(sp2 * (1.0 / a.size() + 1.0 / b.size()));
+  EXPECT_NEAR(anova->statistic, t * t, 1e-10);
+  EXPECT_DOUBLE_EQ(anova->df1, 1.0);
+  EXPECT_DOUBLE_EQ(anova->df2, 10.0);
+}
+
+TEST(OneWayAnovaTest, IdenticalGroupsNotSignificant) {
+  const Sample g = {1.0, 2.0, 3.0, 4.0};
+  auto res = OneWayAnova({g, g, g});
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res->statistic, 0.0, 1e-12);
+  EXPECT_NEAR(res->p_value, 1.0, 1e-9);
+}
+
+TEST(OneWayAnovaTest, WellSeparatedGroupsSignificant) {
+  cdibot::Rng rng(3);
+  auto res = OneWayAnova({NormalSample(&rng, 30, 0.0, 1.0),
+                          NormalSample(&rng, 30, 5.0, 1.0),
+                          NormalSample(&rng, 30, 10.0, 1.0)});
+  ASSERT_TRUE(res.ok());
+  EXPECT_LT(res->p_value, 1e-10);
+}
+
+TEST(OneWayAnovaTest, ConstantGroupsEdgeCases) {
+  // Internally constant but different means: infinitely significant.
+  auto res = OneWayAnova({{1.0, 1.0}, {2.0, 2.0}});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->p_value, 0.0);
+  // All identical constants: no effect.
+  res = OneWayAnova({{1.0, 1.0}, {1.0, 1.0}});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->p_value, 1.0);
+}
+
+TEST(OneWayAnovaTest, Validation) {
+  EXPECT_TRUE(OneWayAnova({{1.0, 2.0}}).status().IsInvalidArgument());
+  EXPECT_TRUE(OneWayAnova({{1.0, 2.0}, {1.0}}).status().IsInvalidArgument());
+}
+
+TEST(WelchAnovaTest, AgreesWithClassicUnderHomoscedasticity) {
+  cdibot::Rng rng(11);
+  std::vector<Sample> groups = {NormalSample(&rng, 50, 0.0, 1.0),
+                                NormalSample(&rng, 50, 0.5, 1.0),
+                                NormalSample(&rng, 50, 1.0, 1.0)};
+  auto classic = OneWayAnova(groups);
+  auto welch = WelchAnova(groups);
+  ASSERT_TRUE(classic.ok());
+  ASSERT_TRUE(welch.ok());
+  EXPECT_NEAR(welch->statistic, classic->statistic,
+              0.15 * classic->statistic);
+  EXPECT_EQ(welch->df1, classic->df1);
+}
+
+TEST(WelchAnovaTest, DetectsShiftWithUnequalVariances) {
+  cdibot::Rng rng(5);
+  auto res = WelchAnova({NormalSample(&rng, 40, 0.0, 0.5),
+                         NormalSample(&rng, 25, 3.0, 4.0)});
+  ASSERT_TRUE(res.ok());
+  EXPECT_LT(res->p_value, 0.01);
+}
+
+TEST(WelchAnovaTest, RejectsZeroVarianceGroups) {
+  EXPECT_TRUE(WelchAnova({{1.0, 1.0}, {2.0, 3.0}})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(LeveneTest, AcceptsEqualVariances) {
+  cdibot::Rng rng(13);
+  auto res = LeveneTest({NormalSample(&rng, 60, 0.0, 2.0),
+                         NormalSample(&rng, 60, 5.0, 2.0),
+                         NormalSample(&rng, 60, -3.0, 2.0)});
+  ASSERT_TRUE(res.ok());
+  // Means differ wildly but spreads match: Levene must not fire.
+  EXPECT_GT(res->p_value, 0.05);
+}
+
+TEST(LeveneTest, RejectsUnequalVariances) {
+  cdibot::Rng rng(13);
+  auto res = LeveneTest({NormalSample(&rng, 60, 0.0, 0.5),
+                         NormalSample(&rng, 60, 0.0, 5.0)});
+  ASSERT_TRUE(res.ok());
+  EXPECT_LT(res->p_value, 1e-6);
+}
+
+TEST(KruskalWallisTest, HandComputedExample) {
+  // Groups {1,2,3} and {4,5,6}: H = 3.857, p = chi2_sf(3.857, 1) ~ 0.0495.
+  auto res = KruskalWallisTest({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res->statistic, 27.0 / 7.0, 1e-10);
+  EXPECT_NEAR(res->p_value, 0.0495, 2e-3);
+}
+
+TEST(KruskalWallisTest, TieCorrectionRaisesH) {
+  auto no_ties = KruskalWallisTest({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  auto with_ties = KruskalWallisTest({{1.0, 2.0, 2.0}, {4.0, 5.0, 5.0}});
+  ASSERT_TRUE(no_ties.ok());
+  ASSERT_TRUE(with_ties.ok());
+  // The tie-corrected H for the tied data exceeds the uncorrected value it
+  // would otherwise produce; both remain valid probabilities.
+  EXPECT_GT(with_ties->statistic, 0.0);
+  EXPECT_LE(with_ties->p_value, 1.0);
+}
+
+TEST(KruskalWallisTest, InsensitiveToMonotoneTransform) {
+  // Rank test: applying exp() to every value changes nothing.
+  const std::vector<Sample> raw = {{1.0, 2.0, 5.0}, {3.0, 4.0, 6.0}};
+  std::vector<Sample> transformed = raw;
+  for (auto& g : transformed) {
+    for (auto& v : g) v = std::exp(v);
+  }
+  EXPECT_DOUBLE_EQ(KruskalWallisTest(raw)->statistic,
+                   KruskalWallisTest(transformed)->statistic);
+}
+
+TEST(KruskalWallisTest, AllTiedFails) {
+  EXPECT_TRUE(KruskalWallisTest({{1.0, 1.0}, {1.0, 1.0}})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(TestResultTest, SignificanceHelper) {
+  TestResult r{.method = "x", .statistic = 1.0, .p_value = 0.03};
+  EXPECT_TRUE(r.SignificantAt(0.05));
+  EXPECT_FALSE(r.SignificantAt(0.01));
+}
+
+}  // namespace
+}  // namespace cdibot::stats

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anomaly/stl.h"
+#include "common/rng.h"
+
+namespace cdibot {
+namespace {
+
+std::vector<double> SeasonalSeries(size_t n, size_t period, double trend_slope,
+                                   double amplitude, double noise_sigma,
+                                   Rng* rng) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double seasonal =
+        amplitude * std::sin(2.0 * M_PI * static_cast<double>(i % period) /
+                             static_cast<double>(period));
+    const double noise = noise_sigma > 0 ? rng->Normal(0.0, noise_sigma) : 0.0;
+    out.push_back(10.0 + trend_slope * static_cast<double>(i) + seasonal +
+                  noise);
+  }
+  return out;
+}
+
+TEST(DecomposeTest, Validation) {
+  EXPECT_TRUE(DecomposeSeries({1, 2, 3, 4}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(DecomposeSeries({1, 2, 3}, 2).status().IsInvalidArgument());
+}
+
+TEST(DecomposeTest, ComponentsSumToSeries) {
+  Rng rng(41);
+  const auto series = SeasonalSeries(240, 24, 0.01, 3.0, 0.2, &rng);
+  auto d = DecomposeSeries(series, 24);
+  ASSERT_TRUE(d.ok());
+  for (size_t i = 0; i < series.size(); ++i) {
+    EXPECT_NEAR(d->trend[i] + d->seasonal[i] + d->residual[i], series[i],
+                1e-9);
+  }
+}
+
+TEST(DecomposeTest, SeasonalComponentIsCenteredAndPeriodic) {
+  Rng rng(42);
+  const auto series = SeasonalSeries(480, 24, 0.0, 3.0, 0.1, &rng);
+  auto d = DecomposeSeries(series, 24);
+  ASSERT_TRUE(d.ok());
+  double sum = 0.0;
+  for (size_t p = 0; p < 24; ++p) sum += d->seasonal[p];
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+  for (size_t i = 24; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(d->seasonal[i], d->seasonal[i - 24]);
+  }
+}
+
+TEST(DecomposeTest, RecoversSinusoidalSeasonality) {
+  Rng rng(43);
+  const auto series = SeasonalSeries(960, 24, 0.0, 5.0, 0.0, &rng);
+  auto d = DecomposeSeries(series, 24);
+  ASSERT_TRUE(d.ok());
+  // Phase 6 (quarter period) carries the +5 peak.
+  EXPECT_NEAR(d->seasonal[6], 5.0, 0.5);
+  EXPECT_NEAR(d->seasonal[18], -5.0, 0.5);
+}
+
+TEST(DecomposeTest, ResidualCapturesInjectedAnomaly) {
+  Rng rng(44);
+  auto series = SeasonalSeries(480, 24, 0.0, 3.0, 0.1, &rng);
+  series[300] += 20.0;
+  auto d = DecomposeSeries(series, 24);
+  ASSERT_TRUE(d.ok());
+  // The anomaly's residual dominates every other residual.
+  double max_other = 0.0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (i == 300) continue;
+    max_other = std::max(max_other, std::abs(d->residual[i]));
+  }
+  EXPECT_GT(std::abs(d->residual[300]), max_other);
+  EXPECT_GT(d->residual[300], 10.0);
+}
+
+TEST(OnlineStlTest, Validation) {
+  EXPECT_TRUE(OnlineStl::Create(1).status().IsInvalidArgument());
+  EXPECT_TRUE(OnlineStl::Create(24, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(OnlineStl::Create(24, 0.1, 1.5).status().IsInvalidArgument());
+}
+
+TEST(OnlineStlTest, ResidualsShrinkAfterWarmup) {
+  Rng rng(45);
+  const auto series = SeasonalSeries(24 * 30, 24, 0.0, 5.0, 0.0, &rng);
+  auto stl = OnlineStl::Create(24).value();
+  double late_max = 0.0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    const double r = std::abs(stl.Observe(series[i]));
+    if (i >= series.size() - 48) late_max = std::max(late_max, r);
+  }
+  // After 28 periods of a clean seasonal signal, residuals are small
+  // relative to the 5.0 amplitude.
+  EXPECT_LT(late_max, 1.0);
+}
+
+TEST(OnlineStlTest, SpikesStandOutInResiduals) {
+  Rng rng(46);
+  auto series = SeasonalSeries(24 * 20, 24, 0.0, 5.0, 0.1, &rng);
+  auto stl = OnlineStl::Create(24).value();
+  std::vector<double> residuals;
+  for (size_t i = 0; i < series.size(); ++i) {
+    double v = series[i];
+    if (i == 400) v += 30.0;
+    residuals.push_back(stl.Observe(v));
+  }
+  EXPECT_GT(residuals[400], 20.0);
+}
+
+TEST(OnlineStlTest, RobustValidation) {
+  EXPECT_TRUE(OnlineStl::Create(24, 0.05, 0.1, true, 1.0).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(OnlineStl::Create(24, 0.05, 0.1, true, 8.0).ok());
+}
+
+TEST(OnlineStlTest, BacktrackSkipsOutlierUpdates) {
+  Rng rng(48);
+  const auto series = SeasonalSeries(24 * 20, 24, 0.0, 5.0, 0.2, &rng);
+  auto robust = OnlineStl::Create(24, 0.05, 0.1, true, 8.0).value();
+  auto plain = OnlineStl::Create(24, 0.05, 0.1, false).value();
+
+  // One massive outlier mid-stream.
+  std::vector<double> robust_res, plain_res;
+  for (size_t i = 0; i < series.size(); ++i) {
+    double v = series[i];
+    if (i == 300) v += 500.0;
+    robust_res.push_back(robust.Observe(v));
+    plain_res.push_back(plain.Observe(v));
+  }
+  // Both detect the outlier itself.
+  EXPECT_GT(robust_res[300], 400.0);
+  EXPECT_GT(plain_res[300], 400.0);
+  EXPECT_GE(robust.outliers_skipped(), 1u);
+  EXPECT_EQ(plain.outliers_skipped(), 0u);
+
+  // The plain update absorbed 10% of the spike into this phase's seasonal
+  // value, so the SAME phase one period later shows a large negative echo;
+  // the robust model shows none.
+  EXPECT_LT(plain_res[324], -20.0);
+  EXPECT_GT(robust_res[324], -5.0);
+}
+
+TEST(OnlineStlTest, RobustMatchesPlainOnCleanData) {
+  Rng rng(49);
+  const auto series = SeasonalSeries(24 * 10, 24, 0.01, 3.0, 0.1, &rng);
+  auto robust = OnlineStl::Create(24, 0.05, 0.1, true, 10.0).value();
+  auto plain = OnlineStl::Create(24, 0.05, 0.1, false).value();
+  for (double v : series) {
+    EXPECT_NEAR(robust.Observe(v), plain.Observe(v), 1e-9);
+  }
+  EXPECT_EQ(robust.outliers_skipped(), 0u);
+}
+
+TEST(OnlineStlTest, TracksSlowTrend) {
+  Rng rng(47);
+  const auto series = SeasonalSeries(24 * 40, 24, 0.05, 2.0, 0.0, &rng);
+  auto stl = OnlineStl::Create(24, 0.2).value();
+  for (double v : series) stl.Observe(v);
+  // Final trend near the final level of the underlying line (10 + 0.05 * n).
+  const double expected = 10.0 + 0.05 * static_cast<double>(series.size());
+  EXPECT_NEAR(stl.trend(), expected, expected * 0.1);
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "extract/surge.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint Day(int d) {
+  return TimePoint::Parse("2024-01-01 00:00").value() + Duration::Days(d);
+}
+
+// `count` events of `name`, spread over `targets` distinct VMs.
+std::vector<RawEvent> Events(const char* name, size_t count, size_t targets,
+                             int day) {
+  std::vector<RawEvent> out;
+  for (size_t i = 0; i < count; ++i) {
+    RawEvent ev;
+    ev.name = name;
+    ev.time = Day(day) + Duration::Minutes(static_cast<int64_t>(i));
+    ev.target = StrFormat("vm-%zu", i % targets);
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+TEST(SurgeTest, Validation) {
+  SurgeDetector::Options bad;
+  bad.baseline_days = 2;
+  EXPECT_TRUE(SurgeDetector::Create(bad).status().IsInvalidArgument());
+  bad = SurgeDetector::Options{};
+  bad.surge_multiplier = 1.0;
+  EXPECT_TRUE(SurgeDetector::Create(bad).status().IsInvalidArgument());
+  EXPECT_TRUE(SurgeDetector::Create().ok());
+}
+
+TEST(SurgeTest, SteadyVolumeNeverAlerts) {
+  auto det = SurgeDetector::Create().value();
+  for (int d = 0; d < 30; ++d) {
+    EXPECT_TRUE(det.ObserveDay(Day(d), Events("slow_io", 20, 10, d)).empty())
+        << d;
+  }
+}
+
+TEST(SurgeTest, MultiTargetSurgeAlerts) {
+  auto det = SurgeDetector::Create().value();
+  for (int d = 0; d < 7; ++d) {
+    (void)det.ObserveDay(Day(d), Events("slow_io", 20, 10, d));
+  }
+  auto alerts = det.ObserveDay(Day(7), Events("slow_io", 200, 50, 7));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].event_name, "slow_io");
+  EXPECT_EQ(alerts[0].count, 200u);
+  EXPECT_NEAR(alerts[0].baseline_mean, 20.0, 1e-9);
+  EXPECT_EQ(alerts[0].affected_targets, 50u);
+}
+
+TEST(SurgeTest, SingleTargetSurgeIsSuppressed) {
+  // One flapping VM producing a flood is not a multi-customer surge
+  // (Sec. II-F2 requires "influenced by multiple customers").
+  auto det = SurgeDetector::Create().value();
+  for (int d = 0; d < 7; ++d) {
+    (void)det.ObserveDay(Day(d), Events("slow_io", 20, 10, d));
+  }
+  EXPECT_TRUE(det.ObserveDay(Day(7), Events("slow_io", 500, 1, 7)).empty());
+}
+
+TEST(SurgeTest, ColdStartNeedsFullBaseline) {
+  auto det = SurgeDetector::Create().value();
+  // Only 3 baseline days so far: the spike must not alert yet.
+  for (int d = 0; d < 3; ++d) {
+    (void)det.ObserveDay(Day(d), Events("slow_io", 20, 10, d));
+  }
+  EXPECT_TRUE(det.ObserveDay(Day(3), Events("slow_io", 500, 50, 3)).empty());
+}
+
+TEST(SurgeTest, MinCountFloor) {
+  SurgeDetector::Options options;
+  options.min_count = 50;
+  auto det = SurgeDetector::Create(options).value();
+  for (int d = 0; d < 7; ++d) {
+    (void)det.ObserveDay(Day(d), Events("rare_event", 2, 2, d));
+  }
+  // 10x surge but below the absolute floor.
+  EXPECT_TRUE(det.ObserveDay(Day(7), Events("rare_event", 20, 10, 7)).empty());
+}
+
+TEST(SurgeTest, PersistentSurgeBecomesNewNormal) {
+  auto det = SurgeDetector::Create().value();
+  for (int d = 0; d < 7; ++d) {
+    (void)det.ObserveDay(Day(d), Events("slow_io", 20, 10, d));
+  }
+  EXPECT_FALSE(det.ObserveDay(Day(7), Events("slow_io", 200, 50, 7)).empty());
+  // The surge level persists; after the baseline window refills, it is the
+  // new normal and alerts stop.
+  bool alerted_late = false;
+  for (int d = 8; d < 20; ++d) {
+    if (!det.ObserveDay(Day(d), Events("slow_io", 200, 50, d)).empty()) {
+      alerted_late = d >= 15;
+    }
+  }
+  EXPECT_FALSE(alerted_late);
+}
+
+TEST(SurgeTest, IndependentEventsTrackSeparately) {
+  auto det = SurgeDetector::Create().value();
+  for (int d = 0; d < 7; ++d) {
+    auto events = Events("slow_io", 20, 10, d);
+    auto more = Events("packet_loss", 30, 10, d);
+    events.insert(events.end(), more.begin(), more.end());
+    (void)det.ObserveDay(Day(d), events);
+  }
+  auto events = Events("slow_io", 20, 10, 7);
+  auto surge = Events("packet_loss", 300, 40, 7);
+  events.insert(events.end(), surge.begin(), surge.end());
+  auto alerts = det.ObserveDay(Day(7), events);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].event_name, "packet_loss");
+}
+
+}  // namespace
+}  // namespace cdibot

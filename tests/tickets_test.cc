@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "telemetry/tickets.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+TEST(TicketClassifierTest, ClassifiesPaperCases) {
+  TicketClassifier classifier;
+  // Case 1: latency increase after a change -> performance.
+  EXPECT_EQ(classifier.Classify(
+                {.text = "API latency of our service markedly increased"}),
+            StabilityCategory::kPerformance);
+  // Case 2 symptoms: console/API failures -> control-plane.
+  EXPECT_EQ(classifier.Classify(
+                {.text = "console login fails, management API calls time out"}),
+            StabilityCategory::kControlPlane);
+  EXPECT_EQ(classifier.Classify({.text = "instance crashed and is unreachable"}),
+            StabilityCategory::kUnavailability);
+}
+
+TEST(TicketClassifierTest, CaseInsensitive) {
+  TicketClassifier classifier;
+  EXPECT_EQ(classifier.Classify({.text = "INSTANCE CRASHED"}),
+            StabilityCategory::kUnavailability);
+}
+
+TEST(TicketClassifierTest, FallbackIsPerformance) {
+  TicketClassifier classifier;
+  EXPECT_EQ(classifier.Classify({.text = "something vague happened"}),
+            StabilityCategory::kPerformance);
+}
+
+TEST(GenerateTicketsTest, Validation) {
+  Rng rng(1);
+  TicketWorkloadSpec spec;
+  spec.window = Interval(T("2024-01-01 00:00"), T("2024-01-01 00:00"));
+  EXPECT_TRUE(GenerateTickets(spec, &rng).status().IsInvalidArgument());
+  spec.window = Interval(T("2023-01-01 00:00"), T("2024-07-01 00:00"));
+  spec.p_unavailability = 0.9;  // sums to > 1
+  EXPECT_TRUE(GenerateTickets(spec, &rng).status().IsInvalidArgument());
+}
+
+TEST(GenerateTicketsTest, Fig2DistributionReproduced) {
+  Rng rng(2);
+  TicketWorkloadSpec spec;
+  spec.window = Interval(T("2023-01-01 00:00"), T("2024-07-01 00:00"));
+  spec.count = 20000;
+  auto tickets = GenerateTickets(spec, &rng);
+  ASSERT_TRUE(tickets.ok());
+  EXPECT_EQ(tickets->size(), 20000u);
+
+  TicketClassifier classifier;
+  auto hist = classifier.Histogram(*tickets);
+  const double n = 20000.0;
+  // The classifier must recover the generator's 27/44/29 mix (Fig. 2).
+  EXPECT_NEAR(hist[StabilityCategory::kUnavailability] / n, 0.27, 0.02);
+  EXPECT_NEAR(hist[StabilityCategory::kPerformance] / n, 0.44, 0.02);
+  EXPECT_NEAR(hist[StabilityCategory::kControlPlane] / n, 0.29, 0.02);
+}
+
+TEST(GenerateTicketsTest, TicketsStayInWindowWithUniqueIds) {
+  Rng rng(3);
+  TicketWorkloadSpec spec;
+  spec.window = Interval(T("2024-01-01 00:00"), T("2024-02-01 00:00"));
+  spec.count = 500;
+  auto tickets = GenerateTickets(spec, &rng);
+  ASSERT_TRUE(tickets.ok());
+  std::set<int64_t> ids;
+  for (const Ticket& t : *tickets) {
+    EXPECT_TRUE(spec.window.Contains(t.time));
+    ids.insert(t.id);
+    EXPECT_FALSE(t.related_event.empty());
+  }
+  EXPECT_EQ(ids.size(), 500u);
+}
+
+TEST(CountTicketsByEventTest, CountsRelatedEvents) {
+  std::vector<Ticket> tickets = {
+      {.id = 1, .related_event = "slow_io"},
+      {.id = 2, .related_event = "slow_io"},
+      {.id = 3, .related_event = "vm_crash"},
+      {.id = 4, .related_event = ""},  // uninvestigated: skipped
+  };
+  auto counts = CountTicketsByEvent(tickets);
+  EXPECT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts["slow_io"], 2);
+  EXPECT_EQ(counts["vm_crash"], 1);
+}
+
+}  // namespace
+}  // namespace cdibot

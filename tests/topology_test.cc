@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "telemetry/topology.h"
+
+namespace cdibot {
+namespace {
+
+FleetTopology SmallTopology() {
+  FleetTopology topo;
+  EXPECT_TRUE(topo.AddCluster("r0", "r0-az0", "c0").ok());
+  EXPECT_TRUE(topo.AddCluster("r0", "r0-az1", "c1").ok());
+  EXPECT_TRUE(topo.AddNc({.nc_id = "nc0",
+                          .cluster_id = "c0",
+                          .arch = DeploymentArch::kHybrid,
+                          .model = "gen2"})
+                  .ok());
+  EXPECT_TRUE(topo.AddNc({.nc_id = "nc1", .cluster_id = "c1"}).ok());
+  EXPECT_TRUE(topo.AddVm({.vm_id = "vm0",
+                          .nc_id = "nc0",
+                          .type = VmType::kDedicated,
+                          .core_begin = 0,
+                          .core_end = 8})
+                  .ok());
+  EXPECT_TRUE(topo.AddVm({.vm_id = "vm1",
+                          .nc_id = "nc0",
+                          .type = VmType::kShared,
+                          .core_begin = 8,
+                          .core_end = 12})
+                  .ok());
+  return topo;
+}
+
+TEST(TopologyTest, Lookups) {
+  const FleetTopology topo = SmallTopology();
+  EXPECT_EQ(topo.num_vms(), 2u);
+  EXPECT_EQ(topo.num_ncs(), 2u);
+  EXPECT_EQ(topo.FindVm("vm0")->type, VmType::kDedicated);
+  EXPECT_EQ(topo.FindNc("nc0")->model, "gen2");
+  EXPECT_TRUE(topo.FindVm("nope").status().IsNotFound());
+  EXPECT_TRUE(topo.FindNc("nope").status().IsNotFound());
+}
+
+TEST(TopologyTest, ReferentialIntegrity) {
+  FleetTopology topo;
+  EXPECT_TRUE(topo.AddNc({.nc_id = "nc0", .cluster_id = "ghost"}).IsNotFound());
+  ASSERT_TRUE(topo.AddCluster("r0", "az0", "c0").ok());
+  EXPECT_TRUE(topo.AddVm({.vm_id = "vm0", .nc_id = "ghost"}).IsNotFound());
+}
+
+TEST(TopologyTest, DuplicateIdsRejected) {
+  FleetTopology topo = SmallTopology();
+  EXPECT_TRUE(topo.AddCluster("r9", "az9", "c0").IsAlreadyExists());
+  EXPECT_TRUE(topo.AddNc({.nc_id = "nc0", .cluster_id = "c0"})
+                  .IsAlreadyExists());
+  EXPECT_TRUE(
+      topo.AddVm({.vm_id = "vm0", .nc_id = "nc0"}).IsAlreadyExists());
+}
+
+TEST(TopologyTest, VmsOnNc) {
+  const FleetTopology topo = SmallTopology();
+  EXPECT_EQ(topo.VmsOnNc("nc0"), (std::vector<std::string>{"vm0", "vm1"}));
+  EXPECT_TRUE(topo.VmsOnNc("nc1").empty());
+  EXPECT_TRUE(topo.VmsOnNc("ghost").empty());
+}
+
+TEST(TopologyTest, DimsForVmExposeDrilldownKeys) {
+  const FleetTopology topo = SmallTopology();
+  auto dims = topo.DimsForVm("vm0");
+  ASSERT_TRUE(dims.ok());
+  EXPECT_EQ(dims->at("region"), "r0");
+  EXPECT_EQ(dims->at("az"), "r0-az0");
+  EXPECT_EQ(dims->at("cluster"), "c0");
+  EXPECT_EQ(dims->at("nc"), "nc0");
+  EXPECT_EQ(dims->at("type"), "dedicated");
+  EXPECT_EQ(dims->at("arch"), "hybrid");
+  EXPECT_EQ(dims->at("model"), "gen2");
+  EXPECT_TRUE(topo.DimsForVm("ghost").status().IsNotFound());
+}
+
+TEST(TopologyTest, EnumRendering) {
+  EXPECT_EQ(VmTypeToString(VmType::kShared), "shared");
+  EXPECT_EQ(DeploymentArchToString(DeploymentArch::kHomogeneous),
+            "homogeneous");
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "stats/workflow.h"
+
+namespace cdibot::stats {
+namespace {
+
+Sample NormalSample(cdibot::Rng* rng, size_t n, double mean, double sd) {
+  Sample x;
+  x.reserve(n);
+  for (size_t i = 0; i < n; ++i) x.push_back(rng->Normal(mean, sd));
+  return x;
+}
+
+Sample SkewedSample(cdibot::Rng* rng, size_t n, double scale) {
+  Sample x;
+  x.reserve(n);
+  for (size_t i = 0; i < n; ++i) x.push_back(scale * rng->Exponential(1.0));
+  return x;
+}
+
+// Fig. 10 branch 1: normal + equal variances -> one-way ANOVA + Tukey HSD.
+TEST(WorkflowTest, NormalEqualVarianceBranch) {
+  cdibot::Rng rng(31);
+  auto res = RunHypothesisWorkflow({NormalSample(&rng, 50, 0.0, 1.0),
+                                    NormalSample(&rng, 50, 2.0, 1.0),
+                                    NormalSample(&rng, 50, 4.0, 1.0)});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->all_normal);
+  EXPECT_TRUE(res->equal_variances);
+  EXPECT_EQ(res->omnibus.method, "one-way ANOVA");
+  EXPECT_TRUE(res->omnibus_significant);
+  EXPECT_EQ(res->posthoc_method, "Tukey HSD");
+  EXPECT_EQ(res->posthoc.size(), 3u);
+}
+
+// Branch 1b: unequal group sizes pick Tukey-Kramer.
+TEST(WorkflowTest, NormalEqualVarianceUnequalSizesUsesKramer) {
+  cdibot::Rng rng(32);
+  auto res = RunHypothesisWorkflow({NormalSample(&rng, 40, 0.0, 1.0),
+                                    NormalSample(&rng, 60, 2.0, 1.0),
+                                    NormalSample(&rng, 50, 4.0, 1.0)});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->posthoc_method, "Tukey-Kramer");
+}
+
+// Fig. 10 branch 2: normal + unequal variances -> Welch + Games-Howell.
+TEST(WorkflowTest, NormalUnequalVarianceBranch) {
+  cdibot::Rng rng(33);
+  auto res = RunHypothesisWorkflow({NormalSample(&rng, 60, 0.0, 0.3),
+                                    NormalSample(&rng, 60, 2.0, 3.0),
+                                    NormalSample(&rng, 60, 6.0, 6.0)});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->all_normal);
+  EXPECT_FALSE(res->equal_variances);
+  EXPECT_EQ(res->omnibus.method, "Welch's ANOVA");
+  ASSERT_TRUE(res->omnibus_significant);
+  EXPECT_EQ(res->posthoc_method, "Games-Howell");
+}
+
+// Fig. 10 branch 3: non-normal -> Kruskal-Wallis + Dunn.
+TEST(WorkflowTest, NonNormalBranch) {
+  cdibot::Rng rng(34);
+  auto res = RunHypothesisWorkflow({SkewedSample(&rng, 80, 1.0),
+                                    SkewedSample(&rng, 80, 5.0),
+                                    SkewedSample(&rng, 80, 20.0)});
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res->all_normal);
+  EXPECT_EQ(res->omnibus.method, "Kruskal-Wallis H");
+  ASSERT_TRUE(res->omnibus_significant);
+  EXPECT_EQ(res->posthoc_method, "Dunn");
+}
+
+TEST(WorkflowTest, SmallGroupsCountAsNonNormal) {
+  auto res = RunHypothesisWorkflow({{1.0, 2.0, 3.0}, {7.0, 8.0, 9.0}});
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res->all_normal);
+  EXPECT_EQ(res->omnibus.method, "Kruskal-Wallis H");
+}
+
+TEST(WorkflowTest, InsignificantOmnibusSkipsPosthoc) {
+  cdibot::Rng rng(35);
+  auto res = RunHypothesisWorkflow({NormalSample(&rng, 40, 0.0, 1.0),
+                                    NormalSample(&rng, 40, 0.0, 1.0),
+                                    NormalSample(&rng, 40, 0.0, 1.0)});
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res->omnibus_significant);
+  EXPECT_TRUE(res->posthoc_method.empty());
+  EXPECT_TRUE(res->posthoc.empty());
+}
+
+TEST(WorkflowTest, TwoGroupsNeverRunPosthoc) {
+  cdibot::Rng rng(36);
+  auto res = RunHypothesisWorkflow({NormalSample(&rng, 40, 0.0, 1.0),
+                                    NormalSample(&rng, 40, 10.0, 1.0)});
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->omnibus_significant);
+  EXPECT_TRUE(res->posthoc_method.empty());
+}
+
+TEST(WorkflowTest, ConstantGroupsFallToNonNormalBranch) {
+  // Degenerate samples cannot be normal; the workflow still completes via
+  // Kruskal-Wallis (which handles ties here).
+  auto res = RunHypothesisWorkflow(
+      {{1.0, 1.0, 1.0, 2.0}, {5.0, 5.0, 5.0, 6.0}});
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res->all_normal);
+  EXPECT_EQ(res->omnibus.method, "Kruskal-Wallis H");
+}
+
+TEST(WorkflowTest, AlphaControlsDecisions) {
+  cdibot::Rng rng(37);
+  const std::vector<Sample> groups = {NormalSample(&rng, 25, 0.0, 1.0),
+                                      NormalSample(&rng, 25, 0.7, 1.0)};
+  WorkflowOptions strict;
+  strict.alpha = 1e-6;
+  auto res = RunHypothesisWorkflow(groups, strict);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res->omnibus_significant);
+}
+
+TEST(WorkflowTest, RejectsSingleGroup) {
+  EXPECT_TRUE(RunHypothesisWorkflow({{1.0, 2.0}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cdibot::stats
