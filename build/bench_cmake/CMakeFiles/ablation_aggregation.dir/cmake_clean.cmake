@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_aggregation"
+  "../bench/ablation_aggregation.pdb"
+  "CMakeFiles/ablation_aggregation.dir/ablation_aggregation.cc.o"
+  "CMakeFiles/ablation_aggregation.dir/ablation_aggregation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

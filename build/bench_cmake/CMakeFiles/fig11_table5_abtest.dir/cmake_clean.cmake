@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_table5_abtest"
+  "../bench/fig11_table5_abtest.pdb"
+  "CMakeFiles/fig11_table5_abtest.dir/fig11_table5_abtest.cc.o"
+  "CMakeFiles/fig11_table5_abtest.dir/fig11_table5_abtest.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_table5_abtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

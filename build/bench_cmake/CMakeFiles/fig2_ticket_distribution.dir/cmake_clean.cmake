@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_ticket_distribution"
+  "../bench/fig2_ticket_distribution.pdb"
+  "CMakeFiles/fig2_ticket_distribution.dir/fig2_ticket_distribution.cc.o"
+  "CMakeFiles/fig2_ticket_distribution.dir/fig2_ticket_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ticket_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

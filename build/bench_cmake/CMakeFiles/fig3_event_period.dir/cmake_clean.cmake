@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_event_period"
+  "../bench/fig3_event_period.pdb"
+  "CMakeFiles/fig3_event_period.dir/fig3_event_period.cc.o"
+  "CMakeFiles/fig3_event_period.dir/fig3_event_period.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_event_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_annual_trend"
+  "../bench/fig6_annual_trend.pdb"
+  "CMakeFiles/fig6_annual_trend.dir/fig6_annual_trend.cc.o"
+  "CMakeFiles/fig6_annual_trend.dir/fig6_annual_trend.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_annual_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_architecture_comparison"
+  "../bench/fig8_architecture_comparison.pdb"
+  "CMakeFiles/fig8_architecture_comparison.dir/fig8_architecture_comparison.cc.o"
+  "CMakeFiles/fig8_architecture_comparison.dir/fig8_architecture_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_architecture_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

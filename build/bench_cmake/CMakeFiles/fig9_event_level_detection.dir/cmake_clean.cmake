@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_event_level_detection"
+  "../bench/fig9_event_level_detection.pdb"
+  "CMakeFiles/fig9_event_level_detection.dir/fig9_event_level_detection.cc.o"
+  "CMakeFiles/fig9_event_level_detection.dir/fig9_event_level_detection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_event_level_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

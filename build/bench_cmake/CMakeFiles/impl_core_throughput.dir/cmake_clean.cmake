@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/impl_core_throughput"
+  "../bench/impl_core_throughput.pdb"
+  "CMakeFiles/impl_core_throughput.dir/impl_core_throughput.cc.o"
+  "CMakeFiles/impl_core_throughput.dir/impl_core_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impl_core_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_worked_example"
+  "../bench/table4_worked_example.pdb"
+  "CMakeFiles/table4_worked_example.dir/table4_worked_example.cc.o"
+  "CMakeFiles/table4_worked_example.dir/table4_worked_example.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_worked_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/action_optimization.dir/action_optimization.cpp.o"
+  "CMakeFiles/action_optimization.dir/action_optimization.cpp.o.d"
+  "action_optimization"
+  "action_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/action_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bi_sql_reports.dir/bi_sql_reports.cpp.o"
+  "CMakeFiles/bi_sql_reports.dir/bi_sql_reports.cpp.o.d"
+  "bi_sql_reports"
+  "bi_sql_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bi_sql_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bi_sql_reports.
+# This may be replaced when dependencies are built.

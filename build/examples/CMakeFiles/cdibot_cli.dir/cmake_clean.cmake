@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_cli.dir/cdibot_cli.cpp.o"
+  "CMakeFiles/cdibot_cli.dir/cdibot_cli.cpp.o.d"
+  "cdibot_cli"
+  "cdibot_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

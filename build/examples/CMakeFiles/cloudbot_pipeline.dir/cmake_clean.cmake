@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudbot_pipeline.dir/cloudbot_pipeline.cpp.o"
+  "CMakeFiles/cloudbot_pipeline.dir/cloudbot_pipeline.cpp.o.d"
+  "cloudbot_pipeline"
+  "cloudbot_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudbot_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incident_drilldown.dir/incident_drilldown.cpp.o"
+  "CMakeFiles/incident_drilldown.dir/incident_drilldown.cpp.o.d"
+  "incident_drilldown"
+  "incident_drilldown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incident_drilldown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_watchdog.dir/stability_watchdog.cpp.o"
+  "CMakeFiles/stability_watchdog.dir/stability_watchdog.cpp.o.d"
+  "stability_watchdog"
+  "stability_watchdog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

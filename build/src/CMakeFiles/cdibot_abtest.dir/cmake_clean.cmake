@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_abtest.dir/abtest/experiment.cc.o"
+  "CMakeFiles/cdibot_abtest.dir/abtest/experiment.cc.o.d"
+  "libcdibot_abtest.a"
+  "libcdibot_abtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_abtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anomaly/dspot.cc" "src/CMakeFiles/cdibot_anomaly.dir/anomaly/dspot.cc.o" "gcc" "src/CMakeFiles/cdibot_anomaly.dir/anomaly/dspot.cc.o.d"
+  "/root/repo/src/anomaly/evt.cc" "src/CMakeFiles/cdibot_anomaly.dir/anomaly/evt.cc.o" "gcc" "src/CMakeFiles/cdibot_anomaly.dir/anomaly/evt.cc.o.d"
+  "/root/repo/src/anomaly/ksigma.cc" "src/CMakeFiles/cdibot_anomaly.dir/anomaly/ksigma.cc.o" "gcc" "src/CMakeFiles/cdibot_anomaly.dir/anomaly/ksigma.cc.o.d"
+  "/root/repo/src/anomaly/root_cause.cc" "src/CMakeFiles/cdibot_anomaly.dir/anomaly/root_cause.cc.o" "gcc" "src/CMakeFiles/cdibot_anomaly.dir/anomaly/root_cause.cc.o.d"
+  "/root/repo/src/anomaly/stl.cc" "src/CMakeFiles/cdibot_anomaly.dir/anomaly/stl.cc.o" "gcc" "src/CMakeFiles/cdibot_anomaly.dir/anomaly/stl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdibot_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_anomaly.dir/anomaly/dspot.cc.o"
+  "CMakeFiles/cdibot_anomaly.dir/anomaly/dspot.cc.o.d"
+  "CMakeFiles/cdibot_anomaly.dir/anomaly/evt.cc.o"
+  "CMakeFiles/cdibot_anomaly.dir/anomaly/evt.cc.o.d"
+  "CMakeFiles/cdibot_anomaly.dir/anomaly/ksigma.cc.o"
+  "CMakeFiles/cdibot_anomaly.dir/anomaly/ksigma.cc.o.d"
+  "CMakeFiles/cdibot_anomaly.dir/anomaly/root_cause.cc.o"
+  "CMakeFiles/cdibot_anomaly.dir/anomaly/root_cause.cc.o.d"
+  "CMakeFiles/cdibot_anomaly.dir/anomaly/stl.cc.o"
+  "CMakeFiles/cdibot_anomaly.dir/anomaly/stl.cc.o.d"
+  "libcdibot_anomaly.a"
+  "libcdibot_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdi/aggregate.cc" "src/CMakeFiles/cdibot_cdi.dir/cdi/aggregate.cc.o" "gcc" "src/CMakeFiles/cdibot_cdi.dir/cdi/aggregate.cc.o.d"
+  "/root/repo/src/cdi/baselines.cc" "src/CMakeFiles/cdibot_cdi.dir/cdi/baselines.cc.o" "gcc" "src/CMakeFiles/cdibot_cdi.dir/cdi/baselines.cc.o.d"
+  "/root/repo/src/cdi/customer_indicator.cc" "src/CMakeFiles/cdibot_cdi.dir/cdi/customer_indicator.cc.o" "gcc" "src/CMakeFiles/cdibot_cdi.dir/cdi/customer_indicator.cc.o.d"
+  "/root/repo/src/cdi/drilldown.cc" "src/CMakeFiles/cdibot_cdi.dir/cdi/drilldown.cc.o" "gcc" "src/CMakeFiles/cdibot_cdi.dir/cdi/drilldown.cc.o.d"
+  "/root/repo/src/cdi/history.cc" "src/CMakeFiles/cdibot_cdi.dir/cdi/history.cc.o" "gcc" "src/CMakeFiles/cdibot_cdi.dir/cdi/history.cc.o.d"
+  "/root/repo/src/cdi/indicator.cc" "src/CMakeFiles/cdibot_cdi.dir/cdi/indicator.cc.o" "gcc" "src/CMakeFiles/cdibot_cdi.dir/cdi/indicator.cc.o.d"
+  "/root/repo/src/cdi/monitor.cc" "src/CMakeFiles/cdibot_cdi.dir/cdi/monitor.cc.o" "gcc" "src/CMakeFiles/cdibot_cdi.dir/cdi/monitor.cc.o.d"
+  "/root/repo/src/cdi/pipeline.cc" "src/CMakeFiles/cdibot_cdi.dir/cdi/pipeline.cc.o" "gcc" "src/CMakeFiles/cdibot_cdi.dir/cdi/pipeline.cc.o.d"
+  "/root/repo/src/cdi/vm_cdi.cc" "src/CMakeFiles/cdibot_cdi.dir/cdi/vm_cdi.cc.o" "gcc" "src/CMakeFiles/cdibot_cdi.dir/cdi/vm_cdi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdibot_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_weights.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

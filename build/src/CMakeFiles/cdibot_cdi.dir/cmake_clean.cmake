@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_cdi.dir/cdi/aggregate.cc.o"
+  "CMakeFiles/cdibot_cdi.dir/cdi/aggregate.cc.o.d"
+  "CMakeFiles/cdibot_cdi.dir/cdi/baselines.cc.o"
+  "CMakeFiles/cdibot_cdi.dir/cdi/baselines.cc.o.d"
+  "CMakeFiles/cdibot_cdi.dir/cdi/customer_indicator.cc.o"
+  "CMakeFiles/cdibot_cdi.dir/cdi/customer_indicator.cc.o.d"
+  "CMakeFiles/cdibot_cdi.dir/cdi/drilldown.cc.o"
+  "CMakeFiles/cdibot_cdi.dir/cdi/drilldown.cc.o.d"
+  "CMakeFiles/cdibot_cdi.dir/cdi/history.cc.o"
+  "CMakeFiles/cdibot_cdi.dir/cdi/history.cc.o.d"
+  "CMakeFiles/cdibot_cdi.dir/cdi/indicator.cc.o"
+  "CMakeFiles/cdibot_cdi.dir/cdi/indicator.cc.o.d"
+  "CMakeFiles/cdibot_cdi.dir/cdi/monitor.cc.o"
+  "CMakeFiles/cdibot_cdi.dir/cdi/monitor.cc.o.d"
+  "CMakeFiles/cdibot_cdi.dir/cdi/pipeline.cc.o"
+  "CMakeFiles/cdibot_cdi.dir/cdi/pipeline.cc.o.d"
+  "CMakeFiles/cdibot_cdi.dir/cdi/vm_cdi.cc.o"
+  "CMakeFiles/cdibot_cdi.dir/cdi/vm_cdi.cc.o.d"
+  "libcdibot_cdi.a"
+  "libcdibot_cdi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_cdi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

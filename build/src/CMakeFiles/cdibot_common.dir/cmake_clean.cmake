@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_common.dir/common/logging.cc.o"
+  "CMakeFiles/cdibot_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/cdibot_common.dir/common/rng.cc.o"
+  "CMakeFiles/cdibot_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/cdibot_common.dir/common/status.cc.o"
+  "CMakeFiles/cdibot_common.dir/common/status.cc.o.d"
+  "CMakeFiles/cdibot_common.dir/common/strings.cc.o"
+  "CMakeFiles/cdibot_common.dir/common/strings.cc.o.d"
+  "CMakeFiles/cdibot_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/cdibot_common.dir/common/thread_pool.cc.o.d"
+  "CMakeFiles/cdibot_common.dir/common/time.cc.o"
+  "CMakeFiles/cdibot_common.dir/common/time.cc.o.d"
+  "libcdibot_common.a"
+  "libcdibot_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

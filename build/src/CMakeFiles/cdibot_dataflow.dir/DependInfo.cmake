@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/csv.cc" "src/CMakeFiles/cdibot_dataflow.dir/dataflow/csv.cc.o" "gcc" "src/CMakeFiles/cdibot_dataflow.dir/dataflow/csv.cc.o.d"
+  "/root/repo/src/dataflow/engine.cc" "src/CMakeFiles/cdibot_dataflow.dir/dataflow/engine.cc.o" "gcc" "src/CMakeFiles/cdibot_dataflow.dir/dataflow/engine.cc.o.d"
+  "/root/repo/src/dataflow/query.cc" "src/CMakeFiles/cdibot_dataflow.dir/dataflow/query.cc.o" "gcc" "src/CMakeFiles/cdibot_dataflow.dir/dataflow/query.cc.o.d"
+  "/root/repo/src/dataflow/table.cc" "src/CMakeFiles/cdibot_dataflow.dir/dataflow/table.cc.o" "gcc" "src/CMakeFiles/cdibot_dataflow.dir/dataflow/table.cc.o.d"
+  "/root/repo/src/dataflow/value.cc" "src/CMakeFiles/cdibot_dataflow.dir/dataflow/value.cc.o" "gcc" "src/CMakeFiles/cdibot_dataflow.dir/dataflow/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdibot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_dataflow.dir/dataflow/csv.cc.o"
+  "CMakeFiles/cdibot_dataflow.dir/dataflow/csv.cc.o.d"
+  "CMakeFiles/cdibot_dataflow.dir/dataflow/engine.cc.o"
+  "CMakeFiles/cdibot_dataflow.dir/dataflow/engine.cc.o.d"
+  "CMakeFiles/cdibot_dataflow.dir/dataflow/query.cc.o"
+  "CMakeFiles/cdibot_dataflow.dir/dataflow/query.cc.o.d"
+  "CMakeFiles/cdibot_dataflow.dir/dataflow/table.cc.o"
+  "CMakeFiles/cdibot_dataflow.dir/dataflow/table.cc.o.d"
+  "CMakeFiles/cdibot_dataflow.dir/dataflow/value.cc.o"
+  "CMakeFiles/cdibot_dataflow.dir/dataflow/value.cc.o.d"
+  "libcdibot_dataflow.a"
+  "libcdibot_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

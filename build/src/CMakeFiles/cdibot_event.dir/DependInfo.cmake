@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/event/catalog.cc" "src/CMakeFiles/cdibot_event.dir/event/catalog.cc.o" "gcc" "src/CMakeFiles/cdibot_event.dir/event/catalog.cc.o.d"
+  "/root/repo/src/event/event.cc" "src/CMakeFiles/cdibot_event.dir/event/event.cc.o" "gcc" "src/CMakeFiles/cdibot_event.dir/event/event.cc.o.d"
+  "/root/repo/src/event/event_store.cc" "src/CMakeFiles/cdibot_event.dir/event/event_store.cc.o" "gcc" "src/CMakeFiles/cdibot_event.dir/event/event_store.cc.o.d"
+  "/root/repo/src/event/overrides.cc" "src/CMakeFiles/cdibot_event.dir/event/overrides.cc.o" "gcc" "src/CMakeFiles/cdibot_event.dir/event/overrides.cc.o.d"
+  "/root/repo/src/event/period_resolver.cc" "src/CMakeFiles/cdibot_event.dir/event/period_resolver.cc.o" "gcc" "src/CMakeFiles/cdibot_event.dir/event/period_resolver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdibot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_event.dir/event/catalog.cc.o"
+  "CMakeFiles/cdibot_event.dir/event/catalog.cc.o.d"
+  "CMakeFiles/cdibot_event.dir/event/event.cc.o"
+  "CMakeFiles/cdibot_event.dir/event/event.cc.o.d"
+  "CMakeFiles/cdibot_event.dir/event/event_store.cc.o"
+  "CMakeFiles/cdibot_event.dir/event/event_store.cc.o.d"
+  "CMakeFiles/cdibot_event.dir/event/overrides.cc.o"
+  "CMakeFiles/cdibot_event.dir/event/overrides.cc.o.d"
+  "CMakeFiles/cdibot_event.dir/event/period_resolver.cc.o"
+  "CMakeFiles/cdibot_event.dir/event/period_resolver.cc.o.d"
+  "libcdibot_event.a"
+  "libcdibot_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/log_rules.cc" "src/CMakeFiles/cdibot_extract.dir/extract/log_rules.cc.o" "gcc" "src/CMakeFiles/cdibot_extract.dir/extract/log_rules.cc.o.d"
+  "/root/repo/src/extract/metric_rules.cc" "src/CMakeFiles/cdibot_extract.dir/extract/metric_rules.cc.o" "gcc" "src/CMakeFiles/cdibot_extract.dir/extract/metric_rules.cc.o.d"
+  "/root/repo/src/extract/statistical.cc" "src/CMakeFiles/cdibot_extract.dir/extract/statistical.cc.o" "gcc" "src/CMakeFiles/cdibot_extract.dir/extract/statistical.cc.o.d"
+  "/root/repo/src/extract/surge.cc" "src/CMakeFiles/cdibot_extract.dir/extract/surge.cc.o" "gcc" "src/CMakeFiles/cdibot_extract.dir/extract/surge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdibot_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_extract.dir/extract/log_rules.cc.o"
+  "CMakeFiles/cdibot_extract.dir/extract/log_rules.cc.o.d"
+  "CMakeFiles/cdibot_extract.dir/extract/metric_rules.cc.o"
+  "CMakeFiles/cdibot_extract.dir/extract/metric_rules.cc.o.d"
+  "CMakeFiles/cdibot_extract.dir/extract/statistical.cc.o"
+  "CMakeFiles/cdibot_extract.dir/extract/statistical.cc.o.d"
+  "CMakeFiles/cdibot_extract.dir/extract/surge.cc.o"
+  "CMakeFiles/cdibot_extract.dir/extract/surge.cc.o.d"
+  "libcdibot_extract.a"
+  "libcdibot_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

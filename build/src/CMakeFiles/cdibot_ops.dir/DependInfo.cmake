@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/actions.cc" "src/CMakeFiles/cdibot_ops.dir/ops/actions.cc.o" "gcc" "src/CMakeFiles/cdibot_ops.dir/ops/actions.cc.o.d"
+  "/root/repo/src/ops/operation_platform.cc" "src/CMakeFiles/cdibot_ops.dir/ops/operation_platform.cc.o" "gcc" "src/CMakeFiles/cdibot_ops.dir/ops/operation_platform.cc.o.d"
+  "/root/repo/src/ops/placement.cc" "src/CMakeFiles/cdibot_ops.dir/ops/placement.cc.o" "gcc" "src/CMakeFiles/cdibot_ops.dir/ops/placement.cc.o.d"
+  "/root/repo/src/ops/prioritizer.cc" "src/CMakeFiles/cdibot_ops.dir/ops/prioritizer.cc.o" "gcc" "src/CMakeFiles/cdibot_ops.dir/ops/prioritizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdibot_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_weights.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_ops.dir/ops/actions.cc.o"
+  "CMakeFiles/cdibot_ops.dir/ops/actions.cc.o.d"
+  "CMakeFiles/cdibot_ops.dir/ops/operation_platform.cc.o"
+  "CMakeFiles/cdibot_ops.dir/ops/operation_platform.cc.o.d"
+  "CMakeFiles/cdibot_ops.dir/ops/placement.cc.o"
+  "CMakeFiles/cdibot_ops.dir/ops/placement.cc.o.d"
+  "CMakeFiles/cdibot_ops.dir/ops/prioritizer.cc.o"
+  "CMakeFiles/cdibot_ops.dir/ops/prioritizer.cc.o.d"
+  "libcdibot_ops.a"
+  "libcdibot_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

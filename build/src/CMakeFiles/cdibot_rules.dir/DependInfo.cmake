@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/coverage.cc" "src/CMakeFiles/cdibot_rules.dir/rules/coverage.cc.o" "gcc" "src/CMakeFiles/cdibot_rules.dir/rules/coverage.cc.o.d"
+  "/root/repo/src/rules/expression.cc" "src/CMakeFiles/cdibot_rules.dir/rules/expression.cc.o" "gcc" "src/CMakeFiles/cdibot_rules.dir/rules/expression.cc.o.d"
+  "/root/repo/src/rules/meta_events.cc" "src/CMakeFiles/cdibot_rules.dir/rules/meta_events.cc.o" "gcc" "src/CMakeFiles/cdibot_rules.dir/rules/meta_events.cc.o.d"
+  "/root/repo/src/rules/mining.cc" "src/CMakeFiles/cdibot_rules.dir/rules/mining.cc.o" "gcc" "src/CMakeFiles/cdibot_rules.dir/rules/mining.cc.o.d"
+  "/root/repo/src/rules/rule_engine.cc" "src/CMakeFiles/cdibot_rules.dir/rules/rule_engine.cc.o" "gcc" "src/CMakeFiles/cdibot_rules.dir/rules/rule_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdibot_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_rules.dir/rules/coverage.cc.o"
+  "CMakeFiles/cdibot_rules.dir/rules/coverage.cc.o.d"
+  "CMakeFiles/cdibot_rules.dir/rules/expression.cc.o"
+  "CMakeFiles/cdibot_rules.dir/rules/expression.cc.o.d"
+  "CMakeFiles/cdibot_rules.dir/rules/meta_events.cc.o"
+  "CMakeFiles/cdibot_rules.dir/rules/meta_events.cc.o.d"
+  "CMakeFiles/cdibot_rules.dir/rules/mining.cc.o"
+  "CMakeFiles/cdibot_rules.dir/rules/mining.cc.o.d"
+  "CMakeFiles/cdibot_rules.dir/rules/rule_engine.cc.o"
+  "CMakeFiles/cdibot_rules.dir/rules/rule_engine.cc.o.d"
+  "libcdibot_rules.a"
+  "libcdibot_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_sim.dir/sim/churn.cc.o"
+  "CMakeFiles/cdibot_sim.dir/sim/churn.cc.o.d"
+  "CMakeFiles/cdibot_sim.dir/sim/cloudbot_loop.cc.o"
+  "CMakeFiles/cdibot_sim.dir/sim/cloudbot_loop.cc.o.d"
+  "CMakeFiles/cdibot_sim.dir/sim/fleet.cc.o"
+  "CMakeFiles/cdibot_sim.dir/sim/fleet.cc.o.d"
+  "CMakeFiles/cdibot_sim.dir/sim/incidents.cc.o"
+  "CMakeFiles/cdibot_sim.dir/sim/incidents.cc.o.d"
+  "CMakeFiles/cdibot_sim.dir/sim/scenario.cc.o"
+  "CMakeFiles/cdibot_sim.dir/sim/scenario.cc.o.d"
+  "libcdibot_sim.a"
+  "libcdibot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

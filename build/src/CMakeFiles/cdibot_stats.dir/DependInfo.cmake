@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/cdibot_stats.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/cdibot_stats.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/CMakeFiles/cdibot_stats.dir/stats/distributions.cc.o" "gcc" "src/CMakeFiles/cdibot_stats.dir/stats/distributions.cc.o.d"
+  "/root/repo/src/stats/posthoc.cc" "src/CMakeFiles/cdibot_stats.dir/stats/posthoc.cc.o" "gcc" "src/CMakeFiles/cdibot_stats.dir/stats/posthoc.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/CMakeFiles/cdibot_stats.dir/stats/special_functions.cc.o" "gcc" "src/CMakeFiles/cdibot_stats.dir/stats/special_functions.cc.o.d"
+  "/root/repo/src/stats/tests.cc" "src/CMakeFiles/cdibot_stats.dir/stats/tests.cc.o" "gcc" "src/CMakeFiles/cdibot_stats.dir/stats/tests.cc.o.d"
+  "/root/repo/src/stats/workflow.cc" "src/CMakeFiles/cdibot_stats.dir/stats/workflow.cc.o" "gcc" "src/CMakeFiles/cdibot_stats.dir/stats/workflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdibot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

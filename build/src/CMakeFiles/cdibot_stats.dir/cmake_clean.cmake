@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_stats.dir/stats/descriptive.cc.o"
+  "CMakeFiles/cdibot_stats.dir/stats/descriptive.cc.o.d"
+  "CMakeFiles/cdibot_stats.dir/stats/distributions.cc.o"
+  "CMakeFiles/cdibot_stats.dir/stats/distributions.cc.o.d"
+  "CMakeFiles/cdibot_stats.dir/stats/posthoc.cc.o"
+  "CMakeFiles/cdibot_stats.dir/stats/posthoc.cc.o.d"
+  "CMakeFiles/cdibot_stats.dir/stats/special_functions.cc.o"
+  "CMakeFiles/cdibot_stats.dir/stats/special_functions.cc.o.d"
+  "CMakeFiles/cdibot_stats.dir/stats/tests.cc.o"
+  "CMakeFiles/cdibot_stats.dir/stats/tests.cc.o.d"
+  "CMakeFiles/cdibot_stats.dir/stats/workflow.cc.o"
+  "CMakeFiles/cdibot_stats.dir/stats/workflow.cc.o.d"
+  "libcdibot_stats.a"
+  "libcdibot_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog_config.cc" "src/CMakeFiles/cdibot_storage.dir/storage/catalog_config.cc.o" "gcc" "src/CMakeFiles/cdibot_storage.dir/storage/catalog_config.cc.o.d"
+  "/root/repo/src/storage/config_store.cc" "src/CMakeFiles/cdibot_storage.dir/storage/config_store.cc.o" "gcc" "src/CMakeFiles/cdibot_storage.dir/storage/config_store.cc.o.d"
+  "/root/repo/src/storage/event_log.cc" "src/CMakeFiles/cdibot_storage.dir/storage/event_log.cc.o" "gcc" "src/CMakeFiles/cdibot_storage.dir/storage/event_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdibot_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

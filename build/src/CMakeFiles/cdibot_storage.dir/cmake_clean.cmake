@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_storage.dir/storage/catalog_config.cc.o"
+  "CMakeFiles/cdibot_storage.dir/storage/catalog_config.cc.o.d"
+  "CMakeFiles/cdibot_storage.dir/storage/config_store.cc.o"
+  "CMakeFiles/cdibot_storage.dir/storage/config_store.cc.o.d"
+  "CMakeFiles/cdibot_storage.dir/storage/event_log.cc.o"
+  "CMakeFiles/cdibot_storage.dir/storage/event_log.cc.o.d"
+  "libcdibot_storage.a"
+  "libcdibot_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/log_stream.cc" "src/CMakeFiles/cdibot_telemetry.dir/telemetry/log_stream.cc.o" "gcc" "src/CMakeFiles/cdibot_telemetry.dir/telemetry/log_stream.cc.o.d"
+  "/root/repo/src/telemetry/metric_series.cc" "src/CMakeFiles/cdibot_telemetry.dir/telemetry/metric_series.cc.o" "gcc" "src/CMakeFiles/cdibot_telemetry.dir/telemetry/metric_series.cc.o.d"
+  "/root/repo/src/telemetry/tickets.cc" "src/CMakeFiles/cdibot_telemetry.dir/telemetry/tickets.cc.o" "gcc" "src/CMakeFiles/cdibot_telemetry.dir/telemetry/tickets.cc.o.d"
+  "/root/repo/src/telemetry/topology.cc" "src/CMakeFiles/cdibot_telemetry.dir/telemetry/topology.cc.o" "gcc" "src/CMakeFiles/cdibot_telemetry.dir/telemetry/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdibot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_event.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

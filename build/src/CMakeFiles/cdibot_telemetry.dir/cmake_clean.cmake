@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_telemetry.dir/telemetry/log_stream.cc.o"
+  "CMakeFiles/cdibot_telemetry.dir/telemetry/log_stream.cc.o.d"
+  "CMakeFiles/cdibot_telemetry.dir/telemetry/metric_series.cc.o"
+  "CMakeFiles/cdibot_telemetry.dir/telemetry/metric_series.cc.o.d"
+  "CMakeFiles/cdibot_telemetry.dir/telemetry/tickets.cc.o"
+  "CMakeFiles/cdibot_telemetry.dir/telemetry/tickets.cc.o.d"
+  "CMakeFiles/cdibot_telemetry.dir/telemetry/topology.cc.o"
+  "CMakeFiles/cdibot_telemetry.dir/telemetry/topology.cc.o.d"
+  "libcdibot_telemetry.a"
+  "libcdibot_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_weights.dir/weights/ahp.cc.o"
+  "CMakeFiles/cdibot_weights.dir/weights/ahp.cc.o.d"
+  "CMakeFiles/cdibot_weights.dir/weights/event_weights.cc.o"
+  "CMakeFiles/cdibot_weights.dir/weights/event_weights.cc.o.d"
+  "libcdibot_weights.a"
+  "libcdibot_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

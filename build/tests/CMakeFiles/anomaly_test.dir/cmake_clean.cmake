@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_test.dir/dspot_test.cc.o"
+  "CMakeFiles/anomaly_test.dir/dspot_test.cc.o.d"
+  "CMakeFiles/anomaly_test.dir/evt_test.cc.o"
+  "CMakeFiles/anomaly_test.dir/evt_test.cc.o.d"
+  "CMakeFiles/anomaly_test.dir/ksigma_test.cc.o"
+  "CMakeFiles/anomaly_test.dir/ksigma_test.cc.o.d"
+  "CMakeFiles/anomaly_test.dir/root_cause_test.cc.o"
+  "CMakeFiles/anomaly_test.dir/root_cause_test.cc.o.d"
+  "CMakeFiles/anomaly_test.dir/stl_test.cc.o"
+  "CMakeFiles/anomaly_test.dir/stl_test.cc.o.d"
+  "anomaly_test"
+  "anomaly_test.pdb"
+  "anomaly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

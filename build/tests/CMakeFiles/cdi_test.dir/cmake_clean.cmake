@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdi_test.dir/aggregate_test.cc.o"
+  "CMakeFiles/cdi_test.dir/aggregate_test.cc.o.d"
+  "CMakeFiles/cdi_test.dir/baselines_test.cc.o"
+  "CMakeFiles/cdi_test.dir/baselines_test.cc.o.d"
+  "CMakeFiles/cdi_test.dir/customer_indicator_test.cc.o"
+  "CMakeFiles/cdi_test.dir/customer_indicator_test.cc.o.d"
+  "CMakeFiles/cdi_test.dir/drilldown_test.cc.o"
+  "CMakeFiles/cdi_test.dir/drilldown_test.cc.o.d"
+  "CMakeFiles/cdi_test.dir/history_test.cc.o"
+  "CMakeFiles/cdi_test.dir/history_test.cc.o.d"
+  "CMakeFiles/cdi_test.dir/indicator_test.cc.o"
+  "CMakeFiles/cdi_test.dir/indicator_test.cc.o.d"
+  "CMakeFiles/cdi_test.dir/monitor_test.cc.o"
+  "CMakeFiles/cdi_test.dir/monitor_test.cc.o.d"
+  "CMakeFiles/cdi_test.dir/pipeline_test.cc.o"
+  "CMakeFiles/cdi_test.dir/pipeline_test.cc.o.d"
+  "CMakeFiles/cdi_test.dir/vm_cdi_test.cc.o"
+  "CMakeFiles/cdi_test.dir/vm_cdi_test.cc.o.d"
+  "cdi_test"
+  "cdi_test.pdb"
+  "cdi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_test.dir/csv_test.cc.o"
+  "CMakeFiles/dataflow_test.dir/csv_test.cc.o.d"
+  "CMakeFiles/dataflow_test.dir/dataflow_engine_test.cc.o"
+  "CMakeFiles/dataflow_test.dir/dataflow_engine_test.cc.o.d"
+  "CMakeFiles/dataflow_test.dir/dataflow_table_test.cc.o"
+  "CMakeFiles/dataflow_test.dir/dataflow_table_test.cc.o.d"
+  "CMakeFiles/dataflow_test.dir/dataflow_value_test.cc.o"
+  "CMakeFiles/dataflow_test.dir/dataflow_value_test.cc.o.d"
+  "CMakeFiles/dataflow_test.dir/query_test.cc.o"
+  "CMakeFiles/dataflow_test.dir/query_test.cc.o.d"
+  "dataflow_test"
+  "dataflow_test.pdb"
+  "dataflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

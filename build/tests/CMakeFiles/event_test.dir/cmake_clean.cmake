@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_test.dir/event_catalog_test.cc.o"
+  "CMakeFiles/event_test.dir/event_catalog_test.cc.o.d"
+  "CMakeFiles/event_test.dir/event_store_test.cc.o"
+  "CMakeFiles/event_test.dir/event_store_test.cc.o.d"
+  "CMakeFiles/event_test.dir/overrides_test.cc.o"
+  "CMakeFiles/event_test.dir/overrides_test.cc.o.d"
+  "CMakeFiles/event_test.dir/period_resolver_test.cc.o"
+  "CMakeFiles/event_test.dir/period_resolver_test.cc.o.d"
+  "event_test"
+  "event_test.pdb"
+  "event_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

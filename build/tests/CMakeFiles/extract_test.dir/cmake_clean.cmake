@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_test.dir/log_rules_test.cc.o"
+  "CMakeFiles/extract_test.dir/log_rules_test.cc.o.d"
+  "CMakeFiles/extract_test.dir/metric_rules_test.cc.o"
+  "CMakeFiles/extract_test.dir/metric_rules_test.cc.o.d"
+  "CMakeFiles/extract_test.dir/statistical_test.cc.o"
+  "CMakeFiles/extract_test.dir/statistical_test.cc.o.d"
+  "CMakeFiles/extract_test.dir/surge_test.cc.o"
+  "CMakeFiles/extract_test.dir/surge_test.cc.o.d"
+  "extract_test"
+  "extract_test.pdb"
+  "extract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_test.dir/actions_test.cc.o"
+  "CMakeFiles/ops_test.dir/actions_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/operation_platform_test.cc.o"
+  "CMakeFiles/ops_test.dir/operation_platform_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/placement_test.cc.o"
+  "CMakeFiles/ops_test.dir/placement_test.cc.o.d"
+  "CMakeFiles/ops_test.dir/prioritizer_test.cc.o"
+  "CMakeFiles/ops_test.dir/prioritizer_test.cc.o.d"
+  "ops_test"
+  "ops_test.pdb"
+  "ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

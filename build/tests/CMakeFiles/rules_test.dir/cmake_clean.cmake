@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_test.dir/coverage_test.cc.o"
+  "CMakeFiles/rules_test.dir/coverage_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/expression_test.cc.o"
+  "CMakeFiles/rules_test.dir/expression_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/mining_test.cc.o"
+  "CMakeFiles/rules_test.dir/mining_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/rule_engine_test.cc.o"
+  "CMakeFiles/rules_test.dir/rule_engine_test.cc.o.d"
+  "rules_test"
+  "rules_test.pdb"
+  "rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/descriptive_test.cc" "tests/CMakeFiles/stats_test.dir/descriptive_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/descriptive_test.cc.o.d"
+  "/root/repo/tests/distributions_test.cc" "tests/CMakeFiles/stats_test.dir/distributions_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/distributions_test.cc.o.d"
+  "/root/repo/tests/posthoc_test.cc" "tests/CMakeFiles/stats_test.dir/posthoc_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/posthoc_test.cc.o.d"
+  "/root/repo/tests/shapiro_wilk_test.cc" "tests/CMakeFiles/stats_test.dir/shapiro_wilk_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/shapiro_wilk_test.cc.o.d"
+  "/root/repo/tests/special_functions_test.cc" "tests/CMakeFiles/stats_test.dir/special_functions_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/special_functions_test.cc.o.d"
+  "/root/repo/tests/stats_tests_test.cc" "tests/CMakeFiles/stats_test.dir/stats_tests_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats_tests_test.cc.o.d"
+  "/root/repo/tests/workflow_test.cc" "tests/CMakeFiles/stats_test.dir/workflow_test.cc.o" "gcc" "tests/CMakeFiles/stats_test.dir/workflow_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdibot_abtest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_cdi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_weights.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

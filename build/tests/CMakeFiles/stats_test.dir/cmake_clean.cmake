@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test.dir/descriptive_test.cc.o"
+  "CMakeFiles/stats_test.dir/descriptive_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/distributions_test.cc.o"
+  "CMakeFiles/stats_test.dir/distributions_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/posthoc_test.cc.o"
+  "CMakeFiles/stats_test.dir/posthoc_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/shapiro_wilk_test.cc.o"
+  "CMakeFiles/stats_test.dir/shapiro_wilk_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/special_functions_test.cc.o"
+  "CMakeFiles/stats_test.dir/special_functions_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/stats_tests_test.cc.o"
+  "CMakeFiles/stats_test.dir/stats_tests_test.cc.o.d"
+  "CMakeFiles/stats_test.dir/workflow_test.cc.o"
+  "CMakeFiles/stats_test.dir/workflow_test.cc.o.d"
+  "stats_test"
+  "stats_test.pdb"
+  "stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/event_test[1]_include.cmake")
+include("/root/repo/build/tests/weights_test[1]_include.cmake")
+include("/root/repo/build/tests/cdi_test[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/anomaly_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build/tests/extract_test[1]_include.cmake")
+include("/root/repo/build/tests/rules_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/abtest_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
