@@ -1,0 +1,184 @@
+// Streaming vs batch update cost. The point of the incremental engine is
+// that folding one new event into the fleet CDI costs O(dirty VMs + shards)
+// — independent of fleet size — while the batch answer to "what is the CDI
+// now?" is a full DailyCdiJob rerun, O(fleet). BM_StreamUpdate should stay
+// flat as the fleet grows; BM_BatchRerun should scale linearly. The
+// counters report per-update events and fleet size for eyeballing the gap.
+#include <benchmark/benchmark.h>
+
+#include "cdi/pipeline.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "sim/fleet.h"
+#include "sim/scenario.h"
+#include "storage/event_log.h"
+#include "stream/streaming_engine.h"
+#include "weights/event_weights.h"
+
+namespace cdibot {
+namespace {
+
+const TimePoint kDayStart = TimePoint::FromMillis(1767225600000);  // 2026-01-01
+const Interval kDay(kDayStart, kDayStart + Duration::Days(1));
+
+Fleet MakeFleet(int target_vms) {
+  const int vms_per_nc = 8;
+  FleetSpec spec;
+  spec.regions = 1;
+  spec.azs_per_region = 1;
+  spec.clusters_per_az = 1;
+  spec.ncs_per_cluster = std::max(1, target_vms / vms_per_nc);
+  spec.vms_per_nc = vms_per_nc;
+  return Fleet::Build(spec).value();
+}
+
+EventWeightModel MakeWeights() {
+  auto ticket_model = TicketRankModel::FromCounts(
+      {{"slow_io", 420}, {"packet_loss", 160}, {"vcpu_high", 230}}, 4);
+  return EventWeightModel::Build(std::move(ticket_model).value(), {}).value();
+}
+
+// A primed engine plus the day's event stream it was fed.
+struct StreamFixture {
+  EventCatalog catalog = EventCatalog::BuiltIn();
+  EventWeightModel weights = MakeWeights();
+  Fleet fleet;
+  std::vector<VmServiceInfo> vms;
+  std::vector<RawEvent> day_events;
+
+  explicit StreamFixture(int target_vms) : fleet(MakeFleet(target_vms)) {
+    vms = fleet.ServiceInfos(kDay).value();
+    Rng rng(17);
+    FaultInjector injector(&catalog, &rng);
+    EventLog log;
+    (void)injector.InjectDay(fleet, kDayStart, BaselineRates().Scaled(20.0),
+                             &log);
+    day_events = log.Search(Interval(kDayStart - Duration::Days(1),
+                                     kDay.end + Duration::Days(1)));
+  }
+
+  StreamingCdiEngine MakeEngine(ThreadPool* pool) const {
+    StreamingCdiOptions opts;
+    opts.window = kDay;
+    opts.pool = pool;
+    auto engine = StreamingCdiEngine::Create(&catalog, &weights, opts).value();
+    for (const VmServiceInfo& vm : vms) (void)engine.RegisterVm(vm);
+    (void)engine.IngestBatch(day_events);
+    (void)engine.FleetCdi();  // settle: everything computed, nothing dirty
+    return engine;
+  }
+};
+
+// Steady-state incremental update: one new event lands on one VM, then the
+// fleet CDI is refreshed. Only that VM is recomputed; the rest of the fleet
+// is merged from resident shard partials, so time/op should not grow with
+// the fleet.
+void BM_StreamUpdate(benchmark::State& state) {
+  const StreamFixture fx(static_cast<int>(state.range(0)));
+  StreamingCdiEngine engine = fx.MakeEngine(nullptr);
+  Rng rng(23);
+  size_t updates = 0;
+  for (auto _ : state) {
+    RawEvent ev;
+    ev.name = "slow_io";
+    ev.time = kDayStart + Duration::Minutes(rng.UniformInt(0, 1439));
+    ev.target =
+        fx.vms[static_cast<size_t>(rng.UniformInt(
+                   0, static_cast<int64_t>(fx.vms.size()) - 1))]
+            .vm_id;
+    ev.level = Severity::kCritical;
+    ev.expire_interval = Duration::Hours(1);
+    (void)engine.Ingest(ev);
+    auto fleet_cdi = engine.FleetCdi();
+    benchmark::DoNotOptimize(fleet_cdi);
+    ++updates;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(updates));
+  state.counters["vms"] =
+      benchmark::Counter(static_cast<double>(fx.vms.size()));
+}
+BENCHMARK(BM_StreamUpdate)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+// The batch answer to the same question: rerun the whole daily job because
+// one event arrived. O(fleet) by construction.
+void BM_BatchRerun(benchmark::State& state) {
+  const StreamFixture fx(static_cast<int>(state.range(0)));
+  EventLog log;
+  log.AppendBatch(fx.day_events);
+  DailyCdiJob job(&log, &fx.catalog, &fx.weights, {});
+  for (auto _ : state) {
+    auto result = job.Run(fx.vms, kDay);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["vms"] =
+      benchmark::Counter(static_cast<double>(fx.vms.size()));
+}
+BENCHMARK(BM_BatchRerun)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+// Raw ingest cost (buffer + dirty-mark only; no recomputation).
+void BM_StreamIngest(benchmark::State& state) {
+  const StreamFixture fx(static_cast<int>(state.range(0)));
+  StreamingCdiEngine engine = fx.MakeEngine(nullptr);
+  Rng rng(29);
+  for (auto _ : state) {
+    RawEvent ev;
+    ev.name = "packet_loss";
+    ev.time = kDayStart + Duration::Minutes(rng.UniformInt(0, 1439));
+    ev.target =
+        fx.vms[static_cast<size_t>(rng.UniformInt(
+                   0, static_cast<int64_t>(fx.vms.size()) - 1))]
+            .vm_id;
+    ev.level = Severity::kWarning;
+    ev.expire_interval = Duration::Hours(1);
+    (void)engine.Ingest(ev);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["vms"] =
+      benchmark::Counter(static_cast<double>(fx.vms.size()));
+}
+BENCHMARK(BM_StreamIngest)->Arg(64)->Arg(1024);
+
+// Parallel drain: a burst touches many VMs, then one snapshot refresh
+// recomputes the dirty set on the pool.
+void BM_StreamBurstDrain(benchmark::State& state) {
+  const StreamFixture fx(256);
+  ThreadPool pool(std::thread::hardware_concurrency());
+  StreamingCdiEngine engine = fx.MakeEngine(&pool);
+  Rng rng(31);
+  const auto burst = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    for (size_t i = 0; i < burst; ++i) {
+      RawEvent ev;
+      ev.name = "slow_io";
+      ev.time = kDayStart + Duration::Minutes(rng.UniformInt(0, 1439));
+      ev.target =
+          fx.vms[static_cast<size_t>(rng.UniformInt(
+                     0, static_cast<int64_t>(fx.vms.size()) - 1))]
+              .vm_id;
+      ev.level = Severity::kCritical;
+      ev.expire_interval = Duration::Hours(1);
+      (void)engine.Ingest(ev);
+    }
+    auto fleet_cdi = engine.FleetCdi();
+    benchmark::DoNotOptimize(fleet_cdi);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(burst));
+}
+BENCHMARK(BM_StreamBurstDrain)
+    ->Arg(16)
+    ->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cdibot
+
+BENCHMARK_MAIN();

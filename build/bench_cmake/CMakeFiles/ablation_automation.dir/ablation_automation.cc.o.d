@@ -215,13 +215,15 @@ bench_cmake/CMakeFiles/ablation_automation.dir/ablation_automation.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/future \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/atomic_futex.h \
  /usr/include/c++/12/thread /root/repo/src/sim/cloudbot_loop.h \
- /root/repo/src/cdi/pipeline.h /usr/include/c++/12/map \
+ /root/repo/src/cdi/monitor.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/cdi/baselines.h \
- /root/repo/src/common/statusor.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/optional \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/common/status.h /root/repo/src/common/time.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/anomaly/ksigma.h \
+ /usr/include/c++/12/cstddef /root/repo/src/common/statusor.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/status.h \
+ /root/repo/src/anomaly/root_cause.h /root/repo/src/cdi/pipeline.h \
+ /root/repo/src/cdi/baselines.h /root/repo/src/common/time.h \
  /root/repo/src/event/event.h /root/repo/src/cdi/drilldown.h \
  /root/repo/src/cdi/aggregate.h /root/repo/src/cdi/vm_cdi.h \
  /root/repo/src/weights/event_weights.h /root/repo/src/dataflow/engine.h \
@@ -229,8 +231,8 @@ bench_cmake/CMakeFiles/ablation_automation.dir/ablation_automation.cc.o: \
  /usr/include/c++/12/variant /root/repo/src/event/catalog.h \
  /root/repo/src/event/period_resolver.h \
  /root/repo/src/storage/event_log.h /root/repo/src/common/rng.h \
- /usr/include/c++/12/cstddef /root/repo/src/ops/operation_platform.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/ops/operation_platform.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/ops/actions.h \
  /root/repo/src/rules/rule_engine.h /root/repo/src/rules/expression.h \
  /usr/include/c++/12/memory \
@@ -242,4 +244,6 @@ bench_cmake/CMakeFiles/ablation_automation.dir/ablation_automation.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/fleet.h \
- /root/repo/src/telemetry/topology.h
+ /root/repo/src/telemetry/topology.h \
+ /root/repo/src/stream/streaming_engine.h \
+ /root/repo/src/storage/stream_checkpoint.h

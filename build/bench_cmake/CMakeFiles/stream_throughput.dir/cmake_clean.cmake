@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/stream_throughput"
+  "../bench/stream_throughput.pdb"
+  "CMakeFiles/stream_throughput.dir/stream_throughput.cc.o"
+  "CMakeFiles/stream_throughput.dir/stream_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

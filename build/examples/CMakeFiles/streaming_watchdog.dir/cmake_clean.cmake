@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_watchdog.dir/streaming_watchdog.cpp.o"
+  "CMakeFiles/streaming_watchdog.dir/streaming_watchdog.cpp.o.d"
+  "streaming_watchdog"
+  "streaming_watchdog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

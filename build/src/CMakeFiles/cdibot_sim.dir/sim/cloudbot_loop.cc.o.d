@@ -1,6 +1,6 @@
 src/CMakeFiles/cdibot_sim.dir/sim/cloudbot_loop.cc.o: \
  /root/repo/src/sim/cloudbot_loop.cc /usr/include/stdc-predef.h \
- /root/repo/src/sim/cloudbot_loop.h /root/repo/src/cdi/pipeline.h \
+ /root/repo/src/sim/cloudbot_loop.h /root/repo/src/cdi/monitor.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
@@ -130,7 +130,9 @@ src/CMakeFiles/cdibot_sim.dir/sim/cloudbot_loop.cc.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/cdi/baselines.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/anomaly/ksigma.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/common/statusor.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/optional \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
@@ -138,11 +140,12 @@ src/CMakeFiles/cdibot_sim.dir/sim/cloudbot_loop.cc.o: \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/common/status.h /root/repo/src/common/time.h \
- /root/repo/src/event/event.h /root/repo/src/cdi/drilldown.h \
- /root/repo/src/cdi/aggregate.h /root/repo/src/cdi/vm_cdi.h \
- /root/repo/src/weights/event_weights.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/common/status.h /root/repo/src/anomaly/root_cause.h \
+ /root/repo/src/cdi/pipeline.h /root/repo/src/cdi/baselines.h \
+ /root/repo/src/common/time.h /root/repo/src/event/event.h \
+ /root/repo/src/cdi/drilldown.h /root/repo/src/cdi/aggregate.h \
+ /root/repo/src/cdi/vm_cdi.h /root/repo/src/weights/event_weights.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/dataflow/engine.h /usr/include/c++/12/functional \
@@ -223,16 +226,15 @@ src/CMakeFiles/cdibot_sim.dir/sim/cloudbot_loop.cc.o: \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/future /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
  /root/repo/src/dataflow/table.h /root/repo/src/dataflow/value.h \
  /usr/include/c++/12/variant /root/repo/src/event/catalog.h \
  /root/repo/src/event/period_resolver.h \
  /root/repo/src/storage/event_log.h /root/repo/src/common/rng.h \
- /usr/include/c++/12/cstddef /root/repo/src/ops/operation_platform.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/ops/operation_platform.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/ops/actions.h \
  /root/repo/src/rules/rule_engine.h /root/repo/src/rules/expression.h \
  /usr/include/c++/12/memory \
@@ -244,7 +246,9 @@ src/CMakeFiles/cdibot_sim.dir/sim/cloudbot_loop.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/fleet.h \
- /root/repo/src/telemetry/topology.h /usr/include/c++/12/algorithm \
+ /root/repo/src/telemetry/topology.h \
+ /root/repo/src/stream/streaming_engine.h \
+ /root/repo/src/storage/stream_checkpoint.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/storage/catalog_config.cc" "src/CMakeFiles/cdibot_storage.dir/storage/catalog_config.cc.o" "gcc" "src/CMakeFiles/cdibot_storage.dir/storage/catalog_config.cc.o.d"
   "/root/repo/src/storage/config_store.cc" "src/CMakeFiles/cdibot_storage.dir/storage/config_store.cc.o" "gcc" "src/CMakeFiles/cdibot_storage.dir/storage/config_store.cc.o.d"
   "/root/repo/src/storage/event_log.cc" "src/CMakeFiles/cdibot_storage.dir/storage/event_log.cc.o" "gcc" "src/CMakeFiles/cdibot_storage.dir/storage/event_log.cc.o.d"
+  "/root/repo/src/storage/stream_checkpoint.cc" "src/CMakeFiles/cdibot_storage.dir/storage/stream_checkpoint.cc.o" "gcc" "src/CMakeFiles/cdibot_storage.dir/storage/stream_checkpoint.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cdibot_storage.dir/storage/config_store.cc.o.d"
   "CMakeFiles/cdibot_storage.dir/storage/event_log.cc.o"
   "CMakeFiles/cdibot_storage.dir/storage/event_log.cc.o.d"
+  "CMakeFiles/cdibot_storage.dir/storage/stream_checkpoint.cc.o"
+  "CMakeFiles/cdibot_storage.dir/storage/stream_checkpoint.cc.o.d"
   "libcdibot_storage.a"
   "libcdibot_storage.pdb"
 )

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_stream.dir/stream/streaming_engine.cc.o"
+  "CMakeFiles/cdibot_stream.dir/stream/streaming_engine.cc.o.d"
+  "libcdibot_stream.a"
+  "libcdibot_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

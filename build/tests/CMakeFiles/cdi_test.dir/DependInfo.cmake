@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/indicator_test.cc" "tests/CMakeFiles/cdi_test.dir/indicator_test.cc.o" "gcc" "tests/CMakeFiles/cdi_test.dir/indicator_test.cc.o.d"
   "/root/repo/tests/monitor_test.cc" "tests/CMakeFiles/cdi_test.dir/monitor_test.cc.o" "gcc" "tests/CMakeFiles/cdi_test.dir/monitor_test.cc.o.d"
   "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/cdi_test.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/cdi_test.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/table4_golden_test.cc" "tests/CMakeFiles/cdi_test.dir/table4_golden_test.cc.o" "gcc" "tests/CMakeFiles/cdi_test.dir/table4_golden_test.cc.o.d"
   "/root/repo/tests/vm_cdi_test.cc" "tests/CMakeFiles/cdi_test.dir/vm_cdi_test.cc.o" "gcc" "tests/CMakeFiles/cdi_test.dir/vm_cdi_test.cc.o.d"
   )
 
@@ -23,11 +24,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/cdibot_abtest.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_sim.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/cdibot_cdi.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_extract.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/cdibot_anomaly.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_ops.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_cdi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_anomaly.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_dataflow.dir/DependInfo.cmake"

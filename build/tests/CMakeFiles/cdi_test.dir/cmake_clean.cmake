@@ -15,6 +15,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cdi_test.dir/monitor_test.cc.o.d"
   "CMakeFiles/cdi_test.dir/pipeline_test.cc.o"
   "CMakeFiles/cdi_test.dir/pipeline_test.cc.o.d"
+  "CMakeFiles/cdi_test.dir/table4_golden_test.cc.o"
+  "CMakeFiles/cdi_test.dir/table4_golden_test.cc.o.d"
   "CMakeFiles/cdi_test.dir/vm_cdi_test.cc.o"
   "CMakeFiles/cdi_test.dir/vm_cdi_test.cc.o.d"
   "cdi_test"

@@ -20,11 +20,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/cdibot_abtest.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_sim.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/cdibot_cdi.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_extract.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/cdibot_anomaly.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_ops.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_cdi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_anomaly.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_dataflow.dir/DependInfo.cmake"

@@ -293,9 +293,12 @@ tests/CMakeFiles/sim_test.dir/cloudbot_loop_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/sim/cloudbot_loop.h /root/repo/src/cdi/pipeline.h \
- /root/repo/src/cdi/baselines.h /root/repo/src/common/statusor.h \
- /root/repo/src/common/status.h /root/repo/src/common/time.h \
+ /root/repo/src/sim/cloudbot_loop.h /root/repo/src/cdi/monitor.h \
+ /root/repo/src/anomaly/ksigma.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/common/statusor.h /root/repo/src/common/status.h \
+ /root/repo/src/anomaly/root_cause.h /root/repo/src/cdi/pipeline.h \
+ /root/repo/src/cdi/baselines.h /root/repo/src/common/time.h \
  /root/repo/src/event/event.h /root/repo/src/cdi/drilldown.h \
  /root/repo/src/cdi/aggregate.h /root/repo/src/cdi/vm_cdi.h \
  /root/repo/src/weights/event_weights.h /root/repo/src/dataflow/engine.h \
@@ -307,8 +310,7 @@ tests/CMakeFiles/sim_test.dir/cloudbot_loop_test.cc.o: \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/future /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
  /root/repo/src/dataflow/table.h /root/repo/src/dataflow/value.h \
@@ -316,4 +318,6 @@ tests/CMakeFiles/sim_test.dir/cloudbot_loop_test.cc.o: \
  /root/repo/src/storage/event_log.h /root/repo/src/common/rng.h \
  /root/repo/src/ops/operation_platform.h /root/repo/src/ops/actions.h \
  /root/repo/src/rules/rule_engine.h /root/repo/src/rules/expression.h \
- /root/repo/src/sim/fleet.h /root/repo/src/telemetry/topology.h
+ /root/repo/src/sim/fleet.h /root/repo/src/telemetry/topology.h \
+ /root/repo/src/stream/streaming_engine.h \
+ /root/repo/src/storage/stream_checkpoint.h

@@ -18,4 +18,5 @@ include("/root/repo/build/tests/rules_test[1]_include.cmake")
 include("/root/repo/build/tests/ops_test[1]_include.cmake")
 include("/root/repo/build/tests/sim_test[1]_include.cmake")
 include("/root/repo/build/tests/abtest_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + ctest, then an ASan/UBSan pass over the
+# concurrency-heavy tests (thread pool, streaming engine, and the
+# stream-vs-batch differential suite), where memory and ordering bugs
+# actually live. Run from the repo root:
+#
+#   scripts/check.sh            # everything
+#   SKIP_SAN=1 scripts/check.sh # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "${SKIP_SAN:-0}" == "1" ]]; then
+  echo "== sanitizers skipped (SKIP_SAN=1) =="
+  exit 0
+fi
+
+echo "== asan+ubsan: build =="
+cmake -B build-asan -S . -DCDIBOT_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$JOBS" --target common_test stream_test
+
+echo "== asan+ubsan: thread pool + streaming engine =="
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export ASAN_OPTIONS="detect_leaks=1"
+./build-asan/tests/common_test --gtest_filter='ThreadPool*'
+./build-asan/tests/stream_test
+
+echo "== all checks passed =="

@@ -12,22 +12,22 @@ StatusOr<KSigmaDetector> KSigmaDetector::Create(size_t window, double k) {
   return KSigmaDetector(window, k);
 }
 
+AnomalyDirection KSigmaDetector::Classify(double x) const {
+  if (buffer_.size() < window_) return AnomalyDirection::kNone;
+  const auto n = static_cast<double>(buffer_.size());
+  const double mean = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - mean * mean);
+  const double sigma = std::sqrt(var);
+  // A flat window (sigma == 0) flags any departure from the constant.
+  const double limit = k_ * sigma;
+  if (x > mean + limit && x != mean) return AnomalyDirection::kSpike;
+  if (x < mean - limit && x != mean) return AnomalyDirection::kDip;
+  return AnomalyDirection::kNone;
+}
+
 AnomalyDirection KSigmaDetector::Observe(double x) {
   ++count_;
-  AnomalyDirection result = AnomalyDirection::kNone;
-  if (buffer_.size() >= window_) {
-    const auto n = static_cast<double>(buffer_.size());
-    const double mean = sum_ / n;
-    const double var = std::max(0.0, sum_sq_ / n - mean * mean);
-    const double sigma = std::sqrt(var);
-    // A flat window (sigma == 0) flags any departure from the constant.
-    const double limit = k_ * sigma;
-    if (x > mean + limit && x != mean) {
-      result = AnomalyDirection::kSpike;
-    } else if (x < mean - limit && x != mean) {
-      result = AnomalyDirection::kDip;
-    }
-  }
+  const AnomalyDirection result = Classify(x);
   // Anomalous points still enter the window: a persistent shift becomes the
   // new normal, which matches how the paper's daily curves are read.
   buffer_.push_back(x);

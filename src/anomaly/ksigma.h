@@ -26,6 +26,12 @@ class KSigmaDetector {
   /// `window` points are calibration and always return kNone.
   AnomalyDirection Observe(double x);
 
+  /// Classifies `x` against the current window WITHOUT consuming it: the
+  /// detector state is unchanged and a later Observe(x) returns the same
+  /// direction. Lets a live stream peek at a provisional value (an
+  /// intra-day CDI snapshot) many times before the day commits.
+  AnomalyDirection Classify(double x) const;
+
   /// Number of observations consumed so far.
   size_t count() const { return count_; }
 

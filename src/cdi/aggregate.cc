@@ -7,6 +7,11 @@ void CdiAccumulator::Add(Duration service_time, double cdi) {
   total_service_ms_ += service_time.millis();
 }
 
+void CdiAccumulator::Remove(Duration service_time, double cdi) {
+  weighted_sum_ -= static_cast<double>(service_time.millis()) * cdi;
+  total_service_ms_ -= service_time.millis();
+}
+
 void CdiAccumulator::Merge(const CdiAccumulator& other) {
   weighted_sum_ += other.weighted_sum_;
   total_service_ms_ += other.total_service_ms_;
@@ -17,19 +22,35 @@ double CdiAccumulator::Value() const {
   return weighted_sum_ / static_cast<double>(total_service_ms_);
 }
 
+void FleetCdiPartial::AddVm(const VmCdi& vm) {
+  u_.Add(vm.service_time, vm.unavailability);
+  p_.Add(vm.service_time, vm.performance);
+  c_.Add(vm.service_time, vm.control_plane);
+}
+
+void FleetCdiPartial::RemoveVm(const VmCdi& vm) {
+  u_.Remove(vm.service_time, vm.unavailability);
+  p_.Remove(vm.service_time, vm.performance);
+  c_.Remove(vm.service_time, vm.control_plane);
+}
+
+void FleetCdiPartial::Merge(const FleetCdiPartial& other) {
+  u_.Merge(other.u_);
+  p_.Merge(other.p_);
+  c_.Merge(other.c_);
+}
+
+VmCdi FleetCdiPartial::Finalize() const {
+  return VmCdi{.unavailability = u_.Value(),
+               .performance = p_.Value(),
+               .control_plane = c_.Value(),
+               .service_time = u_.total_service_time()};
+}
+
 VmCdi AggregateVmCdi(const std::vector<VmCdi>& vms) {
-  CdiAccumulator u, p, c;
-  Duration total;
-  for (const VmCdi& vm : vms) {
-    u.Add(vm.service_time, vm.unavailability);
-    p.Add(vm.service_time, vm.performance);
-    c.Add(vm.service_time, vm.control_plane);
-    total += vm.service_time;
-  }
-  return VmCdi{.unavailability = u.Value(),
-               .performance = p.Value(),
-               .control_plane = c.Value(),
-               .service_time = total};
+  FleetCdiPartial partial;
+  for (const VmCdi& vm : vms) partial.AddVm(vm);
+  return partial.Finalize();
 }
 
 }  // namespace cdibot

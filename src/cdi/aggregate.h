@@ -23,6 +23,12 @@ class CdiAccumulator {
   /// Adds one VM's indicator value with its service time.
   void Add(Duration service_time, double cdi);
 
+  /// Retracts a previously added sample — the streaming engine replaces a
+  /// VM's contribution in place when late events change its indicator.
+  /// Floating-point retraction is exact in the weight sum (int64) and
+  /// accurate to rounding in the weighted sum.
+  void Remove(Duration service_time, double cdi);
+
   /// Merges another accumulator into this one.
   void Merge(const CdiAccumulator& other);
 
@@ -37,6 +43,34 @@ class CdiAccumulator {
  private:
   double weighted_sum_ = 0.0;  // sum of T_i (ms) * Q_i
   int64_t total_service_ms_ = 0;
+};
+
+/// Mergeable partial form of the Eq.-4 fleet rollup: one accumulator per
+/// sub-metric. Each shard of the streaming engine (and each executor of the
+/// batch job, conceptually) folds its VMs into a partial; partials merge
+/// associatively and finalize into the fleet VmCdi. Merging partials yields
+/// the same result as folding the union of their VMs.
+class FleetCdiPartial {
+ public:
+  FleetCdiPartial() = default;
+
+  /// Folds one VM's indicators in.
+  void AddVm(const VmCdi& vm);
+
+  /// Retracts one VM's previously folded indicators.
+  void RemoveVm(const VmCdi& vm);
+
+  /// Merges another partial into this one.
+  void Merge(const FleetCdiPartial& other);
+
+  /// The fleet-level VmCdi over everything folded so far.
+  VmCdi Finalize() const;
+
+  Duration total_service_time() const { return u_.total_service_time(); }
+  bool empty() const { return u_.empty(); }
+
+ private:
+  CdiAccumulator u_, p_, c_;
 };
 
 /// Aggregates full per-VM results into one fleet-level VmCdi via Eq. 4,

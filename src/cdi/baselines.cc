@@ -57,35 +57,59 @@ StatusOr<UnavailabilityStats> ComputeUnavailabilityStats(
   return stats;
 }
 
+void UnavailabilityPartial::AddVm(const UnavailabilityStats& vm,
+                                  Duration service_time) {
+  interruption_count_ += vm.interruption_count;
+  downtime_ += vm.downtime;
+  service_total_ += service_time;
+}
+
+void UnavailabilityPartial::RemoveVm(const UnavailabilityStats& vm,
+                                     Duration service_time) {
+  interruption_count_ -= vm.interruption_count;
+  downtime_ -= vm.downtime;
+  service_total_ -= service_time;
+}
+
+void UnavailabilityPartial::Merge(const UnavailabilityPartial& other) {
+  interruption_count_ += other.interruption_count_;
+  downtime_ += other.downtime_;
+  service_total_ += other.service_total_;
+}
+
+UnavailabilityStats UnavailabilityPartial::Finalize() const {
+  UnavailabilityStats total;
+  total.interruption_count = interruption_count_;
+  total.downtime = downtime_;
+  const auto service_ms = static_cast<double>(service_total_.millis());
+  if (service_ms > 0) {
+    total.downtime_percentage =
+        static_cast<double>(downtime_.millis()) / service_ms;
+    total.annual_interruption_rate =
+        static_cast<double>(interruption_count_) * kMillisPerYear / service_ms;
+    total.mtbf =
+        interruption_count_ == 0
+            ? service_total_
+            : Duration::Millis(service_total_.millis() /
+                               static_cast<int64_t>(interruption_count_));
+    total.mttr =
+        interruption_count_ == 0
+            ? Duration::Zero()
+            : Duration::Millis(downtime_.millis() /
+                               static_cast<int64_t>(interruption_count_));
+  }
+  return total;
+}
+
 UnavailabilityStats AggregateUnavailabilityStats(
     const std::vector<UnavailabilityStats>& per_vm,
     const std::vector<Duration>& service_times) {
-  UnavailabilityStats total;
-  Duration service_total;
+  UnavailabilityPartial partial;
   for (size_t i = 0; i < per_vm.size(); ++i) {
-    total.interruption_count += per_vm[i].interruption_count;
-    total.downtime += per_vm[i].downtime;
-    if (i < service_times.size()) service_total += service_times[i];
+    partial.AddVm(per_vm[i], i < service_times.size() ? service_times[i]
+                                                      : Duration::Zero());
   }
-  const auto service_ms = static_cast<double>(service_total.millis());
-  if (service_ms > 0) {
-    total.downtime_percentage =
-        static_cast<double>(total.downtime.millis()) / service_ms;
-    total.annual_interruption_rate =
-        static_cast<double>(total.interruption_count) * kMillisPerYear /
-        service_ms;
-    total.mtbf =
-        total.interruption_count == 0
-            ? service_total
-            : Duration::Millis(service_total.millis() /
-                               static_cast<int64_t>(total.interruption_count));
-    total.mttr =
-        total.interruption_count == 0
-            ? Duration::Zero()
-            : Duration::Millis(total.downtime.millis() /
-                               static_cast<int64_t>(total.interruption_count));
-  }
-  return total;
+  return partial.Finalize();
 }
 
 }  // namespace cdibot

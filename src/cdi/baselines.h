@@ -37,6 +37,30 @@ struct UnavailabilityStats {
 StatusOr<UnavailabilityStats> ComputeUnavailabilityStats(
     const std::vector<ResolvedEvent>& events, const Interval& service_period);
 
+/// Mergeable partial form of the classic-metrics fleet rollup: episode
+/// counts, downtime, and service time are plain sums, so per-shard partials
+/// merge associatively and the rates re-derive at finalize time. The
+/// streaming engine keeps one partial per shard and retracts a VM's old
+/// contribution when late events revise it.
+class UnavailabilityPartial {
+ public:
+  UnavailabilityPartial() = default;
+
+  void AddVm(const UnavailabilityStats& vm, Duration service_time);
+  void RemoveVm(const UnavailabilityStats& vm, Duration service_time);
+  void Merge(const UnavailabilityPartial& other);
+
+  /// Fleet-level stats over everything folded so far.
+  UnavailabilityStats Finalize() const;
+
+  bool empty() const { return service_total_.IsZero(); }
+
+ private:
+  size_t interruption_count_ = 0;
+  Duration downtime_;
+  Duration service_total_;
+};
+
 /// Fleet-level aggregation of the classic metrics: durations and episode
 /// counts add; rates re-normalize by total service time.
 UnavailabilityStats AggregateUnavailabilityStats(

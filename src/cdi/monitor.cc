@@ -83,6 +83,68 @@ StatusOr<std::vector<PotentialProblem>> CdiMonitor::IngestDay(
   return problems;
 }
 
+StatusOr<std::vector<PotentialProblem>> CdiMonitor::Preview(
+    TimePoint day, const DailyCdiResult& result) const {
+  auto today_or = EventLevelCdi(result.per_event, result.fleet_service_time);
+  if (!today_or.ok()) return today_or.status();
+  const std::map<std::string, double>& today = today_or.value();
+  std::map<std::string, std::vector<DimensionedRecord>> today_damage;
+  for (const EventCdiRecord& rec : result.per_event) {
+    today_damage[rec.event_name].push_back(
+        DimensionedRecord{.dims = rec.dims, .measure = rec.damage_minutes});
+  }
+
+  std::vector<PotentialProblem> problems;
+  auto judge = [&](const std::string& name, double value,
+                   AnomalyDirection direction,
+                   double baseline) -> Status {
+    if (direction == AnomalyDirection::kNone) return Status::OK();
+    PotentialProblem problem;
+    problem.day = day;
+    problem.event_name = name;
+    problem.direction = direction;
+    problem.value = value;
+    problem.baseline = baseline;
+    auto prev_it = previous_damage_.find(name);
+    auto today_it = today_damage.find(name);
+    const std::vector<DimensionedRecord> empty;
+    auto causes = LocalizeRootCause(
+        prev_it == previous_damage_.end() ? empty : prev_it->second,
+        today_it == today_damage.end() ? empty : today_it->second,
+        options_.top_k_causes);
+    if (causes.ok()) problem.root_causes = std::move(causes).value();
+    problems.push_back(std::move(problem));
+    return Status::OK();
+  };
+
+  // Known curves: peek at the committed detector.
+  for (const auto& [name, curve] : curves_) {
+    const auto it = today.find(name);
+    const double value = it == today.end() ? 0.0 : it->second;
+    double baseline = 0.0;
+    if (!curve.series.empty()) {
+      const size_t w = std::min(options_.window, curve.series.size());
+      for (size_t i = curve.series.size() - w; i < curve.series.size(); ++i) {
+        baseline += curve.series[i];
+      }
+      baseline /= static_cast<double>(w);
+    }
+    CDIBOT_RETURN_IF_ERROR(
+        judge(name, value, curve.detector.Classify(value), baseline));
+  }
+  // Never-seen events: judge against the all-zero history they would be
+  // backfilled with on ingestion.
+  for (const auto& [name, value] : today) {
+    if (curves_.count(name) > 0) continue;
+    CDIBOT_ASSIGN_OR_RETURN(KSigmaDetector det,
+                            KSigmaDetector::Create(options_.window,
+                                                   options_.k));
+    for (size_t d = 0; d < days_; ++d) (void)det.Observe(0.0);
+    CDIBOT_RETURN_IF_ERROR(judge(name, value, det.Classify(value), 0.0));
+  }
+  return problems;
+}
+
 std::vector<double> CdiMonitor::SeriesFor(const std::string& event_name) const {
   auto it = curves_.find(event_name);
   return it == curves_.end() ? std::vector<double>{} : it->second.series;

@@ -50,6 +50,16 @@ class CdiMonitor {
   StatusOr<std::vector<PotentialProblem>> IngestDay(
       TimePoint day, const DailyCdiResult& result);
 
+  /// Judges a provisional result against the committed history WITHOUT
+  /// mutating the monitor: no curve point is recorded and the detectors do
+  /// not advance. This is the live-watchdog path — a streaming engine's
+  /// intra-day snapshots can be previewed every few minutes while the day
+  /// is still accumulating, and IngestDay commits only the final result.
+  /// Events never seen before produce problems only when damage is
+  /// non-zero (their baseline is all-zero history).
+  StatusOr<std::vector<PotentialProblem>> Preview(
+      TimePoint day, const DailyCdiResult& result) const;
+
   /// The stored event-level CDI series for one event (ingestion order);
   /// empty if the event has produced no damage yet.
   std::vector<double> SeriesFor(const std::string& event_name) const;

@@ -1,8 +1,5 @@
 #include "cdi/pipeline.h"
 
-#include <atomic>
-#include <mutex>
-
 #include "cdi/indicator.h"
 #include "cdi/vm_cdi.h"
 #include "common/strings.h"
@@ -51,6 +48,51 @@ dataflow::Table DailyCdiResult::ToEventTable() const {
   return table;
 }
 
+Status ComputeVmDailyCdi(std::vector<RawEvent> raw, const VmServiceInfo& vm,
+                         const Interval& day, const PeriodResolver& resolver,
+                         const EventWeightModel& weights, VmDailyOutput* out) {
+  *out = VmDailyOutput{};
+  const Interval service = vm.service_period.ClampTo(day);
+  if (service.empty()) {
+    out->skipped = true;
+    return Status::OK();
+  }
+
+  auto resolved_or =
+      resolver.Resolve(std::move(raw), service, &out->resolve_stats);
+  if (!resolved_or.ok()) return resolved_or.status();
+  const std::vector<ResolvedEvent>& resolved = resolved_or.value();
+
+  auto weighted_or = AttachWeights(resolved, weights);
+  if (!weighted_or.ok()) return weighted_or.status();
+  const std::vector<WeightedEvent>& weighted = weighted_or.value();
+
+  auto cdi_or = ComputeVmCdi(weighted, service);
+  if (!cdi_or.ok()) return cdi_or.status();
+  out->record =
+      VmCdiRecord{.vm_id = vm.vm_id, .dims = vm.dims, .cdi = cdi_or.value()};
+
+  auto baseline_or = ComputeUnavailabilityStats(resolved, service);
+  if (!baseline_or.ok()) return baseline_or.status();
+  out->baseline = baseline_or.value();
+
+  // Event-level rows: damage of each event name in isolation.
+  std::map<std::string, std::vector<WeightedEvent>> by_name;
+  for (const WeightedEvent& ev : weighted) by_name[ev.name].push_back(ev);
+  for (const auto& [name, evs] : by_name) {
+    auto damage_or = ComputeDamageMinutes(evs, service);
+    if (!damage_or.ok()) return damage_or.status();
+    if (damage_or.value() <= 0.0) continue;
+    out->events.push_back(EventCdiRecord{.vm_id = vm.vm_id,
+                                         .event_name = name,
+                                         .category = evs.front().category,
+                                         .damage_minutes = damage_or.value(),
+                                         .service_time = service.length(),
+                                         .dims = vm.dims});
+  }
+  return Status::OK();
+}
+
 StatusOr<DailyCdiResult> DailyCdiJob::Run(
     const std::vector<VmServiceInfo>& vms, const Interval& day) const {
   if (day.empty()) {
@@ -58,75 +100,30 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
   }
   PeriodResolver resolver(catalog_);
 
-  struct VmOutput {
-    VmCdiRecord record;
-    std::vector<EventCdiRecord> events;
-    UnavailabilityStats baseline;
-    ResolveStats resolve_stats;
-    bool skipped = false;
+  struct VmSlot {
+    VmDailyOutput out;
+    bool failed = false;
+    Status error;
   };
-  std::vector<VmOutput> outputs(vms.size());
-  std::atomic<bool> failed{false};
-  std::mutex err_mu;
-  Status first_error;
+  std::vector<VmSlot> slots(vms.size());
 
   auto process_vm = [&](size_t i) {
-    if (failed.load(std::memory_order_relaxed)) return;
     const VmServiceInfo& vm = vms[i];
-    VmOutput& out = outputs[i];
+    VmSlot& slot = slots[i];
     const Interval service = vm.service_period.ClampTo(day);
     if (service.empty()) {
-      out.skipped = true;
+      slot.out.skipped = true;
       return;
     }
-    auto fail = [&](const Status& st) {
-      std::lock_guard<std::mutex> lock(err_mu);
-      if (first_error.ok()) {
-        first_error = Status::Internal("vm " + vm.vm_id + ": " +
-                                       st.ToString());
-      }
-      failed.store(true, std::memory_order_relaxed);
-    };
-
-    // Events extracted up to one day past the window can still describe
-    // periods inside it (stateless events trace backward); the clamp below
-    // discards anything outside the service window.
-    const Interval search(service.start - Duration::Days(1),
-                          service.end + Duration::Days(1));
+    const Interval search(service.start - kEventSearchMargin,
+                          service.end + kEventSearchMargin);
     std::vector<RawEvent> raw = log_->SearchTarget(search, vm.vm_id);
-
-    auto resolved_or = resolver.Resolve(std::move(raw), service,
-                                        &out.resolve_stats);
-    if (!resolved_or.ok()) return fail(resolved_or.status());
-    const std::vector<ResolvedEvent>& resolved = resolved_or.value();
-
-    auto weighted_or = AttachWeights(resolved, *weights_);
-    if (!weighted_or.ok()) return fail(weighted_or.status());
-    const std::vector<WeightedEvent>& weighted = weighted_or.value();
-
-    auto cdi_or = ComputeVmCdi(weighted, service);
-    if (!cdi_or.ok()) return fail(cdi_or.status());
-    out.record =
-        VmCdiRecord{.vm_id = vm.vm_id, .dims = vm.dims, .cdi = cdi_or.value()};
-
-    auto baseline_or = ComputeUnavailabilityStats(resolved, service);
-    if (!baseline_or.ok()) return fail(baseline_or.status());
-    out.baseline = baseline_or.value();
-
-    // Event-level rows: damage of each event name in isolation.
-    std::map<std::string, std::vector<WeightedEvent>> by_name;
-    for (const WeightedEvent& ev : weighted) by_name[ev.name].push_back(ev);
-    for (const auto& [name, evs] : by_name) {
-      auto damage_or = ComputeDamageMinutes(evs, service);
-      if (!damage_or.ok()) return fail(damage_or.status());
-      if (damage_or.value() <= 0.0) continue;
-      out.events.push_back(
-          EventCdiRecord{.vm_id = vm.vm_id,
-                         .event_name = name,
-                         .category = evs.front().category,
-                         .damage_minutes = damage_or.value(),
-                         .service_time = service.length(),
-                         .dims = vm.dims});
+    Status st = ComputeVmDailyCdi(std::move(raw), vm, day, resolver,
+                                  *weights_, &slot.out);
+    if (!st.ok()) {
+      slot.failed = true;
+      slot.error =
+          Status::Internal("vm " + vm.vm_id + ": " + st.ToString());
     }
   };
 
@@ -135,34 +132,34 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
   } else {
     for (size_t i = 0; i < vms.size(); ++i) process_vm(i);
   }
-  if (failed.load()) return first_error;
 
   DailyCdiResult result;
-  std::vector<VmCdi> all_cdi;
-  std::vector<UnavailabilityStats> all_baselines;
-  std::vector<Duration> all_service;
-  for (VmOutput& out : outputs) {
-    if (out.skipped) continue;
-    all_cdi.push_back(out.record.cdi);
-    all_baselines.push_back(out.baseline);
-    all_service.push_back(out.record.cdi.service_time);
+  FleetCdiPartial fleet_partial;
+  UnavailabilityPartial baseline_partial;
+  for (VmSlot& slot : slots) {
+    if (slot.failed) {
+      ++result.vms_failed;
+      result.resolve_stats.Merge(slot.out.resolve_stats);
+      if (result.first_vm_error.ok()) result.first_vm_error = slot.error;
+      continue;
+    }
+    VmDailyOutput& out = slot.out;
+    if (out.skipped) {
+      ++result.vms_skipped;
+      continue;
+    }
+    ++result.vms_evaluated;
+    fleet_partial.AddVm(out.record.cdi);
+    baseline_partial.AddVm(out.baseline, out.record.cdi.service_time);
     result.fleet_service_time += out.record.cdi.service_time;
-    result.resolve_stats.resolved += out.resolve_stats.resolved;
-    result.resolve_stats.unknown_dropped += out.resolve_stats.unknown_dropped;
-    result.resolve_stats.duplicate_details_dropped +=
-        out.resolve_stats.duplicate_details_dropped;
-    result.resolve_stats.dangling_end_dropped +=
-        out.resolve_stats.dangling_end_dropped;
-    result.resolve_stats.unpaired_start_closed +=
-        out.resolve_stats.unpaired_start_closed;
+    result.resolve_stats.Merge(out.resolve_stats);
     result.per_vm.push_back(std::move(out.record));
     for (EventCdiRecord& rec : out.events) {
       result.per_event.push_back(std::move(rec));
     }
   }
-  result.fleet = AggregateVmCdi(all_cdi);
-  result.fleet_baseline =
-      AggregateUnavailabilityStats(all_baselines, all_service);
+  result.fleet = fleet_partial.Finalize();
+  result.fleet_baseline = baseline_partial.Finalize();
   return result;
 }
 

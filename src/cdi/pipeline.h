@@ -25,6 +25,38 @@ struct VmServiceInfo {
   Interval service_period;
 };
 
+/// Events extracted up to this margin outside the evaluation window can
+/// still describe periods inside it (stateless events trace backward and
+/// stateful pairs straddle the boundary), so both the batch job's log
+/// search and the streaming engine's retention window extend the service
+/// window by this much on each side. Period clamping discards anything
+/// that lands outside the service window after resolution.
+inline constexpr Duration kEventSearchMargin = Duration::Days(1);
+
+/// Everything the daily job derives from one VM: the per-VM row, the
+/// per-event drill-down rows, the classic baseline, and the resolver's
+/// data-quality counters. Shared by the batch job and the streaming
+/// engine so both paths run the identical per-VM math.
+struct VmDailyOutput {
+  VmCdiRecord record;
+  std::vector<EventCdiRecord> events;
+  UnavailabilityStats baseline;
+  ResolveStats resolve_stats;
+  /// True when the VM's service period does not intersect the window.
+  bool skipped = false;
+};
+
+/// Runs the full per-VM slice of the daily job: clamps the service window
+/// into `day`, resolves `raw` (which must cover at least the service window
+/// extended by kEventSearchMargin), attaches weights, computes the three
+/// indicators, the baseline stats, and the per-event damage rows. On
+/// failure `out` keeps whatever was computed before the failing stage — in
+/// particular out->resolve_stats — so callers can still account for the
+/// data quality of work that actually ran.
+Status ComputeVmDailyCdi(std::vector<RawEvent> raw, const VmServiceInfo& vm,
+                         const Interval& day, const PeriodResolver& resolver,
+                         const EventWeightModel& weights, VmDailyOutput* out);
+
 /// Full output of one daily CDI computation — the two MaxCompute tables of
 /// Sec. V plus fleet-level aggregates and the classic baselines for
 /// comparison.
@@ -39,8 +71,18 @@ struct DailyCdiResult {
   UnavailabilityStats fleet_baseline;
   /// Total service time across the fleet (denominator for event-level CDI).
   Duration fleet_service_time;
-  /// Data-quality counters from period resolution.
+  /// Data-quality counters from period resolution. Includes the counters of
+  /// VMs that later failed mid-computation — they reflect what actually ran.
   ResolveStats resolve_stats;
+  /// VMs whose computation completed and contributed to the aggregates.
+  size_t vms_evaluated = 0;
+  /// VMs whose service period missed the window entirely.
+  size_t vms_skipped = 0;
+  /// VMs that failed mid-computation; excluded from per_vm and the fleet
+  /// aggregates but counted here so data-quality reporting matches reality.
+  size_t vms_failed = 0;
+  /// The first per-VM failure (ok when vms_failed == 0).
+  Status first_vm_error;
 
   /// Exports per_vm as a table (vm_id, region, az, cluster, cdi_u, cdi_p,
   /// cdi_c, service_minutes) for the BI layer.
@@ -63,6 +105,9 @@ class DailyCdiJob {
 
   /// Runs the job for `vms` over the evaluation window `day` (typically one
   /// UTC day; any window works). Service periods are clamped into `day`.
+  /// Per-VM failures do not abort the job: the failing VM is dropped from
+  /// per_vm, counted in vms_failed, its resolver counters are still
+  /// aggregated, and the first error is reported in first_vm_error.
   StatusOr<DailyCdiResult> Run(const std::vector<VmServiceInfo>& vms,
                                const Interval& day) const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace cdibot {
 
@@ -41,19 +42,57 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  const size_t chunks = std::min(n, num_threads() * 4);
-  const size_t chunk_size = (n + chunks - 1) / chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (size_t c = 0; c < chunks; ++c) {
-    const size_t begin = c * chunk_size;
-    const size_t end = std::min(n, begin + chunk_size);
-    if (begin >= end) break;
-    futures.push_back(Submit([begin, end, &fn]() {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    }));
+  const size_t num_chunks = std::min(n, num_threads() * 4);
+  const size_t chunk_size = (n + num_chunks - 1) / num_chunks;
+
+  // Chunks are claimed from a shared counter rather than pre-assigned to
+  // tasks, and the calling thread claims chunks too. This keeps ParallelFor
+  // deadlock-free when invoked from inside a pool task (the worker runs its
+  // own chunks instead of blocking on futures no one can execute) and lets
+  // idle workers steal whatever the caller has not reached yet. Helper
+  // tasks may be dequeued after the loop completes; they find no chunk left
+  // and return without touching `fn`, so the state they share must own its
+  // own copy of the function.
+  struct ForState {
+    std::function<void(size_t)> fn;
+    size_t n = 0;
+    size_t chunk_size = 0;
+    size_t num_chunks = 0;
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> chunks_done{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<ForState>();
+  state->fn = fn;
+  state->n = n;
+  state->chunk_size = chunk_size;
+  state->num_chunks = num_chunks;
+
+  auto run_chunks = [](const std::shared_ptr<ForState>& s) {
+    while (true) {
+      const size_t c = s->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s->num_chunks) return;
+      const size_t begin = c * s->chunk_size;
+      const size_t end = std::min(s->n, begin + s->chunk_size);
+      for (size_t i = begin; i < end; ++i) s->fn(i);
+      if (s->chunks_done.fetch_add(1) + 1 == s->num_chunks) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->done_cv.notify_all();
+      }
+    }
+  };
+
+  const size_t helpers = std::min(num_chunks, num_threads());
+  for (size_t h = 0; h + 1 < helpers; ++h) {
+    Submit([state, run_chunks]() { run_chunks(state); });
   }
-  for (auto& f : futures) f.get();
+  run_chunks(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state]() {
+    return state->chunks_done.load() == state->num_chunks;
+  });
 }
 
 ThreadPool& DefaultThreadPool() {

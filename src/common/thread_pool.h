@@ -41,6 +41,10 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all
   /// iterations finish. Iterations are chunked to limit task overhead.
+  /// The calling thread claims and executes chunks itself alongside the
+  /// workers, so ParallelFor is safe to call from inside a pool task (and
+  /// on a 1-thread pool) without deadlocking — nested calls simply run
+  /// their chunks on the calling worker. `fn` must not throw.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

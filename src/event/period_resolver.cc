@@ -48,9 +48,15 @@ StatusOr<std::vector<ResolvedEvent>> PeriodResolver::Resolve(
     }
     keyed.push_back(Keyed{spec_or->name, std::move(ev)});
   }
+  // The (name, level) tie-breakers make the order — and therefore the
+  // stateful dedup/pairing outcome — deterministic even when two details
+  // of the same issue share a timestamp, so resolution is invariant under
+  // arrival-order permutations of the input.
   std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
-    return std::tie(a.event.target, a.parent, a.event.time) <
-           std::tie(b.event.target, b.parent, b.event.time);
+    return std::tie(a.event.target, a.parent, a.event.time, a.event.name,
+                    a.event.level) < std::tie(b.event.target, b.parent,
+                                              b.event.time, b.event.name,
+                                              b.event.level);
   });
 
   std::vector<ResolvedEvent> out;

@@ -26,6 +26,15 @@ struct ResolveStats {
   /// Start details with no subsequent end; closed at start + expire_interval
   /// (clamped to the analysis bounds when provided).
   size_t unpaired_start_closed = 0;
+
+  /// Folds another counter set in (fleet rollup of per-VM resolutions).
+  void Merge(const ResolveStats& o) {
+    resolved += o.resolved;
+    unknown_dropped += o.unknown_dropped;
+    duplicate_details_dropped += o.duplicate_details_dropped;
+    dangling_end_dropped += o.dangling_end_dropped;
+    unpaired_start_closed += o.unpaired_start_closed;
+  }
 };
 
 /// PeriodResolver implements Sec. IV-B: it converts raw extraction-timestamp

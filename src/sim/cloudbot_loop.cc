@@ -1,6 +1,7 @@
 #include "sim/cloudbot_loop.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/strings.h"
 #include "ops/placement.h"
@@ -71,6 +72,27 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
   AutomationLoopResult result;
   result.incidents = incidents.size();
 
+  CDIBOT_ASSIGN_OR_RETURN(const auto vms, fleet.ServiceInfos(day));
+
+  // Optional shadow engine: sees every event the log sees, live.
+  std::optional<StreamingCdiEngine> stream;
+  if (options.streaming_cdi) {
+    StreamingCdiOptions sopts;
+    sopts.window = day;
+    sopts.pool = ctx.pool;
+    CDIBOT_ASSIGN_OR_RETURN(
+        StreamingCdiEngine engine_impl,
+        StreamingCdiEngine::Create(&catalog, &weights, sopts));
+    stream.emplace(std::move(engine_impl));
+    for (const VmServiceInfo& vm : vms) {
+      CDIBOT_RETURN_IF_ERROR(stream->RegisterVm(vm));
+    }
+  }
+  auto feed_stream = [&stream](const RawEvent& ev) -> Status {
+    if (!stream.has_value()) return Status::OK();
+    return stream->Ingest(ev);
+  };
+
   EventLog log;
   std::map<std::string, std::string> vm_to_nc;
 
@@ -81,6 +103,7 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
     RawEvent flap =
         MakeEvent("nic_flapping", inc.start, inc.vm_id, Severity::kCritical);
     log.Append(flap);
+    CDIBOT_RETURN_IF_ERROR(feed_stream(flap));
 
     // Emit slow_io minute by minute; after each tick boundary, let the rule
     // engine look at the events extracted so far.
@@ -93,6 +116,7 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
       RawEvent ev =
           MakeEvent("slow_io", t, inc.vm_id, Severity::kCritical);
       log.Append(ev);
+      CDIBOT_RETURN_IF_ERROR(feed_stream(ev));
       vm_events.push_back(std::move(ev));
 
       if (t >= next_tick) {
@@ -130,6 +154,7 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
                     static_cast<long long>(
                         options.migration_brownout.millis()));
                 log.Append(brownout);
+                CDIBOT_RETURN_IF_ERROR(feed_stream(brownout));
               }
             }
           }
@@ -138,13 +163,29 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
       t += Duration::Minutes(1);
     }
     result.damage_avoided += inc.natural_end - inc.actual_end;
+
+    // Intra-day checkpoint: let the live watchdog look at the fleet as it
+    // stands after this incident's events. Only the VMs touched since the
+    // previous snapshot are recomputed.
+    if (stream.has_value() && options.live_monitor != nullptr) {
+      CDIBOT_ASSIGN_OR_RETURN(const DailyCdiResult live, stream->Snapshot());
+      CDIBOT_ASSIGN_OR_RETURN(
+          const auto problems,
+          options.live_monitor->Preview(day.start, live));
+      result.live_problems += problems.size();
+    }
   }
 
   // --- Evaluate the day with the standard pipeline ---------------------------
   DailyCdiJob job(&log, &catalog, &weights, ctx);
-  CDIBOT_ASSIGN_OR_RETURN(const auto vms, fleet.ServiceInfos(day));
   CDIBOT_ASSIGN_OR_RETURN(const DailyCdiResult daily, job.Run(vms, day));
   result.fleet_cdi = daily.fleet;
+
+  if (stream.has_value()) {
+    CDIBOT_ASSIGN_OR_RETURN(const VmCdi fleet_stream, stream->FleetCdi());
+    result.fleet_cdi_streaming = fleet_stream;
+    result.stream_stats = stream->stats();
+  }
   return result;
 }
 

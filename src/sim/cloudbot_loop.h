@@ -1,12 +1,14 @@
 #ifndef CDIBOT_SIM_CLOUDBOT_LOOP_H_
 #define CDIBOT_SIM_CLOUDBOT_LOOP_H_
 
+#include "cdi/monitor.h"
 #include "cdi/pipeline.h"
 #include "common/rng.h"
 #include "common/statusor.h"
 #include "ops/operation_platform.h"
 #include "rules/rule_engine.h"
 #include "sim/fleet.h"
+#include "stream/streaming_engine.h"
 
 namespace cdibot {
 
@@ -24,6 +26,16 @@ struct AutomationLoopOptions {
   Duration natural_duration_mean = Duration::Hours(4);
   /// Live-migration brown-out while evacuating a VM.
   Duration migration_brownout = Duration::Seconds(3);
+  /// When true, a StreamingCdiEngine runs alongside the batch job: every
+  /// event is ingested as it is emitted (incident by incident, so event
+  /// times arrive out of order), an intra-day snapshot is taken after each
+  /// incident, and the final snapshot's fleet CDI is reported next to the
+  /// batch value (they agree to within aggregation rounding).
+  bool streaming_cdi = false;
+  /// Optional live watchdog. Each intra-day streaming snapshot is fed to
+  /// CdiMonitor::Preview (non-committing), so emerging spikes are visible
+  /// while the day is still accumulating. Borrowed; may be null.
+  CdiMonitor* live_monitor = nullptr;
 };
 
 /// Outcome of a simulated day.
@@ -39,6 +51,11 @@ struct AutomationLoopResult {
   size_t placements_failed = 0;
   /// Issue time eliminated by automation (natural minus actual durations).
   Duration damage_avoided;
+  /// Streaming-engine outputs; populated only when options.streaming_cdi.
+  VmCdi fleet_cdi_streaming;
+  StreamingCdiStats stream_stats;
+  /// Problems the live monitor previewed across intra-day snapshots.
+  size_t live_problems = 0;
 };
 
 /// Runs one day of the full CloudBot control loop on a synthetic fleet:

@@ -1,0 +1,232 @@
+#include "storage/stream_checkpoint.h"
+
+#include <filesystem>
+
+#include "common/strings.h"
+#include "dataflow/csv.h"
+#include "dataflow/table.h"
+
+namespace cdibot {
+namespace {
+
+using dataflow::Field;
+using dataflow::Row;
+using dataflow::Schema;
+using dataflow::Table;
+using dataflow::Value;
+using dataflow::ValueType;
+
+// Separators for packing a string map into one CSV cell. 0x1f/0x1e are the
+// ASCII unit/record separators and never appear in ids, dimension values,
+// or event attributes.
+constexpr char kPairSep = '\x1e';
+constexpr char kKvSep = '\x1f';
+
+std::string EncodeMap(const std::map<std::string, std::string>& m) {
+  std::string out;
+  for (const auto& [k, v] : m) {
+    if (!out.empty()) out += kPairSep;
+    out += k;
+    out += kKvSep;
+    out += v;
+  }
+  return out;
+}
+
+StatusOr<std::map<std::string, std::string>> DecodeMap(
+    const std::string& encoded) {
+  std::map<std::string, std::string> m;
+  if (encoded.empty()) return m;
+  for (const std::string& pair : StrSplit(encoded, kPairSep)) {
+    const size_t cut = pair.find(kKvSep);
+    if (cut == std::string::npos) {
+      return Status::InvalidArgument("malformed packed map cell");
+    }
+    m[pair.substr(0, cut)] = pair.substr(cut + 1);
+  }
+  return m;
+}
+
+// An empty packed-map cell round-trips through CSV as null.
+StatusOr<std::string> CellString(const Value& v) {
+  if (v.is_null()) return std::string();
+  return v.AsString();
+}
+
+Schema MetaSchema() {
+  return Schema({Field{"key", ValueType::kString},
+                 Field{"value", ValueType::kInt}});
+}
+
+Schema VmSchema() {
+  return Schema({Field{"vm_id", ValueType::kString},
+                 Field{"dims", ValueType::kString},
+                 Field{"service_start_ms", ValueType::kInt},
+                 Field{"service_end_ms", ValueType::kInt}});
+}
+
+Schema EventSchema() {
+  return Schema({Field{"name", ValueType::kString},
+                 Field{"time_ms", ValueType::kInt},
+                 Field{"target", ValueType::kString},
+                 Field{"level", ValueType::kInt},
+                 Field{"expire_ms", ValueType::kInt},
+                 Field{"attrs", ValueType::kString}});
+}
+
+Table EventsToTable(const std::vector<RawEvent>& events) {
+  Table table(EventSchema());
+  for (const RawEvent& ev : events) {
+    table.AppendUnchecked({Value(ev.name), Value(ev.time.millis()),
+                           Value(ev.target),
+                           Value(static_cast<int64_t>(ev.level)),
+                           Value(ev.expire_interval.millis()),
+                           Value(EncodeMap(ev.attrs))});
+  }
+  return table;
+}
+
+StatusOr<std::vector<RawEvent>> EventsFromTable(const Table& table) {
+  std::vector<RawEvent> out;
+  out.reserve(table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const Row& row = table.row(i);
+    RawEvent ev;
+    CDIBOT_ASSIGN_OR_RETURN(ev.name, row[0].AsString());
+    CDIBOT_ASSIGN_OR_RETURN(const int64_t time_ms, row[1].AsInt());
+    ev.time = TimePoint::FromMillis(time_ms);
+    CDIBOT_ASSIGN_OR_RETURN(ev.target, row[2].AsString());
+    CDIBOT_ASSIGN_OR_RETURN(const int64_t level, row[3].AsInt());
+    if (level < 1 || level > kNumSeverityLevels) {
+      return Status::InvalidArgument(StrFormat(
+          "bad severity ordinal %lld", static_cast<long long>(level)));
+    }
+    ev.level = static_cast<Severity>(level);
+    CDIBOT_ASSIGN_OR_RETURN(const int64_t expire_ms, row[4].AsInt());
+    ev.expire_interval = Duration::Millis(expire_ms);
+    CDIBOT_ASSIGN_OR_RETURN(const std::string attrs, CellString(row[5]));
+    CDIBOT_ASSIGN_OR_RETURN(ev.attrs, DecodeMap(attrs));
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+std::string PathFor(const std::string& dir, const char* file) {
+  return dir + "/" + file;
+}
+
+}  // namespace
+
+Status SaveStreamCheckpoint(const StreamCheckpoint& ckpt,
+                            const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::NotFound("not a directory: " + dir);
+  }
+
+  Table meta(MetaSchema());
+  auto put = [&meta](const char* key, int64_t value) {
+    meta.AppendUnchecked({Value(std::string(key)), Value(value)});
+  };
+  put("window_start_ms", ckpt.window.start.millis());
+  put("window_end_ms", ckpt.window.end.millis());
+  put("watermark_ms", ckpt.watermark.millis());
+  put("max_event_time_ms", ckpt.max_event_time.millis());
+  put("events_ingested", static_cast<int64_t>(ckpt.events_ingested));
+  put("events_late", static_cast<int64_t>(ckpt.events_late));
+  put("events_out_of_window",
+      static_cast<int64_t>(ckpt.events_out_of_window));
+  put("events_orphaned", static_cast<int64_t>(ckpt.events_orphaned));
+  put("vms_recomputed", static_cast<int64_t>(ckpt.vms_recomputed));
+  CDIBOT_RETURN_IF_ERROR(
+      dataflow::WriteCsvFile(meta, PathFor(dir, "stream_meta.csv")));
+
+  Table vms(VmSchema());
+  for (const CheckpointVmEntry& vm : ckpt.vms) {
+    vms.AppendUnchecked({Value(vm.vm_id), Value(EncodeMap(vm.dims)),
+                         Value(vm.service_period.start.millis()),
+                         Value(vm.service_period.end.millis())});
+  }
+  CDIBOT_RETURN_IF_ERROR(
+      dataflow::WriteCsvFile(vms, PathFor(dir, "stream_vms.csv")));
+
+  CDIBOT_RETURN_IF_ERROR(dataflow::WriteCsvFile(
+      EventsToTable(ckpt.events), PathFor(dir, "stream_events.csv")));
+  CDIBOT_RETURN_IF_ERROR(
+      dataflow::WriteCsvFile(EventsToTable(ckpt.orphan_events),
+                             PathFor(dir, "stream_orphans.csv")));
+  return Status::OK();
+}
+
+StatusOr<StreamCheckpoint> LoadStreamCheckpoint(const std::string& dir) {
+  CDIBOT_ASSIGN_OR_RETURN(
+      const Table meta,
+      dataflow::ReadCsvFile(PathFor(dir, "stream_meta.csv"), MetaSchema()));
+  std::map<std::string, int64_t> kv;
+  for (size_t i = 0; i < meta.num_rows(); ++i) {
+    CDIBOT_ASSIGN_OR_RETURN(const std::string key, meta.row(i)[0].AsString());
+    CDIBOT_ASSIGN_OR_RETURN(kv[key], meta.row(i)[1].AsInt());
+  }
+  auto require = [&kv](const char* key) -> StatusOr<int64_t> {
+    auto it = kv.find(key);
+    if (it == kv.end()) {
+      return Status::InvalidArgument(std::string("checkpoint meta missing ") +
+                                     key);
+    }
+    return it->second;
+  };
+
+  StreamCheckpoint ckpt;
+  CDIBOT_ASSIGN_OR_RETURN(const int64_t ws, require("window_start_ms"));
+  CDIBOT_ASSIGN_OR_RETURN(const int64_t we, require("window_end_ms"));
+  ckpt.window =
+      Interval(TimePoint::FromMillis(ws), TimePoint::FromMillis(we));
+  CDIBOT_ASSIGN_OR_RETURN(const int64_t wm, require("watermark_ms"));
+  ckpt.watermark = TimePoint::FromMillis(wm);
+  CDIBOT_ASSIGN_OR_RETURN(const int64_t met, require("max_event_time_ms"));
+  ckpt.max_event_time = TimePoint::FromMillis(met);
+  CDIBOT_ASSIGN_OR_RETURN(const int64_t ingested,
+                          require("events_ingested"));
+  ckpt.events_ingested = static_cast<uint64_t>(ingested);
+  CDIBOT_ASSIGN_OR_RETURN(const int64_t late, require("events_late"));
+  ckpt.events_late = static_cast<uint64_t>(late);
+  CDIBOT_ASSIGN_OR_RETURN(const int64_t oow,
+                          require("events_out_of_window"));
+  ckpt.events_out_of_window = static_cast<uint64_t>(oow);
+  CDIBOT_ASSIGN_OR_RETURN(const int64_t orphaned,
+                          require("events_orphaned"));
+  ckpt.events_orphaned = static_cast<uint64_t>(orphaned);
+  CDIBOT_ASSIGN_OR_RETURN(const int64_t recomputed,
+                          require("vms_recomputed"));
+  ckpt.vms_recomputed = static_cast<uint64_t>(recomputed);
+
+  CDIBOT_ASSIGN_OR_RETURN(
+      const Table vms,
+      dataflow::ReadCsvFile(PathFor(dir, "stream_vms.csv"), VmSchema()));
+  for (size_t i = 0; i < vms.num_rows(); ++i) {
+    const Row& row = vms.row(i);
+    CheckpointVmEntry vm;
+    CDIBOT_ASSIGN_OR_RETURN(vm.vm_id, row[0].AsString());
+    CDIBOT_ASSIGN_OR_RETURN(const std::string dims, CellString(row[1]));
+    CDIBOT_ASSIGN_OR_RETURN(vm.dims, DecodeMap(dims));
+    CDIBOT_ASSIGN_OR_RETURN(const int64_t ss, row[2].AsInt());
+    CDIBOT_ASSIGN_OR_RETURN(const int64_t se, row[3].AsInt());
+    vm.service_period =
+        Interval(TimePoint::FromMillis(ss), TimePoint::FromMillis(se));
+    ckpt.vms.push_back(std::move(vm));
+  }
+
+  CDIBOT_ASSIGN_OR_RETURN(const Table events,
+                          dataflow::ReadCsvFile(
+                              PathFor(dir, "stream_events.csv"),
+                              EventSchema()));
+  CDIBOT_ASSIGN_OR_RETURN(ckpt.events, EventsFromTable(events));
+  CDIBOT_ASSIGN_OR_RETURN(const Table orphans,
+                          dataflow::ReadCsvFile(
+                              PathFor(dir, "stream_orphans.csv"),
+                              EventSchema()));
+  CDIBOT_ASSIGN_OR_RETURN(ckpt.orphan_events, EventsFromTable(orphans));
+  return ckpt;
+}
+
+}  // namespace cdibot

@@ -1,0 +1,67 @@
+#ifndef CDIBOT_STORAGE_STREAM_CHECKPOINT_H_
+#define CDIBOT_STORAGE_STREAM_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/time.h"
+#include "event/event.h"
+
+namespace cdibot {
+
+/// One registered VM inside a streaming checkpoint. Mirrors the pipeline's
+/// VmServiceInfo field for field; duplicated here so the storage layer does
+/// not depend on the cdi library (cdi depends on storage, not vice versa).
+struct CheckpointVmEntry {
+  std::string vm_id;
+  std::map<std::string, std::string> dims;
+  Interval service_period;
+};
+
+/// The durable state of a StreamingCdiEngine: everything needed to resume
+/// from the last watermark after a restart. Derived state (per-VM CDI,
+/// partial aggregates) is intentionally absent — it is a pure function of
+/// the buffered events and is lazily recomputed on the first snapshot
+/// after a restore, which keeps the checkpoint small and the restore path
+/// trivially consistent.
+struct StreamCheckpoint {
+  /// The engine's evaluation window.
+  Interval window;
+  /// Event-time watermark at checkpoint time.
+  TimePoint watermark;
+  /// Maximum event time observed (watermark = max - allowed_lateness).
+  TimePoint max_event_time;
+  /// Ingestion counters, carried across the restart for continuity of
+  /// data-quality reporting.
+  uint64_t events_ingested = 0;
+  uint64_t events_late = 0;
+  uint64_t events_out_of_window = 0;
+  uint64_t events_orphaned = 0;
+  uint64_t vms_recomputed = 0;
+  /// Registered VMs with their service windows.
+  std::vector<CheckpointVmEntry> vms;
+  /// Buffered raw events of registered VMs (flat; the target field routes
+  /// each event back to its VM on restore).
+  std::vector<RawEvent> events;
+  /// Events whose target had no registered VM yet.
+  std::vector<RawEvent> orphan_events;
+};
+
+/// Persists `ckpt` under `dir` (which must exist) as a set of CSV files
+/// (stream_meta.csv, stream_vms.csv, stream_events.csv,
+/// stream_orphans.csv). Existing checkpoint files in the directory are
+/// overwritten, making the directory a single-slot checkpoint store.
+/// Dimension keys/values and attribute keys/values must not contain the
+/// 0x1f unit-separator character used to pack them into one CSV cell.
+Status SaveStreamCheckpoint(const StreamCheckpoint& ckpt,
+                            const std::string& dir);
+
+/// Loads the checkpoint previously saved under `dir`.
+StatusOr<StreamCheckpoint> LoadStreamCheckpoint(const std::string& dir);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_STORAGE_STREAM_CHECKPOINT_H_

@@ -1,0 +1,381 @@
+#include "stream/streaming_engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace cdibot {
+
+StreamingCdiEngine::StreamingCdiEngine(const EventCatalog* catalog,
+                                       const EventWeightModel* weights,
+                                       StreamingCdiOptions options)
+    : catalog_(catalog),
+      weights_(weights),
+      options_(options),
+      resolver_(catalog),
+      mu_(std::make_unique<std::mutex>()) {
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Before any event arrives the watermark sits at the earliest instant
+  // that could still affect the window, so nothing counts as late.
+  watermark_ = options_.window.start - kEventSearchMargin;
+  max_event_time_ = watermark_;
+}
+
+StatusOr<StreamingCdiEngine> StreamingCdiEngine::Create(
+    const EventCatalog* catalog, const EventWeightModel* weights,
+    StreamingCdiOptions options) {
+  if (catalog == nullptr || weights == nullptr) {
+    return Status::InvalidArgument("catalog and weights are required");
+  }
+  if (options.window.empty()) {
+    return Status::InvalidArgument("evaluation window must be non-empty");
+  }
+  if (options.allowed_lateness.IsNegative()) {
+    return Status::InvalidArgument("allowed_lateness must be >= 0");
+  }
+  options.num_shards = std::max<size_t>(1, options.num_shards);
+  return StreamingCdiEngine(catalog, weights, std::move(options));
+}
+
+size_t StreamingCdiEngine::ShardIndex(const std::string& vm_id) const {
+  return std::hash<std::string>{}(vm_id) % shards_.size();
+}
+
+Status StreamingCdiEngine::RegisterVm(const VmServiceInfo& vm) {
+  if (vm.vm_id.empty()) {
+    return Status::InvalidArgument("vm_id must be non-empty");
+  }
+  // Adopt any events that arrived before the registration.
+  std::vector<RawEvent> adopted;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    auto it = orphans_.find(vm.vm_id);
+    if (it != orphans_.end()) {
+      adopted = std::move(it->second);
+      orphans_.erase(it);
+    }
+  }
+  Shard& shard = *shards_[ShardIndex(vm.vm_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  VmState& state = shard.vms[vm.vm_id];
+  state.info = vm;
+  for (RawEvent& ev : adopted) state.events.push_back(std::move(ev));
+  if (!state.dirty) {
+    state.dirty = true;
+    shard.dirty_vms.push_back(vm.vm_id);
+  }
+  return Status::OK();
+}
+
+void StreamingCdiEngine::ObserveEventTime(TimePoint t) {
+  if (max_event_time_ < t) max_event_time_ = t;
+  const TimePoint candidate = max_event_time_ - options_.allowed_lateness;
+  if (watermark_ < candidate) watermark_ = candidate;
+}
+
+Status StreamingCdiEngine::Ingest(const RawEvent& event) {
+  if (event.target.empty()) {
+    return Status::InvalidArgument("event target must be non-empty");
+  }
+  const Interval relevant(options_.window.start - kEventSearchMargin,
+                          options_.window.end + kEventSearchMargin);
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_.events_ingested;
+    const bool late = event.time < watermark_;
+    ObserveEventTime(event.time);
+    if (!relevant.Contains(event.time)) {
+      // Can never intersect the window after resolution-time clamping.
+      ++stats_.events_out_of_window;
+      return Status::OK();
+    }
+    if (late) ++stats_.events_late;
+  }
+
+  Shard& shard = *shards_[ShardIndex(event.target)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.vms.find(event.target);
+    if (it != shard.vms.end()) {
+      VmState& state = it->second;
+      state.events.push_back(event);
+      if (!state.dirty) {
+        state.dirty = true;
+        shard.dirty_vms.push_back(event.target);
+      }
+      return Status::OK();
+    }
+  }
+  // Target not registered (yet): park the event. RegisterVm drains the
+  // orphan buffer before touching the shard, so re-checking under the
+  // shard lock after parking closes the race where a registration slips
+  // between the lookup above and the insertion below.
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    orphans_[event.target].push_back(event);
+    ++stats_.events_orphaned;
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.vms.find(event.target);
+    if (it == shard.vms.end()) return Status::OK();
+    // Registration raced us: move the parked events into the VM state.
+    std::vector<RawEvent> parked;
+    {
+      std::lock_guard<std::mutex> inner(*mu_);
+      auto oit = orphans_.find(event.target);
+      if (oit != orphans_.end()) {
+        parked = std::move(oit->second);
+        orphans_.erase(oit);
+      }
+    }
+    VmState& state = it->second;
+    for (RawEvent& ev : parked) state.events.push_back(std::move(ev));
+    if (!parked.empty() && !state.dirty) {
+      state.dirty = true;
+      shard.dirty_vms.push_back(event.target);
+    }
+  }
+  return Status::OK();
+}
+
+Status StreamingCdiEngine::IngestBatch(const std::vector<RawEvent>& events) {
+  for (const RawEvent& ev : events) {
+    CDIBOT_RETURN_IF_ERROR(Ingest(ev));
+  }
+  return Status::OK();
+}
+
+void StreamingCdiEngine::AdvanceWatermarkTo(TimePoint t) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  if (watermark_ < t) watermark_ = t;
+}
+
+void StreamingCdiEngine::RecomputeVmLocked(Shard& shard, VmState& state) {
+  // Retract the VM's resident contribution before folding the revision in.
+  if (state.has_output && !state.output.skipped && state.error.ok()) {
+    shard.cdi_partial.RemoveVm(state.output.record.cdi);
+    shard.baseline_partial.RemoveVm(state.output.baseline,
+                                    state.output.record.cdi.service_time);
+  }
+
+  // Feed exactly the events the batch job's log search would return for
+  // this VM, so the resolver sees identical inputs (including identical
+  // data-quality counters).
+  const Interval service =
+      state.info.service_period.ClampTo(options_.window);
+  std::vector<RawEvent> raw;
+  if (!service.empty()) {
+    const Interval search(service.start - kEventSearchMargin,
+                          service.end + kEventSearchMargin);
+    for (const RawEvent& ev : state.events) {
+      if (search.Contains(ev.time)) raw.push_back(ev);
+    }
+  }
+
+  state.error = ComputeVmDailyCdi(std::move(raw), state.info,
+                                  options_.window, resolver_, *weights_,
+                                  &state.output);
+  state.has_output = true;
+  state.dirty = false;
+  if (state.error.ok() && !state.output.skipped) {
+    shard.cdi_partial.AddVm(state.output.record.cdi);
+    shard.baseline_partial.AddVm(state.output.baseline,
+                                 state.output.record.cdi.service_time);
+  }
+}
+
+void StreamingCdiEngine::DrainDirty() {
+  struct Work {
+    Shard* shard;
+    std::string vm_id;
+  };
+  std::vector<Work> work;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (std::string& vm_id : shard->dirty_vms) {
+      work.push_back(Work{shard.get(), std::move(vm_id)});
+    }
+    shard->dirty_vms.clear();
+  }
+  if (work.empty()) return;
+
+  auto recompute = [this, &work](size_t i) {
+    Shard& shard = *work[i].shard;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.vms.find(work[i].vm_id);
+    if (it == shard.vms.end() || !it->second.dirty) return;
+    RecomputeVmLocked(shard, it->second);
+  };
+  if (options_.pool != nullptr && work.size() > 1) {
+    options_.pool->ParallelFor(work.size(), recompute);
+  } else {
+    for (size_t i = 0; i < work.size(); ++i) recompute(i);
+  }
+
+  std::lock_guard<std::mutex> lock(*mu_);
+  stats_.vms_recomputed += work.size();
+}
+
+StatusOr<VmCdi> StreamingCdiEngine::FleetCdi() {
+  DrainDirty();
+  FleetCdiPartial total;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.Merge(shard->cdi_partial);
+  }
+  return total.Finalize();
+}
+
+StatusOr<DailyCdiResult> StreamingCdiEngine::Snapshot() {
+  DrainDirty();
+
+  DailyCdiResult result;
+  FleetCdiPartial fleet_partial;
+  UnavailabilityPartial baseline_partial;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    fleet_partial.Merge(shard->cdi_partial);
+    baseline_partial.Merge(shard->baseline_partial);
+    for (auto& [vm_id, state] : shard->vms) {
+      if (!state.error.ok()) {
+        ++result.vms_failed;
+        result.resolve_stats.Merge(state.output.resolve_stats);
+        if (result.first_vm_error.ok()) {
+          result.first_vm_error = Status::Internal(
+              "vm " + vm_id + ": " + state.error.ToString());
+        }
+        continue;
+      }
+      if (state.output.skipped) {
+        ++result.vms_skipped;
+        continue;
+      }
+      ++result.vms_evaluated;
+      result.resolve_stats.Merge(state.output.resolve_stats);
+      result.fleet_service_time += state.output.record.cdi.service_time;
+      result.per_vm.push_back(state.output.record);
+      for (const EventCdiRecord& rec : state.output.events) {
+        result.per_event.push_back(rec);
+      }
+    }
+  }
+  result.fleet = fleet_partial.Finalize();
+  result.fleet_baseline = baseline_partial.Finalize();
+
+  // Shard-hash iteration order is an implementation detail; emit rows in a
+  // deterministic order so snapshots diff cleanly across runs.
+  std::sort(result.per_vm.begin(), result.per_vm.end(),
+            [](const VmCdiRecord& a, const VmCdiRecord& b) {
+              return a.vm_id < b.vm_id;
+            });
+  std::sort(result.per_event.begin(), result.per_event.end(),
+            [](const EventCdiRecord& a, const EventCdiRecord& b) {
+              return std::tie(a.vm_id, a.event_name) <
+                     std::tie(b.vm_id, b.event_name);
+            });
+
+  std::lock_guard<std::mutex> lock(*mu_);
+  ++stats_.snapshots_taken;
+  return result;
+}
+
+StreamCheckpoint StreamingCdiEngine::Checkpoint() const {
+  StreamCheckpoint ckpt;
+  ckpt.window = options_.window;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    ckpt.watermark = watermark_;
+    ckpt.max_event_time = max_event_time_;
+    ckpt.events_ingested = stats_.events_ingested;
+    ckpt.events_late = stats_.events_late;
+    ckpt.events_out_of_window = stats_.events_out_of_window;
+    ckpt.events_orphaned = stats_.events_orphaned;
+    ckpt.vms_recomputed = stats_.vms_recomputed;
+    for (const auto& [target, events] : orphans_) {
+      for (const RawEvent& ev : events) ckpt.orphan_events.push_back(ev);
+    }
+  }
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [vm_id, state] : shard->vms) {
+      ckpt.vms.push_back(CheckpointVmEntry{
+          .vm_id = state.info.vm_id,
+          .dims = state.info.dims,
+          .service_period = state.info.service_period});
+      for (const RawEvent& ev : state.events) ckpt.events.push_back(ev);
+    }
+  }
+  std::sort(ckpt.vms.begin(), ckpt.vms.end(),
+            [](const CheckpointVmEntry& a, const CheckpointVmEntry& b) {
+              return a.vm_id < b.vm_id;
+            });
+  return ckpt;
+}
+
+StatusOr<StreamingCdiEngine> StreamingCdiEngine::Restore(
+    const StreamCheckpoint& ckpt, const EventCatalog* catalog,
+    const EventWeightModel* weights, StreamingCdiOptions options) {
+  options.window = ckpt.window;
+  CDIBOT_ASSIGN_OR_RETURN(StreamingCdiEngine engine,
+                          Create(catalog, weights, std::move(options)));
+  for (const CheckpointVmEntry& vm : ckpt.vms) {
+    CDIBOT_RETURN_IF_ERROR(engine.RegisterVm(VmServiceInfo{
+        .vm_id = vm.vm_id,
+        .dims = vm.dims,
+        .service_period = vm.service_period}));
+  }
+  // Place buffered events directly: they were already admitted (and
+  // filtered) by the original engine, so they bypass the ingest-side
+  // watermark/window accounting, which is restored verbatim below.
+  for (const RawEvent& ev : ckpt.events) {
+    Shard& shard = *engine.shards_[engine.ShardIndex(ev.target)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.vms.find(ev.target);
+    if (it == shard.vms.end()) {
+      return Status::InvalidArgument(
+          "checkpoint event for unregistered vm: " + ev.target);
+    }
+    it->second.events.push_back(ev);
+  }
+  {
+    std::lock_guard<std::mutex> lock(*engine.mu_);
+    for (const RawEvent& ev : ckpt.orphan_events) {
+      engine.orphans_[ev.target].push_back(ev);
+    }
+    engine.watermark_ = ckpt.watermark;
+    engine.max_event_time_ = ckpt.max_event_time;
+    engine.stats_.events_ingested = ckpt.events_ingested;
+    engine.stats_.events_late = ckpt.events_late;
+    engine.stats_.events_out_of_window = ckpt.events_out_of_window;
+    engine.stats_.events_orphaned = ckpt.events_orphaned;
+    engine.stats_.vms_recomputed = ckpt.vms_recomputed;
+  }
+  return engine;
+}
+
+StreamingCdiStats StreamingCdiEngine::stats() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  StreamingCdiStats copy = stats_;
+  copy.watermark = watermark_;
+  return copy;
+}
+
+TimePoint StreamingCdiEngine::watermark() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return watermark_;
+}
+
+size_t StreamingCdiEngine::num_vms() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->vms.size();
+  }
+  return n;
+}
+
+}  // namespace cdibot

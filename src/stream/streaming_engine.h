@@ -1,0 +1,197 @@
+#ifndef CDIBOT_STREAM_STREAMING_ENGINE_H_
+#define CDIBOT_STREAM_STREAMING_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cdi/aggregate.h"
+#include "cdi/baselines.h"
+#include "cdi/pipeline.h"
+#include "common/statusor.h"
+#include "common/thread_pool.h"
+#include "event/period_resolver.h"
+#include "storage/stream_checkpoint.h"
+
+namespace cdibot {
+
+/// Tuning knobs for the streaming engine.
+struct StreamingCdiOptions {
+  /// The evaluation window the engine maintains results for (typically one
+  /// UTC day — the same window the batch DailyCdiJob would be given).
+  Interval window;
+  /// The event-time watermark trails the maximum ingested event time by
+  /// this much: events older than the watermark are counted as late but
+  /// still folded in (CDI is a correctness metric, so late data revises
+  /// the affected VM rather than being dropped).
+  Duration allowed_lateness = Duration::Minutes(5);
+  /// Number of state shards. Each shard owns a disjoint set of VMs plus a
+  /// mergeable partial aggregate, so snapshots touch only per-shard
+  /// partials and dirty VMs.
+  size_t num_shards = 16;
+  /// Optional worker pool for recomputing dirty VMs in parallel. Borrowed;
+  /// must outlive the engine.
+  ThreadPool* pool = nullptr;
+};
+
+/// Observability counters for the engine.
+struct StreamingCdiStats {
+  size_t events_ingested = 0;
+  /// Events that arrived behind the watermark (still processed).
+  size_t events_late = 0;
+  /// Events outside window +/- kEventSearchMargin (cannot affect the
+  /// window; dropped on ingest).
+  size_t events_out_of_window = 0;
+  /// Events for targets with no registered VM, buffered until the VM
+  /// appears (mid-day churn registers VMs after their first events).
+  size_t events_orphaned = 0;
+  /// Total per-VM recomputations performed so far.
+  size_t vms_recomputed = 0;
+  size_t snapshots_taken = 0;
+  TimePoint watermark;
+};
+
+/// StreamingCdiEngine is the incremental counterpart of the batch
+/// DailyCdiJob: it ingests RawEvents as they arrive — out of order, late,
+/// or duplicated — maintains per-VM resolved-period state sharded across a
+/// ThreadPool, and emits DailyCdiResult-compatible snapshots where only the
+/// VMs touched by new events since the previous snapshot are recomputed.
+///
+/// Equivalence guarantee: after the same events and VM registrations, a
+/// Snapshot() matches DailyCdiJob::Run on the same inputs to within
+/// floating-point aggregation error (< 1e-9 relative; the per-VM math is
+/// literally the same ComputeVmDailyCdi call, and period resolution is
+/// arrival-order invariant). The differential suite in
+/// tests/stream_batch_equivalence_test.cc pins this property.
+///
+/// Thread safety: Ingest/RegisterVm/Snapshot are individually thread-safe
+/// (per-shard locking plus an engine mutex for watermark and stats).
+class StreamingCdiEngine {
+ public:
+  /// `catalog` and `weights` must outlive the engine.
+  static StatusOr<StreamingCdiEngine> Create(const EventCatalog* catalog,
+                                             const EventWeightModel* weights,
+                                             StreamingCdiOptions options);
+
+  StreamingCdiEngine(StreamingCdiEngine&&) = default;
+  StreamingCdiEngine& operator=(StreamingCdiEngine&&) = default;
+
+  /// Declares a VM and its service window (clamped into the engine window
+  /// at snapshot time, like the batch job). Re-registering an id replaces
+  /// its service info — mid-day churn shrinks or extends the window — and
+  /// marks the VM dirty. Events that arrived before registration are
+  /// adopted from the orphan buffer.
+  Status RegisterVm(const VmServiceInfo& vm);
+
+  /// Feeds one raw event. Advances the watermark, routes the event to its
+  /// target VM's shard, and marks that VM dirty; no recomputation happens
+  /// until the next snapshot touches the VM. O(1) amortized regardless of
+  /// fleet size.
+  Status Ingest(const RawEvent& event);
+  Status IngestBatch(const std::vector<RawEvent>& events);
+
+  /// Explicitly advances the watermark (e.g. on an idle stream). The
+  /// watermark never regresses.
+  void AdvanceWatermarkTo(TimePoint t);
+
+  /// Recomputes every dirty VM (in parallel when a pool is configured),
+  /// folds the revisions into the per-shard partial aggregates, and returns
+  /// the fleet-level CDI by merging the shard partials. Cost is
+  /// O(dirty VMs + shards), independent of fleet size when the stream is
+  /// quiet.
+  StatusOr<VmCdi> FleetCdi();
+
+  /// Full batch-compatible snapshot: per-VM rows, per-event drill-down
+  /// rows, fleet aggregates, baselines, and data-quality counters, exactly
+  /// as DailyCdiJob::Run would report them. Recomputes dirty VMs first;
+  /// assembling the row vectors is O(fleet) by necessity (the result lists
+  /// every VM), but the recomputation work stays proportional to the dirty
+  /// set.
+  StatusOr<DailyCdiResult> Snapshot();
+
+  /// Serializes the engine's durable state (window, watermark, registered
+  /// VMs, buffered raw events) for storage::SaveStreamCheckpoint. The
+  /// derived per-VM results are not persisted; a restored engine lazily
+  /// recomputes them on the first snapshot.
+  StreamCheckpoint Checkpoint() const;
+
+  /// Rebuilds an engine from a checkpoint: registers the VMs, replays the
+  /// buffered events, and restores the watermark, so a restarted engine
+  /// resumes exactly where the checkpoint left off.
+  static StatusOr<StreamingCdiEngine> Restore(const StreamCheckpoint& ckpt,
+                                              const EventCatalog* catalog,
+                                              const EventWeightModel* weights,
+                                              StreamingCdiOptions options);
+
+  StreamingCdiStats stats() const;
+  const Interval& window() const { return options_.window; }
+  TimePoint watermark() const;
+  size_t num_vms() const;
+
+ private:
+  struct VmState {
+    VmServiceInfo info;
+    /// Raw events for this VM inside window +/- kEventSearchMargin, in
+    /// arrival order (the resolver sorts internally, so arrival order is
+    /// irrelevant to the result — see the permutation-invariance fuzz
+    /// tests).
+    std::vector<RawEvent> events;
+    /// True iff the VM is queued in the shard's dirty list. Default false:
+    /// RegisterVm marks the fresh state dirty itself, which keeps the flag
+    /// and the queue in lockstep.
+    bool dirty = false;
+    /// Valid once the VM has been computed; its contribution is resident
+    /// in the shard partials and retracted before a recompute.
+    bool has_output = false;
+    VmDailyOutput output;
+    /// Result of the last recompute; a failing VM keeps its (partial)
+    /// output for resolver-counter reporting but contributes nothing to
+    /// the partial aggregates, mirroring DailyCdiJob::Run.
+    Status error;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, VmState> vms;
+    /// Mergeable partials over the shard's computed VMs; snapshots merge
+    /// these instead of re-aggregating the whole fleet.
+    FleetCdiPartial cdi_partial;
+    UnavailabilityPartial baseline_partial;
+    std::vector<std::string> dirty_vms;
+  };
+
+  StreamingCdiEngine(const EventCatalog* catalog,
+                     const EventWeightModel* weights,
+                     StreamingCdiOptions options);
+
+  size_t ShardIndex(const std::string& vm_id) const;
+  void ObserveEventTime(TimePoint t);
+  /// Recomputes one dirty VM inside `shard` (shard lock held by caller or
+  /// exclusivity guaranteed) and updates the shard partials.
+  void RecomputeVmLocked(Shard& shard, VmState& state);
+  /// Recomputes every dirty VM across all shards.
+  void DrainDirty();
+
+  const EventCatalog* catalog_;
+  const EventWeightModel* weights_;
+  StreamingCdiOptions options_;
+  PeriodResolver resolver_;
+  /// Shards are heap-allocated so the engine stays movable.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Guards watermark, stats, and the orphan buffer. Heap-allocated so the
+  /// engine stays movable (shards are too, for the same reason).
+  std::unique_ptr<std::mutex> mu_;
+  TimePoint watermark_;
+  TimePoint max_event_time_;
+  StreamingCdiStats stats_;
+  /// Events whose target has no registered VM yet, keyed by target.
+  std::map<std::string, std::vector<RawEvent>> orphans_;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_STREAM_STREAMING_ENGINE_H_

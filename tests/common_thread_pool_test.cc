@@ -78,5 +78,90 @@ TEST(ThreadPoolTest, DefaultPoolIsUsable) {
   EXPECT_EQ(DefaultThreadPool().Submit([]() { return 3; }).get(), 3);
 }
 
+// --- Stress: the situations that deadlock naive pool implementations ------
+
+TEST(ThreadPoolStressTest, ParallelForOnSingleThreadPool) {
+  // With one worker there is no one to offload to: the caller must be able
+  // to run every chunk itself instead of waiting on a worker that may be
+  // the caller.
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolStressTest, ParallelForFromInsideWorker) {
+  // A pool task that itself calls ParallelFor must not block on helper
+  // tasks that can never be scheduled (every worker could be inside such a
+  // task simultaneously — the classic nested-fork deadlock).
+  ThreadPool pool(2);
+  std::vector<std::future<int>> outer;
+  for (int t = 0; t < 4; ++t) {
+    outer.push_back(pool.Submit([&pool]() {
+      std::atomic<int> sum{0};
+      pool.ParallelFor(100, [&sum](size_t i) { sum += static_cast<int>(i); });
+      return sum.load();
+    }));
+  }
+  for (auto& f : outer) EXPECT_EQ(f.get(), 4950);
+}
+
+TEST(ThreadPoolStressTest, NestedParallelFor) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&pool, &total](size_t) {
+    pool.ParallelFor(8, [&total](size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolStressTest, SubmitFromWorkerDoesNotDeadlock) {
+  // A task enqueueing follow-up work and waiting for completion through an
+  // atomic (not .get(), which would deadlock on a saturated pool).
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  auto outer = pool.Submit([&pool, &done]() {
+    for (int i = 0; i < 10; ++i) {
+      (void)pool.Submit([&done]() { ++done; });
+    }
+  });
+  outer.get();
+  // Queued children drain even while the test thread just waits.
+  while (done.load() < 10) std::this_thread::yield();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPoolStressTest, DestructionDrainsQueuedWork) {
+  // Destroying the pool with a deep queue must run (not drop) every task:
+  // futures obtained from Submit would otherwise throw broken_promise.
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      futures.push_back(pool.Submit([&ran]() {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++ran;
+      }));
+    }
+    // Destructor joins here with most of the queue still pending.
+  }
+  EXPECT_EQ(ran.load(), 200);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPoolStressTest, ConcurrentParallelForsFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&pool, &total]() {
+      pool.ParallelFor(500, [&total](size_t) { ++total; });
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(total.load(), 3000);
+}
+
 }  // namespace
 }  // namespace cdibot

@@ -163,5 +163,28 @@ TEST_F(PipelineTest, EmptyWindowFails) {
   EXPECT_TRUE(job.Run(TwoVms(), empty).status().IsInvalidArgument());
 }
 
+TEST_F(PipelineTest, DataQualityCountersAccountForEveryVm) {
+  InjectWindowed("slow_io", "vm-1", T("2024-04-25 08:00"), 10);
+  auto vms = TwoVms();
+  // A VM whose service ended before this day: skipped, not evaluated.
+  vms.push_back(VmServiceInfo{
+      .vm_id = "vm-gone",
+      .dims = {{"region", "r0"}},
+      .service_period = Interval(T("2024-04-20 00:00"),
+                                 T("2024-04-21 00:00"))});
+  DailyCdiJob job(&log_, &catalog_, &*weights_, {});
+  auto result = job.Run(vms, day_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->vms_evaluated, 2u);
+  EXPECT_EQ(result->vms_skipped, 1u);
+  EXPECT_EQ(result->vms_failed, 0u);
+  EXPECT_TRUE(result->first_vm_error.ok());
+  // Skipped VMs produce no per-VM row and contribute no service time.
+  EXPECT_EQ(result->per_vm.size(), 2u);
+  EXPECT_EQ(result->fleet_service_time, Duration::Days(2));
+  // Resolver counters survive into the result.
+  EXPECT_EQ(result->resolve_stats.resolved, 10u);
+}
+
 }  // namespace
 }  // namespace cdibot

@@ -1,0 +1,326 @@
+// Differential suite: the streaming engine's snapshot must equal the batch
+// DailyCdiJob on the same inputs, for any arrival order. Each seed builds a
+// randomized scenario — out-of-order (shuffled) arrivals, VMs with partial
+// service windows, mid-day churn (VMs registered late or re-registered with
+// a changed window), unknown/duplicate/out-of-window events, stateful
+// add/del streams and logged-duration events — feeds the identical event
+// set to both engines, and requires per-VM and fleet CDI-U/P/C to agree to
+// within 1e-9 (they agree exactly in practice: the per-VM math is the same
+// code, and period resolution is arrival-order invariant).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdi/pipeline.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "storage/stream_checkpoint.h"
+#include "stream/streaming_engine.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+struct Scenario {
+  Interval day;
+  /// Final service infos — what the batch job is given, and what the
+  /// streaming engine ends up with after churn.
+  std::vector<VmServiceInfo> vms;
+  /// VMs that start the stream with a DIFFERENT (pre-churn) window and are
+  /// re-registered with the final one mid-stream.
+  std::map<std::string, VmServiceInfo> initial_override;
+  /// Ids registered only after some of their events arrived (orphan path).
+  std::vector<std::string> late_registered;
+  /// Events in arrival order (shuffled; includes junk).
+  std::vector<RawEvent> arrivals;
+};
+
+Scenario MakeScenario(uint64_t seed) {
+  Rng rng(seed);
+  Scenario sc;
+  sc.day = Interval(T("2026-03-10 00:00"), T("2026-03-11 00:00"));
+
+  const int num_vms = static_cast<int>(rng.UniformInt(6, 24));
+  for (int v = 0; v < num_vms; ++v) {
+    VmServiceInfo vm;
+    vm.vm_id = "vm-" + std::to_string(v);
+    vm.dims = {{"region", "r0"},
+               {"az", rng.Bernoulli(0.5) ? "r0-az0" : "r0-az1"}};
+    // ~1/3 of VMs have partial service windows (created or released
+    // mid-day); the rest serve the full day. Some windows deliberately
+    // start before / end after the day to exercise clamping.
+    if (rng.Bernoulli(0.33)) {
+      const int64_t a = rng.UniformInt(-6 * 60, 18 * 60);
+      const int64_t b = a + rng.UniformInt(2 * 60, 20 * 60);
+      vm.service_period = Interval(sc.day.start + Duration::Minutes(a),
+                                   sc.day.start + Duration::Minutes(b));
+    } else {
+      vm.service_period = sc.day;
+    }
+    // Churn: some VMs first appear with a different window and switch to
+    // the final one mid-stream.
+    if (rng.Bernoulli(0.25)) {
+      VmServiceInfo initial = vm;
+      initial.service_period = Interval(
+          sc.day.start,
+          sc.day.start + Duration::Minutes(rng.UniformInt(60, 12 * 60)));
+      sc.initial_override[vm.vm_id] = initial;
+    } else if (rng.Bernoulli(0.25)) {
+      sc.late_registered.push_back(vm.vm_id);
+    }
+    sc.vms.push_back(std::move(vm));
+  }
+
+  auto put = [&sc](RawEvent ev) { sc.arrivals.push_back(std::move(ev)); };
+  auto minute = [&sc](int64_t m) {
+    return sc.day.start + Duration::Minutes(m);
+  };
+  const char* windowed[] = {"slow_io", "packet_loss", "vcpu_high",
+                            "vm_start_failed"};
+  const Severity levels[] = {Severity::kWarning, Severity::kCritical,
+                             Severity::kFatal};
+
+  for (const VmServiceInfo& vm : sc.vms) {
+    // Windowed bursts.
+    const int bursts = static_cast<int>(rng.UniformInt(0, 4));
+    for (int b = 0; b < bursts; ++b) {
+      const char* name = windowed[rng.UniformInt(0, 3)];
+      const Severity level = levels[rng.UniformInt(0, 2)];
+      const int64_t start = rng.UniformInt(-120, 24 * 60 + 60);
+      const int len = static_cast<int>(rng.UniformInt(1, 40));
+      for (int i = 0; i < len; ++i) {
+        RawEvent ev;
+        ev.name = name;
+        ev.time = minute(start + i);
+        ev.target = vm.vm_id;
+        ev.level = level;
+        ev.expire_interval = Duration::Hours(24);
+        // Occasional exact duplicate delivery.
+        if (rng.Bernoulli(0.05)) put(ev);
+        put(std::move(ev));
+      }
+    }
+    // Stateful ddos stream: add ... del, sometimes dangling or duplicated.
+    if (rng.Bernoulli(0.4)) {
+      const int64_t a = rng.UniformInt(0, 20 * 60);
+      const int64_t b = a + rng.UniformInt(5, 4 * 60);
+      RawEvent add;
+      add.name = "ddos_blackhole_add";
+      add.time = minute(a);
+      add.target = vm.vm_id;
+      add.level = Severity::kCritical;
+      add.expire_interval = Duration::Hours(2);
+      put(add);
+      if (rng.Bernoulli(0.3)) put(add);  // duplicate add detail
+      if (rng.Bernoulli(0.8)) {
+        RawEvent del = add;
+        del.name = "ddos_blackhole_del";
+        del.time = minute(b);
+        put(std::move(del));
+      }  // else: unpaired start, closed at expire
+    }
+    // Logged-duration brownout.
+    if (rng.Bernoulli(0.3)) {
+      RawEvent ev;
+      ev.name = "qemu_live_upgrade";
+      ev.time = minute(rng.UniformInt(30, 23 * 60));
+      ev.target = vm.vm_id;
+      ev.level = Severity::kWarning;
+      ev.expire_interval = Duration::Hours(1);
+      ev.attrs["duration_ms"] =
+          std::to_string(rng.UniformInt(1000, 600000));
+      put(std::move(ev));
+    }
+    // Junk both engines must ignore: unknown names, far-out-of-window.
+    if (rng.Bernoulli(0.5)) {
+      RawEvent ev;
+      ev.name = "not_in_catalog";
+      ev.time = minute(rng.UniformInt(0, 24 * 60));
+      ev.target = vm.vm_id;
+      ev.level = Severity::kWarning;
+      ev.expire_interval = Duration::Hours(1);
+      put(std::move(ev));
+    }
+    if (rng.Bernoulli(0.3)) {
+      RawEvent ev;
+      ev.name = "slow_io";
+      ev.time = sc.day.start - Duration::Days(3);
+      ev.target = vm.vm_id;
+      ev.level = Severity::kCritical;
+      ev.expire_interval = Duration::Hours(1);
+      put(std::move(ev));
+    }
+  }
+
+  // Out-of-order delivery: shuffle the whole stream.
+  for (size_t i = sc.arrivals.size(); i > 1; --i) {
+    std::swap(sc.arrivals[i - 1],
+              sc.arrivals[static_cast<size_t>(rng.UniformInt(
+                  0, static_cast<int64_t>(i) - 1))]);
+  }
+  return sc;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  EquivalenceTest() : catalog_(EventCatalog::BuiltIn()) {
+    auto ticket = TicketRankModel::FromCounts(
+        {{"slow_io", 100}, {"packet_loss", 60}, {"vcpu_high", 40},
+         {"vm_start_failed", 20}},
+        4);
+    weights_.emplace(
+        EventWeightModel::Build(std::move(ticket).value(), {}).value());
+  }
+
+  DailyCdiResult RunBatch(const Scenario& sc, ThreadPool* pool) {
+    EventLog log;
+    log.AppendBatch(sc.arrivals);
+    DailyCdiJob job(&log, &catalog_, &*weights_, {.pool = pool});
+    auto result = job.Run(sc.vms, sc.day);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  DailyCdiResult RunStream(const Scenario& sc, ThreadPool* pool,
+                           bool checkpoint_midway) {
+    StreamingCdiOptions opts;
+    opts.window = sc.day;
+    opts.pool = pool;
+    opts.num_shards = 1 + GetParam() % 7;  // vary sharding too
+    auto engine =
+        StreamingCdiEngine::Create(&catalog_, &*weights_, opts).value();
+
+    std::vector<std::string> late(sc.late_registered);
+    for (const VmServiceInfo& vm : sc.vms) {
+      if (std::find(late.begin(), late.end(), vm.vm_id) != late.end()) {
+        continue;  // registered only mid-stream
+      }
+      auto it = sc.initial_override.find(vm.vm_id);
+      EXPECT_TRUE(
+          engine.RegisterVm(it != sc.initial_override.end() ? it->second : vm)
+              .ok());
+    }
+
+    const size_t half = sc.arrivals.size() / 2;
+    for (size_t i = 0; i < sc.arrivals.size(); ++i) {
+      EXPECT_TRUE(engine.Ingest(sc.arrivals[i]).ok());
+      if (i + 1 == half) {
+        // Mid-stream: churn lands (late registrations + window changes),
+        // and an intra-day snapshot must not disturb the final result.
+        for (const VmServiceInfo& vm : sc.vms) {
+          if (sc.initial_override.count(vm.vm_id) > 0 ||
+              std::find(late.begin(), late.end(), vm.vm_id) != late.end()) {
+            EXPECT_TRUE(engine.RegisterVm(vm).ok());
+          }
+        }
+        EXPECT_TRUE(engine.Snapshot().ok());
+        if (checkpoint_midway) {
+          const std::string dir = ::testing::TempDir();
+          EXPECT_TRUE(SaveStreamCheckpoint(engine.Checkpoint(), dir).ok());
+          auto loaded = LoadStreamCheckpoint(dir);
+          EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+          auto restored = StreamingCdiEngine::Restore(*loaded, &catalog_,
+                                                      &*weights_, opts);
+          EXPECT_TRUE(restored.ok()) << restored.status().ToString();
+          engine = std::move(*restored);
+        }
+      }
+    }
+    auto snap = engine.Snapshot();
+    EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+    return std::move(snap).value();
+  }
+
+  static void ExpectSameCdi(const VmCdi& a, const VmCdi& b,
+                            const std::string& what) {
+    EXPECT_NEAR(a.unavailability, b.unavailability, 1e-9) << what;
+    EXPECT_NEAR(a.performance, b.performance, 1e-9) << what;
+    EXPECT_NEAR(a.control_plane, b.control_plane, 1e-9) << what;
+    EXPECT_EQ(a.service_time, b.service_time) << what;
+  }
+
+  EventCatalog catalog_;
+  std::optional<EventWeightModel> weights_;
+};
+
+TEST_P(EquivalenceTest, StreamSnapshotMatchesBatchJob) {
+  const Scenario sc = MakeScenario(GetParam());
+  ThreadPool pool(4);
+  const DailyCdiResult batch = RunBatch(sc, &pool);
+  // Every 4th seed also exercises checkpoint/restore mid-stream.
+  const DailyCdiResult stream =
+      RunStream(sc, &pool, /*checkpoint_midway=*/GetParam() % 4 == 0);
+
+  ExpectSameCdi(batch.fleet, stream.fleet, "fleet");
+
+  // Per-VM rows match one-to-one (batch order is input order, stream order
+  // is sorted; compare by id).
+  std::map<std::string, const VmCdiRecord*> batch_vms;
+  for (const VmCdiRecord& rec : batch.per_vm) batch_vms[rec.vm_id] = &rec;
+  ASSERT_EQ(batch.per_vm.size(), stream.per_vm.size());
+  for (const VmCdiRecord& rec : stream.per_vm) {
+    auto it = batch_vms.find(rec.vm_id);
+    ASSERT_NE(it, batch_vms.end()) << rec.vm_id;
+    ExpectSameCdi(it->second->cdi, rec.cdi, rec.vm_id);
+  }
+
+  // Aggregates, baselines, counters, and data-quality stats line up too.
+  EXPECT_EQ(batch.vms_evaluated, stream.vms_evaluated);
+  EXPECT_EQ(batch.vms_skipped, stream.vms_skipped);
+  EXPECT_EQ(batch.vms_failed, stream.vms_failed);
+  EXPECT_EQ(batch.fleet_service_time, stream.fleet_service_time);
+  EXPECT_NEAR(batch.fleet_baseline.downtime_percentage,
+              stream.fleet_baseline.downtime_percentage, 1e-9);
+  EXPECT_NEAR(batch.fleet_baseline.annual_interruption_rate,
+              stream.fleet_baseline.annual_interruption_rate, 1e-9);
+  EXPECT_EQ(batch.resolve_stats.resolved, stream.resolve_stats.resolved);
+  EXPECT_EQ(batch.resolve_stats.unknown_dropped,
+            stream.resolve_stats.unknown_dropped);
+  EXPECT_EQ(batch.resolve_stats.duplicate_details_dropped,
+            stream.resolve_stats.duplicate_details_dropped);
+  EXPECT_EQ(batch.resolve_stats.dangling_end_dropped,
+            stream.resolve_stats.dangling_end_dropped);
+  EXPECT_EQ(batch.resolve_stats.unpaired_start_closed,
+            stream.resolve_stats.unpaired_start_closed);
+
+  // Per-event drill-down damage totals per (vm, event).
+  std::map<std::pair<std::string, std::string>, double> batch_damage;
+  for (const EventCdiRecord& rec : batch.per_event) {
+    batch_damage[{rec.vm_id, rec.event_name}] += rec.damage_minutes;
+  }
+  std::map<std::pair<std::string, std::string>, double> stream_damage;
+  for (const EventCdiRecord& rec : stream.per_event) {
+    stream_damage[{rec.vm_id, rec.event_name}] += rec.damage_minutes;
+  }
+  ASSERT_EQ(batch_damage.size(), stream_damage.size());
+  for (const auto& [key, damage] : batch_damage) {
+    auto it = stream_damage.find(key);
+    ASSERT_NE(it, stream_damage.end()) << key.first << "/" << key.second;
+    EXPECT_NEAR(damage, it->second, 1e-9)
+        << key.first << "/" << key.second;
+  }
+}
+
+// Re-delivering the whole stream a second time must not change the result:
+// duplicates hit the resolver's dedup rules identically in both engines.
+TEST_P(EquivalenceTest, DoubleDeliveryStillMatchesBatch) {
+  if (GetParam() % 5 != 0) GTEST_SKIP() << "subset of seeds";
+  Scenario sc = MakeScenario(GetParam());
+  const size_t original = sc.arrivals.size();
+  sc.arrivals.reserve(original * 2);
+  for (size_t i = 0; i < original; ++i) sc.arrivals.push_back(sc.arrivals[i]);
+  const DailyCdiResult batch = RunBatch(sc, nullptr);
+  const DailyCdiResult stream = RunStream(sc, nullptr, false);
+  ExpectSameCdi(batch.fleet, stream.fleet, "fleet under double delivery");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace cdibot

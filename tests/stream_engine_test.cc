@@ -1,0 +1,231 @@
+// Unit tests of StreamingCdiEngine internals the differential suite does
+// not pin directly: watermark/lateness accounting, orphan adoption,
+// out-of-window rejection, incremental-recompute bookkeeping, and the
+// checkpoint round trip through src/storage.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdi/monitor.h"
+#include "storage/stream_checkpoint.h"
+#include "stream/streaming_engine.h"
+
+namespace cdibot {
+namespace {
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+class StreamEngineTest : public ::testing::Test {
+ protected:
+  StreamEngineTest() : catalog_(EventCatalog::BuiltIn()) {
+    auto ticket = TicketRankModel::FromCounts(
+        {{"slow_io", 100}, {"packet_loss", 60}, {"vcpu_high", 40},
+         {"vm_start_failed", 20}},
+        4);
+    weights_.emplace(
+        EventWeightModel::Build(std::move(ticket).value(), {}).value());
+    day_ = Interval(T("2026-03-10 00:00"), T("2026-03-11 00:00"));
+  }
+
+  StreamingCdiEngine MakeEngine(Duration lateness = Duration::Minutes(5)) {
+    StreamingCdiOptions opts;
+    opts.window = day_;
+    opts.allowed_lateness = lateness;
+    opts.num_shards = 4;
+    return StreamingCdiEngine::Create(&catalog_, &*weights_, opts).value();
+  }
+
+  VmServiceInfo Vm(const std::string& id) const {
+    return VmServiceInfo{.vm_id = id,
+                         .dims = {{"region", "r0"}},
+                         .service_period = day_};
+  }
+
+  RawEvent SlowIo(const std::string& vm, int64_t minute) const {
+    RawEvent ev;
+    ev.name = "slow_io";
+    ev.time = day_.start + Duration::Minutes(minute);
+    ev.target = vm;
+    ev.level = Severity::kCritical;
+    ev.expire_interval = Duration::Hours(24);
+    return ev;
+  }
+
+  EventCatalog catalog_;
+  std::optional<EventWeightModel> weights_;
+  Interval day_;
+};
+
+TEST_F(StreamEngineTest, CreateRejectsBadOptions) {
+  StreamingCdiOptions opts;  // empty window
+  EXPECT_FALSE(
+      StreamingCdiEngine::Create(&catalog_, &*weights_, opts).ok());
+  opts.window = day_;
+  opts.allowed_lateness = Duration::Minutes(-1);
+  EXPECT_FALSE(
+      StreamingCdiEngine::Create(&catalog_, &*weights_, opts).ok());
+  EXPECT_FALSE(StreamingCdiEngine::Create(nullptr, &*weights_,
+                                          StreamingCdiOptions{.window = day_})
+                   .ok());
+}
+
+TEST_F(StreamEngineTest, WatermarkTrailsMaxEventTime) {
+  auto engine = MakeEngine(Duration::Minutes(5));
+  ASSERT_TRUE(engine.RegisterVm(Vm("vm-1")).ok());
+  ASSERT_TRUE(engine.Ingest(SlowIo("vm-1", 600)).ok());
+  EXPECT_EQ(engine.watermark(),
+            day_.start + Duration::Minutes(600) - Duration::Minutes(5));
+  // An event behind the watermark counts as late but is still applied.
+  ASSERT_TRUE(engine.Ingest(SlowIo("vm-1", 100)).ok());
+  EXPECT_EQ(engine.stats().events_late, 1u);
+  // The watermark never regresses.
+  EXPECT_EQ(engine.watermark(),
+            day_.start + Duration::Minutes(595));
+  engine.AdvanceWatermarkTo(day_.start + Duration::Minutes(50));
+  EXPECT_EQ(engine.watermark(), day_.start + Duration::Minutes(595));
+  engine.AdvanceWatermarkTo(day_.end);
+  EXPECT_EQ(engine.watermark(), day_.end);
+}
+
+TEST_F(StreamEngineTest, LateEventStillRevisesTheVm) {
+  auto engine = MakeEngine(Duration::Millis(0));
+  ASSERT_TRUE(engine.RegisterVm(Vm("vm-1")).ok());
+  ASSERT_TRUE(engine.Ingest(SlowIo("vm-1", 1200)).ok());
+  const double before = engine.FleetCdi().value().performance;
+  ASSERT_TRUE(engine.Ingest(SlowIo("vm-1", 300)).ok());  // late
+  const double after = engine.FleetCdi().value().performance;
+  EXPECT_EQ(engine.stats().events_late, 1u);
+  EXPECT_GT(after, before);
+}
+
+TEST_F(StreamEngineTest, OutOfWindowEventsAreDropped) {
+  auto engine = MakeEngine();
+  ASSERT_TRUE(engine.RegisterVm(Vm("vm-1")).ok());
+  RawEvent far = SlowIo("vm-1", 0);
+  far.time = day_.start - Duration::Days(2);
+  ASSERT_TRUE(engine.Ingest(far).ok());
+  far.time = day_.end + Duration::Days(2);
+  ASSERT_TRUE(engine.Ingest(far).ok());
+  EXPECT_EQ(engine.stats().events_out_of_window, 2u);
+  EXPECT_DOUBLE_EQ(engine.FleetCdi().value().performance, 0.0);
+}
+
+TEST_F(StreamEngineTest, OrphanEventsAdoptedOnRegistration) {
+  auto engine = MakeEngine();
+  ASSERT_TRUE(engine.Ingest(SlowIo("vm-9", 100)).ok());
+  ASSERT_TRUE(engine.Ingest(SlowIo("vm-9", 101)).ok());
+  EXPECT_EQ(engine.stats().events_orphaned, 2u);
+  EXPECT_EQ(engine.num_vms(), 0u);
+  ASSERT_TRUE(engine.RegisterVm(Vm("vm-9")).ok());
+  auto snap = engine.Snapshot().value();
+  ASSERT_EQ(snap.per_vm.size(), 1u);
+  EXPECT_GT(snap.per_vm[0].cdi.performance, 0.0);
+}
+
+TEST_F(StreamEngineTest, OnlyDirtyVmsAreRecomputed) {
+  auto engine = MakeEngine();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.RegisterVm(Vm("vm-" + std::to_string(i))).ok());
+  }
+  (void)engine.FleetCdi().value();
+  EXPECT_EQ(engine.stats().vms_recomputed, 10u);
+  // A quiet stream: refreshing the fleet CDI recomputes nothing.
+  (void)engine.FleetCdi().value();
+  EXPECT_EQ(engine.stats().vms_recomputed, 10u);
+  // One event dirties exactly one VM.
+  ASSERT_TRUE(engine.Ingest(SlowIo("vm-3", 60)).ok());
+  (void)engine.FleetCdi().value();
+  EXPECT_EQ(engine.stats().vms_recomputed, 11u);
+}
+
+TEST_F(StreamEngineTest, ReRegistrationShrinksServiceWindow) {
+  auto engine = MakeEngine();
+  ASSERT_TRUE(engine.RegisterVm(Vm("vm-1")).ok());
+  ASSERT_TRUE(engine.Ingest(SlowIo("vm-1", 60)).ok());
+  const Duration full = engine.Snapshot().value().fleet_service_time;
+  EXPECT_EQ(full, Duration::Days(1));
+  // VM released at noon: window shrinks, service time follows.
+  VmServiceInfo shrunk = Vm("vm-1");
+  shrunk.service_period =
+      Interval(day_.start, day_.start + Duration::Hours(12));
+  ASSERT_TRUE(engine.RegisterVm(shrunk).ok());
+  EXPECT_EQ(engine.Snapshot().value().fleet_service_time,
+            Duration::Hours(12));
+}
+
+TEST_F(StreamEngineTest, CheckpointRoundTripPreservesState) {
+  auto engine = MakeEngine();
+  ASSERT_TRUE(engine.RegisterVm(Vm("vm-1")).ok());
+  ASSERT_TRUE(engine.RegisterVm(Vm("vm-2")).ok());
+  ASSERT_TRUE(engine.Ingest(SlowIo("vm-1", 60)).ok());
+  ASSERT_TRUE(engine.Ingest(SlowIo("vm-1", 61)).ok());
+  ASSERT_TRUE(engine.Ingest(SlowIo("vm-orphan", 70)).ok());
+  RawEvent junk = SlowIo("vm-1", 0);
+  junk.time = day_.start - Duration::Days(2);
+  ASSERT_TRUE(engine.Ingest(junk).ok());
+  const VmCdi before = engine.FleetCdi().value();
+
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(SaveStreamCheckpoint(engine.Checkpoint(), dir).ok());
+  auto loaded = LoadStreamCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->vms.size(), 2u);
+  EXPECT_EQ(loaded->events.size(), 2u);
+  EXPECT_EQ(loaded->orphan_events.size(), 1u);
+
+  StreamingCdiOptions opts;
+  opts.window = day_;
+  auto restored =
+      StreamingCdiEngine::Restore(*loaded, &catalog_, &*weights_, opts);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  // Same watermark, same counters, same fleet CDI.
+  EXPECT_EQ(restored->watermark(), engine.watermark());
+  EXPECT_EQ(restored->stats().events_ingested,
+            engine.stats().events_ingested);
+  EXPECT_EQ(restored->stats().events_out_of_window, 1u);
+  EXPECT_EQ(restored->stats().events_orphaned, 1u);
+  const VmCdi after = restored->FleetCdi().value();
+  EXPECT_DOUBLE_EQ(before.performance, after.performance);
+  // The restored engine keeps streaming: the orphan's VM shows up late.
+  ASSERT_TRUE(restored->RegisterVm(Vm("vm-orphan")).ok());
+  EXPECT_EQ(restored->Snapshot().value().per_vm.size(), 3u);
+}
+
+TEST_F(StreamEngineTest, MonitorPreviewDoesNotCommit) {
+  auto engine = MakeEngine();
+  ASSERT_TRUE(engine.RegisterVm(Vm("vm-1")).ok());
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(engine.Ingest(SlowIo("vm-1", 300 + i)).ok());
+  }
+  auto snap = engine.Snapshot().value();
+
+  auto monitor = CdiMonitor::Create({.window = 3, .k = 3.0}).value();
+  // Seed a flat history so today's damage is a spike.
+  DailyCdiResult quiet;
+  quiet.fleet_service_time = Duration::Days(1);
+  for (int d = 0; d < 5; ++d) {
+    ASSERT_TRUE(
+        monitor.IngestDay(day_.start - Duration::Days(5 - d), quiet).ok());
+  }
+  const size_t days_before = monitor.days_ingested();
+  // Previewing many intra-day snapshots flags the spike every time without
+  // advancing the detectors.
+  for (int i = 0; i < 3; ++i) {
+    auto problems = monitor.Preview(day_.start, snap);
+    ASSERT_TRUE(problems.ok());
+    ASSERT_EQ(problems->size(), 1u);
+    EXPECT_EQ((*problems)[0].event_name, "slow_io");
+    EXPECT_EQ((*problems)[0].direction, AnomalyDirection::kSpike);
+  }
+  EXPECT_EQ(monitor.days_ingested(), days_before);
+  EXPECT_TRUE(monitor.SeriesFor("slow_io").empty());
+  // Committing the day afterwards still detects it.
+  auto committed = monitor.IngestDay(day_.start, snap);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed->size(), 1u);
+}
+
+}  // namespace
+}  // namespace cdibot
