@@ -1,0 +1,117 @@
+// Cost of leaving the chaos layer compiled in. The injector sits on the
+// telemetry hot path (every event, every storage I/O), so a disabled plan
+// must be a structural no-op: BM_DisabledInjector should match
+// BM_CopyPlusManifest to within noise, and a disabled MaybeFailIo should
+// cost a branch. BM_EnabledMixedLossless shows what a live fault plan
+// adds, for contrast — that price is only ever paid inside chaos tests.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_injector.h"
+#include "chaos/fault_plan.h"
+#include "chaos/quarantine.h"
+
+namespace cdibot {
+namespace {
+
+std::vector<RawEvent> MakeStream(size_t n) {
+  const TimePoint start = TimePoint::FromMillis(1767225600000);  // 2026-01-01
+  std::vector<RawEvent> events;
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    RawEvent ev;
+    ev.name = "slow_io";
+    ev.time = start + Duration::Minutes(static_cast<int64_t>(i));
+    ev.target = "vm-" + std::to_string(i % 64);
+    ev.level = Severity::kCritical;
+    ev.expire_interval = Duration::Hours(1);
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+// Baseline 1: what moving the stream through a copy costs with no chaos
+// layer and no delivery accounting in the picture at all.
+void BM_CopyOnly(benchmark::State& state) {
+  const std::vector<RawEvent> clean = MakeStream(1024);
+  for (auto _ : state) {
+    std::vector<RawEvent> arrivals = clean;
+    benchmark::DoNotOptimize(arrivals.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_CopyOnly);
+
+// Baseline 2: copy plus hand-rolled per-target delivery manifest. Any
+// collector announces its counts whether or not chaos exists (that is the
+// gap-detection mechanism ExpectDelivery consumes), so this — not the bare
+// copy — is the fair baseline for the injector's own overhead.
+void BM_CopyPlusManifest(benchmark::State& state) {
+  const std::vector<RawEvent> clean = MakeStream(1024);
+  for (auto _ : state) {
+    std::vector<RawEvent> arrivals = clean;
+    std::map<std::string, uint64_t> announced;
+    for (const RawEvent& ev : arrivals) ++announced[ev.target];
+    benchmark::DoNotOptimize(arrivals.data());
+    benchmark::DoNotOptimize(&announced);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_CopyPlusManifest);
+
+// The same work routed through a disabled injector: the overhead under
+// test. Should match BM_CopyPlusManifest to within noise.
+void BM_DisabledInjector(benchmark::State& state) {
+  const std::vector<RawEvent> clean = MakeStream(1024);
+  chaos::ChaosInjector injector(chaos::CleanPlan());
+  for (auto _ : state) {
+    chaos::InjectedStream out = injector.ApplyToEvents(clean);
+    benchmark::DoNotOptimize(out.arrivals.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_DisabledInjector);
+
+// A live lossless plan (duplicate + reorder + delay), for contrast.
+void BM_EnabledMixedLossless(benchmark::State& state) {
+  const std::vector<RawEvent> clean = MakeStream(1024);
+  chaos::ChaosInjector injector(chaos::MixedLosslessPlan(7));
+  for (auto _ : state) {
+    chaos::InjectedStream out = injector.ApplyToEvents(clean);
+    benchmark::DoNotOptimize(out.arrivals.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_EnabledMixedLossless);
+
+// Storage layers call MaybeFailIo before every physical I/O; disabled it
+// must be one branch on an empty plan.
+void BM_DisabledMaybeFailIo(benchmark::State& state) {
+  chaos::ChaosInjector injector(chaos::CleanPlan());
+  for (auto _ : state) {
+    Status st = injector.MaybeFailIo("save");
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_DisabledMaybeFailIo);
+
+// The edge validator runs on every ingested event whether or not chaos is
+// anywhere near the build — this is its steady-state cost on clean input.
+void BM_ValidateCleanEvent(benchmark::State& state) {
+  const std::vector<RawEvent> clean = MakeStream(1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto verdict = chaos::ValidateRawEvent(clean[i++ & 1023]);
+    benchmark::DoNotOptimize(verdict);
+  }
+}
+BENCHMARK(BM_ValidateCleanEvent);
+
+}  // namespace
+}  // namespace cdibot
+
+BENCHMARK_MAIN();

@@ -226,10 +226,10 @@ bench_cmake/CMakeFiles/ablation_automation.dir/ablation_automation.cc.o: \
  /root/repo/src/cdi/baselines.h /root/repo/src/common/time.h \
  /root/repo/src/event/event.h /root/repo/src/cdi/drilldown.h \
  /root/repo/src/cdi/aggregate.h /root/repo/src/cdi/vm_cdi.h \
- /root/repo/src/weights/event_weights.h /root/repo/src/dataflow/engine.h \
- /root/repo/src/dataflow/table.h /root/repo/src/dataflow/value.h \
- /usr/include/c++/12/variant /root/repo/src/event/catalog.h \
- /root/repo/src/event/period_resolver.h \
+ /root/repo/src/weights/event_weights.h /root/repo/src/chaos/quarantine.h \
+ /root/repo/src/dataflow/engine.h /root/repo/src/dataflow/table.h \
+ /root/repo/src/dataflow/value.h /usr/include/c++/12/variant \
+ /root/repo/src/event/catalog.h /root/repo/src/event/period_resolver.h \
  /root/repo/src/storage/event_log.h /root/repo/src/common/rng.h \
  /root/repo/src/ops/operation_platform.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
@@ -246,4 +246,6 @@ bench_cmake/CMakeFiles/ablation_automation.dir/ablation_automation.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/fleet.h \
  /root/repo/src/telemetry/topology.h \
  /root/repo/src/stream/streaming_engine.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/storage/stream_checkpoint.h

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/chaos_overhead.cc" "bench_cmake/CMakeFiles/chaos_overhead.dir/chaos_overhead.cc.o" "gcc" "bench_cmake/CMakeFiles/chaos_overhead.dir/chaos_overhead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdibot_abtest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_cdi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_chaos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_weights.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

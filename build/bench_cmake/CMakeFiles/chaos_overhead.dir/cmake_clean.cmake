@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/chaos_overhead"
+  "../bench/chaos_overhead.pdb"
+  "CMakeFiles/chaos_overhead.dir/chaos_overhead.cc.o"
+  "CMakeFiles/chaos_overhead.dir/chaos_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/cdibot_rules.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_stream.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_chaos.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_weights.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_dataflow.dir/DependInfo.cmake"

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chaos/fault_injector.cc" "src/CMakeFiles/cdibot_chaos.dir/chaos/fault_injector.cc.o" "gcc" "src/CMakeFiles/cdibot_chaos.dir/chaos/fault_injector.cc.o.d"
+  "/root/repo/src/chaos/fault_plan.cc" "src/CMakeFiles/cdibot_chaos.dir/chaos/fault_plan.cc.o" "gcc" "src/CMakeFiles/cdibot_chaos.dir/chaos/fault_plan.cc.o.d"
+  "/root/repo/src/chaos/quarantine.cc" "src/CMakeFiles/cdibot_chaos.dir/chaos/quarantine.cc.o" "gcc" "src/CMakeFiles/cdibot_chaos.dir/chaos/quarantine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdibot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_chaos.dir/chaos/fault_injector.cc.o"
+  "CMakeFiles/cdibot_chaos.dir/chaos/fault_injector.cc.o.d"
+  "CMakeFiles/cdibot_chaos.dir/chaos/fault_plan.cc.o"
+  "CMakeFiles/cdibot_chaos.dir/chaos/fault_plan.cc.o.d"
+  "CMakeFiles/cdibot_chaos.dir/chaos/quarantine.cc.o"
+  "CMakeFiles/cdibot_chaos.dir/chaos/quarantine.cc.o.d"
+  "libcdibot_chaos.a"
+  "libcdibot_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdibot_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

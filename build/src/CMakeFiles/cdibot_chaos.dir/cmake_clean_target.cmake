@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdibot_chaos.a"
+)

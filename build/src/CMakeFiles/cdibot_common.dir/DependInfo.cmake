@@ -8,7 +8,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/cdibot_common.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/cdibot_common.dir/common/crc32.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/CMakeFiles/cdibot_common.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/cdibot_common.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/retry.cc" "src/CMakeFiles/cdibot_common.dir/common/retry.cc.o" "gcc" "src/CMakeFiles/cdibot_common.dir/common/retry.cc.o.d"
   "/root/repo/src/common/rng.cc" "src/CMakeFiles/cdibot_common.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/cdibot_common.dir/common/rng.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/cdibot_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cdibot_common.dir/common/status.cc.o.d"
   "/root/repo/src/common/strings.cc" "src/CMakeFiles/cdibot_common.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/cdibot_common.dir/common/strings.cc.o.d"

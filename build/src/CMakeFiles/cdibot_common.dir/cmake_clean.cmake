@@ -1,6 +1,10 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_common.dir/common/crc32.cc.o"
+  "CMakeFiles/cdibot_common.dir/common/crc32.cc.o.d"
   "CMakeFiles/cdibot_common.dir/common/logging.cc.o"
   "CMakeFiles/cdibot_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/cdibot_common.dir/common/retry.cc.o"
+  "CMakeFiles/cdibot_common.dir/common/retry.cc.o.d"
   "CMakeFiles/cdibot_common.dir/common/rng.cc.o"
   "CMakeFiles/cdibot_common.dir/common/rng.cc.o.d"
   "CMakeFiles/cdibot_common.dir/common/status.cc.o"

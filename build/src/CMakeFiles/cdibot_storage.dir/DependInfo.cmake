@@ -8,7 +8,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/atomic_io.cc" "src/CMakeFiles/cdibot_storage.dir/storage/atomic_io.cc.o" "gcc" "src/CMakeFiles/cdibot_storage.dir/storage/atomic_io.cc.o.d"
   "/root/repo/src/storage/catalog_config.cc" "src/CMakeFiles/cdibot_storage.dir/storage/catalog_config.cc.o" "gcc" "src/CMakeFiles/cdibot_storage.dir/storage/catalog_config.cc.o.d"
+  "/root/repo/src/storage/checkpoint_store.cc" "src/CMakeFiles/cdibot_storage.dir/storage/checkpoint_store.cc.o" "gcc" "src/CMakeFiles/cdibot_storage.dir/storage/checkpoint_store.cc.o.d"
   "/root/repo/src/storage/config_store.cc" "src/CMakeFiles/cdibot_storage.dir/storage/config_store.cc.o" "gcc" "src/CMakeFiles/cdibot_storage.dir/storage/config_store.cc.o.d"
   "/root/repo/src/storage/event_log.cc" "src/CMakeFiles/cdibot_storage.dir/storage/event_log.cc.o" "gcc" "src/CMakeFiles/cdibot_storage.dir/storage/event_log.cc.o.d"
   "/root/repo/src/storage/stream_checkpoint.cc" "src/CMakeFiles/cdibot_storage.dir/storage/stream_checkpoint.cc.o" "gcc" "src/CMakeFiles/cdibot_storage.dir/storage/stream_checkpoint.cc.o.d"

@@ -1,6 +1,10 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/cdibot_storage.dir/storage/atomic_io.cc.o"
+  "CMakeFiles/cdibot_storage.dir/storage/atomic_io.cc.o.d"
   "CMakeFiles/cdibot_storage.dir/storage/catalog_config.cc.o"
   "CMakeFiles/cdibot_storage.dir/storage/catalog_config.cc.o.d"
+  "CMakeFiles/cdibot_storage.dir/storage/checkpoint_store.cc.o"
+  "CMakeFiles/cdibot_storage.dir/storage/checkpoint_store.cc.o.d"
   "CMakeFiles/cdibot_storage.dir/storage/config_store.cc.o"
   "CMakeFiles/cdibot_storage.dir/storage/config_store.cc.o.d"
   "CMakeFiles/cdibot_storage.dir/storage/event_log.cc.o"

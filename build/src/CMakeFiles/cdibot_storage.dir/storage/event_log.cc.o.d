@@ -207,4 +207,5 @@ src/CMakeFiles/cdibot_storage.dir/storage/event_log.cc.o: \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/fs_dir.h \
  /usr/include/c++/12/bits/fs_ops.h /root/repo/src/common/strings.h \
- /usr/include/c++/12/cstdarg /root/repo/src/dataflow/csv.h
+ /usr/include/c++/12/cstdarg /root/repo/src/dataflow/csv.h \
+ /root/repo/src/storage/atomic_io.h

@@ -193,4 +193,4 @@ src/CMakeFiles/cdibot_storage.dir/storage/stream_checkpoint.cc.o: \
  /usr/include/c++/12/bits/fs_ops.h /root/repo/src/common/strings.h \
  /usr/include/c++/12/cstdarg /root/repo/src/dataflow/csv.h \
  /root/repo/src/dataflow/table.h /root/repo/src/dataflow/value.h \
- /usr/include/c++/12/variant
+ /usr/include/c++/12/variant /root/repo/src/storage/atomic_io.h

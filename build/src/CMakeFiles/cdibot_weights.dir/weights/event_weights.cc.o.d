@@ -150,4 +150,5 @@ src/CMakeFiles/cdibot_weights.dir/weights/event_weights.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/common/strings.h /usr/include/c++/12/cstdarg

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_retry_test.cc" "tests/CMakeFiles/common_test.dir/common_retry_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_retry_test.cc.o.d"
   "/root/repo/tests/common_rng_test.cc" "tests/CMakeFiles/common_test.dir/common_rng_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_rng_test.cc.o.d"
   "/root/repo/tests/common_status_test.cc" "tests/CMakeFiles/common_test.dir/common_status_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_status_test.cc.o.d"
   "/root/repo/tests/common_strings_test.cc" "tests/CMakeFiles/common_test.dir/common_strings_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_strings_test.cc.o.d"
@@ -26,6 +27,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/cdibot_cdi.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_anomaly.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_chaos.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_dataflow.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_telemetry.dir/DependInfo.cmake"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/common_retry_test.cc.o"
+  "CMakeFiles/common_test.dir/common_retry_test.cc.o.d"
   "CMakeFiles/common_test.dir/common_rng_test.cc.o"
   "CMakeFiles/common_test.dir/common_rng_test.cc.o.d"
   "CMakeFiles/common_test.dir/common_status_test.cc.o"

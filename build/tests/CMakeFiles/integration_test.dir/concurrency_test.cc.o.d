@@ -306,14 +306,14 @@ tests/CMakeFiles/integration_test.dir/concurrency_test.cc.o: \
  /root/repo/src/common/time.h /root/repo/src/event/event.h \
  /root/repo/src/cdi/drilldown.h /root/repo/src/cdi/aggregate.h \
  /root/repo/src/cdi/vm_cdi.h /root/repo/src/weights/event_weights.h \
- /root/repo/src/dataflow/engine.h /root/repo/src/common/thread_pool.h \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \
+ /root/repo/src/chaos/quarantine.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/dataflow/engine.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/future /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/dataflow/table.h \
- /root/repo/src/dataflow/value.h /root/repo/src/event/catalog.h \
- /root/repo/src/event/period_resolver.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /root/repo/src/dataflow/table.h /root/repo/src/dataflow/value.h \
+ /root/repo/src/event/catalog.h /root/repo/src/event/period_resolver.h \
  /root/repo/src/storage/event_log.h /root/repo/src/dataflow/query.h \
  /root/repo/src/rules/rule_engine.h /root/repo/src/rules/expression.h \
  /root/repo/src/sim/scenario.h /root/repo/src/common/rng.h \

@@ -301,23 +301,26 @@ tests/CMakeFiles/sim_test.dir/cloudbot_loop_test.cc.o: \
  /root/repo/src/cdi/baselines.h /root/repo/src/common/time.h \
  /root/repo/src/event/event.h /root/repo/src/cdi/drilldown.h \
  /root/repo/src/cdi/aggregate.h /root/repo/src/cdi/vm_cdi.h \
- /root/repo/src/weights/event_weights.h /root/repo/src/dataflow/engine.h \
- /root/repo/src/common/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /root/repo/src/weights/event_weights.h /root/repo/src/chaos/quarantine.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/dataflow/engine.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/future /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
- /root/repo/src/dataflow/table.h /root/repo/src/dataflow/value.h \
- /root/repo/src/event/catalog.h /root/repo/src/event/period_resolver.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/dataflow/table.h \
+ /root/repo/src/dataflow/value.h /root/repo/src/event/catalog.h \
+ /root/repo/src/event/period_resolver.h \
  /root/repo/src/storage/event_log.h /root/repo/src/common/rng.h \
  /root/repo/src/ops/operation_platform.h /root/repo/src/ops/actions.h \
  /root/repo/src/rules/rule_engine.h /root/repo/src/rules/expression.h \
  /root/repo/src/sim/fleet.h /root/repo/src/telemetry/topology.h \
  /root/repo/src/stream/streaming_engine.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/storage/stream_checkpoint.h

@@ -298,19 +298,20 @@ tests/CMakeFiles/sim_test.dir/fleet_test.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/common/time.h \
  /root/repo/src/event/event.h /root/repo/src/cdi/drilldown.h \
  /root/repo/src/cdi/aggregate.h /root/repo/src/cdi/vm_cdi.h \
- /root/repo/src/weights/event_weights.h /root/repo/src/dataflow/engine.h \
- /root/repo/src/common/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /root/repo/src/weights/event_weights.h /root/repo/src/chaos/quarantine.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/dataflow/engine.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/future /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
- /root/repo/src/dataflow/table.h /root/repo/src/dataflow/value.h \
- /root/repo/src/event/catalog.h /root/repo/src/event/period_resolver.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/dataflow/table.h \
+ /root/repo/src/dataflow/value.h /root/repo/src/event/catalog.h \
+ /root/repo/src/event/period_resolver.h \
  /root/repo/src/storage/event_log.h /root/repo/src/telemetry/topology.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/config_store_test.cc" "tests/CMakeFiles/storage_test.dir/config_store_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/config_store_test.cc.o.d"
   "/root/repo/tests/event_log_test.cc" "tests/CMakeFiles/storage_test.dir/event_log_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/event_log_test.cc.o.d"
+  "/root/repo/tests/stream_checkpoint_corpus_test.cc" "tests/CMakeFiles/storage_test.dir/stream_checkpoint_corpus_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/stream_checkpoint_corpus_test.cc.o.d"
   )
 
 # Targets to which this target links.
@@ -23,6 +24,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/cdibot_cdi.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_anomaly.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_chaos.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_dataflow.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_telemetry.dir/DependInfo.cmake"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/storage_test.dir/config_store_test.cc.o.d"
   "CMakeFiles/storage_test.dir/event_log_test.cc.o"
   "CMakeFiles/storage_test.dir/event_log_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/stream_checkpoint_corpus_test.cc.o"
+  "CMakeFiles/storage_test.dir/stream_checkpoint_corpus_test.cc.o.d"
   "storage_test"
   "storage_test.pdb"
   "storage_test[1]_tests.cmake"

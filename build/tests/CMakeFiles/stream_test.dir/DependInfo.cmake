@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/cdibot_cdi.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_anomaly.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdibot_chaos.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_dataflow.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/cdibot_telemetry.dir/DependInfo.cmake"

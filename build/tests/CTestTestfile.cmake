@@ -12,6 +12,7 @@ include("/root/repo/build/tests/dataflow_test[1]_include.cmake")
 include("/root/repo/build/tests/stats_test[1]_include.cmake")
 include("/root/repo/build/tests/anomaly_test[1]_include.cmake")
 include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")
 include("/root/repo/build/tests/telemetry_test[1]_include.cmake")
 include("/root/repo/build/tests/extract_test[1]_include.cmake")
 include("/root/repo/build/tests/rules_test[1]_include.cmake")

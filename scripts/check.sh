@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 gate: full build + ctest, then an ASan/UBSan pass over the
-# concurrency-heavy tests (thread pool, streaming engine, and the
-# stream-vs-batch differential suite), where memory and ordering bugs
+# Tier-1 gate: full build + ctest, then the chaos differential/recovery
+# suite on its own (the robustness gate), then an ASan/UBSan pass over the
+# concurrency-heavy and fault-handling tests (thread pool, streaming
+# engine, chaos suite, crash-safe storage), where memory and ordering bugs
 # actually live. Run from the repo root:
 #
-#   scripts/check.sh            # everything
-#   SKIP_SAN=1 scripts/check.sh # tier-1 only
+#   scripts/check.sh              # everything
+#   SKIP_SAN=1 scripts/check.sh   # tier-1 + chaos only
+#   SKIP_CHAOS=1 scripts/check.sh # tier-1 + sanitizers only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +20,16 @@ cmake --build build -j "$JOBS"
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+if [[ "${SKIP_CHAOS:-0}" == "1" ]]; then
+  echo "== chaos suite skipped (SKIP_CHAOS=1) =="
+else
+  # Redundant with ctest above but isolated on purpose: a chaos failure
+  # should be reported as "the pipeline breaks under fault X", not lost in
+  # a thousand-test run. This is the stage CI gates robustness PRs on.
+  echo "== chaos: fault-injection differential + recovery =="
+  ./build/tests/chaos_test
+fi
+
 if [[ "${SKIP_SAN:-0}" == "1" ]]; then
   echo "== sanitizers skipped (SKIP_SAN=1) =="
   exit 0
@@ -25,12 +37,17 @@ fi
 
 echo "== asan+ubsan: build =="
 cmake -B build-asan -S . -DCDIBOT_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$JOBS" --target common_test stream_test
+cmake --build build-asan -j "$JOBS" \
+  --target common_test stream_test chaos_test storage_test
 
-echo "== asan+ubsan: thread pool + streaming engine =="
+echo "== asan+ubsan: thread pool + retry + streaming engine =="
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 export ASAN_OPTIONS="detect_leaks=1"
-./build-asan/tests/common_test --gtest_filter='ThreadPool*'
+./build-asan/tests/common_test --gtest_filter='ThreadPool*:Retry*'
 ./build-asan/tests/stream_test
+
+echo "== asan+ubsan: chaos + crash-safe storage =="
+./build-asan/tests/chaos_test
+./build-asan/tests/storage_test
 
 echo "== all checks passed =="

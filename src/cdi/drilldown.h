@@ -1,6 +1,7 @@
 #ifndef CDIBOT_CDI_DRILLDOWN_H_
 #define CDIBOT_CDI_DRILLDOWN_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -11,6 +12,34 @@
 
 namespace cdibot {
 
+/// Data-quality annotation attached to CDI output. A CDI computed from an
+/// impaired telemetry stream is still emitted — the paper's position is
+/// that a stability metric must keep working through instability — but it
+/// carries this annotation so a consumer can tell a confident number from
+/// a best-effort one. The counters cover the two ways input integrity
+/// degrades: events that arrived broken (quarantined) and events that a
+/// collector announced but that never arrived (missing).
+struct DataQuality {
+  /// Malformed events diverted to quarantine instead of entering the
+  /// pipeline (empty name/target, impossible severity, ...).
+  uint64_t events_quarantined = 0;
+  /// Events announced by the collector's delivery manifest that were never
+  /// received — the silent-gap signature of the paper's Case 7.
+  uint64_t events_missing = 0;
+  /// True when either counter is non-zero: this CDI was computed from
+  /// impaired input and may deviate from ground truth.
+  bool degraded = false;
+
+  /// Recomputes `degraded` from the counters.
+  void Refresh() { degraded = events_quarantined > 0 || events_missing > 0; }
+
+  void Merge(const DataQuality& o) {
+    events_quarantined += o.events_quarantined;
+    events_missing += o.events_missing;
+    degraded = degraded || o.degraded;
+  }
+};
+
 /// Per-VM output row of the daily CDI job (first MaxCompute table of
 /// Sec. V): the three indicators, the service time, and the VM's placement
 /// dimensions for BI drill-down (region, availability zone, cluster, NC,
@@ -19,6 +48,8 @@ struct VmCdiRecord {
   std::string vm_id;
   std::map<std::string, std::string> dims;
   VmCdi cdi;
+  /// Integrity of the input this row was computed from.
+  DataQuality quality;
 };
 
 /// Per-(VM, event-name) output row (second table of Sec. V): the damage an

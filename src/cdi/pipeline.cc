@@ -1,5 +1,7 @@
 #include "cdi/pipeline.h"
 
+#include <set>
+
 #include "cdi/indicator.h"
 #include "cdi/vm_cdi.h"
 #include "common/strings.h"
@@ -50,13 +52,33 @@ dataflow::Table DailyCdiResult::ToEventTable() const {
 
 Status ComputeVmDailyCdi(std::vector<RawEvent> raw, const VmServiceInfo& vm,
                          const Interval& day, const PeriodResolver& resolver,
-                         const EventWeightModel& weights, VmDailyOutput* out) {
+                         const EventWeightModel& weights, VmDailyOutput* out,
+                         chaos::QuarantineSink* quarantine) {
   *out = VmDailyOutput{};
   const Interval service = vm.service_period.ClampTo(day);
   if (service.empty()) {
     out->skipped = true;
     return Status::OK();
   }
+
+  // Sanitize at the edge: a structurally broken event is diverted once,
+  // here, instead of failing an arbitrary downstream stage (one bad
+  // severity ordinal used to abort the whole VM's day inside
+  // AttachWeights). The surviving events proceed normally and the VM's
+  // output carries the accounting.
+  size_t kept = 0;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const auto reason = chaos::ValidateRawEvent(raw[i]);
+    if (reason.has_value()) {
+      ++out->quality.events_quarantined;
+      if (quarantine != nullptr) quarantine->Quarantine(raw[i], *reason);
+      continue;
+    }
+    if (kept != i) raw[kept] = std::move(raw[i]);  // no self-move
+    ++kept;
+  }
+  raw.resize(kept);
+  out->quality.Refresh();
 
   auto resolved_or =
       resolver.Resolve(std::move(raw), service, &out->resolve_stats);
@@ -69,8 +91,10 @@ Status ComputeVmDailyCdi(std::vector<RawEvent> raw, const VmServiceInfo& vm,
 
   auto cdi_or = ComputeVmCdi(weighted, service);
   if (!cdi_or.ok()) return cdi_or.status();
-  out->record =
-      VmCdiRecord{.vm_id = vm.vm_id, .dims = vm.dims, .cdi = cdi_or.value()};
+  out->record = VmCdiRecord{.vm_id = vm.vm_id,
+                            .dims = vm.dims,
+                            .cdi = cdi_or.value(),
+                            .quality = out->quality};
 
   auto baseline_or = ComputeUnavailabilityStats(resolved, service);
   if (!baseline_or.ok()) return baseline_or.status();
@@ -104,6 +128,8 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
     VmDailyOutput out;
     bool failed = false;
     Status error;
+    /// The undecorated failure reason, for distinct-reason sampling.
+    std::string reason;
   };
   std::vector<VmSlot> slots(vms.size());
 
@@ -119,11 +145,11 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
                           service.end + kEventSearchMargin);
     std::vector<RawEvent> raw = log_->SearchTarget(search, vm.vm_id);
     Status st = ComputeVmDailyCdi(std::move(raw), vm, day, resolver,
-                                  *weights_, &slot.out);
+                                  *weights_, &slot.out, quarantine_);
     if (!st.ok()) {
       slot.failed = true;
-      slot.error =
-          Status::Internal("vm " + vm.vm_id + ": " + st.ToString());
+      slot.reason = st.ToString();
+      slot.error = Status::Internal("vm " + vm.vm_id + ": " + slot.reason);
     }
   };
 
@@ -136,11 +162,18 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
   DailyCdiResult result;
   FleetCdiPartial fleet_partial;
   UnavailabilityPartial baseline_partial;
+  std::set<std::string> sampled_reasons;
   for (VmSlot& slot : slots) {
     if (slot.failed) {
       ++result.vms_failed;
       result.resolve_stats.Merge(slot.out.resolve_stats);
+      result.quality.Merge(slot.out.quality);
       if (result.first_vm_error.ok()) result.first_vm_error = slot.error;
+      if (result.vm_error_samples.size() <
+              DailyCdiResult::kMaxVmErrorSamples &&
+          sampled_reasons.insert(slot.reason).second) {
+        result.vm_error_samples.push_back(slot.error.message());
+      }
       continue;
     }
     VmDailyOutput& out = slot.out;
@@ -149,6 +182,8 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
       continue;
     }
     ++result.vms_evaluated;
+    if (out.quality.degraded) ++result.vms_degraded;
+    result.quality.Merge(out.quality);
     fleet_partial.AddVm(out.record.cdi);
     baseline_partial.AddVm(out.baseline, out.record.cdi.service_time);
     result.fleet_service_time += out.record.cdi.service_time;

@@ -7,6 +7,7 @@
 
 #include "cdi/baselines.h"
 #include "cdi/drilldown.h"
+#include "chaos/quarantine.h"
 #include "common/statusor.h"
 #include "dataflow/engine.h"
 #include "event/catalog.h"
@@ -42,20 +43,26 @@ struct VmDailyOutput {
   std::vector<EventCdiRecord> events;
   UnavailabilityStats baseline;
   ResolveStats resolve_stats;
+  /// Input-integrity accounting for this VM (mirrored into record.quality).
+  DataQuality quality;
   /// True when the VM's service period does not intersect the window.
   bool skipped = false;
 };
 
 /// Runs the full per-VM slice of the daily job: clamps the service window
-/// into `day`, resolves `raw` (which must cover at least the service window
+/// into `day`, sanitizes `raw` (structurally malformed events are diverted
+/// to quarantine and counted in out->quality instead of failing the VM),
+/// resolves the survivors (which must cover at least the service window
 /// extended by kEventSearchMargin), attaches weights, computes the three
 /// indicators, the baseline stats, and the per-event damage rows. On
 /// failure `out` keeps whatever was computed before the failing stage — in
 /// particular out->resolve_stats — so callers can still account for the
-/// data quality of work that actually ran.
+/// data quality of work that actually ran. `quarantine`, when non-null,
+/// additionally receives every diverted event for fleet-level accounting.
 Status ComputeVmDailyCdi(std::vector<RawEvent> raw, const VmServiceInfo& vm,
                          const Interval& day, const PeriodResolver& resolver,
-                         const EventWeightModel& weights, VmDailyOutput* out);
+                         const EventWeightModel& weights, VmDailyOutput* out,
+                         chaos::QuarantineSink* quarantine = nullptr);
 
 /// Full output of one daily CDI computation — the two MaxCompute tables of
 /// Sec. V plus fleet-level aggregates and the classic baselines for
@@ -83,6 +90,17 @@ struct DailyCdiResult {
   size_t vms_failed = 0;
   /// The first per-VM failure (ok when vms_failed == 0).
   Status first_vm_error;
+  /// Up to kMaxVmErrorSamples samples of DISTINCT failure reasons across
+  /// the failed VMs ("vm <id>: <error>", one VM per distinct reason). A
+  /// fleet-wide incident produces thousands of identical failures; keeping
+  /// one exemplar per reason is what an operator actually needs.
+  std::vector<std::string> vm_error_samples;
+  static constexpr size_t kMaxVmErrorSamples = 10;
+  /// Aggregate input-integrity counters over the evaluated VMs.
+  DataQuality quality;
+  /// Evaluated VMs whose per-VM quality is degraded; their rows are in
+  /// per_vm (flagged), not dropped.
+  size_t vms_degraded = 0;
 
   /// Exports per_vm as a table (vm_id, region, az, cluster, cdi_u, cdi_p,
   /// cdi_c, service_minutes) for the BI layer.
@@ -103,11 +121,16 @@ class DailyCdiJob {
               const EventWeightModel* weights, dataflow::ExecContext ctx)
       : log_(log), catalog_(catalog), weights_(weights), ctx_(ctx) {}
 
+  /// Optional fleet-level sink for events the per-VM sanitation diverts.
+  /// Borrowed; must outlive Run.
+  void set_quarantine(chaos::QuarantineSink* sink) { quarantine_ = sink; }
+
   /// Runs the job for `vms` over the evaluation window `day` (typically one
   /// UTC day; any window works). Service periods are clamped into `day`.
   /// Per-VM failures do not abort the job: the failing VM is dropped from
   /// per_vm, counted in vms_failed, its resolver counters are still
-  /// aggregated, and the first error is reported in first_vm_error.
+  /// aggregated, the first error is reported in first_vm_error, and up to
+  /// kMaxVmErrorSamples distinct failure reasons land in vm_error_samples.
   StatusOr<DailyCdiResult> Run(const std::vector<VmServiceInfo>& vms,
                                const Interval& day) const;
 
@@ -116,6 +139,7 @@ class DailyCdiJob {
   const EventCatalog* catalog_;
   const EventWeightModel* weights_;
   dataflow::ExecContext ctx_;
+  chaos::QuarantineSink* quarantine_ = nullptr;
 };
 
 }  // namespace cdibot

@@ -1,0 +1,245 @@
+#include "chaos/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace cdibot::chaos {
+namespace {
+
+const FaultSpec* FindSpec(const FaultPlan& plan, FaultKind kind) {
+  for (const FaultSpec& spec : plan.faults) {
+    if (spec.kind == kind) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ChaosInjector::ChaosInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+InjectedStream ChaosInjector::ApplyToEvents(std::vector<RawEvent> clean) {
+  InjectedStream out;
+  stats_.events_seen += clean.size();
+  for (const RawEvent& ev : clean) {
+    if (!ev.target.empty()) ++out.announced[ev.target];
+  }
+  if (!enabled()) {
+    out.arrivals = std::move(clean);
+    out.stats = stats_;
+    return out;
+  }
+
+  const FaultSpec* drop = FindSpec(plan_, FaultKind::kDrop);
+  const FaultSpec* drop_batch = FindSpec(plan_, FaultKind::kDropBatch);
+  const FaultSpec* malform = FindSpec(plan_, FaultKind::kMalform);
+  const FaultSpec* skew = FindSpec(plan_, FaultKind::kClockSkew);
+  const FaultSpec* duplicate = FindSpec(plan_, FaultKind::kDuplicate);
+  const FaultSpec* reorder = FindSpec(plan_, FaultKind::kReorder);
+  const FaultSpec* delay = FindSpec(plan_, FaultKind::kDelay);
+
+  // Pass 1: content faults, walking the clean stream in order. Lossy faults
+  // record the victim's target in `affected_targets` BEFORE mutation, since
+  // malformed events may lose the very field that names the target.
+  std::vector<RawEvent> delivered;
+  delivered.reserve(clean.size());
+  size_t batch_drop_remaining = 0;
+  for (RawEvent& ev : clean) {
+    if (batch_drop_remaining > 0) {
+      --batch_drop_remaining;
+      ++stats_.events_dropped;
+      out.affected_targets.insert(ev.target);
+      continue;
+    }
+    if (drop_batch != nullptr && rng_.Bernoulli(drop_batch->probability)) {
+      // This event starts a collector outage: it and the next burst-1
+      // arrivals vanish together.
+      batch_drop_remaining = drop_batch->burst > 0 ? drop_batch->burst - 1 : 0;
+      ++stats_.batches_dropped;
+      ++stats_.events_dropped;
+      out.affected_targets.insert(ev.target);
+      continue;
+    }
+    if (drop != nullptr && rng_.Bernoulli(drop->probability)) {
+      ++stats_.events_dropped;
+      out.affected_targets.insert(ev.target);
+      continue;
+    }
+    if (malform != nullptr && rng_.Bernoulli(malform->probability)) {
+      out.affected_targets.insert(ev.target);
+      Malform(&ev);
+      ++stats_.events_malformed;
+    }
+    if (skew != nullptr && rng_.Bernoulli(skew->probability)) {
+      out.affected_targets.insert(ev.target);
+      const int64_t max_ms = std::max<int64_t>(1, skew->magnitude.millis());
+      ev.time += Duration::Millis(rng_.UniformInt(-max_ms, max_ms));
+      ++stats_.clock_skews_applied;
+    }
+    delivered.push_back(std::move(ev));
+    if (duplicate != nullptr && rng_.Bernoulli(duplicate->probability)) {
+      const size_t copies = std::max<size_t>(1, duplicate->burst);
+      for (size_t c = 0; c < copies; ++c) {
+        delivered.push_back(delivered.back());
+        ++stats_.duplicates_injected;
+      }
+    }
+  }
+
+  // Pass 2: arrival-order perturbation. Each delivered event gets a sort key
+  // of its position plus an optional forward displacement; a stable sort on
+  // the keys then realizes all displacements at once. kReorder moves an
+  // event up to `burst` positions; kDelay converts extra arrival latency to
+  // positions at one position per minute (the generators emit roughly
+  // per-minute telemetry), so a 30-minute delay slides the event ~30
+  // arrivals back.
+  if (reorder != nullptr || delay != nullptr) {
+    std::vector<std::pair<uint64_t, size_t>> keys;
+    keys.reserve(delivered.size());
+    for (size_t i = 0; i < delivered.size(); ++i) {
+      uint64_t key = i;
+      if (reorder != nullptr && rng_.Bernoulli(reorder->probability)) {
+        const int64_t horizon =
+            std::max<int64_t>(1, static_cast<int64_t>(reorder->burst));
+        key += static_cast<uint64_t>(rng_.UniformInt(1, horizon));
+        ++stats_.reorders_applied;
+      }
+      if (delay != nullptr && rng_.Bernoulli(delay->probability)) {
+        const int64_t max_positions =
+            std::max<int64_t>(1, delay->magnitude.millis() / 60000);
+        key += static_cast<uint64_t>(rng_.UniformInt(1, max_positions));
+        ++stats_.delays_applied;
+      }
+      keys.emplace_back(key, i);
+    }
+    std::stable_sort(keys.begin(), keys.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    out.arrivals.reserve(delivered.size());
+    for (const auto& [key, index] : keys) {
+      out.arrivals.push_back(std::move(delivered[index]));
+    }
+  } else {
+    out.arrivals = std::move(delivered);
+  }
+
+  out.stats = stats_;
+  return out;
+}
+
+void ChaosInjector::ApplyToMetricSeries(MetricSeries* series) {
+  if (series == nullptr || !enabled()) return;
+  const FaultSpec* nan_spec = FindSpec(plan_, FaultKind::kNanMetric);
+  const FaultSpec* inf_spec = FindSpec(plan_, FaultKind::kInfMetric);
+  if (nan_spec == nullptr && inf_spec == nullptr) return;
+  for (MetricPoint& point : series->points) {
+    if (nan_spec != nullptr && rng_.Bernoulli(nan_spec->probability)) {
+      point.value = std::numeric_limits<double>::quiet_NaN();
+      ++stats_.metric_points_corrupted;
+      continue;
+    }
+    if (inf_spec != nullptr && rng_.Bernoulli(inf_spec->probability)) {
+      point.value = rng_.Bernoulli(0.5)
+                        ? std::numeric_limits<double>::infinity()
+                        : -std::numeric_limits<double>::infinity();
+      ++stats_.metric_points_corrupted;
+    }
+  }
+}
+
+std::string ChaosInjector::CorruptText(std::string text) {
+  if (text.empty()) return text;
+  switch (rng_.UniformInt(0, 2)) {
+    case 0: {
+      // Torn write: the tail never hit the disk.
+      const size_t keep = static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(text.size()) - 1));
+      text.resize(keep);
+      break;
+    }
+    case 1: {
+      // Bit rot: flip a handful of random bytes.
+      const int flips = static_cast<int>(rng_.UniformInt(
+          1, std::max<int64_t>(1, static_cast<int64_t>(text.size()) / 64)));
+      for (int i = 0; i < flips; ++i) {
+        const size_t at = static_cast<size_t>(
+            rng_.UniformInt(0, static_cast<int64_t>(text.size()) - 1));
+        text[at] = static_cast<char>(text[at] ^ (1 << rng_.UniformInt(0, 7)));
+      }
+      break;
+    }
+    default: {
+      // Lost record: delete one whole line.
+      std::vector<std::string> lines = StrSplit(text, '\n');
+      if (lines.size() > 1) {
+        const size_t victim = static_cast<size_t>(
+            rng_.UniformInt(0, static_cast<int64_t>(lines.size()) - 1));
+        lines.erase(lines.begin() + static_cast<ptrdiff_t>(victim));
+        text = StrJoin(lines, "\n");
+      } else {
+        text.clear();
+      }
+      break;
+    }
+  }
+  return text;
+}
+
+Status ChaosInjector::CorruptFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::string corrupted = CorruptText(buffer.str());
+  std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+  if (!outf) {
+    return Status::Unavailable(StrFormat("cannot rewrite %s", path.c_str()));
+  }
+  outf << corrupted;
+  outf.close();
+  if (!outf) {
+    return Status::Unavailable(StrFormat("write failed on %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Status ChaosInjector::MaybeFailIo(std::string_view op) {
+  if (!enabled()) return Status::OK();
+  const FaultSpec* io = FindSpec(plan_, FaultKind::kIoFailure);
+  if (io == nullptr || !rng_.Bernoulli(io->probability)) return Status::OK();
+  ++stats_.io_failures_injected;
+  return Status::Unavailable(StrFormat("injected I/O failure during %.*s",
+                                       static_cast<int>(op.size()),
+                                       op.data()));
+}
+
+void ChaosInjector::Malform(RawEvent* ev) {
+  switch (rng_.UniformInt(0, 4)) {
+    case 0:
+      ev->name.clear();
+      break;
+    case 1:
+      ev->target.clear();
+      break;
+    case 2:
+      // Severity ordinal outside [1, kNumSeverityLevels]: 0 or 9.
+      ev->level = static_cast<Severity>(rng_.Bernoulli(0.5) ? 0 : 9);
+      break;
+    case 3:
+      ev->expire_interval = Duration::Millis(-1) - ev->expire_interval;
+      break;
+    default:
+      ev->attrs["duration_ms"] = "garbage";
+      break;
+  }
+}
+
+}  // namespace cdibot::chaos

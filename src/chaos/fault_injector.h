@@ -1,0 +1,100 @@
+#ifndef CDIBOT_CHAOS_FAULT_INJECTOR_H_
+#define CDIBOT_CHAOS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "event/event.h"
+#include "telemetry/metric_series.h"
+
+namespace cdibot::chaos {
+
+/// Counters for every fault the injector actually fired.
+struct ChaosStats {
+  uint64_t events_seen = 0;
+  uint64_t duplicates_injected = 0;
+  uint64_t reorders_applied = 0;
+  uint64_t delays_applied = 0;
+  uint64_t events_dropped = 0;
+  uint64_t batches_dropped = 0;
+  uint64_t events_malformed = 0;
+  uint64_t clock_skews_applied = 0;
+  uint64_t metric_points_corrupted = 0;
+  uint64_t io_failures_injected = 0;
+};
+
+/// The corrupted view of a clean event stream, plus the bookkeeping the
+/// differential suite needs to judge the pipeline's reaction.
+struct InjectedStream {
+  /// What the consumer actually receives, in arrival order.
+  std::vector<RawEvent> arrivals;
+  /// The collector-side delivery manifest: how many events were SENT per
+  /// target (clean counts, before any in-flight fault). A receiver that
+  /// sees fewer than announced has a detectable collector gap — the
+  /// mechanism the paper's Case 7 (silent zero-power telemetry) calls for.
+  std::map<std::string, uint64_t> announced;
+  /// Targets hit by at least one lossy fault (dropped, malformed, skewed).
+  /// The differential suite asserts exactly these VMs end up degraded.
+  std::set<std::string> affected_targets;
+  ChaosStats stats;
+};
+
+/// ChaosInjector applies a FaultPlan to telemetry deterministically: the
+/// same (plan, clean input) pair always produces the same corrupted output.
+/// One injector = one seeded random stream, so interleaving calls is also
+/// reproducible as long as call order is fixed.
+///
+/// When the plan is empty every entry point is a structural no-op; the
+/// bench/chaos_overhead microbench pins that the disabled injector costs
+/// nothing on the hot path.
+class ChaosInjector {
+ public:
+  explicit ChaosInjector(FaultPlan plan);
+
+  bool enabled() const { return plan_.enabled(); }
+  const FaultPlan& plan() const { return plan_; }
+  const ChaosStats& stats() const { return stats_; }
+
+  /// Corrupts a clean event stream according to the plan. Drops, malforms,
+  /// skews, and duplicates happen first; then arrival order is perturbed
+  /// (reorder/delay) by sort-key displacement, so every surviving event
+  /// moves at most plan-bounded positions.
+  InjectedStream ApplyToEvents(std::vector<RawEvent> clean);
+
+  /// Replaces metric points with NaN/Inf per the plan's kNanMetric /
+  /// kInfMetric specs (the collector-bug telemetry of the paper's Case 7).
+  void ApplyToMetricSeries(MetricSeries* series);
+
+  /// Corrupts serialized bytes the way torn writes and partial syncs do:
+  /// truncation at a random offset, random byte flips, or a deleted line.
+  /// Used against checkpoint and event-log files on disk.
+  std::string CorruptText(std::string text);
+
+  /// Reads `path`, corrupts it, and writes it back in place (plain
+  /// non-atomic write — this IS the torn write).
+  Status CorruptFile(const std::string& path);
+
+  /// Returns Unavailable with the plan's kIoFailure probability, OK
+  /// otherwise. Storage layers call this before real I/O so RetryPolicy
+  /// paths can be driven deterministically.
+  Status MaybeFailIo(std::string_view op);
+
+ private:
+  /// Mutates one field so ValidateRawEvent rejects the event.
+  void Malform(RawEvent* ev);
+
+  FaultPlan plan_;
+  Rng rng_;
+  ChaosStats stats_;
+};
+
+}  // namespace cdibot::chaos
+
+#endif  // CDIBOT_CHAOS_FAULT_INJECTOR_H_

@@ -1,0 +1,146 @@
+#include "chaos/fault_plan.h"
+
+#include <algorithm>
+
+namespace cdibot::chaos {
+namespace {
+
+FaultPlan NamedPlan(std::string name, uint64_t seed) {
+  FaultPlan plan;
+  plan.name = std::move(name);
+  plan.seed = seed;
+  return plan;
+}
+
+}  // namespace
+
+std::string_view FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kReorder:
+      return "reorder";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDropBatch:
+      return "drop_batch";
+    case FaultKind::kMalform:
+      return "malform";
+    case FaultKind::kClockSkew:
+      return "clock_skew";
+    case FaultKind::kNanMetric:
+      return "nan_metric";
+    case FaultKind::kInfMetric:
+      return "inf_metric";
+    case FaultKind::kIoFailure:
+      return "io_failure";
+  }
+  return "unknown";
+}
+
+bool FaultKindIsLossy(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDuplicate:
+    case FaultKind::kReorder:
+    case FaultKind::kDelay:
+    case FaultKind::kIoFailure:
+      return false;
+    case FaultKind::kDrop:
+    case FaultKind::kDropBatch:
+    case FaultKind::kMalform:
+    case FaultKind::kClockSkew:
+    case FaultKind::kNanMetric:
+    case FaultKind::kInfMetric:
+      return true;
+  }
+  return true;
+}
+
+bool FaultPlan::lossy() const {
+  return std::any_of(faults.begin(), faults.end(), [](const FaultSpec& f) {
+    return FaultKindIsLossy(f.kind);
+  });
+}
+
+FaultPlan CleanPlan() { return NamedPlan("clean", 0); }
+
+FaultPlan DuplicationPlan(uint64_t seed, double p, size_t copies) {
+  FaultPlan plan = NamedPlan("duplication", seed);
+  plan.Add({.kind = FaultKind::kDuplicate, .probability = p, .burst = copies});
+  return plan;
+}
+
+FaultPlan ReorderPlan(uint64_t seed, double p, size_t horizon) {
+  FaultPlan plan = NamedPlan("reorder", seed);
+  plan.Add({.kind = FaultKind::kReorder, .probability = p, .burst = horizon});
+  return plan;
+}
+
+FaultPlan DelayPlan(uint64_t seed, double p, Duration max_delay) {
+  FaultPlan plan = NamedPlan("delay", seed);
+  plan.Add(
+      {.kind = FaultKind::kDelay, .probability = p, .magnitude = max_delay});
+  return plan;
+}
+
+FaultPlan MixedLosslessPlan(uint64_t seed) {
+  FaultPlan plan = NamedPlan("mixed_lossless", seed);
+  plan.Add({.kind = FaultKind::kDuplicate, .probability = 0.1, .burst = 3})
+      .Add({.kind = FaultKind::kReorder, .probability = 0.25, .burst = 16})
+      .Add({.kind = FaultKind::kDelay,
+            .probability = 0.15,
+            .magnitude = Duration::Minutes(45)});
+  return plan;
+}
+
+FaultPlan DropPlan(uint64_t seed, double p) {
+  FaultPlan plan = NamedPlan("drop", seed);
+  plan.Add({.kind = FaultKind::kDrop, .probability = p});
+  return plan;
+}
+
+FaultPlan CollectorOutagePlan(uint64_t seed, double p, size_t burst) {
+  FaultPlan plan = NamedPlan("collector_outage", seed);
+  plan.Add({.kind = FaultKind::kDropBatch, .probability = p, .burst = burst});
+  return plan;
+}
+
+FaultPlan MalformPlan(uint64_t seed, double p) {
+  FaultPlan plan = NamedPlan("malform", seed);
+  plan.Add({.kind = FaultKind::kMalform, .probability = p});
+  return plan;
+}
+
+FaultPlan ClockSkewPlan(uint64_t seed, double p, Duration max_skew) {
+  FaultPlan plan = NamedPlan("clock_skew", seed);
+  plan.Add(
+      {.kind = FaultKind::kClockSkew, .probability = p, .magnitude = max_skew});
+  return plan;
+}
+
+FaultPlan MetricCorruptionPlan(uint64_t seed, double nan_p, double inf_p) {
+  FaultPlan plan = NamedPlan("metric_corruption", seed);
+  plan.Add({.kind = FaultKind::kNanMetric, .probability = nan_p})
+      .Add({.kind = FaultKind::kInfMetric, .probability = inf_p});
+  return plan;
+}
+
+FaultPlan FlakyIoPlan(uint64_t seed, double p) {
+  FaultPlan plan = NamedPlan("flaky_io", seed);
+  plan.Add({.kind = FaultKind::kIoFailure, .probability = p});
+  return plan;
+}
+
+FaultPlan MixedLossyPlan(uint64_t seed) {
+  FaultPlan plan = NamedPlan("mixed_lossy", seed);
+  plan.Add({.kind = FaultKind::kDrop, .probability = 0.05})
+      .Add({.kind = FaultKind::kMalform, .probability = 0.05})
+      .Add({.kind = FaultKind::kDropBatch, .probability = 0.005, .burst = 12})
+      .Add({.kind = FaultKind::kDuplicate, .probability = 0.05, .burst = 2})
+      .Add({.kind = FaultKind::kReorder, .probability = 0.1, .burst = 8});
+  return plan;
+}
+
+}  // namespace cdibot::chaos

@@ -1,0 +1,104 @@
+#ifndef CDIBOT_CHAOS_FAULT_PLAN_H_
+#define CDIBOT_CHAOS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.h"
+
+namespace cdibot::chaos {
+
+/// The fault taxonomy of the chaos harness. Two families:
+///
+///  * Lossless delivery faults — the substrate mangles HOW telemetry
+///    arrives but not WHAT happened: duplicated deliveries, reordering,
+///    delayed arrival. A correct pipeline must produce bit-identical CDI
+///    under these (the resolver dedups and is arrival-order invariant, and
+///    the damage integral is a union, so re-delivery is a no-op).
+///
+///  * Lossy faults — information is destroyed: silently dropped events,
+///    dropped collector batches, field corruption, clock skew on the event
+///    timestamp, NaN/Inf metric points. A correct pipeline must keep
+///    running and flag every affected VM as degraded instead of silently
+///    reporting a wrong-but-confident CDI (the paper's Case 7: a broken
+///    collector reads zero power and emits nothing — downstream must notice
+///    the gap, not celebrate the quiet day).
+enum class FaultKind : int {
+  // Lossless delivery faults.
+  kDuplicate = 0,   ///< deliver extra copies of an event
+  kReorder = 1,     ///< swap the event with a nearby later arrival
+  kDelay = 2,       ///< hold the event back and deliver it late
+  // Lossy faults.
+  kDrop = 3,        ///< silently lose one event
+  kDropBatch = 4,   ///< lose a contiguous run of arrivals (collector outage)
+  kMalform = 5,     ///< corrupt one field so validation quarantines it
+  kClockSkew = 6,   ///< shift the event timestamp (alters ground truth)
+  kNanMetric = 7,   ///< metric point becomes NaN
+  kInfMetric = 8,   ///< metric point becomes +/-Inf
+  // Transient faults (recoverable by retry, so not lossy).
+  kIoFailure = 9,   ///< storage I/O returns Unavailable
+};
+
+std::string_view FaultKindToString(FaultKind kind);
+
+/// True for kinds that destroy or alter information (the second family).
+bool FaultKindIsLossy(FaultKind kind);
+
+/// One scripted fault: a kind, a per-event (or per-point) firing
+/// probability, and kind-specific parameters.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDuplicate;
+  /// Probability that the fault fires on any given event / metric point.
+  double probability = 0.0;
+  /// kDuplicate: extra copies per firing. kDropBatch: length of the dropped
+  /// run. kReorder: how many positions forward the event may move.
+  size_t burst = 1;
+  /// kDelay: maximum extra arrival delay. kClockSkew: maximum absolute
+  /// timestamp shift.
+  Duration magnitude = Duration::Minutes(1);
+};
+
+/// A deterministic, seed-driven fault script. The same plan applied to the
+/// same clean stream always yields the same corrupted stream, so every
+/// chaos test is reproducible from (plan name, seed) alone.
+struct FaultPlan {
+  std::string name = "clean";
+  uint64_t seed = 0;
+  std::vector<FaultSpec> faults;
+
+  bool enabled() const { return !faults.empty(); }
+  /// True when any scripted fault can destroy information; the differential
+  /// suite requires bit-exact CDI for non-lossy plans and degraded-flagged
+  /// deviation for lossy ones.
+  bool lossy() const;
+
+  FaultPlan& Add(FaultSpec spec) {
+    faults.push_back(spec);
+    return *this;
+  }
+};
+
+/// Preset plans — the corpus the differential suite and the supervisor
+/// simulations draw from.
+FaultPlan CleanPlan();
+FaultPlan DuplicationPlan(uint64_t seed, double p = 0.15, size_t copies = 2);
+FaultPlan ReorderPlan(uint64_t seed, double p = 0.3, size_t horizon = 32);
+FaultPlan DelayPlan(uint64_t seed, double p = 0.2,
+                    Duration max_delay = Duration::Minutes(30));
+FaultPlan MixedLosslessPlan(uint64_t seed);
+FaultPlan DropPlan(uint64_t seed, double p = 0.1);
+FaultPlan CollectorOutagePlan(uint64_t seed, double p = 0.01,
+                              size_t burst = 25);
+FaultPlan MalformPlan(uint64_t seed, double p = 0.1);
+FaultPlan ClockSkewPlan(uint64_t seed, double p = 0.05,
+                        Duration max_skew = Duration::Hours(2));
+FaultPlan MetricCorruptionPlan(uint64_t seed, double nan_p = 0.02,
+                               double inf_p = 0.01);
+FaultPlan MixedLossyPlan(uint64_t seed);
+FaultPlan FlakyIoPlan(uint64_t seed, double p = 0.5);
+
+}  // namespace cdibot::chaos
+
+#endif  // CDIBOT_CHAOS_FAULT_PLAN_H_

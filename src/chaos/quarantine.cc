@@ -1,0 +1,132 @@
+#include "chaos/quarantine.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace cdibot::chaos {
+
+std::string_view QuarantineReasonToString(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kEmptyName:
+      return "empty_name";
+    case QuarantineReason::kEmptyTarget:
+      return "empty_target";
+    case QuarantineReason::kBadSeverity:
+      return "bad_severity";
+    case QuarantineReason::kNegativeExpire:
+      return "negative_expire";
+    case QuarantineReason::kBadDurationAttr:
+      return "bad_duration_attr";
+    case QuarantineReason::kMalformedRow:
+      return "malformed_row";
+    case QuarantineReason::kNonFiniteMetric:
+      return "non_finite_metric";
+  }
+  return "unknown";
+}
+
+std::optional<QuarantineReason> ValidateRawEvent(const RawEvent& event) {
+  if (event.name.empty()) return QuarantineReason::kEmptyName;
+  if (event.target.empty()) return QuarantineReason::kEmptyTarget;
+  const int level = static_cast<int>(event.level);
+  if (level < 1 || level > kNumSeverityLevels) {
+    return QuarantineReason::kBadSeverity;
+  }
+  if (event.expire_interval.IsNegative()) {
+    return QuarantineReason::kNegativeExpire;
+  }
+  if (event.attrs.count("duration_ms") > 0) {
+    auto logged = event.LoggedDuration();
+    if (!logged.ok() || logged->IsNegative()) {
+      return QuarantineReason::kBadDurationAttr;
+    }
+  }
+  return std::nullopt;
+}
+
+void QuarantineSink::Quarantine(const RawEvent& event,
+                                QuarantineReason reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++by_reason_[static_cast<int>(reason)];
+  ++total_;
+  if (!event.target.empty()) ++by_target_[event.target];
+  if (samples_.size() < kMaxSamples) samples_.push_back(event);
+}
+
+void QuarantineSink::QuarantineRow(std::string_view context,
+                                   QuarantineReason reason) {
+  (void)context;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++by_reason_[static_cast<int>(reason)];
+  ++total_;
+}
+
+uint64_t QuarantineSink::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t QuarantineSink::count(QuarantineReason reason) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_reason_[static_cast<int>(reason)];
+}
+
+uint64_t QuarantineSink::count_for_target(const std::string& target) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_target_.find(target);
+  return it == by_target_.end() ? 0 : it->second;
+}
+
+std::map<std::string, uint64_t> QuarantineSink::counts_by_target() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_target_;
+}
+
+std::vector<uint64_t> QuarantineSink::CountsByReason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<uint64_t>(by_reason_,
+                               by_reason_ + kNumQuarantineReasons);
+}
+
+void QuarantineSink::MergeCountsByReason(
+    const std::vector<uint64_t>& counts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n =
+      std::min<size_t>(counts.size(), kNumQuarantineReasons);
+  for (size_t i = 0; i < n; ++i) {
+    by_reason_[i] += counts[i];
+    total_ += counts[i];
+  }
+}
+
+void QuarantineSink::RestoreTargetCount(const std::string& target,
+                                        uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_target_[target] += count;
+}
+
+std::vector<RawEvent> QuarantineSink::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+std::string QuarantineSink::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out =
+      StrFormat("quarantined %llu", static_cast<unsigned long long>(total_));
+  if (total_ == 0) return out;
+  out += " (";
+  bool first = true;
+  for (int i = 0; i < kNumQuarantineReasons; ++i) {
+    if (by_reason_[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += QuarantineReasonToString(static_cast<QuarantineReason>(i));
+    out += StrFormat("=%llu", static_cast<unsigned long long>(by_reason_[i]));
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cdibot::chaos

@@ -1,0 +1,92 @@
+#ifndef CDIBOT_CHAOS_QUARANTINE_H_
+#define CDIBOT_CHAOS_QUARANTINE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "event/event.h"
+
+namespace cdibot::chaos {
+
+/// Why an input was diverted to quarantine instead of entering the CDI
+/// pipeline. The taxonomy mirrors what production telemetry actually
+/// produces under collector bugs: structurally broken events, impossible
+/// field values, and rows that did not survive (de)serialization.
+enum class QuarantineReason : int {
+  kEmptyName = 0,       ///< event with no name; can never resolve
+  kEmptyTarget = 1,     ///< event with no VM/NC target; unroutable
+  kBadSeverity = 2,     ///< severity ordinal outside [1, kNumSeverityLevels]
+  kNegativeExpire = 3,  ///< negative expire interval; nonsensical period
+  kBadDurationAttr = 4, ///< duration_ms attribute present but unparseable
+  kMalformedRow = 5,    ///< storage row that failed CSV/schema parsing
+  kNonFiniteMetric = 6, ///< NaN/Inf metric point from a collector
+};
+
+inline constexpr int kNumQuarantineReasons = 7;
+
+std::string_view QuarantineReasonToString(QuarantineReason reason);
+
+/// Structural validation of a raw event before it enters the pipeline.
+/// Returns the first defect found, or nullopt for a well-formed event.
+/// This is intentionally stricter than what every downstream stage needs
+/// today: a malformed event is diverted once, at the edge, instead of
+/// failing an arbitrary later stage (the pre-quarantine behavior was that
+/// one bad severity ordinal aborted the whole VM's daily CDI).
+std::optional<QuarantineReason> ValidateRawEvent(const RawEvent& event);
+
+/// Thread-safe sink for malformed inputs: counts per reason and per target,
+/// and keeps a capped sample of the offending events for debugging. The
+/// streaming engine owns one and consults it when annotating per-VM
+/// DataQuality; storage loaders feed it malformed rows.
+class QuarantineSink {
+ public:
+  /// Events retained verbatim for post-mortems; beyond this only counters
+  /// grow, so a poisoned stream cannot exhaust memory.
+  static constexpr size_t kMaxSamples = 16;
+
+  QuarantineSink() = default;
+
+  /// Records one quarantined event.
+  void Quarantine(const RawEvent& event, QuarantineReason reason);
+
+  /// Records a quarantined storage row that never became an event (e.g. a
+  /// truncated CSV line). `context` names the file or stream it came from.
+  void QuarantineRow(std::string_view context, QuarantineReason reason);
+
+  uint64_t total() const;
+  uint64_t count(QuarantineReason reason) const;
+  /// Quarantined events attributed to `target` (rows without a parseable
+  /// target are only in the totals).
+  uint64_t count_for_target(const std::string& target) const;
+  std::map<std::string, uint64_t> counts_by_target() const;
+
+  /// Per-reason counters indexed by QuarantineReason ordinal (size
+  /// kNumQuarantineReasons). Used to persist counters into checkpoints.
+  std::vector<uint64_t> CountsByReason() const;
+  /// Restores counters from a checkpoint (adds onto current counts; the
+  /// per-target map is restored separately via RestoreTargetCount).
+  void MergeCountsByReason(const std::vector<uint64_t>& counts);
+  void RestoreTargetCount(const std::string& target, uint64_t count);
+
+  /// Up to kMaxSamples earliest quarantined events.
+  std::vector<RawEvent> samples() const;
+
+  /// One-line human summary, e.g. "quarantined 12 (bad_severity=9 ...)".
+  std::string Summary() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t by_reason_[kNumQuarantineReasons] = {};
+  uint64_t total_ = 0;
+  std::map<std::string, uint64_t> by_target_;
+  std::vector<RawEvent> samples_;
+};
+
+}  // namespace cdibot::chaos
+
+#endif  // CDIBOT_CHAOS_QUARANTINE_H_

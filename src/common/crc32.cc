@@ -1,0 +1,38 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace cdibot {
+namespace {
+
+// Table generated at first use from the reflected polynomial; byte-at-a-time
+// is plenty for checkpoint-sized payloads (a few MB at most).
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t seed, std::string_view data) {
+  const auto& table = Crc32Table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(std::string_view data) { return Crc32Update(0, data); }
+
+}  // namespace cdibot

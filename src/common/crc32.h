@@ -1,0 +1,21 @@
+#ifndef CDIBOT_COMMON_CRC32_H_
+#define CDIBOT_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cdibot {
+
+/// CRC-32 (IEEE 802.3, the zlib/gzip polynomial 0xEDB88320). Used as the
+/// integrity footer of checkpoint and event-log files: cheap, detects the
+/// torn/truncated/bit-flipped writes the chaos suite injects, and stable
+/// across platforms so checksums can be persisted alongside the data.
+uint32_t Crc32(std::string_view data);
+
+/// Incremental form: feed chunks with the previous return value as `seed`
+/// (start from 0). Crc32(data) == Crc32Update(0, data).
+uint32_t Crc32Update(uint32_t seed, std::string_view data);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_COMMON_CRC32_H_

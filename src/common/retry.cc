@@ -1,0 +1,42 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace cdibot {
+
+RetryPolicy::RetryPolicy(RetryOptions options, uint64_t jitter_seed)
+    : options_(options), rng_(jitter_seed) {
+  options_.max_attempts = std::max(1, options_.max_attempts);
+  options_.jitter = std::clamp(options_.jitter, 0.0, 1.0);
+  if (options_.backoff_multiplier < 1.0) options_.backoff_multiplier = 1.0;
+}
+
+Status RetryPolicy::Run(const std::function<Status()>& op) {
+  Duration backoff = options_.initial_backoff;
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    last = op();
+    last_attempts_ = attempt;
+    if (last.ok() || !last.IsRetryable()) return last;
+    if (attempt == options_.max_attempts) break;
+
+    const double scale =
+        1.0 + options_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+    const auto sleep_ms = static_cast<int64_t>(
+        static_cast<double>(backoff.millis()) * scale);
+    const Duration sleep = Duration::Millis(std::max<int64_t>(0, sleep_ms));
+    if (sleeper_) {
+      sleeper_(sleep);
+    } else if (!sleep.IsZero()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep.millis()));
+    }
+    const auto next_ms = static_cast<int64_t>(
+        static_cast<double>(backoff.millis()) * options_.backoff_multiplier);
+    backoff = std::min(options_.max_backoff, Duration::Millis(next_ms));
+  }
+  return last;
+}
+
+}  // namespace cdibot

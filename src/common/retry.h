@@ -1,0 +1,65 @@
+#ifndef CDIBOT_COMMON_RETRY_H_
+#define CDIBOT_COMMON_RETRY_H_
+
+#include <functional>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace cdibot {
+
+/// Tuning for RetryPolicy: capped exponential backoff with multiplicative
+/// jitter and a budgeted attempt count. Defaults are sized for local
+/// storage I/O (tens of milliseconds total), not network calls.
+struct RetryOptions {
+  /// Total attempts including the first (so 4 = 1 try + 3 retries).
+  int max_attempts = 4;
+  Duration initial_backoff = Duration::Millis(10);
+  double backoff_multiplier = 2.0;
+  Duration max_backoff = Duration::Seconds(2);
+  /// Each sleep is scaled by a uniform factor in [1 - jitter, 1 + jitter]
+  /// so synchronized retriers (e.g. every shard of a job hitting the same
+  /// recovering disk) fan out instead of stampeding.
+  double jitter = 0.2;
+};
+
+/// RetryPolicy runs a fallible operation until it succeeds, fails with a
+/// non-retryable code, or exhausts its attempt budget. Retryability is
+/// decided by Status::IsRetryable() (Unavailable / ResourceExhausted /
+/// Aborted); permanent errors — InvalidArgument, DataLoss, ... — are
+/// returned immediately so corrupted inputs are never hammered.
+///
+/// The sleeper is injectable so tests (and the chaos suite) run backoff
+/// schedules without wall-clock delays. The jitter stream is seeded, making
+/// every schedule reproducible.
+class RetryPolicy {
+ public:
+  using Sleeper = std::function<void(Duration)>;
+
+  explicit RetryPolicy(RetryOptions options = {}, uint64_t jitter_seed = 0);
+
+  /// Replaces the real sleep with `sleeper` (test hook; pass a collector to
+  /// observe the backoff schedule).
+  void set_sleeper(Sleeper sleeper) { sleeper_ = std::move(sleeper); }
+
+  /// Runs `op` with retries. Returns the first success, the first
+  /// non-retryable error, or the last retryable error once the attempt
+  /// budget is spent.
+  Status Run(const std::function<Status()>& op);
+
+  /// Attempts consumed by the most recent Run (>= 1 after any Run).
+  int last_attempts() const { return last_attempts_; }
+
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  RetryOptions options_;
+  Rng rng_;
+  Sleeper sleeper_;  // null = real sleep
+  int last_attempts_ = 0;
+};
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_COMMON_RETRY_H_

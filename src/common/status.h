@@ -20,10 +20,19 @@ enum class StatusCode : int {
   kUnimplemented = 7,
   kResourceExhausted = 8,
   kAborted = 9,
+  kUnavailable = 10,
+  kDataLoss = 11,
 };
 
 /// Returns a stable human-readable name for `code`, e.g. "InvalidArgument".
 std::string_view StatusCodeToString(StatusCode code);
+
+/// True for codes that describe transient conditions worth retrying.
+constexpr bool StatusCodeIsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kAborted;
+}
 
 /// Status is the library-wide error model (RocksDB idiom): every fallible
 /// operation returns a Status (or StatusOr<T>) instead of throwing. A Status
@@ -70,6 +79,12 @@ class Status {
   static Status Aborted(std::string_view msg) {
     return Status(StatusCode::kAborted, msg);
   }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
+  static Status DataLoss(std::string_view msg) {
+    return Status(StatusCode::kDataLoss, msg);
+  }
 
   /// True iff the status carries no error.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -92,6 +107,18 @@ class Status {
     return code_ == StatusCode::kFailedPrecondition;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+
+  /// True for codes that describe transient conditions a caller may retry
+  /// (Unavailable, ResourceExhausted, Aborted). RetryPolicy keys off this;
+  /// everything else — including DataLoss, which needs recovery rather than
+  /// repetition — is permanent.
+  bool IsRetryable() const { return StatusCodeIsRetryable(code_); }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;

@@ -197,4 +197,79 @@ StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema) {
   return FromCsv(buffer.str(), schema);
 }
 
+StatusOr<LenientCsvResult> FromCsvLenient(const std::string& csv,
+                                          const Schema& schema) {
+  std::istringstream stream(csv);
+  std::string line;
+  size_t line_no = 0;
+
+  // The header is still load-bearing: without it no row is interpretable.
+  if (!std::getline(stream, line)) {
+    return Status::InvalidArgument("CSV is empty (no header)");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  ++line_no;
+  CDIBOT_ASSIGN_OR_RETURN(const auto header, SplitRecord(line, line_no));
+  if (header.size() != schema.num_fields()) {
+    return Status::InvalidArgument(StrFormat(
+        "header has %zu columns, schema has %zu", header.size(),
+        schema.num_fields()));
+  }
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (header[c] != schema.field(c).name) {
+      return Status::InvalidArgument("header column '" + header[c] +
+                                     "' does not match schema column '" +
+                                     schema.field(c).name + "'");
+    }
+  }
+
+  LenientCsvResult result;
+  result.table = Table(schema);
+  auto drop = [&result](Status why) {
+    ++result.rows_dropped;
+    if (result.errors.size() < LenientCsvResult::kMaxErrors) {
+      result.errors.push_back(why.ToString());
+    }
+  };
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    ++line_no;
+    if (line.empty()) continue;
+    auto cells = SplitRecord(line, line_no);
+    if (!cells.ok()) {
+      drop(cells.status());
+      continue;
+    }
+    if (cells->size() != schema.num_fields()) {
+      drop(Status::InvalidArgument(
+          StrFormat("line %zu has %zu cells, expected %zu", line_no,
+                    cells->size(), schema.num_fields())));
+      continue;
+    }
+    Row row;
+    row.reserve(cells->size());
+    bool row_ok = true;
+    for (size_t c = 0; c < cells->size(); ++c) {
+      auto v = ParseCell((*cells)[c], schema.field(c).type, line_no);
+      if (!v.ok()) {
+        drop(v.status());
+        row_ok = false;
+        break;
+      }
+      row.push_back(std::move(*v));
+    }
+    if (row_ok) result.table.AppendUnchecked(std::move(row));
+  }
+  return result;
+}
+
+StatusOr<LenientCsvResult> ReadCsvFileLenient(const std::string& path,
+                                              const Schema& schema) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return FromCsvLenient(buffer.str(), schema);
+}
+
 }  // namespace cdibot::dataflow

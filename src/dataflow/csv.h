@@ -26,6 +26,31 @@ StatusOr<Table> FromCsv(const std::string& csv, const Schema& schema);
 /// Reads and parses a CSV file.
 StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema);
 
+/// Result of a lenient parse: the rows that survived, plus an account of
+/// the ones that did not.
+struct LenientCsvResult {
+  Table table;
+  /// Data rows skipped because they failed to split, had the wrong cell
+  /// count, or contained an unparseable cell.
+  size_t rows_dropped = 0;
+  /// Up to kMaxErrors messages describing the dropped rows (first-come).
+  std::vector<std::string> errors;
+
+  static constexpr size_t kMaxErrors = 8;
+};
+
+/// Like FromCsv but degrades instead of failing: malformed data rows are
+/// skipped and counted rather than aborting the parse. Only an unusable
+/// header (missing, wrong columns) still fails, since without it no row can
+/// be interpreted. This is the loader used on the crash-recovery path,
+/// where a torn tail must not take the surviving prefix down with it.
+StatusOr<LenientCsvResult> FromCsvLenient(const std::string& csv,
+                                          const Schema& schema);
+
+/// Reads and leniently parses a CSV file.
+StatusOr<LenientCsvResult> ReadCsvFileLenient(const std::string& path,
+                                              const Schema& schema);
+
 }  // namespace cdibot::dataflow
 
 #endif  // CDIBOT_DATAFLOW_CSV_H_

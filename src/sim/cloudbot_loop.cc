@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
 
 #include "common/strings.h"
 #include "ops/placement.h"
+#include "storage/checkpoint_store.h"
 
 namespace cdibot {
 namespace {
@@ -93,11 +95,36 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
     return stream->Ingest(ev);
   };
 
+  // Supervisor mode: checkpoint after every incident and crash/restore the
+  // engine at evenly spaced points across the day.
+  std::optional<StreamCheckpointStore> store;
+  std::set<size_t> crash_after;
+  if (options.supervise_streaming) {
+    if (!options.streaming_cdi) {
+      return Status::InvalidArgument(
+          "supervise_streaming requires streaming_cdi");
+    }
+    if (options.checkpoint_dir.empty()) {
+      return Status::InvalidArgument(
+          "supervise_streaming requires a checkpoint_dir");
+    }
+    CDIBOT_ASSIGN_OR_RETURN(
+        StreamCheckpointStore opened,
+        StreamCheckpointStore::Open(options.checkpoint_dir, {}));
+    store.emplace(std::move(opened));
+    const size_t n = incidents.size();
+    const size_t k = std::min(options.supervisor_crashes, n);
+    for (size_t j = 1; j <= k; ++j) {
+      crash_after.insert(j * n / (k + 1));
+    }
+  }
+
   EventLog log;
   std::map<std::string, std::string> vm_to_nc;
 
   // --- Drive each incident through the loop ---------------------------------
-  for (Incident& inc : incidents) {
+  for (size_t inc_index = 0; inc_index < incidents.size(); ++inc_index) {
+    Incident& inc = incidents[inc_index];
     vm_to_nc[inc.vm_id] = inc.nc_id;
     // The NIC flap is logged once at the incident start (Example 1).
     RawEvent flap =
@@ -173,6 +200,29 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
           const auto problems,
           options.live_monitor->Preview(day.start, live));
       result.live_problems += problems.size();
+    }
+
+    // Supervisor: persist the engine's durable state, then possibly kill
+    // it and bring it back from disk. Crashing right after a checkpoint
+    // means no ingested event is lost, so the day's final streaming CDI
+    // still agrees with the batch job — the recovery suite pins this.
+    if (store.has_value() && stream.has_value()) {
+      CDIBOT_RETURN_IF_ERROR(store->Save(stream->Checkpoint()));
+      ++result.checkpoints_saved;
+      if (crash_after.count(inc_index) > 0) {
+        stream.reset();  // the "crash": all in-memory state is gone
+        ++result.crashes_injected;
+        CDIBOT_ASSIGN_OR_RETURN(const StreamCheckpoint ckpt,
+                                store->LoadLastGood());
+        StreamingCdiOptions sopts;
+        sopts.window = day;
+        sopts.pool = ctx.pool;
+        CDIBOT_ASSIGN_OR_RETURN(
+            StreamingCdiEngine revived,
+            StreamingCdiEngine::Restore(ckpt, &catalog, &weights, sopts));
+        stream.emplace(std::move(revived));
+        ++result.restores_completed;
+      }
     }
   }
 

@@ -36,6 +36,20 @@ struct AutomationLoopOptions {
   /// CdiMonitor::Preview (non-committing), so emerging spikes are visible
   /// while the day is still accumulating. Borrowed; may be null.
   CdiMonitor* live_monitor = nullptr;
+  /// When true (requires streaming_cdi and a checkpoint_dir), the streaming
+  /// engine runs under a supervisor: after each incident's events are
+  /// ingested its state is checkpointed into a StreamCheckpointStore, and
+  /// at evenly spaced points the supervisor destroys the engine outright
+  /// and restores it from the last good checkpoint — the paper's stance
+  /// applied to the metric pipeline itself: CDI keeps being computed
+  /// through crashes of its own infrastructure, and the post-restore
+  /// stream still agrees with the batch job.
+  bool supervise_streaming = false;
+  /// Root directory of the supervisor's checkpoint store (created if
+  /// missing). Required when supervise_streaming is set.
+  std::string checkpoint_dir;
+  /// Number of crash/restore cycles the supervisor injects across the day.
+  size_t supervisor_crashes = 1;
 };
 
 /// Outcome of a simulated day.
@@ -56,6 +70,10 @@ struct AutomationLoopResult {
   StreamingCdiStats stream_stats;
   /// Problems the live monitor previewed across intra-day snapshots.
   size_t live_problems = 0;
+  /// Supervisor-mode counters; populated only when supervise_streaming.
+  size_t checkpoints_saved = 0;
+  size_t crashes_injected = 0;
+  size_t restores_completed = 0;
 };
 
 /// Runs one day of the full CloudBot control loop on a synthetic fleet:

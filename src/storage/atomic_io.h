@@ -1,0 +1,71 @@
+#ifndef CDIBOT_STORAGE_ATOMIC_IO_H_
+#define CDIBOT_STORAGE_ATOMIC_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "dataflow/table.h"
+
+namespace cdibot {
+
+/// Reads the whole file into a string. NotFound when the file does not
+/// exist or cannot be opened; Unavailable on a read error mid-stream (the
+/// transient flavor, so RetryPolicy will retry it).
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Crash-safe file write: the contents go to `<path>.tmp` first, are
+/// flushed, and only then renamed over `path`. rename(2) within one
+/// directory is atomic on POSIX, so a reader never observes a half-written
+/// `path` — it sees either the old file or the new one. A crash mid-write
+/// leaves at worst a stale `.tmp` beside an intact previous version.
+/// I/O failures surface as Unavailable (retryable).
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// ToCsv(table) through WriteFileAtomic.
+Status WriteCsvFileAtomic(const dataflow::Table& table,
+                          const std::string& path);
+
+/// One file covered by a directory manifest.
+struct ManifestEntry {
+  std::string file;     ///< name relative to the manifest's directory
+  uint32_t crc32 = 0;   ///< CRC-32 (IEEE) of the file's bytes
+  uint64_t bytes = 0;   ///< file size, catches truncation cheaply
+};
+
+/// A directory manifest: the integrity footer of checkpoint format v2.
+/// The manifest is written ATOMICALLY and LAST, after every data file it
+/// covers, so its very existence certifies that the directory's contents
+/// were completely written; its CRC entries certify they are still intact.
+struct Manifest {
+  /// Format tag, e.g. "cdibot-checkpoint-v2". Loaders reject manifests
+  /// whose tag they do not recognize rather than misinterpreting them.
+  std::string format;
+  std::vector<ManifestEntry> entries;
+};
+
+inline constexpr char kManifestFileName[] = "MANIFEST";
+
+/// Serialization: first line is the format tag, then one
+/// "<crc32-hex> <bytes> <filename>" line per entry.
+std::string EncodeManifest(const Manifest& manifest);
+StatusOr<Manifest> ParseManifest(const std::string& text);
+
+/// Computes CRC/size of each `files` entry (paths relative to `dir`) and
+/// atomically writes `dir`/MANIFEST. Call only after all data files are
+/// durably in place.
+Status WriteDirManifest(const std::string& dir, const std::string& format,
+                        const std::vector<std::string>& files);
+
+/// Loads `dir`/MANIFEST, checks the format tag, and verifies the size and
+/// CRC of every covered file. Returns the manifest when everything checks
+/// out; NotFound when there is no manifest (not a v2 directory); DataLoss
+/// when the tag is wrong or any file is missing, resized, or corrupted.
+StatusOr<Manifest> VerifyDirManifest(const std::string& dir,
+                                     const std::string& expected_format);
+
+}  // namespace cdibot
+
+#endif  // CDIBOT_STORAGE_ATOMIC_IO_H_

@@ -5,6 +5,7 @@
 
 #include "common/strings.h"
 #include "dataflow/csv.h"
+#include "storage/atomic_io.h"
 
 namespace cdibot {
 
@@ -70,6 +71,8 @@ std::vector<TimePoint> EventLog::PartitionDays() const {
 
 namespace {
 
+constexpr char kEventLogManifestFormat[] = "cdibot-eventlog-v2";
+
 dataflow::Schema ExportSchema() {
   using dataflow::Field;
   using dataflow::ValueType;
@@ -79,6 +82,48 @@ dataflow::Schema ExportSchema() {
                            Field{"level", ValueType::kInt},
                            Field{"expire_ms", ValueType::kInt},
                            Field{"duration_ms", ValueType::kInt}});
+}
+
+/// Rebuilds one RawEvent from an export-schema row.
+StatusOr<RawEvent> ImportRow(const dataflow::Row& row) {
+  RawEvent ev;
+  CDIBOT_ASSIGN_OR_RETURN(ev.name, row[0].AsString());
+  CDIBOT_ASSIGN_OR_RETURN(const int64_t time_ms, row[1].AsInt());
+  ev.time = TimePoint::FromMillis(time_ms);
+  CDIBOT_ASSIGN_OR_RETURN(ev.target, row[2].AsString());
+  CDIBOT_ASSIGN_OR_RETURN(const int64_t level, row[3].AsInt());
+  if (level < 1 || level > kNumSeverityLevels) {
+    return Status::InvalidArgument(
+        StrFormat("bad severity ordinal %lld", static_cast<long long>(level)));
+  }
+  ev.level = static_cast<Severity>(level);
+  CDIBOT_ASSIGN_OR_RETURN(const int64_t expire_ms, row[4].AsInt());
+  ev.expire_interval = Duration::Millis(expire_ms);
+  CDIBOT_ASSIGN_OR_RETURN(const int64_t duration_ms, row[5].AsInt());
+  if (duration_ms >= 0) {
+    ev.attrs["duration_ms"] =
+        StrFormat("%lld", static_cast<long long>(duration_ms));
+  }
+  return ev;
+}
+
+/// Lists `dir`'s events_*.csv files in sorted (deterministic) order.
+StatusOr<std::vector<std::string>> ListEventFiles(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::NotFound("not a directory: " + dir);
+  }
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("events_", 0) == 0 &&
+        name.size() > 4 && name.substr(name.size() - 4) == ".csv") {
+      names.push_back(name);
+    }
+  }
+  if (ec) return Status::Internal("cannot list " + dir + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 }  // namespace
@@ -109,25 +154,7 @@ StatusOr<std::vector<RawEvent>> EventLog::ImportTable(
   std::vector<RawEvent> out;
   out.reserve(table.num_rows());
   for (size_t i = 0; i < table.num_rows(); ++i) {
-    const dataflow::Row& row = table.row(i);
-    RawEvent ev;
-    CDIBOT_ASSIGN_OR_RETURN(ev.name, row[0].AsString());
-    CDIBOT_ASSIGN_OR_RETURN(const int64_t time_ms, row[1].AsInt());
-    ev.time = TimePoint::FromMillis(time_ms);
-    CDIBOT_ASSIGN_OR_RETURN(ev.target, row[2].AsString());
-    CDIBOT_ASSIGN_OR_RETURN(const int64_t level, row[3].AsInt());
-    if (level < 1 || level > kNumSeverityLevels) {
-      return Status::InvalidArgument(
-          StrFormat("bad severity ordinal %lld", static_cast<long long>(level)));
-    }
-    ev.level = static_cast<Severity>(level);
-    CDIBOT_ASSIGN_OR_RETURN(const int64_t expire_ms, row[4].AsInt());
-    ev.expire_interval = Duration::Millis(expire_ms);
-    CDIBOT_ASSIGN_OR_RETURN(const int64_t duration_ms, row[5].AsInt());
-    if (duration_ms >= 0) {
-      ev.attrs["duration_ms"] =
-          StrFormat("%lld", static_cast<long long>(duration_ms));
-    }
+    CDIBOT_ASSIGN_OR_RETURN(RawEvent ev, ImportRow(table.row(i)));
     out.push_back(std::move(ev));
   }
   return out;
@@ -138,41 +165,79 @@ Status EventLog::SaveToDir(const std::string& dir) const {
   if (!std::filesystem::is_directory(dir, ec)) {
     return Status::NotFound("not a directory: " + dir);
   }
+  std::vector<std::string> files;
   for (const TimePoint day : PartitionDays()) {
     CDIBOT_ASSIGN_OR_RETURN(const dataflow::Table table, ExportDay(day));
-    const std::string path =
-        dir + "/events_" + day.ToDateString() + ".csv";
-    CDIBOT_RETURN_IF_ERROR(dataflow::WriteCsvFile(table, path));
+    const std::string file = "events_" + day.ToDateString() + ".csv";
+    CDIBOT_RETURN_IF_ERROR(WriteCsvFileAtomic(table, dir + "/" + file));
+    files.push_back(file);
   }
-  return Status::OK();
+  // Manifest last: present iff every partition above landed completely.
+  return WriteDirManifest(dir, kEventLogManifestFormat, files);
 }
 
 StatusOr<EventLog> EventLog::LoadFromDir(const std::string& dir) {
-  std::error_code ec;
-  if (!std::filesystem::is_directory(dir, ec)) {
-    return Status::NotFound("not a directory: " + dir);
+  auto manifest = VerifyDirManifest(dir, kEventLogManifestFormat);
+  if (!manifest.ok() && !manifest.status().IsNotFound()) {
+    return manifest.status();
   }
-  // Deterministic load order.
-  std::vector<std::string> paths;
-  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind("events_", 0) == 0 &&
-        name.size() > 4 && name.substr(name.size() - 4) == ".csv") {
-      paths.push_back(entry.path().string());
-    }
-  }
-  if (ec) return Status::Internal("cannot list " + dir + ": " + ec.message());
-  std::sort(paths.begin(), paths.end());
+  CDIBOT_ASSIGN_OR_RETURN(const std::vector<std::string> files,
+                          ListEventFiles(dir));
 
   EventLog log;
-  // Reuse ExportDay's schema via a probe export of an empty log.
-  const dataflow::Table empty = EventLog().ExportDay(TimePoint()).value();
-  for (const std::string& path : paths) {
-    CDIBOT_ASSIGN_OR_RETURN(const dataflow::Table table,
-                            dataflow::ReadCsvFile(path, empty.schema()));
+  for (const std::string& file : files) {
+    CDIBOT_ASSIGN_OR_RETURN(
+        const dataflow::Table table,
+        dataflow::ReadCsvFile(dir + "/" + file, ExportSchema()));
     CDIBOT_ASSIGN_OR_RETURN(const std::vector<RawEvent> events,
                             ImportTable(table));
     for (const RawEvent& ev : events) log.Append(ev);
+  }
+  return log;
+}
+
+StatusOr<EventLog> EventLog::LoadFromDirLenient(const std::string& dir,
+                                                LoadReport* report) {
+  LoadReport local;
+  LoadReport& out = report != nullptr ? *report : local;
+  out = LoadReport{};
+  auto note = [&out](const std::string& msg) {
+    if (out.errors.size() < dataflow::LenientCsvResult::kMaxErrors) {
+      out.errors.push_back(msg);
+    }
+  };
+
+  auto manifest = VerifyDirManifest(dir, kEventLogManifestFormat);
+  if (!manifest.ok()) {
+    out.integrity_suspect = true;
+    if (!manifest.status().IsNotFound()) {
+      note(manifest.status().ToString());
+    }
+  }
+  CDIBOT_ASSIGN_OR_RETURN(const std::vector<std::string> files,
+                          ListEventFiles(dir));
+
+  EventLog log;
+  for (const std::string& file : files) {
+    auto parsed =
+        dataflow::ReadCsvFileLenient(dir + "/" + file, ExportSchema());
+    if (!parsed.ok()) {
+      // Even the header is gone; this whole file is a casualty.
+      out.integrity_suspect = true;
+      note(file + ": " + parsed.status().ToString());
+      continue;
+    }
+    out.rows_dropped += parsed->rows_dropped;
+    for (const std::string& err : parsed->errors) note(file + ": " + err);
+    for (size_t i = 0; i < parsed->table.num_rows(); ++i) {
+      auto ev = ImportRow(parsed->table.row(i));
+      if (!ev.ok()) {
+        ++out.events_dropped;
+        note(file + ": " + ev.status().ToString());
+        continue;
+      }
+      log.Append(*ev);
+    }
   }
   return log;
 }

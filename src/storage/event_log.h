@@ -52,11 +52,38 @@ class EventLog {
 
   /// Persists every daily partition as `events_<YYYY-MM-DD>.csv` under
   /// `dir` (which must exist) — the long-term-storage sync of Fig. 4 made
-  /// durable. Existing files for the same days are overwritten.
+  /// durable. Existing files for the same days are overwritten. Each file
+  /// is written atomically (temp + rename) and a MANIFEST with per-file
+  /// CRC-32s is written last, so a torn save is detectable on load.
   Status SaveToDir(const std::string& dir) const;
 
-  /// Loads every `events_*.csv` in `dir` into a fresh log.
+  /// Loads every `events_*.csv` in `dir` into a fresh log. When the
+  /// directory carries a MANIFEST it is verified first and any corruption
+  /// fails the load with DataLoss; directories without one load unchecked
+  /// (legacy format).
   static StatusOr<EventLog> LoadFromDir(const std::string& dir);
+
+  /// Accounting from a lenient load: what was skipped rather than loaded.
+  struct LoadReport {
+    /// CSV rows dropped because they failed to parse at all.
+    size_t rows_dropped = 0;
+    /// Rows that parsed but described an invalid event (bad severity
+    /// ordinal, ...) and were skipped.
+    size_t events_dropped = 0;
+    /// True when the directory's MANIFEST was missing or failed
+    /// verification — the surviving data should be treated as partial.
+    bool integrity_suspect = false;
+    /// Up to LenientCsvResult::kMaxErrors sample messages.
+    std::vector<std::string> errors;
+  };
+
+  /// Crash-recovery flavor of LoadFromDir: a corrupted or truncated file
+  /// costs only its unreadable rows, never the whole load. Manifest
+  /// failures are downgraded to `integrity_suspect` in the report. Use
+  /// this after a crash, where salvaging the intact prefix beats refusing
+  /// to start.
+  static StatusOr<EventLog> LoadFromDirLenient(const std::string& dir,
+                                               LoadReport* report = nullptr);
 
  private:
   // Daily partitions keyed by start-of-day millis; events within a

@@ -5,6 +5,7 @@
 #include "common/strings.h"
 #include "dataflow/csv.h"
 #include "dataflow/table.h"
+#include "storage/atomic_io.h"
 
 namespace cdibot {
 namespace {
@@ -74,6 +75,13 @@ Schema EventSchema() {
                  Field{"attrs", ValueType::kString}});
 }
 
+Schema QualitySchema() {
+  return Schema({Field{"target", ValueType::kString},
+                 Field{"received", ValueType::kInt},
+                 Field{"expected", ValueType::kInt},
+                 Field{"quarantined", ValueType::kInt}});
+}
+
 Table EventsToTable(const std::vector<RawEvent>& events) {
   Table table(EventSchema());
   for (const RawEvent& ev : events) {
@@ -125,9 +133,10 @@ Status SaveStreamCheckpoint(const StreamCheckpoint& ckpt,
   }
 
   Table meta(MetaSchema());
-  auto put = [&meta](const char* key, int64_t value) {
-    meta.AppendUnchecked({Value(std::string(key)), Value(value)});
+  auto put = [&meta](const std::string& key, int64_t value) {
+    meta.AppendUnchecked({Value(key), Value(value)});
   };
+  put("format_version", kStreamCheckpointVersion);
   put("window_start_ms", ckpt.window.start.millis());
   put("window_end_ms", ckpt.window.end.millis());
   put("watermark_ms", ckpt.watermark.millis());
@@ -138,8 +147,12 @@ Status SaveStreamCheckpoint(const StreamCheckpoint& ckpt,
       static_cast<int64_t>(ckpt.events_out_of_window));
   put("events_orphaned", static_cast<int64_t>(ckpt.events_orphaned));
   put("vms_recomputed", static_cast<int64_t>(ckpt.vms_recomputed));
+  for (size_t i = 0; i < ckpt.quarantined_by_reason.size(); ++i) {
+    put(StrFormat("quarantined_reason_%zu", i),
+        static_cast<int64_t>(ckpt.quarantined_by_reason[i]));
+  }
   CDIBOT_RETURN_IF_ERROR(
-      dataflow::WriteCsvFile(meta, PathFor(dir, "stream_meta.csv")));
+      WriteCsvFileAtomic(meta, PathFor(dir, "stream_meta.csv")));
 
   Table vms(VmSchema());
   for (const CheckpointVmEntry& vm : ckpt.vms) {
@@ -148,17 +161,44 @@ Status SaveStreamCheckpoint(const StreamCheckpoint& ckpt,
                          Value(vm.service_period.end.millis())});
   }
   CDIBOT_RETURN_IF_ERROR(
-      dataflow::WriteCsvFile(vms, PathFor(dir, "stream_vms.csv")));
+      WriteCsvFileAtomic(vms, PathFor(dir, "stream_vms.csv")));
 
-  CDIBOT_RETURN_IF_ERROR(dataflow::WriteCsvFile(
+  CDIBOT_RETURN_IF_ERROR(WriteCsvFileAtomic(
       EventsToTable(ckpt.events), PathFor(dir, "stream_events.csv")));
   CDIBOT_RETURN_IF_ERROR(
-      dataflow::WriteCsvFile(EventsToTable(ckpt.orphan_events),
-                             PathFor(dir, "stream_orphans.csv")));
-  return Status::OK();
+      WriteCsvFileAtomic(EventsToTable(ckpt.orphan_events),
+                         PathFor(dir, "stream_orphans.csv")));
+
+  Table quality(QualitySchema());
+  for (const CheckpointTargetQuality& q : ckpt.target_quality) {
+    quality.AppendUnchecked({Value(q.target),
+                             Value(static_cast<int64_t>(q.received)),
+                             Value(static_cast<int64_t>(q.expected)),
+                             Value(static_cast<int64_t>(q.quarantined))});
+  }
+  CDIBOT_RETURN_IF_ERROR(
+      WriteCsvFileAtomic(quality, PathFor(dir, "stream_quality.csv")));
+
+  // The manifest goes last: its presence certifies a complete save, its
+  // CRCs detect later corruption. A crash anywhere above leaves either the
+  // previous manifest (still describing the previous, intact files — but
+  // see StreamCheckpointStore, which saves into a fresh slot precisely so
+  // mixed-generation files cannot happen) or no manifest at all.
+  return WriteDirManifest(dir, kStreamCheckpointManifestFormat,
+                          {"stream_meta.csv", "stream_vms.csv",
+                           "stream_events.csv", "stream_orphans.csv",
+                           "stream_quality.csv"});
 }
 
 StatusOr<StreamCheckpoint> LoadStreamCheckpoint(const std::string& dir) {
+  // v2 directories carry a MANIFEST; verify integrity before trusting any
+  // byte. Directories without one are legacy v1 saves and get no check.
+  auto manifest = VerifyDirManifest(dir, kStreamCheckpointManifestFormat);
+  const bool have_manifest = manifest.ok();
+  if (!have_manifest && !manifest.status().IsNotFound()) {
+    return manifest.status();
+  }
+
   CDIBOT_ASSIGN_OR_RETURN(
       const Table meta,
       dataflow::ReadCsvFile(PathFor(dir, "stream_meta.csv"), MetaSchema()));
@@ -175,6 +215,30 @@ StatusOr<StreamCheckpoint> LoadStreamCheckpoint(const std::string& dir) {
     }
     return it->second;
   };
+  // Unsigned counters must round-trip non-negative; a negative value means
+  // the file was tampered with or corrupted in a CRC-colliding way.
+  auto require_counter = [&require](const char* key) -> StatusOr<uint64_t> {
+    CDIBOT_ASSIGN_OR_RETURN(const int64_t v, require(key));
+    if (v < 0) {
+      return Status::InvalidArgument(
+          StrFormat("checkpoint counter %s is negative (%lld)", key,
+                    static_cast<long long>(v)));
+    }
+    return static_cast<uint64_t>(v);
+  };
+
+  // format_version is absent in v1 checkpoints; anything newer than this
+  // build understands is rejected rather than misread.
+  const auto version_it = kv.find("format_version");
+  const int64_t version =
+      version_it == kv.end() ? 1 : version_it->second;
+  if (version < 1 || version > kStreamCheckpointVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "unsupported checkpoint format_version %lld (this build reads <= "
+        "%lld)",
+        static_cast<long long>(version),
+        static_cast<long long>(kStreamCheckpointVersion)));
+  }
 
   StreamCheckpoint ckpt;
   CDIBOT_ASSIGN_OR_RETURN(const int64_t ws, require("window_start_ms"));
@@ -185,20 +249,27 @@ StatusOr<StreamCheckpoint> LoadStreamCheckpoint(const std::string& dir) {
   ckpt.watermark = TimePoint::FromMillis(wm);
   CDIBOT_ASSIGN_OR_RETURN(const int64_t met, require("max_event_time_ms"));
   ckpt.max_event_time = TimePoint::FromMillis(met);
-  CDIBOT_ASSIGN_OR_RETURN(const int64_t ingested,
-                          require("events_ingested"));
-  ckpt.events_ingested = static_cast<uint64_t>(ingested);
-  CDIBOT_ASSIGN_OR_RETURN(const int64_t late, require("events_late"));
-  ckpt.events_late = static_cast<uint64_t>(late);
-  CDIBOT_ASSIGN_OR_RETURN(const int64_t oow,
-                          require("events_out_of_window"));
-  ckpt.events_out_of_window = static_cast<uint64_t>(oow);
-  CDIBOT_ASSIGN_OR_RETURN(const int64_t orphaned,
-                          require("events_orphaned"));
-  ckpt.events_orphaned = static_cast<uint64_t>(orphaned);
-  CDIBOT_ASSIGN_OR_RETURN(const int64_t recomputed,
-                          require("vms_recomputed"));
-  ckpt.vms_recomputed = static_cast<uint64_t>(recomputed);
+  if (ckpt.watermark > ckpt.max_event_time) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint watermark %lld is beyond max_event_time %lld",
+        static_cast<long long>(wm), static_cast<long long>(met)));
+  }
+  CDIBOT_ASSIGN_OR_RETURN(ckpt.events_ingested,
+                          require_counter("events_ingested"));
+  CDIBOT_ASSIGN_OR_RETURN(ckpt.events_late, require_counter("events_late"));
+  CDIBOT_ASSIGN_OR_RETURN(ckpt.events_out_of_window,
+                          require_counter("events_out_of_window"));
+  CDIBOT_ASSIGN_OR_RETURN(ckpt.events_orphaned,
+                          require_counter("events_orphaned"));
+  CDIBOT_ASSIGN_OR_RETURN(ckpt.vms_recomputed,
+                          require_counter("vms_recomputed"));
+  for (size_t i = 0;; ++i) {
+    const std::string key = StrFormat("quarantined_reason_%zu", i);
+    if (kv.find(key) == kv.end()) break;
+    CDIBOT_ASSIGN_OR_RETURN(const uint64_t count,
+                            require_counter(key.c_str()));
+    ckpt.quarantined_by_reason.push_back(count);
+  }
 
   CDIBOT_ASSIGN_OR_RETURN(
       const Table vms,
@@ -226,6 +297,31 @@ StatusOr<StreamCheckpoint> LoadStreamCheckpoint(const std::string& dir) {
                               PathFor(dir, "stream_orphans.csv"),
                               EventSchema()));
   CDIBOT_ASSIGN_OR_RETURN(ckpt.orphan_events, EventsFromTable(orphans));
+
+  // stream_quality.csv only exists from v2 on; a v1 checkpoint simply has
+  // no quality history.
+  auto quality = dataflow::ReadCsvFile(PathFor(dir, "stream_quality.csv"),
+                                       QualitySchema());
+  if (quality.ok()) {
+    for (size_t i = 0; i < quality->num_rows(); ++i) {
+      const Row& row = quality->row(i);
+      CheckpointTargetQuality q;
+      CDIBOT_ASSIGN_OR_RETURN(q.target, row[0].AsString());
+      CDIBOT_ASSIGN_OR_RETURN(const int64_t received, row[1].AsInt());
+      CDIBOT_ASSIGN_OR_RETURN(const int64_t expected, row[2].AsInt());
+      CDIBOT_ASSIGN_OR_RETURN(const int64_t quarantined, row[3].AsInt());
+      if (received < 0 || expected < 0 || quarantined < 0) {
+        return Status::InvalidArgument(
+            "negative quality counter for target " + q.target);
+      }
+      q.received = static_cast<uint64_t>(received);
+      q.expected = static_cast<uint64_t>(expected);
+      q.quarantined = static_cast<uint64_t>(quarantined);
+      ckpt.target_quality.push_back(std::move(q));
+    }
+  } else if (!quality.status().IsNotFound()) {
+    return quality.status();
+  }
   return ckpt;
 }
 

@@ -21,6 +21,17 @@ struct CheckpointVmEntry {
   Interval service_period;
 };
 
+/// Per-target data-quality counters carried inside a checkpoint, so that
+/// degraded-mode accounting survives a restart: how many events a target's
+/// collector announced (expected), how many actually arrived (received),
+/// and how many were quarantined as malformed.
+struct CheckpointTargetQuality {
+  std::string target;
+  uint64_t received = 0;
+  uint64_t expected = 0;
+  uint64_t quarantined = 0;
+};
+
 /// The durable state of a StreamingCdiEngine: everything needed to resume
 /// from the last watermark after a restart. Derived state (per-VM CDI,
 /// partial aggregates) is intentionally absent — it is a pure function of
@@ -48,18 +59,44 @@ struct StreamCheckpoint {
   std::vector<RawEvent> events;
   /// Events whose target had no registered VM yet.
   std::vector<RawEvent> orphan_events;
+  /// Quarantine counters indexed by reason ordinal. The storage layer
+  /// treats these as opaque counters (it does not depend on the chaos
+  /// library's reason enum); absent in pre-v2 checkpoints.
+  std::vector<uint64_t> quarantined_by_reason;
+  /// Per-target delivery/quarantine accounting; absent in pre-v2
+  /// checkpoints.
+  std::vector<CheckpointTargetQuality> target_quality;
 };
+
+/// The checkpoint directory format version written by SaveStreamCheckpoint
+/// and the manifest tag that certifies it. Version history:
+///   v1 — four CSVs, plain non-atomic writes, no integrity footer.
+///   v2 — adds stream_quality.csv, every file written via atomic
+///        temp+rename, and a MANIFEST (format tag + CRC-32 + size per
+///        file) written last so a torn save is detectable.
+inline constexpr int64_t kStreamCheckpointVersion = 2;
+inline constexpr char kStreamCheckpointManifestFormat[] =
+    "cdibot-checkpoint-v2";
 
 /// Persists `ckpt` under `dir` (which must exist) as a set of CSV files
 /// (stream_meta.csv, stream_vms.csv, stream_events.csv,
-/// stream_orphans.csv). Existing checkpoint files in the directory are
-/// overwritten, making the directory a single-slot checkpoint store.
-/// Dimension keys/values and attribute keys/values must not contain the
-/// 0x1f unit-separator character used to pack them into one CSV cell.
+/// stream_orphans.csv, stream_quality.csv) plus a MANIFEST, each written
+/// atomically. Existing checkpoint files in the directory are overwritten,
+/// making the directory a single-slot checkpoint store (see
+/// StreamCheckpointStore in checkpoint_store.h for rotation and last-good
+/// fallback). Dimension keys/values and attribute keys/values must not
+/// contain the 0x1f unit-separator character used to pack them into one
+/// CSV cell.
 Status SaveStreamCheckpoint(const StreamCheckpoint& ckpt,
                             const std::string& dir);
 
-/// Loads the checkpoint previously saved under `dir`.
+/// Loads the checkpoint previously saved under `dir`. A v2 directory is
+/// CRC-verified against its MANIFEST first and fails with DataLoss on any
+/// corruption or truncation; a directory without a MANIFEST is read as
+/// legacy v1 (no integrity check, quality counters empty). Checkpoints
+/// declaring a format version newer than kStreamCheckpointVersion are
+/// rejected, as are internally inconsistent ones (watermark beyond
+/// max_event_time, negative counters).
 StatusOr<StreamCheckpoint> LoadStreamCheckpoint(const std::string& dir);
 
 }  // namespace cdibot

@@ -2,9 +2,38 @@
 
 #include <algorithm>
 #include <functional>
+#include <set>
+#include <string>
 #include <utility>
 
 namespace cdibot {
+
+namespace {
+
+/// Content fingerprint of an event for distinct-received accounting. Any
+/// corruption (skewed time, flipped severity) changes the fingerprint, so
+/// only a faithful redelivery of an already-seen event collapses into it.
+/// attrs is an ordered map, so the canonical string is deterministic.
+uint64_t EventFingerprint(const RawEvent& ev) {
+  std::string canon = ev.name;
+  canon += '\x1f';
+  canon += std::to_string(ev.time.millis());
+  canon += '\x1f';
+  canon += ev.target;
+  canon += '\x1f';
+  canon += std::to_string(static_cast<int>(ev.level));
+  canon += '\x1f';
+  canon += std::to_string(ev.expire_interval.millis());
+  for (const auto& [key, value] : ev.attrs) {
+    canon += '\x1f';
+    canon += key;
+    canon += '=';
+    canon += value;
+  }
+  return std::hash<std::string>{}(canon);
+}
+
+}  // namespace
 
 StreamingCdiEngine::StreamingCdiEngine(const EventCatalog* catalog,
                                        const EventWeightModel* weights,
@@ -13,7 +42,8 @@ StreamingCdiEngine::StreamingCdiEngine(const EventCatalog* catalog,
       weights_(weights),
       options_(options),
       resolver_(catalog),
-      mu_(std::make_unique<std::mutex>()) {
+      mu_(std::make_unique<std::mutex>()),
+      quarantine_(std::make_unique<chaos::QuarantineSink>()) {
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -77,14 +107,25 @@ void StreamingCdiEngine::ObserveEventTime(TimePoint t) {
 }
 
 Status StreamingCdiEngine::Ingest(const RawEvent& event) {
-  if (event.target.empty()) {
-    return Status::InvalidArgument("event target must be non-empty");
+  const auto defect = chaos::ValidateRawEvent(event);
+  if (defect.has_value()) {
+    // Malformed input is diverted, not an error: the stream keeps flowing
+    // and the affected VM's snapshot carries the degradation instead.
+    quarantine_->Quarantine(event, *defect);
+    std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_.events_ingested;
+    if (!event.target.empty()) {
+      // The corrupted event did physically arrive for this target.
+      delivery_[event.target].fingerprints.insert(EventFingerprint(event));
+    }
+    return Status::OK();
   }
   const Interval relevant(options_.window.start - kEventSearchMargin,
                           options_.window.end + kEventSearchMargin);
   {
     std::lock_guard<std::mutex> lock(*mu_);
     ++stats_.events_ingested;
+    delivery_[event.target].fingerprints.insert(EventFingerprint(event));
     const bool late = event.time < watermark_;
     ObserveEventTime(event.time);
     if (!relevant.Contains(event.time)) {
@@ -152,6 +193,12 @@ Status StreamingCdiEngine::IngestBatch(const std::vector<RawEvent>& events) {
 void StreamingCdiEngine::AdvanceWatermarkTo(TimePoint t) {
   std::lock_guard<std::mutex> lock(*mu_);
   if (watermark_ < t) watermark_ = t;
+}
+
+void StreamingCdiEngine::ExpectDelivery(const std::string& target,
+                                        uint64_t count) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  delivery_[target].expected += count;
 }
 
 void StreamingCdiEngine::RecomputeVmLocked(Shard& shard, VmState& state) {
@@ -233,20 +280,56 @@ StatusOr<VmCdi> StreamingCdiEngine::FleetCdi() {
 StatusOr<DailyCdiResult> StreamingCdiEngine::Snapshot() {
   DrainDirty();
 
+  // Delivery shortfalls and quarantine counts per target, gathered before
+  // the shard sweep (mu_ and the shard locks are never held together).
+  std::map<std::string, uint64_t> missing_by_target;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    for (const auto& [target, d] : delivery_) {
+      const uint64_t received = d.received();
+      if (d.expected > received) {
+        missing_by_target[target] = d.expected - received;
+      }
+    }
+  }
+  const std::map<std::string, uint64_t> quarantined_by_target =
+      quarantine_->counts_by_target();
+
   DailyCdiResult result;
   FleetCdiPartial fleet_partial;
   UnavailabilityPartial baseline_partial;
+  std::set<std::string> sampled_reasons;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     fleet_partial.Merge(shard->cdi_partial);
     baseline_partial.Merge(shard->baseline_partial);
     for (auto& [vm_id, state] : shard->vms) {
+      // The per-VM compute sees only post-quarantine events, so its own
+      // quality counters are folded together with the ingest-side sink and
+      // delivery accounting here.
+      DataQuality quality = state.output.quality;
+      if (auto it = quarantined_by_target.find(vm_id);
+          it != quarantined_by_target.end()) {
+        quality.events_quarantined += it->second;
+      }
+      if (auto it = missing_by_target.find(vm_id);
+          it != missing_by_target.end()) {
+        quality.events_missing += it->second;
+      }
+      quality.Refresh();
       if (!state.error.ok()) {
         ++result.vms_failed;
         result.resolve_stats.Merge(state.output.resolve_stats);
+        result.quality.Merge(quality);
+        const std::string reason = state.error.ToString();
         if (result.first_vm_error.ok()) {
-          result.first_vm_error = Status::Internal(
-              "vm " + vm_id + ": " + state.error.ToString());
+          result.first_vm_error =
+              Status::Internal("vm " + vm_id + ": " + reason);
+        }
+        if (result.vm_error_samples.size() <
+                DailyCdiResult::kMaxVmErrorSamples &&
+            sampled_reasons.insert(reason).second) {
+          result.vm_error_samples.push_back("vm " + vm_id + ": " + reason);
         }
         continue;
       }
@@ -255,9 +338,13 @@ StatusOr<DailyCdiResult> StreamingCdiEngine::Snapshot() {
         continue;
       }
       ++result.vms_evaluated;
+      if (quality.degraded) ++result.vms_degraded;
+      result.quality.Merge(quality);
       result.resolve_stats.Merge(state.output.resolve_stats);
       result.fleet_service_time += state.output.record.cdi.service_time;
-      result.per_vm.push_back(state.output.record);
+      VmCdiRecord record = state.output.record;
+      record.quality = quality;
+      result.per_vm.push_back(std::move(record));
       for (const EventCdiRecord& rec : state.output.events) {
         result.per_event.push_back(rec);
       }
@@ -297,6 +384,41 @@ StreamCheckpoint StreamingCdiEngine::Checkpoint() const {
     ckpt.vms_recomputed = stats_.vms_recomputed;
     for (const auto& [target, events] : orphans_) {
       for (const RawEvent& ev : events) ckpt.orphan_events.push_back(ev);
+    }
+    // Fingerprint sets are not persisted; a restored engine carries the
+    // distinct count forward as received_base.
+    for (const auto& [target, d] : delivery_) {
+      CheckpointTargetQuality tq;
+      tq.target = target;
+      tq.received = d.received();
+      tq.expected = d.expected;
+      ckpt.target_quality.push_back(std::move(tq));
+    }
+  }
+  ckpt.quarantined_by_reason = quarantine_->CountsByReason();
+  {
+    const std::map<std::string, uint64_t> quarantined =
+        quarantine_->counts_by_target();
+    for (auto& tq : ckpt.target_quality) {
+      if (auto it = quarantined.find(tq.target); it != quarantined.end()) {
+        tq.quarantined = it->second;
+      }
+    }
+    // Targets that only ever produced quarantined events (no manifest, no
+    // attributable delivery) still need a row so the counter survives a
+    // restart.
+    for (const auto& [target, count] : quarantined) {
+      const bool present =
+          std::any_of(ckpt.target_quality.begin(), ckpt.target_quality.end(),
+                      [&](const CheckpointTargetQuality& tq) {
+                        return tq.target == target;
+                      });
+      if (!present) {
+        CheckpointTargetQuality tq;
+        tq.target = target;
+        tq.quarantined = count;
+        ckpt.target_quality.push_back(std::move(tq));
+      }
     }
   }
   for (const auto& shard : shards_) {
@@ -353,7 +475,16 @@ StatusOr<StreamingCdiEngine> StreamingCdiEngine::Restore(
     engine.stats_.events_out_of_window = ckpt.events_out_of_window;
     engine.stats_.events_orphaned = ckpt.events_orphaned;
     engine.stats_.vms_recomputed = ckpt.vms_recomputed;
+    for (const CheckpointTargetQuality& tq : ckpt.target_quality) {
+      DeliveryState& d = engine.delivery_[tq.target];
+      d.expected = tq.expected;
+      d.received_base = tq.received;
+      if (tq.quarantined > 0) {
+        engine.quarantine_->RestoreTargetCount(tq.target, tq.quarantined);
+      }
+    }
   }
+  engine.quarantine_->MergeCountsByReason(ckpt.quarantined_by_reason);
   return engine;
 }
 

@@ -6,11 +6,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "cdi/aggregate.h"
 #include "cdi/baselines.h"
 #include "cdi/pipeline.h"
+#include "chaos/quarantine.h"
 #include "common/statusor.h"
 #include "common/thread_pool.h"
 #include "event/period_resolver.h"
@@ -69,6 +71,14 @@ struct StreamingCdiStats {
 ///
 /// Thread safety: Ingest/RegisterVm/Snapshot are individually thread-safe
 /// (per-shard locking plus an engine mutex for watermark and stats).
+///
+/// Degraded-mode operation: a structurally malformed event is diverted to
+/// the engine's quarantine sink instead of failing Ingest, and collectors
+/// may announce per-target delivery counts via ExpectDelivery; snapshots
+/// then annotate each VM's row with a DataQuality record (quarantined
+/// count, missing count, degraded flag) so a CDI computed from an impaired
+/// stream is flagged rather than silently wrong — the paper's position
+/// that a stability metric must itself keep working through instability.
 class StreamingCdiEngine {
  public:
   /// `catalog` and `weights` must outlive the engine.
@@ -89,9 +99,23 @@ class StreamingCdiEngine {
   /// Feeds one raw event. Advances the watermark, routes the event to its
   /// target VM's shard, and marks that VM dirty; no recomputation happens
   /// until the next snapshot touches the VM. O(1) amortized regardless of
-  /// fleet size.
+  /// fleet size. A structurally malformed event (empty name or target,
+  /// impossible severity, ...) is diverted to the quarantine sink and the
+  /// call still returns OK — instability in the input degrades the
+  /// affected VM's data-quality annotation, never the pipeline itself.
   Status Ingest(const RawEvent& event);
   Status IngestBatch(const std::vector<RawEvent>& events);
+
+  /// Declares that `target`'s collector sent `count` more events than
+  /// previously announced (a delivery manifest). At snapshot time the
+  /// engine compares the announcement against the DISTINCT events actually
+  /// received for the target — duplicates collapse, so a duplicated stream
+  /// cannot mask a drop — and reports the shortfall as
+  /// DataQuality::events_missing, the silent-collector-gap signature.
+  void ExpectDelivery(const std::string& target, uint64_t count);
+
+  /// Sink holding every event Ingest diverted. Owned by the engine.
+  const chaos::QuarantineSink& quarantine() const { return *quarantine_; }
 
   /// Explicitly advances the watermark (e.g. on an idle stream). The
   /// watermark never regresses.
@@ -113,9 +137,10 @@ class StreamingCdiEngine {
   StatusOr<DailyCdiResult> Snapshot();
 
   /// Serializes the engine's durable state (window, watermark, registered
-  /// VMs, buffered raw events) for storage::SaveStreamCheckpoint. The
-  /// derived per-VM results are not persisted; a restored engine lazily
-  /// recomputes them on the first snapshot.
+  /// VMs, buffered raw events, quarantine and delivery counters) for
+  /// storage::SaveStreamCheckpoint. The derived per-VM results are not
+  /// persisted; a restored engine lazily recomputes them on the first
+  /// snapshot.
   StreamCheckpoint Checkpoint() const;
 
   /// Rebuilds an engine from a checkpoint: registers the VMs, replays the
@@ -167,6 +192,17 @@ class StreamingCdiEngine {
                      const EventWeightModel* weights,
                      StreamingCdiOptions options);
 
+  /// Per-target delivery accounting (guarded by mu_). `received` counts
+  /// DISTINCT events by fingerprint so injected duplicates cannot cancel
+  /// out drops; fingerprints are not persisted, so a restore folds the
+  /// prior distinct count into `received_base`.
+  struct DeliveryState {
+    uint64_t expected = 0;
+    uint64_t received_base = 0;
+    std::unordered_set<uint64_t> fingerprints;
+    uint64_t received() const { return received_base + fingerprints.size(); }
+  };
+
   size_t ShardIndex(const std::string& vm_id) const;
   void ObserveEventTime(TimePoint t);
   /// Recomputes one dirty VM inside `shard` (shard lock held by caller or
@@ -190,6 +226,11 @@ class StreamingCdiEngine {
   StreamingCdiStats stats_;
   /// Events whose target has no registered VM yet, keyed by target.
   std::map<std::string, std::vector<RawEvent>> orphans_;
+  /// Delivery-manifest accounting per target (guarded by mu_).
+  std::map<std::string, DeliveryState> delivery_;
+  /// Malformed-input sink. Heap-allocated: it owns a mutex, and the engine
+  /// must stay movable.
+  std::unique_ptr<chaos::QuarantineSink> quarantine_;
 };
 
 }  // namespace cdibot

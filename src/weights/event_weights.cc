@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/strings.h"
+
 namespace cdibot {
 
 StatusOr<double> ExpertLevelWeight(Severity level, int num_levels) {
@@ -10,7 +12,8 @@ StatusOr<double> ExpertLevelWeight(Severity level, int num_levels) {
     return Status::InvalidArgument("num_levels must be >= 1");
   }
   if (i < 1 || i > num_levels) {
-    return Status::OutOfRange("severity ordinal outside [1, m]");
+    return Status::OutOfRange(
+        StrFormat("severity ordinal %d outside [1, %d]", i, num_levels));
   }
   return static_cast<double>(i) / static_cast<double>(num_levels);
 }

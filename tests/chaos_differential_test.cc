@@ -1,0 +1,302 @@
+// Chaos differential suite: the CDI pipeline is driven through the full
+// fault-plan corpus and judged against the clean batch job.
+//
+//  * Lossless delivery faults (duplication, reorder, delay, and mixes)
+//    must leave every per-VM CDI bit-identical to the clean batch run and
+//    set no degraded flag anywhere — the resolver dedups and is
+//    arrival-order invariant, so a mangled-but-complete stream is
+//    indistinguishable from a clean one.
+//  * Detectably lossy faults (drop, collector outage, malform, and mixes)
+//    must flag every affected VM as degraded via the quarantine sink and
+//    the delivery-manifest gap check, and any VM whose CDI deviates from
+//    the clean value must carry the flag. Nothing may crash: every Ingest
+//    returns OK, no VM fails.
+//  * Clock skew alters ground truth invisibly (the skewed event still
+//    arrives); the suite only requires that the pipeline survives it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cdi/aggregate.h"
+#include "cdi/pipeline.h"
+#include "chaos/fault_injector.h"
+#include "chaos/fault_plan.h"
+#include "common/rng.h"
+#include "stream/streaming_engine.h"
+
+namespace cdibot {
+namespace {
+
+using chaos::ChaosInjector;
+using chaos::FaultPlan;
+using chaos::InjectedStream;
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+/// A clean scenario for chaos injection. Every event is structurally valid
+/// and unique (distinct minutes per burst region), so the injector's
+/// delivery manifest counts exactly match what a faithful transport would
+/// deliver — duplicates in the CLEAN stream would make "missing" ambiguous.
+struct ChaosScenario {
+  Interval day;
+  std::vector<VmServiceInfo> vms;
+  std::vector<RawEvent> clean;
+};
+
+ChaosScenario MakeScenario(uint64_t seed) {
+  Rng rng(seed);
+  ChaosScenario sc;
+  sc.day = Interval(T("2026-05-20 00:00"), T("2026-05-21 00:00"));
+
+  const char* names[] = {"slow_io", "packet_loss", "vcpu_high",
+                         "vm_start_failed"};
+  const Severity levels[] = {Severity::kWarning, Severity::kCritical,
+                             Severity::kFatal};
+  const int num_vms = static_cast<int>(rng.UniformInt(8, 16));
+  for (int v = 0; v < num_vms; ++v) {
+    VmServiceInfo vm;
+    vm.vm_id = "vm-" + std::to_string(v);
+    vm.dims = {{"region", "r0"},
+               {"az", rng.Bernoulli(0.5) ? "r0-az0" : "r0-az1"}};
+    vm.service_period = sc.day;
+    sc.vms.push_back(vm);
+
+    // Up to 4 bursts, each confined to its own ~5h region of the day so no
+    // two events of a VM can share (name, minute).
+    const int bursts = static_cast<int>(rng.UniformInt(1, 4));
+    for (int b = 0; b < bursts; ++b) {
+      const int64_t region_start = b * 300;
+      const int64_t start = region_start + rng.UniformInt(0, 240);
+      const int len = static_cast<int>(rng.UniformInt(3, 50));
+      const char* name = names[rng.UniformInt(0, 3)];
+      const Severity level = levels[rng.UniformInt(0, 2)];
+      for (int i = 0; i < len; ++i) {
+        RawEvent ev;
+        ev.name = name;
+        ev.time = sc.day.start + Duration::Minutes(start + i);
+        ev.target = vm.vm_id;
+        ev.level = level;
+        ev.expire_interval = Duration::Hours(24);
+        sc.clean.push_back(std::move(ev));
+      }
+    }
+  }
+  return sc;
+}
+
+/// What the suite asserts for one plan.
+enum class Expectation {
+  /// Complete information delivered: bit-identical to the clean batch run,
+  /// no degraded flags.
+  kBitExact,
+  /// Information destroyed detectably: every affected VM degraded, any
+  /// CDI deviation flagged, zero crashes.
+  kDegraded,
+  /// Information altered invisibly (clock skew): pipeline survives.
+  kNoCrash,
+};
+
+struct ChaosCase {
+  FaultPlan plan;
+  Expectation expect;
+};
+
+/// The seeded plan corpus (>= 12 plans, every preset represented).
+std::vector<ChaosCase> Corpus() {
+  std::vector<ChaosCase> cases;
+  cases.push_back({chaos::CleanPlan(), Expectation::kBitExact});
+  cases.push_back({chaos::DuplicationPlan(101), Expectation::kBitExact});
+  cases.push_back({chaos::DuplicationPlan(102, 0.5, 4),
+                   Expectation::kBitExact});
+  cases.push_back({chaos::ReorderPlan(201), Expectation::kBitExact});
+  cases.push_back({chaos::ReorderPlan(202, 0.8, 128),
+                   Expectation::kBitExact});
+  cases.push_back({chaos::DelayPlan(301), Expectation::kBitExact});
+  cases.push_back({chaos::MixedLosslessPlan(401), Expectation::kBitExact});
+  cases.push_back({chaos::MixedLosslessPlan(402), Expectation::kBitExact});
+  // Metric corruption and flaky I/O have no event-stream faults; the event
+  // path must be untouched (their own surfaces are covered elsewhere).
+  cases.push_back({chaos::MetricCorruptionPlan(501), Expectation::kBitExact});
+  cases.push_back({chaos::FlakyIoPlan(601), Expectation::kBitExact});
+  cases.push_back({chaos::DropPlan(701), Expectation::kDegraded});
+  cases.push_back({chaos::DropPlan(702, 0.3), Expectation::kDegraded});
+  cases.push_back({chaos::CollectorOutagePlan(801), Expectation::kDegraded});
+  cases.push_back({chaos::MalformPlan(901), Expectation::kDegraded});
+  cases.push_back({chaos::MixedLossyPlan(1001), Expectation::kDegraded});
+  cases.push_back({chaos::MixedLossyPlan(1002), Expectation::kDegraded});
+  cases.push_back({chaos::ClockSkewPlan(1101), Expectation::kNoCrash});
+  return cases;
+}
+
+class ChaosDifferentialTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  ChaosDifferentialTest() : catalog_(EventCatalog::BuiltIn()) {
+    auto ticket = TicketRankModel::FromCounts(
+        {{"slow_io", 100}, {"packet_loss", 60}, {"vcpu_high", 40},
+         {"vm_start_failed", 20}},
+        4);
+    weights_.emplace(
+        EventWeightModel::Build(std::move(ticket).value(), {}).value());
+  }
+
+  DailyCdiResult RunCleanBatch(const ChaosScenario& sc) {
+    EventLog log;
+    log.AppendBatch(sc.clean);
+    DailyCdiJob job(&log, &catalog_, &*weights_, {});
+    auto result = job.Run(sc.vms, sc.day);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  /// Feeds the injected stream to a streaming engine; every Ingest must
+  /// succeed (malformed input degrades, never errors).
+  DailyCdiResult RunInjectedStream(const ChaosScenario& sc,
+                                   const InjectedStream& injected) {
+    StreamingCdiOptions opts;
+    opts.window = sc.day;
+    opts.num_shards = 4;
+    auto engine =
+        StreamingCdiEngine::Create(&catalog_, &*weights_, opts).value();
+    for (const VmServiceInfo& vm : sc.vms) {
+      EXPECT_TRUE(engine.RegisterVm(vm).ok());
+    }
+    for (const auto& [target, count] : injected.announced) {
+      engine.ExpectDelivery(target, count);
+    }
+    for (const RawEvent& ev : injected.arrivals) {
+      const Status st = engine.Ingest(ev);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    auto snap = engine.Snapshot();
+    EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+    return std::move(snap).value();
+  }
+
+  EventCatalog catalog_;
+  std::optional<EventWeightModel> weights_;
+};
+
+TEST_P(ChaosDifferentialTest, PlanBehavesAsSpecified) {
+  const ChaosCase kase = Corpus()[GetParam()];
+  SCOPED_TRACE("plan: " + kase.plan.name +
+               " seed: " + std::to_string(kase.plan.seed));
+  const ChaosScenario sc = MakeScenario(7000 + kase.plan.seed);
+  const DailyCdiResult batch = RunCleanBatch(sc);
+
+  ChaosInjector injector(kase.plan);
+  const InjectedStream injected = injector.ApplyToEvents(sc.clean);
+  const DailyCdiResult snap = RunInjectedStream(sc, injected);
+
+  // Zero crashes, ever: no VM may fail regardless of what was injected.
+  EXPECT_EQ(snap.vms_failed, 0u);
+  EXPECT_TRUE(snap.first_vm_error.ok());
+  EXPECT_EQ(snap.vms_evaluated, batch.vms_evaluated);
+
+  std::map<std::string, const VmCdiRecord*> by_id;
+  for (const VmCdiRecord& rec : batch.per_vm) by_id[rec.vm_id] = &rec;
+  ASSERT_EQ(snap.per_vm.size(), batch.per_vm.size());
+
+  switch (kase.expect) {
+    case Expectation::kBitExact: {
+      for (const VmCdiRecord& rec : snap.per_vm) {
+        auto it = by_id.find(rec.vm_id);
+        ASSERT_NE(it, by_id.end()) << rec.vm_id;
+        EXPECT_EQ(rec.cdi.unavailability, it->second->cdi.unavailability)
+            << rec.vm_id;
+        EXPECT_EQ(rec.cdi.performance, it->second->cdi.performance)
+            << rec.vm_id;
+        EXPECT_EQ(rec.cdi.control_plane, it->second->cdi.control_plane)
+            << rec.vm_id;
+        EXPECT_FALSE(rec.quality.degraded) << rec.vm_id;
+      }
+      EXPECT_EQ(snap.vms_degraded, 0u);
+      EXPECT_FALSE(snap.quality.degraded);
+      EXPECT_EQ(snap.quality.events_quarantined, 0u);
+      EXPECT_EQ(snap.quality.events_missing, 0u);
+      break;
+    }
+    case Expectation::kDegraded: {
+      // The injector must actually have destroyed something, or the case
+      // proves nothing.
+      ASSERT_FALSE(injected.affected_targets.empty());
+      for (const std::string& target : injected.affected_targets) {
+        SCOPED_TRACE("affected target: " + target);
+        bool found = false;
+        for (const VmCdiRecord& rec : snap.per_vm) {
+          if (rec.vm_id != target) continue;
+          found = true;
+          EXPECT_TRUE(rec.quality.degraded);
+        }
+        EXPECT_TRUE(found);
+      }
+      // Any deviation from the clean CDI must be flagged — a silently
+      // wrong-but-confident number is the failure mode this layer exists
+      // to prevent.
+      for (const VmCdiRecord& rec : snap.per_vm) {
+        auto it = by_id.find(rec.vm_id);
+        ASSERT_NE(it, by_id.end());
+        const bool deviates =
+            std::abs(rec.cdi.unavailability - it->second->cdi.unavailability) >
+                1e-9 ||
+            std::abs(rec.cdi.performance - it->second->cdi.performance) >
+                1e-9 ||
+            std::abs(rec.cdi.control_plane - it->second->cdi.control_plane) >
+                1e-9;
+        if (deviates) {
+          EXPECT_TRUE(rec.quality.degraded) << rec.vm_id;
+        }
+      }
+      EXPECT_GT(snap.vms_degraded, 0u);
+      EXPECT_TRUE(snap.quality.degraded);
+      break;
+    }
+    case Expectation::kNoCrash: {
+      EXPECT_GT(injected.stats.clock_skews_applied, 0u);
+      EXPECT_TRUE(std::isfinite(snap.fleet.performance));
+      EXPECT_TRUE(std::isfinite(snap.fleet.unavailability));
+      break;
+    }
+  }
+
+  // Deterministic re-aggregation: folding the snapshot's sorted per-VM
+  // rows back through the fleet aggregator reproduces the reported fleet
+  // CDI, so a BI layer recomputing from the table gets the same number.
+  FleetCdiPartial partial;
+  for (const VmCdiRecord& rec : snap.per_vm) partial.AddVm(rec.cdi);
+  const VmCdi refleet = partial.Finalize();
+  EXPECT_NEAR(refleet.unavailability, snap.fleet.unavailability, 1e-9);
+  EXPECT_NEAR(refleet.performance, snap.fleet.performance, 1e-9);
+  EXPECT_NEAR(refleet.control_plane, snap.fleet.control_plane, 1e-9);
+}
+
+// The injector itself is deterministic: one (plan, input) pair, one output.
+TEST(ChaosInjectorDeterminism, SamePlanSameStream) {
+  const ChaosScenario sc = MakeScenario(99);
+  for (size_t i = 0; i < Corpus().size(); ++i) {
+    const ChaosCase kase = Corpus()[i];
+    ChaosInjector a(kase.plan);
+    ChaosInjector b(kase.plan);
+    const InjectedStream sa = a.ApplyToEvents(sc.clean);
+    const InjectedStream sb = b.ApplyToEvents(sc.clean);
+    ASSERT_EQ(sa.arrivals.size(), sb.arrivals.size()) << kase.plan.name;
+    for (size_t j = 0; j < sa.arrivals.size(); ++j) {
+      EXPECT_EQ(sa.arrivals[j].name, sb.arrivals[j].name);
+      EXPECT_EQ(sa.arrivals[j].time, sb.arrivals[j].time);
+      EXPECT_EQ(sa.arrivals[j].target, sb.arrivals[j].target);
+    }
+    EXPECT_EQ(sa.affected_targets, sb.affected_targets) << kase.plan.name;
+    EXPECT_EQ(sa.stats.events_dropped, sb.stats.events_dropped);
+    EXPECT_EQ(sa.stats.duplicates_injected, sb.stats.duplicates_injected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ChaosDifferentialTest,
+                         ::testing::Range<size_t>(0, Corpus().size()));
+
+}  // namespace
+}  // namespace cdibot

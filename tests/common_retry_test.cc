@@ -1,0 +1,168 @@
+// RetryPolicy + retryability semantics: the storage layer's defense
+// against transient I/O failure. Pins which codes are retryable (DataLoss
+// is NOT — corruption needs recovery, not repetition), the attempt budget,
+// the backoff/jitter schedule, and the StatusOr OK-construction footgun.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace cdibot {
+namespace {
+
+TEST(RetryabilityTest, OnlyTransientCodesAreRetryable) {
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsRetryable());
+  EXPECT_TRUE(Status::Aborted("x").IsRetryable());
+
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
+  EXPECT_FALSE(Status::FailedPrecondition("x").IsRetryable());
+  // Corrupted data must never be hammered: a torn checkpoint stays torn no
+  // matter how often it is re-read.
+  EXPECT_FALSE(Status::DataLoss("x").IsRetryable());
+
+  EXPECT_TRUE(StatusCodeIsRetryable(StatusCode::kUnavailable));
+  EXPECT_FALSE(StatusCodeIsRetryable(StatusCode::kDataLoss));
+}
+
+TEST(RetryabilityTest, NewCodesRoundTripPredicatesAndNames) {
+  const Status unavailable = Status::Unavailable("disk rebooting");
+  EXPECT_TRUE(unavailable.IsUnavailable());
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "Unavailable: disk rebooting");
+
+  const Status data_loss = Status::DataLoss("crc mismatch");
+  EXPECT_TRUE(data_loss.IsDataLoss());
+  EXPECT_EQ(data_loss.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(data_loss.ToString(), "DataLoss: crc mismatch");
+}
+
+// Constructing a StatusOr from an OK status would break the invariant
+// "no value implies !ok()"; the class degrades it to Internal instead of
+// silently pretending a value exists. Pinned so refactors keep it.
+TEST(StatusOrFootgunTest, OkStatusConstructionBecomesInternal) {
+  StatusOr<int> so(Status::OK());
+  EXPECT_FALSE(so.ok());
+  EXPECT_TRUE(so.status().IsInternal());
+}
+
+class RetryPolicyTest : public ::testing::Test {
+ protected:
+  /// A policy with a fake sleeper that records the backoff schedule.
+  RetryPolicy Make(RetryOptions options, uint64_t seed = 7) {
+    RetryPolicy policy(options, seed);
+    policy.set_sleeper([this](Duration d) { sleeps_.push_back(d); });
+    return policy;
+  }
+
+  std::vector<Duration> sleeps_;
+};
+
+TEST_F(RetryPolicyTest, SucceedsFirstTryWithoutSleeping) {
+  RetryPolicy policy = Make({});
+  EXPECT_TRUE(policy.Run([] { return Status::OK(); }).ok());
+  EXPECT_EQ(policy.last_attempts(), 1);
+  EXPECT_TRUE(sleeps_.empty());
+}
+
+TEST_F(RetryPolicyTest, RetriesTransientFailureUntilSuccess) {
+  RetryPolicy policy = Make({});
+  int calls = 0;
+  const Status st = policy.Run([&calls] {
+    return ++calls < 3 ? Status::Unavailable("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(policy.last_attempts(), 3);
+  EXPECT_EQ(sleeps_.size(), 2u);
+}
+
+TEST_F(RetryPolicyTest, ExhaustsBudgetAndReturnsLastError) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  RetryPolicy policy = Make(options);
+  int calls = 0;
+  const Status st = policy.Run([&calls] {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(policy.last_attempts(), 4);
+  EXPECT_EQ(sleeps_.size(), 3u);  // no sleep after the final failure
+}
+
+TEST_F(RetryPolicyTest, PermanentErrorsReturnImmediately) {
+  RetryPolicy policy = Make({});
+  for (const Status& permanent :
+       {Status::InvalidArgument("bad"), Status::DataLoss("torn"),
+        Status::NotFound("gone"), Status::Internal("bug")}) {
+    sleeps_.clear();
+    int calls = 0;
+    const Status st = policy.Run([&] {
+      ++calls;
+      return permanent;
+    });
+    EXPECT_EQ(st, permanent);
+    EXPECT_EQ(calls, 1) << permanent.ToString();
+    EXPECT_EQ(policy.last_attempts(), 1);
+    EXPECT_TRUE(sleeps_.empty()) << permanent.ToString();
+  }
+}
+
+TEST_F(RetryPolicyTest, BackoffGrowsExponentiallyWithinJitterBounds) {
+  RetryOptions options;
+  options.max_attempts = 6;
+  options.initial_backoff = Duration::Millis(100);
+  options.backoff_multiplier = 2.0;
+  options.max_backoff = Duration::Seconds(10);
+  options.jitter = 0.2;
+  RetryPolicy policy = Make(options);
+  (void)policy.Run([] { return Status::Unavailable("down"); });
+  ASSERT_EQ(sleeps_.size(), 5u);
+  int64_t nominal = 100;
+  for (const Duration& sleep : sleeps_) {
+    // Each sleep is the nominal backoff scaled by [1 - jitter, 1 + jitter].
+    EXPECT_GE(sleep.millis(), static_cast<int64_t>(nominal * 0.8) - 1);
+    EXPECT_LE(sleep.millis(), static_cast<int64_t>(nominal * 1.2) + 1);
+    nominal *= 2;
+  }
+}
+
+TEST_F(RetryPolicyTest, BackoffIsCappedAtMax) {
+  RetryOptions options;
+  options.max_attempts = 10;
+  options.initial_backoff = Duration::Millis(100);
+  options.backoff_multiplier = 10.0;
+  options.max_backoff = Duration::Millis(500);
+  options.jitter = 0.0;
+  RetryPolicy policy = Make(options);
+  (void)policy.Run([] { return Status::Unavailable("down"); });
+  ASSERT_EQ(sleeps_.size(), 9u);
+  for (size_t i = 1; i < sleeps_.size(); ++i) {
+    EXPECT_LE(sleeps_[i].millis(), 500);
+  }
+}
+
+TEST_F(RetryPolicyTest, JitterScheduleIsSeedDeterministic) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  RetryPolicy a = Make(options, /*seed=*/42);
+  const std::vector<Duration> first = [&] {
+    (void)a.Run([] { return Status::Unavailable("x"); });
+    return sleeps_;
+  }();
+  sleeps_.clear();
+  RetryPolicy b = Make(options, /*seed=*/42);
+  (void)b.Run([] { return Status::Unavailable("x"); });
+  EXPECT_EQ(first, sleeps_);
+}
+
+}  // namespace
+}  // namespace cdibot

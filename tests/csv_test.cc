@@ -76,6 +76,96 @@ TEST(CsvTest, CrlfAndBlankLinesTolerated) {
   EXPECT_EQ(parsed->At(0, "name")->AsString().value(), "x");
 }
 
+TEST(CsvTest, StrayQuoteMidCellIsRejected) {
+  EXPECT_TRUE(FromCsv("name,count,ratio\nab\"cd,1,0.5\n", TestSchema())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CsvTest, EmbeddedNulBytes) {
+  // A NUL inside a string cell is preserved verbatim...
+  std::string csv = "name,count,ratio\na";
+  csv += '\0';
+  csv += "b,1,0.5\n";
+  auto parsed = FromCsv(csv, TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string expected = "a";
+  expected += '\0';
+  expected += 'b';
+  EXPECT_EQ(parsed->At(0, "name")->AsString().value(), expected);
+
+  // ...but a NUL inside a numeric cell cannot parse as a number.
+  std::string bad = "name,count,ratio\nx,1";
+  bad += '\0';
+  bad += ",0.5\n";
+  EXPECT_TRUE(FromCsv(bad, TestSchema()).status().IsInvalidArgument());
+}
+
+TEST(CsvLenientTest, TornTailDoesNotTakeDownThePrefix) {
+  // The crash-recovery shape: intact rows, then a write that never finished.
+  const std::string csv =
+      "name,count,ratio\n"
+      "good-1,1,0.5\n"
+      "good-2,2,1.5\n"
+      "torn-row,3\n";  // tail truncated mid-record: wrong cell count
+  auto result = FromCsvLenient(csv, TestSchema());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->table.num_rows(), 2u);
+  EXPECT_EQ(result->rows_dropped, 1u);
+  ASSERT_EQ(result->errors.size(), 1u);
+  EXPECT_NE(result->errors[0].find("cells"), std::string::npos);
+}
+
+TEST(CsvLenientTest, EachDefectKindIsDroppedNotFatal) {
+  std::string csv =
+      "name,count,ratio\n"
+      "\"unterminated,1,0.5\n"       // quote never closes
+      "stray\"quote,2,0.5\n"         // quote mid-cell
+      "badint,notanint,0.5\n"        // unparseable int
+      "baddouble,3,notadouble\n"     // unparseable double
+      "wide,4,0.5,extra\n"           // too many cells
+      "survivor,5,2.5\n";
+  csv += "nul,6";
+  csv += '\0';
+  csv += ",0.5\n";  // NUL corrupts the int cell
+  auto result = FromCsvLenient(csv, TestSchema());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->table.num_rows(), 1u);
+  EXPECT_EQ(result->table.At(0, "name")->AsString().value(), "survivor");
+  EXPECT_EQ(result->rows_dropped, 6u);
+  EXPECT_EQ(result->errors.size(), 6u);
+}
+
+TEST(CsvLenientTest, ErrorSamplesAreCappedCountersAreNot) {
+  std::string csv = "name,count,ratio\n";
+  for (int i = 0; i < 20; ++i) {
+    csv += "row,notanint,0.5\n";
+  }
+  auto result = FromCsvLenient(csv, TestSchema());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.num_rows(), 0u);
+  EXPECT_EQ(result->rows_dropped, 20u);
+  EXPECT_EQ(result->errors.size(), LenientCsvResult::kMaxErrors);
+}
+
+TEST(CsvLenientTest, UnusableHeaderIsStillFatal) {
+  // Without a header no row can be interpreted, so leniency does not apply.
+  EXPECT_TRUE(FromCsvLenient("", TestSchema()).status().IsInvalidArgument());
+  EXPECT_TRUE(FromCsvLenient("wrong,header,row\nx,1,0.5\n", TestSchema())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(FromCsvLenient("name,count\nx,1\n", TestSchema())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CsvLenientTest, FileVariantReportsMissingFile) {
+  const std::string path = ::testing::TempDir() + "/cdibot_lenient_gone.csv";
+  std::remove(path.c_str());
+  EXPECT_TRUE(
+      ReadCsvFileLenient(path, TestSchema()).status().IsNotFound());
+}
+
 TEST(CsvTest, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/cdibot_csv_test.csv";
   ASSERT_TRUE(WriteCsvFile(TestTable(), path).ok());

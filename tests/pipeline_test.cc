@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "cdi/pipeline.h"
 #include "common/thread_pool.h"
 
@@ -184,6 +187,78 @@ TEST_F(PipelineTest, DataQualityCountersAccountForEveryVm) {
   EXPECT_EQ(result->fleet_service_time, Duration::Days(2));
   // Resolver counters survive into the result.
   EXPECT_EQ(result->resolve_stats.resolved, 10u);
+}
+
+// A weight model that only knows one expert level: any warning-or-worse
+// event passes edge sanitation (its ordinal is a legal Severity) but fails
+// weighting mid-computation — exactly the per-VM failure Run must survive.
+class PipelineFailureSamplingTest : public PipelineTest {
+ protected:
+  PipelineFailureSamplingTest() {
+    auto ticket = TicketRankModel::FromCounts({{"slow_io", 100}}, 4);
+    strict_.emplace(EventWeightModel::Build(std::move(ticket).value(),
+                                            {.expert_levels = 1})
+                        .value());
+  }
+
+  /// Adds a VM whose day contains 5 slow_io events at `level`.
+  void AddFailingVm(std::vector<VmServiceInfo>* vms, const std::string& id,
+                    Severity level) {
+    InjectWindowed("slow_io", id.c_str(), T("2024-04-25 08:00"), 5, level);
+    vms->push_back(
+        VmServiceInfo{.vm_id = id, .dims = {}, .service_period = day_});
+  }
+
+  std::optional<EventWeightModel> strict_;
+};
+
+TEST_F(PipelineFailureSamplingTest, OneExemplarPerDistinctReason) {
+  std::vector<VmServiceInfo> vms;
+  for (int i = 0; i < 20; ++i) {
+    // Ordinals 2, 3, 4 produce three distinct failure messages.
+    AddFailingVm(&vms, "vm-" + std::to_string(i),
+                 static_cast<Severity>(2 + (i % 3)));
+  }
+  vms.push_back(
+      VmServiceInfo{.vm_id = "vm-ok", .dims = {}, .service_period = day_});
+
+  DailyCdiJob job(&log_, &catalog_, &*strict_, {});
+  auto result = job.Run(vms, day_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->vms_failed, 20u);
+  EXPECT_EQ(result->vms_evaluated, 1u);
+  EXPECT_FALSE(result->first_vm_error.ok());
+  // Three distinct reasons -> three exemplars, well under the cap.
+  ASSERT_EQ(result->vm_error_samples.size(), 3u);
+  ASSERT_LE(result->vm_error_samples.size(),
+            DailyCdiResult::kMaxVmErrorSamples);
+  std::set<std::string> unique(result->vm_error_samples.begin(),
+                               result->vm_error_samples.end());
+  EXPECT_EQ(unique.size(), 3u);
+  for (const std::string& sample : result->vm_error_samples) {
+    EXPECT_NE(sample.find("severity ordinal"), std::string::npos) << sample;
+    EXPECT_EQ(sample.rfind("vm vm-", 0), 0u) << sample;
+  }
+  // Only the healthy VM produced a row.
+  EXPECT_EQ(result->per_vm.size(), 1u);
+}
+
+TEST_F(PipelineFailureSamplingTest, IdenticalReasonsCollapseToOneSample) {
+  std::vector<VmServiceInfo> vms;
+  for (int i = 0; i < 30; ++i) {
+    AddFailingVm(&vms, "vm-" + std::to_string(i), Severity::kFatal);
+  }
+  DailyCdiJob job(&log_, &catalog_, &*strict_, {});
+  auto result = job.Run(vms, day_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->vms_failed, 30u);
+  // A fleet-wide incident is thousands of identical failures; the operator
+  // gets one exemplar, not a flood.
+  ASSERT_EQ(result->vm_error_samples.size(), 1u);
+  EXPECT_NE(result->vm_error_samples[0].find("severity ordinal 4 outside"),
+            std::string::npos);
+  // Failed VMs still contribute their resolver counters: 30 VMs x 5 events.
+  EXPECT_EQ(result->resolve_stats.resolved, 150u);
 }
 
 }  // namespace

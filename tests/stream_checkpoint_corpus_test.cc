@@ -1,0 +1,335 @@
+// Malformed-checkpoint corpus: every way a checkpoint directory can be
+// damaged — torn files, bit rot, missing files, tampered counters, future
+// format versions — and the exact status each one must produce. The restore
+// path must refuse to load anything inconsistent rather than resume from a
+// lie; the slot store must retry transient I/O and give up on permanent.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/atomic_io.h"
+#include "storage/checkpoint_store.h"
+#include "storage/stream_checkpoint.h"
+
+namespace cdibot {
+namespace {
+
+namespace fs = std::filesystem;
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+const std::vector<std::string> kCheckpointFiles = {
+    "stream_meta.csv", "stream_vms.csv", "stream_events.csv",
+    "stream_orphans.csv", "stream_quality.csv"};
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+StreamCheckpoint Golden() {
+    StreamCheckpoint ckpt;
+    const TimePoint day = T("2026-05-20 00:00");
+    ckpt.window = Interval(day, day + Duration::Days(1));
+    ckpt.watermark = day + Duration::Hours(1);
+    ckpt.max_event_time = day + Duration::Hours(2);
+    ckpt.events_ingested = 10;
+    ckpt.events_late = 1;
+    ckpt.events_out_of_window = 2;
+    ckpt.events_orphaned = 3;
+    ckpt.vms_recomputed = 4;
+    ckpt.quarantined_by_reason = {0, 2, 0, 1, 0, 0, 0};
+
+    CheckpointVmEntry vm_a;
+    vm_a.vm_id = "vm-a";
+    vm_a.dims = {{"region", "eu"}, {"pool", "general"}};
+    vm_a.service_period = ckpt.window;
+    ckpt.vms.push_back(vm_a);
+    CheckpointVmEntry vm_b;
+    vm_b.vm_id = "vm-b";
+    vm_b.service_period = ckpt.window;
+    ckpt.vms.push_back(vm_b);
+
+    RawEvent ev;
+    ev.name = "slow_io";
+    ev.time = day + Duration::Hours(2);
+    ev.target = "vm-sev";  // unique marker so tests can patch this row
+    ev.level = Severity::kCritical;
+    ev.expire_interval = Duration::Hours(1);
+    ev.attrs["duration_ms"] = "60000";
+    ckpt.events.push_back(ev);
+    ev.target = "vm-a";
+    ev.attrs.clear();
+    ckpt.events.push_back(ev);
+
+    RawEvent orphan = ev;
+    orphan.target = "vm-unregistered";
+    ckpt.orphan_events.push_back(orphan);
+
+    CheckpointTargetQuality q;
+    q.target = "vm-a";
+    q.received = 5;
+    q.expected = 6;
+    q.quarantined = 1;
+    ckpt.target_quality.push_back(q);
+    return ckpt;
+}
+
+class CheckpointCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ckpt_corpus";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    ASSERT_TRUE(SaveStreamCheckpoint(Golden(), dir_).ok());
+  }
+
+  std::string Path(const std::string& file) const { return dir_ + "/" + file; }
+
+  /// Edits one data file, then re-seals the directory with a fresh valid
+  /// MANIFEST so the semantic validators (not the CRC check) see the edit.
+  void PatchAndReseal(const std::string& file, const std::string& from,
+                      const std::string& to) {
+    std::string text = ReadAll(Path(file));
+    const size_t at = text.find(from);
+    ASSERT_NE(at, std::string::npos) << from << " not in " << file;
+    text.replace(at, from.size(), to);
+    WriteAll(Path(file), text);
+    ASSERT_TRUE(WriteDirManifest(dir_, kStreamCheckpointManifestFormat,
+                                 kCheckpointFiles)
+                    .ok());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointCorpusTest, RoundTripPreservesEverything) {
+  const StreamCheckpoint golden = Golden();
+  auto loaded = LoadStreamCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->window.start, golden.window.start);
+  EXPECT_EQ(loaded->window.end, golden.window.end);
+  EXPECT_EQ(loaded->watermark, golden.watermark);
+  EXPECT_EQ(loaded->max_event_time, golden.max_event_time);
+  EXPECT_EQ(loaded->events_ingested, golden.events_ingested);
+  EXPECT_EQ(loaded->events_late, golden.events_late);
+  EXPECT_EQ(loaded->events_out_of_window, golden.events_out_of_window);
+  EXPECT_EQ(loaded->events_orphaned, golden.events_orphaned);
+  EXPECT_EQ(loaded->vms_recomputed, golden.vms_recomputed);
+  EXPECT_EQ(loaded->quarantined_by_reason, golden.quarantined_by_reason);
+
+  ASSERT_EQ(loaded->vms.size(), 2u);
+  EXPECT_EQ(loaded->vms[0].vm_id, "vm-a");
+  EXPECT_EQ(loaded->vms[0].dims, golden.vms[0].dims);
+  EXPECT_TRUE(loaded->vms[1].dims.empty());
+
+  ASSERT_EQ(loaded->events.size(), 2u);
+  EXPECT_EQ(loaded->events[0].name, "slow_io");
+  EXPECT_EQ(loaded->events[0].time, golden.events[0].time);
+  EXPECT_EQ(loaded->events[0].attrs.at("duration_ms"), "60000");
+  ASSERT_EQ(loaded->orphan_events.size(), 1u);
+  EXPECT_EQ(loaded->orphan_events[0].target, "vm-unregistered");
+
+  ASSERT_EQ(loaded->target_quality.size(), 1u);
+  EXPECT_EQ(loaded->target_quality[0].target, "vm-a");
+  EXPECT_EQ(loaded->target_quality[0].received, 5u);
+  EXPECT_EQ(loaded->target_quality[0].expected, 6u);
+  EXPECT_EQ(loaded->target_quality[0].quarantined, 1u);
+}
+
+TEST_F(CheckpointCorpusTest, ManifestDetectsMissingFile) {
+  fs::remove(Path("stream_events.csv"));
+  EXPECT_TRUE(LoadStreamCheckpoint(dir_).status().IsDataLoss());
+}
+
+TEST_F(CheckpointCorpusTest, ManifestDetectsTruncation) {
+  std::string text = ReadAll(Path("stream_vms.csv"));
+  ASSERT_GT(text.size(), 5u);
+  text.resize(text.size() - 5);  // the torn write: tail never hit disk
+  WriteAll(Path("stream_vms.csv"), text);
+  EXPECT_TRUE(LoadStreamCheckpoint(dir_).status().IsDataLoss());
+}
+
+TEST_F(CheckpointCorpusTest, ManifestDetectsBitRot) {
+  std::string text = ReadAll(Path("stream_quality.csv"));
+  text[text.size() / 2] ^= 0x20;  // same size, different bytes
+  WriteAll(Path("stream_quality.csv"), text);
+  EXPECT_TRUE(LoadStreamCheckpoint(dir_).status().IsDataLoss());
+}
+
+TEST_F(CheckpointCorpusTest, WrongManifestTagIsDataLoss) {
+  ASSERT_TRUE(
+      WriteDirManifest(dir_, "cdibot-checkpoint-v999", kCheckpointFiles)
+          .ok());
+  EXPECT_TRUE(LoadStreamCheckpoint(dir_).status().IsDataLoss());
+}
+
+TEST_F(CheckpointCorpusTest, GarbageManifestIsRejected) {
+  WriteAll(Path(kManifestFileName), "not a manifest at all\n");
+  const Status st = LoadStreamCheckpoint(dir_).status();
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(st.IsNotFound());  // garbage is not "no manifest"
+}
+
+TEST_F(CheckpointCorpusTest, FutureFormatVersionIsRejected) {
+  PatchAndReseal("stream_meta.csv", "format_version,2", "format_version,3");
+  const Status st = LoadStreamCheckpoint(dir_).status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("unsupported checkpoint format_version"),
+            std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(CheckpointCorpusTest, WatermarkBeyondMaxEventTimeIsRejected) {
+  // Golden: watermark = day+1h, max_event_time = day+2h. Push the watermark
+  // an hour past max_event_time — an impossible state for the engine.
+  const int64_t wm = (T("2026-05-20 00:00") + Duration::Hours(1)).millis();
+  const int64_t beyond = (T("2026-05-20 00:00") + Duration::Hours(3)).millis();
+  PatchAndReseal("stream_meta.csv",
+                 "watermark_ms," + std::to_string(wm),
+                 "watermark_ms," + std::to_string(beyond));
+  const Status st = LoadStreamCheckpoint(dir_).status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("beyond max_event_time"), std::string::npos);
+}
+
+TEST_F(CheckpointCorpusTest, NegativeIngestCounterIsRejected) {
+  PatchAndReseal("stream_meta.csv", "events_ingested,10",
+                 "events_ingested,-10");
+  const Status st = LoadStreamCheckpoint(dir_).status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("negative"), std::string::npos);
+}
+
+TEST_F(CheckpointCorpusTest, NegativeQuarantineCounterIsRejected) {
+  PatchAndReseal("stream_meta.csv", "quarantined_reason_1,2",
+                 "quarantined_reason_1,-2");
+  EXPECT_TRUE(LoadStreamCheckpoint(dir_).status().IsInvalidArgument());
+}
+
+TEST_F(CheckpointCorpusTest, NegativeQualityCounterIsRejected) {
+  PatchAndReseal("stream_quality.csv", "vm-a,5,6,1", "vm-a,-5,6,1");
+  const Status st = LoadStreamCheckpoint(dir_).status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("negative quality counter"), std::string::npos);
+}
+
+TEST_F(CheckpointCorpusTest, MissingMetaKeyIsRejected) {
+  const int64_t wm = (T("2026-05-20 00:00") + Duration::Hours(1)).millis();
+  PatchAndReseal("stream_meta.csv",
+                 "watermark_ms," + std::to_string(wm) + "\n", "");
+  const Status st = LoadStreamCheckpoint(dir_).status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("missing"), std::string::npos);
+}
+
+TEST_F(CheckpointCorpusTest, BadSeverityEventRowIsRejected) {
+  // Find the unique vm-sev event row and stomp its severity ordinal.
+  std::string text = ReadAll(Path("stream_events.csv"));
+  const size_t at = text.find("vm-sev,");
+  ASSERT_NE(at, std::string::npos);
+  text[at + 7] = '9';  // severity is the column right after the target
+  WriteAll(Path("stream_events.csv"), text);
+  ASSERT_TRUE(WriteDirManifest(dir_, kStreamCheckpointManifestFormat,
+                               kCheckpointFiles)
+                  .ok());
+  const Status st = LoadStreamCheckpoint(dir_).status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("bad severity"), std::string::npos);
+}
+
+TEST_F(CheckpointCorpusTest, MalformedPackedMapCellIsRejected) {
+  // vm-b has no dims, so its cell is empty; inject a cell with a pair but
+  // no unit separator between key and value.
+  PatchAndReseal("stream_vms.csv", "vm-b,,", "vm-b,broken-cell,");
+  const Status st = LoadStreamCheckpoint(dir_).status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("malformed packed map"), std::string::npos);
+}
+
+TEST_F(CheckpointCorpusTest, LegacyV1DirectoryWithoutManifestStillLoads) {
+  // Pre-v2 saves have no MANIFEST and no quality file; they load without an
+  // integrity check and with empty quality history.
+  fs::remove(Path(kManifestFileName));
+  fs::remove(Path("stream_quality.csv"));
+  auto loaded = LoadStreamCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->events_ingested, 10u);
+  EXPECT_EQ(loaded->vms.size(), 2u);
+  EXPECT_EQ(loaded->events.size(), 2u);
+  EXPECT_TRUE(loaded->target_quality.empty());
+}
+
+// --- StreamCheckpointStore: injected I/O faults against the retry path ----
+
+TEST(CheckpointStoreFaultTest, SaveRetriesTransientInjectedFaults) {
+  const std::string root = ::testing::TempDir() + "/store_transient";
+  fs::remove_all(root);
+  CheckpointStoreOptions options;
+  int failures_left = 2;
+  options.io_fault = [&failures_left](std::string_view op) {
+    if (op == "save" && failures_left > 0) {
+      --failures_left;
+      return Status::Unavailable("injected");
+    }
+    return Status::OK();
+  };
+  auto store = StreamCheckpointStore::Open(root, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Save(Golden()).ok());
+  EXPECT_EQ(store->last_attempts(), 3);
+  EXPECT_EQ(store->ListSlots().size(), 1u);
+  EXPECT_TRUE(store->LoadLastGood().ok());
+}
+
+TEST(CheckpointStoreFaultTest, PermanentInjectedFaultAbortsSaveCleanly) {
+  const std::string root = ::testing::TempDir() + "/store_permanent";
+  fs::remove_all(root);
+  CheckpointStoreOptions options;
+  options.io_fault = [](std::string_view) {
+    return Status::DataLoss("disk is lying");
+  };
+  auto store = StreamCheckpointStore::Open(root, options);
+  ASSERT_TRUE(store.ok());
+  const Status st = store->Save(Golden());
+  EXPECT_TRUE(st.IsDataLoss());
+  EXPECT_EQ(store->last_attempts(), 1);  // DataLoss is never retried
+  // The aborted save left no half-written slot for LoadLastGood to trip on.
+  EXPECT_TRUE(store->ListSlots().empty());
+}
+
+TEST(CheckpointStoreFaultTest, LoadRetriesTransientInjectedFaults) {
+  const std::string root = ::testing::TempDir() + "/store_load_transient";
+  fs::remove_all(root);
+  int failures_left = 1;
+  CheckpointStoreOptions options;
+  options.io_fault = [&failures_left](std::string_view op) {
+    if (op == "load" && failures_left > 0) {
+      --failures_left;
+      return Status::Unavailable("injected");
+    }
+    return Status::OK();
+  };
+  auto store = StreamCheckpointStore::Open(root, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Save(Golden()).ok());
+  auto loaded = store->LoadLastGood();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(store->last_attempts(), 2);
+  EXPECT_EQ(loaded->events_ingested, 10u);
+}
+
+}  // namespace
+}  // namespace cdibot
