@@ -1,0 +1,134 @@
+// Drop-in replacement for BENCHMARK_MAIN() that, in addition to the normal
+// console output, writes BENCH_<name>.json into the working directory:
+// per-benchmark iteration counts, per-iteration real/cpu time in
+// nanoseconds, rate counters (items_per_second where SetItemsProcessed was
+// used), and the full observability snapshot (counters + histograms with
+// p50/p95/p99 + span aggregates) accumulated over the run. Machine-diffable
+// perf numbers per commit, next to the human-readable table.
+#ifndef CDIBOT_BENCH_BENCH_REPORT_H_
+#define CDIBOT_BENCH_BENCH_REPORT_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/statusz.h"
+
+namespace cdibot::benchio {
+
+struct RunResult {
+  std::string name;
+  int64_t iterations = 0;
+  double real_ns_per_iter = 0;
+  double cpu_ns_per_iter = 0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Console output as usual, plus a copy of every finished run.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      RunResult r;
+      r.name = run.benchmark_name();
+      r.iterations = run.iterations;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      r.real_ns_per_iter = run.real_accumulated_time / iters * 1e9;
+      r.cpu_ns_per_iter = run.cpu_accumulated_time / iters * 1e9;
+      for (const auto& [cname, counter] : run.counters) {
+        r.counters.emplace_back(cname, static_cast<double>(counter.value));
+      }
+      results.push_back(std::move(r));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<RunResult> results;
+};
+
+inline void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+inline std::string RenderReport(const std::vector<RunResult>& results) {
+  std::string out = "{\"benchmarks\":[";
+  char buf[160];
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"name\":";
+    AppendJsonString(r.name, &out);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"iterations\":%lld,\"real_ns_per_iter\":%.3f"
+                  ",\"cpu_ns_per_iter\":%.3f",
+                  static_cast<long long>(r.iterations), r.real_ns_per_iter,
+                  r.cpu_ns_per_iter);
+    out += buf;
+    for (const auto& [name, value] : r.counters) {
+      out.push_back(',');
+      AppendJsonString(name, &out);
+      std::snprintf(buf, sizeof(buf), ":%.6g", value);
+      out += buf;
+    }
+    out.push_back('}');
+  }
+  out += "],\"obs\":";
+  out += obs::RenderStatuszJson(obs::CaptureObsSnapshot());
+  out += "}\n";
+  return out;
+}
+
+/// Runs the registered benchmarks and writes BENCH_<bench_name>.json.
+inline int RunAndReport(int argc, char** argv, const char* bench_name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  const std::string path = std::string("BENCH_") + bench_name + ".json";
+  const std::string report = RenderReport(reporter.results);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(report.data(), 1, report.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace cdibot::benchio
+
+/// Use instead of BENCHMARK_MAIN() to also emit BENCH_<name>.json.
+#define CDIBOT_BENCHMARK_MAIN(name)                               \
+  int main(int argc, char** argv) {                               \
+    return ::cdibot::benchio::RunAndReport(argc, argv, name);     \
+  }
+
+#endif  // CDIBOT_BENCH_BENCH_REPORT_H_

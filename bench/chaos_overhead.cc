@@ -11,9 +11,12 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "chaos/fault_injector.h"
 #include "chaos/fault_plan.h"
 #include "chaos/quarantine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cdibot {
 namespace {
@@ -111,7 +114,62 @@ void BM_ValidateCleanEvent(benchmark::State& state) {
 }
 BENCHMARK(BM_ValidateCleanEvent);
 
+// --- Observability layer overhead ------------------------------------------
+// The same discipline the chaos layer is held to: instrumentation that is
+// compiled in everywhere must cost nothing measurable when idle. The pairs
+// below isolate each obs primitive; scripts/check.sh additionally gates
+// BM_DisabledInjector (which crosses a TRACE_SPAN + counter on every call)
+// against BM_CopyPlusManifest.
+
+// A relaxed fetch_add on a cached counter handle — the cost every
+// instrumented hot-path site pays per event.
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("bench.obs_counter");
+  for (auto _ : state) {
+    counter->Increment();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+// Histogram record: bucket index computation plus three relaxed adds.
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Histogram* hist =
+      obs::MetricsRegistry::Global().GetHistogram("bench.obs_histogram");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    hist->Record(v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap lcg
+    v &= (1ULL << 32) - 1;
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+// A TRACE_SPAN with the tracer disabled: one relaxed load and a branch.
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::Tracer::Global().Disable();
+  for (auto _ : state) {
+    TRACE_SPAN("bench.disabled_span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+// The enabled price, for contrast: two clock reads plus a buffered record.
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::Tracer::Global().Enable();
+  for (auto _ : state) {
+    TRACE_SPAN("bench.enabled_span");
+    benchmark::ClobberMemory();
+  }
+  obs::Tracer::Global().Disable();
+  obs::Tracer::Global().Clear();
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
 }  // namespace
 }  // namespace cdibot
 
-BENCHMARK_MAIN();
+CDIBOT_BENCHMARK_MAIN("chaos_overhead");

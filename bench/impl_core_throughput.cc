@@ -6,7 +6,10 @@
 // events/second counters for comparison against the paper's scale.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "cdi/indicator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "cdi/pipeline.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -131,7 +134,10 @@ void BM_DailyJob(benchmark::State& state) {
                   {.pool = &pool, .min_parallel_rows = 1});
   const auto vms = fleet.ServiceInfos(kDay).value();
 
+  obs::Histogram* job_ns =
+      obs::MetricsRegistry::Global().GetHistogram("bench.daily_job_ns");
   for (auto _ : state) {
+    obs::ScopedTimer timer(job_ns);
     auto result = job.Run(vms, kDay);
     benchmark::DoNotOptimize(result);
   }
@@ -146,4 +152,4 @@ BENCHMARK(BM_DailyJob)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMilliseco
 }  // namespace
 }  // namespace cdibot
 
-BENCHMARK_MAIN();
+CDIBOT_BENCHMARK_MAIN("impl_core_throughput");

@@ -6,7 +6,10 @@
 // counters report per-update events and fleet size for eyeballing the gap.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "cdi/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "sim/fleet.h"
@@ -78,7 +81,12 @@ void BM_StreamUpdate(benchmark::State& state) {
   StreamingCdiEngine engine = fx.MakeEngine(nullptr);
   Rng rng(23);
   size_t updates = 0;
+  // Per-iteration latency histogram: the BENCH json gets p50/p99 of a
+  // single incremental update, not just the mean the console prints.
+  obs::Histogram* update_ns =
+      obs::MetricsRegistry::Global().GetHistogram("bench.stream_update_ns");
   for (auto _ : state) {
+    obs::ScopedTimer timer(update_ns);
     RawEvent ev;
     ev.name = "slow_io";
     ev.time = kDayStart + Duration::Minutes(rng.UniformInt(0, 1439));
@@ -110,7 +118,10 @@ void BM_BatchRerun(benchmark::State& state) {
   EventLog log;
   log.AppendBatch(fx.day_events);
   DailyCdiJob job(&log, &fx.catalog, &fx.weights, {});
+  obs::Histogram* rerun_ns =
+      obs::MetricsRegistry::Global().GetHistogram("bench.batch_rerun_ns");
   for (auto _ : state) {
+    obs::ScopedTimer timer(rerun_ns);
     auto result = job.Run(fx.vms, kDay);
     benchmark::DoNotOptimize(result);
   }
@@ -181,4 +192,4 @@ BENCHMARK(BM_StreamBurstDrain)
 }  // namespace
 }  // namespace cdibot
 
-BENCHMARK_MAIN();
+CDIBOT_BENCHMARK_MAIN("stream_throughput");

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full build + ctest, then the chaos differential/recovery
-# suite on its own (the robustness gate), then an ASan/UBSan pass over the
-# concurrency-heavy and fault-handling tests (thread pool, streaming
-# engine, chaos suite, crash-safe storage), where memory and ordering bugs
-# actually live. Run from the repo root:
+# suite on its own (the robustness gate), then the observability stage
+# (obs unit tests + a disabled-instrumentation overhead gate), then an
+# ASan/UBSan pass over the concurrency-heavy and fault-handling tests
+# (thread pool, streaming engine, chaos suite, crash-safe storage, obs)
+# and a TSan pass over the lock-free metrics/tracer hammering tests, where
+# memory and ordering bugs actually live. Run from the repo root:
 #
 #   scripts/check.sh              # everything
-#   SKIP_SAN=1 scripts/check.sh   # tier-1 + chaos only
-#   SKIP_CHAOS=1 scripts/check.sh # tier-1 + sanitizers only
+#   SKIP_SAN=1 scripts/check.sh   # skip ASan/UBSan + TSan stages
+#   SKIP_CHAOS=1 scripts/check.sh # skip the standalone chaos stage
+#   SKIP_OBS=1 scripts/check.sh   # skip the observability stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +33,40 @@ else
   ./build/tests/chaos_test
 fi
 
+if [[ "${SKIP_OBS:-0}" == "1" ]]; then
+  echo "== observability stage skipped (SKIP_OBS=1) =="
+else
+  # The metrics/tracing layer claims "near-zero overhead when idle"; hold
+  # it to that. BM_DisabledInjector runs the full validation pipeline with
+  # chaos and tracing off — i.e. every instrumented call site taking its
+  # disabled branch — and must stay within noise of BM_CopyPlusManifest,
+  # the uninstrumented copy+bookkeeping baseline. Typical overhead is < 3%;
+  # the 1.15 ratio gate is a flake guard (CPU time, not wall time, so a
+  # noisy-neighbor core doesn't fail the build), catching only real
+  # regressions like a metric added to a per-event hot loop.
+  echo "== obs: unit tests =="
+  ./build/tests/obs_test
+
+  echo "== obs: disabled-instrumentation overhead gate =="
+  ./build/bench/chaos_overhead \
+      --benchmark_filter='BM_CopyPlusManifest|BM_DisabledInjector' \
+      --benchmark_min_time=0.2 >/dev/null 2>&1
+  RATIO="$(python3 - <<'EOF'
+import json
+runs = {b["name"]: b["cpu_ns_per_iter"]
+        for b in json.load(open("BENCH_chaos_overhead.json"))["benchmarks"]}
+base = next(v for k, v in runs.items() if k.startswith("BM_CopyPlusManifest"))
+instr = next(v for k, v in runs.items() if k.startswith("BM_DisabledInjector"))
+print(f"{instr / base:.3f}")
+EOF
+)"
+  echo "   disabled-instrumentation / baseline cpu ratio: ${RATIO}"
+  awk -v r="$RATIO" 'BEGIN { exit !(r <= 1.15) }' || {
+    echo "FAIL: disabled observability overhead ratio ${RATIO} > 1.15"
+    exit 1
+  }
+fi
+
 if [[ "${SKIP_SAN:-0}" == "1" ]]; then
   echo "== sanitizers skipped (SKIP_SAN=1) =="
   exit 0
@@ -38,7 +75,7 @@ fi
 echo "== asan+ubsan: build =="
 cmake -B build-asan -S . -DCDIBOT_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS" \
-  --target common_test stream_test chaos_test storage_test
+  --target common_test stream_test chaos_test storage_test obs_test
 
 echo "== asan+ubsan: thread pool + retry + streaming engine =="
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -46,8 +83,24 @@ export ASAN_OPTIONS="detect_leaks=1"
 ./build-asan/tests/common_test --gtest_filter='ThreadPool*:Retry*'
 ./build-asan/tests/stream_test
 
-echo "== asan+ubsan: chaos + crash-safe storage =="
+echo "== asan+ubsan: chaos + crash-safe storage + observability =="
 ./build-asan/tests/chaos_test
 ./build-asan/tests/storage_test
+./build-asan/tests/obs_test
+
+if [[ "${SKIP_OBS:-0}" == "1" ]]; then
+  echo "== tsan skipped (SKIP_OBS=1) =="
+else
+  # The whole point of the sharded counters / per-thread span buffers is
+  # safe unsynchronized use; the obs_test hammering tests are written to
+  # race if the implementation does. TSan is the referee.
+  echo "== tsan: build =="
+  cmake -B build-tsan -S . -DCDIBOT_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target obs_test
+
+  echo "== tsan: concurrent metrics + tracer hammering =="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test \
+      --gtest_filter='*Concurrent*:*Hammer*:ObsTracer*'
+fi
 
 echo "== all checks passed =="

@@ -1,5 +1,7 @@
 #include "anomaly/dspot.h"
 
+#include "obs/metrics.h"
+
 namespace cdibot {
 
 StatusOr<DSpotDetector> DSpotDetector::Calibrate(
@@ -57,12 +59,18 @@ void DSpotDetector::PushWindow(double x) {
 }
 
 AnomalyDirection DSpotDetector::Observe(double x) {
+  static obs::Counter* points =
+      obs::MetricsRegistry::Global().GetCounter("anomaly.dspot.points");
+  static obs::Counter* alarms =
+      obs::MetricsRegistry::Global().GetCounter("anomaly.dspot.alarms");
+  points->Increment();
   const double mean = LocalMean();
   const double residual = x - mean;
   // Each side's SPOT consumes every residual so their tail models stay in
   // sync; anomaly on either side wins (both cannot fire at once).
   const bool spike = upper_.Observe(residual);
   const bool dip = lower_.Observe(-residual);
+  if (spike || dip) alarms->Increment();
   if (spike) return AnomalyDirection::kSpike;
   if (dip) return AnomalyDirection::kDip;
   // Normal points advance the local level; anomalies do not, so a fault

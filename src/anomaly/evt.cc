@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "stats/descriptive.h"
 
 namespace cdibot {
@@ -90,9 +91,15 @@ void SpotDetector::Refit() {
 }
 
 bool SpotDetector::Observe(double x) {
+  static obs::Counter* points =
+      obs::MetricsRegistry::Global().GetCounter("anomaly.spot.points");
+  static obs::Counter* alarms =
+      obs::MetricsRegistry::Global().GetCounter("anomaly.spot.alarms");
+  points->Increment();
   ++n_;
   if (x > z_q_) {
     // Anomaly: excluded from the model so it cannot raise the threshold.
+    alarms->Increment();
     return true;
   }
   if (x > t_) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace cdibot {
 
 StatusOr<KSigmaDetector> KSigmaDetector::Create(size_t window, double k) {
@@ -26,8 +28,14 @@ AnomalyDirection KSigmaDetector::Classify(double x) const {
 }
 
 AnomalyDirection KSigmaDetector::Observe(double x) {
+  static obs::Counter* points =
+      obs::MetricsRegistry::Global().GetCounter("anomaly.ksigma.points");
+  static obs::Counter* alarms =
+      obs::MetricsRegistry::Global().GetCounter("anomaly.ksigma.alarms");
+  points->Increment();
   ++count_;
   const AnomalyDirection result = Classify(x);
+  if (result != AnomalyDirection::kNone) alarms->Increment();
   // Anomalous points still enter the window: a persistent shift becomes the
   // new normal, which matches how the paper's daily curves are read.
   buffer_.push_back(x);

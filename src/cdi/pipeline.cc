@@ -5,6 +5,8 @@
 #include "cdi/indicator.h"
 #include "cdi/vm_cdi.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cdibot {
 
@@ -54,6 +56,10 @@ Status ComputeVmDailyCdi(std::vector<RawEvent> raw, const VmServiceInfo& vm,
                          const Interval& day, const PeriodResolver& resolver,
                          const EventWeightModel& weights, VmDailyOutput* out,
                          chaos::QuarantineSink* quarantine) {
+  TRACE_SPAN("cdi.compute_vm");
+  static obs::Histogram* vm_compute_ns =
+      obs::MetricsRegistry::Global().GetHistogram("cdi.vm_compute_ns");
+  obs::ScopedTimer timer(vm_compute_ns);
   *out = VmDailyOutput{};
   const Interval service = vm.service_period.ClampTo(day);
   if (service.empty()) {
@@ -119,6 +125,10 @@ Status ComputeVmDailyCdi(std::vector<RawEvent> raw, const VmServiceInfo& vm,
 
 StatusOr<DailyCdiResult> DailyCdiJob::Run(
     const std::vector<VmServiceInfo>& vms, const Interval& day) const {
+  TRACE_SPAN("cdi.daily_job");
+  static obs::Histogram* run_ns =
+      obs::MetricsRegistry::Global().GetHistogram("cdi.daily_job_ns");
+  obs::ScopedTimer timer(run_ns);
   if (day.empty()) {
     return Status::InvalidArgument("evaluation window must be non-empty");
   }
@@ -195,6 +205,25 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
   }
   result.fleet = fleet_partial.Finalize();
   result.fleet_baseline = baseline_partial.Finalize();
+
+  // The result struct's ad-hoc counters stay (callers consume them per
+  // run); the registry carries the same counts process-wide so a statusz
+  // snapshot sees every job that ever ran.
+  static obs::Counter* runs =
+      obs::MetricsRegistry::Global().GetCounter("cdi.jobs");
+  static obs::Counter* evaluated =
+      obs::MetricsRegistry::Global().GetCounter("cdi.vms_evaluated");
+  static obs::Counter* skipped =
+      obs::MetricsRegistry::Global().GetCounter("cdi.vms_skipped");
+  static obs::Counter* failed =
+      obs::MetricsRegistry::Global().GetCounter("cdi.vms_failed");
+  static obs::Counter* degraded =
+      obs::MetricsRegistry::Global().GetCounter("cdi.vms_degraded");
+  runs->Increment();
+  evaluated->Add(result.vms_evaluated);
+  skipped->Add(result.vms_skipped);
+  failed->Add(result.vms_failed);
+  degraded->Add(result.vms_degraded);
   return result;
 }
 

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cdibot::chaos {
 namespace {
@@ -25,6 +27,12 @@ ChaosInjector::ChaosInjector(FaultPlan plan)
     : plan_(std::move(plan)), rng_(plan_.seed) {}
 
 InjectedStream ChaosInjector::ApplyToEvents(std::vector<RawEvent> clean) {
+  // Batch-level span + counter: amortized over the whole stream, so the
+  // disabled-injector hot path stays a branch (chaos_overhead pins this).
+  TRACE_SPAN("chaos.apply_to_events");
+  static obs::Counter* events_seen =
+      obs::MetricsRegistry::Global().GetCounter("chaos.events_seen");
+  events_seen->Add(clean.size());
   InjectedStream out;
   stats_.events_seen += clean.size();
   for (const RawEvent& ev : clean) {
@@ -216,6 +224,9 @@ Status ChaosInjector::MaybeFailIo(std::string_view op) {
   const FaultSpec* io = FindSpec(plan_, FaultKind::kIoFailure);
   if (io == nullptr || !rng_.Bernoulli(io->probability)) return Status::OK();
   ++stats_.io_failures_injected;
+  static obs::Counter* io_faults =
+      obs::MetricsRegistry::Global().GetCounter("chaos.io_faults_injected");
+  io_faults->Increment();
   return Status::Unavailable(StrFormat("injected I/O failure during %.*s",
                                        static_cast<int>(op.size()),
                                        op.data()));

@@ -2,9 +2,41 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace cdibot::chaos {
+namespace {
+
+// Process-wide quarantine counters ("chaos.quarantine.total" plus one per
+// reason). Sink instances keep their own per-instance state because it is
+// what checkpoints persist and what per-engine data-quality annotation
+// reads; the registry mirror is the live, process-lifetime view statusz
+// reports (restores deliberately do not re-count into it — those events
+// were already observed by this or a previous process).
+obs::Counter& QuarantineTotalCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("chaos.quarantine.total");
+  return *c;
+}
+
+obs::Counter& QuarantineReasonCounter(QuarantineReason reason) {
+  static obs::Counter* counters[kNumQuarantineReasons] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (int i = 0; i < kNumQuarantineReasons; ++i) {
+      const std::string name =
+          "chaos.quarantine." +
+          std::string(QuarantineReasonToString(
+              static_cast<QuarantineReason>(i)));
+      counters[i] = obs::MetricsRegistry::Global().GetCounter(name);
+    }
+  });
+  return *counters[static_cast<int>(reason)];
+}
+
+}  // namespace
 
 std::string_view QuarantineReasonToString(QuarantineReason reason) {
   switch (reason) {
@@ -47,6 +79,13 @@ std::optional<QuarantineReason> ValidateRawEvent(const RawEvent& event) {
 
 void QuarantineSink::Quarantine(const RawEvent& event,
                                 QuarantineReason reason) {
+  QuarantineTotalCounter().Increment();
+  QuarantineReasonCounter(reason).Increment();
+  // A poisoned stream quarantines thousands of events; surface a sample,
+  // not a flood.
+  CDIBOT_LOG_EVERY_N(Warning, 256)
+      << "quarantined event (" << QuarantineReasonToString(reason)
+      << "): " << event.ToString();
   std::lock_guard<std::mutex> lock(mu_);
   ++by_reason_[static_cast<int>(reason)];
   ++total_;
@@ -56,7 +95,11 @@ void QuarantineSink::Quarantine(const RawEvent& event,
 
 void QuarantineSink::QuarantineRow(std::string_view context,
                                    QuarantineReason reason) {
-  (void)context;
+  QuarantineTotalCounter().Increment();
+  QuarantineReasonCounter(reason).Increment();
+  CDIBOT_LOG_EVERY_N(Warning, 256)
+      << "quarantined row (" << QuarantineReasonToString(reason)
+      << ") from " << context;
   std::lock_guard<std::mutex> lock(mu_);
   ++by_reason_[static_cast<int>(reason)];
   ++total_;

@@ -1,6 +1,7 @@
 #ifndef CDIBOT_COMMON_LOGGING_H_
 #define CDIBOT_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -41,11 +42,44 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Occurrence-count predicates behind CDIBOT_LOG_EVERY_N / _FIRST_N. The
+/// counter is bumped relaxed on every hit, so rate-limited log sites stay
+/// a fetch_add + branch when suppressed — cheap enough for per-event paths
+/// (quarantine, retries) that would otherwise flood stderr under chaos.
+inline bool LogEveryN(std::atomic<uint64_t>& counter, uint64_t n) {
+  return counter.fetch_add(1, std::memory_order_relaxed) % n == 0;
+}
+inline bool LogFirstN(std::atomic<uint64_t>& counter, uint64_t n) {
+  return counter.fetch_add(1, std::memory_order_relaxed) < n;
+}
+
 }  // namespace internal_logging
 
 #define CDIBOT_LOG(level)                                              \
   ::cdibot::internal_logging::LogMessage(::cdibot::LogLevel::k##level, \
                                          __FILE__, __LINE__)
+
+/// Emits on the 1st, (n+1)th, (2n+1)th ... execution of this statement.
+/// Usable exactly like CDIBOT_LOG: CDIBOT_LOG_EVERY_N(Warning, 100) << ...;
+#define CDIBOT_LOG_EVERY_N(level, n)                                       \
+  for (bool _cdibot_should_log = [] {                                      \
+         static ::std::atomic<uint64_t> _cdibot_log_count{0};              \
+         return ::cdibot::internal_logging::LogEveryN(_cdibot_log_count,   \
+                                                      (n));                \
+       }();                                                                \
+       _cdibot_should_log; _cdibot_should_log = false)                     \
+  CDIBOT_LOG(level)
+
+/// Emits only on the first n executions of this statement, then never
+/// again (startup / first-failure diagnostics).
+#define CDIBOT_LOG_FIRST_N(level, n)                                       \
+  for (bool _cdibot_should_log = [] {                                      \
+         static ::std::atomic<uint64_t> _cdibot_log_count{0};              \
+         return ::cdibot::internal_logging::LogFirstN(_cdibot_log_count,   \
+                                                      (n));                \
+       }();                                                                \
+       _cdibot_should_log; _cdibot_should_log = false)                     \
+  CDIBOT_LOG(level)
 
 /// Invariant check: always on (not compiled out in release builds), aborts
 /// with a message on failure. Use for programmer errors, not user input.

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <thread>
 
+#include "common/logging.h"
+#include "obs/metrics.h"
+
 namespace cdibot {
 
 RetryPolicy::RetryPolicy(RetryOptions options, uint64_t jitter_seed)
@@ -14,13 +17,35 @@ RetryPolicy::RetryPolicy(RetryOptions options, uint64_t jitter_seed)
 }
 
 Status RetryPolicy::Run(const std::function<Status()>& op) {
+  // Fleet-wide retry accounting: `runs` counts Run() calls, `attempts`
+  // every op() invocation, so attempts/runs > 1 means something is flaky.
+  static obs::Counter* runs =
+      obs::MetricsRegistry::Global().GetCounter("common.retry.runs");
+  static obs::Counter* attempts =
+      obs::MetricsRegistry::Global().GetCounter("common.retry.attempts");
+  static obs::Counter* retried =
+      obs::MetricsRegistry::Global().GetCounter("common.retry.retried");
+  static obs::Counter* exhausted =
+      obs::MetricsRegistry::Global().GetCounter("common.retry.exhausted");
+  runs->Increment();
   Duration backoff = options_.initial_backoff;
   Status last = Status::OK();
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    attempts->Increment();
     last = op();
     last_attempts_ = attempt;
     if (last.ok() || !last.IsRetryable()) return last;
-    if (attempt == options_.max_attempts) break;
+    if (attempt == options_.max_attempts) {
+      exhausted->Increment();
+      CDIBOT_LOG_EVERY_N(Warning, 32)
+          << "retry budget exhausted after " << attempt
+          << " attempts: " << last.ToString();
+      break;
+    }
+    retried->Increment();
+    CDIBOT_LOG_EVERY_N(Info, 64)
+        << "retrying (attempt " << attempt << "/" << options_.max_attempts
+        << "): " << last.ToString();
 
     const double scale =
         1.0 + options_.jitter * (2.0 * rng_.NextDouble() - 1.0);

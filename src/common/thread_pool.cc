@@ -4,7 +4,22 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace cdibot {
+namespace {
+
+// Submit() and ParallelFor() are the process's unit-of-work fan-out; the
+// counters make executor pressure visible in statusz (tasks per run,
+// chunk-claim granularity) without touching the dispatch fast path more
+// than one relaxed add.
+obs::Counter& TasksCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("common.pool.tasks");
+  return *c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -36,12 +51,19 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    TasksCounter().Increment();
     task();
   }
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  static obs::Counter* parallel_fors =
+      obs::MetricsRegistry::Global().GetCounter("common.pool.parallel_fors");
+  static obs::Counter* iterations = obs::MetricsRegistry::Global().GetCounter(
+      "common.pool.parallel_for_items");
+  parallel_fors->Increment();
+  iterations->Add(n);
   const size_t num_chunks = std::min(n, num_threads() * 4);
   const size_t chunk_size = (n + num_chunks - 1) / num_chunks;
 

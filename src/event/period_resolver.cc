@@ -4,6 +4,9 @@
 #include <map>
 #include <tuple>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cdibot {
 namespace {
 
@@ -26,6 +29,7 @@ PeriodResolver::PeriodResolver(const EventCatalog* catalog)
 StatusOr<std::vector<ResolvedEvent>> PeriodResolver::Resolve(
     std::vector<RawEvent> raw, std::optional<Interval> bounds,
     ResolveStats* stats) const {
+  TRACE_SPAN("resolve.resolve");
   ResolveStats local_stats;
   ResolveStats* s = stats != nullptr ? stats : &local_stats;
   *s = ResolveStats{};
@@ -150,6 +154,24 @@ StatusOr<std::vector<ResolvedEvent>> PeriodResolver::Resolve(
                 bounds, &out, s);
     // EmitClamped already incremented resolved if kept.
   }
+
+  // Fleet-wide rollup of the per-call ResolveStats, so statusz shows the
+  // same data-quality counters the pipeline aggregates per VM.
+  static obs::Counter* resolved =
+      obs::MetricsRegistry::Global().GetCounter("resolve.events_resolved");
+  static obs::Counter* unknown =
+      obs::MetricsRegistry::Global().GetCounter("resolve.unknown_dropped");
+  static obs::Counter* duplicates = obs::MetricsRegistry::Global().GetCounter(
+      "resolve.duplicate_details_dropped");
+  static obs::Counter* dangling = obs::MetricsRegistry::Global().GetCounter(
+      "resolve.dangling_end_dropped");
+  static obs::Counter* unpaired = obs::MetricsRegistry::Global().GetCounter(
+      "resolve.unpaired_start_closed");
+  resolved->Add(s->resolved);
+  unknown->Add(s->unknown_dropped);
+  duplicates->Add(s->duplicate_details_dropped);
+  dangling->Add(s->dangling_end_dropped);
+  unpaired->Add(s->unpaired_start_closed);
 
   return out;
 }

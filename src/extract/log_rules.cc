@@ -1,6 +1,8 @@
 #include "extract/log_rules.h"
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cdibot {
 
@@ -70,11 +72,18 @@ std::optional<RawEvent> LogRuleExtractor::Extract(const LogLine& line) const {
 
 std::vector<RawEvent> LogRuleExtractor::ExtractAll(
     const std::vector<LogLine>& lines) const {
+  TRACE_SPAN("extract.log_rules");
   std::vector<RawEvent> out;
   for (const LogLine& line : lines) {
     auto ev = Extract(line);
     if (ev.has_value()) out.push_back(std::move(*ev));
   }
+  static obs::Counter* scanned = obs::MetricsRegistry::Global().GetCounter(
+      "extract.log_lines_scanned");
+  static obs::Counter* extracted =
+      obs::MetricsRegistry::Global().GetCounter("extract.log_events");
+  scanned->Add(lines.size());
+  extracted->Add(out.size());
   return out;
 }
 

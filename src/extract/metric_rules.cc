@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace cdibot {
 
 MetricThresholdExtractor MetricThresholdExtractor::BuiltIn() {
@@ -63,6 +65,12 @@ std::vector<RawEvent> MetricThresholdExtractor::Extract(
       out.push_back(std::move(ev));
     }
   }
+  static obs::Counter* scanned = obs::MetricsRegistry::Global().GetCounter(
+      "extract.metric_points_scanned");
+  static obs::Counter* extracted =
+      obs::MetricsRegistry::Global().GetCounter("extract.metric_events");
+  scanned->Add(series.points.size());
+  extracted->Add(out.size());
   return out;
 }
 

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cdibot {
 
 StatusOr<StatisticalExtractor> StatisticalExtractor::Calibrate(
@@ -75,11 +78,18 @@ std::optional<RawEvent> StatisticalExtractor::Observe(
 
 std::vector<RawEvent> StatisticalExtractor::ExtractAll(
     const MetricSeries& series) {
+  TRACE_SPAN("extract.statistical");
   std::vector<RawEvent> out;
   for (const MetricPoint& pt : series.points) {
     auto ev = Observe(pt, series.target);
     if (ev.has_value()) out.push_back(std::move(*ev));
   }
+  static obs::Counter* observed = obs::MetricsRegistry::Global().GetCounter(
+      "extract.statistical_points_observed");
+  static obs::Counter* extracted = obs::MetricsRegistry::Global().GetCounter(
+      "extract.statistical_events");
+  observed->Add(series.points.size());
+  extracted->Add(out.size());
   return out;
 }
 

@@ -1,0 +1,175 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace cdibot::obs {
+
+size_t Counter::HomeShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t home =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return home;
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  // Position of the most significant bit; >= 4 here.
+  const int top = std::bit_width(value) - 1;
+  const size_t sub =
+      static_cast<size_t>(value >> (top - 4)) & (kSubBuckets - 1);
+  const size_t index = static_cast<size_t>(top - 3) * kSubBuckets + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < kSubBuckets) return index;
+  const size_t scale = index / kSubBuckets;  // >= 1
+  const size_t sub = index % kSubBuckets;
+  return static_cast<uint64_t>(kSubBuckets + sub) << (scale - 1);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  // Rank of the q-quantile among `total` ordered samples.
+  const double rank = q * static_cast<double>(total - 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(seen + in_bucket)) {
+      // Interpolate linearly through the bucket's value range.
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      const double hi = (i + 1 < kNumBuckets)
+                            ? static_cast<double>(BucketLowerBound(i + 1))
+                            : lo;
+      const double frac =
+          in_bucket == 1
+              ? 0.0
+              : (rank - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket - 1);
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max_.load(std::memory_order_relaxed));
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.name = name_;
+  snap.count = Count();
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  const uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = (snap.count == 0) ? 0 : min;
+  if (snap.count > 0) {
+    snap.p50 = Quantile(0.50);
+    snap.p90 = Quantile(0.90);
+    snap.p95 = Quantile(0.95);
+    snap.p99 = Quantile(0.99);
+  }
+  return snap;
+}
+
+void Histogram::ResetValues() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gauges_.count(std::string(name)) > 0 ||
+      histograms_.count(std::string(name)) > 0) {
+    return nullptr;
+  }
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(std::string(name)) > 0 ||
+      histograms_.count(std::string(name)) > 0) {
+    return nullptr;
+  }
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(std::string(name)) > 0 ||
+      gauges_.count(std::string(name)) > 0) {
+    return nullptr;
+  }
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<Histogram>(
+                                             new Histogram(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back(histogram->Snapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->ResetValues();
+  for (auto& [name, gauge] : gauges_) gauge->ResetValues();
+  for (auto& [name, histogram] : histograms_) histogram->ResetValues();
+}
+
+size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace cdibot::obs

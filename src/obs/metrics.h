@@ -1,0 +1,214 @@
+#ifndef CDIBOT_OBS_METRICS_H_
+#define CDIBOT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdibot::obs {
+
+/// Metric names follow "<subsystem>.<name>" (e.g. "stream.events_ingested",
+/// "storage.checkpoint.save_ns"); everything before the first '.' is the
+/// subsystem, which is how the statusz renderer groups a snapshot. Duration
+/// histograms use an "_ns" suffix and record nanoseconds.
+///
+/// Usage pattern: resolve the handle once (registration takes a mutex),
+/// then update through the handle on the hot path (lock-free, zero heap):
+///
+///   static obs::Counter* ingested =
+///       obs::MetricsRegistry::Global().GetCounter("stream.events_ingested");
+///   ingested->Increment();
+///
+/// Handles are stable for the life of the process — Reset() zeroes values
+/// but never invalidates pointers — so caching them in function-local
+/// statics is safe.
+
+/// One cache line per shard so concurrent writers from different threads
+/// do not false-share.
+struct alignas(64) CounterCell {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Monotonic counter, sharded across cache-line-padded atomics. Add() is a
+/// single relaxed fetch_add on the calling thread's home cell; Value() sums
+/// the cells (reads are rare, writes are hot).
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t n) {
+    cells_[HomeShard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const CounterCell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  /// Threads are assigned round-robin home shards on first use; a thread
+  /// always hits the same cell, so the fetch_add stays core-local.
+  static size_t HomeShard();
+
+  void ResetValues() {
+    for (CounterCell& cell : cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::string name_;
+  CounterCell cells_[kShards];
+};
+
+/// Last-write-wins instantaneous value (watermarks, queue depths).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void ResetValues() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time view of one histogram, with interpolated quantiles.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Fixed-bucket histogram of unsigned integer values (HdrHistogram layout:
+/// values below 16 are exact, above that each power-of-two octave splits
+/// into 16 geometric sub-buckets, so quantiles carry <= 1/16 relative
+/// error). Record() is two relaxed fetch_adds plus a CAS max — no locks,
+/// no heap — and is safe from any number of threads.
+class Histogram {
+ public:
+  static constexpr size_t kSubBuckets = 16;  // 4 significant bits
+  static constexpr size_t kNumBuckets = 16 + 60 * kSubBuckets;  // v < 2^63
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < value &&
+           !max_.compare_exchange_weak(prev, value,
+                                       std::memory_order_relaxed)) {
+    }
+    prev = min_.load(std::memory_order_relaxed);
+    while (value < prev &&
+           !min_.compare_exchange_weak(prev, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t Count() const;
+  /// Interpolated quantile, q in [0, 1]. 0 when empty.
+  double Quantile(double q) const;
+  HistogramSnapshot Snapshot() const;
+
+  const std::string& name() const { return name_; }
+
+  /// Bucket index for a value (exposed for the quantile-correctness test).
+  static size_t BucketIndex(uint64_t value);
+  /// Inclusive lower bound of bucket `index`.
+  static uint64_t BucketLowerBound(size_t index);
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  void ResetValues();
+
+  std::string name_;
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Everything the registry knows, captured at one instant (counter reads
+/// are individually atomic; the set is not a consistent cut, which is fine
+/// for monitoring).
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Process-wide metric registry. Get* registers on first use (mutex, cold
+/// path) and returns a stable handle; the same name always yields the same
+/// handle. A name may only be one kind — asking for "x" as a counter after
+/// it was registered as a gauge returns nullptr (callers treat that as a
+/// programming error; the registry never aborts).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric but keeps registrations (and therefore
+  /// every cached handle) intact. For tests and benches that want a clean
+  /// slate per scenario.
+  void Reset();
+
+  size_t num_metrics() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace cdibot::obs
+
+#endif  // CDIBOT_OBS_METRICS_H_

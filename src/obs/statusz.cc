@@ -1,0 +1,205 @@
+#include "obs/statusz.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string_view>
+
+namespace cdibot::obs {
+namespace {
+
+std::string_view SubsystemOf(std::string_view name) {
+  const size_t dot = name.find('.');
+  return dot == std::string_view::npos ? name : name.substr(0, dot);
+}
+
+std::string Fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+/// Nanosecond quantities render as milliseconds in the text report.
+bool IsNanosMetric(std::string_view name) { return name.ends_with("_ns"); }
+
+std::string HumanNs(double ns) {
+  if (ns >= 1e9) return Fmt("%.2fs", ns / 1e9);
+  if (ns >= 1e6) return Fmt("%.2fms", ns / 1e6);
+  if (ns >= 1e3) return Fmt("%.1fus", ns / 1e3);
+  return Fmt("%.0fns", ns);
+}
+
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      *out += c;
+    }
+  }
+}
+
+std::string JsonNumber(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+ObsSnapshot CaptureObsSnapshot() {
+  ObsSnapshot snap;
+  snap.metrics = MetricsRegistry::Global().Snapshot();
+  snap.spans = Tracer::Global().StatsByName();
+  snap.spans_dropped = Tracer::Global().dropped();
+  snap.tracing_enabled = Tracer::Global().enabled();
+  return snap;
+}
+
+size_t SubsystemCount(const ObsSnapshot& snapshot) {
+  std::set<std::string, std::less<>> subsystems;
+  for (const auto& c : snapshot.metrics.counters) {
+    subsystems.insert(std::string(SubsystemOf(c.name)));
+  }
+  for (const auto& g : snapshot.metrics.gauges) {
+    subsystems.insert(std::string(SubsystemOf(g.name)));
+  }
+  for (const auto& h : snapshot.metrics.histograms) {
+    subsystems.insert(std::string(SubsystemOf(h.name)));
+  }
+  for (const auto& s : snapshot.spans) {
+    subsystems.insert(std::string(SubsystemOf(s.name)));
+  }
+  return subsystems.size();
+}
+
+std::string RenderStatuszText(const ObsSnapshot& snapshot) {
+  // Group every metric line under its subsystem, keeping each kind's
+  // relative order (registry snapshots are name-sorted already).
+  std::map<std::string, std::vector<std::string>, std::less<>> sections;
+  char buf[256];
+  for (const auto& c : snapshot.metrics.counters) {
+    std::snprintf(buf, sizeof(buf), "  %-44s %20llu", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    sections[std::string(SubsystemOf(c.name))].push_back(buf);
+  }
+  for (const auto& g : snapshot.metrics.gauges) {
+    std::snprintf(buf, sizeof(buf), "  %-44s %20.6g", g.name.c_str(),
+                  g.value);
+    sections[std::string(SubsystemOf(g.name))].push_back(buf);
+  }
+  for (const auto& h : snapshot.metrics.histograms) {
+    std::string line;
+    if (IsNanosMetric(h.name)) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-44s n=%llu p50=%s p95=%s p99=%s max=%s",
+                    h.name.c_str(), static_cast<unsigned long long>(h.count),
+                    HumanNs(h.p50).c_str(), HumanNs(h.p95).c_str(),
+                    HumanNs(h.p99).c_str(),
+                    HumanNs(static_cast<double>(h.max)).c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-44s n=%llu p50=%.4g p95=%.4g p99=%.4g max=%llu",
+                    h.name.c_str(), static_cast<unsigned long long>(h.count),
+                    h.p50, h.p95, h.p99,
+                    static_cast<unsigned long long>(h.max));
+    }
+    sections[std::string(SubsystemOf(h.name))].push_back(buf);
+  }
+
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "=== statusz: %zu subsystems, %zu metrics, %zu span names "
+                "(tracing %s) ===\n",
+                SubsystemCount(snapshot),
+                snapshot.metrics.counters.size() +
+                    snapshot.metrics.gauges.size() +
+                    snapshot.metrics.histograms.size(),
+                snapshot.spans.size(),
+                snapshot.tracing_enabled ? "on" : "off");
+  out += buf;
+  for (const auto& [subsystem, lines] : sections) {
+    out += "[" + subsystem + "]\n";
+    for (const std::string& line : lines) {
+      out += line;
+      out += '\n';
+    }
+  }
+  if (!snapshot.spans.empty()) {
+    out += "[spans]  (wall time by stage)\n";
+    for (const SpanStat& s : snapshot.spans) {
+      std::snprintf(buf, sizeof(buf), "  %-44s n=%-8llu total=%-10s max=%s\n",
+                    s.name.c_str(), static_cast<unsigned long long>(s.count),
+                    HumanNs(static_cast<double>(s.total_ns)).c_str(),
+                    HumanNs(static_cast<double>(s.max_ns)).c_str());
+      out += buf;
+    }
+    if (snapshot.spans_dropped > 0) {
+      std::snprintf(buf, sizeof(buf), "  (%llu spans dropped at buffer cap)\n",
+                    static_cast<unsigned long long>(snapshot.spans_dropped));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string RenderStatuszJson(const ObsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snapshot.metrics.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(c.name, &out);
+    out += "\":" + std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snapshot.metrics.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(g.name, &out);
+    out += "\":" + JsonNumber(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snapshot.metrics.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(h.name, &out);
+    out += "\":{\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"min\":" + std::to_string(h.min);
+    out += ",\"max\":" + std::to_string(h.max);
+    out += ",\"p50\":" + JsonNumber(h.p50);
+    out += ",\"p90\":" + JsonNumber(h.p90);
+    out += ",\"p95\":" + JsonNumber(h.p95);
+    out += ",\"p99\":" + JsonNumber(h.p99);
+    out += '}';
+  }
+  out += "},\"spans\":{";
+  first = true;
+  for (const auto& s : snapshot.spans) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(s.name, &out);
+    out += "\":{\"count\":" + std::to_string(s.count);
+    out += ",\"total_ns\":" + std::to_string(s.total_ns);
+    out += ",\"max_ns\":" + std::to_string(s.max_ns);
+    out += '}';
+  }
+  out += "},\"spans_dropped\":" + std::to_string(snapshot.spans_dropped);
+  out += '}';
+  return out;
+}
+
+}  // namespace cdibot::obs

@@ -1,0 +1,44 @@
+#ifndef CDIBOT_OBS_STATUSZ_H_
+#define CDIBOT_OBS_STATUSZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cdibot::obs {
+
+/// Structured statusz view: every registered metric plus the tracer's
+/// per-span aggregates, captured at one instant. This is the introspection
+/// surface a /statusz handler would serve; here it is rendered to text for
+/// terminals and JSON for machines.
+struct ObsSnapshot {
+  MetricsSnapshot metrics;
+  std::vector<SpanStat> spans;
+  uint64_t spans_dropped = 0;
+  bool tracing_enabled = false;
+};
+
+/// Captures the global registry and tracer.
+ObsSnapshot CaptureObsSnapshot();
+
+/// Distinct subsystems (metric-name prefix before the first '.') with at
+/// least one registered metric or recorded span.
+size_t SubsystemCount(const ObsSnapshot& snapshot);
+
+/// Human-readable report: metrics grouped by subsystem, histograms with
+/// count/p50/p95/p99/max ("_ns" histograms humanized to ms), then the span
+/// table sorted by total wall time.
+std::string RenderStatuszText(const ObsSnapshot& snapshot);
+
+/// Machine-readable rendering:
+///   {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+///    max,p50,p90,p95,p99}},"spans":{name:{count,total_ns,max_ns}},
+///    "spans_dropped":N}
+std::string RenderStatuszJson(const ObsSnapshot& snapshot);
+
+}  // namespace cdibot::obs
+
+#endif  // CDIBOT_OBS_STATUSZ_H_

@@ -1,0 +1,221 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string_view>
+
+namespace cdibot::obs {
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace internal_trace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+/// Per-thread span storage. The mutex is only ever contended between the
+/// owning thread (recording) and an exporting thread, so recording takes
+/// an uncontended lock in the steady state.
+struct ThreadBuffer {
+  std::mutex mu;
+  uint32_t tid = 0;
+  uint32_t depth = 0;  ///< only touched by the owning thread
+  std::vector<SpanRecord> spans;
+  uint64_t dropped = 0;
+};
+
+ThreadBuffer* CurrentThreadBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    fresh->spans.reserve(1024);
+    Tracer& tracer = Tracer::Global();
+    std::lock_guard<std::mutex> lock(tracer.mu_);
+    fresh->tid = static_cast<uint32_t>(tracer.buffers_.size() + 1);
+    // The tracer keeps a strong reference, so a thread's spans survive the
+    // thread itself (pool workers, short-lived helpers).
+    tracer.buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return buffer.get();
+}
+
+uint32_t EnterSpan(ThreadBuffer* buffer) { return buffer->depth++; }
+
+void RecordSpan(ThreadBuffer* buffer, const char* name, uint64_t start_ns,
+                uint64_t end_ns, uint32_t depth) {
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->depth = depth;  // matching decrement of EnterSpan
+  if (buffer->spans.size() >= Tracer::kMaxSpansPerThread) {
+    ++buffer->dropped;
+    return;
+  }
+  SpanRecord record;
+  record.name = name;
+  record.start_ns = start_ns;
+  record.dur_ns = end_ns - start_ns;
+  record.tid = buffer->tid;
+  record.depth = depth;
+  buffer->spans.push_back(record);
+}
+
+}  // namespace internal_trace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // never destroyed
+  return *tracer;
+}
+
+std::vector<SpanRecord> Tracer::CollectSpans() const {
+  std::vector<std::shared_ptr<internal_trace::ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<SpanRecord> all;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    all.insert(all.end(), buffer->spans.begin(), buffer->spans.end());
+  }
+  return all;
+}
+
+uint64_t Tracer::dropped() const {
+  std::vector<std::shared_ptr<internal_trace::ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  uint64_t total = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void Tracer::Clear() {
+  std::vector<std::shared_ptr<internal_trace::ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->spans.clear();
+    buffer->dropped = 0;
+  }
+}
+
+std::vector<SpanStat> Tracer::StatsByName() const {
+  const std::vector<SpanRecord> spans = CollectSpans();
+  std::map<std::string_view, SpanStat> by_name;
+  for (const SpanRecord& span : spans) {
+    SpanStat& stat = by_name[span.name];
+    if (stat.count == 0) stat.name = span.name;
+    ++stat.count;
+    stat.total_ns += span.dur_ns;
+    stat.max_ns = std::max(stat.max_ns, span.dur_ns);
+  }
+  std::vector<SpanStat> stats;
+  stats.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) stats.push_back(std::move(stat));
+  std::sort(stats.begin(), stats.end(), [](const SpanStat& a,
+                                           const SpanStat& b) {
+    return a.total_ns > b.total_ns;
+  });
+  return stats;
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<SpanRecord> spans = CollectSpans();
+  // Chrome's viewer nests "X" events by containment; emitting in start
+  // order keeps the file deterministic for the golden test.
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.dur_ns > b.dur_ns;  // parent before child on ties
+            });
+  const uint64_t origin =
+      spans.empty() ? 0
+                    : std::min_element(spans.begin(), spans.end(),
+                                       [](const SpanRecord& a,
+                                          const SpanRecord& b) {
+                                         return a.start_ns < b.start_ns;
+                                       })
+                          ->start_ns;
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ',';
+    first = false;
+    char buf[160];
+    const double ts =
+        static_cast<double>(span.start_ns - origin) / 1000.0;
+    const double dur = static_cast<double>(span.dur_ns) / 1000.0;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(span.name, &out);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"cdibot\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                  ts, dur, span.tid);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path,
+                              std::string* error) const {
+  const std::string json = ToChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cdibot::obs

@@ -1,0 +1,168 @@
+#ifndef CDIBOT_OBS_TRACE_H_
+#define CDIBOT_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cdibot::obs {
+
+/// Monotonic clock in nanoseconds since an arbitrary process-local origin.
+uint64_t MonotonicNowNs();
+
+/// One completed span. `name` must be a string with static storage duration
+/// (the TRACE_SPAN macro passes a literal), so recording a span never
+/// copies or allocates.
+struct SpanRecord {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;    ///< tracer-assigned thread ordinal, stable per thread
+  uint32_t depth = 0;  ///< nesting depth at span entry (0 = top level)
+};
+
+/// Aggregate wall time per span name (the statusz view of the trace).
+struct SpanStat {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+namespace internal_trace {
+/// Global on/off switch, read by every TRACE_SPAN before doing anything
+/// else. Disabled tracing costs exactly one relaxed load and a branch.
+extern std::atomic<bool> g_trace_enabled;
+
+struct ThreadBuffer;
+ThreadBuffer* CurrentThreadBuffer();
+void RecordSpan(ThreadBuffer* buffer, const char* name, uint64_t start_ns,
+                uint64_t end_ns, uint32_t depth);
+uint32_t EnterSpan(ThreadBuffer* buffer);
+}  // namespace internal_trace
+
+/// Process-wide span collector. Each thread appends completed spans to its
+/// own fixed-capacity buffer (spans past the cap are counted as dropped,
+/// never reallocated mid-run), so recording only ever takes an uncontended
+/// per-thread lock. Export walks all thread buffers.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Enables span recording (off by default; see TRACE_SPAN).
+  void Enable() {
+    internal_trace::g_trace_enabled.store(true, std::memory_order_relaxed);
+  }
+  void Disable() {
+    internal_trace::g_trace_enabled.store(false, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return internal_trace::g_trace_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Spans a thread buffer may hold before further spans are dropped
+  /// (counted; see dropped()). Bounds tracer memory on unbounded runs.
+  static constexpr size_t kMaxSpansPerThread = 1 << 16;
+
+  /// Copies out every recorded span, across all threads, in per-thread
+  /// recording order.
+  std::vector<SpanRecord> CollectSpans() const;
+
+  /// Spans dropped because a thread buffer was full.
+  uint64_t dropped() const;
+
+  /// Discards all recorded spans (buffers stay allocated).
+  void Clear();
+
+  /// Wall-time aggregation by span name, sorted by descending total time.
+  std::vector<SpanStat> StatsByName() const;
+
+  /// Serializes the recorded spans in Chrome trace-event format ("X"
+  /// complete events; ts/dur in microseconds), loadable in Perfetto or
+  /// chrome://tracing. Nesting is implied by containment on each tid.
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`. Returns false (and fills
+  /// `error` when non-null) on I/O failure.
+  bool WriteChromeTrace(const std::string& path,
+                        std::string* error = nullptr) const;
+
+ private:
+  friend internal_trace::ThreadBuffer* internal_trace::CurrentThreadBuffer();
+  Tracer() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<internal_trace::ThreadBuffer>> buffers_;
+};
+
+/// RAII span: records [construction, destruction) into the global tracer
+/// when tracing is enabled at construction time. `name` must be a literal
+/// (or otherwise outlive the tracer's contents).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (!internal_trace::g_trace_enabled.load(std::memory_order_relaxed)) {
+      return;
+    }
+    buffer_ = internal_trace::CurrentThreadBuffer();
+    name_ = name;
+    depth_ = internal_trace::EnterSpan(buffer_);
+    start_ns_ = MonotonicNowNs();
+  }
+
+  ~ScopedSpan() {
+    if (buffer_ == nullptr) return;
+    internal_trace::RecordSpan(buffer_, name_, start_ns_, MonotonicNowNs(),
+                               depth_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  internal_trace::ThreadBuffer* buffer_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+/// Always-on scoped timer feeding a histogram (nanoseconds). For
+/// macro-level operations (snapshot, checkpoint save, per-VM compute)
+/// where two clock reads are noise; unlike TRACE_SPAN it does not depend
+/// on the tracer being enabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_ns_(MonotonicNowNs()) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Record(MonotonicNowNs() - start_ns_);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_ns_;
+};
+
+#define CDIBOT_TRACE_CONCAT_INNER(a, b) a##b
+#define CDIBOT_TRACE_CONCAT(a, b) CDIBOT_TRACE_CONCAT_INNER(a, b)
+
+/// Records the enclosing scope as a span named `name` (a string literal,
+/// conventionally "<subsystem>.<stage>"). Near-free when tracing is
+/// disabled: one relaxed atomic load and a branch.
+#define TRACE_SPAN(name)                                      \
+  ::cdibot::obs::ScopedSpan CDIBOT_TRACE_CONCAT(_trace_span_, \
+                                                __LINE__)(name)
+
+}  // namespace cdibot::obs
+
+#endif  // CDIBOT_OBS_TRACE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.h"
+
 namespace cdibot {
 
 StatusOr<std::vector<ActionRequest>> OperationPlatform::RequestsFromMatch(
@@ -87,6 +89,17 @@ std::vector<ActionRecord> OperationPlatform::Submit(
 
     Execute(req);
     records.push_back(std::move(record));
+  }
+  static obs::Counter* executed =
+      obs::MetricsRegistry::Global().GetCounter("ops.actions_executed");
+  static obs::Counter* discarded =
+      obs::MetricsRegistry::Global().GetCounter("ops.actions_discarded");
+  for (const ActionRecord& rec : records) {
+    if (rec.outcome == ActionOutcome::kExecuted) {
+      executed->Increment();
+    } else {
+      discarded->Increment();
+    }
   }
   return records;
 }

@@ -1,5 +1,7 @@
 #include "rules/rule_engine.h"
 
+#include "obs/metrics.h"
+
 namespace cdibot {
 
 Status RuleEngine::Register(const std::string& name,
@@ -31,6 +33,10 @@ std::set<std::string> RuleEngine::ActiveEventNames(
 std::vector<RuleMatch> RuleEngine::Match(const std::set<std::string>& active,
                                          const std::string& target,
                                          TimePoint at) const {
+  static obs::Counter* evaluations =
+      obs::MetricsRegistry::Global().GetCounter("rules.evaluations");
+  static obs::Counter* matches =
+      obs::MetricsRegistry::Global().GetCounter("rules.matches");
   std::vector<RuleMatch> out;
   for (const OperationRule& rule : rules_) {
     if (rule.expr.Eval(active)) {
@@ -40,6 +46,8 @@ std::vector<RuleMatch> RuleEngine::Match(const std::set<std::string>& active,
                               .actions = rule.actions});
     }
   }
+  evaluations->Add(rules_.size());
+  matches->Add(out.size());
   return out;
 }
 

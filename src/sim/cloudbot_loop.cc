@@ -4,7 +4,11 @@
 #include <optional>
 #include <set>
 
+#include "common/logging.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/statusz.h"
+#include "obs/trace.h"
 #include "ops/placement.h"
 #include "storage/checkpoint_store.h"
 
@@ -24,6 +28,11 @@ struct Incident {
 RawEvent MakeEvent(const std::string& name, TimePoint time,
                    const std::string& target, Severity level,
                    Duration expire = Duration::Hours(1)) {
+  // Every event the simulated day emits passes through here, so this is
+  // the telemetry-generation tap for statusz.
+  static obs::Counter* emitted = obs::MetricsRegistry::Global().GetCounter(
+      "telemetry.events_emitted");
+  emitted->Increment();
   RawEvent ev;
   ev.name = name;
   ev.time = time;
@@ -42,6 +51,14 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
   if (options.tick.millis() <= 0) {
     return Status::InvalidArgument("tick must be positive");
   }
+  // Tracing for the run when a trace path is requested; restored on exit so
+  // a caller-enabled tracer is left untouched.
+  const bool tracer_was_enabled = obs::Tracer::Global().enabled();
+  if (!options.trace_json_path.empty()) obs::Tracer::Global().Enable();
+  // Held in an optional so the day span can be closed before the trace file
+  // is written (a still-open span would be missing from the export).
+  std::optional<obs::ScopedSpan> day_span;
+  day_span.emplace("sim.automation_day");
   const Interval day(day_start, day_start + Duration::Days(1));
 
   // --- Plan the day's incidents ---------------------------------------------
@@ -122,8 +139,19 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
   EventLog log;
   std::map<std::string, std::string> vm_to_nc;
 
+  static obs::Counter* incidents_counter =
+      obs::MetricsRegistry::Global().GetCounter("sim.incidents");
+  static obs::Counter* matches_counter =
+      obs::MetricsRegistry::Global().GetCounter("sim.rule_matches");
+  static obs::Counter* migrations_counter =
+      obs::MetricsRegistry::Global().GetCounter("sim.migrations_executed");
+  static obs::Counter* placement_failures_counter =
+      obs::MetricsRegistry::Global().GetCounter("sim.placements_failed");
+  incidents_counter->Add(incidents.size());
+
   // --- Drive each incident through the loop ---------------------------------
   for (size_t inc_index = 0; inc_index < incidents.size(); ++inc_index) {
+    TRACE_SPAN("sim.incident");
     Incident& inc = incidents[inc_index];
     vm_to_nc[inc.vm_id] = inc.nc_id;
     // The NIC flap is logged once at the incident start (Example 1).
@@ -151,6 +179,7 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
         auto matches = engine.MatchEvents(vm_events, inc.vm_id, t);
         if (!matches.empty()) {
           ++result.rule_matches;
+          matches_counter->Increment();
           if (options.automation_enabled && !inc.migrated) {
             // The migration needs somewhere to go: locked hosts, capacity
             // and pool architecture all constrain the choice. (The faulty
@@ -159,6 +188,7 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
             auto placement = scheduler.ChooseDestination(inc.vm_id);
             if (!placement.ok()) {
               ++result.placements_failed;
+              placement_failures_counter->Increment();
               continue;
             }
             CDIBOT_ASSIGN_OR_RETURN(
@@ -170,6 +200,7 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
               if (rec.request.type == ActionType::kLiveMigration &&
                   rec.outcome == ActionOutcome::kExecuted) {
                 ++result.migrations_executed;
+                migrations_counter->Increment();
                 inc.migrated = true;
                 inc.actual_end = t;
                 // Migration brown-out: a short logged-duration event.
@@ -224,6 +255,14 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
         ++result.restores_completed;
       }
     }
+
+    // Periodic statusz dump while the day is in flight.
+    if (options.capture_statusz && options.statusz_every_incidents > 0 &&
+        (inc_index + 1) % options.statusz_every_incidents == 0) {
+      CDIBOT_LOG(Info) << "statusz after incident " << (inc_index + 1)
+                       << " of " << incidents.size() << ":\n"
+                       << obs::RenderStatuszText(obs::CaptureObsSnapshot());
+    }
   }
 
   // --- Evaluate the day with the standard pipeline ---------------------------
@@ -235,6 +274,20 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
     CDIBOT_ASSIGN_OR_RETURN(const VmCdi fleet_stream, stream->FleetCdi());
     result.fleet_cdi_streaming = fleet_stream;
     result.stream_stats = stream->stats();
+  }
+
+  day_span.reset();
+  if (!options.trace_json_path.empty()) {
+    std::string trace_error;
+    if (!obs::Tracer::Global().WriteChromeTrace(options.trace_json_path,
+                                                &trace_error)) {
+      CDIBOT_LOG(Warning) << "could not write trace to "
+                          << options.trace_json_path << ": " << trace_error;
+    }
+    if (!tracer_was_enabled) obs::Tracer::Global().Disable();
+  }
+  if (options.capture_statusz) {
+    result.statusz_text = obs::RenderStatuszText(obs::CaptureObsSnapshot());
   }
   return result;
 }

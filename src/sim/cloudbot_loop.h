@@ -50,6 +50,15 @@ struct AutomationLoopOptions {
   std::string checkpoint_dir;
   /// Number of crash/restore cycles the supervisor injects across the day.
   size_t supervisor_crashes = 1;
+  /// When true, the day ends with a statusz report: the result carries the
+  /// rendered text and a periodic dump is logged every
+  /// `statusz_every_incidents` incidents (0 = final report only).
+  bool capture_statusz = false;
+  size_t statusz_every_incidents = 0;
+  /// When non-empty, scoped-span tracing is enabled for the duration of the
+  /// run and a Chrome-trace JSON (loadable in chrome://tracing or Perfetto)
+  /// is written here at the end.
+  std::string trace_json_path;
 };
 
 /// Outcome of a simulated day.
@@ -74,6 +83,8 @@ struct AutomationLoopResult {
   size_t checkpoints_saved = 0;
   size_t crashes_injected = 0;
   size_t restores_completed = 0;
+  /// Final statusz report; populated only when options.capture_statusz.
+  std::string statusz_text;
 };
 
 /// Runs one day of the full CloudBot control loop on a synthetic fleet:

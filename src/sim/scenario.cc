@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cdibot {
 
@@ -114,6 +116,7 @@ Status FaultInjector::InjectEpisode(const std::string& target,
 StatusOr<size_t> FaultInjector::InjectDayForVms(
     const std::vector<VmServiceInfo>& vms, TimePoint day_start,
     const FaultRates& rates, EventLog* log) {
+  TRACE_SPAN("telemetry.inject_day");
   const Interval day(day_start, day_start + Duration::Days(1));
   size_t episodes = 0;
   for (const VmServiceInfo& vm : vms) {
@@ -136,6 +139,9 @@ StatusOr<size_t> FaultInjector::InjectDayForVms(
       }
     }
   }
+  static obs::Counter* injected = obs::MetricsRegistry::Global().GetCounter(
+      "telemetry.episodes_injected");
+  injected->Add(episodes);
   return episodes;
 }
 

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cdibot {
 namespace {
@@ -81,6 +83,10 @@ std::vector<std::string> StreamCheckpointStore::ListSlots() const {
 }
 
 Status StreamCheckpointStore::Save(const StreamCheckpoint& ckpt) {
+  TRACE_SPAN("storage.checkpoint_save");
+  static obs::Histogram* save_ns =
+      obs::MetricsRegistry::Global().GetHistogram("storage.checkpoint_save_ns");
+  obs::ScopedTimer timer(save_ns);
   const uint64_t seq = next_seq_;
   const std::string slot = SlotPath(seq);
   const Status saved = retry_.Run([&]() -> Status {
@@ -95,22 +101,31 @@ Status StreamCheckpointStore::Save(const StreamCheckpoint& ckpt) {
     }
     return SaveStreamCheckpoint(ckpt, slot);
   });
+  static obs::Counter* saves =
+      obs::MetricsRegistry::Global().GetCounter("storage.checkpoint_saves");
+  static obs::Counter* save_failures = obs::MetricsRegistry::Global().GetCounter(
+      "storage.checkpoint_save_failures");
   if (!saved.ok()) {
+    save_failures->Increment();
     // A failed save must not leave a half-written slot lying around where
     // LoadLastGood would have to sniff (and reject) it forever.
     std::error_code ec;
     fs::remove_all(slot, ec);
     return saved;
   }
+  saves->Increment();
   next_seq_ = seq + 1;
 
   // Prune old generations only after the new one is fully durable.
   std::vector<std::string> slots = ListSlots();
   const size_t keep = static_cast<size_t>(std::max(1, options_.keep));
   if (slots.size() > keep) {
+    static obs::Counter* pruned = obs::MetricsRegistry::Global().GetCounter(
+        "storage.checkpoint_slots_pruned");
     for (size_t i = 0; i + keep < slots.size(); ++i) {
       std::error_code ec;
       fs::remove_all(root_ + "/" + slots[i], ec);
+      pruned->Increment();
     }
   }
   return Status::OK();
@@ -118,6 +133,12 @@ Status StreamCheckpointStore::Save(const StreamCheckpoint& ckpt) {
 
 StatusOr<StreamCheckpoint> StreamCheckpointStore::LoadLastGood(
     int* slots_skipped) {
+  TRACE_SPAN("storage.checkpoint_load");
+  static obs::Counter* loads =
+      obs::MetricsRegistry::Global().GetCounter("storage.checkpoint_loads");
+  static obs::Counter* skipped = obs::MetricsRegistry::Global().GetCounter(
+      "storage.checkpoint_slots_skipped");
+  loads->Increment();
   if (slots_skipped != nullptr) *slots_skipped = 0;
   std::vector<std::string> slots = ListSlots();
   Status last_error = Status::NotFound("no checkpoint slots in " + root_);
@@ -135,6 +156,7 @@ StatusOr<StreamCheckpoint> StreamCheckpointStore::LoadLastGood(
     });
     if (attempt.ok()) return std::move(loaded).value();
     last_error = attempt;
+    skipped->Increment();
     if (slots_skipped != nullptr) ++*slots_skipped;
   }
   return last_error;

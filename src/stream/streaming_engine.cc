@@ -6,9 +6,42 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cdibot {
 
 namespace {
+
+// Ingest is the per-update hot path: each registry touch below is a single
+// relaxed atomic op on a cached handle (stream_throughput pins the cost).
+// Restore() repopulates engine-local stats_ from the checkpoint without
+// touching these — the registry counts only what this process observed.
+struct StreamCounters {
+  obs::Counter* ingested;
+  obs::Counter* late;
+  obs::Counter* out_of_window;
+  obs::Counter* orphaned;
+  obs::Counter* recomputed;
+  obs::Counter* snapshots;
+  obs::Gauge* watermark_ms;
+};
+
+const StreamCounters& Counters() {
+  static const StreamCounters c = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    return StreamCounters{
+        .ingested = reg.GetCounter("stream.events_ingested"),
+        .late = reg.GetCounter("stream.events_late"),
+        .out_of_window = reg.GetCounter("stream.events_out_of_window"),
+        .orphaned = reg.GetCounter("stream.events_orphaned"),
+        .recomputed = reg.GetCounter("stream.vms_recomputed"),
+        .snapshots = reg.GetCounter("stream.snapshots"),
+        .watermark_ms = reg.GetGauge("stream.watermark_ms"),
+    };
+  }();
+  return c;
+}
 
 /// Content fingerprint of an event for distinct-received accounting. Any
 /// corruption (skewed time, flipped severity) changes the fingerprint, so
@@ -103,7 +136,10 @@ Status StreamingCdiEngine::RegisterVm(const VmServiceInfo& vm) {
 void StreamingCdiEngine::ObserveEventTime(TimePoint t) {
   if (max_event_time_ < t) max_event_time_ = t;
   const TimePoint candidate = max_event_time_ - options_.allowed_lateness;
-  if (watermark_ < candidate) watermark_ = candidate;
+  if (watermark_ < candidate) {
+    watermark_ = candidate;
+    Counters().watermark_ms->Set(static_cast<double>(watermark_.millis()));
+  }
 }
 
 Status StreamingCdiEngine::Ingest(const RawEvent& event) {
@@ -112,6 +148,7 @@ Status StreamingCdiEngine::Ingest(const RawEvent& event) {
     // Malformed input is diverted, not an error: the stream keeps flowing
     // and the affected VM's snapshot carries the degradation instead.
     quarantine_->Quarantine(event, *defect);
+    Counters().ingested->Increment();
     std::lock_guard<std::mutex> lock(*mu_);
     ++stats_.events_ingested;
     if (!event.target.empty()) {
@@ -122,6 +159,7 @@ Status StreamingCdiEngine::Ingest(const RawEvent& event) {
   }
   const Interval relevant(options_.window.start - kEventSearchMargin,
                           options_.window.end + kEventSearchMargin);
+  Counters().ingested->Increment();
   {
     std::lock_guard<std::mutex> lock(*mu_);
     ++stats_.events_ingested;
@@ -131,9 +169,13 @@ Status StreamingCdiEngine::Ingest(const RawEvent& event) {
     if (!relevant.Contains(event.time)) {
       // Can never intersect the window after resolution-time clamping.
       ++stats_.events_out_of_window;
+      Counters().out_of_window->Increment();
       return Status::OK();
     }
-    if (late) ++stats_.events_late;
+    if (late) {
+      ++stats_.events_late;
+      Counters().late->Increment();
+    }
   }
 
   Shard& shard = *shards_[ShardIndex(event.target)];
@@ -158,6 +200,7 @@ Status StreamingCdiEngine::Ingest(const RawEvent& event) {
     std::lock_guard<std::mutex> lock(*mu_);
     orphans_[event.target].push_back(event);
     ++stats_.events_orphaned;
+    Counters().orphaned->Increment();
   }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -192,7 +235,10 @@ Status StreamingCdiEngine::IngestBatch(const std::vector<RawEvent>& events) {
 
 void StreamingCdiEngine::AdvanceWatermarkTo(TimePoint t) {
   std::lock_guard<std::mutex> lock(*mu_);
-  if (watermark_ < t) watermark_ = t;
+  if (watermark_ < t) {
+    watermark_ = t;
+    Counters().watermark_ms->Set(static_cast<double>(watermark_.millis()));
+  }
 }
 
 void StreamingCdiEngine::ExpectDelivery(const std::string& target,
@@ -236,6 +282,7 @@ void StreamingCdiEngine::RecomputeVmLocked(Shard& shard, VmState& state) {
 }
 
 void StreamingCdiEngine::DrainDirty() {
+  TRACE_SPAN("stream.drain_dirty");
   struct Work {
     Shard* shard;
     std::string vm_id;
@@ -263,11 +310,13 @@ void StreamingCdiEngine::DrainDirty() {
     for (size_t i = 0; i < work.size(); ++i) recompute(i);
   }
 
+  Counters().recomputed->Add(work.size());
   std::lock_guard<std::mutex> lock(*mu_);
   stats_.vms_recomputed += work.size();
 }
 
 StatusOr<VmCdi> StreamingCdiEngine::FleetCdi() {
+  TRACE_SPAN("stream.fleet_cdi");
   DrainDirty();
   FleetCdiPartial total;
   for (auto& shard : shards_) {
@@ -278,6 +327,10 @@ StatusOr<VmCdi> StreamingCdiEngine::FleetCdi() {
 }
 
 StatusOr<DailyCdiResult> StreamingCdiEngine::Snapshot() {
+  TRACE_SPAN("stream.snapshot");
+  static obs::Histogram* snapshot_ns =
+      obs::MetricsRegistry::Global().GetHistogram("stream.snapshot_ns");
+  obs::ScopedTimer timer(snapshot_ns);
   DrainDirty();
 
   // Delivery shortfalls and quarantine counts per target, gathered before
@@ -365,12 +418,14 @@ StatusOr<DailyCdiResult> StreamingCdiEngine::Snapshot() {
                      std::tie(b.vm_id, b.event_name);
             });
 
+  Counters().snapshots->Increment();
   std::lock_guard<std::mutex> lock(*mu_);
   ++stats_.snapshots_taken;
   return result;
 }
 
 StreamCheckpoint StreamingCdiEngine::Checkpoint() const {
+  TRACE_SPAN("stream.checkpoint");
   StreamCheckpoint ckpt;
   ckpt.window = options_.window;
   {

@@ -1,0 +1,485 @@
+// Observability layer tests: lock-free metric correctness under concurrent
+// hammering (the TSan target in scripts/check.sh), histogram quantiles
+// against a sorted reference, registry handle semantics, scoped-span
+// recording/nesting, and structural validity of the Chrome-trace export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/statusz.h"
+#include "obs/trace.h"
+
+namespace cdibot {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validator (objects/arrays/strings/numbers/bools/null). Good
+// enough to prove the exporters emit well-formed JSON without a JSON
+// library in the build.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Validate() {
+    pos_ = 0;
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* lit) {
+    const size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool String() {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': {
+        ++pos_;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          SkipSpace();
+          if (!String()) return false;
+          SkipSpace();
+          if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+          ++pos_;
+          if (!Value()) return false;
+          SkipSpace();
+          if (pos_ >= text_.size()) return false;
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == '}') {
+            ++pos_;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '[': {
+        ++pos_;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          if (!Value()) return false;
+          SkipSpace();
+          if (pos_ >= text_.size()) return false;
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == ']') {
+            ++pos_;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Counters and gauges
+
+TEST(ObsCounterTest, ConcurrentHammeringIsExact) {
+  obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("obstest.hammer_counter");
+  const uint64_t before = counter->Value();
+
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter]() {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->Value() - before, kThreads * kPerThread);
+}
+
+TEST(ObsCounterTest, AddAccumulates) {
+  obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("obstest.add_counter");
+  const uint64_t before = counter->Value();
+  counter->Add(7);
+  counter->Add(35);
+  EXPECT_EQ(counter->Value() - before, 42u);
+}
+
+TEST(ObsGaugeTest, SetAndAdd) {
+  obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("obstest.gauge");
+  gauge->Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 2.5);
+  gauge->Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 1.5);
+  gauge->Set(0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(ObsHistogramTest, BucketLayoutInvariants) {
+  // Every value maps into a bucket whose [lower, next-lower) range holds it,
+  // and the relative bucket width stays within the 1/16 design error.
+  for (uint64_t v : {0ull, 1ull, 15ull, 16ull, 17ull, 100ull, 1023ull,
+                     1024ull, 65535ull, 1000000ull, (1ull << 40),
+                     (1ull << 62) + 12345}) {
+    const size_t idx = obs::Histogram::BucketIndex(v);
+    ASSERT_LT(idx, obs::Histogram::kNumBuckets) << v;
+    EXPECT_LE(obs::Histogram::BucketLowerBound(idx), v) << v;
+    if (idx + 1 < obs::Histogram::kNumBuckets) {
+      EXPECT_GT(obs::Histogram::BucketLowerBound(idx + 1), v) << v;
+    }
+  }
+  // Lower bounds are strictly increasing (no bucket is empty-ranged).
+  for (size_t i = 1; i < obs::Histogram::kNumBuckets; ++i) {
+    EXPECT_GT(obs::Histogram::BucketLowerBound(i),
+              obs::Histogram::BucketLowerBound(i - 1))
+        << i;
+  }
+}
+
+TEST(ObsHistogramTest, QuantilesMatchSortedReference) {
+  obs::Histogram* hist =
+      obs::MetricsRegistry::Global().GetHistogram("obstest.quantile_hist");
+  Rng rng(97);
+  std::vector<uint64_t> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform spread over ~6 decades, the shape of real latencies.
+    const double log_v = rng.Uniform(0.0, 6.0);
+    values.push_back(static_cast<uint64_t>(std::pow(10.0, log_v)));
+  }
+  for (uint64_t v : values) hist->Record(v);
+
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double expected = static_cast<double>(
+        values[static_cast<size_t>(q * static_cast<double>(values.size() - 1))]);
+    const double actual = hist->Quantile(q);
+    // Bucket resolution is 1/16 (6.25%) relative; allow a little slack for
+    // interpolation at the bucket edges.
+    EXPECT_NEAR(actual, expected, expected * 0.08)
+        << "q=" << q;
+  }
+  const auto snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, values.size());
+  EXPECT_EQ(snap.min, values.front());
+  EXPECT_EQ(snap.max, values.back());
+}
+
+TEST(ObsHistogramTest, ConcurrentRecordIsExact) {
+  obs::Histogram* hist =
+      obs::MetricsRegistry::Global().GetHistogram("obstest.hammer_hist");
+  const uint64_t count_before = hist->Count();
+
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist, t]() {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        hist->Record(static_cast<uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hist->Count() - count_before, kThreads * kPerThread);
+  EXPECT_EQ(hist->Snapshot().max, kThreads * kPerThread - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(ObsRegistryTest, HandlesAreStableAcrossReset) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Counter* c = reg.GetCounter("obstest.reset_counter");
+  c->Add(5);
+  reg.Reset();
+  // Same handle, zeroed value — cached function-local statics stay valid.
+  EXPECT_EQ(c, reg.GetCounter("obstest.reset_counter"));
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+TEST(ObsRegistryTest, KindMismatchReturnsNull) {
+  auto& reg = obs::MetricsRegistry::Global();
+  ASSERT_NE(reg.GetCounter("obstest.kind_probe"), nullptr);
+  EXPECT_EQ(reg.GetGauge("obstest.kind_probe"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("obstest.kind_probe"), nullptr);
+}
+
+TEST(ObsRegistryTest, SnapshotCarriesRegisteredMetrics) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("obstest.snap_counter")->Add(3);
+  reg.GetGauge("obstest.snap_gauge")->Set(1.25);
+  reg.GetHistogram("obstest.snap_hist")->Record(10);
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  auto find_counter = [&](const std::string& name) -> const obs::CounterSnapshot* {
+    for (const auto& c : snap.counters) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find_counter("obstest.snap_counter"), nullptr);
+  EXPECT_GE(find_counter("obstest.snap_counter")->value, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+class ObsTracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::Global().Clear();
+    obs::Tracer::Global().Enable();
+  }
+  void TearDown() override {
+    obs::Tracer::Global().Disable();
+    obs::Tracer::Global().Clear();
+  }
+};
+
+TEST_F(ObsTracerTest, DisabledTracerRecordsNothing) {
+  obs::Tracer::Global().Disable();
+  {
+    TRACE_SPAN("obstest.invisible");
+  }
+  EXPECT_TRUE(obs::Tracer::Global().CollectSpans().empty());
+}
+
+TEST_F(ObsTracerTest, NestedSpansRecordDepthAndContainment) {
+  {
+    TRACE_SPAN("obstest.outer");
+    {
+      TRACE_SPAN("obstest.inner");
+      {
+        TRACE_SPAN("obstest.leaf");
+      }
+    }
+    TRACE_SPAN("obstest.sibling");
+  }
+  const std::vector<obs::SpanRecord> spans =
+      obs::Tracer::Global().CollectSpans();
+  ASSERT_EQ(spans.size(), 4u);
+
+  auto find = [&](const std::string& name) -> const obs::SpanRecord* {
+    for (const auto& s : spans) {
+      if (name == s.name) return &s;
+    }
+    return nullptr;
+  };
+  const auto* outer = find("obstest.outer");
+  const auto* inner = find("obstest.inner");
+  const auto* leaf = find("obstest.leaf");
+  const auto* sibling = find("obstest.sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(leaf, nullptr);
+  ASSERT_NE(sibling, nullptr);
+
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_EQ(leaf->depth, 2u);
+  EXPECT_EQ(sibling->depth, 1u);
+
+  // Containment: children start no earlier and end no later than parents.
+  auto end = [](const obs::SpanRecord* s) { return s->start_ns + s->dur_ns; };
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(end(inner), end(outer));
+  EXPECT_GE(leaf->start_ns, inner->start_ns);
+  EXPECT_LE(end(leaf), end(inner));
+}
+
+TEST_F(ObsTracerTest, StatsAggregateByName) {
+  for (int i = 0; i < 5; ++i) {
+    TRACE_SPAN("obstest.repeated");
+  }
+  const auto stats = obs::Tracer::Global().StatsByName();
+  const auto it = std::find_if(
+      stats.begin(), stats.end(),
+      [](const obs::SpanStat& s) { return s.name == "obstest.repeated"; });
+  ASSERT_NE(it, stats.end());
+  EXPECT_EQ(it->count, 5u);
+  EXPECT_GE(it->total_ns, it->max_ns);
+}
+
+TEST_F(ObsTracerTest, ChromeTraceJsonIsValidAndNested) {
+  {
+    TRACE_SPAN("obstest.trace_outer");
+    TRACE_SPAN("obstest.trace_inner");
+  }
+  const std::string json = obs::Tracer::Global().ToChromeTraceJson();
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Validate()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("obstest.trace_outer"), std::string::npos);
+  EXPECT_NE(json.find("obstest.trace_inner"), std::string::npos);
+  // Golden structural property: the exporter sorts by start time with
+  // longer spans first on ties, so the outer span appears before the inner
+  // one — Perfetto renders parent-above-child from exactly this order.
+  EXPECT_LT(json.find("obstest.trace_outer"),
+            json.find("obstest.trace_inner"));
+}
+
+TEST_F(ObsTracerTest, ConcurrentSpansLandInPerThreadBuffers) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([]() {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TRACE_SPAN("obstest.mt_span");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto spans = obs::Tracer::Global().CollectSpans();
+  size_t mt_spans = 0;
+  for (const auto& s : spans) {
+    if (std::string("obstest.mt_span") == s.name) ++mt_spans;
+  }
+  EXPECT_EQ(mt_spans, static_cast<size_t>(kThreads) * kSpansPerThread);
+}
+
+TEST_F(ObsTracerTest, BufferCapDropsAreCounted) {
+  const uint64_t dropped_before = obs::Tracer::Global().dropped();
+  for (size_t i = 0; i < obs::Tracer::kMaxSpansPerThread + 100; ++i) {
+    TRACE_SPAN("obstest.flood");
+  }
+  EXPECT_GE(obs::Tracer::Global().dropped(), dropped_before + 100);
+}
+
+// ---------------------------------------------------------------------------
+// statusz
+
+TEST(ObsStatuszTest, RendersSubsystemsAndValidJson) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("alpha.one")->Increment();
+  reg.GetCounter("beta.two")->Increment();
+  reg.GetHistogram("gamma.lat_ns")->Record(1500000);
+
+  const obs::ObsSnapshot snap = obs::CaptureObsSnapshot();
+  EXPECT_GE(obs::SubsystemCount(snap), 3u);
+
+  const std::string text = obs::RenderStatuszText(snap);
+  EXPECT_NE(text.find("[alpha]"), std::string::npos);
+  EXPECT_NE(text.find("[beta]"), std::string::npos);
+  EXPECT_NE(text.find("[gamma]"), std::string::npos);
+  // "_ns" histograms are humanized to time units in the text renderer.
+  EXPECT_NE(text.find("ms"), std::string::npos);
+
+  const std::string json = obs::RenderStatuszJson(snap);
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Validate()) << json;
+  EXPECT_NE(json.find("\"alpha.one\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Rate-limited logging helpers
+
+TEST(ObsLoggingTest, LogEveryNFiresOnMultiples) {
+  std::atomic<uint64_t> counter{0};
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (internal_logging::LogEveryN(counter, 4)) ++fired;
+  }
+  // Fires on occurrences 1, 5, 9.
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(ObsLoggingTest, LogFirstNFiresExactlyNTimes) {
+  std::atomic<uint64_t> counter{0};
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (internal_logging::LogFirstN(counter, 3)) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(ObsLoggingTest, MacrosCompileAndLimit) {
+  // The macros wrap CDIBOT_LOG in a once-through for loop; this pins that
+  // they expand to valid statements in branchy contexts.
+  for (int i = 0; i < 5; ++i) {
+    if (i % 2 == 0) CDIBOT_LOG_EVERY_N(Info, 100) << "every-n " << i;
+    CDIBOT_LOG_FIRST_N(Info, 1) << "first-n " << i;
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cdibot
