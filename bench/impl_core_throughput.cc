@@ -130,8 +130,11 @@ void BM_DailyJob(benchmark::State& state) {
   const auto weights =
       EventWeightModel::Build(std::move(ticket_model).value(), {}).value();
   ThreadPool pool(std::thread::hardware_concurrency());
-  DailyCdiJob job(&log, &catalog, &weights,
-                  {.pool = &pool, .min_parallel_rows = 1});
+  DailyCdiJob job(DailyCdiJob::Options{.log = &log,
+                                       .catalog = &catalog,
+                                       .weights = &weights,
+                                       .pool = &pool,
+                                       .min_parallel_rows = 1});
   const auto vms = fleet.ServiceInfos(kDay).value();
 
   obs::Histogram* job_ns =

@@ -117,7 +117,8 @@ void BM_BatchRerun(benchmark::State& state) {
   const StreamFixture fx(static_cast<int>(state.range(0)));
   EventLog log;
   log.AppendBatch(fx.day_events);
-  DailyCdiJob job(&log, &fx.catalog, &fx.weights, {});
+  DailyCdiJob job(DailyCdiJob::Options{
+      .log = &log, .catalog = &fx.catalog, .weights = &fx.weights});
   obs::Histogram* rerun_ns =
       obs::MetricsRegistry::Global().GetHistogram("bench.batch_rerun_ns");
   for (auto _ : state) {

@@ -7,10 +7,7 @@
 //   4. run Algorithm 1 per category (ComputeVmCdi).
 #include <cstdio>
 
-#include "cdi/vm_cdi.h"
-#include "event/catalog.h"
-#include "event/period_resolver.h"
-#include "weights/event_weights.h"
+#include "cdibot.h"
 
 using namespace cdibot;
 

@@ -11,6 +11,7 @@
 #   SKIP_SAN=1 scripts/check.sh   # skip ASan/UBSan + TSan stages
 #   SKIP_CHAOS=1 scripts/check.sh # skip the standalone chaos stage
 #   SKIP_OBS=1 scripts/check.sh   # skip the observability stage
+#   SKIP_PERF=1 scripts/check.sh  # skip the throughput-regression stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,6 +66,43 @@ EOF
     echo "FAIL: disabled observability overhead ratio ${RATIO} > 1.15"
     exit 1
   }
+fi
+
+if [[ "${SKIP_PERF:-0}" == "1" ]]; then
+  echo "== perf stage skipped (SKIP_PERF=1) =="
+else
+  # Throughput-regression gate: both end-to-end benches against the
+  # committed baseline (bench/baseline.json, refreshed whenever a PR
+  # legitimately moves the numbers). Each benchmark's items_per_second
+  # must stay >= 0.85x its baseline — loose enough for shared-runner
+  # noise, tight enough that an accidental per-event allocation or a
+  # quadratic sneaking into the daily job fails the build rather than
+  # landing silently.
+  echo "== perf: core + streaming throughput vs bench/baseline.json =="
+  ./build/bench/impl_core_throughput --benchmark_min_time=0.2 >/dev/null 2>&1
+  ./build/bench/stream_throughput --benchmark_min_time=0.2 >/dev/null 2>&1
+  python3 - <<'EOF'
+import json, sys
+baseline = json.load(open("bench/baseline.json"))
+current = {}
+for f in ["BENCH_impl_core_throughput.json", "BENCH_stream_throughput.json"]:
+    for b in json.load(open(f))["benchmarks"]:
+        if "items_per_second" in b:
+            current[b["name"]] = b["items_per_second"]
+failed = False
+for name, base in sorted(baseline.items()):
+    now = current.get(name)
+    if now is None:
+        print(f"FAIL: benchmark {name} is in the baseline but did not run")
+        failed = True
+        continue
+    ratio = now / base
+    flag = "" if ratio >= 0.85 else "  <-- FAIL (< 0.85x baseline)"
+    print(f"   {name}: {now:,.0f} vs {base:,.0f} items/s ({ratio:.2f}x){flag}")
+    failed |= ratio < 0.85
+sys.exit(1 if failed else 0)
+EOF
+  rm -f BENCH_impl_core_throughput.json BENCH_stream_throughput.json
 fi
 
 if [[ "${SKIP_SAN:-0}" == "1" ]]; then

@@ -7,15 +7,17 @@ namespace {
 
 constexpr double kMillisPerYear = 365.0 * 86400.0 * 1000.0;
 
-}  // namespace
-
-StatusOr<UnavailabilityStats> ComputeUnavailabilityStats(
-    const std::vector<ResolvedEvent>& events, const Interval& service_period) {
+// ResolvedEvent and ResolvedEventView both expose `.category` and
+// `.period`, which is all the classic metrics need; one shared template
+// keeps the owning and zero-copy overloads bit-identical.
+template <typename Event>
+StatusOr<UnavailabilityStats> ComputeUnavailabilityStatsImpl(
+    const std::vector<Event>& events, const Interval& service_period) {
   if (service_period.empty()) {
     return Status::InvalidArgument("service period must be non-empty");
   }
   std::vector<Interval> episodes;
-  for (const ResolvedEvent& ev : events) {
+  for (const Event& ev : events) {
     if (ev.category != StabilityCategory::kUnavailability) continue;
     const Interval clamped = ev.period.ClampTo(service_period);
     if (!clamped.empty()) episodes.push_back(clamped);
@@ -55,6 +57,19 @@ StatusOr<UnavailabilityStats> ComputeUnavailabilityStats(
                    : Duration::Millis(down.millis() /
                                       static_cast<int64_t>(merged.size()));
   return stats;
+}
+
+}  // namespace
+
+StatusOr<UnavailabilityStats> ComputeUnavailabilityStats(
+    const std::vector<ResolvedEvent>& events, const Interval& service_period) {
+  return ComputeUnavailabilityStatsImpl(events, service_period);
+}
+
+StatusOr<UnavailabilityStats> ComputeUnavailabilityStats(
+    const std::vector<ResolvedEventView>& events,
+    const Interval& service_period) {
+  return ComputeUnavailabilityStatsImpl(events, service_period);
 }
 
 void UnavailabilityPartial::AddVm(const UnavailabilityStats& vm,

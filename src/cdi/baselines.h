@@ -1,11 +1,13 @@
 #ifndef CDIBOT_CDI_BASELINES_H_
 #define CDIBOT_CDI_BASELINES_H_
 
+#include <initializer_list>
 #include <vector>
 
 #include "common/statusor.h"
 #include "common/time.h"
 #include "event/event.h"
+#include "event/event_view.h"
 
 namespace cdibot {
 
@@ -36,6 +38,22 @@ struct UnavailabilityStats {
 /// events are ignored — by construction, mirroring industry practice.
 StatusOr<UnavailabilityStats> ComputeUnavailabilityStats(
     const std::vector<ResolvedEvent>& events, const Interval& service_period);
+
+/// Zero-copy overload over resolved-event views. Shares one implementation
+/// with the owning overload, so identical (category, period) sequences
+/// yield bit-identical stats.
+StatusOr<UnavailabilityStats> ComputeUnavailabilityStats(
+    const std::vector<ResolvedEventView>& events,
+    const Interval& service_period);
+
+/// Braced-list convenience (`ComputeUnavailabilityStats({}, day)`): without
+/// it an empty list is ambiguous between the owning and view overloads.
+inline StatusOr<UnavailabilityStats> ComputeUnavailabilityStats(
+    std::initializer_list<ResolvedEvent> events,
+    const Interval& service_period) {
+  return ComputeUnavailabilityStats(std::vector<ResolvedEvent>(events),
+                                    service_period);
+}
 
 /// Mergeable partial form of the classic-metrics fleet rollup: episode
 /// counts, downtime, and service time are plain sums, so per-shard partials

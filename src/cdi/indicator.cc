@@ -8,12 +8,17 @@
 namespace cdibot {
 namespace {
 
-Status ValidateInputs(const std::vector<WeightedEvent>& events,
+// WeightedEvent and WeightedEventView both expose `.period` and `.weight`;
+// templating keeps the owning and zero-copy entry points on one
+// implementation, so identical (period, weight) sequences produce
+// bit-identical results regardless of which container carried them.
+template <typename Event>
+Status ValidateInputs(const std::vector<Event>& events,
                       const Interval& service_period) {
   if (service_period.empty()) {
     return Status::InvalidArgument("service period must be non-empty");
   }
-  for (const WeightedEvent& ev : events) {
+  for (const Event& ev : events) {
     if (ev.weight < 0.0 || !std::isfinite(ev.weight)) {
       return Status::InvalidArgument("event weight must be finite and >= 0");
     }
@@ -23,8 +28,9 @@ Status ValidateInputs(const std::vector<WeightedEvent>& events,
 
 // Computes integral over the service period of the per-instant maximum
 // weight, in milliseconds-weight units.
-StatusOr<double> MaxOverlapIntegralMillis(
-    const std::vector<WeightedEvent>& events, const Interval& service_period) {
+template <typename Event>
+StatusOr<double> MaxOverlapIntegralMillis(const std::vector<Event>& events,
+                                          const Interval& service_period) {
   CDIBOT_RETURN_IF_ERROR(ValidateInputs(events, service_period));
 
   // Clamp and drop empty.
@@ -35,7 +41,7 @@ StatusOr<double> MaxOverlapIntegralMillis(
   };
   std::vector<Seg> segs;
   segs.reserve(events.size());
-  for (const WeightedEvent& ev : events) {
+  for (const Event& ev : events) {
     const Interval clamped = ev.period.ClampTo(service_period);
     if (clamped.empty() || ev.weight == 0.0) continue;
     segs.push_back(
@@ -87,8 +93,24 @@ StatusOr<double> ComputeCdi(const std::vector<WeightedEvent>& events,
          static_cast<double>(service_period.length().millis());
 }
 
+StatusOr<double> ComputeCdi(const std::vector<WeightedEventView>& events,
+                            const Interval& service_period) {
+  CDIBOT_ASSIGN_OR_RETURN(const double integral,
+                          MaxOverlapIntegralMillis(events, service_period));
+  return integral /
+         static_cast<double>(service_period.length().millis());
+}
+
 StatusOr<double> ComputeDamageMinutes(
     const std::vector<WeightedEvent>& events, const Interval& service_period) {
+  CDIBOT_ASSIGN_OR_RETURN(const double integral,
+                          MaxOverlapIntegralMillis(events, service_period));
+  return integral / 60000.0;
+}
+
+StatusOr<double> ComputeDamageMinutes(
+    const std::vector<WeightedEventView>& events,
+    const Interval& service_period) {
   CDIBOT_ASSIGN_OR_RETURN(const double integral,
                           MaxOverlapIntegralMillis(events, service_period));
   return integral / 60000.0;

@@ -1,11 +1,13 @@
 #ifndef CDIBOT_CDI_INDICATOR_H_
 #define CDIBOT_CDI_INDICATOR_H_
 
+#include <initializer_list>
 #include <vector>
 
 #include "common/statusor.h"
 #include "common/time.h"
 #include "event/event.h"
+#include "event/event_view.h"
 
 namespace cdibot {
 
@@ -24,6 +26,19 @@ namespace cdibot {
 /// ignored. Requires a non-empty service period and weights >= 0.
 StatusOr<double> ComputeCdi(const std::vector<WeightedEvent>& events,
                             const Interval& service_period);
+
+/// Zero-copy overload: same sweep over WeightedEventViews. Both overloads
+/// instantiate one shared implementation, so identical (period, weight)
+/// sequences yield bit-identical results.
+StatusOr<double> ComputeCdi(const std::vector<WeightedEventView>& events,
+                            const Interval& service_period);
+
+/// Braced-list convenience (`ComputeCdi({}, day)`): without it an empty
+/// list is ambiguous between the owning and view overloads.
+inline StatusOr<double> ComputeCdi(std::initializer_list<WeightedEvent> events,
+                                   const Interval& service_period) {
+  return ComputeCdi(std::vector<WeightedEvent>(events), service_period);
+}
 
 /// The literal Algorithm 1: materializes a per-minute weight array
 /// W[T_s..T_e], takes per-slot maxima, and averages. Time and memory are
@@ -45,6 +60,19 @@ StatusOr<double> ComputeCdiSumOverlap(const std::vector<WeightedEvent>& events,
 /// for event-level drill-down tables, which store per-event damage.
 StatusOr<double> ComputeDamageMinutes(const std::vector<WeightedEvent>& events,
                                       const Interval& service_period);
+
+/// Zero-copy overload (see ComputeCdi note on bit-identity).
+StatusOr<double> ComputeDamageMinutes(
+    const std::vector<WeightedEventView>& events,
+    const Interval& service_period);
+
+/// Braced-list convenience (see ComputeCdi).
+inline StatusOr<double> ComputeDamageMinutes(
+    std::initializer_list<WeightedEvent> events,
+    const Interval& service_period) {
+  return ComputeDamageMinutes(std::vector<WeightedEvent>(events),
+                              service_period);
+}
 
 }  // namespace cdibot
 

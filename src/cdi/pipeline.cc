@@ -1,5 +1,6 @@
 #include "cdi/pipeline.h"
 
+#include <algorithm>
 #include <set>
 
 #include "cdi/indicator.h"
@@ -52,75 +53,105 @@ dataflow::Table DailyCdiResult::ToEventTable() const {
   return table;
 }
 
-Status ComputeVmDailyCdi(std::vector<RawEvent> raw, const VmServiceInfo& vm,
-                         const Interval& day, const PeriodResolver& resolver,
-                         const EventWeightModel& weights, VmDailyOutput* out,
-                         chaos::QuarantineSink* quarantine) {
+StatusOr<VmDailyOutput> ComputeVmDailyCdi(const EventSpan& events,
+                                          const VmServiceInfo& vm,
+                                          const Interval& day,
+                                          const PeriodResolver& resolver,
+                                          const EventWeightModel& weights,
+                                          chaos::QuarantineSink* quarantine,
+                                          VmDailyError* error) {
   TRACE_SPAN("cdi.compute_vm");
   static obs::Histogram* vm_compute_ns =
       obs::MetricsRegistry::Global().GetHistogram("cdi.vm_compute_ns");
   obs::ScopedTimer timer(vm_compute_ns);
-  *out = VmDailyOutput{};
+  VmDailyOutput out;
+  // On failure, the counters of the stages that ran move into the error
+  // payload so the caller can still aggregate them.
+  auto fail = [&](const Status& st) {
+    if (error != nullptr) {
+      error->status = st;
+      error->resolve_stats = out.resolve_stats;
+      error->quality = out.quality;
+    }
+    return st;
+  };
   const Interval service = vm.service_period.ClampTo(day);
   if (service.empty()) {
-    out->skipped = true;
-    return Status::OK();
+    out.skipped = true;
+    return out;
   }
 
   // Sanitize at the edge: a structurally broken event is diverted once,
   // here, instead of failing an arbitrary downstream stage (one bad
   // severity ordinal used to abort the whole VM's day inside
-  // AttachWeights). The surviving events proceed normally and the VM's
-  // output carries the accounting.
-  size_t kept = 0;
-  for (size_t i = 0; i < raw.size(); ++i) {
-    const auto reason = chaos::ValidateRawEvent(raw[i]);
+  // AttachWeights). The survivors stay non-owning refs — a malformed
+  // event is only materialized if it is actually diverted.
+  std::vector<EventRef> kept;
+  kept.reserve(events.UpperBound());
+  events.ForEach([&](const EventRef& ev) {
+    const auto reason = chaos::ValidateEventView(ev);
     if (reason.has_value()) {
-      ++out->quality.events_quarantined;
-      if (quarantine != nullptr) quarantine->Quarantine(raw[i], *reason);
-      continue;
+      ++out.quality.events_quarantined;
+      if (quarantine != nullptr) {
+        quarantine->Quarantine(ev.Materialize(), *reason);
+      }
+      return;
     }
-    if (kept != i) raw[kept] = std::move(raw[i]);  // no self-move
-    ++kept;
-  }
-  raw.resize(kept);
-  out->quality.Refresh();
+    kept.push_back(ev);
+  });
+  out.quality.Refresh();
 
-  auto resolved_or =
-      resolver.Resolve(std::move(raw), service, &out->resolve_stats);
-  if (!resolved_or.ok()) return resolved_or.status();
-  const std::vector<ResolvedEvent>& resolved = resolved_or.value();
+  auto resolved_or = resolver.ResolveRefs(kept, service, &out.resolve_stats);
+  if (!resolved_or.ok()) return fail(resolved_or.status());
+  const std::vector<ResolvedEventView>& resolved = resolved_or.value();
 
   auto weighted_or = AttachWeights(resolved, weights);
-  if (!weighted_or.ok()) return weighted_or.status();
-  const std::vector<WeightedEvent>& weighted = weighted_or.value();
+  if (!weighted_or.ok()) return fail(weighted_or.status());
+  const std::vector<WeightedEventView>& weighted = weighted_or.value();
 
   auto cdi_or = ComputeVmCdi(weighted, service);
-  if (!cdi_or.ok()) return cdi_or.status();
-  out->record = VmCdiRecord{.vm_id = vm.vm_id,
-                            .dims = vm.dims,
-                            .cdi = cdi_or.value(),
-                            .quality = out->quality};
+  if (!cdi_or.ok()) return fail(cdi_or.status());
+  out.record = VmCdiRecord{.vm_id = vm.vm_id,
+                           .dims = vm.dims,
+                           .cdi = cdi_or.value(),
+                           .quality = out.quality};
 
   auto baseline_or = ComputeUnavailabilityStats(resolved, service);
-  if (!baseline_or.ok()) return baseline_or.status();
-  out->baseline = baseline_or.value();
+  if (!baseline_or.ok()) return fail(baseline_or.status());
+  out.baseline = baseline_or.value();
 
-  // Event-level rows: damage of each event name in isolation.
-  std::map<std::string, std::vector<WeightedEvent>> by_name;
-  for (const WeightedEvent& ev : weighted) by_name[ev.name].push_back(ev);
-  for (const auto& [name, evs] : by_name) {
-    auto damage_or = ComputeDamageMinutes(evs, service);
-    if (!damage_or.ok()) return damage_or.status();
-    if (damage_or.value() <= 0.0) continue;
-    out->events.push_back(EventCdiRecord{.vm_id = vm.vm_id,
-                                         .event_name = name,
-                                         .category = evs.front().category,
-                                         .damage_minutes = damage_or.value(),
-                                         .service_time = service.length(),
-                                         .dims = vm.dims});
+  // Event-level rows: damage of each event name in isolation. Rows are
+  // emitted in lexicographic name order — the iteration order of the
+  // std::map the pre-view implementation grouped by — so the redesign
+  // cannot reorder output tables.
+  const StringInterner& interner = GlobalInterner();
+  std::vector<uint32_t> names;
+  for (const WeightedEventView& ev : weighted) {
+    if (std::find(names.begin(), names.end(), ev.name_id) == names.end()) {
+      names.push_back(ev.name_id);
+    }
   }
-  return Status::OK();
+  std::sort(names.begin(), names.end(), [&](uint32_t a, uint32_t b) {
+    return interner.NameOf(a) < interner.NameOf(b);
+  });
+  std::vector<WeightedEventView> group;
+  for (const uint32_t name_id : names) {
+    group.clear();
+    for (const WeightedEventView& ev : weighted) {
+      if (ev.name_id == name_id) group.push_back(ev);
+    }
+    auto damage_or = ComputeDamageMinutes(group, service);
+    if (!damage_or.ok()) return fail(damage_or.status());
+    if (damage_or.value() <= 0.0) continue;
+    out.events.push_back(
+        EventCdiRecord{.vm_id = vm.vm_id,
+                       .event_name = std::string(interner.NameOf(name_id)),
+                       .category = group.front().category,
+                       .damage_minutes = damage_or.value(),
+                       .service_time = service.length(),
+                       .dims = vm.dims});
+  }
+  return out;
 }
 
 StatusOr<DailyCdiResult> DailyCdiJob::Run(
@@ -140,6 +171,8 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
     Status error;
     /// The undecorated failure reason, for distinct-reason sampling.
     std::string reason;
+    /// Partial counters of a failed computation.
+    VmDailyError verr;
   };
   std::vector<VmSlot> slots(vms.size());
 
@@ -151,20 +184,27 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
       slot.out.skipped = true;
       return;
     }
-    const Interval search(service.start - kEventSearchMargin,
-                          service.end + kEventSearchMargin);
-    std::vector<RawEvent> raw = log_->SearchTarget(search, vm.vm_id);
-    Status st = ComputeVmDailyCdi(std::move(raw), vm, day, resolver,
-                                  *weights_, &slot.out, quarantine_);
-    if (!st.ok()) {
+    // The zero-copy read path: a VM never appended to the log was never
+    // interned, so Lookup yields kInvalidId and Query an empty span —
+    // no fallback string search needed.
+    const EventSpan span =
+        log_->Query(EventQuery{.interval = service,
+                               .target_id = GlobalInterner().Lookup(vm.vm_id),
+                               .margin = kEventSearchMargin});
+    auto out_or = ComputeVmDailyCdi(span, vm, day, resolver, *weights_,
+                                    quarantine_, &slot.verr);
+    if (out_or.ok()) {
+      slot.out = std::move(out_or).value();
+    } else {
       slot.failed = true;
-      slot.reason = st.ToString();
+      slot.reason = out_or.status().ToString();
       slot.error = Status::Internal("vm " + vm.vm_id + ": " + slot.reason);
     }
   };
 
-  if (ctx_.pool != nullptr && vms.size() > 1) {
-    ctx_.pool->ParallelFor(vms.size(), process_vm);
+  if (pool_ != nullptr && vms.size() > 1 &&
+      vms.size() >= min_parallel_rows_) {
+    pool_->ParallelFor(vms.size(), process_vm);
   } else {
     for (size_t i = 0; i < vms.size(); ++i) process_vm(i);
   }
@@ -176,8 +216,8 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
   for (VmSlot& slot : slots) {
     if (slot.failed) {
       ++result.vms_failed;
-      result.resolve_stats.Merge(slot.out.resolve_stats);
-      result.quality.Merge(slot.out.quality);
+      result.resolve_stats.Merge(slot.verr.resolve_stats);
+      result.quality.Merge(slot.verr.quality);
       if (result.first_vm_error.ok()) result.first_vm_error = slot.error;
       if (result.vm_error_samples.size() <
               DailyCdiResult::kMaxVmErrorSamples &&

@@ -9,6 +9,7 @@
 #include "cdi/drilldown.h"
 #include "chaos/quarantine.h"
 #include "common/statusor.h"
+#include "common/thread_pool.h"
 #include "dataflow/engine.h"
 #include "event/catalog.h"
 #include "event/period_resolver.h"
@@ -49,20 +50,46 @@ struct VmDailyOutput {
   bool skipped = false;
 };
 
-/// Runs the full per-VM slice of the daily job: clamps the service window
-/// into `day`, sanitizes `raw` (structurally malformed events are diverted
-/// to quarantine and counted in out->quality instead of failing the VM),
-/// resolves the survivors (which must cover at least the service window
+/// Partial-failure payload of ComputeVmDailyCdi: when the computation
+/// fails mid-stage, the counters describing the work that DID run land
+/// here, so callers can still account for data quality (the old contract
+/// left them inside a half-filled out-param; the StatusOr return needs an
+/// explicit home for them).
+struct VmDailyError {
+  Status status;
+  /// Resolver counters of the stages that ran before the failure.
+  ResolveStats resolve_stats;
+  /// Input-integrity counters accumulated before the failure.
+  DataQuality quality;
+};
+
+/// Runs the full per-VM slice of the daily job over a zero-copy event
+/// span (typically EventLog::Query(..) or the streaming engine's
+/// retention buffer): clamps the service window into `day`, sanitizes the
+/// span (structurally malformed events are diverted to quarantine and
+/// counted in the output's quality instead of failing the VM), resolves
+/// the survivors (the span must cover at least the service window
 /// extended by kEventSearchMargin), attaches weights, computes the three
-/// indicators, the baseline stats, and the per-event damage rows. On
-/// failure `out` keeps whatever was computed before the failing stage — in
-/// particular out->resolve_stats — so callers can still account for the
-/// data quality of work that actually ran. `quarantine`, when non-null,
-/// additionally receives every diverted event for fleet-level accounting.
-Status ComputeVmDailyCdi(std::vector<RawEvent> raw, const VmServiceInfo& vm,
-                         const Interval& day, const PeriodResolver& resolver,
-                         const EventWeightModel& weights, VmDailyOutput* out,
-                         chaos::QuarantineSink* quarantine = nullptr);
+/// indicators, the baseline stats, and the per-event damage rows.
+///
+/// On success the full VmDailyOutput is returned by value. On failure the
+/// error status is returned and — when `error` is non-null — the partial
+/// counters of the stages that ran are preserved in `*error`.
+/// `quarantine`, when non-null, additionally receives every diverted
+/// event for fleet-level accounting.
+///
+/// The hot path is allocation-light by design: events are consumed as
+/// EventRefs, resolution and weighting run on interned ids, and an
+/// event-free VM computes without touching the heap at all (pinned by
+/// tests/alloc_regression_test.cc).
+StatusOr<VmDailyOutput> ComputeVmDailyCdi(const EventSpan& events,
+                                          const VmServiceInfo& vm,
+                                          const Interval& day,
+                                          const PeriodResolver& resolver,
+                                          const EventWeightModel& weights,
+                                          chaos::QuarantineSink* quarantine =
+                                              nullptr,
+                                          VmDailyError* error = nullptr);
 
 /// Full output of one daily CDI computation — the two MaxCompute tables of
 /// Sec. V plus fleet-level aggregates and the classic baselines for
@@ -116,14 +143,39 @@ struct DailyCdiResult {
 /// ExecContext's pool (the Spark-executor stand-in).
 class DailyCdiJob {
  public:
-  /// All referenced objects must outlive the job.
+  /// Everything a job borrows, in one place. All referenced objects must
+  /// outlive the job; `log`, `catalog` and `weights` are required.
+  struct Options {
+    const EventLog* log = nullptr;
+    const EventCatalog* catalog = nullptr;
+    const EventWeightModel* weights = nullptr;
+    /// Worker pool for per-VM parallelism (the Spark-executor stand-in);
+    /// nullptr runs VMs serially.
+    ThreadPool* pool = nullptr;
+    /// Below this VM count the job stays single-threaded even with a pool
+    /// (task overhead dominates otherwise). Mirrors
+    /// dataflow::ExecContext::min_parallel_rows.
+    size_t min_parallel_rows = 2;
+    /// Optional fleet-level sink for events the per-VM sanitation diverts.
+    chaos::QuarantineSink* quarantine = nullptr;
+  };
+
+  explicit DailyCdiJob(const Options& options)
+      : log_(options.log),
+        catalog_(options.catalog),
+        weights_(options.weights),
+        pool_(options.pool),
+        min_parallel_rows_(options.min_parallel_rows),
+        quarantine_(options.quarantine) {}
+
+  /// Compatibility constructor predating Options; prefer
+  /// DailyCdiJob(Options{...}), which can also wire a quarantine sink.
   DailyCdiJob(const EventLog* log, const EventCatalog* catalog,
               const EventWeightModel* weights, dataflow::ExecContext ctx)
-      : log_(log), catalog_(catalog), weights_(weights), ctx_(ctx) {}
-
-  /// Optional fleet-level sink for events the per-VM sanitation diverts.
-  /// Borrowed; must outlive Run.
-  void set_quarantine(chaos::QuarantineSink* sink) { quarantine_ = sink; }
+      : DailyCdiJob(Options{.log = log,
+                            .catalog = catalog,
+                            .weights = weights,
+                            .pool = ctx.pool}) {}
 
   /// Runs the job for `vms` over the evaluation window `day` (typically one
   /// UTC day; any window works). Service periods are clamped into `day`.
@@ -138,8 +190,9 @@ class DailyCdiJob {
   const EventLog* log_;
   const EventCatalog* catalog_;
   const EventWeightModel* weights_;
-  dataflow::ExecContext ctx_;
-  chaos::QuarantineSink* quarantine_ = nullptr;
+  ThreadPool* pool_;
+  size_t min_parallel_rows_;
+  chaos::QuarantineSink* quarantine_;
 };
 
 }  // namespace cdibot

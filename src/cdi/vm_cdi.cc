@@ -19,13 +19,33 @@ StatusOr<std::vector<WeightedEvent>> AttachWeights(
   return out;
 }
 
-StatusOr<VmCdi> ComputeVmCdi(const std::vector<WeightedEvent>& events,
-                             const Interval& service_period) {
+StatusOr<std::vector<WeightedEventView>> AttachWeights(
+    const std::vector<ResolvedEventView>& events,
+    const EventWeightModel& model) {
+  std::vector<WeightedEventView> out;
+  out.reserve(events.size());
+  for (const ResolvedEventView& ev : events) {
+    CDIBOT_ASSIGN_OR_RETURN(const double w, model.WeightFor(ev));
+    out.push_back(WeightedEventView{.period = ev.period,
+                                    .weight = w,
+                                    .name_id = ev.name_id,
+                                    .category = ev.category});
+  }
+  return out;
+}
+
+namespace {
+
+// The category split + per-category Algorithm 1, shared by the owning and
+// zero-copy overloads (both event types expose `.category`).
+template <typename Event>
+StatusOr<VmCdi> ComputeVmCdiImpl(const std::vector<Event>& events,
+                                 const Interval& service_period) {
   if (service_period.empty()) {
     return Status::InvalidArgument("service period must be non-empty");
   }
-  std::vector<WeightedEvent> by_cat[kNumStabilityCategories];
-  for (const WeightedEvent& ev : events) {
+  std::vector<Event> by_cat[kNumStabilityCategories];
+  for (const Event& ev : events) {
     by_cat[static_cast<int>(ev.category)].push_back(ev);
   }
   VmCdi result;
@@ -43,6 +63,18 @@ StatusOr<VmCdi> ComputeVmCdi(const std::vector<WeightedEvent>& events,
       ComputeCdi(by_cat[static_cast<int>(StabilityCategory::kControlPlane)],
                  service_period));
   return result;
+}
+
+}  // namespace
+
+StatusOr<VmCdi> ComputeVmCdi(const std::vector<WeightedEvent>& events,
+                             const Interval& service_period) {
+  return ComputeVmCdiImpl(events, service_period);
+}
+
+StatusOr<VmCdi> ComputeVmCdi(const std::vector<WeightedEventView>& events,
+                             const Interval& service_period) {
+  return ComputeVmCdiImpl(events, service_period);
 }
 
 StatusOr<VmCdi> ComputeVmCdi(const std::vector<ResolvedEvent>& events,

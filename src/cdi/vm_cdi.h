@@ -6,6 +6,7 @@
 #include "common/statusor.h"
 #include "common/time.h"
 #include "event/event.h"
+#include "event/event_view.h"
 #include "weights/event_weights.h"
 
 namespace cdibot {
@@ -42,11 +43,22 @@ struct VmCdi {
 StatusOr<std::vector<WeightedEvent>> AttachWeights(
     const std::vector<ResolvedEvent>& events, const EventWeightModel& model);
 
+/// Zero-copy twin: attaches weights to resolved-event views without
+/// copying any strings. The weight arithmetic is shared with the owning
+/// path, so identical event sequences get bit-identical weights.
+StatusOr<std::vector<WeightedEventView>> AttachWeights(
+    const std::vector<ResolvedEventView>& events,
+    const EventWeightModel& model);
+
 /// Computes the three sub-metrics for one VM: splits `events` by category and
 /// runs Algorithm 1 per category over `service_period` (Sec. IV-A: "the
 /// calculation process for each is identical, and the only difference lies in
 /// the specific events they rely on").
 StatusOr<VmCdi> ComputeVmCdi(const std::vector<WeightedEvent>& events,
+                             const Interval& service_period);
+
+/// Zero-copy overload over weighted views (same per-category Algorithm 1).
+StatusOr<VmCdi> ComputeVmCdi(const std::vector<WeightedEventView>& events,
                              const Interval& service_period);
 
 /// Convenience: resolve weights then compute.

@@ -1,0 +1,44 @@
+#ifndef CDIBOT_CDIBOT_H_
+#define CDIBOT_CDIBOT_H_
+
+/// Umbrella header: the library's public surface in one include.
+///
+/// Applications embedding the CDI pipeline include this and nothing else;
+/// the per-module headers below remain the real API and can still be
+/// included individually by code that wants a narrower dependency (the
+/// library's own sources never include the umbrella).
+///
+/// What it covers, in data-plane order:
+///  * the zero-copy event plane — interner, SoA rows, refs/spans
+///    (common/interner.h, event/event_view.h),
+///  * event description and period resolution (event/catalog.h,
+///    event/period_resolver.h),
+///  * the event weight model of Eqs. 1-3 (weights/event_weights.h),
+///  * the per-VM and fleet CDI math of Algorithm 1 (cdi/vm_cdi.h,
+///    cdi/indicator.h, cdi/baselines.h, cdi/aggregate.h),
+///  * the batch job, event log, and streaming engine (cdi/pipeline.h,
+///    storage/event_log.h, stream/streaming_engine.h),
+///  * the daily watchdog and drill-down history (cdi/monitor.h),
+///  * input sanitation / quarantine (chaos/quarantine.h),
+///  * process observability — metrics, traces, statusz (obs/statusz.h).
+#include "cdi/aggregate.h"
+#include "cdi/baselines.h"
+#include "cdi/indicator.h"
+#include "cdi/monitor.h"
+#include "cdi/pipeline.h"
+#include "cdi/vm_cdi.h"
+#include "chaos/quarantine.h"
+#include "common/interner.h"
+#include "common/statusor.h"
+#include "common/thread_pool.h"
+#include "common/time.h"
+#include "event/catalog.h"
+#include "event/event.h"
+#include "event/event_view.h"
+#include "event/period_resolver.h"
+#include "obs/statusz.h"
+#include "storage/event_log.h"
+#include "stream/streaming_engine.h"
+#include "weights/event_weights.h"
+
+#endif  // CDIBOT_CDIBOT_H_

@@ -77,6 +77,28 @@ std::optional<QuarantineReason> ValidateRawEvent(const RawEvent& event) {
   return std::nullopt;
 }
 
+std::optional<QuarantineReason> ValidateEventView(const EventRef& event) {
+  if (event.name().empty()) return QuarantineReason::kEmptyName;
+  if (event.target().empty()) return QuarantineReason::kEmptyTarget;
+  const int level = event.level_ordinal();
+  if (level < 1 || level > kNumSeverityLevels) {
+    return QuarantineReason::kBadSeverity;
+  }
+  if (event.expire_ms() < 0) return QuarantineReason::kNegativeExpire;
+  // Canonical rows encode either a valid duration_ms or none at all, so
+  // only overflow rows (verbatim attrs) can carry a bad one. Overflow rows
+  // are about to be quarantined anyway, so the map lookup is off the hot
+  // path.
+  if (event.has_extra_attrs()) {
+    const auto& attrs = event.rows()->extra_attrs(event.row());
+    if (attrs.count("duration_ms") > 0 &&
+        event.LoggedDurationMsOrNeg() < 0) {
+      return QuarantineReason::kBadDurationAttr;
+    }
+  }
+  return std::nullopt;
+}
+
 void QuarantineSink::Quarantine(const RawEvent& event,
                                 QuarantineReason reason) {
   QuarantineTotalCounter().Increment();

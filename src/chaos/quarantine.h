@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "event/event.h"
+#include "event/event_view.h"
 
 namespace cdibot::chaos {
 
@@ -38,6 +39,12 @@ std::string_view QuarantineReasonToString(QuarantineReason reason);
 /// failing an arbitrary later stage (the pre-quarantine behavior was that
 /// one bad severity ordinal aborted the whole VM's daily CDI).
 std::optional<QuarantineReason> ValidateRawEvent(const RawEvent& event);
+
+/// Zero-copy twin of ValidateRawEvent: same checks in the same order
+/// against an event view, without materializing the event. For every
+/// possible event the two return the same reason (or both none), so the
+/// view-based pipeline quarantines exactly what the owning one did.
+std::optional<QuarantineReason> ValidateEventView(const EventRef& event);
 
 /// Thread-safe sink for malformed inputs: counts per reason and per target,
 /// and keeps a capped sample of the offending events for debugging. The

@@ -22,10 +22,20 @@ Status EventCatalog::Register(EventSpec spec) {
   }
   const size_t idx = specs_.size();
   index_[spec.name] = idx;
+  // Intern every name the spec answers to, so the view-path resolver can
+  // go from an event's interned name id straight to its spec.
+  SpecIds ids;
+  ids.name_id = GlobalInterner().Intern(spec.name);
+  id_index_[ids.name_id] = idx;
   if (spec.period_kind == PeriodKind::kStateful) {
     index_[spec.start_detail] = idx;
     index_[spec.end_detail] = idx;
+    ids.start_detail_id = GlobalInterner().Intern(spec.start_detail);
+    ids.end_detail_id = GlobalInterner().Intern(spec.end_detail);
+    id_index_[ids.start_detail_id] = idx;
+    id_index_[ids.end_detail_id] = idx;
   }
+  ids_.push_back(ids);
   specs_.push_back(std::move(spec));
   return Status::OK();
 }
@@ -36,6 +46,20 @@ StatusOr<EventSpec> EventCatalog::Find(const std::string& name) const {
     return Status::NotFound("unknown event: " + name);
   }
   return specs_[it->second];
+}
+
+std::optional<EventCatalog::SpecHandle> EventCatalog::FindHandle(
+    std::string_view name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return HandleAt(it->second);
+}
+
+std::optional<EventCatalog::SpecHandle> EventCatalog::FindHandleById(
+    uint32_t name_id) const {
+  auto it = id_index_.find(name_id);
+  if (it == id_index_.end()) return std::nullopt;
+  return HandleAt(it->second);
 }
 
 bool EventCatalog::Contains(const std::string& name) const {

@@ -1,10 +1,15 @@
 #ifndef CDIBOT_EVENT_CATALOG_H_
 #define CDIBOT_EVENT_CATALOG_H_
 
+#include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/statusor.h"
 #include "common/time.h"
 #include "event/event.h"
@@ -59,6 +64,26 @@ class EventCatalog {
   /// (start/end) resolve to their parent spec.
   StatusOr<EventSpec> Find(const std::string& name) const;
 
+  /// A borrowed, allocation-free view of one registered spec together with
+  /// its interned ids (GlobalInterner): the parent name id plus the
+  /// start/end detail ids for stateful specs (kInvalidId otherwise). The
+  /// spec pointer is valid until the next Register — catalogs are
+  /// immutable once built, so in practice for the catalog's lifetime.
+  struct SpecHandle {
+    const EventSpec* spec = nullptr;
+    uint32_t name_id = StringInterner::kInvalidId;
+    uint32_t start_detail_id = StringInterner::kInvalidId;
+    uint32_t end_detail_id = StringInterner::kInvalidId;
+  };
+
+  /// Zero-copy lookup by name (parent or stateful detail). nullopt for
+  /// unknown names.
+  std::optional<SpecHandle> FindHandle(std::string_view name) const;
+
+  /// Zero-copy lookup by interned name id (parent or stateful detail).
+  /// nullopt for ids that name no registered spec.
+  std::optional<SpecHandle> FindHandleById(uint32_t name_id) const;
+
   bool Contains(const std::string& name) const;
 
   /// All registered (parent) specs, in registration order.
@@ -69,9 +94,33 @@ class EventCatalog {
   static EventCatalog BuiltIn();
 
  private:
+  // Transparent hashing so FindHandle(string_view) never materializes a
+  // std::string for the lookup key.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  /// Interned ids of specs_[i]'s names, parallel to specs_.
+  struct SpecIds {
+    uint32_t name_id = StringInterner::kInvalidId;
+    uint32_t start_detail_id = StringInterner::kInvalidId;
+    uint32_t end_detail_id = StringInterner::kInvalidId;
+  };
+
+  SpecHandle HandleAt(size_t idx) const {
+    return SpecHandle{&specs_[idx], ids_[idx].name_id,
+                      ids_[idx].start_detail_id, ids_[idx].end_detail_id};
+  }
+
   std::vector<EventSpec> specs_;
+  std::vector<SpecIds> ids_;
   // Maps both parent names and stateful detail names to indexes in specs_.
-  std::unordered_map<std::string, size_t> index_;
+  std::unordered_map<std::string, size_t, StringHash, std::equal_to<>> index_;
+  // Same mapping keyed by interned name id, for the view-path resolver.
+  std::unordered_map<uint32_t, size_t> id_index_;
 };
 
 }  // namespace cdibot

@@ -8,6 +8,7 @@
 #include "common/time.h"
 #include "event/catalog.h"
 #include "event/event.h"
+#include "event/event_view.h"
 
 namespace cdibot {
 
@@ -61,6 +62,17 @@ class PeriodResolver {
   /// min(start + expire, bounds.end).
   StatusOr<std::vector<ResolvedEvent>> Resolve(
       std::vector<RawEvent> raw,
+      std::optional<Interval> bounds = std::nullopt,
+      ResolveStats* stats = nullptr) const;
+
+  /// The zero-copy counterpart of Resolve: consumes non-owning refs into
+  /// SoA event storage and produces interned-id views. Both entry points
+  /// run the identical resolution core (same sort key, same dedup/pairing,
+  /// same emission order), so for the same events they produce the same
+  /// periods in the same order — the bit-identity the batch<->stream
+  /// equivalence suite pins.
+  StatusOr<std::vector<ResolvedEventView>> ResolveRefs(
+      const std::vector<EventRef>& events,
       std::optional<Interval> bounds = std::nullopt,
       ResolveStats* stats = nullptr) const;
 

@@ -266,7 +266,10 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
   }
 
   // --- Evaluate the day with the standard pipeline ---------------------------
-  DailyCdiJob job(&log, &catalog, &weights, ctx);
+  DailyCdiJob job(DailyCdiJob::Options{.log = &log,
+                                       .catalog = &catalog,
+                                       .weights = &weights,
+                                       .pool = ctx.pool});
   CDIBOT_ASSIGN_OR_RETURN(const DailyCdiResult daily, job.Run(vms, day));
   result.fleet_cdi = daily.fleet;
 

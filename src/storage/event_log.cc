@@ -11,8 +11,14 @@ namespace cdibot {
 
 void EventLog::Append(const RawEvent& event) {
   Partition& part = partitions_[event.time.StartOfDay().millis()];
-  part.by_target[event.target].push_back(part.events.size());
-  part.events.push_back(event);
+  const uint32_t row = part.rows.Append(event);
+  part.by_target[part.rows.target_id(row)].push_back(row);
+  const int64_t t = part.rows.time_ms(row);
+  if (t < part.last_time_ms) {
+    part.sorted_on_append = false;
+  } else {
+    part.last_time_ms = t;
+  }
   ++size_;
 }
 
@@ -22,20 +28,68 @@ void EventLog::AppendBatch(const std::vector<RawEvent>& events) {
 
 size_t EventLog::size() const { return size_; }
 
+EventSpan EventLog::Query(const EventQuery& query) const {
+  const Interval range(query.interval.start - query.margin,
+                       query.interval.end + query.margin);
+  EventSpan span(range);
+  if (range.empty() || query.target_id == StringInterner::kInvalidId) {
+    return span;
+  }
+  const int64_t first_day = range.start.StartOfDay().millis();
+  for (auto it = partitions_.lower_bound(first_day);
+       it != partitions_.end() && it->first < range.end.millis(); ++it) {
+    auto idx = it->second.by_target.find(query.target_id);
+    if (idx == it->second.by_target.end()) continue;
+    span.AddSegment(EventSpan::Segment{
+        .rows = &it->second.rows,
+        .indices = idx->second.data(),
+        .first = 0,
+        .last = static_cast<uint32_t>(idx->second.size())});
+  }
+  return span;
+}
+
+namespace {
+
+/// Appends the materialized events of `rows` selected by `pick` (nullptr
+/// for all rows) that fall in `range`, in stable time order. Partitions
+/// are day-disjoint, so concatenating per-partition sorted runs in day
+/// order is the k-way merge degenerate case — no global sort needed, and
+/// a partition whose rows arrived already time-ordered skips its sort
+/// entirely.
+void AppendSortedRun(const EventRows& rows,
+                     const std::vector<uint32_t>* pick, bool sorted_on_append,
+                     const Interval& range, std::vector<RawEvent>* out) {
+  std::vector<uint32_t> matched;
+  const size_t n = pick != nullptr ? pick->size() : rows.size();
+  matched.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t row =
+        pick != nullptr ? (*pick)[i] : static_cast<uint32_t>(i);
+    if (range.Contains(rows.time(row))) matched.push_back(row);
+  }
+  if (!sorted_on_append) {
+    // Row order is append order, so sorting by time with a stable sort
+    // reproduces exactly what stable_sort over materialized events did.
+    std::stable_sort(matched.begin(), matched.end(),
+                     [&rows](uint32_t a, uint32_t b) {
+                       return rows.time_ms(a) < rows.time_ms(b);
+                     });
+  }
+  for (const uint32_t row : matched) out->push_back(rows.Materialize(row));
+}
+
+}  // namespace
+
 std::vector<RawEvent> EventLog::Search(const Interval& range) const {
   std::vector<RawEvent> out;
   if (range.empty()) return out;
   const int64_t first_day = range.start.StartOfDay().millis();
   for (auto it = partitions_.lower_bound(first_day);
        it != partitions_.end() && it->first < range.end.millis(); ++it) {
-    for (const RawEvent& ev : it->second.events) {
-      if (range.Contains(ev.time)) out.push_back(ev);
-    }
+    AppendSortedRun(it->second.rows, nullptr, it->second.sorted_on_append,
+                    range, &out);
   }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const RawEvent& a, const RawEvent& b) {
-                     return a.time < b.time;
-                   });
   return out;
 }
 
@@ -43,20 +97,20 @@ std::vector<RawEvent> EventLog::SearchTarget(const Interval& range,
                                              const std::string& target) const {
   std::vector<RawEvent> out;
   if (range.empty()) return out;
+  const uint32_t target_id = GlobalInterner().Lookup(target);
+  if (target_id == StringInterner::kInvalidId) return out;
   const int64_t first_day = range.start.StartOfDay().millis();
   for (auto it = partitions_.lower_bound(first_day);
        it != partitions_.end() && it->first < range.end.millis(); ++it) {
-    auto idx = it->second.by_target.find(target);
+    auto idx = it->second.by_target.find(target_id);
     if (idx == it->second.by_target.end()) continue;
-    for (size_t i : idx->second) {
-      const RawEvent& ev = it->second.events[i];
-      if (range.Contains(ev.time)) out.push_back(ev);
-    }
+    // A target's rows are in append order; they may interleave other
+    // targets' rows non-monotonically even in a sorted_on_append
+    // partition, but among themselves they inherit the partition's
+    // monotonicity, so the fast path still applies.
+    AppendSortedRun(it->second.rows, &idx->second,
+                    it->second.sorted_on_append, range, &out);
   }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const RawEvent& a, const RawEvent& b) {
-                     return a.time < b.time;
-                   });
   return out;
 }
 
@@ -133,14 +187,14 @@ StatusOr<dataflow::Table> EventLog::ExportDay(TimePoint day) const {
   dataflow::Table table(ExportSchema());
   auto it = partitions_.find(day.StartOfDay().millis());
   if (it == partitions_.end()) return table;  // empty day is a valid export
-  for (const RawEvent& ev : it->second.events) {
-    int64_t duration_ms = -1;
-    auto logged = ev.LoggedDuration();
-    if (logged.ok()) duration_ms = logged->millis();
+  const EventRows& rows = it->second.rows;
+  for (uint32_t row = 0; row < rows.size(); ++row) {
+    const EventRef ev(&rows, row);
     CDIBOT_RETURN_IF_ERROR(table.Append(
-        {Value(ev.name), Value(ev.time.millis()), Value(ev.target),
-         Value(static_cast<int64_t>(ev.level)),
-         Value(ev.expire_interval.millis()), Value(duration_ms)}));
+        {Value(std::string(ev.name())), Value(ev.time_ms()),
+         Value(std::string(ev.target())),
+         Value(static_cast<int64_t>(ev.level())), Value(ev.expire_ms()),
+         Value(ev.LoggedDurationMsOrNeg())}));
   }
   return table;
 }

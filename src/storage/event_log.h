@@ -1,37 +1,69 @@
 #ifndef CDIBOT_STORAGE_EVENT_LOG_H_
 #define CDIBOT_STORAGE_EVENT_LOG_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/statusor.h"
 #include "common/time.h"
 #include "dataflow/table.h"
 #include "event/event.h"
+#include "event/event_view.h"
 
 namespace cdibot {
 
+/// A zero-copy log query: which time interval matters, which target, and
+/// how far outside the interval events may still describe periods inside
+/// it (the batch job passes kEventSearchMargin). The effective search
+/// range is [interval.start - margin, interval.end + margin).
+struct EventQuery {
+  Interval interval;
+  /// Interned id (GlobalInterner) of the VM/NC to narrow to. The query
+  /// always filters by target; StringInterner::kInvalidId — the id Lookup
+  /// returns for a string that was never interned — matches nothing, so
+  /// an unknown VM cleanly yields an empty span. Use Search for
+  /// untargeted scans.
+  uint32_t target_id = StringInterner::kInvalidId;
+  Duration margin = Duration::Zero();
+};
+
 /// Append-only time-partitioned raw-event log — the SLS stand-in of Fig. 4.
-/// Events land in daily partitions for fast time-range search, and a
-/// partition can be exported ("synchronized") into a dataflow Table, which
-/// plays the role of the long-term MaxCompute table the Spark job reads.
+/// Events land in daily partitions stored as SoA columns (EventRows) with
+/// interned name/target ids, so the hot query path — Query(), once per VM
+/// per daily job — hands out non-owning EventSpans instead of copying
+/// string-holding RawEvents. A partition can be exported ("synchronized")
+/// into a dataflow Table, which plays the role of the long-term MaxCompute
+/// table the Spark job reads.
 class EventLog {
  public:
   EventLog() = default;
 
-  /// Appends one event into its daily partition.
+  /// Appends one event into its daily partition (interning its name and
+  /// target in the global interner).
   void Append(const RawEvent& event);
   void AppendBatch(const std::vector<RawEvent>& events);
 
   size_t size() const;
 
+  /// The zero-copy query path: an EventSpan over the events of
+  /// `query.target_id` whose time falls within the margin-extended
+  /// interval. No event data is copied; the span borrows the log's
+  /// partitions and stays valid until the next Append. Span order is
+  /// partition (day) order, then per-target append order within the
+  /// partition — period resolution is arrival-order invariant, so
+  /// consumers need no sort.
+  EventSpan Query(const EventQuery& query) const;
+
   /// All events whose extraction time falls in [range.start, range.end),
-  /// sorted by time. Scans only the overlapping daily partitions.
+  /// sorted by time (ties keep append order). Compatibility/cold path:
+  /// materializes owning RawEvents; prefer Query on hot paths.
   std::vector<RawEvent> Search(const Interval& range) const;
 
-  /// Search narrowed to one target.
+  /// Search narrowed to one target. Compatibility/cold path; prefer Query.
   std::vector<RawEvent> SearchTarget(const Interval& range,
                                      const std::string& target) const;
 
@@ -86,14 +118,18 @@ class EventLog {
                                                LoadReport* report = nullptr);
 
  private:
-  // Daily partitions keyed by start-of-day millis; events within a
-  // partition are kept in append order. The per-target index keeps
-  // SearchTarget proportional to the target's own events — the daily CDI
-  // job calls it once per VM, so a partition-wide scan would make the job
-  // quadratic in fleet size.
+  // Daily partitions keyed by start-of-day millis. Rows are SoA columns in
+  // append order; the per-target index keeps Query/SearchTarget
+  // proportional to the target's own events — the daily CDI job queries
+  // once per VM, so a partition-wide scan would make the job quadratic in
+  // fleet size. `sorted_on_append` tracks whether the partition's rows
+  // arrived in non-decreasing time order (the common case for replayed
+  // logs), letting Search skip its per-partition sort.
   struct Partition {
-    std::vector<RawEvent> events;
-    std::unordered_map<std::string, std::vector<size_t>> by_target;
+    EventRows rows;
+    std::unordered_map<uint32_t, std::vector<uint32_t>> by_target;
+    bool sorted_on_append = true;
+    int64_t last_time_ms = INT64_MIN;
   };
   std::map<int64_t, Partition> partitions_;
   size_t size_ = 0;

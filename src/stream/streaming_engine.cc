@@ -125,7 +125,7 @@ Status StreamingCdiEngine::RegisterVm(const VmServiceInfo& vm) {
   std::lock_guard<std::mutex> lock(shard.mu);
   VmState& state = shard.vms[vm.vm_id];
   state.info = vm;
-  for (RawEvent& ev : adopted) state.events.push_back(std::move(ev));
+  for (const RawEvent& ev : adopted) state.events.Append(ev);
   if (!state.dirty) {
     state.dirty = true;
     shard.dirty_vms.push_back(vm.vm_id);
@@ -184,7 +184,7 @@ Status StreamingCdiEngine::Ingest(const RawEvent& event) {
     auto it = shard.vms.find(event.target);
     if (it != shard.vms.end()) {
       VmState& state = it->second;
-      state.events.push_back(event);
+      state.events.Append(event);
       if (!state.dirty) {
         state.dirty = true;
         shard.dirty_vms.push_back(event.target);
@@ -217,7 +217,7 @@ Status StreamingCdiEngine::Ingest(const RawEvent& event) {
       }
     }
     VmState& state = it->second;
-    for (RawEvent& ev : parked) state.events.push_back(std::move(ev));
+    for (const RawEvent& ev : parked) state.events.Append(ev);
     if (!parked.empty() && !state.dirty) {
       state.dirty = true;
       shard.dirty_vms.push_back(event.target);
@@ -255,23 +255,39 @@ void StreamingCdiEngine::RecomputeVmLocked(Shard& shard, VmState& state) {
                                     state.output.record.cdi.service_time);
   }
 
-  // Feed exactly the events the batch job's log search would return for
-  // this VM, so the resolver sees identical inputs (including identical
-  // data-quality counters).
+  // Feed exactly the events the batch job's log query would return for
+  // this VM — a zero-copy span over the retention buffer with the same
+  // margin-extended time filter — so the resolver sees identical inputs
+  // (including identical data-quality counters).
   const Interval service =
       state.info.service_period.ClampTo(options_.window);
-  std::vector<RawEvent> raw;
+  EventSpan span;
   if (!service.empty()) {
-    const Interval search(service.start - kEventSearchMargin,
-                          service.end + kEventSearchMargin);
-    for (const RawEvent& ev : state.events) {
-      if (search.Contains(ev.time)) raw.push_back(ev);
+    span = EventSpan(Interval(service.start - kEventSearchMargin,
+                              service.end + kEventSearchMargin));
+    if (!state.events.empty()) {
+      span.AddSegment(EventSpan::Segment{
+          .rows = &state.events,
+          .indices = nullptr,
+          .first = 0,
+          .last = static_cast<uint32_t>(state.events.size())});
     }
   }
 
-  state.error = ComputeVmDailyCdi(std::move(raw), state.info,
-                                  options_.window, resolver_, *weights_,
-                                  &state.output);
+  VmDailyError verr;
+  auto out_or = ComputeVmDailyCdi(span, state.info, options_.window,
+                                  resolver_, *weights_, nullptr, &verr);
+  if (out_or.ok()) {
+    state.output = std::move(out_or).value();
+    state.error = Status::OK();
+  } else {
+    // A failing VM keeps the counters of the work that ran (snapshot
+    // reporting reads them) but contributes nothing to the aggregates.
+    state.error = out_or.status();
+    state.output = VmDailyOutput{};
+    state.output.resolve_stats = verr.resolve_stats;
+    state.output.quality = verr.quality;
+  }
   state.has_output = true;
   state.dirty = false;
   if (state.error.ok() && !state.output.skipped) {
@@ -483,7 +499,9 @@ StreamCheckpoint StreamingCdiEngine::Checkpoint() const {
           .vm_id = state.info.vm_id,
           .dims = state.info.dims,
           .service_period = state.info.service_period});
-      for (const RawEvent& ev : state.events) ckpt.events.push_back(ev);
+      for (uint32_t row = 0; row < state.events.size(); ++row) {
+        ckpt.events.push_back(state.events.Materialize(row));
+      }
     }
   }
   std::sort(ckpt.vms.begin(), ckpt.vms.end(),
@@ -516,7 +534,7 @@ StatusOr<StreamingCdiEngine> StreamingCdiEngine::Restore(
       return Status::InvalidArgument(
           "checkpoint event for unregistered vm: " + ev.target);
     }
-    it->second.events.push_back(ev);
+    it->second.events.Append(ev);
   }
   {
     std::lock_guard<std::mutex> lock(*engine.mu_);

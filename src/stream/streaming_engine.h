@@ -159,11 +159,13 @@ class StreamingCdiEngine {
  private:
   struct VmState {
     VmServiceInfo info;
-    /// Raw events for this VM inside window +/- kEventSearchMargin, in
-    /// arrival order (the resolver sorts internally, so arrival order is
-    /// irrelevant to the result — see the permutation-invariance fuzz
-    /// tests).
-    std::vector<RawEvent> events;
+    /// Retention buffer: events for this VM inside window +/-
+    /// kEventSearchMargin, in arrival order (the resolver sorts
+    /// internally, so arrival order is irrelevant to the result — see the
+    /// permutation-invariance fuzz tests). Stored as SoA rows with
+    /// interned ids; recomputes cut a zero-copy EventSpan over them
+    /// instead of copying RawEvents, and checkpointing materializes.
+    EventRows events;
     /// True iff the VM is queued in the shard's dirty list. Default false:
     /// RegisterVm marks the fresh state dirty itself, which keeps the flag
     /// and the queue in lockstep.

@@ -48,12 +48,17 @@ StatusOr<TicketRankModel> TicketRankModel::FromCounts(
   const auto n = static_cast<int64_t>(num_levels);
   const auto total = static_cast<int64_t>(ranked.size());
   std::unordered_map<std::string, int> levels;
+  std::unordered_map<uint32_t, int> levels_by_id;
   levels.reserve(ranked.size());
+  levels_by_id.reserve(ranked.size());
   for (int64_t r = 1; r <= total; ++r) {
     const int level = static_cast<int>((r * n + total - 1) / total);
-    levels[ranked[static_cast<size_t>(r - 1)].first] = level;
+    const std::string& name = ranked[static_cast<size_t>(r - 1)].first;
+    levels[name] = level;
+    levels_by_id[GlobalInterner().Intern(name)] = level;
   }
-  return TicketRankModel(num_levels, std::move(levels));
+  return TicketRankModel(num_levels, std::move(levels),
+                         std::move(levels_by_id));
 }
 
 int TicketRankModel::LevelFor(const std::string& event_name) const {
@@ -61,8 +66,18 @@ int TicketRankModel::LevelFor(const std::string& event_name) const {
   return it == levels_.end() ? 1 : it->second;
 }
 
+int TicketRankModel::LevelForId(uint32_t name_id) const {
+  auto it = levels_by_id_.find(name_id);
+  return it == levels_by_id_.end() ? 1 : it->second;
+}
+
 double TicketRankModel::WeightFor(const std::string& event_name) const {
   return static_cast<double>(LevelFor(event_name)) /
+         static_cast<double>(num_levels_);
+}
+
+double TicketRankModel::WeightForId(uint32_t name_id) const {
+  return static_cast<double>(LevelForId(name_id)) /
          static_cast<double>(num_levels_);
 }
 
@@ -97,12 +112,27 @@ StatusOr<double> EventWeightModel::WeightFor(
          (options_.alpha_expert + options_.alpha_ticket);
 }
 
+StatusOr<double> EventWeightModel::WeightForId(
+    uint32_t name_id, Severity level, StabilityCategory category) const {
+  if (category == StabilityCategory::kUnavailability) return 1.0;
+
+  auto ov = overrides_by_id_.find(name_id);
+  if (ov != overrides_by_id_.end()) return ov->second;
+
+  CDIBOT_ASSIGN_OR_RETURN(const double l_i,
+                          ExpertLevelWeight(level, options_.expert_levels));
+  const double p_j = ticket_model_.WeightForId(name_id);
+  return (options_.alpha_expert * l_i + options_.alpha_ticket * p_j) /
+         (options_.alpha_expert + options_.alpha_ticket);
+}
+
 Status EventWeightModel::SetOverride(const std::string& event_name,
                                      double weight) {
   if (weight < 0.0 || weight > 1.0) {
     return Status::InvalidArgument("weight override must be in [0, 1]");
   }
   overrides_[event_name] = weight;
+  overrides_by_id_[GlobalInterner().Intern(event_name)] = weight;
   return Status::OK();
 }
 

@@ -7,8 +7,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/statusor.h"
 #include "event/event.h"
+#include "event/event_view.h"
 
 namespace cdibot {
 
@@ -35,16 +37,28 @@ class TicketRankModel {
   /// The 1-based customer level j of `event_name`; 1 for unknown events.
   int LevelFor(const std::string& event_name) const;
 
+  /// Id-keyed twin of LevelFor for the zero-copy path. `name_id` must be a
+  /// GlobalInterner id (FromCounts interns every counted name there, so
+  /// the two lookups always agree).
+  int LevelForId(uint32_t name_id) const;
+
   /// Eq. 2: p_j = j / n for the event's level.
   double WeightFor(const std::string& event_name) const;
+  double WeightForId(uint32_t name_id) const;
 
  private:
   TicketRankModel(int num_levels,
-                  std::unordered_map<std::string, int> levels)
-      : num_levels_(num_levels), levels_(std::move(levels)) {}
+                  std::unordered_map<std::string, int> levels,
+                  std::unordered_map<uint32_t, int> levels_by_id)
+      : num_levels_(num_levels),
+        levels_(std::move(levels)),
+        levels_by_id_(std::move(levels_by_id)) {}
 
   int num_levels_;
   std::unordered_map<std::string, int> levels_;
+  /// Same mapping keyed by GlobalInterner id — the hot-path lookup hashes
+  /// a uint32 instead of a string.
+  std::unordered_map<uint32_t, int> levels_by_id_;
 };
 
 /// Options for the composite model of Eq. 3.
@@ -77,9 +91,21 @@ class EventWeightModel {
                              Severity level,
                              StabilityCategory category) const;
 
+  /// Id-keyed twin for the zero-copy path; `name_id` must be a
+  /// GlobalInterner id (ResolvedEventView::name_id always is). Computes
+  /// the identical arithmetic on identical inputs, so the two paths
+  /// produce bit-identical weights.
+  StatusOr<double> WeightForId(uint32_t name_id, Severity level,
+                               StabilityCategory category) const;
+
   /// Convenience overload for a resolved event.
   StatusOr<double> WeightFor(const ResolvedEvent& event) const {
     return WeightFor(event.name, event.level, event.category);
+  }
+
+  /// Convenience overload for a resolved-event view.
+  StatusOr<double> WeightFor(const ResolvedEventView& event) const {
+    return WeightForId(event.name_id, event.level, event.category);
   }
 
   /// Overrides the weight of a specific event name (the MySQL-backed
@@ -96,6 +122,9 @@ class EventWeightModel {
   TicketRankModel ticket_model_;
   EventWeightOptions options_;
   std::unordered_map<std::string, double> overrides_;
+  /// Same overrides keyed by GlobalInterner id (SetOverride maintains
+  /// both in lockstep).
+  std::unordered_map<uint32_t, double> overrides_by_id_;
 };
 
 }  // namespace cdibot

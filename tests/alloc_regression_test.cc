@@ -1,0 +1,201 @@
+// Allocation-count regression tests for the zero-copy per-VM hot path.
+//
+// The data-plane redesign's core promise is that ComputeVmDailyCdi does not
+// churn the heap: an event-free VM computes without touching it at all, and
+// a VM with events stays within a small fixed budget (vectors sized by
+// reserve, refs instead of copies, interned ids instead of strings). These
+// tests pin that promise with a counting global operator new, so an
+// accidental per-event std::string or map copy on the hot path fails CI
+// instead of silently regressing throughput.
+//
+// This lives in its own test binary: replacing global operator new/delete
+// is program-wide, and no other test should run under a counting allocator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "cdi/pipeline.h"
+#include "event/catalog.h"
+#include "weights/event_weights.h"
+
+namespace {
+
+std::atomic<size_t> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+
+void* CountedAlloc(size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return std::malloc(size == 0 ? 1 : size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace cdibot {
+namespace {
+
+/// Runs `fn` with allocation counting on and returns how many times global
+/// operator new fired inside.
+template <typename Fn>
+size_t CountAllocations(Fn&& fn) {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  fn();
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+TimePoint T(const char* s) { return TimePoint::Parse(s).value(); }
+
+class AllocRegressionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = EventCatalog::BuiltIn();
+    resolver_ = std::make_unique<PeriodResolver>(&catalog_);
+    auto tickets = TicketRankModel::FromCounts(
+        {{"slow_io", 420}, {"vm_resize_failed", 77}}, /*num_levels=*/4);
+    ASSERT_TRUE(tickets.ok());
+    auto weights = EventWeightModel::Build(std::move(tickets).value(), {});
+    ASSERT_TRUE(weights.ok());
+    weights_ =
+        std::make_unique<EventWeightModel>(std::move(weights).value());
+    day_ = Interval(T("2024-03-01 00:00"), T("2024-03-02 00:00"));
+    // Short id: stays in the small-string buffer, as fleet VM ids that
+    // matter for the zero-alloc guarantee do.
+    vm_ = VmServiceInfo{.vm_id = "vm-1", .dims = {}, .service_period = day_};
+  }
+
+  EventCatalog catalog_;
+  std::unique_ptr<PeriodResolver> resolver_;
+  std::unique_ptr<EventWeightModel> weights_;
+  Interval day_;
+  VmServiceInfo vm_;
+};
+
+TEST_F(AllocRegressionTest, EventFreeVmComputesWithoutAllocating) {
+  const EventSpan empty_span(Interval(day_.start - kEventSearchMargin,
+                                      day_.end + kEventSearchMargin));
+  // Warm-up: lazily created statics (trace spans, metric histograms) and
+  // any first-call caches allocate once per process, not per VM.
+  auto run = [&] {
+    auto out = ComputeVmDailyCdi(empty_span, vm_, day_, *resolver_,
+                                 *weights_);
+    ASSERT_TRUE(out.ok());
+    ASSERT_FALSE(out->skipped);
+  };
+  run();
+  const size_t allocs = CountAllocations(run);
+  EXPECT_EQ(allocs, 0u)
+      << "the event-free per-VM path must not touch the heap";
+}
+
+TEST_F(AllocRegressionTest, SkippedVmComputesWithoutAllocating) {
+  VmServiceInfo off_day = vm_;
+  off_day.service_period =
+      Interval(T("2024-05-01 00:00"), T("2024-05-02 00:00"));
+  const EventSpan empty_span;
+  auto run = [&] {
+    auto out = ComputeVmDailyCdi(empty_span, off_day, day_, *resolver_,
+                                 *weights_);
+    ASSERT_TRUE(out.ok());
+    ASSERT_TRUE(out->skipped);
+  };
+  run();
+  EXPECT_EQ(CountAllocations(run), 0u);
+}
+
+TEST_F(AllocRegressionTest, SmallEventLoadStaysWithinFixedBudget) {
+  // A handful of events on one VM: the output genuinely needs some heap
+  // (result vectors, one drill-down row with an owned name string), but
+  // the count must stay a small constant — not O(events) string copies.
+  EventRows rows;  // on the global interner, like the log's partitions
+  for (int m = 0; m < 8; ++m) {
+    RawEvent ev;
+    ev.name = "slow_io";
+    ev.time = T("2024-03-01 09:00") + Duration::Minutes(m);
+    ev.target = "vm-1";
+    ev.level = Severity::kCritical;
+    rows.Append(ev);
+  }
+  EventSpan span(Interval(day_.start - kEventSearchMargin,
+                          day_.end + kEventSearchMargin));
+  span.AddSegment(EventSpan::Segment{
+      .rows = &rows, .indices = nullptr, .first = 0,
+      .last = static_cast<uint32_t>(rows.size())});
+
+  auto run = [&] {
+    auto out = ComputeVmDailyCdi(span, vm_, day_, *resolver_, *weights_);
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(out->events.size(), 1u);  // one distinct event name
+  };
+  run();
+  const size_t allocs = CountAllocations(run);
+  // Budget, not exact count: vector growth policy may vary across standard
+  // libraries. 48 is ~2x the libstdc++ count observed at the time of
+  // writing; a per-event copy of 8 events' strings/maps would blow past it.
+  EXPECT_LE(allocs, 48u) << "hot-path allocation count regressed";
+  EXPECT_GT(allocs, 0u);  // the counter itself works
+}
+
+TEST_F(AllocRegressionTest, PerEventCostIsFlat) {
+  // Doubling the event count must not double allocations: grouping works
+  // on interned ids and refs, so extra events of the same name only grow
+  // the (reserved) vectors.
+  auto make_span = [this](int events, EventRows* rows) {
+    for (int m = 0; m < events; ++m) {
+      RawEvent ev;
+      ev.name = "slow_io";
+      ev.time = T("2024-03-01 09:00") + Duration::Minutes(m);
+      ev.target = "vm-1";
+      ev.level = Severity::kCritical;
+      rows->Append(ev);
+    }
+    EventSpan span(Interval(day_.start - kEventSearchMargin,
+                            day_.end + kEventSearchMargin));
+    span.AddSegment(EventSpan::Segment{
+        .rows = rows, .indices = nullptr, .first = 0,
+        .last = static_cast<uint32_t>(rows->size())});
+    return span;
+  };
+  EventRows rows16, rows64;
+  const EventSpan span16 = make_span(16, &rows16);
+  const EventSpan span64 = make_span(64, &rows64);
+  auto run = [&](const EventSpan& span) {
+    auto out = ComputeVmDailyCdi(span, vm_, day_, *resolver_, *weights_);
+    ASSERT_TRUE(out.ok());
+  };
+  run(span16);
+  run(span64);
+  const size_t a16 = CountAllocations([&] { run(span16); });
+  const size_t a64 = CountAllocations([&] { run(span64); });
+  // 4x the events may cost a few more vector doublings (log-many), never
+  // 4x the allocations.
+  EXPECT_LT(a64, 2 * a16 + 16)
+      << "a16=" << a16 << " a64=" << a64
+      << ": allocation count grows with event count";
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 
 #include "storage/event_log.h"
@@ -134,6 +135,154 @@ TEST(EventLogTest, EmptySearchRange) {
   EXPECT_TRUE(
       log.Search(Interval(T("2024-01-01 10:00"), T("2024-01-01 10:00")))
           .empty());
+}
+
+// --- Ordering pins. Search promises stable time order regardless of append
+// order; the SoA rework must not change what callers observe.
+
+TEST(EventLogTest, SearchSortsOutOfOrderAppendsWithinDay) {
+  EventLog log;
+  log.Append(Make("c", "2024-01-01 12:00", "vm-1"));
+  log.Append(Make("a", "2024-01-01 08:00", "vm-1"));
+  log.Append(Make("b", "2024-01-01 10:00", "vm-2"));
+  auto res = log.Search(Interval(T("2024-01-01 00:00"), T("2024-01-02 00:00")));
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0].name, "a");
+  EXPECT_EQ(res[1].name, "b");
+  EXPECT_EQ(res[2].name, "c");
+}
+
+TEST(EventLogTest, SearchOrdersAcrossDaysAppendedOutOfOrder) {
+  EventLog log;
+  log.Append(Make("late", "2024-01-03 01:00", "vm-1"));
+  log.Append(Make("early", "2024-01-01 23:00", "vm-1"));
+  log.Append(Make("mid", "2024-01-02 12:00", "vm-1"));
+  auto res = log.Search(Interval(T("2024-01-01 00:00"), T("2024-01-04 00:00")));
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0].name, "early");
+  EXPECT_EQ(res[1].name, "mid");
+  EXPECT_EQ(res[2].name, "late");
+}
+
+TEST(EventLogTest, SearchIsStableForEqualTimestamps) {
+  // Equal-time events must come back in append order (stable sort
+  // semantics), including when an earlier event forces the sort path.
+  EventLog log;
+  log.Append(Make("first", "2024-01-01 10:00", "vm-1"));
+  log.Append(Make("second", "2024-01-01 10:00", "vm-2"));
+  log.Append(Make("force_sort", "2024-01-01 09:00", "vm-3"));
+  log.Append(Make("third", "2024-01-01 10:00", "vm-1"));
+  auto res = log.Search(Interval(T("2024-01-01 00:00"), T("2024-01-02 00:00")));
+  ASSERT_EQ(res.size(), 4u);
+  EXPECT_EQ(res[0].name, "force_sort");
+  EXPECT_EQ(res[1].name, "first");
+  EXPECT_EQ(res[2].name, "second");
+  EXPECT_EQ(res[3].name, "third");
+}
+
+TEST(EventLogTest, SearchTargetKeepsTimeOrderForOutOfOrderAppends) {
+  EventLog log;
+  log.Append(Make("b", "2024-01-01 11:00", "vm-1"));
+  log.Append(Make("x", "2024-01-01 10:30", "vm-2"));
+  log.Append(Make("a", "2024-01-01 10:00", "vm-1"));
+  auto res = log.SearchTarget(
+      Interval(T("2024-01-01 00:00"), T("2024-01-02 00:00")), "vm-1");
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0].name, "a");
+  EXPECT_EQ(res[1].name, "b");
+}
+
+// --- Query API: the zero-copy read path.
+
+std::vector<RawEvent> Collect(const EventSpan& span) {
+  std::vector<RawEvent> out;
+  span.ForEach([&out](const EventRef& ev) { out.push_back(ev.Materialize()); });
+  return out;
+}
+
+TEST(EventLogTest, QueryYieldsTargetRowsAcrossPartitions) {
+  EventLog log;
+  log.Append(Make("d1", "2024-01-01 10:00", "vm-1"));
+  log.Append(Make("other", "2024-01-01 11:00", "vm-2"));
+  log.Append(Make("d2", "2024-01-02 10:00", "vm-1"));
+  const EventSpan span = log.Query(
+      EventQuery{.interval = Interval(T("2024-01-01 00:00"),
+                                      T("2024-01-03 00:00")),
+                 .target_id = GlobalInterner().Lookup("vm-1")});
+  EXPECT_EQ(span.segment_count(), 2u);
+  auto events = Collect(span);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "d1");
+  EXPECT_EQ(events[1].name, "d2");
+  for (const RawEvent& ev : events) EXPECT_EQ(ev.target, "vm-1");
+}
+
+TEST(EventLogTest, QueryMarginExtendsTheInterval) {
+  EventLog log;
+  log.Append(Make("before", "2024-01-01 23:00", "vm-1"));
+  log.Append(Make("inside", "2024-01-02 12:00", "vm-1"));
+  log.Append(Make("after", "2024-01-03 01:00", "vm-1"));
+  const Interval day(T("2024-01-02 00:00"), T("2024-01-03 00:00"));
+  const uint32_t vm1 = GlobalInterner().Lookup("vm-1");
+
+  auto no_margin = Collect(log.Query(
+      EventQuery{.interval = day, .target_id = vm1}));
+  ASSERT_EQ(no_margin.size(), 1u);
+  EXPECT_EQ(no_margin[0].name, "inside");
+
+  auto with_margin = Collect(log.Query(EventQuery{
+      .interval = day, .target_id = vm1, .margin = Duration::Hours(2)}));
+  ASSERT_EQ(with_margin.size(), 3u);
+  EXPECT_EQ(with_margin[0].name, "before");
+  EXPECT_EQ(with_margin[2].name, "after");
+}
+
+TEST(EventLogTest, QueryUnknownTargetIsEmptySpan) {
+  EventLog log;
+  log.Append(Make("a", "2024-01-01 10:00", "vm-1"));
+  const Interval day(T("2024-01-01 00:00"), T("2024-01-02 00:00"));
+  // A target string never interned anywhere in the process.
+  const EventSpan span = log.Query(EventQuery{
+      .interval = day,
+      .target_id = GlobalInterner().Lookup("vm-never-seen-anywhere")});
+  EXPECT_TRUE(span.empty());
+  EXPECT_EQ(span.UpperBound(), 0u);
+  // A target interned by some other subsystem but absent from this log.
+  const uint32_t elsewhere = GlobalInterner().Intern("vm-interned-elsewhere");
+  EXPECT_TRUE(
+      log.Query(EventQuery{.interval = day, .target_id = elsewhere}).empty());
+}
+
+TEST(EventLogTest, QueryEmptyIntervalIsEmptySpan) {
+  EventLog log;
+  log.Append(Make("a", "2024-01-01 10:00", "vm-1"));
+  const EventSpan span = log.Query(EventQuery{
+      .interval = Interval(T("2024-01-01 10:00"), T("2024-01-01 10:00")),
+      .target_id = GlobalInterner().Lookup("vm-1")});
+  EXPECT_TRUE(span.empty());
+}
+
+TEST(EventLogTest, QuerySpanMatchesSearchTargetContent) {
+  // The span iterates rows in append order per partition (the resolver
+  // sorts internally); as a set it must match SearchTarget with the same
+  // effective range.
+  EventLog log;
+  log.Append(Make("b", "2024-01-01 11:00", "vm-1", 500));
+  log.Append(Make("a", "2024-01-01 10:00", "vm-1"));
+  log.Append(Make("c", "2024-01-02 09:00", "vm-1"));
+  const Interval range(T("2024-01-01 00:00"), T("2024-01-03 00:00"));
+  auto from_span = Collect(log.Query(EventQuery{
+      .interval = range, .target_id = GlobalInterner().Lookup("vm-1")}));
+  auto from_search = log.SearchTarget(range, "vm-1");
+  ASSERT_EQ(from_span.size(), from_search.size());
+  // Align by time, then compare field-for-field.
+  std::sort(from_span.begin(), from_span.end(),
+            [](const RawEvent& x, const RawEvent& y) { return x.time < y.time; });
+  for (size_t i = 0; i < from_span.size(); ++i) {
+    EXPECT_EQ(from_span[i].name, from_search[i].name);
+    EXPECT_EQ(from_span[i].time, from_search[i].time);
+    EXPECT_EQ(from_span[i].attrs, from_search[i].attrs);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+#include "common/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cdibot {
+namespace {
+
+TEST(StringInternerTest, InternAssignsDenseIdsFromZero) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Intern("alpha"), 0u);
+  EXPECT_EQ(interner.Intern("beta"), 1u);
+  EXPECT_EQ(interner.Intern("gamma"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(StringInternerTest, InternIsIdempotent) {
+  StringInterner interner;
+  const uint32_t id = interner.Intern("vm-1");
+  EXPECT_EQ(interner.Intern("vm-1"), id);
+  EXPECT_EQ(interner.Intern(std::string("vm-1")), id);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(StringInternerTest, LookupFindsInternedAndRejectsUnknown) {
+  StringInterner interner;
+  const uint32_t id = interner.Intern("slow_io");
+  EXPECT_EQ(interner.Lookup("slow_io"), id);
+  EXPECT_EQ(interner.Lookup("never_interned"), StringInterner::kInvalidId);
+  EXPECT_EQ(interner.Lookup(""), StringInterner::kInvalidId);
+}
+
+TEST(StringInternerTest, NameOfRoundTrips) {
+  StringInterner interner;
+  const uint32_t a = interner.Intern("a");
+  const uint32_t empty = interner.Intern("");
+  EXPECT_EQ(interner.NameOf(a), "a");
+  EXPECT_EQ(interner.NameOf(empty), "");
+  // Unknown / invalid ids degrade to "" instead of UB.
+  EXPECT_EQ(interner.NameOf(12345), "");
+  EXPECT_EQ(interner.NameOf(StringInterner::kInvalidId), "");
+}
+
+TEST(StringInternerTest, NameOfViewIsStableAcrossGrowth) {
+  StringInterner interner;
+  const uint32_t id = interner.Intern("pinned");
+  const std::string_view before = interner.NameOf(id);
+  const char* data = before.data();
+  // Force many chunk allocations and snapshot republishes.
+  for (int i = 0; i < 5000; ++i) {
+    interner.Intern("filler_" + std::to_string(i));
+  }
+  const std::string_view after = interner.NameOf(id);
+  EXPECT_EQ(after, "pinned");
+  EXPECT_EQ(after.data(), data);  // storage never moved
+}
+
+TEST(StringInternerTest, LookupSeesStringsInternedSinceLastRepublish) {
+  // The snapshot republish happens on a doubling schedule; strings interned
+  // between republishes must still be found (via the locked fallback).
+  StringInterner interner;
+  for (int i = 0; i < 100; ++i) {
+    const std::string s = "s" + std::to_string(i);
+    const uint32_t id = interner.Intern(s);
+    ASSERT_EQ(interner.Lookup(s), id) << s;
+  }
+}
+
+TEST(StringInternerTest, ConcurrentInternAndLookupAgree) {
+  StringInterner interner;
+  constexpr int kThreads = 4;
+  constexpr int kStringsPerThread = 500;
+  // All threads intern overlapping sets concurrently; ids must be
+  // consistent (same string -> same id everywhere) and dense.
+  std::vector<std::vector<uint32_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&interner, &ids, t] {
+      ids[t].reserve(kStringsPerThread);
+      for (int i = 0; i < kStringsPerThread; ++i) {
+        // Half shared across threads, half unique to this thread.
+        const std::string s = i % 2 == 0
+                                  ? "shared_" + std::to_string(i)
+                                  : "t" + std::to_string(t) + "_" +
+                                        std::to_string(i);
+        const uint32_t id = interner.Intern(s);
+        // Read back immediately through both lock-free paths.
+        EXPECT_EQ(interner.NameOf(id), s);
+        EXPECT_EQ(interner.Lookup(s), id);
+        ids[t].push_back(id);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  // Same string interned by different threads got the same id.
+  for (int i = 0; i < kStringsPerThread; i += 2) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(ids[t][i], ids[0][i]);
+    }
+  }
+  // Ids are dense: exactly size() distinct values in [0, size()).
+  std::set<uint32_t> all;
+  for (const auto& v : ids) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), interner.size());
+  EXPECT_EQ(*all.rbegin(), interner.size() - 1);
+}
+
+TEST(StringInternerTest, GlobalInternerIsOneInstance) {
+  StringInterner& a = GlobalInterner();
+  StringInterner& b = GlobalInterner();
+  EXPECT_EQ(&a, &b);
+  const uint32_t id = a.Intern("global_interner_test_marker");
+  EXPECT_EQ(b.Lookup("global_interner_test_marker"), id);
+}
+
+}  // namespace
+}  // namespace cdibot

@@ -8,8 +8,10 @@
 // within 1e-9 (they agree exactly in practice: the per-VM math is the same
 // code, and period resolution is arrival-order invariant).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <string>
@@ -220,7 +222,13 @@ class EquivalenceTest : public ::testing::TestWithParam<uint64_t> {
         }
         EXPECT_TRUE(engine.Snapshot().ok());
         if (checkpoint_midway) {
-          const std::string dir = ::testing::TempDir();
+          // Per-seed/per-process directory: ctest runs each seed as its
+          // own process, possibly concurrently, and checkpoints in a
+          // shared TempDir() tear each other's manifest/CSV pairs apart.
+          const std::string dir = ::testing::TempDir() + "/stream_eq_ckpt_" +
+                                  std::to_string(GetParam()) + "_" +
+                                  std::to_string(::getpid());
+          std::filesystem::create_directories(dir);
           EXPECT_TRUE(SaveStreamCheckpoint(engine.Checkpoint(), dir).ok());
           auto loaded = LoadStreamCheckpoint(dir);
           EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
@@ -228,6 +236,7 @@ class EquivalenceTest : public ::testing::TestWithParam<uint64_t> {
                                                       &*weights_, opts);
           EXPECT_TRUE(restored.ok()) << restored.status().ToString();
           engine = std::move(*restored);
+          std::filesystem::remove_all(dir);
         }
       }
     }

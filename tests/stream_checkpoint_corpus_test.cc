@@ -4,6 +4,7 @@
 // path must refuse to load anything inconsistent rather than resume from a
 // lie; the slot store must retry transient I/O and give up on permanent.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -90,7 +91,10 @@ StreamCheckpoint Golden() {
 class CheckpointCorpusTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/ckpt_corpus";
+    // Per-process directory: ctest may run corpus cases concurrently in
+    // separate processes, and a shared path lets them corrupt each other.
+    dir_ = ::testing::TempDir() + "/ckpt_corpus_" +
+           std::to_string(::getpid());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
     ASSERT_TRUE(SaveStreamCheckpoint(Golden(), dir_).ok());

@@ -4,6 +4,7 @@
 // checkpoint round trip through src/storage.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <vector>
@@ -167,7 +168,10 @@ TEST_F(StreamEngineTest, CheckpointRoundTripPreservesState) {
   ASSERT_TRUE(engine.Ingest(junk).ok());
   const VmCdi before = engine.FleetCdi().value();
 
-  const std::string dir = ::testing::TempDir();
+  // Own subdirectory: checkpoints saved straight into the shared TempDir()
+  // collide with other test processes doing the same.
+  const std::string dir = ::testing::TempDir() + "/stream_engine_ckpt";
+  std::filesystem::create_directories(dir);
   ASSERT_TRUE(SaveStreamCheckpoint(engine.Checkpoint(), dir).ok());
   auto loaded = LoadStreamCheckpoint(dir);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
