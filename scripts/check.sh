@@ -7,11 +7,12 @@
 # and a TSan pass over the lock-free metrics/tracer hammering tests, where
 # memory and ordering bugs actually live. Run from the repo root:
 #
-#   scripts/check.sh              # everything
-#   SKIP_SAN=1 scripts/check.sh   # skip ASan/UBSan + TSan stages
-#   SKIP_CHAOS=1 scripts/check.sh # skip the standalone chaos stage
-#   SKIP_OBS=1 scripts/check.sh   # skip the observability stage
-#   SKIP_PERF=1 scripts/check.sh  # skip the throughput-regression stage
+#   scripts/check.sh                 # everything
+#   SKIP_SAN=1 scripts/check.sh      # skip ASan/UBSan + TSan stages
+#   SKIP_CHAOS=1 scripts/check.sh    # skip the standalone chaos stage
+#   SKIP_OBS=1 scripts/check.sh      # skip the observability stage
+#   SKIP_PERF=1 scripts/check.sh     # skip the throughput-regression stage
+#   SKIP_OVERLOAD=1 scripts/check.sh # skip the standalone overload stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +33,22 @@ else
   # a thousand-test run. This is the stage CI gates robustness PRs on.
   echo "== chaos: fault-injection differential + recovery =="
   ./build/tests/chaos_test
+fi
+
+if [[ "${SKIP_OVERLOAD:-0}" == "1" ]]; then
+  echo "== overload stage skipped (SKIP_OVERLOAD=1) =="
+else
+  # Same isolation rationale as the chaos stage: "the pipeline sheds the
+  # wrong class under surge" or "the breaker never recovers" must fail
+  # loudly by name. flow_test covers the queue/breaker/watchdog units;
+  # overload_test drives the integrated pipeline through surge bursts,
+  # flapping checkpoint sinks, and watchdog-led restores, and pins the
+  # shed-free differential (flow path bit-identical to direct ingest
+  # across 24 seeds). The surge tests assert their own RSS ceiling via
+  # getrusage, so a queue that stops bounding memory fails here too.
+  echo "== overload: flow-control units + surge/breaker/watchdog suite =="
+  ./build/tests/flow_test
+  ./build/tests/overload_test
 fi
 
 if [[ "${SKIP_OBS:-0}" == "1" ]]; then
@@ -113,7 +130,8 @@ fi
 echo "== asan+ubsan: build =="
 cmake -B build-asan -S . -DCDIBOT_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS" \
-  --target common_test stream_test chaos_test storage_test obs_test
+  --target common_test stream_test chaos_test storage_test obs_test \
+           flow_test overload_test
 
 echo "== asan+ubsan: thread pool + retry + streaming engine =="
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -126,6 +144,10 @@ echo "== asan+ubsan: chaos + crash-safe storage + observability =="
 ./build-asan/tests/storage_test
 ./build-asan/tests/obs_test
 
+echo "== asan+ubsan: flow control + surge preset (in-test RSS ceiling) =="
+./build-asan/tests/flow_test
+./build-asan/tests/overload_test --gtest_filter='*SurgeOverload*:*Flapping*'
+
 if [[ "${SKIP_OBS:-0}" == "1" ]]; then
   echo "== tsan skipped (SKIP_OBS=1) =="
 else
@@ -134,11 +156,18 @@ else
   # race if the implementation does. TSan is the referee.
   echo "== tsan: build =="
   cmake -B build-tsan -S . -DCDIBOT_TSAN=ON >/dev/null
-  cmake --build build-tsan -j "$JOBS" --target obs_test
+  cmake --build build-tsan -j "$JOBS" --target obs_test flow_test
 
   echo "== tsan: concurrent metrics + tracer hammering =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test \
       --gtest_filter='*Concurrent*:*Hammer*:ObsTracer*'
+
+  # The backpressure queue is the one new lock-based hot path: producers,
+  # consumers, and a watermark-flipping reader all contend on it. The
+  # Concurrent suite is written to race if the implementation does.
+  echo "== tsan: backpressure queue producer/consumer hammering =="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/flow_test \
+      --gtest_filter='*Concurrent*'
 fi
 
 echo "== all checks passed =="

@@ -16,9 +16,10 @@ namespace cdibot {
 /// impaired telemetry stream is still emitted — the paper's position is
 /// that a stability metric must keep working through instability — but it
 /// carries this annotation so a consumer can tell a confident number from
-/// a best-effort one. The counters cover the two ways input integrity
-/// degrades: events that arrived broken (quarantined) and events that a
-/// collector announced but that never arrived (missing).
+/// a best-effort one. The counters cover the three ways input integrity
+/// degrades: events that arrived broken (quarantined), events that a
+/// collector announced but that never arrived (missing), and events that
+/// admission control deliberately shed under overload.
 struct DataQuality {
   /// Malformed events diverted to quarantine instead of entering the
   /// pipeline (empty name/target, impossible severity, ...).
@@ -26,16 +27,25 @@ struct DataQuality {
   /// Events announced by the collector's delivery manifest that were never
   /// received — the silent-gap signature of the paper's Case 7.
   uint64_t events_missing = 0;
-  /// True when either counter is non-zero: this CDI was computed from
+  /// Events shed by overload admission control before reaching the engine
+  /// (flow::BackpressureQueue). Never unavailability-class — the shed
+  /// policy protects CDI-U inputs absolutely — so a degraded-by-shedding
+  /// CDI can understate CDI-P/CDI-C damage but never downtime.
+  uint64_t events_shed = 0;
+  /// True when any counter is non-zero: this CDI was computed from
   /// impaired input and may deviate from ground truth.
   bool degraded = false;
 
   /// Recomputes `degraded` from the counters.
-  void Refresh() { degraded = events_quarantined > 0 || events_missing > 0; }
+  void Refresh() {
+    degraded =
+        events_quarantined > 0 || events_missing > 0 || events_shed > 0;
+  }
 
   void Merge(const DataQuality& o) {
     events_quarantined += o.events_quarantined;
     events_missing += o.events_missing;
+    events_shed += o.events_shed;
     degraded = degraded || o.degraded;
   }
 };

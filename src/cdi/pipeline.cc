@@ -167,6 +167,7 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
 
   struct VmSlot {
     VmDailyOutput out;
+    bool deferred = false;
     bool failed = false;
     Status error;
     /// The undecorated failure reason, for distinct-reason sampling.
@@ -179,6 +180,13 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
   auto process_vm = [&](size_t i) {
     const VmServiceInfo& vm = vms[i];
     VmSlot& slot = slots[i];
+    // Budget check per VM, not per job: an expired deadline defers every
+    // VM that has not started yet while the ones already in flight finish,
+    // so the result is a consistent prefix of the fleet.
+    if (deadline_.Expired()) {
+      slot.deferred = true;
+      return;
+    }
     const Interval service = vm.service_period.ClampTo(day);
     if (service.empty()) {
       slot.out.skipped = true;
@@ -214,6 +222,10 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
   UnavailabilityPartial baseline_partial;
   std::set<std::string> sampled_reasons;
   for (VmSlot& slot : slots) {
+    if (slot.deferred) {
+      ++result.vms_deferred;
+      continue;
+    }
     if (slot.failed) {
       ++result.vms_failed;
       result.resolve_stats.Merge(slot.verr.resolve_stats);
@@ -259,11 +271,14 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
       obs::MetricsRegistry::Global().GetCounter("cdi.vms_failed");
   static obs::Counter* degraded =
       obs::MetricsRegistry::Global().GetCounter("cdi.vms_degraded");
+  static obs::Counter* deferred =
+      obs::MetricsRegistry::Global().GetCounter("cdi.vms_deferred");
   runs->Increment();
   evaluated->Add(result.vms_evaluated);
   skipped->Add(result.vms_skipped);
   failed->Add(result.vms_failed);
   degraded->Add(result.vms_degraded);
+  deferred->Add(result.vms_deferred);
   return result;
 }
 

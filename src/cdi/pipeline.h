@@ -115,6 +115,10 @@ struct DailyCdiResult {
   /// VMs that failed mid-computation; excluded from per_vm and the fleet
   /// aggregates but counted here so data-quality reporting matches reality.
   size_t vms_failed = 0;
+  /// VMs never started because the job's deadline expired first. A
+  /// non-zero count marks this result as partial: the fleet aggregates
+  /// cover only the VMs that ran.
+  size_t vms_deferred = 0;
   /// The first per-VM failure (ok when vms_failed == 0).
   Status first_vm_error;
   /// Up to kMaxVmErrorSamples samples of DISTINCT failure reasons across
@@ -158,6 +162,11 @@ class DailyCdiJob {
     size_t min_parallel_rows = 2;
     /// Optional fleet-level sink for events the per-VM sanitation diverts.
     chaos::QuarantineSink* quarantine = nullptr;
+    /// Execution budget. VMs not yet started when the deadline expires are
+    /// deferred (counted in DailyCdiResult::vms_deferred) instead of
+    /// computed, so an overloaded job returns a partial-but-honest result
+    /// quickly rather than a complete one late. Default: infinite.
+    Deadline deadline = {};
   };
 
   explicit DailyCdiJob(const Options& options)
@@ -166,7 +175,8 @@ class DailyCdiJob {
         weights_(options.weights),
         pool_(options.pool),
         min_parallel_rows_(options.min_parallel_rows),
-        quarantine_(options.quarantine) {}
+        quarantine_(options.quarantine),
+        deadline_(options.deadline) {}
 
   /// Compatibility constructor predating Options; prefer
   /// DailyCdiJob(Options{...}), which can also wire a quarantine sink.
@@ -193,6 +203,7 @@ class DailyCdiJob {
   ThreadPool* pool_;
   size_t min_parallel_rows_;
   chaos::QuarantineSink* quarantine_;
+  Deadline deadline_;
 };
 
 }  // namespace cdibot

@@ -133,6 +133,31 @@ FaultPlan FlakyIoPlan(uint64_t seed, double p) {
   return plan;
 }
 
+FaultPlan SurgeBurstPlan(uint64_t seed, size_t factor) {
+  FaultPlan plan = NamedPlan("surge_burst", seed);
+  const size_t copies = factor > 1 ? factor - 1 : 0;
+  if (copies > 0) {
+    plan.Add(
+        {.kind = FaultKind::kDuplicate, .probability = 1.0, .burst = copies});
+  }
+  return plan;
+}
+
+FaultPlan SlowConsumerPlan(uint64_t seed) {
+  FaultPlan plan = NamedPlan("slow_consumer", seed);
+  plan.Add({.kind = FaultKind::kDelay,
+            .probability = 0.6,
+            .magnitude = Duration::Hours(2)})
+      .Add({.kind = FaultKind::kReorder, .probability = 0.5, .burst = 64});
+  return plan;
+}
+
+FaultPlan FlappingSinkPlan(uint64_t seed, double p) {
+  FaultPlan plan = NamedPlan("flapping_sink", seed);
+  plan.Add({.kind = FaultKind::kIoFailure, .probability = p});
+  return plan;
+}
+
 FaultPlan MixedLossyPlan(uint64_t seed) {
   FaultPlan plan = NamedPlan("mixed_lossy", seed);
   plan.Add({.kind = FaultKind::kDrop, .probability = 0.05})

@@ -99,6 +99,25 @@ FaultPlan MetricCorruptionPlan(uint64_t seed, double nan_p = 0.02,
 FaultPlan MixedLossyPlan(uint64_t seed);
 FaultPlan FlakyIoPlan(uint64_t seed, double p = 0.5);
 
+/// Overload presets for the flow-control suite.
+///
+/// SurgeBurstPlan multiplies the stream `factor`x by duplicating every
+/// event (p = 1, burst = factor - 1). Lossless by construction: the
+/// resolver dedups redeliveries, so a pipeline that keeps up under the
+/// surge must still produce bit-identical CDI — what the surge actually
+/// stresses is the admission path (queue depth, shed policy, memory
+/// ceiling).
+FaultPlan SurgeBurstPlan(uint64_t seed, size_t factor = 10);
+/// SlowConsumerPlan models a consumer that cannot keep up: heavy delivery
+/// delay plus deep reordering. Lossless; stresses watermark hysteresis and
+/// the retention of late arrivals.
+FaultPlan SlowConsumerPlan(uint64_t seed);
+/// FlappingSinkPlan models a disk that mostly fails: I/O attempts return
+/// Unavailable with probability `p`. Drives the checkpoint store's retry
+/// path into the circuit breaker (trip on consecutive failures, recover
+/// via half-open probes once the flapping stops).
+FaultPlan FlappingSinkPlan(uint64_t seed, double p = 0.7);
+
 }  // namespace cdibot::chaos
 
 #endif  // CDIBOT_CHAOS_FAULT_PLAN_H_

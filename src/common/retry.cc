@@ -17,6 +17,11 @@ RetryPolicy::RetryPolicy(RetryOptions options, uint64_t jitter_seed)
 }
 
 Status RetryPolicy::Run(const std::function<Status()>& op) {
+  return Run(op, Deadline::Infinite());
+}
+
+Status RetryPolicy::Run(const std::function<Status()>& op,
+                        const Deadline& deadline) {
   // Fleet-wide retry accounting: `runs` counts Run() calls, `attempts`
   // every op() invocation, so attempts/runs > 1 means something is flaky.
   static obs::Counter* runs =
@@ -27,6 +32,8 @@ Status RetryPolicy::Run(const std::function<Status()>& op) {
       obs::MetricsRegistry::Global().GetCounter("common.retry.retried");
   static obs::Counter* exhausted =
       obs::MetricsRegistry::Global().GetCounter("common.retry.exhausted");
+  static obs::Counter* deadline_cuts = obs::MetricsRegistry::Global().GetCounter(
+      "common.retry.deadline_exhausted");
   runs->Increment();
   Duration backoff = options_.initial_backoff;
   Status last = Status::OK();
@@ -42,16 +49,28 @@ Status RetryPolicy::Run(const std::function<Status()>& op) {
           << " attempts: " << last.ToString();
       break;
     }
+    if (deadline.Expired()) {
+      deadline_cuts->Increment();
+      CDIBOT_LOG_EVERY_N(Warning, 32)
+          << "retry stopped by deadline after " << attempt
+          << " attempts: " << last.ToString();
+      break;
+    }
     retried->Increment();
     CDIBOT_LOG_EVERY_N(Info, 64)
         << "retrying (attempt " << attempt << "/" << options_.max_attempts
         << "): " << last.ToString();
 
-    const double scale =
-        1.0 + options_.jitter * (2.0 * rng_.NextDouble() - 1.0);
-    const auto sleep_ms = static_cast<int64_t>(
+    // Full jitter: uniform over [nominal * (1 - jitter), nominal]. The
+    // draw comes from the seeded rng, so every schedule is reproducible.
+    const double scale = 1.0 - options_.jitter * rng_.NextDouble();
+    auto sleep_ms = static_cast<int64_t>(
         static_cast<double>(backoff.millis()) * scale);
-    const Duration sleep = Duration::Millis(std::max<int64_t>(0, sleep_ms));
+    sleep_ms = std::max<int64_t>(0, sleep_ms);
+    if (!deadline.IsInfinite()) {
+      sleep_ms = std::min(sleep_ms, deadline.Remaining().millis());
+    }
+    const Duration sleep = Duration::Millis(sleep_ms);
     if (sleeper_) {
       sleeper_(sleep);
     } else if (!sleep.IsZero()) {

@@ -18,10 +18,17 @@ struct RetryOptions {
   Duration initial_backoff = Duration::Millis(10);
   double backoff_multiplier = 2.0;
   Duration max_backoff = Duration::Seconds(2);
-  /// Each sleep is scaled by a uniform factor in [1 - jitter, 1 + jitter]
-  /// so synchronized retriers (e.g. every shard of a job hitting the same
-  /// recovering disk) fan out instead of stampeding.
-  double jitter = 0.2;
+  /// Full-jitter exponential backoff (the AWS-architecture-blog scheme):
+  /// each sleep is drawn uniformly from [nominal * (1 - jitter), nominal],
+  /// where nominal is the capped exponential schedule. jitter = 1 (the
+  /// default) is classic full jitter — sleeps anywhere in [0, nominal] —
+  /// which decorrelates synchronized retriers (every shard of a job hitting
+  /// the same recovering disk) instead of letting them stampede in lockstep;
+  /// jitter = 0 degrades to a deterministic schedule for tests. The old
+  /// multiplicative scheme (nominal +/- 20%) kept the whole fleet inside one
+  /// narrow 40% band, re-synchronizing the exact thundering herd the
+  /// circuit breaker exists to prevent.
+  double jitter = 1.0;
 };
 
 /// RetryPolicy runs a fallible operation until it succeeds, fails with a
@@ -47,6 +54,12 @@ class RetryPolicy {
   /// non-retryable error, or the last retryable error once the attempt
   /// budget is spent.
   Status Run(const std::function<Status()>& op);
+
+  /// Deadline-aware variant: stops retrying (returning the last error) once
+  /// `deadline` expires, and never sleeps past it — a caller with 50ms of
+  /// budget left gets at most 50ms of backoff, not the full schedule. The
+  /// operation itself is not interrupted mid-attempt.
+  Status Run(const std::function<Status()>& op, const Deadline& deadline);
 
   /// Attempts consumed by the most recent Run (>= 1 after any Run).
   int last_attempts() const { return last_attempts_; }

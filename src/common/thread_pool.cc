@@ -29,13 +29,28 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
+    if (joined_) return;
+    joined_ = true;
   }
   cv_.notify_all();
   for (auto& t : workers_) t.join();
+}
+
+bool ThreadPool::accepting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !shutdown_;
+}
+
+void ThreadPool::NoteRejected() {
+  static obs::Counter* rejected =
+      obs::MetricsRegistry::Global().GetCounter("common.pool.rejected");
+  rejected->Increment();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -14,6 +14,14 @@ namespace cdibot {
 /// Fixed-size worker pool backing the dataflow engine's parallel operators.
 /// Tasks are closures; Submit returns a future. The pool drains and joins in
 /// its destructor, so a ThreadPool must outlive all work submitted to it.
+///
+/// Shutdown follows drain-then-reject semantics: every task enqueued before
+/// shutdown began is executed, and any Submit racing with (or arriving
+/// after) shutdown is rejected — the task is never enqueued and its future
+/// reports std::future_errc::broken_promise instead of hanging forever on a
+/// queue no worker will ever drain. This is what lets a supervisor restart
+/// a pipeline stage: the old stage's pool can be torn down mid-traffic
+/// without stranding producers on futures that never resolve.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (minimum 1).
@@ -25,7 +33,18 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues `fn`; the returned future resolves with its result.
+  /// Begins shutdown (new Submits are rejected from this point on), drains
+  /// every already-queued task, and joins the workers. Idempotent; the
+  /// destructor calls it.
+  void Shutdown();
+
+  /// False once Shutdown() has begun; a false return means Submit would
+  /// reject. Advisory only — a racing Shutdown can begin right after.
+  bool accepting() const;
+
+  /// Enqueues `fn`; the returned future resolves with its result. During or
+  /// after Shutdown the task is rejected: it never runs, and the returned
+  /// future throws std::future_error(broken_promise) on get().
   template <typename Fn>
   auto Submit(Fn fn) -> std::future<decltype(fn())> {
     using R = decltype(fn());
@@ -33,6 +52,12 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        // Rejected: dropping the packaged_task here breaks its promise, so
+        // the caller observes the rejection instead of blocking forever.
+        NoteRejected();
+        return result;
+      }
       queue_.emplace_back([task]() { (*task)(); });
     }
     cv_.notify_one();
@@ -49,11 +74,15 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  /// Bumps the rejected-submit counter (out of line so the obs dependency
+  /// stays in the .cc).
+  static void NoteRejected();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
+  bool joined_ = false;
   std::vector<std::thread> workers_;
 };
 

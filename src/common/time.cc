@@ -1,5 +1,6 @@
 #include "common/time.h"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -155,6 +156,29 @@ std::string TimePoint::ToDateString() const {
 
 std::string Interval::ToString() const {
   return "[" + start.ToString() + ", " + end.ToString() + ")";
+}
+
+int64_t Deadline::NowSteadyMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Deadline Deadline::After(Duration budget) {
+  const int64_t now = NowSteadyMillis();
+  if (budget.millis() >= kInfiniteMs - now) return Infinite();
+  return Deadline(now + budget.millis());
+}
+
+bool Deadline::Expired() const {
+  if (IsInfinite()) return false;
+  return NowSteadyMillis() >= at_steady_ms_;
+}
+
+Duration Deadline::Remaining() const {
+  if (IsInfinite()) return Duration::Days(365);
+  const int64_t left = at_steady_ms_ - NowSteadyMillis();
+  return Duration::Millis(left > 0 ? left : 0);
 }
 
 }  // namespace cdibot

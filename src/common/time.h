@@ -112,6 +112,53 @@ class TimePoint {
   int64_t ms_;
 };
 
+/// Deadline is an execution budget: an instant on the process's MONOTONIC
+/// clock by which an operation should have finished. Unlike TimePoint (event
+/// time, epoch-based, simulation-controlled), a Deadline measures real
+/// elapsed compute/IO time, so it is what the pipeline propagates to bound
+/// work under overload — a daily job, a streaming preview, or a checkpoint
+/// write checks Expired() between units of work and early-exits with a
+/// partial result instead of blocking the caller indefinitely.
+///
+/// The default-constructed Deadline is infinite (never expires), so adding a
+/// Deadline parameter to an existing API changes nothing for callers that do
+/// not pass one. Deadlines are plain values: cheap to copy and pass by value.
+class Deadline {
+ public:
+  /// Never expires.
+  constexpr Deadline() : at_steady_ms_(kInfiniteMs) {}
+
+  static constexpr Deadline Infinite() { return Deadline(); }
+
+  /// Expires `budget` from now (monotonic clock). A non-positive budget is
+  /// already expired.
+  static Deadline After(Duration budget);
+
+  /// Test hook: a deadline pinned at an absolute monotonic-clock reading,
+  /// for deterministic expiry checks against NowSteadyMillis().
+  static constexpr Deadline AtSteadyMillis(int64_t ms) { return Deadline(ms); }
+
+  /// Milliseconds since an arbitrary fixed origin on the monotonic clock.
+  static int64_t NowSteadyMillis();
+
+  constexpr bool IsInfinite() const { return at_steady_ms_ == kInfiniteMs; }
+
+  /// True once the budget is spent. Infinite deadlines never expire.
+  bool Expired() const;
+
+  /// Budget left; zero when expired, Duration::Days(365) floor-capped for
+  /// infinite deadlines (callers use it to bound sleeps, so "a year" is
+  /// effectively unbounded without risking int64 overflow downstream).
+  Duration Remaining() const;
+
+  friend constexpr bool operator==(const Deadline&, const Deadline&) = default;
+
+ private:
+  static constexpr int64_t kInfiniteMs = INT64_MAX;
+  explicit constexpr Deadline(int64_t at_ms) : at_steady_ms_(at_ms) {}
+  int64_t at_steady_ms_;
+};
+
 /// A half-open time interval [start, end). Intervals with end <= start are
 /// empty. Event periods and service windows are Intervals.
 struct Interval {

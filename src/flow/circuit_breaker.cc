@@ -1,0 +1,154 @@
+#include "flow/circuit_breaker.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace cdibot::flow {
+
+std::string_view BreakerStateToString(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(std::string name, CircuitBreakerOptions options)
+    : name_(std::move(name)),
+      options_(std::move(options)),
+      rng_(options_.jitter_seed) {
+  options_.half_open_probes = std::max(1, options_.half_open_probes);
+  options_.cooldown_jitter = std::clamp(options_.cooldown_jitter, 0.0, 4.0);
+  if (options_.cooldown < Duration::Zero()) {
+    options_.cooldown = Duration::Zero();
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  const std::string prefix = "flow.breaker." + name_;
+  state_gauge_ = registry.GetGauge(prefix + ".state");
+  trips_counter_ = registry.GetCounter(prefix + ".trips");
+  rejected_counter_ = registry.GetCounter(prefix + ".rejected");
+  state_gauge_->Set(static_cast<double>(BreakerState::kClosed));
+}
+
+int64_t CircuitBreaker::NowMs() const {
+  return options_.clock ? options_.clock() : Deadline::NowSteadyMillis();
+}
+
+void CircuitBreaker::TripLocked(int64_t now_ms) {
+  state_ = BreakerState::kOpen;
+  ++stats_.trips;
+  trips_counter_->Increment();
+  consecutive_failures_ = 0;
+  probes_in_flight_ = 0;
+  probe_successes_ = 0;
+  // Jitter only ever extends the cooldown, so a fleet of breakers tripped
+  // by one outage fans its probes out instead of retrying in lockstep.
+  const double scale = 1.0 + options_.cooldown_jitter * rng_.NextDouble();
+  const auto cooldown_ms = static_cast<int64_t>(
+      static_cast<double>(options_.cooldown.millis()) * scale);
+  reopen_at_ms_ = now_ms + std::max<int64_t>(0, cooldown_ms);
+  state_gauge_->Set(static_cast<double>(state_));
+  CDIBOT_LOG_EVERY_N(Warning, 16)
+      << "circuit breaker '" << name_ << "' tripped open (cooldown "
+      << Duration::Millis(cooldown_ms).ToString() << ")";
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled()) {
+    ++stats_.allowed;
+    return true;
+  }
+  switch (state_) {
+    case BreakerState::kClosed:
+      ++stats_.allowed;
+      return true;
+    case BreakerState::kOpen:
+      if (NowMs() < reopen_at_ms_) {
+        ++stats_.rejected;
+        rejected_counter_->Increment();
+        return false;
+      }
+      state_ = BreakerState::kHalfOpen;
+      probes_in_flight_ = 0;
+      probe_successes_ = 0;
+      state_gauge_->Set(static_cast<double>(state_));
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (probes_in_flight_ >= options_.half_open_probes) {
+        ++stats_.rejected;
+        rejected_counter_->Increment();
+        return false;
+      }
+      ++probes_in_flight_;
+      ++stats_.probes;
+      ++stats_.allowed;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.successes;
+  if (!enabled()) return;
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kOpen:
+      // A straggler from before the trip; ignore.
+      break;
+    case BreakerState::kHalfOpen:
+      probes_in_flight_ = std::max(0, probes_in_flight_ - 1);
+      if (++probe_successes_ >= options_.half_open_probes) {
+        state_ = BreakerState::kClosed;
+        consecutive_failures_ = 0;
+        ++stats_.closes;
+        state_gauge_->Set(static_cast<double>(state_));
+        CDIBOT_LOG_EVERY_N(Info, 16)
+            << "circuit breaker '" << name_ << "' closed after "
+            << probe_successes_ << " successful probe(s)";
+      }
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.failures;
+  if (!enabled()) return;
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        TripLocked(NowMs());
+      }
+      break;
+    case BreakerState::kOpen:
+      // A straggler from before the trip; ignore.
+      break;
+    case BreakerState::kHalfOpen:
+      // One failed probe reopens immediately — the dependency is still sick.
+      TripLocked(NowMs());
+      break;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+BreakerStats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cdibot::flow

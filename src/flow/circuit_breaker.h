@@ -1,0 +1,126 @@
+#ifndef CDIBOT_FLOW_CIRCUIT_BREAKER_H_
+#define CDIBOT_FLOW_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace cdibot::obs {
+class Counter;
+class Gauge;
+}  // namespace cdibot::obs
+
+namespace cdibot::flow {
+
+/// Circuit breaker state machine.
+enum class BreakerState : int {
+  kClosed = 0,    ///< healthy: every call allowed
+  kOpen = 1,      ///< tripped: calls rejected until the cooldown elapses
+  kHalfOpen = 2,  ///< probing: a bounded number of trial calls allowed
+};
+
+std::string_view BreakerStateToString(BreakerState s);
+
+/// Tuning for a CircuitBreaker.
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open. 0 disables the
+  /// breaker entirely (Allow always true, Record* only keeps stats), which
+  /// is the default so wrapping an existing call site changes nothing until
+  /// a threshold is configured.
+  int failure_threshold = 0;
+  /// How long the breaker stays open before probing. The actual cooldown is
+  /// jittered (see cooldown_jitter) so many breakers tripped by the same
+  /// outage do not probe the recovering dependency in lockstep.
+  Duration cooldown = Duration::Seconds(5);
+  /// Fractional cooldown extension drawn per trip from the seeded rng:
+  /// actual = cooldown * (1 + cooldown_jitter * U[0,1)). Only ever extends,
+  /// never shortens, so tests can bound the earliest probe exactly.
+  double cooldown_jitter = 0.2;
+  /// Successful probes required in half-open before closing. A single probe
+  /// failure reopens immediately.
+  int half_open_probes = 1;
+  /// Seed for the cooldown jitter stream (deterministic schedules).
+  uint64_t jitter_seed = 0;
+  /// Monotonic clock in milliseconds. Defaults to Deadline::NowSteadyMillis;
+  /// tests inject a fake to step through cooldowns without sleeping.
+  std::function<int64_t()> clock = {};
+};
+
+/// Counters for every decision the breaker ever made.
+struct BreakerStats {
+  uint64_t allowed = 0;
+  uint64_t rejected = 0;  ///< fast-failed while open
+  uint64_t failures = 0;
+  uint64_t successes = 0;
+  uint64_t trips = 0;    ///< closed/half-open -> open transitions
+  uint64_t probes = 0;   ///< trial calls admitted while half-open
+  uint64_t closes = 0;   ///< half-open -> closed transitions
+};
+
+/// A closed -> open -> half-open circuit breaker for a flaky dependency
+/// (primarily the checkpoint store's IO path). Where RetryPolicy *amplifies*
+/// load against a failing dependency — every logical call becomes
+/// max_attempts physical ones — the breaker does the opposite: after
+/// `failure_threshold` consecutive failures it fails fast without touching
+/// the dependency at all, then probes it with a trickle of trial calls after
+/// a jittered cooldown, closing again only once probes succeed.
+///
+/// Usage: call Allow() before the guarded operation (false = fail fast with
+/// an Unavailable-style error), then RecordSuccess()/RecordFailure() with
+/// the outcome. State, trips, and rejections are exported per-name through
+/// the metrics registry ("flow.breaker.<name>.*") so transitions are
+/// visible in statusz.
+///
+/// Thread safety: all methods are safe to call concurrently.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(std::string name, CircuitBreakerOptions options = {});
+
+  /// False when failure_threshold == 0 (pass-through mode).
+  bool enabled() const { return options_.failure_threshold > 0; }
+
+  /// True if the guarded call may proceed. While open, flips to half-open
+  /// once the cooldown has elapsed and admits up to half_open_probes trial
+  /// calls; otherwise rejects.
+  bool Allow();
+
+  /// Reports the outcome of an allowed call.
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const;
+  BreakerStats stats() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  /// Transitions to open and schedules the next probe window (lock held).
+  void TripLocked(int64_t now_ms);
+  int64_t NowMs() const;
+
+  const std::string name_;
+  CircuitBreakerOptions options_;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int probes_in_flight_ = 0;
+  int probe_successes_ = 0;
+  int64_t reopen_at_ms_ = 0;
+  BreakerStats stats_;
+
+  // Per-name statusz handles ("flow.breaker.<name>.*"), resolved once at
+  // construction; the registry owns the metric objects.
+  obs::Gauge* state_gauge_;
+  obs::Counter* trips_counter_;
+  obs::Counter* rejected_counter_;
+};
+
+}  // namespace cdibot::flow
+
+#endif  // CDIBOT_FLOW_CIRCUIT_BREAKER_H_

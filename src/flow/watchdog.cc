@@ -1,0 +1,65 @@
+#include "flow/watchdog.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace cdibot::flow {
+
+Watchdog::Watchdog(std::string name, WatchdogOptions options)
+    : name_(std::move(name)), options_(options) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const std::string prefix = "flow.watchdog." + name_;
+  heartbeat_gauge_ = registry.GetGauge(prefix + ".last_heartbeat_ms");
+  stalled_gauge_ = registry.GetGauge(prefix + ".stalled");
+  stalls_counter_ = registry.GetCounter(prefix + ".stalls");
+  recoveries_counter_ = registry.GetCounter(prefix + ".recoveries");
+  stalled_gauge_->Set(0.0);
+}
+
+void Watchdog::Heartbeat(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = true;
+  stalled_ = false;
+  if (now > last_heartbeat_) last_heartbeat_ = now;
+  ++stats_.heartbeats;
+  heartbeat_gauge_->Set(static_cast<double>(last_heartbeat_.millis()));
+  stalled_gauge_->Set(0.0);
+}
+
+bool Watchdog::Poll(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_) return false;
+  if (stalled_) return true;
+  if (now - last_heartbeat_ <= options_.stall_timeout) return false;
+  stalled_ = true;
+  ++stats_.stalls;
+  stalls_counter_->Increment();
+  stalled_gauge_->Set(1.0);
+  CDIBOT_LOG_EVERY_N(Warning, 16)
+      << "watchdog '" << name_ << "' detected stall: no heartbeat since "
+      << last_heartbeat_.ToString() << " (now " << now.ToString() << ")";
+  return true;
+}
+
+void Watchdog::NoteRecovery() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stalled_ = false;
+  armed_ = false;  // re-arm on the restarted stage's first heartbeat
+  ++stats_.recoveries;
+  recoveries_counter_->Increment();
+  stalled_gauge_->Set(0.0);
+}
+
+TimePoint Watchdog::last_heartbeat() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_heartbeat_;
+}
+
+WatchdogStats Watchdog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cdibot::flow

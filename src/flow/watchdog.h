@@ -1,0 +1,88 @@
+#ifndef CDIBOT_FLOW_WATCHDOG_H_
+#define CDIBOT_FLOW_WATCHDOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/time.h"
+
+namespace cdibot::obs {
+class Counter;
+class Gauge;
+}  // namespace cdibot::obs
+
+namespace cdibot::flow {
+
+/// Tuning for a Watchdog.
+struct WatchdogOptions {
+  /// How long a stage may go without a heartbeat before it is considered
+  /// stalled. Measured in the same clock the heartbeats use (the simulator
+  /// feeds event time, so stall detection is deterministic under test).
+  Duration stall_timeout = Duration::Minutes(30);
+};
+
+/// Counters describing the watchdog's life so far.
+struct WatchdogStats {
+  uint64_t heartbeats = 0;
+  /// Distinct stall episodes detected (a stall is counted once when first
+  /// observed, not per Poll).
+  uint64_t stalls = 0;
+  uint64_t recoveries = 0;
+};
+
+/// Heartbeat-based stall detector for a pipeline stage. The stage (or the
+/// pump feeding it) calls Heartbeat() whenever it makes progress; a
+/// supervisor calls Poll() and, when it returns true, restarts the stage and
+/// calls NoteRecovery(). Crashes that merely kill a stage leave its queue
+/// intact — the watchdog is what turns "the consumer went quiet" into a
+/// restart instead of an ever-deepening backlog.
+///
+/// The clock is caller-supplied (TimePoint event time), so the simulator
+/// drives stall detection deterministically; production callers would feed
+/// wall time. Heartbeats also export "flow.watchdog.<name>.*" gauges so a
+/// stalled stage is visible in statusz before the supervisor reacts.
+///
+/// Thread safety: all methods are safe to call concurrently.
+class Watchdog {
+ public:
+  explicit Watchdog(std::string name, WatchdogOptions options = {});
+
+  /// Records stage progress at `now` and ends any current stall episode.
+  void Heartbeat(TimePoint now);
+
+  /// True when the stage has heartbeated at least once and then gone silent
+  /// for longer than stall_timeout. The first Poll observing an episode
+  /// increments the stall counter; subsequent Polls keep returning true
+  /// without recounting.
+  bool Poll(TimePoint now);
+
+  /// Records that the supervisor restarted the stage. The stall episode
+  /// ends; detection re-arms on the next Heartbeat.
+  void NoteRecovery();
+
+  TimePoint last_heartbeat() const;
+  WatchdogStats stats() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  const std::string name_;
+  const WatchdogOptions options_;
+
+  mutable std::mutex mu_;
+  bool armed_ = false;    // at least one heartbeat seen
+  bool stalled_ = false;  // currently inside a stall episode
+  TimePoint last_heartbeat_;
+  WatchdogStats stats_;
+
+  // Per-name statusz handles, resolved once at construction; the registry
+  // owns the metric objects.
+  obs::Gauge* heartbeat_gauge_;
+  obs::Gauge* stalled_gauge_;
+  obs::Counter* stalls_counter_;
+  obs::Counter* recoveries_counter_;
+};
+
+}  // namespace cdibot::flow
+
+#endif  // CDIBOT_FLOW_WATCHDOG_H_

@@ -51,6 +51,14 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
   if (options.tick.millis() <= 0) {
     return Status::InvalidArgument("tick must be positive");
   }
+  if (options.flow_control && !options.streaming_cdi) {
+    return Status::InvalidArgument("flow_control requires streaming_cdi");
+  }
+  if (options.watchdog_recovery &&
+      (!options.flow_control || !options.supervise_streaming)) {
+    return Status::InvalidArgument(
+        "watchdog_recovery requires flow_control and supervise_streaming");
+  }
   // Tracing for the run when a trace path is requested; restored on exit so
   // a caller-enabled tracer is left untouched.
   const bool tracer_was_enabled = obs::Tracer::Global().enabled();
@@ -84,6 +92,14 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
     inc.actual_end = inc.natural_end;
     incidents.push_back(std::move(inc));
   }
+  // Process the day in event-time order. The loop's clock (sim_now, the
+  // watchdog's heartbeat source) is the frontier of incident end times;
+  // handling incidents in fleet-topology order would let one late-ending
+  // incident freeze that frontier for the rest of the day.
+  std::stable_sort(incidents.begin(), incidents.end(),
+                   [](const Incident& a, const Incident& b) {
+                     return a.start < b.start;
+                   });
 
   CDIBOT_ASSIGN_OR_RETURN(RuleEngine engine, RuleEngine::BuiltIn());
   OperationPlatform platform;
@@ -107,9 +123,59 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
       CDIBOT_RETURN_IF_ERROR(stream->RegisterVm(vm));
     }
   }
-  auto feed_stream = [&stream](const RawEvent& ev) -> Status {
+  // Flow control: instead of ingesting directly, events enter a bounded
+  // backpressure queue; a pump drains it into the engine after each
+  // incident. Sheds are tallied per target and reported to the engine
+  // before the day's final results so every shed surfaces as a degraded
+  // DataQuality annotation rather than a silent gap.
+  std::optional<flow::BackpressureQueue> queue;
+  std::map<std::string, uint64_t> shed_counts;
+  if (options.flow_control) {
+    queue.emplace(options.flow_options);
+    queue->set_shed_callback(
+        [&shed_counts](const RawEvent& ev, flow::FlowClass) {
+          ++shed_counts[ev.target];
+        });
+  }
+  auto flow_class_for = [&catalog](const RawEvent& ev) {
+    const auto handle = catalog.FindHandle(ev.name);
+    return handle.has_value()
+               ? flow::FlowClassForCategory(handle->spec->category)
+               : flow::FlowClass::kPerformance;
+  };
+  auto feed_stream = [&](const RawEvent& ev) -> Status {
+    if (queue.has_value()) {
+      // TryPush never returns kQueueFull here: the sim emits no
+      // unavailability-class events at hard capacity without sheddable
+      // items queued, and sheddable classes are admitted or shed.
+      queue->TryPush(ev, flow_class_for(ev));
+      return Status::OK();
+    }
     if (!stream.has_value()) return Status::OK();
     return stream->Ingest(ev);
+  };
+  // Tracks the frontier of emitted event time; heartbeats and watchdog
+  // polls run on this clock so stall detection is deterministic.
+  TimePoint sim_now = day.start;
+  std::optional<flow::Watchdog> watchdog;
+  if (options.watchdog_recovery) {
+    watchdog.emplace("stream_pump",
+                     flow::WatchdogOptions{
+                         .stall_timeout = options.watchdog_stall_timeout});
+  }
+  // Drains the queue into the engine (bounded per step when configured).
+  // A dead engine leaves the backlog in place — the queue, not the
+  // engine, is the day's buffer of record while the supervisor reacts.
+  auto pump = [&]() -> Status {
+    if (!queue.has_value() || !stream.has_value()) return Status::OK();
+    const bool unbounded = options.flow_drain_per_step == 0;
+    size_t budget = options.flow_drain_per_step;
+    RawEvent ev;
+    while ((unbounded || budget-- > 0) && queue->TryPop(&ev)) {
+      CDIBOT_RETURN_IF_ERROR(stream->Ingest(ev));
+    }
+    if (watchdog.has_value()) watchdog->Heartbeat(sim_now);
+    return Status::OK();
   };
 
   // Supervisor mode: checkpoint after every incident and crash/restore the
@@ -125,9 +191,11 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
       return Status::InvalidArgument(
           "supervise_streaming requires a checkpoint_dir");
     }
+    CheckpointStoreOptions store_options;
+    store_options.breaker = options.checkpoint_breaker;
     CDIBOT_ASSIGN_OR_RETURN(
         StreamCheckpointStore opened,
-        StreamCheckpointStore::Open(options.checkpoint_dir, {}));
+        StreamCheckpointStore::Open(options.checkpoint_dir, store_options));
     store.emplace(std::move(opened));
     const size_t n = incidents.size();
     const size_t k = std::min(options.supervisor_crashes, n);
@@ -221,6 +289,12 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
       t += Duration::Minutes(1);
     }
     result.damage_avoided += inc.natural_end - inc.actual_end;
+    if (sim_now < inc.actual_end) sim_now = inc.actual_end;
+
+    // Flow control: drain this incident's events from the queue into the
+    // engine (if it is alive). With the engine down the backlog simply
+    // deepens — nothing is lost below the shed policy.
+    CDIBOT_RETURN_IF_ERROR(pump());
 
     // Intra-day checkpoint: let the live watchdog look at the fleet as it
     // stands after this incident's events. Only the VMs touched since the
@@ -234,25 +308,58 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
     }
 
     // Supervisor: persist the engine's durable state, then possibly kill
-    // it and bring it back from disk. Crashing right after a checkpoint
-    // means no ingested event is lost, so the day's final streaming CDI
-    // still agrees with the batch job — the recovery suite pins this.
+    // it. Without watchdog recovery the engine is brought back from disk
+    // immediately (crash-right-after-checkpoint, so no ingested event is
+    // lost and the day's final streaming CDI still agrees with the batch
+    // job — the recovery suite pins this). With watchdog recovery the
+    // crash goes UNHANDLED here: the backpressure queue buffers the
+    // traffic and the watchdog below detects the silence and restores.
+    auto restore_engine = [&]() -> Status {
+      CDIBOT_ASSIGN_OR_RETURN(const StreamCheckpoint ckpt,
+                              store->LoadLastGood());
+      StreamingCdiOptions sopts;
+      sopts.window = day;
+      sopts.pool = ctx.pool;
+      CDIBOT_ASSIGN_OR_RETURN(
+          StreamingCdiEngine revived,
+          StreamingCdiEngine::Restore(ckpt, &catalog, &weights, sopts));
+      stream.emplace(std::move(revived));
+      ++result.restores_completed;
+      return Status::OK();
+    };
     if (store.has_value() && stream.has_value()) {
-      CDIBOT_RETURN_IF_ERROR(store->Save(stream->Checkpoint()));
-      ++result.checkpoints_saved;
+      const Deadline save_deadline =
+          options.checkpoint_budget.IsZero()
+              ? Deadline::Infinite()
+              : Deadline::After(options.checkpoint_budget);
+      const Status saved = store->Save(stream->Checkpoint(), save_deadline);
+      if (saved.ok()) {
+        ++result.checkpoints_saved;
+      } else if (store->breaker().enabled() && saved.IsFailedPrecondition()) {
+        // Breaker open: skip this generation instead of failing the day.
+        // Recovery granularity degrades; the CDI keeps flowing.
+        ++result.checkpoints_skipped;
+      } else {
+        return saved;
+      }
       if (crash_after.count(inc_index) > 0) {
         stream.reset();  // the "crash": all in-memory state is gone
         ++result.crashes_injected;
-        CDIBOT_ASSIGN_OR_RETURN(const StreamCheckpoint ckpt,
-                                store->LoadLastGood());
-        StreamingCdiOptions sopts;
-        sopts.window = day;
-        sopts.pool = ctx.pool;
-        CDIBOT_ASSIGN_OR_RETURN(
-            StreamingCdiEngine revived,
-            StreamingCdiEngine::Restore(ckpt, &catalog, &weights, sopts));
-        stream.emplace(std::move(revived));
-        ++result.restores_completed;
+        if (!options.watchdog_recovery) {
+          CDIBOT_RETURN_IF_ERROR(restore_engine());
+        }
+      }
+    }
+
+    // Watchdog: with the engine down the pump goes silent; once the event
+    // clock outruns the last heartbeat by the stall timeout, the
+    // supervisor restores from the last good checkpoint and the pump
+    // drains the backlog that accumulated during the outage.
+    if (watchdog.has_value() && watchdog->Poll(sim_now)) {
+      if (!stream.has_value() && store.has_value()) {
+        CDIBOT_RETURN_IF_ERROR(restore_engine());
+        watchdog->NoteRecovery();
+        CDIBOT_RETURN_IF_ERROR(pump());
       }
     }
 
@@ -263,6 +370,51 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
                        << " of " << incidents.size() << ":\n"
                        << obs::RenderStatuszText(obs::CaptureObsSnapshot());
     }
+  }
+
+  // --- End-of-day flow drain -------------------------------------------------
+  if (queue.has_value()) {
+    // A crash close to the day's end can leave the engine dead with the
+    // stall window not yet elapsed; the day boundary is itself a deadline,
+    // so force the restore now rather than lose the backlog.
+    if (!stream.has_value() && store.has_value()) {
+      CDIBOT_ASSIGN_OR_RETURN(const StreamCheckpoint ckpt,
+                              store->LoadLastGood());
+      StreamingCdiOptions sopts;
+      sopts.window = day;
+      sopts.pool = ctx.pool;
+      CDIBOT_ASSIGN_OR_RETURN(
+          StreamingCdiEngine revived,
+          StreamingCdiEngine::Restore(ckpt, &catalog, &weights, sopts));
+      stream.emplace(std::move(revived));
+      ++result.restores_completed;
+      if (watchdog.has_value()) watchdog->NoteRecovery();
+    }
+    // Final drain ignores the per-step budget: the day is over and the
+    // remaining backlog must land before results are read.
+    if (stream.has_value()) {
+      RawEvent ev;
+      while (queue->TryPop(&ev)) {
+        CDIBOT_RETURN_IF_ERROR(stream->Ingest(ev));
+      }
+    }
+    // Surface every shed as a degraded DataQuality annotation on the
+    // affected VM — the day's CDI is partial-but-honest, never silently
+    // short.
+    if (stream.has_value()) {
+      for (const auto& [target, count] : shed_counts) {
+        stream->RecordShed(target, count);
+      }
+    }
+    result.flow_stats = queue->stats();
+    result.events_shed = result.flow_stats.shed_total;
+  }
+  if (watchdog.has_value()) {
+    result.watchdog_stalls = watchdog->stats().stalls;
+    result.watchdog_recoveries = watchdog->stats().recoveries;
+  }
+  if (store.has_value()) {
+    result.breaker_trips = store->breaker().stats().trips;
   }
 
   // --- Evaluate the day with the standard pipeline ---------------------------

@@ -5,6 +5,9 @@
 #include "cdi/pipeline.h"
 #include "common/rng.h"
 #include "common/statusor.h"
+#include "flow/backpressure_queue.h"
+#include "flow/circuit_breaker.h"
+#include "flow/watchdog.h"
 #include "ops/operation_platform.h"
 #include "rules/rule_engine.h"
 #include "sim/fleet.h"
@@ -50,6 +53,41 @@ struct AutomationLoopOptions {
   std::string checkpoint_dir;
   /// Number of crash/restore cycles the supervisor injects across the day.
   size_t supervisor_crashes = 1;
+  /// When true (requires streaming_cdi), events bound for the streaming
+  /// engine pass through a flow::BackpressureQueue instead of being
+  /// ingested directly: a pump drains the queue into the engine after each
+  /// incident. Under overload the queue sheds low-class telemetry (never
+  /// unavailability events) and the day's final snapshot reports the
+  /// affected VMs as degraded; with a queue that keeps up, the day is
+  /// bit-identical to the direct path (pinned by the overload differential
+  /// suite).
+  bool flow_control = false;
+  /// Queue tuning when flow_control is set.
+  flow::FlowOptions flow_options = {};
+  /// Events the pump drains per incident step; 0 drains the queue fully.
+  /// A small value models a slow consumer: the backlog deepens, admission
+  /// control engages, and sheds become visible in the result.
+  size_t flow_drain_per_step = 0;
+  /// When true (requires flow_control and supervise_streaming), an
+  /// injected crash is NOT restored immediately: events keep accumulating
+  /// in the queue while the engine is down, and a flow::Watchdog watching
+  /// the pump's heartbeats (in event time) detects the stall and drives
+  /// the restore from the last good checkpoint — supervisor recovery by
+  /// detection rather than by construction.
+  bool watchdog_recovery = false;
+  /// Heartbeat silence (event time) after which the watchdog declares the
+  /// engine stalled.
+  Duration watchdog_stall_timeout = Duration::Minutes(30);
+  /// Per-save budget for supervisor checkpoints; zero means unbounded.
+  /// Bounds how long a sick disk can stall the loop (retry sleeps are
+  /// clipped to the remaining budget).
+  Duration checkpoint_budget = Duration::Zero();
+  /// Circuit breaker over the supervisor's checkpoint store. When enabled
+  /// (failure_threshold > 0) a save rejected by the open breaker is
+  /// SKIPPED (counted in checkpoints_skipped) instead of failing the day:
+  /// losing a checkpoint generation degrades recovery granularity, losing
+  /// the day's CDI would defeat the point.
+  flow::CircuitBreakerOptions checkpoint_breaker = {};
   /// When true, the day ends with a statusz report: the result carries the
   /// rendered text and a periodic dump is logged every
   /// `statusz_every_incidents` incidents (0 = final report only).
@@ -83,6 +121,17 @@ struct AutomationLoopResult {
   size_t checkpoints_saved = 0;
   size_t crashes_injected = 0;
   size_t restores_completed = 0;
+  /// Flow-control counters; populated only when options.flow_control.
+  flow::ShedStats flow_stats;
+  /// Convenience mirror of flow_stats.shed_total.
+  size_t events_shed = 0;
+  /// Watchdog counters; populated only when options.watchdog_recovery.
+  size_t watchdog_stalls = 0;
+  size_t watchdog_recoveries = 0;
+  /// Saves rejected by the open checkpoint breaker (skipped, not failed).
+  size_t checkpoints_skipped = 0;
+  /// Checkpoint-breaker trips across the day.
+  size_t breaker_trips = 0;
   /// Final statusz report; populated only when options.capture_statusz.
   std::string statusz_text;
 };

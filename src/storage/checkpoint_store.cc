@@ -34,7 +34,9 @@ StreamCheckpointStore::StreamCheckpointStore(std::string root,
                                              CheckpointStoreOptions options)
     : root_(std::move(root)),
       options_(std::move(options)),
-      retry_(options_.retry, options_.retry_seed) {
+      retry_(options_.retry, options_.retry_seed),
+      breaker_(std::make_shared<flow::CircuitBreaker>("checkpoint_store",
+                                                      options_.breaker)) {
   if (options_.keep < 1) options_.keep = 1;
 }
 
@@ -82,25 +84,48 @@ std::vector<std::string> StreamCheckpointStore::ListSlots() const {
   return names;
 }
 
-Status StreamCheckpointStore::Save(const StreamCheckpoint& ckpt) {
+Status StreamCheckpointStore::Save(const StreamCheckpoint& ckpt,
+                                   const Deadline& deadline) {
   TRACE_SPAN("storage.checkpoint_save");
   static obs::Histogram* save_ns =
       obs::MetricsRegistry::Global().GetHistogram("storage.checkpoint_save_ns");
   obs::ScopedTimer timer(save_ns);
   const uint64_t seq = next_seq_;
   const std::string slot = SlotPath(seq);
-  const Status saved = retry_.Run([&]() -> Status {
-    if (options_.io_fault) {
-      CDIBOT_RETURN_IF_ERROR(options_.io_fault("save"));
-    }
-    std::error_code ec;
-    fs::create_directories(slot, ec);
-    if (ec) {
-      return Status::Unavailable("cannot create slot " + slot + ": " +
-                                 ec.message());
-    }
-    return SaveStreamCheckpoint(ckpt, slot);
-  });
+  const Status saved = retry_.Run(
+      [&]() -> Status {
+        // The breaker gates every ATTEMPT and hears every outcome, so a
+        // retry loop against a dead disk trips it mid-schedule and the
+        // remaining attempts fail fast without touching the disk. An
+        // already-open breaker rejects the first attempt before any I/O;
+        // FailedPrecondition is non-retryable, so the loop (and callers
+        // wrapping Save in their own retries) stop immediately.
+        auto record = [this](Status st) {
+          if (st.ok()) {
+            breaker_->RecordSuccess();
+          } else {
+            breaker_->RecordFailure();
+          }
+          return st;
+        };
+        if (!breaker_->Allow()) {
+          return Status::FailedPrecondition(
+              "checkpoint store circuit breaker open (disk failing); save "
+              "rejected without I/O");
+        }
+        if (options_.io_fault) {
+          const Status injected = options_.io_fault("save");
+          if (!injected.ok()) return record(injected);
+        }
+        std::error_code ec;
+        fs::create_directories(slot, ec);
+        if (ec) {
+          return record(Status::Unavailable("cannot create slot " + slot +
+                                            ": " + ec.message()));
+        }
+        return record(SaveStreamCheckpoint(ckpt, slot));
+      },
+      deadline);
   static obs::Counter* saves =
       obs::MetricsRegistry::Global().GetCounter("storage.checkpoint_saves");
   static obs::Counter* save_failures = obs::MetricsRegistry::Global().GetCounter(

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/retry.h"
 #include "common/statusor.h"
+#include "flow/circuit_breaker.h"
 #include "storage/stream_checkpoint.h"
 
 namespace cdibot {
@@ -22,6 +24,16 @@ struct CheckpointStoreOptions {
   /// Backoff schedule for transient (retryable) I/O failures.
   RetryOptions retry;
   uint64_t retry_seed = 0;
+  /// Circuit breaker over the store's physical I/O. Disabled by default
+  /// (failure_threshold == 0, pass-through); when configured, a persistently
+  /// failing disk trips the breaker open after `failure_threshold`
+  /// consecutive failed ATTEMPTS, so subsequent saves fail fast in
+  /// microseconds instead of burning the full retry schedule against a sink
+  /// that cannot absorb writes — RetryPolicy amplifies load under failure,
+  /// the breaker caps that amplification. Half-open probes (jittered
+  /// cooldown) re-admit traffic once the disk recovers. State transitions
+  /// are visible in statusz as "flow.breaker.checkpoint_store.*".
+  flow::CircuitBreakerOptions breaker = {};
   /// Test hook: called before every physical I/O operation with a short
   /// operation name ("save", "load"). A non-OK return is treated as the
   /// outcome of that I/O attempt, letting chaos tests drive the retry path
@@ -51,7 +63,16 @@ class StreamCheckpointStore {
 
   /// Saves `ckpt` into the next slot, retrying transient I/O failures per
   /// the retry options, then prunes slots beyond `keep`.
-  Status Save(const StreamCheckpoint& ckpt);
+  Status Save(const StreamCheckpoint& ckpt) {
+    return Save(ckpt, Deadline::Infinite());
+  }
+
+  /// Deadline-bounded Save: retry backoff sleeps are clipped to the
+  /// remaining budget and no new attempt starts past the deadline, so a
+  /// checkpoint against a sick disk costs at most the budget, not the full
+  /// retry schedule. When the breaker is open the call fails fast with
+  /// FailedPrecondition before any I/O.
+  Status Save(const StreamCheckpoint& ckpt, const Deadline& deadline);
 
   /// Loads the newest checkpoint that passes integrity and semantic
   /// validation, skipping corrupted generations. NotFound when the store
@@ -68,6 +89,8 @@ class StreamCheckpointStore {
   uint64_t next_seq() const { return next_seq_; }
   /// Attempts consumed by the most recent retried operation.
   int last_attempts() const { return retry_.last_attempts(); }
+  /// The breaker guarding the save path (pass-through unless configured).
+  const flow::CircuitBreaker& breaker() const { return *breaker_; }
 
  private:
   StreamCheckpointStore(std::string root, CheckpointStoreOptions options);
@@ -77,6 +100,8 @@ class StreamCheckpointStore {
   std::string root_;
   CheckpointStoreOptions options_;
   RetryPolicy retry_;
+  /// Heap-allocated (owns a mutex) so the store stays movable.
+  std::shared_ptr<flow::CircuitBreaker> breaker_;
   uint64_t next_seq_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "stream/streaming_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <set>
 #include <string>
@@ -24,6 +25,8 @@ struct StreamCounters {
   obs::Counter* orphaned;
   obs::Counter* recomputed;
   obs::Counter* snapshots;
+  obs::Counter* shed;
+  obs::Counter* deferred;
   obs::Gauge* watermark_ms;
 };
 
@@ -37,6 +40,8 @@ const StreamCounters& Counters() {
         .orphaned = reg.GetCounter("stream.events_orphaned"),
         .recomputed = reg.GetCounter("stream.vms_recomputed"),
         .snapshots = reg.GetCounter("stream.snapshots"),
+        .shed = reg.GetCounter("stream.events_shed"),
+        .deferred = reg.GetCounter("stream.vms_deferred"),
         .watermark_ms = reg.GetGauge("stream.watermark_ms"),
     };
   }();
@@ -247,6 +252,15 @@ void StreamingCdiEngine::ExpectDelivery(const std::string& target,
   delivery_[target].expected += count;
 }
 
+void StreamingCdiEngine::RecordShed(const std::string& target,
+                                    uint64_t count) {
+  if (count == 0) return;
+  Counters().shed->Add(count);
+  std::lock_guard<std::mutex> lock(*mu_);
+  shed_by_target_[target] += count;
+  stats_.events_shed += count;
+}
+
 void StreamingCdiEngine::RecomputeVmLocked(Shard& shard, VmState& state) {
   // Retract the VM's resident contribution before folding the revision in.
   if (state.has_output && !state.output.skipped && state.error.ok()) {
@@ -297,7 +311,7 @@ void StreamingCdiEngine::RecomputeVmLocked(Shard& shard, VmState& state) {
   }
 }
 
-void StreamingCdiEngine::DrainDirty() {
+size_t StreamingCdiEngine::DrainDirty(const Deadline& deadline) {
   TRACE_SPAN("stream.drain_dirty");
   struct Work {
     Shard* shard;
@@ -311,14 +325,24 @@ void StreamingCdiEngine::DrainDirty() {
     }
     shard->dirty_vms.clear();
   }
-  if (work.empty()) return;
+  if (work.empty()) return 0;
 
-  auto recompute = [this, &work](size_t i) {
+  std::atomic<size_t> recomputed{0};
+  std::atomic<size_t> deferred{0};
+  auto recompute = [&](size_t i) {
     Shard& shard = *work[i].shard;
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.vms.find(work[i].vm_id);
     if (it == shard.vms.end() || !it->second.dirty) return;
+    // Budget check per VM: an expired deadline re-queues the VM (its dirty
+    // flag never cleared) for the next drain instead of computing it now.
+    if (deadline.Expired()) {
+      shard.dirty_vms.push_back(work[i].vm_id);
+      deferred.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     RecomputeVmLocked(shard, it->second);
+    recomputed.fetch_add(1, std::memory_order_relaxed);
   };
   if (options_.pool != nullptr && work.size() > 1) {
     options_.pool->ParallelFor(work.size(), recompute);
@@ -326,9 +350,11 @@ void StreamingCdiEngine::DrainDirty() {
     for (size_t i = 0; i < work.size(); ++i) recompute(i);
   }
 
-  Counters().recomputed->Add(work.size());
+  Counters().recomputed->Add(recomputed.load());
+  Counters().deferred->Add(deferred.load());
   std::lock_guard<std::mutex> lock(*mu_);
-  stats_.vms_recomputed += work.size();
+  stats_.vms_recomputed += recomputed.load();
+  return deferred.load();
 }
 
 StatusOr<VmCdi> StreamingCdiEngine::FleetCdi() {
@@ -343,15 +369,26 @@ StatusOr<VmCdi> StreamingCdiEngine::FleetCdi() {
 }
 
 StatusOr<DailyCdiResult> StreamingCdiEngine::Snapshot() {
+  return SnapshotImpl(Deadline());
+}
+
+StatusOr<DailyCdiResult> StreamingCdiEngine::Preview(const Deadline& deadline) {
+  return SnapshotImpl(deadline);
+}
+
+StatusOr<DailyCdiResult> StreamingCdiEngine::SnapshotImpl(
+    const Deadline& deadline) {
   TRACE_SPAN("stream.snapshot");
   static obs::Histogram* snapshot_ns =
       obs::MetricsRegistry::Global().GetHistogram("stream.snapshot_ns");
   obs::ScopedTimer timer(snapshot_ns);
-  DrainDirty();
+  DrainDirty(deadline);
 
-  // Delivery shortfalls and quarantine counts per target, gathered before
-  // the shard sweep (mu_ and the shard locks are never held together).
+  // Delivery shortfalls, shed counts, and quarantine counts per target,
+  // gathered before the shard sweep (mu_ and the shard locks are never
+  // held together).
   std::map<std::string, uint64_t> missing_by_target;
+  std::map<std::string, uint64_t> shed_by_target;
   {
     std::lock_guard<std::mutex> lock(*mu_);
     for (const auto& [target, d] : delivery_) {
@@ -360,6 +397,7 @@ StatusOr<DailyCdiResult> StreamingCdiEngine::Snapshot() {
         missing_by_target[target] = d.expected - received;
       }
     }
+    shed_by_target = shed_by_target_;
   }
   const std::map<std::string, uint64_t> quarantined_by_target =
       quarantine_->counts_by_target();
@@ -373,9 +411,16 @@ StatusOr<DailyCdiResult> StreamingCdiEngine::Snapshot() {
     fleet_partial.Merge(shard->cdi_partial);
     baseline_partial.Merge(shard->baseline_partial);
     for (auto& [vm_id, state] : shard->vms) {
+      // A VM still dirty after the bounded drain was deferred: its stale
+      // output (if any) is reported below, a never-computed VM contributes
+      // nothing but the deferral count.
+      if (state.dirty) {
+        ++result.vms_deferred;
+        if (!state.has_output) continue;
+      }
       // The per-VM compute sees only post-quarantine events, so its own
-      // quality counters are folded together with the ingest-side sink and
-      // delivery accounting here.
+      // quality counters are folded together with the ingest-side sink,
+      // delivery accounting, and upstream shed reports here.
       DataQuality quality = state.output.quality;
       if (auto it = quarantined_by_target.find(vm_id);
           it != quarantined_by_target.end()) {
@@ -384,6 +429,9 @@ StatusOr<DailyCdiResult> StreamingCdiEngine::Snapshot() {
       if (auto it = missing_by_target.find(vm_id);
           it != missing_by_target.end()) {
         quality.events_missing += it->second;
+      }
+      if (auto it = shed_by_target.find(vm_id); it != shed_by_target.end()) {
+        quality.events_shed += it->second;
       }
       quality.Refresh();
       if (!state.error.ok()) {

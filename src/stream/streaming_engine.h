@@ -53,6 +53,10 @@ struct StreamingCdiStats {
   /// Total per-VM recomputations performed so far.
   size_t vms_recomputed = 0;
   size_t snapshots_taken = 0;
+  /// Events reported via RecordShed: dropped by upstream admission control
+  /// before reaching Ingest. They surface as DataQuality::events_shed on
+  /// the affected VMs' snapshot rows.
+  size_t events_shed = 0;
   TimePoint watermark;
 };
 
@@ -114,6 +118,16 @@ class StreamingCdiEngine {
   /// DataQuality::events_missing, the silent-collector-gap signature.
   void ExpectDelivery(const std::string& target, uint64_t count);
 
+  /// Records that upstream admission control (flow::BackpressureQueue)
+  /// shed `count` events bound for `target`. Shed events never reach
+  /// Ingest, so this is the only way the engine learns about them; at
+  /// snapshot time they surface as DataQuality::events_shed on the
+  /// target's row, flagging its CDI as degraded-by-overload. Shed counts
+  /// are engine-local and deliberately not persisted in checkpoints
+  /// (mirroring the quarantine fingerprint sets): the supervisor re-reports
+  /// them after a restore if the queue still holds the accounting.
+  void RecordShed(const std::string& target, uint64_t count = 1);
+
   /// Sink holding every event Ingest diverted. Owned by the engine.
   const chaos::QuarantineSink& quarantine() const { return *quarantine_; }
 
@@ -135,6 +149,15 @@ class StreamingCdiEngine {
   /// every VM), but the recomputation work stays proportional to the dirty
   /// set.
   StatusOr<DailyCdiResult> Snapshot();
+
+  /// Deadline-bounded snapshot: recomputes dirty VMs only until `deadline`
+  /// expires, then assembles the result from what is resident. VMs whose
+  /// recompute was deferred stay dirty (the next Snapshot/Preview picks
+  /// them up); a deferred VM with a previous output contributes its stale
+  /// row, one never computed contributes nothing. The deferral count lands
+  /// in DailyCdiResult::vms_deferred, so a non-zero value marks the result
+  /// as a best-effort preview rather than a settled snapshot.
+  StatusOr<DailyCdiResult> Preview(const Deadline& deadline);
 
   /// Serializes the engine's durable state (window, watermark, registered
   /// VMs, buffered raw events, quarantine and delivery counters) for
@@ -210,8 +233,12 @@ class StreamingCdiEngine {
   /// Recomputes one dirty VM inside `shard` (shard lock held by caller or
   /// exclusivity guaranteed) and updates the shard partials.
   void RecomputeVmLocked(Shard& shard, VmState& state);
-  /// Recomputes every dirty VM across all shards.
-  void DrainDirty();
+  /// Recomputes dirty VMs across all shards until `deadline` expires; VMs
+  /// not reached in time are re-queued (still dirty). Returns how many
+  /// recomputes were deferred (0 with the default infinite deadline).
+  size_t DrainDirty(const Deadline& deadline = Deadline());
+  /// Shared implementation of Snapshot (infinite deadline) and Preview.
+  StatusOr<DailyCdiResult> SnapshotImpl(const Deadline& deadline);
 
   const EventCatalog* catalog_;
   const EventWeightModel* weights_;
@@ -230,6 +257,8 @@ class StreamingCdiEngine {
   std::map<std::string, std::vector<RawEvent>> orphans_;
   /// Delivery-manifest accounting per target (guarded by mu_).
   std::map<std::string, DeliveryState> delivery_;
+  /// Shed counts per target reported by RecordShed (guarded by mu_).
+  std::map<std::string, uint64_t> shed_by_target_;
   /// Malformed-input sink. Heap-allocated: it owns a mutex, and the engine
   /// must stay movable.
   std::unique_ptr<chaos::QuarantineSink> quarantine_;

@@ -4,6 +4,8 @@
 // the backoff/jitter schedule, and the StatusOr OK-construction footgun.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "common/retry.h"
@@ -128,10 +130,101 @@ TEST_F(RetryPolicyTest, BackoffGrowsExponentiallyWithinJitterBounds) {
   ASSERT_EQ(sleeps_.size(), 5u);
   int64_t nominal = 100;
   for (const Duration& sleep : sleeps_) {
-    // Each sleep is the nominal backoff scaled by [1 - jitter, 1 + jitter].
+    // Jitter only shortens: each sleep is drawn from
+    // [nominal * (1 - jitter), nominal], never above the schedule.
     EXPECT_GE(sleep.millis(), static_cast<int64_t>(nominal * 0.8) - 1);
-    EXPECT_LE(sleep.millis(), static_cast<int64_t>(nominal * 1.2) + 1);
+    EXPECT_LE(sleep.millis(), nominal);
     nominal *= 2;
+  }
+}
+
+TEST_F(RetryPolicyTest, FullJitterSpansTheWholeBackoffRange) {
+  // jitter = 1 (the default) is classic AWS full jitter: sleeps land
+  // anywhere in [0, nominal]. Across many seeds the first sleep must
+  // actually USE that range — low values, high values, and a mean near
+  // nominal / 2 — otherwise synchronized retriers re-form a thundering
+  // herd inside a narrow band.
+  RetryOptions options;
+  options.max_attempts = 2;
+  options.initial_backoff = Duration::Millis(1000);
+  ASSERT_EQ(options.jitter, 1.0);  // full jitter is the default
+  int64_t min_ms = INT64_MAX, max_ms = 0, sum_ms = 0;
+  constexpr int kSeeds = 200;
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    sleeps_.clear();
+    RetryPolicy policy = Make(options, seed);
+    (void)policy.Run([] { return Status::Unavailable("down"); });
+    ASSERT_EQ(sleeps_.size(), 1u);
+    const int64_t ms = sleeps_[0].millis();
+    EXPECT_GE(ms, 0);
+    EXPECT_LE(ms, 1000);
+    min_ms = std::min(min_ms, ms);
+    max_ms = std::max(max_ms, ms);
+    sum_ms += ms;
+  }
+  EXPECT_LT(min_ms, 150);  // the bottom of the range is reachable
+  EXPECT_GT(max_ms, 850);  // so is the top
+  const double mean = static_cast<double>(sum_ms) / kSeeds;
+  EXPECT_GT(mean, 400.0);  // uniform over [0, 1000] has mean 500
+  EXPECT_LT(mean, 600.0);
+}
+
+TEST_F(RetryPolicyTest, ZeroJitterIsTheDeterministicSchedule) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff = Duration::Millis(100);
+  options.backoff_multiplier = 2.0;
+  options.jitter = 0.0;
+  RetryPolicy policy = Make(options);
+  (void)policy.Run([] { return Status::Unavailable("down"); });
+  ASSERT_EQ(sleeps_.size(), 3u);
+  EXPECT_EQ(sleeps_[0], Duration::Millis(100));
+  EXPECT_EQ(sleeps_[1], Duration::Millis(200));
+  EXPECT_EQ(sleeps_[2], Duration::Millis(400));
+}
+
+TEST_F(RetryPolicyTest, ExpiredDeadlineStopsAfterTheFirstAttempt) {
+  RetryOptions options;
+  options.max_attempts = 10;
+  RetryPolicy policy = Make(options);
+  int calls = 0;
+  const Status st = policy.Run(
+      [&calls] {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      Deadline::After(Duration::Zero()));
+  EXPECT_TRUE(st.IsUnavailable());  // the last real error, not a new one
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps_.empty());  // no point sleeping with no budget left
+}
+
+TEST_F(RetryPolicyTest, InfiniteDeadlineRunsTheFullSchedule) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  RetryPolicy policy = Make(options);
+  int calls = 0;
+  const Status st = policy.Run(
+      [&calls] {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      Deadline::Infinite());
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(sleeps_.size(), 3u);
+}
+
+TEST_F(RetryPolicyTest, SleepsAreClippedToTheRemainingBudget) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff = Duration::Seconds(30);  // far beyond the budget
+  options.jitter = 0.0;
+  RetryPolicy policy = Make(options);
+  const Deadline deadline = Deadline::After(Duration::Millis(50));
+  (void)policy.Run([] { return Status::Unavailable("down"); }, deadline);
+  for (const Duration& sleep : sleeps_) {
+    EXPECT_LE(sleep, Duration::Millis(50)) << sleep.millis();
   }
 }
 

@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
+#include <mutex>
 #include <numeric>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -148,6 +151,92 @@ TEST(ThreadPoolStressTest, DestructionDrainsQueuedWork) {
   }
   EXPECT_EQ(ran.load(), 200);
   for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+// --- Shutdown: drain-then-reject semantics under teardown races ----------
+
+TEST(ThreadPoolShutdownTest, ShutdownDrainsQueuedTasksBeforeJoining) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&ran]() {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      ++ran;
+    }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 100);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPoolShutdownTest, SubmitAfterShutdownIsRejectedWithBrokenPromise) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.accepting());
+  std::atomic<bool> ran{false};
+  auto f = pool.Submit([&ran]() { ran = true; });
+  // The rejected task must never run, and the future must resolve (with an
+  // error) rather than hang on a queue no worker will drain.
+  try {
+    f.get();
+    FAIL() << "rejected Submit returned a value";
+  } catch (const std::future_error& e) {
+    EXPECT_EQ(e.code(), std::make_error_code(std::future_errc::broken_promise));
+  }
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolShutdownTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.accepting());
+  EXPECT_EQ(pool.Submit([]() { return 5; }).get(), 5);
+  pool.Shutdown();
+  pool.Shutdown();  // second call must be a no-op, not a double-join crash
+  EXPECT_FALSE(pool.accepting());
+}
+
+TEST(ThreadPoolShutdownTest, SubmitsRacingDestructionDrainOrReject) {
+  // Producers hammer Submit while the pool is torn down mid-traffic. Every
+  // future must resolve: either the task ran (enqueued before shutdown) or
+  // it reports broken_promise (rejected) — never a hang, never a crash.
+  std::atomic<int> ran{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  std::mutex futures_mu;
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int t = 0; t < 4; ++t) {
+      producers.emplace_back([&]() {
+        while (!stop.load()) {
+          auto f = pool.Submit([&ran]() { ++ran; });
+          std::lock_guard<std::mutex> lock(futures_mu);
+          futures.push_back(std::move(f));
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Destructor runs here while producers are still submitting.
+  }
+  stop = true;
+  for (auto& t : producers) t.join();
+
+  int executed = 0;
+  int rejected = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+      ++executed;
+    } catch (const std::future_error& e) {
+      EXPECT_EQ(e.code(),
+                std::make_error_code(std::future_errc::broken_promise));
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(executed, ran.load());
+  EXPECT_EQ(executed + rejected, static_cast<int>(futures.size()));
+  EXPECT_GT(executed, 0);  // some work got in before teardown began
 }
 
 TEST(ThreadPoolStressTest, ConcurrentParallelForsFromManyThreads) {

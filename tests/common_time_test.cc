@@ -132,5 +132,62 @@ TEST(IntervalTest, ClampTo) {
   EXPECT_EQ(clamped.end, t("2024-01-01 10:30"));
 }
 
+// --- Deadline: the budget type the overload path threads through jobs -----
+
+TEST(DeadlineTest, DefaultConstructedIsInfinite) {
+  const Deadline d;
+  EXPECT_TRUE(d.IsInfinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d, Deadline::Infinite());
+}
+
+TEST(DeadlineTest, InfiniteNeverExpiresAndBoundsRemaining) {
+  const Deadline d = Deadline::Infinite();
+  EXPECT_FALSE(d.Expired());
+  // Remaining() is floor-capped at a year so callers can min() sleeps
+  // against it without overflowing downstream arithmetic.
+  EXPECT_GE(d.Remaining(), Duration::Days(365));
+}
+
+TEST(DeadlineTest, ZeroBudgetIsAlreadyExpired) {
+  const Deadline d = Deadline::After(Duration::Zero());
+  EXPECT_FALSE(d.IsInfinite());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.Remaining(), Duration::Zero());
+}
+
+TEST(DeadlineTest, NegativeBudgetIsAlreadyExpired) {
+  const Deadline d = Deadline::After(Duration::Zero() - Duration::Seconds(5));
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.Remaining(), Duration::Zero());
+}
+
+TEST(DeadlineTest, GenerousBudgetIsNotYetExpired) {
+  const Deadline d = Deadline::After(Duration::Hours(1));
+  EXPECT_FALSE(d.IsInfinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.Remaining(), Duration::Minutes(59));
+  EXPECT_LE(d.Remaining(), Duration::Hours(1));
+}
+
+TEST(DeadlineTest, AtSteadyMillisPinsExpiryDeterministically) {
+  const int64_t now = Deadline::NowSteadyMillis();
+  const Deadline past = Deadline::AtSteadyMillis(now - 1000);
+  EXPECT_TRUE(past.Expired());
+  EXPECT_EQ(past.Remaining(), Duration::Zero());
+
+  const Deadline future = Deadline::AtSteadyMillis(now + 3600 * 1000);
+  EXPECT_FALSE(future.Expired());
+  EXPECT_GT(future.Remaining(), Duration::Zero());
+}
+
+TEST(DeadlineTest, RemainingIsClampedAtZeroOncePast) {
+  // A long-expired deadline must not report a negative budget: callers
+  // feed Remaining() straight into sleep clamps.
+  const Deadline d =
+      Deadline::AtSteadyMillis(Deadline::NowSteadyMillis() - 123456);
+  EXPECT_EQ(d.Remaining(), Duration::Zero());
+}
+
 }  // namespace
 }  // namespace cdibot

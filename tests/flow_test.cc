@@ -1,0 +1,509 @@
+// Unit tests for the flow-control layer: BackpressureQueue admission /
+// shedding / hysteresis / eviction ordering, CircuitBreaker state machine
+// on a fake clock, and Watchdog stall detection on event time. The
+// Concurrent* tests are additionally run under TSan by scripts/check.sh.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/backpressure_queue.h"
+#include "flow/circuit_breaker.h"
+#include "flow/watchdog.h"
+
+namespace cdibot::flow {
+namespace {
+
+RawEvent Ev(const std::string& name, int minute, Severity level,
+            const std::string& target = "vm-1") {
+  RawEvent ev;
+  ev.name = name;
+  ev.time = TimePoint::FromMillis(0) + Duration::Minutes(minute);
+  ev.target = target;
+  ev.level = level;
+  ev.expire_interval = Duration::Hours(1);
+  return ev;
+}
+
+// --- BackpressureQueue ------------------------------------------------------
+
+TEST(BackpressureQueueTest, FifoUnderTheHighWatermark) {
+  BackpressureQueue queue(FlowOptions{.capacity = 64});
+  // Interleaved classes and severities: order out must equal order in as
+  // long as no shedding happened (the bit-identical-downstream property).
+  const FlowClass classes[] = {FlowClass::kPerformance,
+                               FlowClass::kUnavailability,
+                               FlowClass::kControlPlane};
+  const Severity levels[] = {Severity::kInfo, Severity::kWarning,
+                             Severity::kCritical, Severity::kFatal};
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_EQ(queue.TryPush(Ev("e" + std::to_string(i), i, levels[i % 4]),
+                            classes[i % 3]),
+              AdmitResult::kAdmitted);
+  }
+  for (int i = 0; i < 24; ++i) {
+    RawEvent out;
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out.name, "e" + std::to_string(i)) << "position " << i;
+  }
+  const ShedStats stats = queue.stats();
+  EXPECT_EQ(stats.pushed, 24u);
+  EXPECT_EQ(stats.admitted, 24u);
+  EXPECT_EQ(stats.popped, 24u);
+  EXPECT_EQ(stats.shed_total, 0u);
+  EXPECT_FALSE(queue.shedding());
+}
+
+TEST(BackpressureQueueTest, ShedsSheddableClassesAboveHighWatermark) {
+  BackpressureQueue queue(
+      FlowOptions{.capacity = 8, .high_watermark = 6, .low_watermark = 2});
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(queue.TryPush(Ev("fill", i, Severity::kCritical),
+                            FlowClass::kPerformance),
+              AdmitResult::kAdmitted);
+  }
+  EXPECT_TRUE(queue.shedding());
+  // Sheddable classes are rejected at admission...
+  EXPECT_EQ(queue.TryPush(Ev("p", 10, Severity::kFatal),
+                          FlowClass::kPerformance),
+            AdmitResult::kShed);
+  EXPECT_EQ(queue.TryPush(Ev("c", 11, Severity::kInfo),
+                          FlowClass::kControlPlane),
+            AdmitResult::kShed);
+  // ...unavailability is not.
+  EXPECT_EQ(queue.TryPush(Ev("down", 12, Severity::kFatal),
+                          FlowClass::kUnavailability),
+            AdmitResult::kAdmitted);
+  const ShedStats stats = queue.stats();
+  EXPECT_EQ(stats.shed_total, 2u);
+  EXPECT_EQ(stats.shed_by_class[static_cast<int>(FlowClass::kPerformance)],
+            1u);
+  EXPECT_EQ(stats.shed_by_class[static_cast<int>(FlowClass::kControlPlane)],
+            1u);
+  EXPECT_EQ(stats.shed_by_class[static_cast<int>(FlowClass::kUnavailability)],
+            0u);
+  EXPECT_EQ(stats.shed_by_level[static_cast<int>(Severity::kFatal) - 1], 1u);
+  EXPECT_EQ(stats.shed_by_level[static_cast<int>(Severity::kInfo) - 1], 1u);
+  EXPECT_EQ(stats.shed_mode_entries, 1u);
+}
+
+TEST(BackpressureQueueTest, HysteresisHoldsUntilLowWatermark) {
+  BackpressureQueue queue(
+      FlowOptions{.capacity = 8, .high_watermark = 6, .low_watermark = 2});
+  for (int i = 0; i < 6; ++i) {
+    queue.TryPush(Ev("fill", i, Severity::kCritical),
+                  FlowClass::kPerformance);
+  }
+  ASSERT_TRUE(queue.shedding());
+  RawEvent out;
+  // Draining to just above the low watermark keeps shedding engaged (no
+  // oscillation around the trip point)...
+  ASSERT_TRUE(queue.TryPop(&out));
+  ASSERT_TRUE(queue.TryPop(&out));
+  ASSERT_TRUE(queue.TryPop(&out));  // depth 3 > low 2
+  EXPECT_TRUE(queue.shedding());
+  EXPECT_EQ(queue.TryPush(Ev("still", 20, Severity::kCritical),
+                          FlowClass::kPerformance),
+            AdmitResult::kShed);
+  // ...and reaching it re-opens admission.
+  ASSERT_TRUE(queue.TryPop(&out));  // depth 2 == low
+  EXPECT_FALSE(queue.shedding());
+  EXPECT_EQ(queue.TryPush(Ev("again", 21, Severity::kCritical),
+                          FlowClass::kPerformance),
+            AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.stats().shed_mode_entries, 1u);
+}
+
+TEST(BackpressureQueueTest, UnavailabilityEvictsSheddableAtHardCapacity) {
+  BackpressureQueue queue(
+      FlowOptions{.capacity = 4, .high_watermark = 4, .low_watermark = 1});
+  // Fill to capacity with a mix; the control-plane info event occupies the
+  // highest (first-shed) band.
+  queue.TryPush(Ev("p1", 0, Severity::kFatal), FlowClass::kPerformance);
+  queue.TryPush(Ev("u1", 1, Severity::kFatal), FlowClass::kUnavailability);
+  queue.TryPush(Ev("c1", 2, Severity::kInfo), FlowClass::kControlPlane);
+  queue.TryPush(Ev("p2", 3, Severity::kInfo), FlowClass::kPerformance);
+  ASSERT_EQ(queue.depth(), 4u);
+
+  std::vector<std::string> shed_names;
+  queue.set_shed_callback([&](const RawEvent& ev, FlowClass) {
+    shed_names.push_back(ev.name);
+  });
+  EXPECT_EQ(queue.TryPush(Ev("u2", 4, Severity::kFatal),
+                          FlowClass::kUnavailability),
+            AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.depth(), 4u);  // bounded: someone was displaced
+  // The victim is the control-plane item, the lowest-value class present.
+  ASSERT_EQ(shed_names.size(), 1u);
+  EXPECT_EQ(shed_names[0], "c1");
+  const ShedStats stats = queue.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.shed_total, 1u);
+  EXPECT_EQ(stats.shed_by_class[static_cast<int>(FlowClass::kUnavailability)],
+            0u);
+  // Survivors drain in original arrival order (minus the victim).
+  std::vector<std::string> out_names;
+  RawEvent out;
+  while (queue.TryPop(&out)) out_names.push_back(out.name);
+  EXPECT_EQ(out_names,
+            (std::vector<std::string>{"p1", "u1", "p2", "u2"}));
+}
+
+TEST(BackpressureQueueTest, QueueFullOfUnavailabilityRejectsOnlyMoreU) {
+  BackpressureQueue queue(
+      FlowOptions{.capacity = 3, .high_watermark = 3, .low_watermark = 1});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(queue.TryPush(Ev("u", i, Severity::kFatal),
+                            FlowClass::kUnavailability),
+              AdmitResult::kAdmitted);
+  }
+  // Nothing evictable: a further unavailability arrival is the one case
+  // that pushes real backpressure onto the producer...
+  EXPECT_EQ(queue.TryPush(Ev("u3", 3, Severity::kFatal),
+                          FlowClass::kUnavailability),
+            AdmitResult::kQueueFull);
+  EXPECT_EQ(queue.stats().full_rejections, 1u);
+  // ...while sheddable arrivals are simply shed.
+  EXPECT_EQ(queue.TryPush(Ev("p", 4, Severity::kCritical),
+                          FlowClass::kPerformance),
+            AdmitResult::kShed);
+  EXPECT_EQ(queue.depth(), 3u);
+}
+
+TEST(BackpressureQueueTest, BlockingPushWaitsForSpaceAndBlockingPopForData) {
+  BackpressureQueue queue(
+      FlowOptions{.capacity = 2, .high_watermark = 2, .low_watermark = 1});
+  ASSERT_TRUE(queue.Push(Ev("u0", 0, Severity::kFatal),
+                         FlowClass::kUnavailability));
+  ASSERT_TRUE(queue.Push(Ev("u1", 1, Severity::kFatal),
+                         FlowClass::kUnavailability));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    // Full of unavailability: this must block until the consumer pops.
+    EXPECT_TRUE(queue.Push(Ev("u2", 2, Severity::kFatal),
+                           FlowClass::kUnavailability));
+    pushed.store(true);
+  });
+  RawEvent out;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.name, "u0");
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.name, "u1");
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.name, "u2");
+}
+
+TEST(BackpressureQueueTest, CloseDrainsThenSignalsConsumers) {
+  BackpressureQueue queue(FlowOptions{.capacity = 8});
+  queue.TryPush(Ev("a", 0, Severity::kCritical), FlowClass::kPerformance);
+  queue.TryPush(Ev("b", 1, Severity::kCritical), FlowClass::kPerformance);
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(Ev("late", 2, Severity::kFatal),
+                          FlowClass::kUnavailability),
+            AdmitResult::kQueueFull);
+  RawEvent out;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_FALSE(queue.Pop(&out));  // closed and drained
+  EXPECT_FALSE(queue.TryPop(&out));
+}
+
+TEST(BackpressureQueueTest, DefaultWatermarksDeriveFromCapacity) {
+  BackpressureQueue queue(FlowOptions{.capacity = 64});
+  EXPECT_EQ(queue.options().high_watermark, 56u);  // 7/8 of capacity
+  EXPECT_EQ(queue.options().low_watermark, 32u);   // half of capacity
+}
+
+// --- Concurrency (run under TSan via scripts/check.sh) ----------------------
+
+TEST(BackpressureQueueConcurrentTest, ProducersAndConsumersAccountForAll) {
+  BackpressureQueue queue(
+      FlowOptions{.capacity = 128, .high_watermark = 96, .low_watermark = 32});
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::atomic<uint64_t> popped{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const FlowClass klass = i % 10 == 0 ? FlowClass::kUnavailability
+                                : i % 3 == 0 ? FlowClass::kControlPlane
+                                             : FlowClass::kPerformance;
+        const Severity level =
+            static_cast<Severity>(1 + (i % kNumSeverityLevels));
+        if (klass == FlowClass::kUnavailability) {
+          // U producers apply real backpressure and never lose events.
+          EXPECT_TRUE(queue.Push(Ev("u", i, Severity::kFatal,
+                                    "vm-" + std::to_string(p)),
+                                 klass));
+        } else {
+          queue.TryPush(Ev("s", i, level, "vm-" + std::to_string(p)), klass);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      RawEvent out;
+      while (queue.Pop(&out)) popped.fetch_add(1);
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  const ShedStats stats = queue.stats();
+  // A blocked unavailability Push retries its admission, so attempts can
+  // exceed the logical event count but never undershoot it.
+  EXPECT_GE(stats.pushed, static_cast<uint64_t>(kProducers * kPerProducer));
+  // Every attempt is accounted exactly once: admitted, shed at admission,
+  // or rejected-full; evictions shed an already-admitted item.
+  EXPECT_EQ(stats.admitted + (stats.shed_total - stats.evictions) +
+                stats.full_rejections,
+            stats.pushed);
+  EXPECT_EQ(stats.popped, popped.load());
+  EXPECT_EQ(stats.admitted - stats.evictions, stats.popped);
+  // The invariant of the whole design: no unavailability event was shed.
+  EXPECT_EQ(stats.shed_by_class[static_cast<int>(FlowClass::kUnavailability)],
+            0u);
+  EXPECT_LE(stats.peak_depth, 128u);
+}
+
+TEST(BackpressureQueueConcurrentTest, WatermarkHysteresisUnderContention) {
+  BackpressureQueue queue(
+      FlowOptions{.capacity = 64, .high_watermark = 48, .low_watermark = 16});
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    // Reads the shedding flag continuously while it flips — a pure data
+    // race detector target.
+    while (!stop.load()) {
+      (void)queue.shedding();
+      (void)queue.depth();
+      (void)queue.stats();
+    }
+  });
+  std::thread producer([&] {
+    for (int i = 0; i < 20000; ++i) {
+      queue.TryPush(Ev("p", i, Severity::kCritical), FlowClass::kPerformance);
+    }
+  });
+  std::thread consumer([&] {
+    RawEvent out;
+    for (int i = 0; i < 20000; ++i) {
+      if (!queue.TryPop(&out)) std::this_thread::yield();
+    }
+  });
+  producer.join();
+  consumer.join();
+  stop.store(true);
+  flipper.join();
+  const ShedStats stats = queue.stats();
+  EXPECT_EQ(stats.pushed, 20000u);
+  EXPECT_LE(stats.peak_depth, 64u);
+}
+
+// --- CircuitBreaker ---------------------------------------------------------
+
+struct FakeClock {
+  int64_t now_ms = 0;
+  std::function<int64_t()> fn() {
+    return [this] { return now_ms; };
+  }
+};
+
+CircuitBreakerOptions BreakerOpts(FakeClock* clock, int threshold = 3) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = threshold;
+  opts.cooldown = Duration::Millis(1000);
+  opts.cooldown_jitter = 0.5;
+  opts.half_open_probes = 1;
+  opts.jitter_seed = 42;
+  opts.clock = clock->fn();
+  return opts;
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerIsPassThrough) {
+  CircuitBreaker breaker("disabled");  // default threshold 0
+  EXPECT_FALSE(breaker.enabled());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(breaker.Allow());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats().trips, 0u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheConsecutiveFailureCount) {
+  FakeClock clock;
+  CircuitBreaker breaker("reset", BreakerOpts(&clock));
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // streak broken
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure();  // third consecutive
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 1u);
+}
+
+TEST(CircuitBreakerTest, OpenRejectsUntilJitteredCooldownElapses) {
+  FakeClock clock;
+  CircuitBreaker breaker("cooldown", BreakerOpts(&clock));
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  // The jitter only extends: rejected strictly before the base cooldown...
+  clock.now_ms = 999;
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_GE(breaker.stats().rejected, 1u);
+  // ...and must probe by cooldown * (1 + jitter) at the latest.
+  clock.now_ms = 1500;
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.stats().probes, 1u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeSuccessCloses) {
+  FakeClock clock;
+  CircuitBreaker breaker("probe_ok", BreakerOpts(&clock));
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.now_ms = 1500;
+  ASSERT_TRUE(breaker.Allow());
+  // Only half_open_probes trial calls fit; the next caller is rejected.
+  EXPECT_FALSE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats().closes, 1u);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
+  FakeClock clock;
+  CircuitBreaker breaker("probe_fail", BreakerOpts(&clock));
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.now_ms = 1500;
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 2u);
+  // The new cooldown starts from the failed probe.
+  clock.now_ms = 1600;
+  EXPECT_FALSE(breaker.Allow());
+  clock.now_ms = 1500 + 1500;
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, ClosingCanRequireMultipleProbeSuccesses) {
+  FakeClock clock;
+  CircuitBreakerOptions opts = BreakerOpts(&clock);
+  opts.half_open_probes = 2;
+  CircuitBreaker breaker("two_probes", opts);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.now_ms = 1500;
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);  // one is not enough
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, JitteredCooldownIsDeterministicPerSeed) {
+  // Two breakers with the same seed trip at the same time and admit their
+  // first probe at exactly the same fake-clock instant.
+  for (int trial = 0; trial < 2; ++trial) {
+    FakeClock clock;
+    CircuitBreaker breaker("det" + std::to_string(trial),
+                           BreakerOpts(&clock));
+    for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+    int64_t first_allowed = -1;
+    for (int64_t t = 1000; t <= 1500; t += 10) {
+      clock.now_ms = t;
+      if (breaker.Allow()) {
+        first_allowed = t;
+        break;
+      }
+    }
+    ASSERT_GE(first_allowed, 1000);
+    static int64_t expected = -1;
+    if (expected < 0) {
+      expected = first_allowed;
+    } else {
+      EXPECT_EQ(first_allowed, expected);
+    }
+  }
+}
+
+// --- Watchdog ---------------------------------------------------------------
+
+TEST(WatchdogTest, UnarmedWatchdogNeverStalls) {
+  Watchdog dog("idle", WatchdogOptions{.stall_timeout = Duration::Minutes(5)});
+  EXPECT_FALSE(dog.Poll(TimePoint::FromMillis(0) + Duration::Days(10)));
+  EXPECT_EQ(dog.stats().stalls, 0u);
+}
+
+TEST(WatchdogTest, StallEpisodeIsCountedOnce) {
+  const TimePoint t0 = TimePoint::FromMillis(0);
+  Watchdog dog("pump", WatchdogOptions{.stall_timeout = Duration::Minutes(5)});
+  dog.Heartbeat(t0);
+  EXPECT_FALSE(dog.Poll(t0 + Duration::Minutes(5)));  // exactly at timeout
+  EXPECT_TRUE(dog.Poll(t0 + Duration::Minutes(6)));
+  EXPECT_TRUE(dog.Poll(t0 + Duration::Minutes(7)));  // same episode
+  EXPECT_EQ(dog.stats().stalls, 1u);
+}
+
+TEST(WatchdogTest, HeartbeatEndsTheEpisodeAndReArms) {
+  const TimePoint t0 = TimePoint::FromMillis(0);
+  Watchdog dog("pump", WatchdogOptions{.stall_timeout = Duration::Minutes(5)});
+  dog.Heartbeat(t0);
+  ASSERT_TRUE(dog.Poll(t0 + Duration::Minutes(10)));
+  dog.Heartbeat(t0 + Duration::Minutes(10));
+  EXPECT_FALSE(dog.Poll(t0 + Duration::Minutes(11)));
+  EXPECT_TRUE(dog.Poll(t0 + Duration::Minutes(16)));  // a NEW episode
+  EXPECT_EQ(dog.stats().stalls, 2u);
+}
+
+TEST(WatchdogTest, NoteRecoveryDisarmsUntilTheNextHeartbeat) {
+  const TimePoint t0 = TimePoint::FromMillis(0);
+  Watchdog dog("pump", WatchdogOptions{.stall_timeout = Duration::Minutes(5)});
+  dog.Heartbeat(t0);
+  ASSERT_TRUE(dog.Poll(t0 + Duration::Minutes(10)));
+  dog.NoteRecovery();
+  EXPECT_EQ(dog.stats().recoveries, 1u);
+  // Recovered and not yet heartbeating: silence alone is no longer a stall.
+  EXPECT_FALSE(dog.Poll(t0 + Duration::Days(1)));
+  dog.Heartbeat(t0 + Duration::Days(1));
+  EXPECT_TRUE(dog.Poll(t0 + Duration::Days(1) + Duration::Minutes(6)));
+  EXPECT_EQ(dog.stats().stalls, 2u);
+}
+
+TEST(WatchdogTest, HeartbeatTimeNeverMovesBackwards) {
+  const TimePoint t0 = TimePoint::FromMillis(0);
+  Watchdog dog("pump", WatchdogOptions{.stall_timeout = Duration::Minutes(5)});
+  dog.Heartbeat(t0 + Duration::Minutes(10));
+  dog.Heartbeat(t0);  // out-of-order heartbeat must not rewind the clock
+  EXPECT_EQ(dog.last_heartbeat(), t0 + Duration::Minutes(10));
+}
+
+// --- FlowClass mapping ------------------------------------------------------
+
+TEST(FlowClassTest, CategoryMappingMirrorsTheCdiOrdering) {
+  EXPECT_EQ(FlowClassForCategory(StabilityCategory::kUnavailability),
+            FlowClass::kUnavailability);
+  EXPECT_EQ(FlowClassForCategory(StabilityCategory::kPerformance),
+            FlowClass::kPerformance);
+  EXPECT_EQ(FlowClassForCategory(StabilityCategory::kControlPlane),
+            FlowClass::kControlPlane);
+  EXPECT_EQ(FlowClassToString(FlowClass::kUnavailability), "unavailability");
+  EXPECT_EQ(FlowClassToString(FlowClass::kPerformance), "performance");
+  EXPECT_EQ(FlowClassToString(FlowClass::kControlPlane), "control_plane");
+}
+
+}  // namespace
+}  // namespace cdibot::flow
