@@ -13,6 +13,7 @@
 #   SKIP_OBS=1 scripts/check.sh      # skip the observability stage
 #   SKIP_PERF=1 scripts/check.sh     # skip the throughput-regression stage
 #   SKIP_OVERLOAD=1 scripts/check.sh # skip the standalone overload stage
+#   SKIP_SHARD=1 scripts/check.sh    # skip the standalone shard stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,6 +50,20 @@ else
   echo "== overload: flow-control units + surge/breaker/watchdog suite =="
   ./build/tests/flow_test
   ./build/tests/overload_test
+fi
+
+if [[ "${SKIP_SHARD:-0}" == "1" ]]; then
+  echo "== shard stage skipped (SKIP_SHARD=1) =="
+else
+  # The sharded-equivalence gate: scatter/gather over N shard workers must
+  # be BIT-identical to the single-node engines (24 seeds x N in {1,2,4,7},
+  # including a mid-day rebalance and an injected shard failure), the
+  # partial-merge algebra the gather relies on must hold, and the
+  # coordinator's degraded/recovery semantics must match the documented
+  # failure model. A wrong-numbers bug here is silent corruption at fleet
+  # scale, so it fails loudly by name like the chaos stage.
+  echo "== shard: partial-merge algebra + coordinator + equivalence =="
+  ./build/tests/shard_test
 fi
 
 if [[ "${SKIP_OBS:-0}" == "1" ]]; then
@@ -131,7 +146,7 @@ echo "== asan+ubsan: build =="
 cmake -B build-asan -S . -DCDIBOT_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target common_test stream_test chaos_test storage_test obs_test \
-           flow_test overload_test
+           flow_test overload_test shard_test
 
 echo "== asan+ubsan: thread pool + retry + streaming engine =="
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -148,6 +163,11 @@ echo "== asan+ubsan: flow control + surge preset (in-test RSS ceiling) =="
 ./build-asan/tests/flow_test
 ./build-asan/tests/overload_test --gtest_filter='*SurgeOverload*:*Flapping*'
 
+echo "== asan+ubsan: shard coordinator + wire codecs + failure/recovery =="
+./build-asan/tests/shard_test --gtest_filter='-Seeds/*'
+./build-asan/tests/shard_test \
+    --gtest_filter='Seeds/ShardEquivalenceTest.FailureAndRecoveryPreserveBitIdentity/*'
+
 if [[ "${SKIP_OBS:-0}" == "1" ]]; then
   echo "== tsan skipped (SKIP_OBS=1) =="
 else
@@ -156,7 +176,7 @@ else
   # race if the implementation does. TSan is the referee.
   echo "== tsan: build =="
   cmake -B build-tsan -S . -DCDIBOT_TSAN=ON >/dev/null
-  cmake --build build-tsan -j "$JOBS" --target obs_test flow_test
+  cmake --build build-tsan -j "$JOBS" --target obs_test flow_test shard_test
 
   echo "== tsan: concurrent metrics + tracer hammering =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test \
@@ -167,6 +187,14 @@ else
   # Concurrent suite is written to race if the implementation does.
   echo "== tsan: backpressure queue producer/consumer hammering =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/flow_test \
+      --gtest_filter='*Concurrent*'
+
+  # Concurrent gathers race ingest, rebalance, shard failure and recovery:
+  # the coordinator's shared/exclusive topology locking plus per-handle
+  # channel serialization is exactly the kind of layered locking TSan
+  # referees. The tests are written to race if the implementation does.
+  echo "== tsan: shard coordinator gather/rebalance/failure racing =="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/shard_test \
       --gtest_filter='*Concurrent*'
 fi
 

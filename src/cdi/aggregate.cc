@@ -1,5 +1,7 @@
 #include "cdi/aggregate.h"
 
+#include <algorithm>
+
 namespace cdibot {
 
 void CdiAccumulator::Add(Duration service_time, double cdi) {
@@ -51,6 +53,18 @@ VmCdi AggregateVmCdi(const std::vector<VmCdi>& vms) {
   FleetCdiPartial partial;
   for (const VmCdi& vm : vms) partial.AddVm(vm);
   return partial.Finalize();
+}
+
+void CanonicalCdiFold::Add(std::string_view vm_id, const VmCdi& cdi) {
+  terms_.emplace_back(std::string(vm_id), cdi);
+}
+
+VmCdi CanonicalCdiFold::Finalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  FleetCdiPartial fold;
+  for (const auto& [vm_id, cdi] : terms_) fold.AddVm(cdi);
+  return fold.Finalize();
 }
 
 }  // namespace cdibot

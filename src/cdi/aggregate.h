@@ -1,6 +1,9 @@
 #ifndef CDIBOT_CDI_AGGREGATE_H_
 #define CDIBOT_CDI_AGGREGATE_H_
 
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "cdi/vm_cdi.h"
@@ -76,6 +79,35 @@ class FleetCdiPartial {
 /// Aggregates full per-VM results into one fleet-level VmCdi via Eq. 4,
 /// applied independently to each sub-metric.
 VmCdi AggregateVmCdi(const std::vector<VmCdi>& vms);
+
+/// The canonical Eq.-4 fleet fold: accumulates per-VM terms in ascending
+/// vm_id order as a single left fold, regardless of the order they were
+/// Add()ed in.
+///
+/// Why this exists: FP addition is commutative but not associative, so two
+/// topologies that group the same per-VM terms differently (batch slot
+/// order, streaming hash shards, scatter/gather over N shard workers) can
+/// finalize to fleet values differing in the last ulp. Every path that
+/// promises BIT-identical fleet CDI across topologies folds through this
+/// class instead of merging grouped partials; the mergeable partials remain
+/// the right tool for cheap incremental reads (FleetCdi()), where last-ulp
+/// grouping sensitivity is acceptable and documented.
+class CanonicalCdiFold {
+ public:
+  /// Records one VM's term. vm_id must be unique across Add calls (the
+  /// callers fold map-keyed rows, which guarantees it).
+  void Add(std::string_view vm_id, const VmCdi& cdi);
+
+  /// Sorts the recorded terms by vm_id and left-folds them into the fleet
+  /// VmCdi. Deterministic: same (vm_id, cdi) set in any insertion order
+  /// yields the same bits.
+  VmCdi Finalize();
+
+  bool empty() const { return terms_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, VmCdi>> terms_;
+};
 
 }  // namespace cdibot
 

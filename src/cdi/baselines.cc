@@ -86,6 +86,15 @@ void UnavailabilityPartial::RemoveVm(const UnavailabilityStats& vm,
   service_total_ -= service_time;
 }
 
+UnavailabilityPartial UnavailabilityPartial::FromRaw(
+    size_t interruption_count, Duration downtime, Duration service_total) {
+  UnavailabilityPartial p;
+  p.interruption_count_ = interruption_count;
+  p.downtime_ = downtime;
+  p.service_total_ = service_total;
+  return p;
+}
+
 void UnavailabilityPartial::Merge(const UnavailabilityPartial& other) {
   interruption_count_ += other.interruption_count_;
   downtime_ += other.downtime_;

@@ -73,6 +73,19 @@ class UnavailabilityPartial {
 
   bool empty() const { return service_total_.IsZero(); }
 
+  /// Reconstructs a partial from its raw sums. All three components are
+  /// integers (episode count plus two millisecond durations), so a partial
+  /// round-trips through FromRaw(raw fields) — and therefore across a wire
+  /// encoding — exactly, and partials reconstructed on different shards
+  /// merge bit-identically in any order. The shard coordinator relies on
+  /// this to gather per-shard baselines without shipping per-VM stats.
+  static UnavailabilityPartial FromRaw(size_t interruption_count,
+                                       Duration downtime,
+                                       Duration service_total);
+  size_t raw_interruption_count() const { return interruption_count_; }
+  Duration raw_downtime() const { return downtime_; }
+  Duration raw_service_total() const { return service_total_; }
+
  private:
   size_t interruption_count_ = 0;
   Duration downtime_;

@@ -218,7 +218,12 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
   }
 
   DailyCdiResult result;
-  FleetCdiPartial fleet_partial;
+  // Fleet CDI uses the canonical ascending-vm_id fold so the batch job,
+  // the streaming engine, and the shard coordinator produce bit-identical
+  // fleet values over the same per-VM rows (FP addition is not
+  // associative; slot order here is input order, not canonical order).
+  // The baseline partial is all-integer and order-insensitive.
+  CanonicalCdiFold fleet_fold;
   UnavailabilityPartial baseline_partial;
   std::set<std::string> sampled_reasons;
   for (VmSlot& slot : slots) {
@@ -246,7 +251,7 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
     ++result.vms_evaluated;
     if (out.quality.degraded) ++result.vms_degraded;
     result.quality.Merge(out.quality);
-    fleet_partial.AddVm(out.record.cdi);
+    fleet_fold.Add(out.record.vm_id, out.record.cdi);
     baseline_partial.AddVm(out.baseline, out.record.cdi.service_time);
     result.fleet_service_time += out.record.cdi.service_time;
     result.resolve_stats.Merge(out.resolve_stats);
@@ -255,7 +260,7 @@ StatusOr<DailyCdiResult> DailyCdiJob::Run(
       result.per_event.push_back(std::move(rec));
     }
   }
-  result.fleet = fleet_partial.Finalize();
+  result.fleet = fleet_fold.Finalize();
   result.fleet_baseline = baseline_partial.Finalize();
 
   // The result struct's ad-hoc counters stay (callers consume them per

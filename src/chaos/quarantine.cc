@@ -171,6 +171,15 @@ void QuarantineSink::RestoreTargetCount(const std::string& target,
   by_target_[target] += count;
 }
 
+uint64_t QuarantineSink::ExtractTargetCount(const std::string& target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_target_.find(target);
+  if (it == by_target_.end()) return 0;
+  const uint64_t count = it->second;
+  by_target_.erase(it);
+  return count;
+}
+
 std::vector<RawEvent> QuarantineSink::samples() const {
   std::lock_guard<std::mutex> lock(mu_);
   return samples_;

@@ -79,6 +79,12 @@ class QuarantineSink {
   /// per-target map is restored separately via RestoreTargetCount).
   void MergeCountsByReason(const std::vector<uint64_t>& counts);
   void RestoreTargetCount(const std::string& target, uint64_t count);
+  /// Removes and returns the per-target counter for `target` (0 when
+  /// absent). Inverse of RestoreTargetCount: only the per-target map is
+  /// touched — the reason-keyed and total counters stay, since they count
+  /// what THIS sink diverted. Used by shard-rebalance state handoff to
+  /// move a VM's quarantine attribution to its new owner.
+  uint64_t ExtractTargetCount(const std::string& target);
 
   /// Up to kMaxSamples earliest quarantined events.
   std::vector<RawEvent> samples() const;

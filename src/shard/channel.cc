@@ -1,0 +1,108 @@
+#include "shard/channel.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace cdibot::shard {
+
+namespace {
+
+/// One direction of the pair: a bounded frame queue. Both endpoints share
+/// the two directions via shared_ptr, so either side may outlive the
+/// other.
+struct Pipe {
+  std::mutex mu;
+  std::condition_variable not_empty;
+  std::deque<std::string> frames;
+  size_t capacity = 0;
+  bool closed = false;
+};
+
+class InProcessEndpoint final : public Transport {
+ public:
+  InProcessEndpoint(std::shared_ptr<Pipe> inbound, std::shared_ptr<Pipe> outbound)
+      : inbound_(std::move(inbound)), outbound_(std::move(outbound)) {}
+
+  ~InProcessEndpoint() override { Close(); }
+
+  Status Send(std::string frame) override {
+    {
+      std::lock_guard<std::mutex> lock(outbound_->mu);
+      if (outbound_->closed) {
+        return Status::Unavailable("transport closed");
+      }
+      if (outbound_->frames.size() >= outbound_->capacity) {
+        return Status::ResourceExhausted("transport queue full");
+      }
+      outbound_->frames.push_back(std::move(frame));
+    }
+    outbound_->not_empty.notify_one();
+    return Status::OK();
+  }
+
+  StatusOr<std::string> Recv(const Deadline& deadline) override {
+    std::unique_lock<std::mutex> lock(inbound_->mu);
+    const auto ready = [this] {
+      return !inbound_->frames.empty() || inbound_->closed;
+    };
+    if (deadline.IsInfinite()) {
+      inbound_->not_empty.wait(lock, ready);
+    } else if (!inbound_->not_empty.wait_for(
+                   lock,
+                   std::chrono::milliseconds(deadline.Remaining().millis()),
+                   ready)) {
+      return Status::Aborted("recv deadline expired");
+    }
+    if (inbound_->frames.empty()) {
+      // closed && drained
+      return Status::Unavailable("transport closed");
+    }
+    std::string frame = std::move(inbound_->frames.front());
+    inbound_->frames.pop_front();
+    return frame;
+  }
+
+  void Close() override {
+    for (const auto& pipe : {inbound_, outbound_}) {
+      {
+        std::lock_guard<std::mutex> lock(pipe->mu);
+        pipe->closed = true;
+      }
+      pipe->not_empty.notify_all();
+    }
+  }
+
+  bool closed() const override {
+    std::lock_guard<std::mutex> lock(inbound_->mu);
+    return inbound_->closed;
+  }
+
+  size_t inbound_depth() const override {
+    std::lock_guard<std::mutex> lock(inbound_->mu);
+    return inbound_->frames.size();
+  }
+
+ private:
+  std::shared_ptr<Pipe> inbound_;
+  std::shared_ptr<Pipe> outbound_;
+};
+
+}  // namespace
+
+TransportPair MakeInProcessPair(size_t capacity) {
+  auto to_worker = std::make_shared<Pipe>();
+  auto to_coordinator = std::make_shared<Pipe>();
+  to_worker->capacity = capacity == 0 ? 1 : capacity;
+  to_coordinator->capacity = to_worker->capacity;
+  TransportPair pair;
+  pair.coordinator_end =
+      std::make_unique<InProcessEndpoint>(to_coordinator, to_worker);
+  pair.worker_end =
+      std::make_unique<InProcessEndpoint>(to_worker, to_coordinator);
+  return pair;
+}
+
+}  // namespace cdibot::shard

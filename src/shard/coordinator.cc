@@ -1,0 +1,822 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace cdibot::shard {
+
+namespace {
+
+/// Extra wait beyond the worker's compute budget before a gather response
+/// is declared a straggler: covers queueing and serialization, not compute.
+constexpr int64_t kGatherGraceMs = 250;
+
+struct CoordMetrics {
+  obs::Histogram* gather_ns;
+  obs::Histogram* gather_shard_ns;
+  obs::Counter* gathers;
+  obs::Counter* degraded_gathers;
+  obs::Counter* rebalances;
+  obs::Counter* vms_moved;
+  obs::Counter* failures;
+  obs::Counter* recoveries;
+  obs::Counter* events_routed;
+  obs::Counter* events_shed;
+  obs::Counter* batches_flushed;
+  obs::Gauge* shards_alive;
+  obs::Gauge* min_watermark_ms;
+};
+
+const CoordMetrics& Metrics() {
+  static const CoordMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    return CoordMetrics{
+        .gather_ns = reg.GetHistogram("shard.gather_ns"),
+        .gather_shard_ns = reg.GetHistogram("shard.gather_shard_ns"),
+        .gathers = reg.GetCounter("shard.gathers"),
+        .degraded_gathers = reg.GetCounter("shard.degraded_gathers"),
+        .rebalances = reg.GetCounter("shard.rebalances"),
+        .vms_moved = reg.GetCounter("shard.vms_moved"),
+        .failures = reg.GetCounter("shard.failures"),
+        .recoveries = reg.GetCounter("shard.recoveries"),
+        .events_routed = reg.GetCounter("shard.events_routed"),
+        .events_shed = reg.GetCounter("shard.events_shed"),
+        .batches_flushed = reg.GetCounter("shard.batches_flushed"),
+        .shards_alive = reg.GetGauge("shard.shards_alive"),
+        .min_watermark_ms = reg.GetGauge("shard.min_watermark_ms"),
+    };
+  }();
+  return m;
+}
+
+/// Decodes a response frame and surfaces transport-level garbage and
+/// worker-side errors uniformly. The returned frame backs hdr.reader.
+Status CheckResponse(const StatusOr<std::string>& frame_or,
+                     ResponseFrame* hdr) {
+  CDIBOT_RETURN_IF_ERROR(frame_or.status());
+  CDIBOT_ASSIGN_OR_RETURN(*hdr, DecodeResponseHeader(frame_or.value()));
+  return hdr->status;
+}
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(const EventCatalog* catalog,
+                                   const EventWeightModel* weights,
+                                   ShardTopologyOptions options)
+    : catalog_(catalog),
+      weights_(weights),
+      options_(std::move(options)),
+      map_(options_.num_shards) {}
+
+ShardCoordinator::~ShardCoordinator() {
+  for (auto& q : queues_) q->Close();
+  for (auto& h : handles_) {
+    if (h->worker != nullptr) h->worker->Kill();
+  }
+}
+
+StatusOr<std::unique_ptr<ShardCoordinator>> ShardCoordinator::Create(
+    const EventCatalog* catalog, const EventWeightModel* weights,
+    ShardTopologyOptions options) {
+  if (catalog == nullptr || weights == nullptr) {
+    return Status::InvalidArgument(
+        "ShardCoordinator requires a catalog and a weight model");
+  }
+  options.num_shards = std::max<size_t>(1, options.num_shards);
+  options.ingest_batch_size = std::max<size_t>(1, options.ingest_batch_size);
+  std::unique_ptr<ShardCoordinator> coord(
+      new ShardCoordinator(catalog, weights, std::move(options)));
+  CDIBOT_RETURN_IF_ERROR(coord->StartWorkers());
+  return coord;
+}
+
+Status ShardCoordinator::StartWorkers() {
+  const size_t n = options_.num_shards;
+  auto& reg = obs::MetricsRegistry::Global();
+  handles_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto h = std::make_unique<Handle>();
+    TransportPair pair = MakeInProcessPair(options_.channel_capacity);
+    h->worker = std::make_unique<ShardWorker>(
+        i, catalog_, weights_, options_.engine, std::move(pair.worker_end));
+    CDIBOT_RETURN_IF_ERROR(h->worker->Start());
+    h->channel = std::move(pair.coordinator_end);
+    h->alive.store(true, std::memory_order_release);
+    h->depth_gauge =
+        reg.GetGauge("shard.queue_depth." + std::to_string(i));
+    handles_.push_back(std::move(h));
+  }
+  pool_ = std::make_unique<ThreadPool>(n);
+  if (options_.flow_control) {
+    queues_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto q = std::make_unique<flow::BackpressureQueue>(options_.flow);
+      q->set_shed_callback([this](const RawEvent& ev, flow::FlowClass) {
+        {
+          std::lock_guard<std::mutex> lock(shed_mu_);
+          ++shed_pending_[ev.target];
+        }
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.events_shed;
+        }
+        Metrics().events_shed->Increment();
+      });
+      queues_.push_back(std::move(q));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.num_shards = n;
+  }
+  Metrics().shards_alive->Set(static_cast<double>(n));
+  return Status::OK();
+}
+
+void ShardCoordinator::MarkDead(Handle& h) {
+  if (!h.alive.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shard_failures;
+  }
+  Metrics().failures->Increment();
+  size_t alive = 0;
+  for (const auto& other : handles_) {
+    if (other->alive.load(std::memory_order_acquire)) ++alive;
+  }
+  Metrics().shards_alive->Set(static_cast<double>(alive));
+}
+
+StatusOr<std::string> ShardCoordinator::CallLocked(Handle& h,
+                                                   uint64_t request_id,
+                                                   const std::string& frame,
+                                                   const Deadline& deadline) {
+  Status sent = h.channel->Send(frame);
+  if (!sent.ok()) {
+    if (sent.code() == StatusCode::kUnavailable) MarkDead(h);
+    return sent;
+  }
+  while (true) {
+    auto frame_or = h.channel->Recv(deadline);
+    if (!frame_or.ok()) {
+      if (frame_or.status().code() == StatusCode::kUnavailable) MarkDead(h);
+      return frame_or.status();
+    }
+    auto hdr_or = DecodeResponseHeader(frame_or.value());
+    // Undecodable frames and responses to earlier abandoned (timed-out)
+    // requests are drained and discarded; only the matching id returns.
+    if (!hdr_or.ok()) continue;
+    if (hdr_or.value().request_id != request_id) continue;
+    return std::move(frame_or).value();
+  }
+}
+
+Status ShardCoordinator::MutateLocked(Handle& h, uint64_t request_id,
+                                      std::string frame) {
+  // Mutations always wait out the worker (infinite deadline): an abandoned
+  // mutation would be half-applied from the coordinator's point of view,
+  // and the outbox must stay an exact replay log.
+  ResponseFrame hdr;
+  CDIBOT_RETURN_IF_ERROR(
+      CheckResponse(CallLocked(h, request_id, frame, Deadline()), &hdr));
+  h.outbox.push_back(OutboxEntry{request_id, std::move(frame)});
+  return Status::OK();
+}
+
+std::shared_lock<std::shared_mutex> ShardCoordinator::ReadTopology() const {
+  // Passing through the gate first makes writers starvation-free: a writer
+  // waiting inside WriteTopology() holds the gate, which parks every new
+  // reader here until the in-flight readers drain and the writer commits.
+  std::lock_guard<std::mutex> gate(topo_gate_);
+  return std::shared_lock<std::shared_mutex>(topo_mu_);
+}
+
+std::unique_lock<std::shared_mutex> ShardCoordinator::WriteTopology() const {
+  std::lock_guard<std::mutex> gate(topo_gate_);
+  return std::unique_lock<std::shared_mutex>(topo_mu_);
+}
+
+Status ShardCoordinator::RegisterVm(const VmServiceInfo& vm) {
+  return RegisterVms({vm});
+}
+
+Status ShardCoordinator::RegisterVms(const std::vector<VmServiceInfo>& vms) {
+  std::unique_lock<std::shared_mutex> topo = WriteTopology();
+  // The first bulk registration defines the balanced cut; later arrivals
+  // route by the existing map so no silent handoff happens outside
+  // Rebalance().
+  const bool recut = registry_.empty();
+  for (const VmServiceInfo& vm : vms) {
+    if (vm.vm_id.empty()) {
+      return Status::InvalidArgument("VM registration without an id");
+    }
+    registry_[vm.vm_id] = vm;
+  }
+  if (recut && !registry_.empty()) {
+    std::vector<std::string> ids;
+    ids.reserve(registry_.size());
+    for (const auto& [id, info] : registry_) ids.push_back(id);
+    map_ = ShardMap::Balanced(ids, handles_.size());
+  }
+  Status first_err;
+  for (const VmServiceInfo& vm : vms) {
+    Handle& h = *handles_[map_.OwnerOf(vm.vm_id)];
+    std::lock_guard<std::mutex> lock(h.mu);
+    if (!h.alive.load(std::memory_order_acquire)) {
+      if (first_err.ok()) {
+        first_err = Status::Unavailable("owner shard down for " + vm.vm_id);
+      }
+      continue;
+    }
+    const uint64_t id = h.next_request_id++;
+    Status st = MutateLocked(h, id, EncodeRegisterVm(id, vm));
+    if (!st.ok() && first_err.ok()) first_err = st;
+  }
+  return first_err;
+}
+
+Status ShardCoordinator::Ingest(const RawEvent& event) {
+  std::shared_lock<std::shared_mutex> topo = ReadTopology();
+  const size_t owner = map_.OwnerOf(event.target);
+  Metrics().events_routed->Increment();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.events_routed;
+  }
+
+  if (!queues_.empty()) {
+    flow::FlowClass klass = flow::FlowClass::kPerformance;
+    if (const auto handle = catalog_->FindHandle(event.name)) {
+      klass = flow::FlowClassForCategory(handle->spec->category);
+    }
+    RawEvent copy = event;
+    switch (queues_[owner]->TryPush(std::move(copy), klass)) {
+      case flow::AdmitResult::kAdmitted:
+        break;
+      case flow::AdmitResult::kShed:
+        return Status::OK();  // accounted via the shed callback
+      case flow::AdmitResult::kQueueFull: {
+        // Full of unsheddable events: apply real backpressure by draining
+        // to the shard ourselves, then admit.
+        PumpQueueLocked(owner);
+        {
+          Handle& h = *handles_[owner];
+          std::lock_guard<std::mutex> lock(h.mu);
+          Status st = FlushPendingLocked(h);
+          if (!st.ok() && st.code() != StatusCode::kUnavailable) return st;
+        }
+        if (!queues_[owner]->Push(event, klass)) {
+          return Status::Unavailable("admission queue closed");
+        }
+        break;
+      }
+    }
+    if (queues_[owner]->depth() >= options_.ingest_batch_size) {
+      PumpQueueLocked(owner);
+      Handle& h = *handles_[owner];
+      std::lock_guard<std::mutex> lock(h.mu);
+      Status st = FlushPendingLocked(h);
+      // A down shard buffers; delivery resumes after recovery.
+      if (!st.ok() && st.code() != StatusCode::kUnavailable) return st;
+    }
+    return Status::OK();
+  }
+
+  Handle& h = *handles_[owner];
+  std::lock_guard<std::mutex> lock(h.mu);
+  h.pending.push_back(event);
+  if (h.pending.size() >= options_.ingest_batch_size) {
+    Status st = FlushPendingLocked(h);
+    if (!st.ok() && st.code() != StatusCode::kUnavailable) return st;
+  }
+  return Status::OK();
+}
+
+Status ShardCoordinator::IngestBatch(const std::vector<RawEvent>& events) {
+  for (const RawEvent& ev : events) {
+    CDIBOT_RETURN_IF_ERROR(Ingest(ev));
+  }
+  return Status::OK();
+}
+
+Status ShardCoordinator::ExpectDelivery(const std::string& target,
+                                        uint64_t count) {
+  std::shared_lock<std::shared_mutex> topo = ReadTopology();
+  Handle& h = *handles_[map_.OwnerOf(target)];
+  std::lock_guard<std::mutex> lock(h.mu);
+  if (!h.alive.load(std::memory_order_acquire)) {
+    return Status::Unavailable("owner shard down for " + target);
+  }
+  const uint64_t id = h.next_request_id++;
+  return MutateLocked(h, id, EncodeExpectDelivery(id, target, count));
+}
+
+Status ShardCoordinator::AdvanceWatermarkTo(TimePoint t) {
+  {
+    std::lock_guard<std::mutex> lock(wm_mu_);
+    if (!wm_target_.has_value() || t > *wm_target_) wm_target_ = t;
+  }
+  std::shared_lock<std::shared_mutex> topo = ReadTopology();
+  Status first_err;
+  for (auto& hp : handles_) {
+    Handle& h = *hp;
+    std::lock_guard<std::mutex> lock(h.mu);
+    if (!h.alive.load(std::memory_order_acquire)) continue;  // re-applied
+    const uint64_t id = h.next_request_id++;
+    Status st = MutateLocked(h, id, EncodeAdvanceWatermark(id, t));
+    if (!st.ok() && st.code() != StatusCode::kUnavailable &&
+        first_err.ok()) {
+      first_err = st;
+    }
+  }
+  return first_err;
+}
+
+void ShardCoordinator::PumpQueueLocked(size_t shard) {
+  if (queues_.empty()) return;
+  std::vector<RawEvent> drained;
+  RawEvent ev;
+  while (queues_[shard]->TryPop(&ev)) drained.push_back(std::move(ev));
+  Handle& h = *handles_[shard];
+  std::lock_guard<std::mutex> lock(h.mu);
+  for (RawEvent& e : drained) h.pending.push_back(std::move(e));
+  h.depth_gauge->Set(static_cast<double>(queues_[shard]->depth()));
+}
+
+Status ShardCoordinator::FlushPendingLocked(Handle& h) {
+  if (h.pending.empty()) return Status::OK();
+  if (!h.alive.load(std::memory_order_acquire)) {
+    return Status::Unavailable("shard down");
+  }
+  const uint64_t id = h.next_request_id++;
+  CDIBOT_RETURN_IF_ERROR(
+      MutateLocked(h, id, EncodeIngestBatch(id, h.pending)));
+  h.pending.clear();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.batches_flushed;
+  }
+  Metrics().batches_flushed->Increment();
+  return Status::OK();
+}
+
+Status ShardCoordinator::FlushAllLocked() {
+  Status first_err;
+  for (size_t i = 0; i < handles_.size(); ++i) {
+    PumpQueueLocked(i);
+    Handle& h = *handles_[i];
+    std::lock_guard<std::mutex> lock(h.mu);
+    Status st = FlushPendingLocked(h);
+    if (!st.ok() && st.code() != StatusCode::kUnavailable && first_err.ok()) {
+      first_err = st;
+    }
+  }
+  std::map<std::string, uint64_t> sheds;
+  {
+    std::lock_guard<std::mutex> lock(shed_mu_);
+    sheds.swap(shed_pending_);
+  }
+  for (const auto& [target, count] : sheds) {
+    Handle& h = *handles_[map_.OwnerOf(target)];
+    std::lock_guard<std::mutex> lock(h.mu);
+    Status st;
+    if (h.alive.load(std::memory_order_acquire)) {
+      const uint64_t id = h.next_request_id++;
+      st = MutateLocked(h, id, EncodeRecordShed(id, target, count));
+    } else {
+      st = Status::Unavailable("shard down");
+    }
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> shed_lock(shed_mu_);
+      shed_pending_[target] += count;
+      if (st.code() != StatusCode::kUnavailable && first_err.ok()) {
+        first_err = st;
+      }
+    }
+  }
+  return first_err;
+}
+
+Status ShardCoordinator::Flush() {
+  std::shared_lock<std::shared_mutex> topo = ReadTopology();
+  return FlushAllLocked();
+}
+
+StatusOr<DailyCdiResult> ShardCoordinator::Snapshot() {
+  std::shared_lock<std::shared_mutex> topo = ReadTopology();
+  return GatherLocked(Deadline());
+}
+
+StatusOr<DailyCdiResult> ShardCoordinator::Preview(const Deadline& deadline) {
+  std::shared_lock<std::shared_mutex> topo = ReadTopology();
+  return GatherLocked(deadline);
+}
+
+StatusOr<VmCdi> ShardCoordinator::FleetCdi() {
+  CDIBOT_ASSIGN_OR_RETURN(DailyCdiResult result, Snapshot());
+  return result.fleet;
+}
+
+StatusOr<DailyCdiResult> ShardCoordinator::GatherLocked(
+    const Deadline& deadline) {
+  CDIBOT_RETURN_IF_ERROR(FlushAllLocked());
+  const CoordMetrics& m = Metrics();
+  obs::ScopedTimer gather_timer(m.gather_ns);
+  TRACE_SPAN("shard.gather");
+
+  const size_t n = handles_.size();
+  const int64_t budget_ms =
+      deadline.IsInfinite() ? -1 : deadline.Remaining().millis();
+  std::vector<std::optional<ShardSnapshot>> snaps(n);
+  // Scatter: every shard computes its local snapshot concurrently; each
+  // channel is serialized by its handle mutex, the slots are disjoint.
+  pool_->ParallelFor(n, [&](size_t i) {
+    Handle& h = *handles_[i];
+    std::lock_guard<std::mutex> lock(h.mu);
+    if (!h.alive.load(std::memory_order_acquire)) return;
+    obs::ScopedTimer shard_timer(m.gather_shard_ns);
+    const uint64_t id = h.next_request_id++;
+    const Deadline recv_deadline =
+        deadline.IsInfinite()
+            ? Deadline()
+            : Deadline::After(deadline.Remaining() +
+                              Duration::Millis(kGatherGraceMs));
+    auto frame_or =
+        CallLocked(h, id, EncodeGather(id, budget_ms), recv_deadline);
+    ResponseFrame hdr;
+    if (!CheckResponse(frame_or, &hdr).ok()) return;  // straggler or dead
+    ShardSnapshot snap = DecodeSnapshot(hdr.reader);
+    if (!hdr.reader.ok()) return;
+    h.last_watermark = snap.watermark;
+    snaps[i] = std::move(snap);
+  });
+
+  // Gather: merge in shard-index order. Doubles fold through the canonical
+  // ascending-vm_id fleet fold; the baseline merges as raw integer sums —
+  // both bit-identical to a single-node snapshot over the same rows.
+  DailyCdiResult out;
+  CanonicalCdiFold fold;
+  uint64_t base_interruptions = 0;
+  Duration base_downtime;
+  std::unordered_set<std::string> sample_reasons;
+  size_t responded = 0;
+  bool shard_missing = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (!snaps[i].has_value()) {
+      shard_missing = true;
+      out.vms_deferred += OwnedVmCountLocked(i);
+      continue;
+    }
+    ++responded;
+    ShardSnapshot& s = *snaps[i];
+    for (VmCdiRecord& row : s.per_vm) {
+      fold.Add(row.vm_id, row.cdi);
+      out.per_vm.push_back(std::move(row));
+    }
+    for (EventCdiRecord& row : s.per_event) {
+      out.per_event.push_back(std::move(row));
+    }
+    base_interruptions += s.baseline_interruptions;
+    base_downtime += s.baseline_downtime;
+    out.fleet_service_time += s.fleet_service_time;
+    out.resolve_stats.Merge(s.resolve_stats);
+    out.quality.Merge(s.quality);
+    out.vms_evaluated += s.vms_evaluated;
+    out.vms_skipped += s.vms_skipped;
+    out.vms_failed += s.vms_failed;
+    out.vms_deferred += s.vms_deferred;
+    out.vms_degraded += s.vms_degraded;
+    if (out.first_vm_error.ok() && !s.first_vm_error.ok()) {
+      out.first_vm_error = s.first_vm_error;
+    }
+    for (std::string& sample : s.vm_error_samples) {
+      if (out.vm_error_samples.size() >= DailyCdiResult::kMaxVmErrorSamples) {
+        break;
+      }
+      // One exemplar per distinct reason fleet-wide, like the single-node
+      // job ("vm <id>: <reason>" — dedup on the reason part).
+      const size_t sep = sample.find(": ");
+      const std::string reason =
+          sep == std::string::npos ? sample : sample.substr(sep + 2);
+      if (sample_reasons.insert(reason).second) {
+        out.vm_error_samples.push_back(std::move(sample));
+      }
+    }
+  }
+  if (responded == 0) {
+    return Status::Unavailable("no shard responded to the gather");
+  }
+  out.fleet = fold.Finalize();
+  out.fleet_baseline =
+      UnavailabilityPartial::FromRaw(base_interruptions, base_downtime,
+                                     out.fleet_service_time)
+          .Finalize();
+  std::sort(out.per_vm.begin(), out.per_vm.end(),
+            [](const VmCdiRecord& a, const VmCdiRecord& b) {
+              return a.vm_id < b.vm_id;
+            });
+  std::sort(out.per_event.begin(), out.per_event.end(),
+            [](const EventCdiRecord& a, const EventCdiRecord& b) {
+              return std::tie(a.vm_id, a.event_name) <
+                     std::tie(b.vm_id, b.event_name);
+            });
+  if (shard_missing) {
+    // Missing shards degrade the result, they never silently shrink the
+    // fleet: their VMs are counted deferred and the quality flag is set
+    // AFTER the merges so no Refresh() can clear it.
+    out.quality.degraded = true;
+  }
+
+  m.gathers->Increment();
+  if (shard_missing) m.degraded_gathers->Increment();
+  TimePoint min_wm;
+  bool first = true;
+  for (auto& hp : handles_) {
+    std::lock_guard<std::mutex> lock(hp->mu);
+    if (first || hp->last_watermark < min_wm) min_wm = hp->last_watermark;
+    first = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.gathers;
+    if (shard_missing) ++stats_.degraded_gathers;
+    stats_.min_watermark = min_wm;
+  }
+  m.min_watermark_ms->Set(static_cast<double>(min_wm.millis()));
+  return out;
+}
+
+TimePoint ShardCoordinator::Watermark() {
+  std::shared_lock<std::shared_mutex> topo = ReadTopology();
+  TimePoint min_wm;
+  bool first = true;
+  for (auto& hp : handles_) {
+    Handle& h = *hp;
+    std::lock_guard<std::mutex> lock(h.mu);
+    if (h.alive.load(std::memory_order_acquire)) {
+      const uint64_t id = h.next_request_id++;
+      auto frame_or = CallLocked(h, id, EncodePing(id), Deadline());
+      ResponseFrame hdr;
+      if (CheckResponse(frame_or, &hdr).ok()) {
+        const TimePoint wm = hdr.reader.Time();
+        if (hdr.reader.ok()) h.last_watermark = wm;
+      }
+    }
+    // A dead shard contributes its last reported watermark: the global
+    // value stalls (truthfully) until the shard recovers.
+    if (first || h.last_watermark < min_wm) min_wm = h.last_watermark;
+    first = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.min_watermark = min_wm;
+  }
+  Metrics().min_watermark_ms->Set(static_cast<double>(min_wm.millis()));
+  return min_wm;
+}
+
+Status ShardCoordinator::CheckpointShardsLocked() {
+  Status first_err;
+  for (auto& hp : handles_) {
+    Handle& h = *hp;
+    std::lock_guard<std::mutex> lock(h.mu);
+    if (!h.alive.load(std::memory_order_acquire)) continue;
+    const uint64_t id = h.next_request_id++;
+    auto frame_or = CallLocked(h, id, EncodeCheckpointRequest(id), Deadline());
+    ResponseFrame hdr;
+    Status st = CheckResponse(frame_or, &hdr);
+    if (st.ok()) {
+      StreamCheckpoint ckpt = DecodeCheckpoint(hdr.reader);
+      st = hdr.reader.status();
+      if (st.ok()) {
+        h.last_checkpoint = std::move(ckpt);
+        h.has_checkpoint = true;
+        // Everything acknowledged so far is inside the checkpoint; the
+        // outbox restarts as the post-checkpoint replay log.
+        h.outbox.clear();
+      }
+    }
+    if (!st.ok() && first_err.ok()) first_err = st;
+  }
+  return first_err;
+}
+
+Status ShardCoordinator::CheckpointShards() {
+  std::shared_lock<std::shared_mutex> topo = ReadTopology();
+  return CheckpointShardsLocked();
+}
+
+Status ShardCoordinator::Rebalance() {
+  std::unique_lock<std::shared_mutex> topo = WriteTopology();
+  TRACE_SPAN("shard.rebalance");
+  Status first_err = FlushAllLocked();
+
+  std::vector<std::string> ids;
+  ids.reserve(registry_.size());
+  for (const auto& [id, info] : registry_) ids.push_back(id);
+  const ShardMap target = ShardMap::Balanced(ids, handles_.size());
+  const std::vector<ShardMap::Move> moves = ShardMap::Diff(map_, target);
+
+  for (const ShardMap::Move& move : moves) {
+    Handle& src = *handles_[move.from];
+    Handle& dst = *handles_[move.to];
+    if (!src.alive.load(std::memory_order_acquire) ||
+        !dst.alive.load(std::memory_order_acquire)) {
+      if (first_err.ok()) {
+        first_err = Status::Unavailable("rebalance move skipped: shard down");
+      }
+      continue;
+    }
+    StreamCheckpoint frag;
+    {
+      std::lock_guard<std::mutex> lock(src.mu);
+      const uint64_t id = src.next_request_id++;
+      auto frame_or = CallLocked(
+          src, id, EncodeExtractRange(id, move.range.lo, move.range.hi),
+          Deadline());
+      ResponseFrame hdr;
+      Status st = CheckResponse(frame_or, &hdr);
+      if (st.ok()) {
+        frag = DecodeCheckpoint(hdr.reader);
+        st = hdr.reader.status();
+      }
+      if (!st.ok()) {
+        if (first_err.ok()) first_err = st;
+        continue;
+      }
+    }
+    const size_t moved_vms = frag.vms.size();
+    Status install;
+    {
+      std::lock_guard<std::mutex> lock(dst.mu);
+      const uint64_t id = dst.next_request_id++;
+      install = MutateLocked(dst, id, EncodeInstallVms(id, frag));
+    }
+    if (!install.ok()) {
+      // Put the extracted state back where it came from; if the source is
+      // gone too, park the fragment for reinstall at recovery time.
+      bool restored = false;
+      {
+        std::lock_guard<std::mutex> lock(src.mu);
+        if (src.alive.load(std::memory_order_acquire)) {
+          const uint64_t id = src.next_request_id++;
+          restored =
+              MutateLocked(src, id, EncodeInstallVms(id, frag)).ok();
+        }
+      }
+      if (!restored) {
+        parked_.push_back(ParkedFragment{move.range, std::move(frag)});
+      }
+      if (first_err.ok()) first_err = install;
+      continue;
+    }
+    // Ownership flips only after the transfer succeeded, so an aborted
+    // rebalance leaves every range with exactly one live owner.
+    map_.Assign(move.range, move.to);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.vms_moved += moved_vms;
+    }
+    Metrics().vms_moved->Add(static_cast<double>(moved_vms));
+  }
+
+  // The extracts mutated source shards in ways outbox replay cannot redo
+  // (an extract is not an acknowledged *inbound* mutation), so recovery
+  // baselines must advance past them: checkpoint everything now.
+  Status ckpt = CheckpointShardsLocked();
+  if (first_err.ok()) first_err = ckpt;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rebalances;
+  }
+  Metrics().rebalances->Increment();
+  return first_err;
+}
+
+Status ShardCoordinator::InjectShardFailure(size_t shard) {
+  std::unique_lock<std::shared_mutex> topo = WriteTopology();
+  if (shard >= handles_.size()) {
+    return Status::InvalidArgument("no such shard");
+  }
+  Handle& h = *handles_[shard];
+  std::lock_guard<std::mutex> lock(h.mu);
+  if (!h.alive.load(std::memory_order_acquire)) return Status::OK();
+  h.worker->Kill();  // closes the channel and destroys the engine
+  MarkDead(h);
+  return Status::OK();
+}
+
+Status ShardCoordinator::RecoverShard(size_t shard) {
+  std::unique_lock<std::shared_mutex> topo = WriteTopology();
+  if (shard >= handles_.size()) {
+    return Status::InvalidArgument("no such shard");
+  }
+  Handle& h = *handles_[shard];
+  std::lock_guard<std::mutex> lock(h.mu);
+  if (h.alive.load(std::memory_order_acquire)) return Status::OK();
+
+  TransportPair pair = MakeInProcessPair(options_.channel_capacity);
+  auto worker = std::make_unique<ShardWorker>(
+      shard, catalog_, weights_, options_.engine, std::move(pair.worker_end));
+  CDIBOT_RETURN_IF_ERROR(worker->Start());
+  h.worker = std::move(worker);
+  h.channel = std::move(pair.coordinator_end);
+  h.alive.store(true, std::memory_order_release);
+
+  const auto fail = [&](Status st) {
+    h.worker->Kill();
+    h.alive.store(false, std::memory_order_release);
+    return st;
+  };
+
+  // Restore the checkpoint baseline, then replay every acknowledged
+  // mutation since, verbatim and in order: the rebuilt engine is
+  // bit-identical to the dead one at its last acknowledged request.
+  if (h.has_checkpoint) {
+    const uint64_t id = h.next_request_id++;
+    ResponseFrame hdr;
+    Status st = CheckResponse(
+        CallLocked(h, id, EncodeRestore(id, h.last_checkpoint), Deadline()),
+        &hdr);
+    if (!st.ok()) return fail(st);
+  }
+  for (const OutboxEntry& entry : h.outbox) {
+    ResponseFrame hdr;
+    Status st = CheckResponse(
+        CallLocked(h, entry.request_id, entry.frame, Deadline()), &hdr);
+    if (!st.ok()) return fail(st);
+  }
+  // Watermark advances are monotonic; re-applying the high-water target is
+  // idempotent and covers advances the shard missed while down.
+  std::optional<TimePoint> wm_target;
+  {
+    std::lock_guard<std::mutex> wm_lock(wm_mu_);
+    wm_target = wm_target_;
+  }
+  if (wm_target.has_value()) {
+    const uint64_t id = h.next_request_id++;
+    Status st = MutateLocked(h, id, EncodeAdvanceWatermark(id, *wm_target));
+    if (!st.ok()) return fail(st);
+  }
+  // Fragments orphaned by a failed rebalance transfer go to their owner.
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    if (map_.OwnerOf(it->range.lo) != shard) {
+      ++it;
+      continue;
+    }
+    const uint64_t id = h.next_request_id++;
+    Status st = MutateLocked(h, id, EncodeInstallVms(id, it->fragment));
+    if (!st.ok()) return fail(st);
+    it = parked_.erase(it);
+  }
+
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.shards_recovered;
+  }
+  Metrics().recoveries->Increment();
+  size_t alive = 0;
+  for (const auto& other : handles_) {
+    if (other->alive.load(std::memory_order_acquire)) ++alive;
+  }
+  Metrics().shards_alive->Set(static_cast<double>(alive));
+  return Status::OK();
+}
+
+bool ShardCoordinator::ShardAlive(size_t shard) const {
+  if (shard >= handles_.size()) return false;
+  return handles_[shard]->alive.load(std::memory_order_acquire);
+}
+
+ShardMap ShardCoordinator::Map() const {
+  std::shared_lock<std::shared_mutex> topo = ReadTopology();
+  return map_;
+}
+
+size_t ShardCoordinator::OwnedVmCountLocked(size_t shard) const {
+  size_t count = 0;
+  for (const auto& [id, info] : registry_) {
+    if (map_.OwnerOf(id) == shard) ++count;
+  }
+  return count;
+}
+
+ShardFleetStats ShardCoordinator::stats() const {
+  ShardFleetStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.num_shards = handles_.size();
+  out.shards_alive = 0;
+  for (const auto& h : handles_) {
+    if (h->alive.load(std::memory_order_acquire)) ++out.shards_alive;
+  }
+  return out;
+}
+
+}  // namespace cdibot::shard

@@ -1,0 +1,277 @@
+#ifndef CDIBOT_SHARD_COORDINATOR_H_
+#define CDIBOT_SHARD_COORDINATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "flow/backpressure_queue.h"
+#include "obs/metrics.h"
+#include "shard/channel.h"
+#include "shard/message.h"
+#include "shard/shard_map.h"
+#include "shard/worker.h"
+
+namespace cdibot::shard {
+
+/// Topology and transport configuration for a sharded fleet.
+struct ShardTopologyOptions {
+  size_t num_shards = 4;
+  /// Per-shard engine configuration (window required). Every worker gets a
+  /// copy; `engine.pool`, if set, is shared across workers and must outlive
+  /// the coordinator.
+  StreamingCdiOptions engine;
+  /// Ingest frames are batched per shard up to this many events before a
+  /// flush; gathers and watermark advances flush implicitly.
+  size_t ingest_batch_size = 256;
+  /// Per-direction channel capacity (frames).
+  size_t channel_capacity = 4096;
+  /// Admission control in front of each shard's channel: overload sheds
+  /// sheddable-class events (never unavailability) and reports them to the
+  /// owning shard as DataQuality::events_shed.
+  bool flow_control = false;
+  flow::FlowOptions flow;
+};
+
+/// Coordinator-side counters (shard.* metrics mirror these).
+struct ShardFleetStats {
+  size_t num_shards = 0;
+  size_t shards_alive = 0;
+  uint64_t gathers = 0;
+  /// Gathers that completed with at least one shard missing (degraded
+  /// DataQuality on the merged result).
+  uint64_t degraded_gathers = 0;
+  uint64_t rebalances = 0;
+  uint64_t vms_moved = 0;
+  uint64_t shard_failures = 0;
+  uint64_t shards_recovered = 0;
+  uint64_t events_routed = 0;
+  uint64_t events_shed = 0;
+  uint64_t batches_flushed = 0;
+  /// Global event-time watermark: min over per-shard watermarks (a dead
+  /// shard pins it at its last reported value).
+  TimePoint min_watermark;
+};
+
+/// Fleet-level CDI over N shard workers behind message-passing channels.
+///
+/// The coordinator owns the shard map (contiguous VM ranges), routes every
+/// registration/event/manifest to its owner shard as serialized frames,
+/// and answers fleet queries by scatter/gather: each shard computes its
+/// local snapshot, the coordinator merges the partials. The merge is
+/// bit-identical to a single-node engine over the same inputs: per-VM rows
+/// cross the wire with bit-cast doubles and fold through the canonical
+/// ascending-vm_id fleet fold, and the unavailability baseline travels as
+/// raw integer sums which merge exactly in any grouping.
+///
+/// Failure model: a shard killed mid-day (InjectShardFailure, or detected
+/// via a closed channel) degrades gathers instead of failing them — its
+/// VMs land in vms_deferred and the merged DataQuality is flagged degraded,
+/// never silently wrong. RecoverShard rebuilds the worker from the
+/// coordinator-held checkpoint plus an outbox replay of every acknowledged
+/// mutation since, which restores bit-identical state.
+///
+/// Rebalance: recuts the map to balanced quantile ranges and hands each
+/// moved range off via ExtractRange/InstallVms in the checkpoint format;
+/// ownership flips per range only after its transfer succeeded, so an
+/// aborted rebalance leaves a consistent (partially moved) fleet.
+///
+/// Thread safety: all methods are thread-safe. Gathers and ingest take the
+/// topology lock shared; rebalance, registration, failure injection and
+/// recovery take it exclusive. Each shard's channel is serialized by a
+/// per-handle mutex.
+class ShardCoordinator {
+ public:
+  /// `catalog` and `weights` must outlive the coordinator. Spawns and
+  /// starts all workers; fails if any engine rejects the options.
+  static StatusOr<std::unique_ptr<ShardCoordinator>> Create(
+      const EventCatalog* catalog, const EventWeightModel* weights,
+      ShardTopologyOptions options);
+  ~ShardCoordinator();
+
+  ShardCoordinator(const ShardCoordinator&) = delete;
+  ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+  /// Registers VMs with their owner shards. The first (bulk) registration
+  /// on an empty fleet also cuts the shard map into balanced contiguous
+  /// ranges over the registered ids; later registrations route by the
+  /// existing map (Rebalance recuts).
+  Status RegisterVms(const std::vector<VmServiceInfo>& vms);
+  Status RegisterVm(const VmServiceInfo& vm);
+
+  /// Routes one event to its owner shard (buffered; see
+  /// ShardTopologyOptions::ingest_batch_size). With flow control on, the
+  /// event passes the owner's admission queue first and may be shed.
+  Status Ingest(const RawEvent& event);
+  Status IngestBatch(const std::vector<RawEvent>& events);
+
+  /// Delivery-manifest announcement, routed to the target's owner.
+  Status ExpectDelivery(const std::string& target, uint64_t count);
+
+  /// Advances every shard's watermark (never regresses). A recovered shard
+  /// is re-advanced to the highest requested value.
+  Status AdvanceWatermarkTo(TimePoint t);
+
+  /// Drains admission queues and delivers all buffered events and shed
+  /// accounting to the owner shards.
+  Status Flush();
+
+  /// Settled fleet snapshot: flush, scatter an unbounded gather to every
+  /// shard in parallel, merge. Bit-identical to a single-node engine
+  /// Snapshot over the same inputs when all shards respond.
+  StatusOr<DailyCdiResult> Snapshot();
+
+  /// Deadline-bounded gather: each shard gets the remaining budget; a
+  /// straggler past the grace window is dropped from the merge and its VMs
+  /// counted as deferred (degraded result, like a dead shard). Fails only
+  /// when no shard responds.
+  StatusOr<DailyCdiResult> Preview(const Deadline& deadline);
+
+  /// Fleet Eq.-4 CDI (canonical fold over a settled gather).
+  StatusOr<VmCdi> FleetCdi();
+
+  /// Global min-watermark: pings live shards for fresh values; a dead
+  /// shard contributes its last known watermark, pinning the global value
+  /// until recovery.
+  TimePoint Watermark();
+
+  /// Recuts the map to balanced ranges over the current registry and hands
+  /// moved ranges off between shards (extract -> install -> flip
+  /// ownership, per range). Ends with a checkpoint pass so a later crash
+  /// cannot resurrect moved VMs on their old owner. Returns the first
+  /// transfer error; already-committed moves stay committed.
+  Status Rebalance();
+
+  /// Captures every live shard's checkpoint coordinator-side and clears
+  /// its replay outbox.
+  Status CheckpointShards();
+
+  /// Simulated crash of one shard: the worker's channel closes and its
+  /// in-memory engine is destroyed. Buffered-but-unsent events for the
+  /// shard are retained for delivery after recovery.
+  Status InjectShardFailure(size_t shard);
+
+  /// Respawns a dead shard: restore from the held checkpoint, replay the
+  /// acknowledged-mutation outbox in order, re-advance the watermark, and
+  /// install any fragments parked by a failed rebalance transfer. State is
+  /// bit-identical to the moment of the last acknowledged mutation.
+  Status RecoverShard(size_t shard);
+
+  bool ShardAlive(size_t shard) const;
+  ShardMap Map() const;
+  ShardFleetStats stats() const;
+  size_t num_shards() const { return handles_.size(); }
+
+ private:
+  struct OutboxEntry {
+    uint64_t request_id = 0;
+    std::string frame;
+  };
+
+  /// Coordinator-side state for one shard. `mu` serializes the channel
+  /// (one in-flight request per shard) and guards everything below it.
+  struct Handle {
+    mutable std::mutex mu;
+    std::unique_ptr<Transport> channel;
+    std::unique_ptr<ShardWorker> worker;
+    uint64_t next_request_id = 1;
+    std::atomic<bool> alive{false};
+    /// Last checkpoint captured from the shard; recovery baseline.
+    StreamCheckpoint last_checkpoint;
+    bool has_checkpoint = false;
+    /// Acknowledged mutating frames since the last checkpoint, replayed
+    /// verbatim (original request ids) on recovery.
+    std::vector<OutboxEntry> outbox;
+    /// Ingest buffer not yet sent; survives a shard crash coordinator-side.
+    std::vector<RawEvent> pending;
+    TimePoint last_watermark;
+    obs::Gauge* depth_gauge = nullptr;
+  };
+
+  /// A fragment whose install failed on both destination and source during
+  /// a rebalance; re-installed into its owner on recovery.
+  struct ParkedFragment {
+    ShardMap::Range range;
+    StreamCheckpoint fragment;
+  };
+
+  ShardCoordinator(const EventCatalog* catalog, const EventWeightModel* weights,
+                   ShardTopologyOptions options);
+  Status StartWorkers();
+
+  /// Sends `frame` and waits for the response with `request_id`,
+  /// discarding stale responses of abandoned earlier calls. Marks the
+  /// shard dead on a closed channel. Requires h.mu held.
+  StatusOr<std::string> CallLocked(Handle& h, uint64_t request_id,
+                                   const std::string& frame,
+                                   const Deadline& deadline);
+  /// CallLocked + status decode; on success appends the frame to the
+  /// recovery outbox. Requires h.mu held.
+  Status MutateLocked(Handle& h, uint64_t request_id, std::string frame);
+  void MarkDead(Handle& h);
+
+  /// Drains shard i's admission queue into its pending buffer. Requires
+  /// topology lock (shared suffices).
+  void PumpQueueLocked(size_t shard);
+  /// Sends shard i's pending events as one ingest batch. Requires h.mu.
+  Status FlushPendingLocked(Handle& h);
+  /// Pump + pending + shed accounting for every shard. Requires topology
+  /// lock (shared suffices).
+  Status FlushAllLocked();
+  Status CheckpointShardsLocked();
+  /// Merged gather implementation. Requires topology lock (shared).
+  StatusOr<DailyCdiResult> GatherLocked(const Deadline& deadline);
+  /// VMs currently owned by `shard` per the registry. Requires topology
+  /// lock (shared).
+  size_t OwnedVmCountLocked(size_t shard) const;
+
+  const EventCatalog* catalog_;
+  const EventWeightModel* weights_;
+  const ShardTopologyOptions options_;
+
+  /// Acquires topo_mu_ shared (readers: gathers, ingest, watermarks).
+  std::shared_lock<std::shared_mutex> ReadTopology() const;
+  /// Acquires topo_mu_ exclusive (writers: rebalance, registration,
+  /// failure injection, recovery).
+  std::unique_lock<std::shared_mutex> WriteTopology() const;
+
+  /// Gathers/ingest shared; rebalance/registration/failure/recovery
+  /// exclusive. Guards map_, registry_, parked_, and topology changes.
+  /// Always acquired through ReadTopology()/WriteTopology(): both pass
+  /// through topo_gate_ first, so a waiting writer blocks NEW readers and
+  /// cannot starve under a continuous gather/ingest load (glibc's
+  /// shared_mutex is reader-preferring by default).
+  mutable std::mutex topo_gate_;
+  mutable std::shared_mutex topo_mu_;
+  ShardMap map_;
+  std::map<std::string, VmServiceInfo> registry_;
+  std::vector<ParkedFragment> parked_;
+  std::vector<std::unique_ptr<Handle>> handles_;
+
+  /// Scatter/gather worker pool (one task per shard).
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Admission queues, one per shard (flow_control only).
+  std::vector<std::unique_ptr<flow::BackpressureQueue>> queues_;
+  /// Shed counts not yet reported to owner shards (target -> count).
+  std::mutex shed_mu_;
+  std::map<std::string, uint64_t> shed_pending_;
+
+  /// Highest watermark ever requested; re-applied to recovered shards.
+  std::mutex wm_mu_;
+  std::optional<TimePoint> wm_target_;
+
+  mutable std::mutex stats_mu_;
+  ShardFleetStats stats_;
+};
+
+}  // namespace cdibot::shard
+
+#endif  // CDIBOT_SHARD_COORDINATOR_H_

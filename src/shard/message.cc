@@ -1,0 +1,471 @@
+#include "shard/message.h"
+
+#include <utility>
+
+namespace cdibot::shard {
+
+namespace {
+
+/// Smallest possible wire footprint of one element of each repeated type,
+/// used to bound Count() reads against the remaining frame.
+constexpr size_t kMinEventBytes = 4 + 8 + 4 + 8 + 1 + 4;
+constexpr size_t kMinVmEntryBytes = 4 + 4 + 16;
+constexpr size_t kMinTargetQualityBytes = 4 + 4 * 8;
+constexpr size_t kMinVmRowBytes = 4 + 4 + (3 * 8 + 8) + (3 * 8 + 1);
+constexpr size_t kMinEventRowBytes = 4 + 4 + 1 + 8 + 8 + 4;
+
+void EncodeHeader(WireWriter& w, uint64_t request_id, MessageKind kind) {
+  w.U64(request_id);
+  w.U32(static_cast<uint32_t>(kind));
+}
+
+void EncodeVmCdi(WireWriter& w, const VmCdi& cdi) {
+  w.F64(cdi.unavailability);
+  w.F64(cdi.performance);
+  w.F64(cdi.control_plane);
+  w.Dur(cdi.service_time);
+}
+
+VmCdi DecodeVmCdi(WireReader& r) {
+  VmCdi cdi;
+  cdi.unavailability = r.F64();
+  cdi.performance = r.F64();
+  cdi.control_plane = r.F64();
+  cdi.service_time = r.Dur();
+  return cdi;
+}
+
+void EncodeQuality(WireWriter& w, const DataQuality& q) {
+  w.U64(q.events_quarantined);
+  w.U64(q.events_missing);
+  w.U64(q.events_shed);
+  w.Bool(q.degraded);
+}
+
+DataQuality DecodeQuality(WireReader& r) {
+  DataQuality q;
+  q.events_quarantined = r.U64();
+  q.events_missing = r.U64();
+  q.events_shed = r.U64();
+  q.degraded = r.Bool();
+  return q;
+}
+
+void EncodeVmRow(WireWriter& w, const VmCdiRecord& row) {
+  w.Str(row.vm_id);
+  w.StrMap(row.dims);
+  EncodeVmCdi(w, row.cdi);
+  EncodeQuality(w, row.quality);
+}
+
+VmCdiRecord DecodeVmRow(WireReader& r) {
+  VmCdiRecord row;
+  row.vm_id = r.Str();
+  row.dims = r.StrMap();
+  row.cdi = DecodeVmCdi(r);
+  row.quality = DecodeQuality(r);
+  return row;
+}
+
+void EncodeEventRow(WireWriter& w, const EventCdiRecord& row) {
+  w.Str(row.vm_id);
+  w.Str(row.event_name);
+  w.U8(static_cast<uint8_t>(row.category));
+  w.F64(row.damage_minutes);
+  w.Dur(row.service_time);
+  w.StrMap(row.dims);
+}
+
+EventCdiRecord DecodeEventRow(WireReader& r) {
+  EventCdiRecord row;
+  row.vm_id = r.Str();
+  row.event_name = r.Str();
+  row.category = static_cast<StabilityCategory>(r.U8());
+  row.damage_minutes = r.F64();
+  row.service_time = r.Dur();
+  row.dims = r.StrMap();
+  return row;
+}
+
+void EncodeResolveStats(WireWriter& w, const ResolveStats& s) {
+  w.U64(s.resolved);
+  w.U64(s.unknown_dropped);
+  w.U64(s.duplicate_details_dropped);
+  w.U64(s.dangling_end_dropped);
+  w.U64(s.unpaired_start_closed);
+}
+
+ResolveStats DecodeResolveStats(WireReader& r) {
+  ResolveStats s;
+  s.resolved = r.U64();
+  s.unknown_dropped = r.U64();
+  s.duplicate_details_dropped = r.U64();
+  s.dangling_end_dropped = r.U64();
+  s.unpaired_start_closed = r.U64();
+  return s;
+}
+
+void EncodeStatus(WireWriter& w, const Status& st) {
+  w.U32(static_cast<uint32_t>(st.code()));
+  w.Str(st.message());
+}
+
+Status DecodeStatus(WireReader& r) {
+  const uint32_t code = r.U32();
+  return StatusFromWire(code, r.Str());
+}
+
+}  // namespace
+
+Status StatusFromWire(uint32_t code, const std::string& message) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(message);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(message);
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(message);
+    case StatusCode::kInternal:
+      return Status::Internal(message);
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(message);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+    case StatusCode::kAborted:
+      return Status::Aborted(message);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(message);
+    case StatusCode::kDataLoss:
+      return Status::DataLoss(message);
+  }
+  return Status::Internal("unknown wire status code " + std::to_string(code) +
+                          ": " + message);
+}
+
+void EncodeRawEvent(WireWriter& w, const RawEvent& ev) {
+  w.Str(ev.name);
+  w.Time(ev.time);
+  w.Str(ev.target);
+  w.Dur(ev.expire_interval);
+  w.U8(static_cast<uint8_t>(ev.level));
+  w.StrMap(ev.attrs);
+}
+
+RawEvent DecodeRawEvent(WireReader& r) {
+  RawEvent ev;
+  ev.name = r.Str();
+  ev.time = r.Time();
+  ev.target = r.Str();
+  ev.expire_interval = r.Dur();
+  // A level ordinal outside the enum survives decoding on purpose: the
+  // worker's engine quarantines it like any other malformed arrival, so
+  // a corrupted frame degrades data quality instead of dropping silently.
+  ev.level = static_cast<Severity>(r.U8());
+  ev.attrs = r.StrMap();
+  return ev;
+}
+
+void EncodeVmServiceInfo(WireWriter& w, const VmServiceInfo& vm) {
+  w.Str(vm.vm_id);
+  w.StrMap(vm.dims);
+  w.Window(vm.service_period);
+}
+
+VmServiceInfo DecodeVmServiceInfo(WireReader& r) {
+  VmServiceInfo vm;
+  vm.vm_id = r.Str();
+  vm.dims = r.StrMap();
+  vm.service_period = r.Window();
+  return vm;
+}
+
+void EncodeCheckpoint(WireWriter& w, const StreamCheckpoint& ckpt) {
+  w.Window(ckpt.window);
+  w.Time(ckpt.watermark);
+  w.Time(ckpt.max_event_time);
+  w.U64(ckpt.events_ingested);
+  w.U64(ckpt.events_late);
+  w.U64(ckpt.events_out_of_window);
+  w.U64(ckpt.events_orphaned);
+  w.U64(ckpt.vms_recomputed);
+  w.U32(static_cast<uint32_t>(ckpt.vms.size()));
+  for (const CheckpointVmEntry& vm : ckpt.vms) {
+    w.Str(vm.vm_id);
+    w.StrMap(vm.dims);
+    w.Window(vm.service_period);
+  }
+  w.U32(static_cast<uint32_t>(ckpt.events.size()));
+  for (const RawEvent& ev : ckpt.events) EncodeRawEvent(w, ev);
+  w.U32(static_cast<uint32_t>(ckpt.orphan_events.size()));
+  for (const RawEvent& ev : ckpt.orphan_events) EncodeRawEvent(w, ev);
+  w.U32(static_cast<uint32_t>(ckpt.quarantined_by_reason.size()));
+  for (uint64_t count : ckpt.quarantined_by_reason) w.U64(count);
+  w.U32(static_cast<uint32_t>(ckpt.target_quality.size()));
+  for (const CheckpointTargetQuality& tq : ckpt.target_quality) {
+    w.Str(tq.target);
+    w.U64(tq.received);
+    w.U64(tq.expected);
+    w.U64(tq.quarantined);
+    w.U64(tq.shed);
+  }
+}
+
+StreamCheckpoint DecodeCheckpoint(WireReader& r) {
+  StreamCheckpoint ckpt;
+  ckpt.window = r.Window();
+  ckpt.watermark = r.Time();
+  ckpt.max_event_time = r.Time();
+  ckpt.events_ingested = r.U64();
+  ckpt.events_late = r.U64();
+  ckpt.events_out_of_window = r.U64();
+  ckpt.events_orphaned = r.U64();
+  ckpt.vms_recomputed = r.U64();
+  uint32_t n = r.Count(kMinVmEntryBytes);
+  ckpt.vms.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    CheckpointVmEntry vm;
+    vm.vm_id = r.Str();
+    vm.dims = r.StrMap();
+    vm.service_period = r.Window();
+    ckpt.vms.push_back(std::move(vm));
+  }
+  n = r.Count(kMinEventBytes);
+  ckpt.events.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    ckpt.events.push_back(DecodeRawEvent(r));
+  }
+  n = r.Count(kMinEventBytes);
+  ckpt.orphan_events.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    ckpt.orphan_events.push_back(DecodeRawEvent(r));
+  }
+  n = r.Count(8);
+  ckpt.quarantined_by_reason.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    ckpt.quarantined_by_reason.push_back(r.U64());
+  }
+  n = r.Count(kMinTargetQualityBytes);
+  ckpt.target_quality.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    CheckpointTargetQuality tq;
+    tq.target = r.Str();
+    tq.received = r.U64();
+    tq.expected = r.U64();
+    tq.quarantined = r.U64();
+    tq.shed = r.U64();
+    ckpt.target_quality.push_back(std::move(tq));
+  }
+  return ckpt;
+}
+
+void EncodeSnapshot(WireWriter& w, const ShardSnapshot& snapshot) {
+  w.U32(static_cast<uint32_t>(snapshot.per_vm.size()));
+  for (const VmCdiRecord& row : snapshot.per_vm) EncodeVmRow(w, row);
+  w.U32(static_cast<uint32_t>(snapshot.per_event.size()));
+  for (const EventCdiRecord& row : snapshot.per_event) EncodeEventRow(w, row);
+  w.U64(snapshot.baseline_interruptions);
+  w.Dur(snapshot.baseline_downtime);
+  w.Dur(snapshot.fleet_service_time);
+  EncodeResolveStats(w, snapshot.resolve_stats);
+  EncodeQuality(w, snapshot.quality);
+  w.U64(snapshot.vms_evaluated);
+  w.U64(snapshot.vms_skipped);
+  w.U64(snapshot.vms_failed);
+  w.U64(snapshot.vms_deferred);
+  w.U64(snapshot.vms_degraded);
+  w.U32(static_cast<uint32_t>(snapshot.vm_error_samples.size()));
+  for (const std::string& sample : snapshot.vm_error_samples) w.Str(sample);
+  EncodeStatus(w, snapshot.first_vm_error);
+  w.Time(snapshot.watermark);
+  w.U64(snapshot.num_vms);
+}
+
+ShardSnapshot DecodeSnapshot(WireReader& r) {
+  ShardSnapshot snapshot;
+  uint32_t n = r.Count(kMinVmRowBytes);
+  snapshot.per_vm.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    snapshot.per_vm.push_back(DecodeVmRow(r));
+  }
+  n = r.Count(kMinEventRowBytes);
+  snapshot.per_event.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    snapshot.per_event.push_back(DecodeEventRow(r));
+  }
+  snapshot.baseline_interruptions = r.U64();
+  snapshot.baseline_downtime = r.Dur();
+  snapshot.fleet_service_time = r.Dur();
+  snapshot.resolve_stats = DecodeResolveStats(r);
+  snapshot.quality = DecodeQuality(r);
+  snapshot.vms_evaluated = r.U64();
+  snapshot.vms_skipped = r.U64();
+  snapshot.vms_failed = r.U64();
+  snapshot.vms_deferred = r.U64();
+  snapshot.vms_degraded = r.U64();
+  n = r.Count(4);
+  snapshot.vm_error_samples.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    snapshot.vm_error_samples.push_back(r.Str());
+  }
+  snapshot.first_vm_error = DecodeStatus(r);
+  snapshot.watermark = r.Time();
+  snapshot.num_vms = r.U64();
+  return snapshot;
+}
+
+std::string EncodePing(uint64_t request_id) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kPing);
+  return std::move(w).Take();
+}
+
+std::string EncodeRegisterVm(uint64_t request_id, const VmServiceInfo& vm) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kRegisterVm);
+  EncodeVmServiceInfo(w, vm);
+  return std::move(w).Take();
+}
+
+std::string EncodeIngestBatch(uint64_t request_id,
+                              const std::vector<RawEvent>& events) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kIngestBatch);
+  w.U32(static_cast<uint32_t>(events.size()));
+  for (const RawEvent& ev : events) EncodeRawEvent(w, ev);
+  return std::move(w).Take();
+}
+
+std::string EncodeGather(uint64_t request_id, int64_t budget_ms) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kGather);
+  w.I64(budget_ms);
+  return std::move(w).Take();
+}
+
+std::string EncodeExtractRange(uint64_t request_id, const std::string& lo,
+                               const std::optional<std::string>& hi) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kExtractRange);
+  w.Str(lo);
+  w.Bool(hi.has_value());
+  w.Str(hi.has_value() ? *hi : std::string());
+  return std::move(w).Take();
+}
+
+std::string EncodeInstallVms(uint64_t request_id,
+                             const StreamCheckpoint& fragment) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kInstallVms);
+  EncodeCheckpoint(w, fragment);
+  return std::move(w).Take();
+}
+
+std::string EncodeExpectDelivery(uint64_t request_id,
+                                 const std::string& target, uint64_t count) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kExpectDelivery);
+  w.Str(target);
+  w.U64(count);
+  return std::move(w).Take();
+}
+
+std::string EncodeRecordShed(uint64_t request_id, const std::string& target,
+                             uint64_t count) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kRecordShed);
+  w.Str(target);
+  w.U64(count);
+  return std::move(w).Take();
+}
+
+std::string EncodeAdvanceWatermark(uint64_t request_id, TimePoint to) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kAdvanceWatermark);
+  w.Time(to);
+  return std::move(w).Take();
+}
+
+std::string EncodeCheckpointRequest(uint64_t request_id) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kCheckpoint);
+  return std::move(w).Take();
+}
+
+std::string EncodeRestore(uint64_t request_id, const StreamCheckpoint& ckpt) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kRestore);
+  EncodeCheckpoint(w, ckpt);
+  return std::move(w).Take();
+}
+
+std::string EncodeStatusResponse(uint64_t request_id, MessageKind kind,
+                                 const Status& status) {
+  WireWriter w;
+  EncodeHeader(w, request_id, kind);
+  EncodeStatus(w, status);
+  return std::move(w).Take();
+}
+
+std::string EncodePingResponse(uint64_t request_id, const ShardPing& ping) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kPing);
+  EncodeStatus(w, Status::OK());
+  w.Time(ping.watermark);
+  w.U64(ping.num_vms);
+  return std::move(w).Take();
+}
+
+std::string EncodeGatherResponse(uint64_t request_id,
+                                 const ShardSnapshot& snapshot) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kGather);
+  EncodeStatus(w, Status::OK());
+  EncodeSnapshot(w, snapshot);
+  return std::move(w).Take();
+}
+
+std::string EncodeCheckpointResponse(uint64_t request_id, MessageKind kind,
+                                     const StreamCheckpoint& ckpt) {
+  WireWriter w;
+  EncodeHeader(w, request_id, kind);
+  EncodeStatus(w, Status::OK());
+  EncodeCheckpoint(w, ckpt);
+  return std::move(w).Take();
+}
+
+StatusOr<RequestFrame> DecodeRequestHeader(const std::string& frame) {
+  RequestFrame req;
+  req.reader = WireReader(frame);
+  req.request_id = req.reader.U64();
+  const uint32_t kind = req.reader.U32();
+  CDIBOT_RETURN_IF_ERROR(req.reader.status());
+  if (kind < static_cast<uint32_t>(MessageKind::kPing) ||
+      kind > static_cast<uint32_t>(MessageKind::kRestore)) {
+    return Status::DataLoss("unknown request kind " + std::to_string(kind));
+  }
+  req.kind = static_cast<MessageKind>(kind);
+  return req;
+}
+
+StatusOr<ResponseFrame> DecodeResponseHeader(const std::string& frame) {
+  ResponseFrame resp;
+  resp.reader = WireReader(frame);
+  resp.request_id = resp.reader.U64();
+  const uint32_t kind = resp.reader.U32();
+  resp.status = DecodeStatus(resp.reader);
+  CDIBOT_RETURN_IF_ERROR(resp.reader.status());
+  if (kind < static_cast<uint32_t>(MessageKind::kPing) ||
+      kind > static_cast<uint32_t>(MessageKind::kRestore)) {
+    return Status::DataLoss("unknown response kind " + std::to_string(kind));
+  }
+  resp.kind = static_cast<MessageKind>(kind);
+  return resp;
+}
+
+}  // namespace cdibot::shard

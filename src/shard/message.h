@@ -1,0 +1,138 @@
+#ifndef CDIBOT_SHARD_MESSAGE_H_
+#define CDIBOT_SHARD_MESSAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cdi/pipeline.h"
+#include "common/statusor.h"
+#include "shard/wire.h"
+#include "storage/stream_checkpoint.h"
+
+namespace cdibot::shard {
+
+/// Request kinds of the coordinator->worker protocol. The numeric values
+/// are the wire tags; append-only.
+enum class MessageKind : uint32_t {
+  kPing = 1,              ///< liveness probe; response carries the watermark
+  kRegisterVm = 2,        ///< declare/update one VM's service window
+  kIngestBatch = 3,       ///< a batch of raw events routed to this shard
+  kGather = 4,            ///< scatter/gather: compute + return ShardSnapshot
+  kExtractRange = 5,      ///< rebalance: remove a VM range, return fragment
+  kInstallVms = 6,        ///< rebalance: install a fragment from a peer
+  kExpectDelivery = 7,    ///< delivery-manifest announcement for a target
+  kRecordShed = 8,        ///< upstream admission control shed events
+  kAdvanceWatermark = 9,  ///< explicit watermark advance (idle stream)
+  kCheckpoint = 10,       ///< return the engine's durable state
+  kRestore = 11,          ///< replace the engine with a checkpoint restore
+};
+
+/// Everything one shard contributes to a fleet-level gather. The per-VM
+/// rows carry the exact CDI doubles (bit-cast on the wire), so the
+/// coordinator can run the canonical ascending-vm_id fleet fold over the
+/// union of all shards' rows — bit-identical to a single-node snapshot.
+/// The baseline travels as its raw integer sums (episode count, downtime,
+/// service time), which merge exactly in any order.
+struct ShardSnapshot {
+  std::vector<VmCdiRecord> per_vm;
+  std::vector<EventCdiRecord> per_event;
+  uint64_t baseline_interruptions = 0;
+  Duration baseline_downtime;
+  Duration fleet_service_time;
+  ResolveStats resolve_stats;
+  DataQuality quality;
+  uint64_t vms_evaluated = 0;
+  uint64_t vms_skipped = 0;
+  uint64_t vms_failed = 0;
+  uint64_t vms_deferred = 0;
+  uint64_t vms_degraded = 0;
+  std::vector<std::string> vm_error_samples;
+  Status first_vm_error;
+  /// This shard's event-time watermark; the coordinator reduces all
+  /// shards' values to the global min-watermark.
+  TimePoint watermark;
+  uint64_t num_vms = 0;
+};
+
+/// Liveness/watermark probe response payload.
+struct ShardPing {
+  TimePoint watermark;
+  uint64_t num_vms = 0;
+};
+
+/// A decoded request header; `reader` is positioned at the payload and
+/// views the frame backing it (keep the frame alive while decoding).
+struct RequestFrame {
+  uint64_t request_id = 0;
+  MessageKind kind = MessageKind::kPing;
+  WireReader reader{std::string_view()};
+};
+
+/// A decoded response header, ditto.
+struct ResponseFrame {
+  uint64_t request_id = 0;
+  MessageKind kind = MessageKind::kPing;
+  Status status;
+  WireReader reader{std::string_view()};
+};
+
+/// Rebuilds a Status from its wire (code, message) pair; unknown codes
+/// decode as Internal so a version-skewed peer degrades loudly, not
+/// silently to OK.
+Status StatusFromWire(uint32_t code, const std::string& message);
+
+// --- Request encoders (coordinator side). Each produces one frame:
+// {u64 request_id, u32 kind, payload...}.
+std::string EncodePing(uint64_t request_id);
+std::string EncodeRegisterVm(uint64_t request_id, const VmServiceInfo& vm);
+std::string EncodeIngestBatch(uint64_t request_id,
+                              const std::vector<RawEvent>& events);
+/// budget_ms < 0 encodes an infinite deadline (settled snapshot); >= 0 is
+/// the worker-side compute budget for a deadline-bounded preview.
+std::string EncodeGather(uint64_t request_id, int64_t budget_ms);
+std::string EncodeExtractRange(uint64_t request_id, const std::string& lo,
+                               const std::optional<std::string>& hi);
+std::string EncodeInstallVms(uint64_t request_id,
+                             const StreamCheckpoint& fragment);
+std::string EncodeExpectDelivery(uint64_t request_id,
+                                 const std::string& target, uint64_t count);
+std::string EncodeRecordShed(uint64_t request_id, const std::string& target,
+                             uint64_t count);
+std::string EncodeAdvanceWatermark(uint64_t request_id, TimePoint to);
+std::string EncodeCheckpointRequest(uint64_t request_id);
+std::string EncodeRestore(uint64_t request_id, const StreamCheckpoint& ckpt);
+
+// --- Response encoders (worker side). Frame layout:
+// {u64 request_id, u32 kind, u32 status_code, str status_msg, payload...};
+// the payload is present only on OK.
+std::string EncodeStatusResponse(uint64_t request_id, MessageKind kind,
+                                 const Status& status);
+std::string EncodePingResponse(uint64_t request_id, const ShardPing& ping);
+std::string EncodeGatherResponse(uint64_t request_id,
+                                 const ShardSnapshot& snapshot);
+std::string EncodeCheckpointResponse(uint64_t request_id, MessageKind kind,
+                                     const StreamCheckpoint& ckpt);
+
+// --- Decoders. Header decoders validate the frame prefix; payload
+// decoders consume the positioned reader and surface malformed frames as
+// DataLoss through reader.status().
+StatusOr<RequestFrame> DecodeRequestHeader(const std::string& frame);
+StatusOr<ResponseFrame> DecodeResponseHeader(const std::string& frame);
+
+// --- Value codecs shared by requests and responses. Exposed for the
+// round-trip property tests.
+void EncodeRawEvent(WireWriter& w, const RawEvent& ev);
+RawEvent DecodeRawEvent(WireReader& r);
+void EncodeVmServiceInfo(WireWriter& w, const VmServiceInfo& vm);
+VmServiceInfo DecodeVmServiceInfo(WireReader& r);
+void EncodeCheckpoint(WireWriter& w, const StreamCheckpoint& ckpt);
+StreamCheckpoint DecodeCheckpoint(WireReader& r);
+void EncodeSnapshot(WireWriter& w, const ShardSnapshot& snapshot);
+ShardSnapshot DecodeSnapshot(WireReader& r);
+
+}  // namespace cdibot::shard
+
+#endif  // CDIBOT_SHARD_MESSAGE_H_

@@ -1,0 +1,110 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+
+namespace cdibot::shard {
+
+ShardMap::ShardMap(size_t num_shards)
+    : num_shards_(std::max<size_t>(1, num_shards)) {
+  segments_.push_back(Segment{std::string(), 0});
+}
+
+ShardMap ShardMap::Balanced(const std::vector<std::string>& sorted_ids,
+                            size_t num_shards) {
+  ShardMap map(num_shards);
+  map.segments_.clear();
+  map.segments_.push_back(Segment{std::string(), 0});
+  const size_t n = map.num_shards_;
+  const size_t count = sorted_ids.size();
+  for (size_t owner = 1; owner < n; ++owner) {
+    const size_t cut = owner * count / n;
+    if (cut >= count) break;
+    const std::string& start = sorted_ids[cut];
+    // Duplicate quantile cuts (fewer ids than shards) would create an
+    // empty zero-width segment; skip them — the later owner gets nothing.
+    if (start <= map.segments_.back().start) continue;
+    map.segments_.push_back(Segment{start, owner});
+  }
+  return map;
+}
+
+size_t ShardMap::OwnerOf(std::string_view vm_id) const {
+  // Last segment whose start <= vm_id. segments_[0].start is "", which
+  // compares <= everything, so the search never lands before begin.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), vm_id,
+      [](std::string_view id, const Segment& s) { return id < s.start; });
+  return std::prev(it)->owner;
+}
+
+void ShardMap::Assign(const Range& range, size_t owner) {
+  if (range.hi.has_value() && *range.hi <= range.lo) return;
+  // The owner that rules at `hi` before this assignment must keep ruling
+  // at `hi` after it (the assignment covers only [lo, hi)).
+  const size_t owner_at_hi =
+      range.hi.has_value() ? OwnerOf(*range.hi) : owner;
+
+  // Drop every segment starting inside [lo, hi).
+  auto first = std::lower_bound(
+      segments_.begin(), segments_.end(), range.lo,
+      [](const Segment& s, const std::string& lo) { return s.start < lo; });
+  auto last = range.hi.has_value()
+                  ? std::lower_bound(segments_.begin(), segments_.end(),
+                                     *range.hi,
+                                     [](const Segment& s,
+                                        const std::string& hi) {
+                                       return s.start < hi;
+                                     })
+                  : segments_.end();
+  const bool hi_has_own_segment =
+      last != segments_.end() && range.hi.has_value() &&
+      last->start == *range.hi;
+  auto it = segments_.erase(first, last);
+  it = std::next(segments_.insert(it, Segment{range.lo, owner}));
+  if (range.hi.has_value() && !hi_has_own_segment) {
+    segments_.insert(it, Segment{*range.hi, owner_at_hi});
+  }
+
+  // Coalesce runs of equal owners so the map stays minimal.
+  std::vector<Segment> merged;
+  merged.reserve(segments_.size());
+  for (Segment& s : segments_) {
+    if (!merged.empty() && merged.back().owner == s.owner) continue;
+    merged.push_back(std::move(s));
+  }
+  segments_ = std::move(merged);
+}
+
+std::vector<ShardMap::Move> ShardMap::Diff(const ShardMap& from,
+                                           const ShardMap& to) {
+  // Elementary boundaries: the union of both maps' segment starts. Each
+  // elementary range has exactly one owner in each map.
+  std::vector<std::string> bounds;
+  bounds.reserve(from.segments_.size() + to.segments_.size());
+  for (const Segment& s : from.segments_) bounds.push_back(s.start);
+  for (const Segment& s : to.segments_) bounds.push_back(s.start);
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  std::vector<Move> moves;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    const size_t old_owner = from.OwnerOf(bounds[i]);
+    const size_t new_owner = to.OwnerOf(bounds[i]);
+    if (old_owner == new_owner) continue;
+    Range range{bounds[i], i + 1 < bounds.size()
+                               ? std::optional<std::string>(bounds[i + 1])
+                               : std::nullopt};
+    // Extend the previous move when this range continues it with the same
+    // (from, to) pair — fewer, larger handoffs.
+    if (!moves.empty() && moves.back().from == old_owner &&
+        moves.back().to == new_owner && moves.back().range.hi.has_value() &&
+        *moves.back().range.hi == range.lo) {
+      moves.back().range.hi = range.hi;
+      continue;
+    }
+    moves.push_back(Move{std::move(range), old_owner, new_owner});
+  }
+  return moves;
+}
+
+}  // namespace cdibot::shard

@@ -1,0 +1,75 @@
+#ifndef CDIBOT_SHARD_SHARD_MAP_H_
+#define CDIBOT_SHARD_SHARD_MAP_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdibot::shard {
+
+/// Deterministic assignment of VM ids to shards by contiguous
+/// lexicographic range. The id space [-inf, +inf) is partitioned into
+/// sorted segments, each owned by one shard; OwnerOf is a binary search.
+/// Range ownership (rather than hashing) is what makes rebalance handoff
+/// tractable: moving a range moves every piece of state keyed by a target
+/// in it — registered VMs, orphaned events of NOT-yet-registered targets,
+/// and per-target quality accounting — with a single ExtractRange call.
+class ShardMap {
+ public:
+  /// One contiguous range [start, next segment's start) and its owner.
+  /// The first segment always starts at "" (the minimum string).
+  struct Segment {
+    std::string start;
+    size_t owner = 0;
+  };
+
+  /// A half-open id range; end nullopt means unbounded above.
+  struct Range {
+    std::string lo;
+    std::optional<std::string> hi;
+  };
+
+  /// One range whose ownership differs between two maps.
+  struct Move {
+    Range range;
+    size_t from = 0;
+    size_t to = 0;
+  };
+
+  /// Everything maps to shard 0 until ranges are assigned.
+  explicit ShardMap(size_t num_shards);
+
+  /// Builds a balanced map: `sorted_ids` (ascending, unique) are split
+  /// into `num_shards` near-equal contiguous runs, cut at quantile ids.
+  /// Deterministic in its inputs. With fewer ids than shards the trailing
+  /// shards own empty ranges.
+  static ShardMap Balanced(const std::vector<std::string>& sorted_ids,
+                           size_t num_shards);
+
+  size_t OwnerOf(std::string_view vm_id) const;
+
+  /// Reassigns [range.lo, range.hi) to `owner`, splitting and coalescing
+  /// segments as needed. The incremental commit primitive of rebalance:
+  /// each range handoff flips ownership only after its state transfer
+  /// succeeded, so a rebalance aborted midway leaves a consistent map.
+  void Assign(const Range& range, size_t owner);
+
+  /// Ranges whose owner differs between `from` and `to` (elementary
+  /// ranges: each has exactly one owner in both maps). Extract/install
+  /// these, in order, to turn `from` into `to`.
+  static std::vector<Move> Diff(const ShardMap& from, const ShardMap& to);
+
+  size_t num_shards() const { return num_shards_; }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  size_t num_shards_;
+  /// Sorted by start; segments_[0].start is always "".
+  std::vector<Segment> segments_;
+};
+
+}  // namespace cdibot::shard
+
+#endif  // CDIBOT_SHARD_SHARD_MAP_H_

@@ -1,0 +1,73 @@
+#ifndef CDIBOT_SHARD_WORKER_H_
+#define CDIBOT_SHARD_WORKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "shard/channel.h"
+#include "shard/message.h"
+#include "stream/streaming_engine.h"
+
+namespace cdibot::shard {
+
+/// One shard node: a StreamingCdiEngine owning a contiguous VM range,
+/// served by a single request loop over a Transport. The worker never
+/// touches coordinator memory — every request and response crosses the
+/// channel fully serialized, so the same loop would run unchanged behind
+/// a socket.
+///
+/// Threading: the service loop is one thread; the engine handles one
+/// request at a time, in arrival order. Kill() simulates a crash — the
+/// channel closes and the engine (all in-memory state since the last
+/// checkpoint) is destroyed; the coordinator recovers the shard from its
+/// checkpoint plus outbox replay.
+class ShardWorker {
+ public:
+  /// `catalog` and `weights` must outlive the worker. `options` configures
+  /// the shard-local engine (its internal hash shards, lateness, window).
+  ShardWorker(size_t index, const EventCatalog* catalog,
+              const EventWeightModel* weights, StreamingCdiOptions options,
+              std::unique_ptr<Transport> transport);
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Creates the engine and starts the service loop. Returns the engine
+  /// construction error, if any.
+  Status Start();
+
+  /// Simulated crash: closes the channel, joins the loop, and destroys
+  /// the engine. Idempotent.
+  void Kill();
+
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+  size_t index() const { return index_; }
+
+ private:
+  void Serve();
+  /// Decodes one request frame, applies it to the engine, and returns the
+  /// response frame. Malformed frames and engine errors come back as
+  /// status responses — the loop itself never dies on bad input.
+  std::string Handle(const std::string& frame);
+
+  const size_t index_;
+  const EventCatalog* catalog_;
+  const EventWeightModel* weights_;
+  StreamingCdiOptions options_;
+  std::unique_ptr<Transport> transport_;
+  /// Engine state lives only between Start() and Kill() — optional, so a
+  /// kill can destroy it deterministically. Only the service thread
+  /// touches it while the loop runs.
+  std::optional<StreamingCdiEngine> engine_;
+  std::thread thread_;
+  std::atomic<bool> alive_{false};
+};
+
+}  // namespace cdibot::shard
+
+#endif  // CDIBOT_SHARD_WORKER_H_

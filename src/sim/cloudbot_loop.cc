@@ -123,6 +123,20 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
       CDIBOT_RETURN_IF_ERROR(stream->RegisterVm(vm));
     }
   }
+  // Optional sharded fleet: the same live event feed, but routed through a
+  // ShardCoordinator to per-range shard workers over message channels. Its
+  // end-of-day gather is compared against the batch and streaming values.
+  std::unique_ptr<shard::ShardCoordinator> sharded;
+  if (options.sharded_cdi) {
+    shard::ShardTopologyOptions topo;
+    topo.num_shards = options.cdi_shards;
+    topo.engine.window = day;
+    CDIBOT_ASSIGN_OR_RETURN(
+        sharded, shard::ShardCoordinator::Create(&catalog, &weights,
+                                                 std::move(topo)));
+    CDIBOT_RETURN_IF_ERROR(sharded->RegisterVms(vms));
+  }
+  bool shards_rebalanced = false;
   // Flow control: instead of ingesting directly, events enter a bounded
   // backpressure queue; a pump drains it into the engine after each
   // incident. Sheds are tallied per target and reported to the engine
@@ -144,6 +158,9 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
                : flow::FlowClass::kPerformance;
   };
   auto feed_stream = [&](const RawEvent& ev) -> Status {
+    if (sharded != nullptr) {
+      CDIBOT_RETURN_IF_ERROR(sharded->Ingest(ev));
+    }
     if (queue.has_value()) {
       // TryPush never returns kQueueFull here: the sim emits no
       // unavailability-class events at hard capacity without sheddable
@@ -296,6 +313,15 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
     // deepens — nothing is lost below the shed policy.
     CDIBOT_RETURN_IF_ERROR(pump());
 
+    // Mid-day shard rebalance: recut the map and hand ranges off while the
+    // rest of the day's traffic is still coming — exactly once, at the
+    // halfway incident.
+    if (sharded != nullptr && options.shard_rebalance_midday &&
+        !shards_rebalanced && inc_index + 1 >= (incidents.size() + 1) / 2) {
+      shards_rebalanced = true;
+      CDIBOT_RETURN_IF_ERROR(sharded->Rebalance());
+    }
+
     // Intra-day checkpoint: let the live watchdog look at the fleet as it
     // stands after this incident's events. Only the VMs touched since the
     // previous snapshot are recomputed.
@@ -429,6 +455,13 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
     CDIBOT_ASSIGN_OR_RETURN(const VmCdi fleet_stream, stream->FleetCdi());
     result.fleet_cdi_streaming = fleet_stream;
     result.stream_stats = stream->stats();
+  }
+
+  if (sharded != nullptr) {
+    CDIBOT_ASSIGN_OR_RETURN(const DailyCdiResult sharded_day,
+                            sharded->Snapshot());
+    result.fleet_cdi_sharded = sharded_day.fleet;
+    result.shard_stats = sharded->stats();
   }
 
   day_span.reset();

@@ -10,6 +10,7 @@
 #include "flow/watchdog.h"
 #include "ops/operation_platform.h"
 #include "rules/rule_engine.h"
+#include "shard/coordinator.h"
 #include "sim/fleet.h"
 #include "stream/streaming_engine.h"
 
@@ -88,6 +89,18 @@ struct AutomationLoopOptions {
   /// losing a checkpoint generation degrades recovery granularity, losing
   /// the day's CDI would defeat the point.
   flow::CircuitBreakerOptions checkpoint_breaker = {};
+  /// When true, a sharded fleet (a shard::ShardCoordinator over
+  /// `cdi_shards` workers behind message channels) runs alongside the
+  /// batch job: every event is routed to its owner shard as it is emitted
+  /// and the day ends with a scatter/gather snapshot. Its fleet CDI is
+  /// bit-identical to the single-node streaming engine's (both run the
+  /// canonical fleet fold) — pinned by the sharded-equivalence suite.
+  bool sharded_cdi = false;
+  size_t cdi_shards = 4;
+  /// When true (requires sharded_cdi), the coordinator recuts the shard
+  /// map halfway through the day's incidents: a mid-day rebalance with the
+  /// stream still flowing, exercising range handoff under live traffic.
+  bool shard_rebalance_midday = false;
   /// When true, the day ends with a statusz report: the result carries the
   /// rendered text and a periodic dump is logged every
   /// `statusz_every_incidents` incidents (0 = final report only).
@@ -128,6 +141,9 @@ struct AutomationLoopResult {
   /// Watchdog counters; populated only when options.watchdog_recovery.
   size_t watchdog_stalls = 0;
   size_t watchdog_recoveries = 0;
+  /// Sharded-fleet outputs; populated only when options.sharded_cdi.
+  VmCdi fleet_cdi_sharded;
+  shard::ShardFleetStats shard_stats;
   /// Saves rejected by the open checkpoint breaker (skipped, not failed).
   size_t checkpoints_skipped = 0;
   /// Checkpoint-breaker trips across the day.

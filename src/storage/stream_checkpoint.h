@@ -30,6 +30,13 @@ struct CheckpointTargetQuality {
   uint64_t received = 0;
   uint64_t expected = 0;
   uint64_t quarantined = 0;
+  /// Events shed upstream for this target. Carried only by IN-MEMORY
+  /// checkpoint fragments (shard-rebalance handoff via
+  /// StreamingCdiEngine::ExtractRange/InstallVms); the on-disk CSV format
+  /// deliberately omits it — shed counts are engine-local and re-reported
+  /// by the supervisor after a restore, see
+  /// StreamingCdiEngine::RecordShed.
+  uint64_t shed = 0;
 };
 
 /// The durable state of a StreamingCdiEngine: everything needed to resume

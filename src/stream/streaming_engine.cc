@@ -403,12 +403,10 @@ StatusOr<DailyCdiResult> StreamingCdiEngine::SnapshotImpl(
       quarantine_->counts_by_target();
 
   DailyCdiResult result;
-  FleetCdiPartial fleet_partial;
   UnavailabilityPartial baseline_partial;
   std::set<std::string> sampled_reasons;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    fleet_partial.Merge(shard->cdi_partial);
     baseline_partial.Merge(shard->baseline_partial);
     for (auto& [vm_id, state] : shard->vms) {
       // A VM still dirty after the bounded drain was deferred: its stale
@@ -467,7 +465,20 @@ StatusOr<DailyCdiResult> StreamingCdiEngine::SnapshotImpl(
       }
     }
   }
-  result.fleet = fleet_partial.Finalize();
+  // Snapshots fold the fleet value canonically (ascending vm_id, single
+  // left fold) instead of merging the per-shard partials: the partial
+  // grouping depends on the hash-shard layout, and FP addition is not
+  // associative, so only the canonical fold is bit-identical to the batch
+  // job and to a scatter/gather over shard workers. The contributing row
+  // set below is exactly the partials' content (computed, non-skipped,
+  // non-failed VMs — including deferred VMs reporting a stale output).
+  // FleetCdi() keeps the cheap partial merge; its last-ulp grouping
+  // sensitivity is acceptable for an incremental read.
+  CanonicalCdiFold fleet_fold;
+  for (const VmCdiRecord& rec : result.per_vm) {
+    fleet_fold.Add(rec.vm_id, rec.cdi);
+  }
+  result.fleet = fleet_fold.Finalize();
   result.fleet_baseline = baseline_partial.Finalize();
 
   // Shard-hash iteration order is an implementation detail; emit rows in a
@@ -607,6 +618,160 @@ StatusOr<StreamingCdiEngine> StreamingCdiEngine::Restore(
   }
   engine.quarantine_->MergeCountsByReason(ckpt.quarantined_by_reason);
   return engine;
+}
+
+StreamCheckpoint StreamingCdiEngine::ExtractRange(
+    const std::string& lo, const std::optional<std::string>& hi) {
+  TRACE_SPAN("stream.extract_range");
+  const auto below_hi = [&](const std::string& id) {
+    return !hi.has_value() || id < *hi;
+  };
+  StreamCheckpoint frag;
+  frag.window = options_.window;
+
+  // Per-target accounting rows, merged across the delivery/shed/quarantine
+  // maps below (one target may appear in several).
+  std::map<std::string, CheckpointTargetQuality> quality;
+  const auto row = [&](const std::string& target) -> CheckpointTargetQuality& {
+    auto [it, inserted] = quality.try_emplace(target);
+    if (inserted) it->second.target = target;
+    return it->second;
+  };
+
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto it = shard->vms.lower_bound(lo);
+    while (it != shard->vms.end() && below_hi(it->first)) {
+      VmState& state = it->second;
+      // Retract the resident contribution, exactly as a recompute would.
+      if (state.has_output && !state.output.skipped && state.error.ok()) {
+        shard->cdi_partial.RemoveVm(state.output.record.cdi);
+        shard->baseline_partial.RemoveVm(state.output.baseline,
+                                         state.output.record.cdi.service_time);
+      }
+      frag.vms.push_back(CheckpointVmEntry{
+          .vm_id = state.info.vm_id,
+          .dims = state.info.dims,
+          .service_period = state.info.service_period});
+      for (uint32_t r = 0; r < state.events.size(); ++r) {
+        frag.events.push_back(state.events.Materialize(r));
+      }
+      // Stale ids may linger in dirty_vms; DrainDirty skips missing ids.
+      it = shard->vms.erase(it);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    frag.watermark = watermark_;
+    frag.max_event_time = max_event_time_;
+    for (auto it = orphans_.lower_bound(lo);
+         it != orphans_.end() && below_hi(it->first);) {
+      for (RawEvent& ev : it->second) {
+        frag.orphan_events.push_back(std::move(ev));
+      }
+      it = orphans_.erase(it);
+    }
+    // Delivery fingerprints collapse into a received count, the same
+    // restore caveat Checkpoint() documents: a duplicate redelivered
+    // across the handoff counts as distinct at the destination.
+    for (auto it = delivery_.lower_bound(lo);
+         it != delivery_.end() && below_hi(it->first);) {
+      CheckpointTargetQuality& tq = row(it->first);
+      tq.received = it->second.received();
+      tq.expected = it->second.expected;
+      it = delivery_.erase(it);
+    }
+    for (auto it = shed_by_target_.lower_bound(lo);
+         it != shed_by_target_.end() && below_hi(it->first);) {
+      row(it->first).shed = it->second;
+      it = shed_by_target_.erase(it);
+    }
+  }
+  // Per-target quarantine attribution moves with the range; the
+  // reason-keyed totals stay behind (they count what THIS engine
+  // diverted, mirroring the engine-local ingest stats).
+  for (const auto& [target, count] : quarantine_->counts_by_target()) {
+    if (target >= lo && below_hi(target)) {
+      row(target).quarantined = quarantine_->ExtractTargetCount(target);
+    }
+  }
+  for (auto& [target, tq] : quality) {
+    frag.target_quality.push_back(std::move(tq));
+  }
+  std::sort(frag.vms.begin(), frag.vms.end(),
+            [](const CheckpointVmEntry& a, const CheckpointVmEntry& b) {
+              return a.vm_id < b.vm_id;
+            });
+  return frag;
+}
+
+Status StreamingCdiEngine::InstallVms(const StreamCheckpoint& fragment) {
+  TRACE_SPAN("stream.install_vms");
+  for (const CheckpointVmEntry& vm : fragment.vms) {
+    CDIBOT_RETURN_IF_ERROR(RegisterVm(VmServiceInfo{
+        .vm_id = vm.vm_id,
+        .dims = vm.dims,
+        .service_period = vm.service_period}));
+  }
+  // Buffered events were already admitted and filtered by the source
+  // engine, so they bypass ingest-side watermark/window accounting (the
+  // watermark is unioned below) — the same contract as Restore().
+  for (const RawEvent& ev : fragment.events) {
+    Shard& shard = *shards_[ShardIndex(ev.target)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.vms.find(ev.target);
+    if (it == shard.vms.end()) {
+      return Status::InvalidArgument("fragment event for unregistered vm: " +
+                                     ev.target);
+    }
+    it->second.events.Append(ev);
+  }
+  for (const RawEvent& ev : fragment.orphan_events) {
+    // The target may have registered here since the extract; adopt
+    // directly in that case, park otherwise.
+    Shard& shard = *shards_[ShardIndex(ev.target)];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.vms.find(ev.target);
+      if (it != shard.vms.end()) {
+        VmState& state = it->second;
+        state.events.Append(ev);
+        if (!state.dirty) {
+          state.dirty = true;
+          shard.dirty_vms.push_back(ev.target);
+        }
+        continue;
+      }
+    }
+    std::lock_guard<std::mutex> lock(*mu_);
+    orphans_[ev.target].push_back(ev);
+  }
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    for (const CheckpointTargetQuality& tq : fragment.target_quality) {
+      if (tq.expected > 0 || tq.received > 0) {
+        DeliveryState& d = delivery_[tq.target];
+        d.expected += tq.expected;
+        d.received_base += tq.received;
+      }
+      if (tq.shed > 0) {
+        shed_by_target_[tq.target] += tq.shed;
+        stats_.events_shed += tq.shed;
+      }
+      if (tq.quarantined > 0) {
+        quarantine_->RestoreTargetCount(tq.target, tq.quarantined);
+      }
+    }
+    // Watermark union: adopt the source's event-time horizon without ever
+    // regressing this engine's own.
+    if (max_event_time_ < fragment.max_event_time) {
+      max_event_time_ = fragment.max_event_time;
+    }
+    if (watermark_ < fragment.watermark) watermark_ = fragment.watermark;
+    const TimePoint candidate = max_event_time_ - options_.allowed_lateness;
+    if (watermark_ < candidate) watermark_ = candidate;
+  }
+  return Status::OK();
 }
 
 StreamingCdiStats StreamingCdiEngine::stats() const {

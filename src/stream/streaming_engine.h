@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -173,6 +174,29 @@ class StreamingCdiEngine {
                                               const EventCatalog* catalog,
                                               const EventWeightModel* weights,
                                               StreamingCdiOptions options);
+
+  /// Removes every VM whose id falls in [lo, hi) — hi nullopt means
+  /// unbounded — and returns their durable state as a checkpoint FRAGMENT
+  /// in the standard StreamCheckpoint format, ready for InstallVms on
+  /// another engine. The fragment carries the range's registered VMs,
+  /// their buffered events, orphaned events for unregistered targets in
+  /// the range (mid-day churn: a VM registering after a rebalance must
+  /// find its early events at its NEW owner), the per-target
+  /// delivery/shed/quarantine accounting, and this engine's watermark pair
+  /// for watermark union at the destination. Extracted VMs' contributions
+  /// are retracted from the partial aggregates; like Checkpoint(),
+  /// delivery fingerprints collapse into a received count. This is the
+  /// shard-rebalance handoff primitive.
+  StreamCheckpoint ExtractRange(const std::string& lo,
+                                const std::optional<std::string>& hi);
+
+  /// Installs a fragment produced by ExtractRange on another engine:
+  /// registers the VMs, adopts their buffered and orphaned events, folds
+  /// the per-target accounting in additively, and unions the watermark
+  /// (never regressing this engine's own). After extract+install, the
+  /// union of both engines' snapshots is state-identical to the
+  /// pre-handoff pair.
+  Status InstallVms(const StreamCheckpoint& fragment);
 
   StreamingCdiStats stats() const;
   const Interval& window() const { return options_.window; }

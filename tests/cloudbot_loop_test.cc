@@ -118,6 +118,34 @@ TEST_F(CloudBotLoopTest, FullFleetBlocksMigrations) {
   EXPECT_GT(result->placements_failed, 0u);
 }
 
+TEST_F(CloudBotLoopTest, ShardedModeMatchesStreamingBitExactly) {
+  AutomationLoopOptions options;
+  options.incident_probability = 0.4;  // enough events to make ties matter
+  options.streaming_cdi = true;
+  options.sharded_cdi = true;
+  options.cdi_shards = 3;
+  options.shard_rebalance_midday = true;
+  Rng rng(11);
+  auto result = RunAutomationDay(*fleet_, T("2024-01-01 00:00"), catalog_,
+                                 *weights_, options, &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->incidents, 0u);
+  // Both topologies run the canonical fleet fold over identical inputs:
+  // the scatter/gather answer is bit-identical, not merely close.
+  EXPECT_EQ(result->fleet_cdi_sharded.unavailability,
+            result->fleet_cdi_streaming.unavailability);
+  EXPECT_EQ(result->fleet_cdi_sharded.performance,
+            result->fleet_cdi_streaming.performance);
+  EXPECT_EQ(result->fleet_cdi_sharded.control_plane,
+            result->fleet_cdi_streaming.control_plane);
+  EXPECT_EQ(result->fleet_cdi_sharded.service_time,
+            result->fleet_cdi_streaming.service_time);
+  EXPECT_EQ(result->shard_stats.num_shards, 3u);
+  EXPECT_EQ(result->shard_stats.shards_alive, 3u);
+  EXPECT_EQ(result->shard_stats.rebalances, 1u);
+  EXPECT_GT(result->shard_stats.events_routed, 0u);
+}
+
 TEST_F(CloudBotLoopTest, ZeroIncidentProbabilityIsCleanDay) {
   AutomationLoopOptions options;
   options.incident_probability = 0.0;

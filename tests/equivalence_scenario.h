@@ -1,0 +1,163 @@
+// Shared randomized-scenario generator for the differential equivalence
+// suites (stream-vs-batch and sharded-vs-single-node). Each seed builds one
+// day of adversarial input: out-of-order (shuffled) arrivals, VMs with
+// partial service windows, mid-day churn (VMs registered late or
+// re-registered with a changed window), unknown/duplicate/out-of-window
+// events, stateful add/del streams and logged-duration events.
+#ifndef CDIBOT_TESTS_EQUIVALENCE_SCENARIO_H_
+#define CDIBOT_TESTS_EQUIVALENCE_SCENARIO_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cdi/pipeline.h"
+#include "common/rng.h"
+
+namespace cdibot::testutil {
+
+struct Scenario {
+  Interval day;
+  /// Final service infos — what the batch job is given, and what the
+  /// streaming engine ends up with after churn.
+  std::vector<VmServiceInfo> vms;
+  /// VMs that start the stream with a DIFFERENT (pre-churn) window and are
+  /// re-registered with the final one mid-stream.
+  std::map<std::string, VmServiceInfo> initial_override;
+  /// Ids registered only after some of their events arrived (orphan path).
+  std::vector<std::string> late_registered;
+  /// Events in arrival order (shuffled; includes junk).
+  std::vector<RawEvent> arrivals;
+};
+
+inline Scenario MakeScenario(uint64_t seed) {
+  Rng rng(seed);
+  Scenario sc;
+  sc.day = Interval(TimePoint::Parse("2026-03-10 00:00").value(),
+                    TimePoint::Parse("2026-03-11 00:00").value());
+
+  const int num_vms = static_cast<int>(rng.UniformInt(6, 24));
+  for (int v = 0; v < num_vms; ++v) {
+    VmServiceInfo vm;
+    vm.vm_id = "vm-" + std::to_string(v);
+    vm.dims = {{"region", "r0"},
+               {"az", rng.Bernoulli(0.5) ? "r0-az0" : "r0-az1"}};
+    // ~1/3 of VMs have partial service windows (created or released
+    // mid-day); the rest serve the full day. Some windows deliberately
+    // start before / end after the day to exercise clamping.
+    if (rng.Bernoulli(0.33)) {
+      const int64_t a = rng.UniformInt(-6 * 60, 18 * 60);
+      const int64_t b = a + rng.UniformInt(2 * 60, 20 * 60);
+      vm.service_period = Interval(sc.day.start + Duration::Minutes(a),
+                                   sc.day.start + Duration::Minutes(b));
+    } else {
+      vm.service_period = sc.day;
+    }
+    // Churn: some VMs first appear with a different window and switch to
+    // the final one mid-stream.
+    if (rng.Bernoulli(0.25)) {
+      VmServiceInfo initial = vm;
+      initial.service_period = Interval(
+          sc.day.start,
+          sc.day.start + Duration::Minutes(rng.UniformInt(60, 12 * 60)));
+      sc.initial_override[vm.vm_id] = initial;
+    } else if (rng.Bernoulli(0.25)) {
+      sc.late_registered.push_back(vm.vm_id);
+    }
+    sc.vms.push_back(std::move(vm));
+  }
+
+  auto put = [&sc](RawEvent ev) { sc.arrivals.push_back(std::move(ev)); };
+  auto minute = [&sc](int64_t m) {
+    return sc.day.start + Duration::Minutes(m);
+  };
+  const char* windowed[] = {"slow_io", "packet_loss", "vcpu_high",
+                            "vm_start_failed"};
+  const Severity levels[] = {Severity::kWarning, Severity::kCritical,
+                             Severity::kFatal};
+
+  for (const VmServiceInfo& vm : sc.vms) {
+    // Windowed bursts.
+    const int bursts = static_cast<int>(rng.UniformInt(0, 4));
+    for (int b = 0; b < bursts; ++b) {
+      const char* name = windowed[rng.UniformInt(0, 3)];
+      const Severity level = levels[rng.UniformInt(0, 2)];
+      const int64_t start = rng.UniformInt(-120, 24 * 60 + 60);
+      const int len = static_cast<int>(rng.UniformInt(1, 40));
+      for (int i = 0; i < len; ++i) {
+        RawEvent ev;
+        ev.name = name;
+        ev.time = minute(start + i);
+        ev.target = vm.vm_id;
+        ev.level = level;
+        ev.expire_interval = Duration::Hours(24);
+        // Occasional exact duplicate delivery.
+        if (rng.Bernoulli(0.05)) put(ev);
+        put(std::move(ev));
+      }
+    }
+    // Stateful ddos stream: add ... del, sometimes dangling or duplicated.
+    if (rng.Bernoulli(0.4)) {
+      const int64_t a = rng.UniformInt(0, 20 * 60);
+      const int64_t b = a + rng.UniformInt(5, 4 * 60);
+      RawEvent add;
+      add.name = "ddos_blackhole_add";
+      add.time = minute(a);
+      add.target = vm.vm_id;
+      add.level = Severity::kCritical;
+      add.expire_interval = Duration::Hours(2);
+      put(add);
+      if (rng.Bernoulli(0.3)) put(add);  // duplicate add detail
+      if (rng.Bernoulli(0.8)) {
+        RawEvent del = add;
+        del.name = "ddos_blackhole_del";
+        del.time = minute(b);
+        put(std::move(del));
+      }  // else: unpaired start, closed at expire
+    }
+    // Logged-duration brownout.
+    if (rng.Bernoulli(0.3)) {
+      RawEvent ev;
+      ev.name = "qemu_live_upgrade";
+      ev.time = minute(rng.UniformInt(30, 23 * 60));
+      ev.target = vm.vm_id;
+      ev.level = Severity::kWarning;
+      ev.expire_interval = Duration::Hours(1);
+      ev.attrs["duration_ms"] =
+          std::to_string(rng.UniformInt(1000, 600000));
+      put(std::move(ev));
+    }
+    // Junk both engines must ignore: unknown names, far-out-of-window.
+    if (rng.Bernoulli(0.5)) {
+      RawEvent ev;
+      ev.name = "not_in_catalog";
+      ev.time = minute(rng.UniformInt(0, 24 * 60));
+      ev.target = vm.vm_id;
+      ev.level = Severity::kWarning;
+      ev.expire_interval = Duration::Hours(1);
+      put(std::move(ev));
+    }
+    if (rng.Bernoulli(0.3)) {
+      RawEvent ev;
+      ev.name = "slow_io";
+      ev.time = sc.day.start - Duration::Days(3);
+      ev.target = vm.vm_id;
+      ev.level = Severity::kCritical;
+      ev.expire_interval = Duration::Hours(1);
+      put(std::move(ev));
+    }
+  }
+
+  // Out-of-order delivery: shuffle the whole stream.
+  for (size_t i = sc.arrivals.size(); i > 1; --i) {
+    std::swap(sc.arrivals[i - 1],
+              sc.arrivals[static_cast<size_t>(rng.UniformInt(
+                  0, static_cast<int64_t>(i) - 1))]);
+  }
+  return sc;
+}
+
+}  // namespace cdibot::testutil
+
+#endif  // CDIBOT_TESTS_EQUIVALENCE_SCENARIO_H_

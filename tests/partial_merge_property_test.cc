@@ -1,0 +1,294 @@
+// Property tests for the mergeable partials the shard gather rests on.
+//
+// Two different guarantees are pinned, deliberately separately:
+//  * UnavailabilityPartial is all-integer (episode count + two millisecond
+//    durations), so its merge is EXACTLY associative, commutative and
+//    identity-respecting — any shard split of the fleet produces the same
+//    bits. FromRaw round-trips it across a wire encoding.
+//  * FleetCdiPartial sums doubles, so its merge is commutative but only
+//    approximately associative (FP addition reorders differ in the last
+//    ulp). That is precisely why topologies cannot just merge partials and
+//    expect bit-identity — and why CanonicalCdiFold exists: it re-sorts
+//    terms by vm_id and left-folds, making the result bit-identical under
+//    ANY partition and permutation of the fleet. The fuzz cases here
+//    randomize shard splits exactly the way a ShardCoordinator would.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cdi/aggregate.h"
+#include "cdi/baselines.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace cdibot {
+namespace {
+
+struct Term {
+  std::string vm_id;
+  VmCdi cdi;
+};
+
+std::vector<Term> RandomFleet(Rng& rng) {
+  const int n = static_cast<int>(rng.UniformInt(1, 40));
+  std::vector<Term> fleet;
+  fleet.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Term t;
+    t.vm_id = "vm-" + std::to_string(i);
+    // Spread magnitudes widely so FP non-associativity would actually bite
+    // if the fold were order-sensitive.
+    t.cdi.unavailability =
+        rng.NextDouble() * (rng.Bernoulli(0.3) ? 1e-9 : 1.0);
+    t.cdi.performance = rng.NextDouble() * (rng.Bernoulli(0.3) ? 1e6 : 1.0);
+    t.cdi.control_plane = rng.NextDouble();
+    t.cdi.service_time =
+        Duration::Minutes(rng.UniformInt(1, 24 * 60));
+    fleet.push_back(std::move(t));
+  }
+  return fleet;
+}
+
+/// Splits the fleet into `shards` contiguous runs of a random permutation —
+/// the adversarial version of what a ShardCoordinator does.
+std::vector<std::vector<Term>> RandomSplit(const std::vector<Term>& fleet,
+                                           size_t shards, Rng& rng) {
+  std::vector<Term> shuffled = fleet;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1],
+              shuffled[static_cast<size_t>(
+                  rng.UniformInt(0, static_cast<int64_t>(i) - 1))]);
+  }
+  std::vector<std::vector<Term>> parts(shards);
+  for (const Term& t : shuffled) {
+    parts[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(shards) - 1))].push_back(t);
+  }
+  return parts;
+}
+
+VmCdi CanonicalOver(const std::vector<Term>& terms) {
+  CanonicalCdiFold fold;
+  for (const Term& t : terms) fold.Add(t.vm_id, t.cdi);
+  return fold.Finalize();
+}
+
+// --- CanonicalCdiFold: bit-identical under any partition + permutation ----
+
+TEST(CanonicalCdiFoldTest, BitIdenticalUnderAnyPartitionAndPermutation) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    const std::vector<Term> fleet = RandomFleet(rng);
+    const VmCdi want = CanonicalOver(fleet);
+    for (size_t shards : {1u, 2u, 3u, 5u, 8u}) {
+      // Rows travel shard-by-shard in arbitrary order; the coordinator
+      // feeds the concatenation to one fold.
+      const auto parts = RandomSplit(fleet, shards, rng);
+      CanonicalCdiFold fold;
+      for (const auto& part : parts) {
+        for (const Term& t : part) fold.Add(t.vm_id, t.cdi);
+      }
+      const VmCdi got = fold.Finalize();
+      EXPECT_EQ(want.unavailability, got.unavailability)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(want.performance, got.performance)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(want.control_plane, got.control_plane)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(want.service_time, got.service_time)
+          << "seed " << seed << " shards " << shards;
+    }
+  }
+}
+
+TEST(CanonicalCdiFoldTest, EmptyFoldFinalizesToZero) {
+  CanonicalCdiFold fold;
+  EXPECT_TRUE(fold.empty());
+  const VmCdi zero = fold.Finalize();
+  EXPECT_EQ(zero.unavailability, 0.0);
+  EXPECT_EQ(zero.performance, 0.0);
+  EXPECT_EQ(zero.control_plane, 0.0);
+  EXPECT_TRUE(zero.service_time.IsZero());
+}
+
+TEST(CanonicalCdiFoldTest, MatchesDirectFleetPartialOnSortedInput) {
+  // On already-ascending input the canonical fold IS the plain left fold.
+  Rng rng(7);
+  std::vector<Term> fleet = RandomFleet(rng);
+  std::sort(fleet.begin(), fleet.end(),
+            [](const Term& a, const Term& b) { return a.vm_id < b.vm_id; });
+  FleetCdiPartial plain;
+  for (const Term& t : fleet) plain.AddVm(t.cdi);
+  const VmCdi want = plain.Finalize();
+  const VmCdi got = CanonicalOver(fleet);
+  EXPECT_EQ(want.unavailability, got.unavailability);
+  EXPECT_EQ(want.performance, got.performance);
+  EXPECT_EQ(want.control_plane, got.control_plane);
+  EXPECT_EQ(want.service_time, got.service_time);
+}
+
+// --- FleetCdiPartial: commutative, associative to FP tolerance, identity --
+
+TEST(FleetCdiPartialMergeTest, IdentityElement) {
+  Rng rng(11);
+  const std::vector<Term> fleet = RandomFleet(rng);
+  FleetCdiPartial a;
+  for (const Term& t : fleet) a.AddVm(t.cdi);
+  FleetCdiPartial left = a, empty1;
+  left.Merge(empty1);  // a * e == a
+  FleetCdiPartial empty2;
+  empty2.Merge(a);  // e * a == a
+  const VmCdi want = a.Finalize();
+  EXPECT_EQ(want.unavailability, left.Finalize().unavailability);
+  EXPECT_EQ(want.unavailability, empty2.Finalize().unavailability);
+  EXPECT_EQ(want.performance, empty2.Finalize().performance);
+  EXPECT_EQ(want.service_time, empty2.Finalize().service_time);
+}
+
+TEST(FleetCdiPartialMergeTest, CommutativeExactly) {
+  // a + b == b + a holds bitwise for IEEE doubles.
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    const std::vector<Term> fleet = RandomFleet(rng);
+    const auto parts = RandomSplit(fleet, 2, rng);
+    FleetCdiPartial a, b;
+    for (const Term& t : parts[0]) a.AddVm(t.cdi);
+    for (const Term& t : parts[1]) b.AddVm(t.cdi);
+    FleetCdiPartial ab = a, ba = b;
+    ab.Merge(b);
+    ba.Merge(a);
+    EXPECT_EQ(ab.Finalize().unavailability, ba.Finalize().unavailability)
+        << seed;
+    EXPECT_EQ(ab.Finalize().performance, ba.Finalize().performance) << seed;
+    EXPECT_EQ(ab.Finalize().control_plane, ba.Finalize().control_plane)
+        << seed;
+    EXPECT_EQ(ab.Finalize().service_time, ba.Finalize().service_time)
+        << seed;
+  }
+}
+
+TEST(FleetCdiPartialMergeTest, AssociativeToFpTolerance) {
+  // (a*b)*c vs a*(b*c): equal as real numbers, so within relative FP
+  // tolerance — but NOT guaranteed bitwise, which is the entire reason the
+  // gather uses CanonicalCdiFold instead of merging shard partials.
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed + 100);
+    const std::vector<Term> fleet = RandomFleet(rng);
+    const auto parts = RandomSplit(fleet, 3, rng);
+    FleetCdiPartial a, b, c;
+    for (const Term& t : parts[0]) a.AddVm(t.cdi);
+    for (const Term& t : parts[1]) b.AddVm(t.cdi);
+    for (const Term& t : parts[2]) c.AddVm(t.cdi);
+    FleetCdiPartial ab = a;
+    ab.Merge(b);
+    ab.Merge(c);  // (a*b)*c
+    FleetCdiPartial bc = b;
+    bc.Merge(c);
+    FleetCdiPartial a_bc = a;
+    a_bc.Merge(bc);  // a*(b*c)
+    const VmCdi left = ab.Finalize();
+    const VmCdi right = a_bc.Finalize();
+    const double tol = 1e-12;
+    EXPECT_NEAR(left.unavailability, right.unavailability,
+                tol * (1.0 + std::abs(left.unavailability)))
+        << seed;
+    EXPECT_NEAR(left.performance, right.performance,
+                tol * (1.0 + std::abs(left.performance)))
+        << seed;
+    EXPECT_NEAR(left.control_plane, right.control_plane,
+                tol * (1.0 + std::abs(left.control_plane)))
+        << seed;
+    EXPECT_EQ(left.service_time, right.service_time) << seed;
+  }
+}
+
+// --- UnavailabilityPartial: exact under every grouping ---------------------
+
+UnavailabilityStats RandomVmBaseline(Rng& rng, Duration* service_out) {
+  UnavailabilityStats vm;
+  vm.interruption_count = static_cast<size_t>(rng.UniformInt(0, 5));
+  vm.downtime = Duration::Millis(rng.UniformInt(0, 3600 * 1000));
+  *service_out = Duration::Minutes(rng.UniformInt(1, 24 * 60));
+  return vm;
+}
+
+TEST(UnavailabilityPartialMergeTest, ExactlyAssociativeCommutativeIdentity) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    const int n = static_cast<int>(rng.UniformInt(1, 30));
+    // The reference: one partial over everything, in order.
+    UnavailabilityPartial all;
+    std::vector<std::pair<UnavailabilityStats, Duration>> vms;
+    for (int i = 0; i < n; ++i) {
+      Duration service;
+      const UnavailabilityStats vm = RandomVmBaseline(rng, &service);
+      all.AddVm(vm, service);
+      vms.emplace_back(vm, service);
+    }
+    const UnavailabilityStats want = all.Finalize();
+
+    // Any random grouping into shards, merged in any order, is bit-equal.
+    for (size_t shards : {2u, 3u, 7u}) {
+      std::vector<UnavailabilityPartial> parts(shards);
+      for (auto it = vms.rbegin(); it != vms.rend(); ++it) {  // reversed
+        parts[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(shards) - 1))]
+            .AddVm(it->first, it->second);
+      }
+      // Merge right-to-left (the opposite of the natural order).
+      UnavailabilityPartial merged;
+      for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+        merged.Merge(*it);
+      }
+      const UnavailabilityStats got = merged.Finalize();
+      EXPECT_EQ(want.interruption_count, got.interruption_count) << seed;
+      EXPECT_EQ(want.downtime, got.downtime) << seed;
+      EXPECT_EQ(want.downtime_percentage, got.downtime_percentage) << seed;
+      EXPECT_EQ(want.annual_interruption_rate, got.annual_interruption_rate)
+          << seed;
+      EXPECT_EQ(want.mtbf, got.mtbf) << seed;
+      EXPECT_EQ(want.mttr, got.mttr) << seed;
+    }
+
+    // Identity element.
+    UnavailabilityPartial with_empty = all;
+    with_empty.Merge(UnavailabilityPartial());
+    EXPECT_EQ(want.downtime_percentage,
+              with_empty.Finalize().downtime_percentage);
+  }
+}
+
+TEST(UnavailabilityPartialMergeTest, FromRawRoundTripsExactly) {
+  // The wire form of a shard's baseline is (count, downtime, service): all
+  // integers, so reconstruction is lossless and merging reconstructed
+  // partials equals merging the originals.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    UnavailabilityPartial a;
+    const int n = static_cast<int>(rng.UniformInt(1, 20));
+    for (int i = 0; i < n; ++i) {
+      Duration service;
+      const UnavailabilityStats vm = RandomVmBaseline(rng, &service);
+      a.AddVm(vm, service);
+    }
+    const UnavailabilityPartial b = UnavailabilityPartial::FromRaw(
+        a.raw_interruption_count(), a.raw_downtime(), a.raw_service_total());
+    EXPECT_EQ(a.raw_interruption_count(), b.raw_interruption_count());
+    EXPECT_EQ(a.raw_downtime(), b.raw_downtime());
+    EXPECT_EQ(a.raw_service_total(), b.raw_service_total());
+    const UnavailabilityStats want = a.Finalize();
+    const UnavailabilityStats got = b.Finalize();
+    EXPECT_EQ(want.downtime_percentage, got.downtime_percentage) << seed;
+    EXPECT_EQ(want.annual_interruption_rate, got.annual_interruption_rate)
+        << seed;
+    EXPECT_EQ(want.mtbf, got.mtbf) << seed;
+    EXPECT_EQ(want.mttr, got.mttr) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cdibot

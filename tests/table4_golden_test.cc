@@ -8,6 +8,8 @@
 
 #include "cdi/aggregate.h"
 #include "cdi/indicator.h"
+#include "shard/message.h"
+#include "shard/wire.h"
 
 namespace cdibot {
 namespace {
@@ -101,6 +103,68 @@ TEST(Table4GoldenTest, FleetRowViaMergeablePartials) {
   const VmCdi direct = AggregateVmCdi({vm1, vm2, vm3});
   EXPECT_NEAR(direct.performance, kFleet, kTol);
   EXPECT_EQ(direct.service_time, Duration::Minutes(2500));
+}
+
+// The worked example under the sharded topology: the three VM rows are
+// split across 1, 2, and 3 shards, each shard's contribution round-trips
+// through the coordinator's wire snapshot encoding (doubles bit-cast), and
+// the gathered union folds through the canonical ascending-vm_id fleet
+// fold. Every split must land on the paper's exact fleet value — and on
+// the SAME bits as every other split.
+TEST(Table4GoldenTest, ShardedGatherPinsWorkedExample) {
+  auto row = [](const char* id, double cdi, int64_t minutes) {
+    VmCdiRecord rec;
+    rec.vm_id = id;
+    rec.cdi.unavailability = cdi;
+    rec.cdi.performance = cdi;
+    rec.cdi.control_plane = cdi;
+    rec.cdi.service_time = Duration::Minutes(minutes);
+    return rec;
+  };
+  const std::vector<VmCdiRecord> rows = {row("vm1", kVm1, 60),
+                                         row("vm2", kVm2, 1440),
+                                         row("vm3", kVm3, 1000)};
+  // Shard splits of the fleet: indices of `rows` per shard. The 2-shard
+  // split deliberately breaks ascending-id grouping (vm3 with vm1).
+  const std::vector<std::vector<std::vector<size_t>>> splits = {
+      {{0, 1, 2}},          // 1 shard
+      {{0, 2}, {1}},        // 2 shards
+      {{2}, {0}, {1}},      // 3 shards, scrambled order
+  };
+  // One shard's gather contribution: encode as a wire snapshot, ship,
+  // decode, fold — the exact coordinator gather data path.
+  auto fold_via_wire = [&rows](const std::vector<size_t>& idx,
+                               CanonicalCdiFold* fold) {
+    shard::ShardSnapshot snap;
+    for (size_t i : idx) snap.per_vm.push_back(rows[i]);
+    shard::WireWriter w;
+    shard::EncodeSnapshot(w, snap);
+    const std::string frame = std::move(w).Take();
+    shard::WireReader r{std::string_view(frame)};
+    const shard::ShardSnapshot decoded = shard::DecodeSnapshot(r);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(decoded.per_vm.size(), idx.size());
+    for (const VmCdiRecord& rec : decoded.per_vm) {
+      fold->Add(rec.vm_id, rec.cdi);
+    }
+  };
+  std::vector<VmCdi> fleets;
+  for (const auto& split : splits) {
+    CanonicalCdiFold fold;
+    for (const auto& shard_rows : split) {
+      fold_via_wire(shard_rows, &fold);
+    }
+    fleets.push_back(fold.Finalize());
+  }
+  for (const VmCdi& fleet : fleets) {
+    EXPECT_NEAR(fleet.performance, kFleet, kTol);
+    EXPECT_NEAR(fleet.unavailability, kFleet, kTol);
+    EXPECT_EQ(fleet.service_time, Duration::Minutes(2500));
+    // Bit-identical across shard splits, not merely within tolerance.
+    EXPECT_EQ(fleet.performance, fleets[0].performance);
+    EXPECT_EQ(fleet.unavailability, fleets[0].unavailability);
+    EXPECT_EQ(fleet.control_plane, fleets[0].control_plane);
+  }
 }
 
 }  // namespace
