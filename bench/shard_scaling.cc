@@ -36,6 +36,9 @@ EventWeightModel MakeWeights() {
 }
 
 // A registered, primed sharded fleet plus the day's event stream.
+// `transport` picks the worker topology: in-process channels (the PR-6
+// default) or worker threads behind real Unix-domain sockets, which prices
+// the wire — framing, CRC trailer, syscalls — against the same workload.
 struct ShardFixture {
   EventCatalog catalog = EventCatalog::BuiltIn();
   EventWeightModel weights = MakeWeights();
@@ -43,7 +46,9 @@ struct ShardFixture {
   std::vector<RawEvent> day_events;
   std::unique_ptr<shard::ShardCoordinator> coord;
 
-  ShardFixture(size_t num_shards, int target_vms, ThreadPool* pool) {
+  ShardFixture(size_t num_shards, int target_vms, ThreadPool* pool,
+               shard::ShardTransportMode transport =
+                   shard::ShardTransportMode::kInProcess) {
     const int vms_per_nc = 8;
     FleetSpec spec;
     spec.regions = 1;
@@ -66,6 +71,7 @@ struct ShardFixture {
     topo.num_shards = num_shards;
     topo.engine.window = kDay;
     topo.engine.pool = pool;
+    topo.transport = transport;
     coord = shard::ShardCoordinator::Create(&catalog, &weights, topo).value();
     (void)coord->RegisterVms(vms);
     (void)coord->IngestBatch(day_events);
@@ -122,6 +128,66 @@ void BM_ShardIngestAndGather(benchmark::State& state) {
   state.counters["shards"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_ShardIngestAndGather)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The same settled gather, but over the socket transport: every frame now
+// crosses a Unix-domain socket with length-prefix + CRC32 framing. The
+// delta against BM_ShardGather is the wire tax on the scatter/gather path;
+// the shard.gather_ns histogram (p50/p95/p99) in the report's obs section
+// covers both variants' gathers.
+void BM_ShardGatherSocket(benchmark::State& state) {
+  ThreadPool pool(4);
+  ShardFixture fx(static_cast<size_t>(state.range(0)), 512, &pool,
+                  shard::ShardTransportMode::kSocketThread);
+  for (auto _ : state) {
+    auto snap = fx.coord->Snapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.vms.size()));
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.counters["fleet_vms"] = static_cast<double>(fx.vms.size());
+}
+BENCHMARK(BM_ShardGatherSocket)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Steady-state loop over sockets: routed ingest throughput + gather when
+// every batch is serialized onto a real wire.
+void BM_ShardIngestAndGatherSocket(benchmark::State& state) {
+  ThreadPool pool(4);
+  ShardFixture fx(static_cast<size_t>(state.range(0)), 512, &pool,
+                  shard::ShardTransportMode::kSocketThread);
+  Rng rng(31);
+  constexpr size_t kBurst = 128;
+  for (auto _ : state) {
+    for (size_t i = 0; i < kBurst; ++i) {
+      RawEvent ev;
+      ev.name = "slow_io";
+      ev.time = kDayStart + Duration::Minutes(rng.UniformInt(0, 1439));
+      ev.target =
+          fx.vms[static_cast<size_t>(rng.UniformInt(
+                     0, static_cast<int64_t>(fx.vms.size()) - 1))]
+              .vm_id;
+      ev.level = Severity::kCritical;
+      ev.expire_interval = Duration::Hours(1);
+      (void)fx.coord->Ingest(ev);
+    }
+    auto snap = fx.coord->Snapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBurst));
+  state.counters["shards"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ShardIngestAndGatherSocket)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

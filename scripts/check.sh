@@ -14,6 +14,7 @@
 #   SKIP_PERF=1 scripts/check.sh     # skip the throughput-regression stage
 #   SKIP_OVERLOAD=1 scripts/check.sh # skip the standalone overload stage
 #   SKIP_SHARD=1 scripts/check.sh    # skip the standalone shard stage
+#   SKIP_SOCKET=1 scripts/check.sh   # skip the standalone socket stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -64,6 +65,24 @@ else
   # scale, so it fails loudly by name like the chaos stage.
   echo "== shard: partial-merge algebra + coordinator + equivalence =="
   ./build/tests/shard_test
+fi
+
+if [[ "${SKIP_SOCKET:-0}" == "1" ]]; then
+  echo "== socket stage skipped (SKIP_SOCKET=1) =="
+else
+  # The socket-transport gate: wire framing + transport semantics + the
+  # decoder fuzz corpus (shard_socket_test), then the equivalence suite
+  # over real Unix sockets and real shard_worker child processes — every
+  # run of the hostile-network arm tears frames, flips bits, resets
+  # connections mid-frame, and kill -9s a worker mid-day, and the gather
+  # must STILL be bit-identical to single-node. A failure here means the
+  # session layer (reconnect, outbox replay, worker dedup) can corrupt
+  # numbers under network faults, so it fails loudly by name.
+  echo "== socket: framing/transport units + decoder fuzz corpus =="
+  ./build/tests/shard_socket_test
+
+  echo "== socket: equivalence over sockets + processes + network chaos =="
+  ./build/tests/shard_socket_equivalence_test
 fi
 
 if [[ "${SKIP_OBS:-0}" == "1" ]]; then
@@ -146,7 +165,8 @@ echo "== asan+ubsan: build =="
 cmake -B build-asan -S . -DCDIBOT_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target common_test stream_test chaos_test storage_test obs_test \
-           flow_test overload_test shard_test
+           flow_test overload_test shard_test shard_socket_test \
+           shard_socket_equivalence_test
 
 echo "== asan+ubsan: thread pool + retry + streaming engine =="
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -168,6 +188,16 @@ echo "== asan+ubsan: shard coordinator + wire codecs + failure/recovery =="
 ./build-asan/tests/shard_test \
     --gtest_filter='Seeds/ShardEquivalenceTest.FailureAndRecoveryPreserveBitIdentity/*'
 
+echo "== asan+ubsan: socket framing/transport units + decoder fuzz corpus =="
+# The fuzz corpus (every truncation + single-byte corruption of every frame
+# kind) gets its memory-safety teeth from this stage: any decoder overread
+# is an ASan failure, any signed overflow a UBSan one. The equivalence arm
+# runs one representative hostile-network seed per shard count — the full
+# sweep runs unsanitized in the socket stage above.
+./build-asan/tests/shard_socket_test
+./build-asan/tests/shard_socket_equivalence_test \
+    --gtest_filter='Seeds/SocketShardEquivalenceTest.ProcessWorkersKill9UnderHostileNetwork/7'
+
 if [[ "${SKIP_OBS:-0}" == "1" ]]; then
   echo "== tsan skipped (SKIP_OBS=1) =="
 else
@@ -176,7 +206,8 @@ else
   # race if the implementation does. TSan is the referee.
   echo "== tsan: build =="
   cmake -B build-tsan -S . -DCDIBOT_TSAN=ON >/dev/null
-  cmake --build build-tsan -j "$JOBS" --target obs_test flow_test shard_test
+  cmake --build build-tsan -j "$JOBS" \
+    --target obs_test flow_test shard_test shard_socket_test
 
   echo "== tsan: concurrent metrics + tracer hammering =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test \
@@ -195,6 +226,14 @@ else
   # referees. The tests are written to race if the implementation does.
   echo "== tsan: shard coordinator gather/rebalance/failure racing =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/shard_test \
+      --gtest_filter='*Concurrent*'
+
+  # Close-while-blocked-in-Recv under concurrent Send/Close, for both the
+  # in-process channel and the socket transport: the drain-then-Unavailable
+  # contract involves a closer thread racing a blocked receiver, which is
+  # precisely the ordering TSan referees.
+  echo "== tsan: transport close-while-blocked-in-Recv racing =="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/shard_socket_test \
       --gtest_filter='*Concurrent*'
 fi
 

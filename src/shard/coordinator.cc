@@ -1,6 +1,10 @@
 #include "shard/coordinator.h"
 
+#include <stdlib.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <tuple>
 #include <unordered_set>
 #include <utility>
@@ -27,6 +31,13 @@ struct CoordMetrics {
   obs::Counter* events_routed;
   obs::Counter* events_shed;
   obs::Counter* batches_flushed;
+  obs::Counter* reconnects;
+  obs::Counter* sessions_resumed;
+  obs::Counter* sessions_restored;
+  obs::Counter* call_retries;
+  obs::Counter* heartbeats;
+  obs::Counter* heartbeat_failures;
+  obs::Histogram* heartbeat_rtt_ns;
   obs::Gauge* shards_alive;
   obs::Gauge* min_watermark_ms;
 };
@@ -46,6 +57,16 @@ const CoordMetrics& Metrics() {
         .events_routed = reg.GetCounter("shard.events_routed"),
         .events_shed = reg.GetCounter("shard.events_shed"),
         .batches_flushed = reg.GetCounter("shard.batches_flushed"),
+        .reconnects = reg.GetCounter("shard.transport.reconnects"),
+        .sessions_resumed = reg.GetCounter("shard.transport.sessions_resumed"),
+        .sessions_restored =
+            reg.GetCounter("shard.transport.sessions_restored"),
+        .call_retries = reg.GetCounter("shard.transport.call_retries"),
+        .heartbeats = reg.GetCounter("shard.transport.heartbeats"),
+        .heartbeat_failures =
+            reg.GetCounter("shard.transport.heartbeat_failures"),
+        .heartbeat_rtt_ns =
+            reg.GetHistogram("shard.transport.heartbeat_rtt_ns"),
         .shards_alive = reg.GetGauge("shard.shards_alive"),
         .min_watermark_ms = reg.GetGauge("shard.min_watermark_ms"),
     };
@@ -62,6 +83,38 @@ Status CheckResponse(const StatusOr<std::string>& frame_or,
   return hdr->status;
 }
 
+/// One request/response exchange on a transport that is not yet installed
+/// as a handle's channel (session handshake traffic). Discards frames that
+/// do not decode or answer an abandoned id.
+StatusOr<std::string> RoundTrip(Transport& t, uint64_t request_id,
+                                const std::string& frame,
+                                const Deadline& deadline) {
+  CDIBOT_RETURN_IF_ERROR(t.Send(frame));
+  while (true) {
+    auto frame_or = t.Recv(deadline);
+    if (!frame_or.ok()) return frame_or.status();
+    auto hdr_or = DecodeResponseHeader(frame_or.value());
+    if (!hdr_or.ok()) continue;
+    if (hdr_or.value().request_id != request_id) continue;
+    return std::move(frame_or).value();
+  }
+}
+
+/// True for establish-time failures the worker decided (engine rejected
+/// the options, unsupported config): retrying cannot change the answer.
+bool EstablishPermanent(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kInternal:
+    case StatusCode::kUnimplemented:
+    case StatusCode::kOutOfRange:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 ShardCoordinator::ShardCoordinator(const EventCatalog* catalog,
@@ -73,10 +126,19 @@ ShardCoordinator::ShardCoordinator(const EventCatalog* catalog,
       map_(options_.num_shards) {}
 
 ShardCoordinator::~ShardCoordinator() {
+  {
+    std::lock_guard<std::mutex> lock(heartbeat_mu_);
+    heartbeat_stop_ = true;
+  }
+  heartbeat_cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
   for (auto& q : queues_) q->Close();
   for (auto& h : handles_) {
-    if (h->worker != nullptr) h->worker->Kill();
+    if (h->channel != nullptr) h->channel->Close();
+    if (h->host != nullptr) h->host->Kill();
   }
+  for (const std::string& path : socket_paths_) ::unlink(path.c_str());
+  if (!owned_socket_dir_.empty()) ::rmdir(owned_socket_dir_.c_str());
 }
 
 StatusOr<std::unique_ptr<ShardCoordinator>> ShardCoordinator::Create(
@@ -94,21 +156,72 @@ StatusOr<std::unique_ptr<ShardCoordinator>> ShardCoordinator::Create(
   return coord;
 }
 
+std::unique_ptr<ShardHost> ShardCoordinator::MakeHost(size_t shard) {
+  switch (options_.transport) {
+    case ShardTransportMode::kInProcess:
+      return std::make_unique<InProcessHost>(shard, catalog_, weights_,
+                                             options_.engine,
+                                             options_.channel_capacity);
+    case ShardTransportMode::kSocketThread: {
+      std::string path =
+          options_.socket_dir + "/shard-" + std::to_string(shard) + ".sock";
+      socket_paths_.push_back(path);
+      return std::make_unique<SocketThreadHost>(
+          shard, catalog_, weights_, options_.engine, std::move(path),
+          options_.socket, options_.transport_decorator);
+    }
+    case ShardTransportMode::kSocketProcess: {
+      std::string path =
+          options_.socket_dir + "/shard-" + std::to_string(shard) + ".sock";
+      socket_paths_.push_back(path);
+      return std::make_unique<ProcessHost>(shard, options_.worker_binary,
+                                           std::move(path), options_.socket,
+                                           options_.transport_decorator);
+    }
+  }
+  return nullptr;
+}
+
 Status ShardCoordinator::StartWorkers() {
   const size_t n = options_.num_shards;
+  if (options_.transport != ShardTransportMode::kInProcess) {
+    if (options_.transport == ShardTransportMode::kSocketProcess) {
+      if (options_.worker_binary.empty()) {
+        return Status::InvalidArgument(
+            "kSocketProcess requires worker_binary");
+      }
+      if (!options_.weight_spec.has_value()) {
+        return Status::InvalidArgument(
+            "kSocketProcess requires weight_spec: a child process cannot "
+            "borrow the coordinator's weight model");
+      }
+    }
+    if (options_.socket_dir.empty()) {
+      char tmpl[] = "/tmp/cdibot-shard-XXXXXX";
+      if (::mkdtemp(tmpl) == nullptr) {
+        return Status::Internal("mkdtemp failed for shard socket dir");
+      }
+      owned_socket_dir_ = tmpl;
+      options_.socket_dir = owned_socket_dir_;
+    }
+  }
+
   auto& reg = obs::MetricsRegistry::Global();
   handles_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     auto h = std::make_unique<Handle>();
-    TransportPair pair = MakeInProcessPair(options_.channel_capacity);
-    h->worker = std::make_unique<ShardWorker>(
-        i, catalog_, weights_, options_.engine, std::move(pair.worker_end));
-    CDIBOT_RETURN_IF_ERROR(h->worker->Start());
-    h->channel = std::move(pair.coordinator_end);
-    h->alive.store(true, std::memory_order_release);
+    h->index = i;
+    h->host = MakeHost(i);
+    CDIBOT_RETURN_IF_ERROR(h->host->Respawn());
     h->depth_gauge =
         reg.GetGauge("shard.queue_depth." + std::to_string(i));
     handles_.push_back(std::move(h));
+  }
+  for (auto& hp : handles_) {
+    std::lock_guard<std::mutex> lock(hp->mu);
+    // The handshake runs kInit, so an engine that rejects the options
+    // fails Create() here — same contract as the in-process-only fleet.
+    CDIBOT_RETURN_IF_ERROR(EstablishWithRetryLocked(*hp));
   }
   pool_ = std::make_unique<ThreadPool>(n);
   if (options_.flow_control) {
@@ -134,6 +247,9 @@ Status ShardCoordinator::StartWorkers() {
     stats_.num_shards = n;
   }
   Metrics().shards_alive->Set(static_cast<double>(n));
+  if (options_.session.heartbeat_interval > Duration::Zero()) {
+    heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
+  }
   return Status::OK();
 }
 
@@ -151,21 +267,16 @@ void ShardCoordinator::MarkDead(Handle& h) {
   Metrics().shards_alive->Set(static_cast<double>(alive));
 }
 
-StatusOr<std::string> ShardCoordinator::CallLocked(Handle& h,
-                                                   uint64_t request_id,
-                                                   const std::string& frame,
-                                                   const Deadline& deadline) {
-  Status sent = h.channel->Send(frame);
-  if (!sent.ok()) {
-    if (sent.code() == StatusCode::kUnavailable) MarkDead(h);
-    return sent;
+StatusOr<std::string> ShardCoordinator::AttemptLocked(
+    Handle& h, uint64_t request_id, const std::string& frame,
+    const Deadline& deadline) {
+  if (h.channel == nullptr) {
+    return Status::Unavailable("no connection to shard");
   }
+  CDIBOT_RETURN_IF_ERROR(h.channel->Send(frame));
   while (true) {
     auto frame_or = h.channel->Recv(deadline);
-    if (!frame_or.ok()) {
-      if (frame_or.status().code() == StatusCode::kUnavailable) MarkDead(h);
-      return frame_or.status();
-    }
+    if (!frame_or.ok()) return frame_or.status();
     auto hdr_or = DecodeResponseHeader(frame_or.value());
     // Undecodable frames and responses to earlier abandoned (timed-out)
     // requests are drained and discarded; only the matching id returns.
@@ -175,16 +286,312 @@ StatusOr<std::string> ShardCoordinator::CallLocked(Handle& h,
   }
 }
 
+Status ShardCoordinator::EstablishSessionLocked(Handle& h) {
+  if (h.host == nullptr) return Status::Internal("shard has no host");
+  if (!h.host->Alive()) return Status::Unavailable("shard host dead");
+  if (h.channel != nullptr) {
+    h.channel->Close();
+    h.channel.reset();
+  }
+  const ShardSessionOptions& s = options_.session;
+
+  // Dial with full-jitter backoff: a freshly spawned worker may not have
+  // bound its socket yet, and under chaos the first dial often dies.
+  RetryPolicy policy(s.reconnect_backoff,
+                     /*jitter_seed=*/static_cast<uint64_t>(h.index) + 1);
+  std::unique_ptr<Transport> channel;
+  Status dialed = policy.Run([&] {
+    auto t_or = h.host->Connect(Deadline::After(s.connect_timeout));
+    if (!t_or.ok()) return t_or.status();
+    channel = std::move(t_or).value();
+    return Status::OK();
+  });
+  if (!dialed.ok()) return dialed;
+
+  // Handshake steps share a per-step budget: the connect timeout, tightened
+  // by the per-attempt call timeout when one is configured (a swallowed
+  // handshake response must turn into a quick redial, not a long stall).
+  const Duration step_budget =
+      (!s.call_timeout.IsZero() && s.call_timeout < s.connect_timeout)
+          ? s.call_timeout
+          : s.connect_timeout;
+
+  // kHello: does the worker still hold an engine from a previous session?
+  uint64_t id = h.next_request_id++;
+  ResponseFrame hdr;
+  // The frame must outlive hdr.reader, which points into it.
+  StatusOr<std::string> hello_frame_or =
+      RoundTrip(*channel, id, EncodeHello(id), Deadline::After(step_budget));
+  CDIBOT_RETURN_IF_ERROR(CheckResponse(hello_frame_or, &hdr));
+  const HelloInfo hello = DecodeHelloInfo(hdr.reader);
+  CDIBOT_RETURN_IF_ERROR(hdr.reader.status());
+
+  if (!hello.engine_ready) {
+    // The engine itself is gone (fresh or respawned worker): any recorded
+    // rebuild progress is void, start over.
+    h.rebuild_stage = Handle::RebuildStage::kStart;
+    h.replay_cursor = 0;
+    h.session_complete = false;
+  }
+  const bool rebuilt = !h.session_complete;
+  if (!h.session_complete) {
+    // Rebuild: init, restore the checkpoint baseline, then replay every
+    // acknowledged mutation since — verbatim, original ids, original order
+    // — so the rebuilt engine is bit-identical to the dead one at its last
+    // acknowledged request. Each step commits its progress only after the
+    // worker confirmed it, so a connection lost mid-handshake resumes here
+    // instead of restarting (kInit and kRestore re-execute harmlessly when
+    // their confirmation was the lost frame; replayed ids the worker
+    // already applied come back as dedup-acknowledged no-ops).
+    if (h.rebuild_stage == Handle::RebuildStage::kStart) {
+      id = h.next_request_id++;
+      CDIBOT_RETURN_IF_ERROR(CheckResponse(
+          RoundTrip(
+              *channel, id,
+              EncodeInit(id, options_.engine.window,
+                         options_.engine.allowed_lateness,
+                         static_cast<uint32_t>(options_.engine.num_shards),
+                         options_.weight_spec),
+              Deadline::After(step_budget)),
+          &hdr));
+      h.rebuild_stage = Handle::RebuildStage::kInitDone;
+    }
+    if (h.rebuild_stage == Handle::RebuildStage::kInitDone) {
+      if (h.has_checkpoint) {
+        id = h.next_request_id++;
+        CDIBOT_RETURN_IF_ERROR(CheckResponse(
+            RoundTrip(*channel, id, EncodeRestore(id, h.last_checkpoint),
+                      Deadline::After(step_budget)),
+            &hdr));
+      }
+      h.rebuild_stage = Handle::RebuildStage::kRestoreDone;
+    }
+    for (; h.replay_cursor < h.outbox.size(); ++h.replay_cursor) {
+      const OutboxEntry& entry = h.outbox[h.replay_cursor];
+      CDIBOT_RETURN_IF_ERROR(CheckResponse(
+          RoundTrip(*channel, entry.request_id, entry.frame,
+                    Deadline::After(step_budget)),
+          &hdr));
+    }
+    h.session_complete = true;
+  }
+
+  h.channel = std::move(channel);
+  h.alive.store(true, std::memory_order_release);
+  if (h.ever_connected) {
+    Metrics().reconnects->Increment();
+    (rebuilt ? Metrics().sessions_restored : Metrics().sessions_resumed)
+        ->Increment();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.reconnects;
+    if (rebuilt) {
+      ++stats_.sessions_restored;
+    } else {
+      ++stats_.sessions_resumed;
+    }
+  }
+  h.ever_connected = true;
+  return Status::OK();
+}
+
+Status ShardCoordinator::EstablishWithRetryLocked(Handle& h) {
+  const size_t max_attempts =
+      std::max<size_t>(1, options_.session.max_call_attempts);
+  Status est;
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    est = EstablishSessionLocked(h);
+    if (est.ok()) return est;
+    if (EstablishPermanent(est)) break;
+    if (h.host == nullptr || !h.host->Alive()) break;
+  }
+  return est;
+}
+
+Status ShardCoordinator::ResolveInFlightLocked(Handle& h) {
+  if (!h.in_flight.has_value()) return Status::OK();
+  const ShardSessionOptions& s = options_.session;
+  const Deadline attempt_deadline = s.call_timeout.IsZero()
+                                        ? Deadline()
+                                        : Deadline::After(s.call_timeout);
+  // Resend the parked frame with its ORIGINAL id: the worker either dedups
+  // (it applied the original before the transport died) or applies it now.
+  // Either way the outcome becomes known, exactly once.
+  auto frame_or = AttemptLocked(h, h.in_flight->request_id,
+                                h.in_flight->frame, attempt_deadline);
+  CDIBOT_RETURN_IF_ERROR(frame_or.status());
+  auto hdr_or = DecodeResponseHeader(frame_or.value());
+  CDIBOT_RETURN_IF_ERROR(hdr_or.status());
+  ResponseFrame hdr = std::move(hdr_or).value();
+
+  OutboxEntry entry = std::move(*h.in_flight);
+  h.in_flight.reset();
+
+  auto req_or = DecodeRequestHeader(entry.frame);
+  const MessageKind kind =
+      req_or.ok() ? req_or.value().kind : MessageKind::kPing;
+  if (kind == MessageKind::kExtractRange) {
+    // The rebalance that issued this extract gave up on the move. The
+    // extracted VMs exist only in the response fragment now — install
+    // them straight back where they came from, as an ordinary (outboxed)
+    // mutation, so they cannot evaporate.
+    if (hdr.status.ok()) {
+      StreamCheckpoint fragment = DecodeCheckpoint(hdr.reader);
+      if (hdr.reader.ok() && !fragment.vms.empty()) {
+        const uint64_t id = h.next_request_id++;
+        return MutateLocked(h, id, EncodeInstallVms(id, fragment));
+      }
+    }
+    return Status::OK();
+  }
+  // A worker-rejected mutation is a deterministic failure: it did not
+  // apply, so it stays out of the replay log. The original caller already
+  // saw a transport error for this request; the data-quality trail (shed /
+  // deferred accounting) is how its absence surfaces.
+  if (hdr.status.ok()) h.outbox.push_back(std::move(entry));
+  return Status::OK();
+}
+
+StatusOr<std::string> ShardCoordinator::CallLocked(Handle& h,
+                                                   uint64_t request_id,
+                                                   const std::string& frame,
+                                                   const Deadline& deadline) {
+  const ShardSessionOptions& s = options_.session;
+  const size_t max_attempts = std::max<size_t>(1, s.max_call_attempts);
+  Status last = Status::Unavailable("shard call never attempted");
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      Metrics().call_retries->Increment();
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.call_retries;
+    }
+    if (deadline.Expired()) {
+      last = Status::Aborted("shard call deadline expired");
+      break;
+    }
+    if (h.channel == nullptr || h.channel->closed()) {
+      Status est = EstablishSessionLocked(h);
+      if (!est.ok()) {
+        last = est;
+        // The worker rejecting the handshake (bad engine options) is
+        // permanent; a dead host cannot come back without RecoverShard;
+        // anything else (chaos eating the hello) is worth another dial.
+        if (EstablishPermanent(est)) break;
+        if (h.host == nullptr || !h.host->Alive()) break;
+        continue;
+      }
+    }
+    if (h.in_flight.has_value() && h.in_flight->request_id != request_id) {
+      Status resolved = ResolveInFlightLocked(h);
+      if (!resolved.ok()) {
+        last = resolved;
+        if (h.channel != nullptr) {
+          h.channel->Close();
+          h.channel.reset();
+        }
+        continue;
+      }
+    }
+    Deadline attempt_deadline = deadline;
+    if (!s.call_timeout.IsZero() &&
+        (deadline.IsInfinite() || s.call_timeout < deadline.Remaining())) {
+      attempt_deadline = Deadline::After(s.call_timeout);
+    }
+    auto frame_or = AttemptLocked(h, request_id, frame, attempt_deadline);
+    if (frame_or.ok()) return frame_or;
+    last = frame_or.status();
+    // Backpressure is not a connection problem; surface it untouched.
+    if (last.code() == StatusCode::kResourceExhausted) break;
+    // With no per-attempt timeout configured, Aborted means the caller's
+    // own deadline expired (a gather straggler): keep the channel — the
+    // stale response drains on the next call.
+    if (last.code() == StatusCode::kAborted &&
+        (s.call_timeout.IsZero() || deadline.Expired())) {
+      break;
+    }
+    // The connection is suspect (closed, torn frame, CRC poison, or a
+    // swallowed response past its attempt budget): drop it. The next
+    // attempt redials and resends the same id; the worker's session dedup
+    // makes the resend exact.
+    if (h.channel != nullptr) {
+      h.channel->Close();
+      h.channel.reset();
+    }
+  }
+  if (last.code() == StatusCode::kUnavailable ||
+      last.code() == StatusCode::kDataLoss) {
+    MarkDead(h);
+  }
+  return last;
+}
+
 Status ShardCoordinator::MutateLocked(Handle& h, uint64_t request_id,
                                       std::string frame) {
-  // Mutations always wait out the worker (infinite deadline): an abandoned
-  // mutation would be half-applied from the coordinator's point of view,
-  // and the outbox must stay an exact replay log.
-  ResponseFrame hdr;
-  CDIBOT_RETURN_IF_ERROR(
-      CheckResponse(CallLocked(h, request_id, frame, Deadline()), &hdr));
-  h.outbox.push_back(OutboxEntry{request_id, std::move(frame)});
-  return Status::OK();
+  // Park the frame BEFORE the first send: from here until a response
+  // decodes, the outcome is unknown and this slot is the one source of
+  // truth for "must be resolved before any new traffic".
+  h.in_flight = OutboxEntry{request_id, std::move(frame)};
+  // Mutations wait out the worker (infinite overall deadline): an
+  // abandoned mutation would be half-applied from the coordinator's point
+  // of view, and the outbox must stay an exact replay log.
+  auto frame_or = CallLocked(h, request_id, h.in_flight->frame, Deadline());
+  if (!frame_or.ok()) return frame_or.status();  // outcome unknown: parked
+  auto hdr_or = DecodeResponseHeader(frame_or.value());
+  if (!hdr_or.ok()) return hdr_or.status();
+  OutboxEntry entry = std::move(*h.in_flight);
+  h.in_flight.reset();
+  const Status st = hdr_or.value().status;
+  // Worker-rejected mutations never applied; keep them out of the log.
+  if (st.ok()) h.outbox.push_back(std::move(entry));
+  return st;
+}
+
+void ShardCoordinator::HeartbeatLoop() {
+  const ShardSessionOptions& s = options_.session;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(heartbeat_mu_);
+      heartbeat_cv_.wait_for(
+          lock, std::chrono::milliseconds(s.heartbeat_interval.millis()),
+          [this] { return heartbeat_stop_; });
+      if (heartbeat_stop_) return;
+    }
+    for (auto& hp : handles_) {
+      Handle& h = *hp;
+      std::unique_lock<std::mutex> lock(h.mu, std::try_to_lock);
+      // A shard busy with real traffic is provably alive; skip it rather
+      // than queue a probe behind a long call.
+      if (!lock.owns_lock()) continue;
+      if (!h.alive.load(std::memory_order_acquire)) continue;
+      if (h.channel == nullptr || h.channel->closed()) continue;
+      const uint64_t id = h.next_request_id++;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto frame_or = AttemptLocked(h, id, EncodePing(id),
+                                    Deadline::After(s.heartbeat_timeout));
+      ResponseFrame hdr;
+      if (CheckResponse(frame_or, &hdr).ok()) {
+        const auto rtt = std::chrono::steady_clock::now() - t0;
+        Metrics().heartbeat_rtt_ns->Record(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(rtt)
+                .count()));
+        Metrics().heartbeats->Increment();
+        const TimePoint wm = hdr.reader.Time();
+        if (hdr.reader.ok()) h.last_watermark = wm;
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.heartbeats;
+      } else {
+        // Probe failed: drop the connection so the next real call redials;
+        // if the host itself is gone, the shard is dead, not slow.
+        Metrics().heartbeat_failures->Increment();
+        if (h.channel != nullptr) {
+          h.channel->Close();
+          h.channel.reset();
+        }
+        if (h.host == nullptr || !h.host->Alive()) MarkDead(h);
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.heartbeat_failures;
+      }
+    }
+  }
 }
 
 std::shared_lock<std::shared_mutex> ShardCoordinator::ReadTopology() const {
@@ -353,9 +760,13 @@ Status ShardCoordinator::FlushPendingLocked(Handle& h) {
     return Status::Unavailable("shard down");
   }
   const uint64_t id = h.next_request_id++;
-  CDIBOT_RETURN_IF_ERROR(
-      MutateLocked(h, id, EncodeIngestBatch(id, h.pending)));
+  std::string frame = EncodeIngestBatch(id, h.pending);
+  // Ownership of the buffered events moves into the frame here: if the
+  // call's outcome ends up unknown, the parked in-flight slot (not
+  // `pending`) carries them to resolution, so recovery can never deliver
+  // them twice.
   h.pending.clear();
+  CDIBOT_RETURN_IF_ERROR(MutateLocked(h, id, std::move(frame)));
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.batches_flushed;
@@ -598,6 +1009,7 @@ Status ShardCoordinator::CheckpointShardsLocked() {
         // Everything acknowledged so far is inside the checkpoint; the
         // outbox restarts as the post-checkpoint replay log.
         h.outbox.clear();
+        h.replay_cursor = 0;
       }
     }
     if (!st.ok() && first_err.ok()) first_err = st;
@@ -635,11 +1047,20 @@ Status ShardCoordinator::Rebalance() {
     {
       std::lock_guard<std::mutex> lock(src.mu);
       const uint64_t id = src.next_request_id++;
-      auto frame_or = CallLocked(
-          src, id, EncodeExtractRange(id, move.range.lo, move.range.hi),
-          Deadline());
+      // The extract is parked like a mutation: if the transport dies with
+      // the outcome unknown, resolution reinstalls the extracted VMs on
+      // the source so they cannot be lost with the move abandoned.
+      src.in_flight =
+          OutboxEntry{id, EncodeExtractRange(id, move.range.lo,
+                                             move.range.hi)};
+      auto frame_or = CallLocked(src, id, src.in_flight->frame, Deadline());
       ResponseFrame hdr;
       Status st = CheckResponse(frame_or, &hdr);
+      if (frame_or.ok()) {
+        // The outcome is known (even if the worker returned an error);
+        // nothing is in flight anymore.
+        src.in_flight.reset();
+      }
       if (st.ok()) {
         frag = DecodeCheckpoint(hdr.reader);
         st = hdr.reader.status();
@@ -705,7 +1126,13 @@ Status ShardCoordinator::InjectShardFailure(size_t shard) {
   Handle& h = *handles_[shard];
   std::lock_guard<std::mutex> lock(h.mu);
   if (!h.alive.load(std::memory_order_acquire)) return Status::OK();
-  h.worker->Kill();  // closes the channel and destroys the engine
+  // Kill the host (in-process: channel closes, engine destroyed; process
+  // mode: SIGKILL — the honest crash) and drop our side of the connection.
+  if (h.host != nullptr) h.host->Kill();
+  if (h.channel != nullptr) {
+    h.channel->Close();
+    h.channel.reset();
+  }
   MarkDead(h);
   return Status::OK();
 }
@@ -719,37 +1146,46 @@ Status ShardCoordinator::RecoverShard(size_t shard) {
   std::lock_guard<std::mutex> lock(h.mu);
   if (h.alive.load(std::memory_order_acquire)) return Status::OK();
 
-  TransportPair pair = MakeInProcessPair(options_.channel_capacity);
-  auto worker = std::make_unique<ShardWorker>(
-      shard, catalog_, weights_, options_.engine, std::move(pair.worker_end));
-  CDIBOT_RETURN_IF_ERROR(worker->Start());
-  h.worker = std::move(worker);
-  h.channel = std::move(pair.coordinator_end);
-  h.alive.store(true, std::memory_order_release);
+  CDIBOT_RETURN_IF_ERROR(h.host->Respawn());
 
   const auto fail = [&](Status st) {
-    h.worker->Kill();
+    if (h.channel != nullptr) {
+      h.channel->Close();
+      h.channel.reset();
+    }
+    if (h.host != nullptr) h.host->Kill();
     h.alive.store(false, std::memory_order_release);
     return st;
   };
 
-  // Restore the checkpoint baseline, then replay every acknowledged
-  // mutation since, verbatim and in order: the rebuilt engine is
-  // bit-identical to the dead one at its last acknowledged request.
-  if (h.has_checkpoint) {
-    const uint64_t id = h.next_request_id++;
-    ResponseFrame hdr;
-    Status st = CheckResponse(
-        CallLocked(h, id, EncodeRestore(id, h.last_checkpoint), Deadline()),
-        &hdr);
-    if (!st.ok()) return fail(st);
+  // Establish rebuilds the engine: restore the checkpoint baseline, then
+  // replay every acknowledged mutation since, verbatim and in order — the
+  // rebuilt engine is bit-identical to the dead one at its last
+  // acknowledged request.
+  Status est = EstablishWithRetryLocked(h);
+  if (!est.ok()) return fail(est);
+
+  // A call interrupted by the crash resolves before any new traffic; under
+  // chaos the first resolution attempts may fail with the session intact,
+  // so spend the call budget on it.
+  Status resolved;
+  for (size_t attempt = 0;
+       attempt < std::max<size_t>(1, options_.session.max_call_attempts) &&
+       h.in_flight.has_value();
+       ++attempt) {
+    if (h.channel == nullptr || h.channel->closed()) {
+      est = EstablishWithRetryLocked(h);
+      if (!est.ok()) return fail(est);
+    }
+    resolved = ResolveInFlightLocked(h);
+    if (resolved.ok()) break;
+    if (h.channel != nullptr) {
+      h.channel->Close();
+      h.channel.reset();
+    }
   }
-  for (const OutboxEntry& entry : h.outbox) {
-    ResponseFrame hdr;
-    Status st = CheckResponse(
-        CallLocked(h, entry.request_id, entry.frame, Deadline()), &hdr);
-    if (!st.ok()) return fail(st);
-  }
+  if (h.in_flight.has_value()) return fail(resolved);
+
   // Watermark advances are monotonic; re-applying the high-water target is
   // idempotent and covers advances the shard missed while down.
   std::optional<TimePoint> wm_target;

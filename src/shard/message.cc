@@ -404,6 +404,25 @@ std::string EncodeRestore(uint64_t request_id, const StreamCheckpoint& ckpt) {
   return std::move(w).Take();
 }
 
+std::string EncodeHello(uint64_t request_id) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kHello);
+  return std::move(w).Take();
+}
+
+std::string EncodeInit(uint64_t request_id, const Interval& window,
+                       Duration allowed_lateness, uint32_t engine_shards,
+                       const std::optional<WeightSpec>& weights) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kInit);
+  w.Window(window);
+  w.Dur(allowed_lateness);
+  w.U32(engine_shards);
+  w.Bool(weights.has_value());
+  if (weights.has_value()) EncodeWeightSpec(w, *weights);
+  return std::move(w).Take();
+}
+
 std::string EncodeStatusResponse(uint64_t request_id, MessageKind kind,
                                  const Status& status) {
   WireWriter w;
@@ -439,6 +458,87 @@ std::string EncodeCheckpointResponse(uint64_t request_id, MessageKind kind,
   return std::move(w).Take();
 }
 
+std::string EncodeHelloResponse(uint64_t request_id, const HelloInfo& info) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kHello);
+  EncodeStatus(w, Status::OK());
+  w.Bool(info.engine_ready);
+  w.U64(info.last_applied);
+  w.Time(info.watermark);
+  w.U64(info.num_vms);
+  return std::move(w).Take();
+}
+
+void EncodeWeightSpec(WireWriter& w, const WeightSpec& spec) {
+  w.U32(static_cast<uint32_t>(spec.ticket_counts.size()));
+  for (const auto& [name, count] : spec.ticket_counts) {
+    w.Str(name);
+    w.I64(count);
+  }
+  w.U32(static_cast<uint32_t>(spec.ticket_levels));
+  w.U32(static_cast<uint32_t>(spec.options.expert_levels));
+  w.U32(static_cast<uint32_t>(spec.options.ticket_levels));
+  w.F64(spec.options.alpha_expert);
+  w.F64(spec.options.alpha_ticket);
+  w.U32(static_cast<uint32_t>(spec.overrides.size()));
+  for (const auto& [name, weight] : spec.overrides) {
+    w.Str(name);
+    w.F64(weight);
+  }
+}
+
+WeightSpec DecodeWeightSpec(WireReader& r) {
+  WeightSpec spec;
+  uint32_t n = r.Count(4 + 8);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    std::string name = r.Str();
+    spec.ticket_counts[std::move(name)] = r.I64();
+  }
+  spec.ticket_levels = static_cast<int>(r.U32());
+  spec.options.expert_levels = static_cast<int>(r.U32());
+  spec.options.ticket_levels = static_cast<int>(r.U32());
+  spec.options.alpha_expert = r.F64();
+  spec.options.alpha_ticket = r.F64();
+  n = r.Count(4 + 8);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    std::string name = r.Str();
+    spec.overrides[std::move(name)] = r.F64();
+  }
+  return spec;
+}
+
+StatusOr<EventWeightModel> BuildWeightModel(const WeightSpec& spec) {
+  CDIBOT_ASSIGN_OR_RETURN(
+      TicketRankModel ticket,
+      TicketRankModel::FromCounts(spec.ticket_counts, spec.ticket_levels));
+  CDIBOT_ASSIGN_OR_RETURN(EventWeightModel model,
+                          EventWeightModel::Build(std::move(ticket),
+                                                  spec.options));
+  for (const auto& [name, weight] : spec.overrides) {
+    CDIBOT_RETURN_IF_ERROR(model.SetOverride(name, weight));
+  }
+  return model;
+}
+
+HelloInfo DecodeHelloInfo(WireReader& r) {
+  HelloInfo info;
+  info.engine_ready = r.Bool();
+  info.last_applied = r.U64();
+  info.watermark = r.Time();
+  info.num_vms = r.U64();
+  return info;
+}
+
+InitConfig DecodeInitConfig(WireReader& r) {
+  InitConfig config;
+  config.window = r.Window();
+  config.allowed_lateness = r.Dur();
+  config.engine_shards = r.U32();
+  config.has_weights = r.Bool();
+  if (config.has_weights) config.weights = DecodeWeightSpec(r);
+  return config;
+}
+
 StatusOr<RequestFrame> DecodeRequestHeader(const std::string& frame) {
   RequestFrame req;
   req.reader = WireReader(frame);
@@ -446,7 +546,7 @@ StatusOr<RequestFrame> DecodeRequestHeader(const std::string& frame) {
   const uint32_t kind = req.reader.U32();
   CDIBOT_RETURN_IF_ERROR(req.reader.status());
   if (kind < static_cast<uint32_t>(MessageKind::kPing) ||
-      kind > static_cast<uint32_t>(MessageKind::kRestore)) {
+      kind > static_cast<uint32_t>(MessageKind::kInit)) {
     return Status::DataLoss("unknown request kind " + std::to_string(kind));
   }
   req.kind = static_cast<MessageKind>(kind);
@@ -461,7 +561,7 @@ StatusOr<ResponseFrame> DecodeResponseHeader(const std::string& frame) {
   resp.status = DecodeStatus(resp.reader);
   CDIBOT_RETURN_IF_ERROR(resp.reader.status());
   if (kind < static_cast<uint32_t>(MessageKind::kPing) ||
-      kind > static_cast<uint32_t>(MessageKind::kRestore)) {
+      kind > static_cast<uint32_t>(MessageKind::kInit)) {
     return Status::DataLoss("unknown response kind " + std::to_string(kind));
   }
   resp.kind = static_cast<MessageKind>(kind);

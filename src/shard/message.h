@@ -2,6 +2,7 @@
 #define CDIBOT_SHARD_MESSAGE_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -11,6 +12,7 @@
 #include "common/statusor.h"
 #include "shard/wire.h"
 #include "storage/stream_checkpoint.h"
+#include "weights/event_weights.h"
 
 namespace cdibot::shard {
 
@@ -28,6 +30,8 @@ enum class MessageKind : uint32_t {
   kAdvanceWatermark = 9,  ///< explicit watermark advance (idle stream)
   kCheckpoint = 10,       ///< return the engine's durable state
   kRestore = 11,          ///< replace the engine with a checkpoint restore
+  kHello = 12,            ///< session handshake: probe engine + dedup state
+  kInit = 13,             ///< create the engine (options + weight spec)
 };
 
 /// Everything one shard contributes to a fleet-level gather. The per-VM
@@ -61,6 +65,47 @@ struct ShardSnapshot {
 struct ShardPing {
   TimePoint watermark;
   uint64_t num_vms = 0;
+};
+
+/// kHello response payload: what the coordinator needs to decide between
+/// resuming a session (worker survived, only the connection dropped) and
+/// rebuilding one (fresh process: init + restore + outbox replay).
+struct HelloInfo {
+  /// True when the worker still holds a live engine from a previous
+  /// session; false for a freshly spawned worker awaiting kInit.
+  bool engine_ready = false;
+  /// Highest session-tracked request id the worker has applied — resolves
+  /// the "was my in-flight mutation applied before the connection died?"
+  /// ambiguity exactly.
+  uint64_t last_applied = 0;
+  TimePoint watermark;
+  uint64_t num_vms = 0;
+};
+
+/// A serializable recipe for the shard's EventWeightModel. The model itself
+/// holds derived state behind private constructors, so what crosses the
+/// wire (kInit to an out-of-process worker) is the recipe: ticket counts,
+/// level/alpha options, and explicit overrides. BuildWeightModel() on both
+/// sides runs the identical arithmetic, so weights — and therefore CDI
+/// doubles — are bit-identical across the process boundary.
+struct WeightSpec {
+  std::map<std::string, int64_t> ticket_counts;
+  int ticket_levels = 4;
+  EventWeightOptions options;
+  std::map<std::string, double> overrides;
+};
+
+StatusOr<EventWeightModel> BuildWeightModel(const WeightSpec& spec);
+
+/// kInit request payload: everything a fresh worker needs to construct its
+/// engine. `has_weights` is false for in-process/thread workers whose
+/// service was constructed with injected catalog+weights pointers.
+struct InitConfig {
+  Interval window;
+  Duration allowed_lateness;
+  uint32_t engine_shards = 16;
+  bool has_weights = false;
+  WeightSpec weights;
 };
 
 /// A decoded request header; `reader` is positioned at the payload and
@@ -104,6 +149,10 @@ std::string EncodeRecordShed(uint64_t request_id, const std::string& target,
 std::string EncodeAdvanceWatermark(uint64_t request_id, TimePoint to);
 std::string EncodeCheckpointRequest(uint64_t request_id);
 std::string EncodeRestore(uint64_t request_id, const StreamCheckpoint& ckpt);
+std::string EncodeHello(uint64_t request_id);
+std::string EncodeInit(uint64_t request_id, const Interval& window,
+                       Duration allowed_lateness, uint32_t engine_shards,
+                       const std::optional<WeightSpec>& weights);
 
 // --- Response encoders (worker side). Frame layout:
 // {u64 request_id, u32 kind, u32 status_code, str status_msg, payload...};
@@ -115,6 +164,7 @@ std::string EncodeGatherResponse(uint64_t request_id,
                                  const ShardSnapshot& snapshot);
 std::string EncodeCheckpointResponse(uint64_t request_id, MessageKind kind,
                                      const StreamCheckpoint& ckpt);
+std::string EncodeHelloResponse(uint64_t request_id, const HelloInfo& info);
 
 // --- Decoders. Header decoders validate the frame prefix; payload
 // decoders consume the positioned reader and surface malformed frames as
@@ -132,6 +182,10 @@ void EncodeCheckpoint(WireWriter& w, const StreamCheckpoint& ckpt);
 StreamCheckpoint DecodeCheckpoint(WireReader& r);
 void EncodeSnapshot(WireWriter& w, const ShardSnapshot& snapshot);
 ShardSnapshot DecodeSnapshot(WireReader& r);
+void EncodeWeightSpec(WireWriter& w, const WeightSpec& spec);
+WeightSpec DecodeWeightSpec(WireReader& r);
+HelloInfo DecodeHelloInfo(WireReader& r);
+InitConfig DecodeInitConfig(WireReader& r);
 
 }  // namespace cdibot::shard
 

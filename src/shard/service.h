@@ -1,0 +1,135 @@
+#ifndef CDIBOT_SHARD_SERVICE_H_
+#define CDIBOT_SHARD_SERVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "shard/message.h"
+#include "shard/socket_transport.h"
+#include "stream/streaming_engine.h"
+
+namespace cdibot::shard {
+
+/// The worker-side request handler: one engine, one frame in, one frame
+/// out. Transport-agnostic — ShardWorker drives it over an in-process
+/// channel, ShardServer over a socket, the worker binary over whatever the
+/// coordinator dialed. Single-threaded use: one Handle() at a time.
+///
+/// Session state (exactly-once over a lossy transport): the engine is
+/// created by a kInit request, not at construction, so a freshly spawned
+/// process and a worker resuming after a dropped connection look different
+/// to the coordinator's kHello probe (`engine_ready`). Mutating requests
+/// are tracked by request id:
+///
+///   - `last_applied` is the highest tracked id applied; a request at or
+///     below it already executed, so its resend returns plain OK instead
+///     of executing twice (the chaos layer duplicates frames on purpose).
+///   - the full response of the most recent tracked request is cached, so
+///     a retry of an in-flight call whose response the network swallowed
+///     gets the original bytes back — same status, same payload.
+///   - kInit/kRestore reset `last_applied` to zero: a restore travels with
+///     a fresh (large) id and is followed by an outbox replay using the
+///     original (smaller) ids, which must execute, not dedup.
+class ShardService {
+ public:
+  /// `catalog` must outlive the service. `weights` may be null when every
+  /// kInit carries a WeightSpec (out-of-process workers build their own
+  /// model); otherwise it must outlive the service. `base_options`
+  /// supplies process-local knobs (thread pool); window/lateness/shards
+  /// arrive via kInit.
+  ShardService(size_t index, const EventCatalog* catalog,
+               const EventWeightModel* weights,
+               StreamingCdiOptions base_options);
+
+  ShardService(const ShardService&) = delete;
+  ShardService& operator=(const ShardService&) = delete;
+
+  /// Decodes one request frame, applies it, returns the response frame.
+  /// Malformed frames and engine errors come back as status responses —
+  /// the caller's serve loop never dies on bad input.
+  std::string Handle(const std::string& frame);
+
+  /// Simulated crash: drops the engine and all session state, as if the
+  /// process had been replaced. The next kHello reports engine_ready
+  /// false.
+  void ResetEngine();
+
+  bool engine_ready() const { return engine_.has_value(); }
+  size_t index() const { return index_; }
+
+ private:
+  std::string Dispatch(const RequestFrame& req, WireReader& r);
+
+  const size_t index_;
+  const EventCatalog* catalog_;
+  const EventWeightModel* weights_;
+  StreamingCdiOptions base_options_;
+  /// Engine options as configured by the last kInit (restore reuses them).
+  StreamingCdiOptions options_;
+  /// Weight model built from a kInit WeightSpec (process mode); when set,
+  /// weights_ points at it.
+  std::unique_ptr<EventWeightModel> owned_weights_;
+  std::optional<StreamingCdiEngine> engine_;
+
+  uint64_t last_applied_ = 0;
+  uint64_t cached_id_ = 0;
+  std::string cached_response_;
+};
+
+/// Serves one ShardService over a socket listener: accept one connection,
+/// answer requests until it drops, go back to accepting. The engine lives
+/// in the service, not the connection — a dropped connection (chaos reset,
+/// coordinator reconnect) loses nothing, which is what makes session
+/// *resumption* (as opposed to restore-from-checkpoint) possible.
+///
+/// Stop() ends the loop cleanly; Kill() additionally resets the service's
+/// engine, simulating a worker crash while keeping the listener bound so
+/// the coordinator's reconnect finds a "fresh process" at the same address.
+class ShardServer {
+ public:
+  /// `service` must outlive the server. Takes ownership of the listener.
+  ShardServer(ShardService* service, SocketListener listener,
+              SocketTransportOptions transport_options = {});
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// Starts the accept/serve thread.
+  void Start();
+
+  /// Stops serving: closes the live connection and the listener, joins.
+  /// Idempotent. The engine (if any) survives in the service.
+  void Stop();
+
+  /// Stop() + engine reset: a crash. Restart with a fresh ShardServer or
+  /// by calling Start() again (the listener is closed; callers that want
+  /// the same address rebuild the listener).
+  void Kill();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void Run();
+
+  ShardService* service_;
+  SocketListener listener_;
+  const SocketTransportOptions transport_options_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  /// Live connection, guarded so Stop() can close it to wake a blocked
+  /// Recv on the serve thread.
+  std::mutex conn_mu_;
+  std::shared_ptr<SocketTransport> conn_;
+};
+
+}  // namespace cdibot::shard
+
+#endif  // CDIBOT_SHARD_SERVICE_H_

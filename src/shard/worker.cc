@@ -1,55 +1,23 @@
 #include "shard/worker.h"
 
 #include <utility>
-#include <vector>
-
-#include "obs/metrics.h"
-#include "obs/trace.h"
 
 namespace cdibot::shard {
-
-namespace {
-
-struct WorkerMetrics {
-  obs::Counter* requests;
-  obs::Counter* malformed;
-  obs::Histogram* handle_ns;
-};
-
-const WorkerMetrics& Metrics() {
-  static const WorkerMetrics m = [] {
-    auto& reg = obs::MetricsRegistry::Global();
-    return WorkerMetrics{
-        .requests = reg.GetCounter("shard.worker_requests"),
-        .malformed = reg.GetCounter("shard.worker_malformed_frames"),
-        .handle_ns = reg.GetHistogram("shard.worker_handle_ns"),
-    };
-  }();
-  return m;
-}
-
-}  // namespace
 
 ShardWorker::ShardWorker(size_t index, const EventCatalog* catalog,
                          const EventWeightModel* weights,
                          StreamingCdiOptions options,
                          std::unique_ptr<Transport> transport)
     : index_(index),
-      catalog_(catalog),
-      weights_(weights),
-      options_(std::move(options)),
+      service_(index, catalog, weights, std::move(options)),
       transport_(std::move(transport)) {}
 
 ShardWorker::~ShardWorker() { Kill(); }
 
-Status ShardWorker::Start() {
-  CDIBOT_ASSIGN_OR_RETURN(
-      StreamingCdiEngine engine,
-      StreamingCdiEngine::Create(catalog_, weights_, options_));
-  engine_.emplace(std::move(engine));
+void ShardWorker::Start() {
+  if (alive_.load(std::memory_order_acquire)) return;
   alive_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Serve(); });
-  return Status::OK();
 }
 
 void ShardWorker::Kill() {
@@ -57,7 +25,7 @@ void ShardWorker::Kill() {
   if (thread_.joinable()) thread_.join();
   // The crash loses everything in memory: the engine dies with the
   // channel. (Coordinator-side checkpoints + outbox replay rebuild it.)
-  engine_.reset();
+  service_.ResetEngine();
   alive_.store(false, std::memory_order_release);
 }
 
@@ -65,130 +33,10 @@ void ShardWorker::Serve() {
   while (true) {
     auto frame_or = transport_->Recv();
     if (!frame_or.ok()) break;  // channel closed: clean shutdown or kill
-    Metrics().requests->Increment();
-    obs::ScopedTimer timer(Metrics().handle_ns);
-    std::string response = Handle(frame_or.value());
+    std::string response = service_.Handle(frame_or.value());
     // A failed send means the peer closed mid-request; exit quietly.
     if (!transport_->Send(std::move(response)).ok()) break;
   }
-}
-
-std::string ShardWorker::Handle(const std::string& frame) {
-  auto req_or = DecodeRequestHeader(frame);
-  if (!req_or.ok()) {
-    Metrics().malformed->Increment();
-    // No parseable request id; echo id 0 so the coordinator's stale-frame
-    // draining discards it rather than mistaking it for a live response.
-    return EncodeStatusResponse(0, MessageKind::kPing, req_or.status());
-  }
-  RequestFrame req = std::move(req_or).value();
-  WireReader& r = req.reader;
-  const auto status_response = [&](const Status& st) {
-    return EncodeStatusResponse(req.request_id, req.kind, st);
-  };
-
-  switch (req.kind) {
-    case MessageKind::kPing: {
-      ShardPing ping;
-      ping.watermark = engine_->watermark();
-      ping.num_vms = engine_->num_vms();
-      return EncodePingResponse(req.request_id, ping);
-    }
-    case MessageKind::kRegisterVm: {
-      VmServiceInfo vm = DecodeVmServiceInfo(r);
-      if (!r.ok()) break;
-      return status_response(engine_->RegisterVm(vm));
-    }
-    case MessageKind::kIngestBatch: {
-      const uint32_t n = r.Count();
-      for (uint32_t i = 0; i < n && r.ok(); ++i) {
-        const RawEvent ev = DecodeRawEvent(r);
-        if (!r.ok()) break;
-        const Status st = engine_->Ingest(ev);
-        if (!st.ok()) return status_response(st);
-      }
-      if (!r.ok()) break;
-      return status_response(Status::OK());
-    }
-    case MessageKind::kGather: {
-      const int64_t budget_ms = r.I64();
-      if (!r.ok()) break;
-      const Deadline deadline = budget_ms < 0
-                                    ? Deadline()
-                                    : Deadline::After(
-                                          Duration::Millis(budget_ms));
-      auto result_or = engine_->Preview(deadline);
-      if (!result_or.ok()) return status_response(result_or.status());
-      const DailyCdiResult& result = result_or.value();
-      ShardSnapshot snap;
-      snap.per_vm = result.per_vm;
-      snap.per_event = result.per_event;
-      snap.baseline_interruptions = result.fleet_baseline.interruption_count;
-      snap.baseline_downtime = result.fleet_baseline.downtime;
-      snap.fleet_service_time = result.fleet_service_time;
-      snap.resolve_stats = result.resolve_stats;
-      snap.quality = result.quality;
-      snap.vms_evaluated = result.vms_evaluated;
-      snap.vms_skipped = result.vms_skipped;
-      snap.vms_failed = result.vms_failed;
-      snap.vms_deferred = result.vms_deferred;
-      snap.vms_degraded = result.vms_degraded;
-      snap.vm_error_samples = result.vm_error_samples;
-      snap.first_vm_error = result.first_vm_error;
-      snap.watermark = engine_->watermark();
-      snap.num_vms = engine_->num_vms();
-      return EncodeGatherResponse(req.request_id, snap);
-    }
-    case MessageKind::kExtractRange: {
-      const std::string lo = r.Str();
-      const bool has_hi = r.Bool();
-      std::string hi = r.Str();
-      if (!r.ok()) break;
-      const StreamCheckpoint fragment = engine_->ExtractRange(
-          lo, has_hi ? std::optional<std::string>(std::move(hi))
-                     : std::nullopt);
-      return EncodeCheckpointResponse(req.request_id, req.kind, fragment);
-    }
-    case MessageKind::kInstallVms: {
-      const StreamCheckpoint fragment = DecodeCheckpoint(r);
-      if (!r.ok()) break;
-      return status_response(engine_->InstallVms(fragment));
-    }
-    case MessageKind::kExpectDelivery: {
-      const std::string target = r.Str();
-      const uint64_t count = r.U64();
-      if (!r.ok()) break;
-      engine_->ExpectDelivery(target, count);
-      return status_response(Status::OK());
-    }
-    case MessageKind::kRecordShed: {
-      const std::string target = r.Str();
-      const uint64_t count = r.U64();
-      if (!r.ok()) break;
-      engine_->RecordShed(target, count);
-      return status_response(Status::OK());
-    }
-    case MessageKind::kAdvanceWatermark: {
-      const TimePoint to = r.Time();
-      if (!r.ok()) break;
-      engine_->AdvanceWatermarkTo(to);
-      return status_response(Status::OK());
-    }
-    case MessageKind::kCheckpoint:
-      return EncodeCheckpointResponse(req.request_id, req.kind,
-                                      engine_->Checkpoint());
-    case MessageKind::kRestore: {
-      StreamCheckpoint ckpt = DecodeCheckpoint(r);
-      if (!r.ok()) break;
-      auto engine_or =
-          StreamingCdiEngine::Restore(ckpt, catalog_, weights_, options_);
-      if (!engine_or.ok()) return status_response(engine_or.status());
-      engine_.emplace(std::move(engine_or).value());
-      return status_response(Status::OK());
-    }
-  }
-  Metrics().malformed->Increment();
-  return status_response(r.status());
 }
 
 }  // namespace cdibot::shard

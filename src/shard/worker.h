@@ -4,21 +4,23 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <optional>
-#include <string>
 #include <thread>
 
 #include "shard/channel.h"
-#include "shard/message.h"
+#include "shard/service.h"
 #include "stream/streaming_engine.h"
 
 namespace cdibot::shard {
 
-/// One shard node: a StreamingCdiEngine owning a contiguous VM range,
-/// served by a single request loop over a Transport. The worker never
-/// touches coordinator memory — every request and response crosses the
-/// channel fully serialized, so the same loop would run unchanged behind
-/// a socket.
+/// One in-process shard node: a ShardService served by a single request
+/// loop over a Transport. The worker never touches coordinator memory —
+/// every request and response crosses the channel fully serialized, so the
+/// exact same service runs unchanged behind a socket (ShardServer) or in a
+/// separate process (shard_worker binary).
+///
+/// The engine is created by the coordinator's kInit request during session
+/// establishment, not by Start() — the worker begins life "spawned but
+/// empty", like a fresh process.
 ///
 /// Threading: the service loop is one thread; the engine handles one
 /// request at a time, in arrival order. Kill() simulates a crash — the
@@ -27,8 +29,9 @@ namespace cdibot::shard {
 /// checkpoint plus outbox replay.
 class ShardWorker {
  public:
-  /// `catalog` and `weights` must outlive the worker. `options` configures
-  /// the shard-local engine (its internal hash shards, lateness, window).
+  /// `catalog` and `weights` must outlive the worker. `options` supplies
+  /// process-local engine knobs (thread pool); window/lateness/shards
+  /// arrive via the coordinator's kInit.
   ShardWorker(size_t index, const EventCatalog* catalog,
               const EventWeightModel* weights, StreamingCdiOptions options,
               std::unique_ptr<Transport> transport);
@@ -37,9 +40,8 @@ class ShardWorker {
   ShardWorker(const ShardWorker&) = delete;
   ShardWorker& operator=(const ShardWorker&) = delete;
 
-  /// Creates the engine and starts the service loop. Returns the engine
-  /// construction error, if any.
-  Status Start();
+  /// Starts the service loop.
+  void Start();
 
   /// Simulated crash: closes the channel, joins the loop, and destroys
   /// the engine. Idempotent.
@@ -50,20 +52,10 @@ class ShardWorker {
 
  private:
   void Serve();
-  /// Decodes one request frame, applies it to the engine, and returns the
-  /// response frame. Malformed frames and engine errors come back as
-  /// status responses — the loop itself never dies on bad input.
-  std::string Handle(const std::string& frame);
 
   const size_t index_;
-  const EventCatalog* catalog_;
-  const EventWeightModel* weights_;
-  StreamingCdiOptions options_;
+  ShardService service_;
   std::unique_ptr<Transport> transport_;
-  /// Engine state lives only between Start() and Kill() — optional, so a
-  /// kill can destroy it deterministically. Only the service thread
-  /// touches it while the loop runs.
-  std::optional<StreamingCdiEngine> engine_;
   std::thread thread_;
   std::atomic<bool> alive_{false};
 };

@@ -1,0 +1,75 @@
+/// shard_worker: one shard of the CDI fleet as a standalone process.
+///
+///   shard_worker --listen <unix-socket-path> [--index N]
+///
+/// Binds the socket, serves the shard protocol until killed. The engine is
+/// created by the coordinator's kInit (which carries the window, lateness,
+/// engine shards, and the weight-model recipe), so the binary itself needs
+/// no CDI configuration — supervision, addressing, and death are the only
+/// things decided here.
+
+#include <signal.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "event/catalog.h"
+#include "shard/service.h"
+#include "shard/socket_transport.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s --listen <socket-path> [--index N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen_path;
+  size_t index = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--listen" && i + 1 < argc) {
+      listen_path = argv[++i];
+    } else if (arg == "--index" && i + 1 < argc) {
+      index = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (listen_path.empty()) return Usage(argv[0]);
+
+  // A dead peer must surface as an EPIPE-style error on write, not kill the
+  // process; and if the supervising coordinator dies, die with it rather
+  // than leak orphaned workers holding socket paths.
+  ::signal(SIGPIPE, SIG_IGN);
+#ifdef __linux__
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+  if (::getppid() == 1) return 0;  // supervisor already gone
+#endif
+
+  const cdibot::EventCatalog catalog = cdibot::EventCatalog::BuiltIn();
+  cdibot::shard::ShardService service(index, &catalog, /*weights=*/nullptr,
+                                      cdibot::StreamingCdiOptions{});
+
+  auto listener_or = cdibot::shard::SocketListener::BindUnix(listen_path);
+  if (!listener_or.ok()) {
+    std::fprintf(stderr, "shard_worker: bind %s: %s\n", listen_path.c_str(),
+                 listener_or.status().message().c_str());
+    return 1;
+  }
+  cdibot::shard::ShardServer server(&service,
+                                    std::move(listener_or).value());
+  server.Start();
+  // Serve until killed (SIGKILL from the coordinator, or PDEATHSIG).
+  while (true) ::pause();
+}

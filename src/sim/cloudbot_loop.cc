@@ -131,6 +131,9 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
     shard::ShardTopologyOptions topo;
     topo.num_shards = options.cdi_shards;
     topo.engine.window = day;
+    topo.transport = options.shard_transport;
+    topo.worker_binary = options.shard_worker_binary;
+    topo.weight_spec = options.shard_weight_spec;
     CDIBOT_ASSIGN_OR_RETURN(
         sharded, shard::ShardCoordinator::Create(&catalog, &weights,
                                                  std::move(topo)));

@@ -97,6 +97,16 @@ struct AutomationLoopOptions {
   /// canonical fleet fold) — pinned by the sharded-equivalence suite.
   bool sharded_cdi = false;
   size_t cdi_shards = 4;
+  /// Transport for the sharded fleet (requires sharded_cdi). kInProcess
+  /// keeps workers as threads behind message channels; kSocketThread serves
+  /// each worker thread over a real Unix-domain socket; kSocketProcess
+  /// spawns `shard_worker_binary` child processes — the honest failure
+  /// boundary — and requires `shard_weight_spec` so each worker rebuilds a
+  /// bit-identical weight model from the recipe carried in kInit.
+  shard::ShardTransportMode shard_transport =
+      shard::ShardTransportMode::kInProcess;
+  std::string shard_worker_binary;
+  std::optional<shard::WeightSpec> shard_weight_spec;
   /// When true (requires sharded_cdi), the coordinator recuts the shard
   /// map halfway through the day's incidents: a mid-day rebalance with the
   /// stream still flowing, exercising range handoff under live traffic.

@@ -2,6 +2,11 @@
 
 #include "sim/cloudbot_loop.h"
 
+// Baked in by tests/CMakeLists.txt; points at the built shard_worker.
+#ifndef SHARD_WORKER_BIN
+#define SHARD_WORKER_BIN ""
+#endif
+
 namespace cdibot {
 namespace {
 
@@ -143,6 +148,45 @@ TEST_F(CloudBotLoopTest, ShardedModeMatchesStreamingBitExactly) {
   EXPECT_EQ(result->shard_stats.num_shards, 3u);
   EXPECT_EQ(result->shard_stats.shards_alive, 3u);
   EXPECT_EQ(result->shard_stats.rebalances, 1u);
+  EXPECT_GT(result->shard_stats.events_routed, 0u);
+}
+
+// Multi-process mode: the same simulated day, but the shard workers are
+// real child processes behind Unix-domain sockets, rebuilding their weight
+// model from the WeightSpec recipe in kInit. Still bit-identical.
+TEST_F(CloudBotLoopTest, MultiProcessShardedModeMatchesStreamingBitExactly) {
+  const std::string binary = SHARD_WORKER_BIN;
+  ASSERT_FALSE(binary.empty()) << "SHARD_WORKER_BIN not baked in";
+  AutomationLoopOptions options;
+  options.incident_probability = 0.4;
+  options.streaming_cdi = true;
+  options.sharded_cdi = true;
+  options.cdi_shards = 2;
+  options.shard_rebalance_midday = true;
+  options.shard_transport = shard::ShardTransportMode::kSocketProcess;
+  options.shard_worker_binary = binary;
+  // The same recipe the fixture's EventWeightModel was built from: the
+  // workers' BuildWeightModel runs the identical arithmetic, so the CDI
+  // doubles agree exactly across the process boundary.
+  shard::WeightSpec spec;
+  spec.ticket_counts = {
+      {"slow_io", 100}, {"nic_flapping", 30}, {"live_migration", 5}};
+  spec.ticket_levels = 4;
+  options.shard_weight_spec = spec;
+  Rng rng(11);
+  auto result = RunAutomationDay(*fleet_, T("2024-01-01 00:00"), catalog_,
+                                 *weights_, options, &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->incidents, 0u);
+  EXPECT_EQ(result->fleet_cdi_sharded.unavailability,
+            result->fleet_cdi_streaming.unavailability);
+  EXPECT_EQ(result->fleet_cdi_sharded.performance,
+            result->fleet_cdi_streaming.performance);
+  EXPECT_EQ(result->fleet_cdi_sharded.control_plane,
+            result->fleet_cdi_streaming.control_plane);
+  EXPECT_EQ(result->fleet_cdi_sharded.service_time,
+            result->fleet_cdi_streaming.service_time);
+  EXPECT_EQ(result->shard_stats.shards_alive, 2u);
   EXPECT_GT(result->shard_stats.events_routed, 0u);
 }
 
