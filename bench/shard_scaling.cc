@@ -16,6 +16,7 @@
 
 #include "bench_report.h"
 #include "common/rng.h"
+#include "obs/fleet.h"
 #include "common/thread_pool.h"
 #include "shard/coordinator.h"
 #include "sim/fleet.h"
@@ -188,6 +189,35 @@ void BM_ShardIngestAndGatherSocket(benchmark::State& state) {
   state.counters["shards"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_ShardIngestAndGatherSocket)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Fleet obs pull over the socket transport: scatter an obs-snapshot
+// request to N workers, decode each wire snapshot (raw histogram buckets,
+// span stats, drained spans), and fold them into one fleet view. This is
+// the cost of a fleet statusz refresh; spans are drained each pull so the
+// per-iteration payload stays representative of a steady polling loop.
+// statusz_bytes tracks the rendered fleet JSON size as shard count grows.
+void BM_ShardObsPull(benchmark::State& state) {
+  ThreadPool pool(4);
+  ShardFixture fx(static_cast<size_t>(state.range(0)), 512, &pool,
+                  shard::ShardTransportMode::kSocketThread);
+  size_t statusz_bytes = 0;
+  for (auto _ : state) {
+    auto procs = fx.coord->PullWorkerObs(/*include_spans=*/true);
+    auto fleet = obs::CaptureFleetObsSnapshot(std::move(procs).value());
+    statusz_bytes = obs::RenderFleetStatuszJson(fleet).size();
+    benchmark::DoNotOptimize(fleet);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(state.range(0)));
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.counters["statusz_bytes"] = static_cast<double>(statusz_bytes);
+}
+BENCHMARK(BM_ShardObsPull)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

@@ -15,6 +15,7 @@
 #   SKIP_OVERLOAD=1 scripts/check.sh # skip the standalone overload stage
 #   SKIP_SHARD=1 scripts/check.sh    # skip the standalone shard stage
 #   SKIP_SOCKET=1 scripts/check.sh   # skip the standalone socket stage
+#   SKIP_OBSFLEET=1 scripts/check.sh # skip the fleet-observability stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -83,6 +84,21 @@ else
 
   echo "== socket: equivalence over sockets + processes + network chaos =="
   ./build/tests/shard_socket_equivalence_test
+fi
+
+if [[ "${SKIP_OBSFLEET:-0}" == "1" ]]; then
+  echo "== fleet-observability stage skipped (SKIP_OBSFLEET=1) =="
+else
+  # The fleet-observability gate: obs scatter/gather over real shard_worker
+  # child processes. Fleet statusz counters must equal the sum of the
+  # per-shard rows EXACTLY (bucket-exact histogram merge, no quantile
+  # re-estimation), worker RPC spans must land in the merged Chrome trace
+  # under the coordinator's trace ids, spans must drain exactly once across
+  # pulls, and a worker kill -9'd mid-day must drop out of the fleet view
+  # and rejoin after recovery. Wrong numbers here mean the fleet dashboard
+  # lies, so it fails loudly by name.
+  echo "== obsfleet: fleet statusz + merged trace over worker processes =="
+  ./build/tests/fleet_obs_test
 fi
 
 if [[ "${SKIP_OBS:-0}" == "1" ]]; then
@@ -166,7 +182,7 @@ cmake -B build-asan -S . -DCDIBOT_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target common_test stream_test chaos_test storage_test obs_test \
            flow_test overload_test shard_test shard_socket_test \
-           shard_socket_equivalence_test
+           shard_socket_equivalence_test fleet_obs_test
 
 echo "== asan+ubsan: thread pool + retry + streaming engine =="
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -198,6 +214,12 @@ echo "== asan+ubsan: socket framing/transport units + decoder fuzz corpus =="
 ./build-asan/tests/shard_socket_equivalence_test \
     --gtest_filter='Seeds/SocketShardEquivalenceTest.ProcessWorkersKill9UnderHostileNetwork/7'
 
+echo "== asan+ubsan: fleet obs scatter/gather over worker processes =="
+# The obs-snapshot codec moves raw histogram buckets and drained spans
+# across the wire; any overread in the decode or the bucket merge is an
+# ASan failure here. Includes the kill-9 rejoin scenario.
+./build-asan/tests/fleet_obs_test
+
 if [[ "${SKIP_OBS:-0}" == "1" ]]; then
   echo "== tsan skipped (SKIP_OBS=1) =="
 else
@@ -207,7 +229,7 @@ else
   echo "== tsan: build =="
   cmake -B build-tsan -S . -DCDIBOT_TSAN=ON >/dev/null
   cmake --build build-tsan -j "$JOBS" \
-    --target obs_test flow_test shard_test shard_socket_test
+    --target obs_test flow_test shard_test shard_socket_test fleet_obs_test
 
   echo "== tsan: concurrent metrics + tracer hammering =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test \
@@ -234,6 +256,14 @@ else
   # precisely the ordering TSan referees.
   echo "== tsan: transport close-while-blocked-in-Recv racing =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/shard_socket_test \
+      --gtest_filter='*Concurrent*'
+
+  # Obs pulls race gathers, shard failure, and recovery on a live fleet:
+  # the pull walks the same per-handle channels the gather serializes on
+  # while the registry and tracer keep mutating underneath. The test is
+  # written to race if the snapshot path does.
+  echo "== tsan: fleet obs pulls racing gathers + failure/recovery =="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/fleet_obs_test \
       --gtest_filter='*Concurrent*'
 fi
 

@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shard/socket_transport.h"
 
 namespace cdibot::chaos {
@@ -114,8 +115,12 @@ class ChaosTransport final : public shard::Transport {
         fate = Fate::kDuplicate;
       }
     }
+    // Each injected fault also drops an instant event into the trace (when
+    // tracing is on), so a merged fleet trace shows the chaos pins right on
+    // the RPC spans they sabotaged.
     if (delay) {
       Metrics().delays->Increment();
+      obs::RecordInstant("chaos.net.delay");
       std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
     }
     switch (fate) {
@@ -124,15 +129,18 @@ class ChaosTransport final : public shard::Transport {
       case Fate::kDrop:
         // The partition ate it, but the kernel said the write succeeded.
         Metrics().outbound_dropped->Increment();
+        obs::RecordInstant("chaos.net.outbound_drop");
         return Status::OK();
       case Fate::kReset:
         Metrics().resets->Increment();
+        obs::RecordInstant("chaos.net.reset");
         inner_->Close();
         return Status::Unavailable("chaos: connection reset");
       case Fate::kTruncate: {
         // A prefix of the frame, then the connection dies: the peer's
         // assembler is left mid-frame and must report a torn frame.
         Metrics().truncated->Increment();
+        obs::RecordInstant("chaos.net.truncate");
         static_cast<void>(
             inner_->SendRaw(std::string_view(wire).substr(0, cut)));
         inner_->Close();
@@ -142,6 +150,7 @@ class ChaosTransport final : public shard::Transport {
         // One flipped bit past the length prefix; the peer's CRC check
         // must reject the frame and tear the connection down.
         Metrics().corrupted->Increment();
+        obs::RecordInstant("chaos.net.corrupt");
         std::string damaged = wire;
         damaged[flip_index] =
             static_cast<char>(static_cast<uint8_t>(damaged[flip_index]) ^
@@ -150,6 +159,7 @@ class ChaosTransport final : public shard::Transport {
       }
       case Fate::kDuplicate: {
         Metrics().duplicates->Increment();
+        obs::RecordInstant("chaos.net.duplicate");
         std::string copy = frame;
         CDIBOT_RETURN_IF_ERROR(inner_->Send(std::move(frame)));
         return inner_->Send(std::move(copy));
@@ -169,6 +179,7 @@ class ChaosTransport final : public shard::Transport {
       }
       if (!swallow) return frame_or;
       Metrics().inbound_dropped->Increment();
+      obs::RecordInstant("chaos.net.inbound_drop");
     }
   }
 

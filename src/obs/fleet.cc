@@ -1,0 +1,455 @@
+#include "obs/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <utility>
+
+namespace cdibot::obs {
+namespace {
+
+std::string Fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+bool IsNanosMetric(std::string_view name) { return name.ends_with("_ns"); }
+
+std::string HumanNs(double ns) {
+  if (ns >= 1e9) return Fmt("%.2fs", ns / 1e9);
+  if (ns >= 1e6) return Fmt("%.2fms", ns / 1e6);
+  if (ns >= 1e3) return Fmt("%.1fus", ns / 1e3);
+  return Fmt("%.0fns", ns);
+}
+
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      *out += c;
+    }
+  }
+}
+
+std::string JsonNumber(double v) {
+  // JSON has no literal for NaN/Inf (see statusz.cc): render null instead.
+  if (!std::isfinite(v)) return "null";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Ids render as fixed-width hex strings: u64 does not survive a JS
+/// number, and hex is what Perfetto shows for flow ids anyway.
+std::string HexId(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::vector<SpanStat> StatsOf(const std::vector<PortableSpan>& spans) {
+  std::map<std::string_view, SpanStat> by_name;
+  for (const PortableSpan& span : spans) {
+    SpanStat& stat = by_name[span.name];
+    if (stat.count == 0) stat.name = span.name;
+    ++stat.count;
+    stat.total_ns += span.dur_ns;
+    stat.max_ns = std::max(stat.max_ns, span.dur_ns);
+  }
+  std::vector<SpanStat> stats;
+  stats.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) stats.push_back(std::move(stat));
+  std::sort(stats.begin(), stats.end(),
+            [](const SpanStat& a, const SpanStat& b) {
+              return a.total_ns > b.total_ns;
+            });
+  return stats;
+}
+
+}  // namespace
+
+WorkerObsSnapshot CaptureWorkerObs(bool drain_spans) {
+  WorkerObsSnapshot out;
+  const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+  out.counters = metrics.counters;
+  out.gauges = metrics.gauges;
+  out.histograms = MetricsRegistry::Global().SnapshotAllBuckets();
+  Tracer& tracer = Tracer::Global();
+  std::vector<SpanRecord> raw;
+  if (drain_spans) {
+    raw = tracer.DrainSpans(&out.spans_dropped);
+  } else {
+    raw = tracer.CollectSpans();
+    out.spans_dropped = tracer.dropped();
+  }
+  out.spans.reserve(raw.size());
+  for (const SpanRecord& span : raw) {
+    PortableSpan p;
+    p.name = span.name;
+    p.start_ns = span.start_ns;
+    p.dur_ns = span.dur_ns;
+    p.tid = span.tid;
+    p.depth = span.depth;
+    p.trace_id = span.trace_id;
+    p.span_id = span.span_id;
+    p.parent_span_id = span.parent_span_id;
+    p.instant = span.instant;
+    out.spans.push_back(std::move(p));
+  }
+  out.span_stats = StatsOf(out.spans);
+  out.tracing_enabled = tracer.enabled();
+  // Stamped last so the anchor is as close as possible to "when this
+  // snapshot left the process" (the response is encoded right after).
+  out.now_ns = MonotonicNowNs();
+  return out;
+}
+
+FleetObsSnapshot MergeFleetObs(std::vector<ProcessObs> processes) {
+  FleetObsSnapshot fleet;
+  fleet.processes = std::move(processes);
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, HistogramBuckets> histograms;
+  std::map<std::string, SpanStat> spans;
+  for (const ProcessObs& p : fleet.processes) {
+    for (const CounterSnapshot& c : p.snap.counters) {
+      counters[c.name] += c.value;
+    }
+    for (const GaugeSnapshot& g : p.snap.gauges) {
+      fleet.gauges.push_back({p.process, g.name, g.value});
+    }
+    for (const HistogramBuckets& h : p.snap.histograms) {
+      HistogramBuckets& into = histograms[h.name];
+      if (into.name.empty()) into.name = h.name;
+      MergeHistogramBuckets(&into, h);
+    }
+    for (const SpanStat& s : p.snap.span_stats) {
+      SpanStat& stat = spans[s.name];
+      if (stat.count == 0) stat.name = s.name;
+      stat.count += s.count;
+      stat.total_ns += s.total_ns;
+      stat.max_ns = std::max(stat.max_ns, s.max_ns);
+    }
+    fleet.spans_dropped += p.snap.spans_dropped;
+  }
+
+  fleet.counters.reserve(counters.size());
+  for (const auto& [name, value] : counters) {
+    fleet.counters.push_back({name, value});
+  }
+  fleet.histograms.reserve(histograms.size());
+  fleet.histogram_view.reserve(histograms.size());
+  for (auto& [name, buckets] : histograms) {
+    fleet.histogram_view.push_back(SnapshotFromBuckets(buckets));
+    fleet.histograms.push_back(std::move(buckets));
+  }
+  fleet.spans.reserve(spans.size());
+  for (auto& [name, stat] : spans) fleet.spans.push_back(std::move(stat));
+  std::sort(fleet.spans.begin(), fleet.spans.end(),
+            [](const SpanStat& a, const SpanStat& b) {
+              return a.total_ns > b.total_ns;
+            });
+  return fleet;
+}
+
+FleetObsSnapshot CaptureFleetObsSnapshot(std::vector<ProcessObs> workers,
+                                         const std::string& local_process,
+                                         bool drain_spans) {
+  std::vector<ProcessObs> all;
+  all.reserve(workers.size() + 1);
+  ProcessObs local;
+  local.process = local_process;
+  local.snap = CaptureWorkerObs(drain_spans);
+  all.push_back(std::move(local));
+  for (ProcessObs& w : workers) all.push_back(std::move(w));
+  return MergeFleetObs(std::move(all));
+}
+
+std::string RenderFleetStatuszText(const FleetObsSnapshot& snapshot) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "=== fleet statusz: %zu processes, %zu counters, "
+                "%zu histograms, %zu span names ===\n",
+                snapshot.processes.size(), snapshot.counters.size(),
+                snapshot.histogram_view.size(), snapshot.spans.size());
+  out += buf;
+
+  out += "[processes]\n";
+  for (const ProcessObs& p : snapshot.processes) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-20s metrics=%-4zu spans=%-6zu dropped=%-4llu "
+                  "clock_offset=%+lldns tracing=%s\n",
+                  p.process.c_str(),
+                  p.snap.counters.size() + p.snap.gauges.size() +
+                      p.snap.histograms.size(),
+                  p.snap.spans.size(),
+                  static_cast<unsigned long long>(p.snap.spans_dropped),
+                  static_cast<long long>(p.clock_offset_ns),
+                  p.snap.tracing_enabled ? "on" : "off");
+    out += buf;
+  }
+
+  if (!snapshot.counters.empty()) {
+    out += "[fleet counters]  (summed across processes)\n";
+    for (const CounterSnapshot& c : snapshot.counters) {
+      std::snprintf(buf, sizeof(buf), "  %-44s %20llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      out += buf;
+    }
+  }
+  if (!snapshot.histogram_view.empty()) {
+    out += "[fleet histograms]  (bucket-wise merge)\n";
+    for (const HistogramSnapshot& h : snapshot.histogram_view) {
+      if (IsNanosMetric(h.name)) {
+        std::snprintf(buf, sizeof(buf),
+                      "  %-44s n=%llu p50=%s p95=%s p99=%s max=%s\n",
+                      h.name.c_str(),
+                      static_cast<unsigned long long>(h.count),
+                      HumanNs(h.p50).c_str(), HumanNs(h.p95).c_str(),
+                      HumanNs(h.p99).c_str(),
+                      HumanNs(static_cast<double>(h.max)).c_str());
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "  %-44s n=%llu p50=%.4g p95=%.4g p99=%.4g max=%llu\n",
+                      h.name.c_str(),
+                      static_cast<unsigned long long>(h.count), h.p50, h.p95,
+                      h.p99, static_cast<unsigned long long>(h.max));
+      }
+      out += buf;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out += "[gauges]  (point-in-time, one row per process)\n";
+    for (const FleetGaugeRow& g : snapshot.gauges) {
+      std::snprintf(buf, sizeof(buf), "  %-20s %-38s %12.6g\n",
+                    g.process.c_str(), g.name.c_str(), g.value);
+      out += buf;
+    }
+  }
+  if (!snapshot.spans.empty()) {
+    out += "[spans]  (fleet wall time by stage)\n";
+    for (const SpanStat& s : snapshot.spans) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-44s n=%-8llu total=%-10s max=%s\n", s.name.c_str(),
+                    static_cast<unsigned long long>(s.count),
+                    HumanNs(static_cast<double>(s.total_ns)).c_str(),
+                    HumanNs(static_cast<double>(s.max_ns)).c_str());
+      out += buf;
+    }
+    if (snapshot.spans_dropped > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "  (%llu spans dropped at buffer caps)\n",
+                    static_cast<unsigned long long>(snapshot.spans_dropped));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string RenderFleetStatuszJson(const FleetObsSnapshot& snapshot) {
+  std::string out = "{\"processes\":[";
+  bool first = true;
+  for (const ProcessObs& p : snapshot.processes) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(p.process, &out);
+    out += '"';
+  }
+
+  out += "],\"counters\":{";
+  first = true;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(c.name, &out);
+    out += "\":{\"fleet\":" + std::to_string(c.value) + ",\"by_process\":{";
+    bool first_proc = true;
+    for (const ProcessObs& p : snapshot.processes) {
+      for (const CounterSnapshot& pc : p.snap.counters) {
+        if (pc.name != c.name) continue;
+        if (!first_proc) out += ',';
+        first_proc = false;
+        out += '"';
+        AppendJsonEscaped(p.process, &out);
+        out += "\":" + std::to_string(pc.value);
+      }
+    }
+    out += "}}";
+  }
+
+  out += "},\"gauges\":{";
+  // Group the per-process rows by gauge name (rows arrive process-major).
+  std::map<std::string, std::vector<const FleetGaugeRow*>> gauges;
+  for (const FleetGaugeRow& g : snapshot.gauges) {
+    gauges[g.name].push_back(&g);
+  }
+  first = true;
+  for (const auto& [name, rows] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(name, &out);
+    out += "\":{\"by_process\":{";
+    bool first_proc = true;
+    for (const FleetGaugeRow* row : rows) {
+      if (!first_proc) out += ',';
+      first_proc = false;
+      out += '"';
+      AppendJsonEscaped(row->process, &out);
+      out += "\":" + JsonNumber(row->value);
+    }
+    out += "}}";
+  }
+
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : snapshot.histogram_view) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(h.name, &out);
+    out += "\":{\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"min\":" + std::to_string(h.min);
+    out += ",\"max\":" + std::to_string(h.max);
+    out += ",\"p50\":" + JsonNumber(h.p50);
+    out += ",\"p90\":" + JsonNumber(h.p90);
+    out += ",\"p95\":" + JsonNumber(h.p95);
+    out += ",\"p99\":" + JsonNumber(h.p99);
+    out += ",\"by_process\":{";
+    bool first_proc = true;
+    for (const ProcessObs& p : snapshot.processes) {
+      for (const HistogramBuckets& ph : p.snap.histograms) {
+        if (ph.name != h.name) continue;
+        if (!first_proc) out += ',';
+        first_proc = false;
+        out += '"';
+        AppendJsonEscaped(p.process, &out);
+        out += "\":" + std::to_string(ph.count);
+      }
+    }
+    out += "}}";
+  }
+
+  out += "},\"spans\":{";
+  first = true;
+  for (const SpanStat& s : snapshot.spans) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(s.name, &out);
+    out += "\":{\"count\":" + std::to_string(s.count);
+    out += ",\"total_ns\":" + std::to_string(s.total_ns);
+    out += ",\"max_ns\":" + std::to_string(s.max_ns);
+    out += '}';
+  }
+  out += "},\"spans_dropped\":" + std::to_string(snapshot.spans_dropped);
+  out += '}';
+  return out;
+}
+
+std::string MergedChromeTraceJson(const FleetObsSnapshot& snapshot) {
+  // Shift every span into the merging process's clock, then lay events out
+  // on a common origin so Perfetto renders nested cross-process tracks.
+  struct Placed {
+    const PortableSpan* span;
+    uint64_t adj_start_ns;
+    size_t process;  // index into snapshot.processes; pid = index + 1
+  };
+  std::vector<Placed> placed;
+  for (size_t pi = 0; pi < snapshot.processes.size(); ++pi) {
+    const ProcessObs& p = snapshot.processes[pi];
+    for (const PortableSpan& span : p.snap.spans) {
+      const int64_t shifted =
+          static_cast<int64_t>(span.start_ns) + p.clock_offset_ns;
+      placed.push_back(
+          {&span, shifted < 0 ? 0 : static_cast<uint64_t>(shifted), pi});
+    }
+  }
+  std::sort(placed.begin(), placed.end(), [](const Placed& a,
+                                             const Placed& b) {
+    if (a.adj_start_ns != b.adj_start_ns) {
+      return a.adj_start_ns < b.adj_start_ns;
+    }
+    return a.span->dur_ns > b.span->dur_ns;  // parent before child on ties
+  });
+  uint64_t origin = 0;
+  if (!placed.empty()) {
+    origin = std::min_element(placed.begin(), placed.end(),
+                              [](const Placed& a, const Placed& b) {
+                                return a.adj_start_ns < b.adj_start_ns;
+                              })
+                 ->adj_start_ns;
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (size_t pi = 0; pi < snapshot.processes.size(); ++pi) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pi + 1) + ",\"tid\":0,\"args\":{\"name\":\"";
+    AppendJsonEscaped(snapshot.processes[pi].process, &out);
+    out += "\"}}";
+  }
+  for (const Placed& ev : placed) {
+    const PortableSpan& span = *ev.span;
+    if (!first) out += ',';
+    first = false;
+    const double ts =
+        static_cast<double>(ev.adj_start_ns - origin) / 1000.0;
+    const double dur = static_cast<double>(span.dur_ns) / 1000.0;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(span.name, &out);
+    if (span.instant) {
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"cat\":\"cdibot\",\"ph\":\"i\",\"s\":\"t\","
+                    "\"ts\":%.3f,\"pid\":%zu,\"tid\":%u",
+                    ts, ev.process + 1, span.tid);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"cat\":\"cdibot\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"pid\":%zu,\"tid\":%u",
+                    ts, dur, ev.process + 1, span.tid);
+    }
+    out += buf;
+    out += ",\"args\":{\"trace_id\":\"" + HexId(span.trace_id) +
+           "\",\"span_id\":\"" + HexId(span.span_id) +
+           "\",\"parent_span_id\":\"" + HexId(span.parent_span_id) + "\"}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteMergedChromeTrace(const FleetObsSnapshot& snapshot,
+                            const std::string& path, std::string* error) {
+  const std::string json = MergedChromeTraceJson(snapshot);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cdibot::obs

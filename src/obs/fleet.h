@@ -1,0 +1,139 @@
+#ifndef CDIBOT_OBS_FLEET_H_
+#define CDIBOT_OBS_FLEET_H_
+
+// Fleet-wide observability: merging per-process obs snapshots — the
+// coordinator's own plus one pulled from each shard worker over the wire —
+// into a single operator surface: a fleet statusz (per-process and
+// fleet-aggregated views) and one merged Chrome trace with a named track
+// per process.
+//
+// Layering: obs stays a leaf. This file owns the *data model* and the
+// merge/render/export logic; the shard layer owns pulling WorkerObsSnapshot
+// frames over its session protocol and measuring each worker's clock
+// offset (see ShardCoordinator::PullWorkerObs).
+//
+// Merge semantics:
+//   counters    sum exactly across processes (they are monotonic event
+//               counts, so the fleet value is the fleet event count);
+//   histograms  merge bucket-wise at raw-bucket fidelity (exact counts and
+//               sums; quantiles re-derived from the merged buckets carry
+//               the same <= 1/16 relative error as a single process);
+//   gauges      are point-in-time per-process facts — summing "queue depth"
+//               across processes answers a different question than any
+//               process asked — so the fleet view keeps one row per
+//               (process, gauge);
+//   span stats  merge by name (count/total add, max folds).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/statusz.h"
+#include "obs/trace.h"
+
+namespace cdibot::obs {
+
+/// One span shipped across a process boundary: same shape as SpanRecord
+/// but owning its name (string literals do not survive the wire).
+struct PortableSpan {
+  std::string name;
+  uint64_t start_ns = 0;  ///< origin process's monotonic clock
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;
+  uint32_t depth = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  bool instant = false;
+};
+
+/// Everything one process reports when its obs state is pulled: metric
+/// values (histograms at raw-bucket fidelity so fleet merges stay exact),
+/// span aggregates, the raw spans drained since the previous pull, and the
+/// process's monotonic clock at capture time (the clock-alignment anchor).
+struct WorkerObsSnapshot {
+  uint64_t now_ns = 0;
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramBuckets> histograms;
+  std::vector<SpanStat> span_stats;  ///< aggregates of the spans below
+  std::vector<PortableSpan> spans;
+  uint64_t spans_dropped = 0;
+  bool tracing_enabled = false;
+};
+
+/// Captures the calling process's registry + tracer as a WorkerObsSnapshot.
+/// `drain_spans` moves the raw spans out of the tracer so the next capture
+/// ships only newer ones; false copies and leaves them in place.
+WorkerObsSnapshot CaptureWorkerObs(bool drain_spans);
+
+/// A WorkerObsSnapshot tagged with who it came from and how that process's
+/// monotonic clock maps onto the merging process's: adding clock_offset_ns
+/// to one of its timestamps yields the merger's MonotonicNowNs domain.
+struct ProcessObs {
+  std::string process;
+  WorkerObsSnapshot snap;
+  int64_t clock_offset_ns = 0;
+};
+
+/// One (process, gauge) row of the fleet view.
+struct FleetGaugeRow {
+  std::string process;
+  std::string name;
+  double value = 0.0;
+};
+
+/// Per-process and fleet-aggregated obs views (merge semantics above).
+struct FleetObsSnapshot {
+  std::vector<ProcessObs> processes;  ///< index 0 = the merging process
+  std::vector<CounterSnapshot> counters;        ///< summed across processes
+  std::vector<FleetGaugeRow> gauges;            ///< per-process rows
+  std::vector<HistogramBuckets> histograms;     ///< bucket-exact merge
+  std::vector<HistogramSnapshot> histogram_view;  ///< quantiles of the merge
+  std::vector<SpanStat> spans;  ///< merged by name, total-time descending
+  uint64_t spans_dropped = 0;
+};
+
+/// Merges already-captured per-process snapshots; the first entry is
+/// treated as the merging process (its clock_offset_ns should be 0).
+FleetObsSnapshot MergeFleetObs(std::vector<ProcessObs> processes);
+
+/// Captures the local process (named `local_process`, offset 0 by
+/// definition) and merges it with the given worker snapshots.
+FleetObsSnapshot CaptureFleetObsSnapshot(
+    std::vector<ProcessObs> workers,
+    const std::string& local_process = "coordinator",
+    bool drain_spans = false);
+
+/// Human-readable fleet report: the fleet-aggregated section first, then
+/// per-process gauge rows and per-process summaries.
+std::string RenderFleetStatuszText(const FleetObsSnapshot& snapshot);
+
+/// Machine-readable rendering:
+///   {"processes":[...],
+///    "counters":{name:{"fleet":N,"by_process":{proc:N}}},
+///    "gauges":{name:{"by_process":{proc:V}}},
+///    "histograms":{name:{count,sum,min,max,p50,p90,p95,p99,
+///                        "by_process":{proc:count}}},
+///    "spans":{name:{count,total_ns,max_ns}},
+///    "spans_dropped":N}
+std::string RenderFleetStatuszJson(const FleetObsSnapshot& snapshot);
+
+/// The merged Chrome trace-event document: one named track per process
+/// ("process_name" metadata + distinct pids), every span's timestamps
+/// shifted by its process's clock_offset_ns into the merging process's
+/// clock so cross-process spans nest, trace/span ids as event args, and
+/// instant events (chaos injections) as "i" phase. Perfetto- and
+/// chrome://tracing-loadable.
+std::string MergedChromeTraceJson(const FleetObsSnapshot& snapshot);
+
+/// Writes MergedChromeTraceJson to `path`. Returns false (and fills
+/// `error` when non-null) on I/O failure.
+bool WriteMergedChromeTrace(const FleetObsSnapshot& snapshot,
+                            const std::string& path,
+                            std::string* error = nullptr);
+
+}  // namespace cdibot::obs
+
+#endif  // CDIBOT_OBS_FLEET_H_

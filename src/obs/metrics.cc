@@ -82,6 +82,21 @@ HistogramSnapshot Histogram::Snapshot() const {
   return snap;
 }
 
+HistogramBuckets Histogram::SnapshotBuckets() const {
+  HistogramBuckets out;
+  out.name = name_;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    out.buckets.emplace_back(static_cast<uint32_t>(i), n);
+    out.count += n;
+  }
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  out.min = out.count == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  return out;
+}
+
 void Histogram::ResetValues() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
@@ -160,6 +175,16 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snap;
 }
 
+std::vector<HistogramBuckets> MetricsRegistry::SnapshotAllBuckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramBuckets> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.push_back(histogram->SnapshotBuckets());
+  }
+  return out;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->ResetValues();
@@ -170,6 +195,82 @@ void MetricsRegistry::Reset() {
 size_t MetricsRegistry::num_metrics() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+double QuantileFromBuckets(const HistogramBuckets& h, double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  if (h.count == 0) return 0.0;
+  const double rank = q * static_cast<double>(h.count - 1);
+  uint64_t seen = 0;
+  for (const auto& [index, in_bucket] : h.buckets) {
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(seen + in_bucket)) {
+      const double lo =
+          static_cast<double>(Histogram::BucketLowerBound(index));
+      const double hi =
+          (index + 1 < Histogram::kNumBuckets)
+              ? static_cast<double>(Histogram::BucketLowerBound(index + 1))
+              : lo;
+      const double frac =
+          in_bucket == 1
+              ? 0.0
+              : (rank - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket - 1);
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(h.max);
+}
+
+HistogramSnapshot SnapshotFromBuckets(const HistogramBuckets& h) {
+  HistogramSnapshot snap;
+  snap.name = h.name;
+  snap.count = h.count;
+  snap.sum = h.sum;
+  snap.min = h.min;
+  snap.max = h.max;
+  if (h.count > 0) {
+    snap.p50 = QuantileFromBuckets(h, 0.50);
+    snap.p90 = QuantileFromBuckets(h, 0.90);
+    snap.p95 = QuantileFromBuckets(h, 0.95);
+    snap.p99 = QuantileFromBuckets(h, 0.99);
+  }
+  return snap;
+}
+
+void MergeHistogramBuckets(HistogramBuckets* into,
+                           const HistogramBuckets& from) {
+  if (from.count == 0) return;
+  if (into->count == 0) {
+    into->min = from.min;
+    into->max = from.max;
+  } else {
+    into->min = std::min(into->min, from.min);
+    into->max = std::max(into->max, from.max);
+  }
+  into->count += from.count;
+  into->sum += from.sum;
+  std::vector<std::pair<uint32_t, uint64_t>> merged;
+  merged.reserve(into->buckets.size() + from.buckets.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < into->buckets.size() || j < from.buckets.size()) {
+    if (j >= from.buckets.size() ||
+        (i < into->buckets.size() &&
+         into->buckets[i].first < from.buckets[j].first)) {
+      merged.push_back(into->buckets[i++]);
+    } else if (i >= into->buckets.size() ||
+               from.buckets[j].first < into->buckets[i].first) {
+      merged.push_back(from.buckets[j++]);
+    } else {
+      merged.emplace_back(into->buckets[i].first,
+                          into->buckets[i].second + from.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  into->buckets = std::move(merged);
 }
 
 }  // namespace cdibot::obs

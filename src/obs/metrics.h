@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cdibot::obs {
@@ -110,6 +111,20 @@ struct HistogramSnapshot {
   double p99 = 0.0;
 };
 
+/// Raw bucket-level view of one histogram: the lossless transfer and merge
+/// representation. Buckets are sparse (index, count) pairs in ascending
+/// index order; merging fleets bucket-wise here is exact, and quantiles of
+/// a merged histogram are re-derived with the same interpolation
+/// Histogram::Quantile uses (see QuantileFromBuckets).
+struct HistogramBuckets {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< 0 when empty
+  uint64_t max = 0;
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;
+};
+
 /// Fixed-bucket histogram of unsigned integer values (HdrHistogram layout:
 /// values below 16 are exact, above that each power-of-two octave splits
 /// into 16 geometric sub-buckets, so quantiles carry <= 1/16 relative
@@ -139,6 +154,8 @@ class Histogram {
   /// Interpolated quantile, q in [0, 1]. 0 when empty.
   double Quantile(double q) const;
   HistogramSnapshot Snapshot() const;
+  /// The raw sparse buckets (for wire transfer and bucket-exact merging).
+  HistogramBuckets SnapshotBuckets() const;
 
   const std::string& name() const { return name_; }
 
@@ -193,6 +210,9 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
 
+  /// Every registered histogram at raw-bucket fidelity, name-sorted.
+  std::vector<HistogramBuckets> SnapshotAllBuckets() const;
+
   /// Zeroes every registered metric but keeps registrations (and therefore
   /// every cached handle) intact. For tests and benches that want a clean
   /// slate per scenario.
@@ -208,6 +228,19 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
+
+/// Interpolated quantile over raw buckets; mirrors Histogram::Quantile
+/// exactly, so a single-process histogram and its round-tripped buckets
+/// answer the same quantiles.
+double QuantileFromBuckets(const HistogramBuckets& h, double q);
+
+/// The quantile view of raw buckets (what Histogram::Snapshot computes).
+HistogramSnapshot SnapshotFromBuckets(const HistogramBuckets& h);
+
+/// Bucket-wise accumulate `from` into `into`: counts and sums add exactly,
+/// min/max fold. `into->name` is left untouched.
+void MergeHistogramBuckets(HistogramBuckets* into,
+                           const HistogramBuckets& from);
 
 }  // namespace cdibot::obs
 

@@ -1,6 +1,7 @@
 #include "obs/statusz.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -46,6 +47,9 @@ void AppendJsonEscaped(std::string_view text, std::string* out) {
 }
 
 std::string JsonNumber(double v) {
+  // JSON has no literal for NaN/Inf; "%.6g" would happily print one and
+  // corrupt the document, so non-finite values render as null.
+  if (!std::isfinite(v)) return "null";
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -18,6 +20,30 @@ uint64_t MonotonicNowNs() {
 namespace internal_trace {
 
 std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+/// Per-process salt mixed into every id so two fleet processes minting
+/// dense counters still produce disjoint id spaces (w.h.p.).
+uint64_t ProcessSalt() {
+  static const uint64_t salt = [] {
+    uint64_t mix = static_cast<uint64_t>(::getpid());
+    mix = (mix << 32) ^ MonotonicNowNs();
+    mix *= 0xbf58476d1ce4e5b9ULL;  // splitmix64-style scramble
+    mix ^= mix >> 31;
+    return mix;
+  }();
+  return salt;
+}
+
+}  // namespace
+
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{0};
+  const uint64_t n = next.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t id = (ProcessSalt() + n) * 0x9e3779b97f4a7c15ULL;
+  return id != 0 ? id : 1;
+}
 
 /// Per-thread span storage. The mutex is only ever contended between the
 /// owning thread (recording) and an exporting thread, so recording takes
@@ -48,7 +74,8 @@ ThreadBuffer* CurrentThreadBuffer() {
 uint32_t EnterSpan(ThreadBuffer* buffer) { return buffer->depth++; }
 
 void RecordSpan(ThreadBuffer* buffer, const char* name, uint64_t start_ns,
-                uint64_t end_ns, uint32_t depth) {
+                uint64_t end_ns, uint32_t depth, uint64_t trace_id,
+                uint64_t span_id, uint64_t parent_span_id, bool instant) {
   std::lock_guard<std::mutex> lock(buffer->mu);
   buffer->depth = depth;  // matching decrement of EnterSpan
   if (buffer->spans.size() >= Tracer::kMaxSpansPerThread) {
@@ -61,10 +88,29 @@ void RecordSpan(ThreadBuffer* buffer, const char* name, uint64_t start_ns,
   record.dur_ns = end_ns - start_ns;
   record.tid = buffer->tid;
   record.depth = depth;
+  record.trace_id = trace_id;
+  record.span_id = span_id;
+  record.parent_span_id = parent_span_id;
+  record.instant = instant;
   buffer->spans.push_back(record);
 }
 
 }  // namespace internal_trace
+
+uint64_t NewTraceId() { return internal_trace::NextSpanId(); }
+
+void RecordInstant(const char* name) {
+  if (!internal_trace::g_trace_enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  internal_trace::ThreadBuffer* buffer =
+      internal_trace::CurrentThreadBuffer();
+  const TraceContext ctx = internal_trace::TraceContextSlot();
+  const uint64_t now = MonotonicNowNs();
+  internal_trace::RecordSpan(buffer, name, now, now, buffer->depth,
+                             ctx.trace_id, internal_trace::NextSpanId(),
+                             ctx.span_id, /*instant=*/true);
+}
 
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();  // never destroyed
@@ -82,6 +128,25 @@ std::vector<SpanRecord> Tracer::CollectSpans() const {
     std::lock_guard<std::mutex> lock(buffer->mu);
     all.insert(all.end(), buffer->spans.begin(), buffer->spans.end());
   }
+  return all;
+}
+
+std::vector<SpanRecord> Tracer::DrainSpans(uint64_t* dropped) {
+  std::vector<std::shared_ptr<internal_trace::ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<SpanRecord> all;
+  uint64_t lost = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    all.insert(all.end(), buffer->spans.begin(), buffer->spans.end());
+    buffer->spans.clear();
+    lost += buffer->dropped;
+    buffer->dropped = 0;
+  }
+  if (dropped != nullptr) *dropped = lost;
   return all;
 }
 
@@ -191,10 +256,17 @@ std::string Tracer::ToChromeTraceJson() const {
     const double dur = static_cast<double>(span.dur_ns) / 1000.0;
     out += "{\"name\":\"";
     AppendJsonEscaped(span.name, &out);
-    std::snprintf(buf, sizeof(buf),
-                  "\",\"cat\":\"cdibot\",\"ph\":\"X\",\"ts\":%.3f,"
-                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
-                  ts, dur, span.tid);
+    if (span.instant) {
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"cat\":\"cdibot\",\"ph\":\"i\",\"s\":\"t\","
+                    "\"ts\":%.3f,\"pid\":1,\"tid\":%u}",
+                    ts, span.tid);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"cat\":\"cdibot\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                    ts, dur, span.tid);
+    }
     out += buf;
   }
   out += "]}";

@@ -15,6 +15,16 @@ namespace cdibot::obs {
 /// Monotonic clock in nanoseconds since an arbitrary process-local origin.
 uint64_t MonotonicNowNs();
 
+/// Propagated trace identity: the logical operation the calling thread is
+/// currently working for. `trace_id` groups spans across threads and
+/// processes; `span_id` is the innermost live span (the parent of whatever
+/// opens next). A zero trace_id means "no context" — the next span minted
+/// becomes a root with a fresh trace id.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
 /// One completed span. `name` must be a string with static storage duration
 /// (the TRACE_SPAN macro passes a literal), so recording a span never
 /// copies or allocates.
@@ -24,6 +34,10 @@ struct SpanRecord {
   uint64_t dur_ns = 0;
   uint32_t tid = 0;    ///< tracer-assigned thread ordinal, stable per thread
   uint32_t depth = 0;  ///< nesting depth at span entry (0 = top level)
+  uint64_t trace_id = 0;        ///< groups one logical operation fleet-wide
+  uint64_t span_id = 0;         ///< this span's own id (nonzero when traced)
+  uint64_t parent_span_id = 0;  ///< 0 = root of its trace
+  bool instant = false;  ///< zero-duration marker (e.g. a chaos injection)
 };
 
 /// Aggregate wall time per span name (the statusz view of the trace).
@@ -39,12 +53,63 @@ namespace internal_trace {
 /// else. Disabled tracing costs exactly one relaxed load and a branch.
 extern std::atomic<bool> g_trace_enabled;
 
+/// The calling thread's current trace context. Plain thread-local (no
+/// atomics): only the owning thread reads or writes it. Function-local so
+/// the definition is visible at every use and constant initialization
+/// applies — an `extern thread_local` would force GCC's cross-TU TLS init
+/// wrapper, which UBSan's null-check instrumentation misfires on (PR64888).
+inline TraceContext& TraceContextSlot() {
+  thread_local TraceContext slot;
+  return slot;
+}
+
 struct ThreadBuffer;
 ThreadBuffer* CurrentThreadBuffer();
 void RecordSpan(ThreadBuffer* buffer, const char* name, uint64_t start_ns,
-                uint64_t end_ns, uint32_t depth);
+                uint64_t end_ns, uint32_t depth, uint64_t trace_id,
+                uint64_t span_id, uint64_t parent_span_id,
+                bool instant = false);
 uint32_t EnterSpan(ThreadBuffer* buffer);
+uint64_t NextSpanId();
 }  // namespace internal_trace
+
+/// The calling thread's current trace context — zeros outside any span
+/// (and on threads that never traced). Cheap enough for RPC encode paths:
+/// two thread-local loads, no atomics, works whether or not tracing is on.
+inline TraceContext CurrentTraceContext() {
+  return internal_trace::TraceContextSlot();
+}
+
+/// Mints a fresh nonzero trace id: process-salted so ids minted by
+/// different fleet processes are disjoint with high probability.
+uint64_t NewTraceId();
+
+/// RAII adoption of a foreign trace context — the worker side of an RPC
+/// installing the coordinator's ids, or a pool thread running a scattered
+/// sub-task under the scatter site's span. Spans opened while it is live
+/// become children of `ctx`; the previous context is restored on exit.
+/// Unconditional (two thread-local stores), so adopting a zero context is
+/// also how an RPC handler *isolates* itself from whatever the serving
+/// thread last carried.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx)
+      : saved_(internal_trace::TraceContextSlot()) {
+    internal_trace::TraceContextSlot() = ctx;
+  }
+  ~ScopedTraceContext() { internal_trace::TraceContextSlot() = saved_; }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// Records a zero-duration instant event (e.g. a chaos fault injection) at
+/// the current time, tagged with the current trace context. Near-free when
+/// tracing is disabled: one relaxed load and a branch.
+void RecordInstant(const char* name);
 
 /// Process-wide span collector. Each thread appends completed spans to its
 /// own fixed-capacity buffer (spans past the cap are counted as dropped,
@@ -72,6 +137,13 @@ class Tracer {
   /// Copies out every recorded span, across all threads, in per-thread
   /// recording order.
   std::vector<SpanRecord> CollectSpans() const;
+
+  /// Moves out every recorded span and resets the dropped count — the
+  /// "spans since last pull" a fleet obs snapshot ships. Each thread
+  /// buffer is cut atomically; spans recorded during the drain land in
+  /// the next one. When `dropped` is non-null it receives the number of
+  /// spans lost to the buffer cap since the previous drain.
+  std::vector<SpanRecord> DrainSpans(uint64_t* dropped = nullptr);
 
   /// Spans dropped because a thread buffer was full.
   uint64_t dropped() const;
@@ -112,13 +184,24 @@ class ScopedSpan {
     buffer_ = internal_trace::CurrentThreadBuffer();
     name_ = name;
     depth_ = internal_trace::EnterSpan(buffer_);
+    // Id tagging: adopt the thread's context (or mint a root trace), then
+    // make this span the context for anything opened inside it. All of
+    // this sits behind the enabled gate, so disabled tracing stays one
+    // relaxed load and a branch.
+    TraceContext& ctx = internal_trace::TraceContextSlot();
+    saved_ctx_ = ctx;
+    trace_id_ = ctx.trace_id != 0 ? ctx.trace_id : NewTraceId();
+    span_id_ = internal_trace::NextSpanId();
+    ctx = TraceContext{trace_id_, span_id_};
     start_ns_ = MonotonicNowNs();
   }
 
   ~ScopedSpan() {
     if (buffer_ == nullptr) return;
+    internal_trace::TraceContextSlot() = saved_ctx_;
     internal_trace::RecordSpan(buffer_, name_, start_ns_, MonotonicNowNs(),
-                               depth_);
+                               depth_, trace_id_, span_id_,
+                               saved_ctx_.span_id);
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -129,6 +212,9 @@ class ScopedSpan {
   const char* name_ = nullptr;
   uint64_t start_ns_ = 0;
   uint32_t depth_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  TraceContext saved_ctx_;
 };
 
 /// Always-on scoped timer feeding a histogram (nanoseconds). For

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <tuple>
 #include <unordered_set>
@@ -72,6 +73,46 @@ const CoordMetrics& Metrics() {
     };
   }();
   return m;
+}
+
+/// Coordinator-side per-kind RPC instrumentation: round-trip latency and
+/// frame sizes for completed exchanges, keyed by the request kind.
+struct RpcCallMetrics {
+  obs::Histogram* call_ns;
+  obs::Histogram* send_bytes;
+  obs::Histogram* recv_bytes;
+};
+
+constexpr uint32_t kNumKinds =
+    static_cast<uint32_t>(MessageKind::kObsSnapshot) + 1;
+
+/// Reads the kind tag straight out of an encoded request frame (the u32
+/// after the u64 request id, little-endian on the wire) and returns that
+/// kind's metrics row; null for frames too short or kinds out of range.
+const RpcCallMetrics* CallMetricsForFrame(const std::string& frame) {
+  if (frame.size() < 12) return nullptr;
+  const auto* b = reinterpret_cast<const unsigned char*>(frame.data() + 8);
+  const uint32_t kind = static_cast<uint32_t>(b[0]) |
+                        static_cast<uint32_t>(b[1]) << 8 |
+                        static_cast<uint32_t>(b[2]) << 16 |
+                        static_cast<uint32_t>(b[3]) << 24;
+  if (kind == 0 || kind >= kNumKinds) return nullptr;
+  static const std::array<RpcCallMetrics, kNumKinds>& table = *[] {
+    auto* t = new std::array<RpcCallMetrics, kNumKinds>{};
+    auto& reg = obs::MetricsRegistry::Global();
+    for (uint32_t k = 1; k < kNumKinds; ++k) {
+      const std::string base =
+          std::string("shard.rpc.") +
+          MessageKindName(static_cast<MessageKind>(k));
+      (*t)[k] = RpcCallMetrics{
+          .call_ns = reg.GetHistogram(base + ".call_ns"),
+          .send_bytes = reg.GetHistogram(base + ".send_bytes"),
+          .recv_bytes = reg.GetHistogram(base + ".recv_bytes"),
+      };
+    }
+    return t;
+  }();
+  return &table[kind];
 }
 
 /// Decodes a response frame and surfaces transport-level garbage and
@@ -215,6 +256,10 @@ Status ShardCoordinator::StartWorkers() {
     CDIBOT_RETURN_IF_ERROR(h->host->Respawn());
     h->depth_gauge =
         reg.GetGauge("shard.queue_depth." + std::to_string(i));
+    h->connected_gauge =
+        reg.GetGauge("shard.session.connected." + std::to_string(i));
+    h->outbox_gauge =
+        reg.GetGauge("shard.session.outbox_depth." + std::to_string(i));
     handles_.push_back(std::move(h));
   }
   for (auto& hp : handles_) {
@@ -255,6 +300,7 @@ Status ShardCoordinator::StartWorkers() {
 
 void ShardCoordinator::MarkDead(Handle& h) {
   if (!h.alive.exchange(false, std::memory_order_acq_rel)) return;
+  if (h.connected_gauge != nullptr) h.connected_gauge->Set(0.0);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.shard_failures;
@@ -273,6 +319,8 @@ StatusOr<std::string> ShardCoordinator::AttemptLocked(
   if (h.channel == nullptr) {
     return Status::Unavailable("no connection to shard");
   }
+  const RpcCallMetrics* rpc = CallMetricsForFrame(frame);
+  const uint64_t start_ns = obs::MonotonicNowNs();
   CDIBOT_RETURN_IF_ERROR(h.channel->Send(frame));
   while (true) {
     auto frame_or = h.channel->Recv(deadline);
@@ -282,6 +330,11 @@ StatusOr<std::string> ShardCoordinator::AttemptLocked(
     // requests are drained and discarded; only the matching id returns.
     if (!hdr_or.ok()) continue;
     if (hdr_or.value().request_id != request_id) continue;
+    if (rpc != nullptr) {
+      rpc->call_ns->Record(obs::MonotonicNowNs() - start_ns);
+      rpc->send_bytes->Record(frame.size());
+      rpc->recv_bytes->Record(frame_or.value().size());
+    }
     return std::move(frame_or).value();
   }
 }
@@ -351,7 +404,7 @@ Status ShardCoordinator::EstablishSessionLocked(Handle& h) {
               EncodeInit(id, options_.engine.window,
                          options_.engine.allowed_lateness,
                          static_cast<uint32_t>(options_.engine.num_shards),
-                         options_.weight_spec),
+                         options_.weight_spec, options_.worker_tracing),
               Deadline::After(step_budget)),
           &hdr));
       h.rebuild_stage = Handle::RebuildStage::kInitDone;
@@ -378,6 +431,7 @@ Status ShardCoordinator::EstablishSessionLocked(Handle& h) {
 
   h.channel = std::move(channel);
   h.alive.store(true, std::memory_order_release);
+  if (h.connected_gauge != nullptr) h.connected_gauge->Set(1.0);
   if (h.ever_connected) {
     Metrics().reconnects->Increment();
     (rebuilt ? Metrics().sessions_restored : Metrics().sessions_resumed)
@@ -448,6 +502,9 @@ Status ShardCoordinator::ResolveInFlightLocked(Handle& h) {
   // saw a transport error for this request; the data-quality trail (shed /
   // deferred accounting) is how its absence surfaces.
   if (hdr.status.ok()) h.outbox.push_back(std::move(entry));
+  if (h.outbox_gauge != nullptr) {
+    h.outbox_gauge->Set(static_cast<double>(h.outbox.size()));
+  }
   return Status::OK();
 }
 
@@ -542,6 +599,9 @@ Status ShardCoordinator::MutateLocked(Handle& h, uint64_t request_id,
   const Status st = hdr_or.value().status;
   // Worker-rejected mutations never applied; keep them out of the log.
   if (st.ok()) h.outbox.push_back(std::move(entry));
+  if (h.outbox_gauge != nullptr) {
+    h.outbox_gauge->Set(static_cast<double>(h.outbox.size()));
+  }
   return st;
 }
 
@@ -845,7 +905,13 @@ StatusOr<DailyCdiResult> ShardCoordinator::GatherLocked(
   std::vector<std::optional<ShardSnapshot>> snaps(n);
   // Scatter: every shard computes its local snapshot concurrently; each
   // channel is serialized by its handle mutex, the slots are disjoint.
+  // Pool threads carry no trace context of their own, so hand them the
+  // gather's — the per-shard RPCs (and the worker spans they induce)
+  // become children of the "shard.gather" span above.
+  const obs::TraceContext gather_ctx = obs::CurrentTraceContext();
   pool_->ParallelFor(n, [&](size_t i) {
+    obs::ScopedTraceContext scoped_ctx(gather_ctx);
+    TRACE_SPAN("shard.gather.shard");
     Handle& h = *handles_[i];
     std::lock_guard<std::mutex> lock(h.mu);
     if (!h.alive.load(std::memory_order_acquire)) return;
@@ -1010,6 +1076,7 @@ Status ShardCoordinator::CheckpointShardsLocked() {
         // outbox restarts as the post-checkpoint replay log.
         h.outbox.clear();
         h.replay_cursor = 0;
+        if (h.outbox_gauge != nullptr) h.outbox_gauge->Set(0.0);
       }
     }
     if (!st.ok() && first_err.ok()) first_err = st;
@@ -1020,6 +1087,64 @@ Status ShardCoordinator::CheckpointShardsLocked() {
 Status ShardCoordinator::CheckpointShards() {
   std::shared_lock<std::shared_mutex> topo = ReadTopology();
   return CheckpointShardsLocked();
+}
+
+StatusOr<std::vector<obs::ProcessObs>> ShardCoordinator::PullWorkerObs(
+    bool include_spans) {
+  std::shared_lock<std::shared_mutex> topo = ReadTopology();
+  TRACE_SPAN("shard.obs_pull");
+  const size_t n = handles_.size();
+  std::vector<std::optional<obs::ProcessObs>> partial(n);
+  std::vector<Status> errs(n);
+  const obs::TraceContext pull_ctx = obs::CurrentTraceContext();
+  pool_->ParallelFor(n, [&](size_t i) {
+    obs::ScopedTraceContext scoped_ctx(pull_ctx);
+    Handle& h = *handles_[i];
+    std::lock_guard<std::mutex> lock(h.mu);
+    if (!h.alive.load(std::memory_order_acquire)) {
+      errs[i] = Status::Unavailable("shard down");
+      return;
+    }
+    const uint64_t id = h.next_request_id++;
+    // Bracket the call with our own clock: the worker stamps now_ns while
+    // handling it, i.e. somewhere inside [t0, t1]. The midpoint estimates
+    // that instant on our clock to within half the round trip — good
+    // enough to land its spans on the right spot of a merged trace.
+    const uint64_t t0 = obs::MonotonicNowNs();
+    auto frame_or =
+        CallLocked(h, id, EncodeObsPull(id, include_spans), Deadline());
+    const uint64_t t1 = obs::MonotonicNowNs();
+    ResponseFrame hdr;
+    Status st = CheckResponse(frame_or, &hdr);
+    if (st.ok()) {
+      obs::WorkerObsSnapshot snap = DecodeWorkerObs(hdr.reader);
+      st = hdr.reader.status();
+      if (st.ok()) {
+        obs::ProcessObs p;
+        p.process = "shard-" + std::to_string(i);
+        const uint64_t mid = t0 + (t1 - t0) / 2;
+        p.clock_offset_ns = static_cast<int64_t>(mid - snap.now_ns);
+        p.snap = std::move(snap);
+        partial[i] = std::move(p);
+        return;
+      }
+    }
+    errs[i] = st;
+  });
+  std::vector<obs::ProcessObs> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (partial[i].has_value()) out.push_back(std::move(*partial[i]));
+  }
+  if (out.empty()) {
+    // Dead shards merely degrade the fleet view; only a fleet with no
+    // reachable worker at all is an error worth failing the pull for.
+    for (const Status& st : errs) {
+      if (!st.ok()) return st;
+    }
+    return Status::Unavailable("no shard answered the obs pull");
+  }
+  return out;
 }
 
 Status ShardCoordinator::Rebalance() {

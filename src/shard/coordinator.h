@@ -95,6 +95,9 @@ struct ShardTopologyOptions {
   /// child process cannot borrow the coordinator's model); optional
   /// elsewhere (workers fall back to the injected model).
   std::optional<WeightSpec> weight_spec;
+  /// Sent in kInit: turns each worker's tracer on so its spans are there
+  /// to pull when the coordinator assembles a merged fleet trace.
+  bool worker_tracing = false;
   ShardSessionOptions session;
   SocketTransportOptions socket;
   /// Chaos hook: wraps every freshly dialed socket transport (socket modes
@@ -251,6 +254,18 @@ class ShardCoordinator {
   /// acknowledged mutation.
   Status RecoverShard(size_t shard);
 
+  /// Pulls every live shard's obs snapshot (metrics at raw-bucket
+  /// fidelity, span stats, and — with `include_spans` — the raw spans
+  /// drained since the previous pull), each tagged "shard-<i>" and with a
+  /// clock offset measured from the pull's own round trip (the worker's
+  /// capture timestamp is bracketed by our send and receive; the midpoint
+  /// maps its monotonic clock onto ours to within half the RTT). Dead
+  /// shards are skipped — a fleet view missing a crashed worker is
+  /// degraded, not wrong; fails only when no shard answers. Feed the
+  /// result to obs::CaptureFleetObsSnapshot.
+  StatusOr<std::vector<obs::ProcessObs>> PullWorkerObs(
+      bool include_spans = true);
+
   bool ShardAlive(size_t shard) const;
   ShardMap Map() const;
   ShardFleetStats stats() const;
@@ -304,6 +319,11 @@ class ShardCoordinator {
     std::vector<RawEvent> pending;
     TimePoint last_watermark;
     obs::Gauge* depth_gauge = nullptr;
+    /// Session health, per shard: 1 while a session is live, 0 after the
+    /// shard is marked dead; and the replay-outbox depth (frames held for
+    /// recovery since the last checkpoint).
+    obs::Gauge* connected_gauge = nullptr;
+    obs::Gauge* outbox_gauge = nullptr;
   };
 
   /// A fragment whose install failed on both destination and source during

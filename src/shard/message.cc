@@ -2,9 +2,21 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace cdibot::shard {
 
 namespace {
+
+/// Smallest wire footprint of one element of each obs repeated type (see
+/// EncodeWorkerObs for the layouts), bounding Count() reads.
+constexpr size_t kMinCounterBytes = 4 + 8;
+constexpr size_t kMinGaugeBytes = 4 + 8;
+constexpr size_t kMinHistogramBytes = 4 + 4 * 8 + 4;
+constexpr size_t kMinBucketBytes = 4 + 8;
+constexpr size_t kMinSpanStatBytes = 4 + 3 * 8;
+constexpr size_t kMinSpanNameBytes = 4;
+constexpr size_t kMinSpanBytes = 4 + 8 + 8 + 4 + 4 + 3 * 8 + 1;
 
 /// Smallest possible wire footprint of one element of each repeated type,
 /// used to bound Count() reads against the remaining frame.
@@ -17,6 +29,16 @@ constexpr size_t kMinEventRowBytes = 4 + 4 + 1 + 8 + 8 + 4;
 void EncodeHeader(WireWriter& w, uint64_t request_id, MessageKind kind) {
   w.U64(request_id);
   w.U32(static_cast<uint32_t>(kind));
+}
+
+/// Requests additionally carry the sender's trace context (responses do
+/// not: the coordinator already knows which trace its request belonged to).
+void EncodeRequestHeader(WireWriter& w, uint64_t request_id,
+                         MessageKind kind) {
+  EncodeHeader(w, request_id, kind);
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  w.U64(ctx.trace_id);
+  w.U64(ctx.span_id);
 }
 
 void EncodeVmCdi(WireWriter& w, const VmCdi& cdi) {
@@ -116,6 +138,40 @@ Status DecodeStatus(WireReader& r) {
 }
 
 }  // namespace
+
+const char* MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPing:
+      return "ping";
+    case MessageKind::kRegisterVm:
+      return "register_vm";
+    case MessageKind::kIngestBatch:
+      return "ingest_batch";
+    case MessageKind::kGather:
+      return "gather";
+    case MessageKind::kExtractRange:
+      return "extract_range";
+    case MessageKind::kInstallVms:
+      return "install_vms";
+    case MessageKind::kExpectDelivery:
+      return "expect_delivery";
+    case MessageKind::kRecordShed:
+      return "record_shed";
+    case MessageKind::kAdvanceWatermark:
+      return "advance_watermark";
+    case MessageKind::kCheckpoint:
+      return "checkpoint";
+    case MessageKind::kRestore:
+      return "restore";
+    case MessageKind::kHello:
+      return "hello";
+    case MessageKind::kInit:
+      return "init";
+    case MessageKind::kObsSnapshot:
+      return "obs_snapshot";
+  }
+  return "unknown";
+}
 
 Status StatusFromWire(uint32_t code, const std::string& message) {
   switch (static_cast<StatusCode>(code)) {
@@ -321,13 +377,13 @@ ShardSnapshot DecodeSnapshot(WireReader& r) {
 
 std::string EncodePing(uint64_t request_id) {
   WireWriter w;
-  EncodeHeader(w, request_id, MessageKind::kPing);
+  EncodeRequestHeader(w, request_id, MessageKind::kPing);
   return std::move(w).Take();
 }
 
 std::string EncodeRegisterVm(uint64_t request_id, const VmServiceInfo& vm) {
   WireWriter w;
-  EncodeHeader(w, request_id, MessageKind::kRegisterVm);
+  EncodeRequestHeader(w, request_id, MessageKind::kRegisterVm);
   EncodeVmServiceInfo(w, vm);
   return std::move(w).Take();
 }
@@ -335,7 +391,7 @@ std::string EncodeRegisterVm(uint64_t request_id, const VmServiceInfo& vm) {
 std::string EncodeIngestBatch(uint64_t request_id,
                               const std::vector<RawEvent>& events) {
   WireWriter w;
-  EncodeHeader(w, request_id, MessageKind::kIngestBatch);
+  EncodeRequestHeader(w, request_id, MessageKind::kIngestBatch);
   w.U32(static_cast<uint32_t>(events.size()));
   for (const RawEvent& ev : events) EncodeRawEvent(w, ev);
   return std::move(w).Take();
@@ -343,7 +399,7 @@ std::string EncodeIngestBatch(uint64_t request_id,
 
 std::string EncodeGather(uint64_t request_id, int64_t budget_ms) {
   WireWriter w;
-  EncodeHeader(w, request_id, MessageKind::kGather);
+  EncodeRequestHeader(w, request_id, MessageKind::kGather);
   w.I64(budget_ms);
   return std::move(w).Take();
 }
@@ -351,7 +407,7 @@ std::string EncodeGather(uint64_t request_id, int64_t budget_ms) {
 std::string EncodeExtractRange(uint64_t request_id, const std::string& lo,
                                const std::optional<std::string>& hi) {
   WireWriter w;
-  EncodeHeader(w, request_id, MessageKind::kExtractRange);
+  EncodeRequestHeader(w, request_id, MessageKind::kExtractRange);
   w.Str(lo);
   w.Bool(hi.has_value());
   w.Str(hi.has_value() ? *hi : std::string());
@@ -361,7 +417,7 @@ std::string EncodeExtractRange(uint64_t request_id, const std::string& lo,
 std::string EncodeInstallVms(uint64_t request_id,
                              const StreamCheckpoint& fragment) {
   WireWriter w;
-  EncodeHeader(w, request_id, MessageKind::kInstallVms);
+  EncodeRequestHeader(w, request_id, MessageKind::kInstallVms);
   EncodeCheckpoint(w, fragment);
   return std::move(w).Take();
 }
@@ -369,7 +425,7 @@ std::string EncodeInstallVms(uint64_t request_id,
 std::string EncodeExpectDelivery(uint64_t request_id,
                                  const std::string& target, uint64_t count) {
   WireWriter w;
-  EncodeHeader(w, request_id, MessageKind::kExpectDelivery);
+  EncodeRequestHeader(w, request_id, MessageKind::kExpectDelivery);
   w.Str(target);
   w.U64(count);
   return std::move(w).Take();
@@ -378,7 +434,7 @@ std::string EncodeExpectDelivery(uint64_t request_id,
 std::string EncodeRecordShed(uint64_t request_id, const std::string& target,
                              uint64_t count) {
   WireWriter w;
-  EncodeHeader(w, request_id, MessageKind::kRecordShed);
+  EncodeRequestHeader(w, request_id, MessageKind::kRecordShed);
   w.Str(target);
   w.U64(count);
   return std::move(w).Take();
@@ -386,40 +442,49 @@ std::string EncodeRecordShed(uint64_t request_id, const std::string& target,
 
 std::string EncodeAdvanceWatermark(uint64_t request_id, TimePoint to) {
   WireWriter w;
-  EncodeHeader(w, request_id, MessageKind::kAdvanceWatermark);
+  EncodeRequestHeader(w, request_id, MessageKind::kAdvanceWatermark);
   w.Time(to);
   return std::move(w).Take();
 }
 
 std::string EncodeCheckpointRequest(uint64_t request_id) {
   WireWriter w;
-  EncodeHeader(w, request_id, MessageKind::kCheckpoint);
+  EncodeRequestHeader(w, request_id, MessageKind::kCheckpoint);
   return std::move(w).Take();
 }
 
 std::string EncodeRestore(uint64_t request_id, const StreamCheckpoint& ckpt) {
   WireWriter w;
-  EncodeHeader(w, request_id, MessageKind::kRestore);
+  EncodeRequestHeader(w, request_id, MessageKind::kRestore);
   EncodeCheckpoint(w, ckpt);
   return std::move(w).Take();
 }
 
 std::string EncodeHello(uint64_t request_id) {
   WireWriter w;
-  EncodeHeader(w, request_id, MessageKind::kHello);
+  EncodeRequestHeader(w, request_id, MessageKind::kHello);
   return std::move(w).Take();
 }
 
 std::string EncodeInit(uint64_t request_id, const Interval& window,
                        Duration allowed_lateness, uint32_t engine_shards,
-                       const std::optional<WeightSpec>& weights) {
+                       const std::optional<WeightSpec>& weights,
+                       bool enable_tracing) {
   WireWriter w;
-  EncodeHeader(w, request_id, MessageKind::kInit);
+  EncodeRequestHeader(w, request_id, MessageKind::kInit);
   w.Window(window);
   w.Dur(allowed_lateness);
   w.U32(engine_shards);
   w.Bool(weights.has_value());
   if (weights.has_value()) EncodeWeightSpec(w, *weights);
+  w.Bool(enable_tracing);
+  return std::move(w).Take();
+}
+
+std::string EncodeObsPull(uint64_t request_id, bool include_spans) {
+  WireWriter w;
+  EncodeRequestHeader(w, request_id, MessageKind::kObsSnapshot);
+  w.Bool(include_spans);
   return std::move(w).Take();
 }
 
@@ -467,6 +532,150 @@ std::string EncodeHelloResponse(uint64_t request_id, const HelloInfo& info) {
   w.Time(info.watermark);
   w.U64(info.num_vms);
   return std::move(w).Take();
+}
+
+std::string EncodeObsSnapshotResponse(uint64_t request_id,
+                                      const obs::WorkerObsSnapshot& snap) {
+  WireWriter w;
+  EncodeHeader(w, request_id, MessageKind::kObsSnapshot);
+  EncodeStatus(w, Status::OK());
+  EncodeWorkerObs(w, snap);
+  return std::move(w).Take();
+}
+
+void EncodeWorkerObs(WireWriter& w, const obs::WorkerObsSnapshot& snap) {
+  w.U64(snap.now_ns);
+  w.U32(static_cast<uint32_t>(snap.counters.size()));
+  for (const obs::CounterSnapshot& c : snap.counters) {
+    w.Str(c.name);
+    w.U64(c.value);
+  }
+  w.U32(static_cast<uint32_t>(snap.gauges.size()));
+  for (const obs::GaugeSnapshot& g : snap.gauges) {
+    w.Str(g.name);
+    w.F64(g.value);
+  }
+  w.U32(static_cast<uint32_t>(snap.histograms.size()));
+  for (const obs::HistogramBuckets& h : snap.histograms) {
+    w.Str(h.name);
+    w.U64(h.count);
+    w.U64(h.sum);
+    w.U64(h.min);
+    w.U64(h.max);
+    w.U32(static_cast<uint32_t>(h.buckets.size()));
+    for (const auto& [index, count] : h.buckets) {
+      w.U32(index);
+      w.U64(count);
+    }
+  }
+  w.U32(static_cast<uint32_t>(snap.span_stats.size()));
+  for (const obs::SpanStat& s : snap.span_stats) {
+    w.Str(s.name);
+    w.U64(s.count);
+    w.U64(s.total_ns);
+    w.U64(s.max_ns);
+  }
+  // Spans intern their names: fleet traces repeat a handful of literals
+  // across thousands of spans, so a name table keeps the frame small.
+  std::map<std::string_view, uint32_t> name_index;
+  std::vector<std::string_view> names;
+  for (const obs::PortableSpan& span : snap.spans) {
+    if (name_index.emplace(span.name, names.size()).second) {
+      names.push_back(span.name);
+    }
+  }
+  w.U32(static_cast<uint32_t>(names.size()));
+  for (std::string_view name : names) w.Str(name);
+  w.U32(static_cast<uint32_t>(snap.spans.size()));
+  for (const obs::PortableSpan& span : snap.spans) {
+    w.U32(name_index[span.name]);
+    w.U64(span.start_ns);
+    w.U64(span.dur_ns);
+    w.U32(span.tid);
+    w.U32(span.depth);
+    w.U64(span.trace_id);
+    w.U64(span.span_id);
+    w.U64(span.parent_span_id);
+    w.Bool(span.instant);
+  }
+  w.U64(snap.spans_dropped);
+  w.Bool(snap.tracing_enabled);
+}
+
+obs::WorkerObsSnapshot DecodeWorkerObs(WireReader& r) {
+  obs::WorkerObsSnapshot snap;
+  snap.now_ns = r.U64();
+  uint32_t n = r.Count(kMinCounterBytes);
+  snap.counters.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    obs::CounterSnapshot c;
+    c.name = r.Str();
+    c.value = r.U64();
+    snap.counters.push_back(std::move(c));
+  }
+  n = r.Count(kMinGaugeBytes);
+  snap.gauges.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    obs::GaugeSnapshot g;
+    g.name = r.Str();
+    g.value = r.F64();
+    snap.gauges.push_back(std::move(g));
+  }
+  n = r.Count(kMinHistogramBytes);
+  snap.histograms.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    obs::HistogramBuckets h;
+    h.name = r.Str();
+    h.count = r.U64();
+    h.sum = r.U64();
+    h.min = r.U64();
+    h.max = r.U64();
+    const uint32_t buckets = r.Count(kMinBucketBytes);
+    h.buckets.reserve(buckets);
+    for (uint32_t j = 0; j < buckets && r.ok(); ++j) {
+      const uint32_t index = r.U32();
+      const uint64_t count = r.U64();
+      h.buckets.emplace_back(index, count);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  n = r.Count(kMinSpanStatBytes);
+  snap.span_stats.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    obs::SpanStat s;
+    s.name = r.Str();
+    s.count = r.U64();
+    s.total_ns = r.U64();
+    s.max_ns = r.U64();
+    snap.span_stats.push_back(std::move(s));
+  }
+  n = r.Count(kMinSpanNameBytes);
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) names.push_back(r.Str());
+  n = r.Count(kMinSpanBytes);
+  snap.spans.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    obs::PortableSpan span;
+    const uint32_t name_index = r.U32();
+    if (r.ok() && name_index >= names.size()) {
+      r.Fail("span name index out of range");
+      break;
+    }
+    if (r.ok()) span.name = names[name_index];
+    span.start_ns = r.U64();
+    span.dur_ns = r.U64();
+    span.tid = r.U32();
+    span.depth = r.U32();
+    span.trace_id = r.U64();
+    span.span_id = r.U64();
+    span.parent_span_id = r.U64();
+    span.instant = r.Bool();
+    snap.spans.push_back(std::move(span));
+  }
+  snap.spans_dropped = r.U64();
+  snap.tracing_enabled = r.Bool();
+  return snap;
 }
 
 void EncodeWeightSpec(WireWriter& w, const WeightSpec& spec) {
@@ -536,6 +745,7 @@ InitConfig DecodeInitConfig(WireReader& r) {
   config.engine_shards = r.U32();
   config.has_weights = r.Bool();
   if (config.has_weights) config.weights = DecodeWeightSpec(r);
+  config.enable_tracing = r.Bool();
   return config;
 }
 
@@ -544,9 +754,11 @@ StatusOr<RequestFrame> DecodeRequestHeader(const std::string& frame) {
   req.reader = WireReader(frame);
   req.request_id = req.reader.U64();
   const uint32_t kind = req.reader.U32();
+  req.trace_id = req.reader.U64();
+  req.parent_span_id = req.reader.U64();
   CDIBOT_RETURN_IF_ERROR(req.reader.status());
   if (kind < static_cast<uint32_t>(MessageKind::kPing) ||
-      kind > static_cast<uint32_t>(MessageKind::kInit)) {
+      kind > static_cast<uint32_t>(MessageKind::kObsSnapshot)) {
     return Status::DataLoss("unknown request kind " + std::to_string(kind));
   }
   req.kind = static_cast<MessageKind>(kind);
@@ -561,7 +773,7 @@ StatusOr<ResponseFrame> DecodeResponseHeader(const std::string& frame) {
   resp.status = DecodeStatus(resp.reader);
   CDIBOT_RETURN_IF_ERROR(resp.reader.status());
   if (kind < static_cast<uint32_t>(MessageKind::kPing) ||
-      kind > static_cast<uint32_t>(MessageKind::kInit)) {
+      kind > static_cast<uint32_t>(MessageKind::kObsSnapshot)) {
     return Status::DataLoss("unknown response kind " + std::to_string(kind));
   }
   resp.kind = static_cast<MessageKind>(kind);

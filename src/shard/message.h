@@ -10,6 +10,7 @@
 
 #include "cdi/pipeline.h"
 #include "common/statusor.h"
+#include "obs/fleet.h"
 #include "shard/wire.h"
 #include "storage/stream_checkpoint.h"
 #include "weights/event_weights.h"
@@ -32,7 +33,13 @@ enum class MessageKind : uint32_t {
   kRestore = 11,          ///< replace the engine with a checkpoint restore
   kHello = 12,            ///< session handshake: probe engine + dedup state
   kInit = 13,             ///< create the engine (options + weight spec)
+  kObsSnapshot = 14,      ///< pull the worker's obs snapshot (fleet statusz)
 };
+
+/// Stable lowercase name of a kind ("ping", "gather", ...), for metric and
+/// span naming. Returns "unknown" only for values outside the enum, which
+/// the header decoders already reject.
+const char* MessageKindName(MessageKind kind);
 
 /// Everything one shard contributes to a fleet-level gather. The per-VM
 /// rows carry the exact CDI doubles (bit-cast on the wire), so the
@@ -106,13 +113,20 @@ struct InitConfig {
   uint32_t engine_shards = 16;
   bool has_weights = false;
   WeightSpec weights;
+  /// Turn the worker's tracer on at init, so its spans are there to pull
+  /// when the coordinator gathers fleet obs for a merged trace.
+  bool enable_tracing = false;
 };
 
 /// A decoded request header; `reader` is positioned at the payload and
 /// views the frame backing it (keep the frame alive while decoding).
+/// Every request carries the sender's trace context (zeros when the
+/// coordinator traced nothing), so worker spans join coordinator traces.
 struct RequestFrame {
   uint64_t request_id = 0;
   MessageKind kind = MessageKind::kPing;
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
   WireReader reader{std::string_view()};
 };
 
@@ -130,7 +144,10 @@ struct ResponseFrame {
 Status StatusFromWire(uint32_t code, const std::string& message);
 
 // --- Request encoders (coordinator side). Each produces one frame:
-// {u64 request_id, u32 kind, payload...}.
+// {u64 request_id, u32 kind, u64 trace_id, u64 parent_span_id, payload...}.
+// The trace ids are read from the calling thread's obs::CurrentTraceContext
+// at encode time, so every RPC site propagates context with no per-site
+// plumbing (zeros when tracing is off or the thread is outside any span).
 std::string EncodePing(uint64_t request_id);
 std::string EncodeRegisterVm(uint64_t request_id, const VmServiceInfo& vm);
 std::string EncodeIngestBatch(uint64_t request_id,
@@ -152,7 +169,10 @@ std::string EncodeRestore(uint64_t request_id, const StreamCheckpoint& ckpt);
 std::string EncodeHello(uint64_t request_id);
 std::string EncodeInit(uint64_t request_id, const Interval& window,
                        Duration allowed_lateness, uint32_t engine_shards,
-                       const std::optional<WeightSpec>& weights);
+                       const std::optional<WeightSpec>& weights,
+                       bool enable_tracing = false);
+/// include_spans=false pulls metrics + span stats only (no raw spans).
+std::string EncodeObsPull(uint64_t request_id, bool include_spans);
 
 // --- Response encoders (worker side). Frame layout:
 // {u64 request_id, u32 kind, u32 status_code, str status_msg, payload...};
@@ -165,6 +185,8 @@ std::string EncodeGatherResponse(uint64_t request_id,
 std::string EncodeCheckpointResponse(uint64_t request_id, MessageKind kind,
                                      const StreamCheckpoint& ckpt);
 std::string EncodeHelloResponse(uint64_t request_id, const HelloInfo& info);
+std::string EncodeObsSnapshotResponse(uint64_t request_id,
+                                      const obs::WorkerObsSnapshot& snap);
 
 // --- Decoders. Header decoders validate the frame prefix; payload
 // decoders consume the positioned reader and surface malformed frames as
@@ -186,6 +208,8 @@ void EncodeWeightSpec(WireWriter& w, const WeightSpec& spec);
 WeightSpec DecodeWeightSpec(WireReader& r);
 HelloInfo DecodeHelloInfo(WireReader& r);
 InitConfig DecodeInitConfig(WireReader& r);
+void EncodeWorkerObs(WireWriter& w, const obs::WorkerObsSnapshot& snap);
+obs::WorkerObsSnapshot DecodeWorkerObs(WireReader& r);
 
 }  // namespace cdibot::shard
 

@@ -1,8 +1,10 @@
 #include "shard/service.h"
 
+#include <array>
 #include <utility>
 #include <vector>
 
+#include "obs/fleet.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -30,6 +32,58 @@ const ServiceMetrics& Metrics() {
   return m;
 }
 
+/// Worker-side per-kind RPC instrumentation (latency + frame sizes). The
+/// table covers every kind once, so lookup on the hot path is an index.
+struct RpcMetrics {
+  obs::Histogram* handle_ns;
+  obs::Histogram* req_bytes;
+  obs::Histogram* resp_bytes;
+};
+
+constexpr uint32_t kNumKinds =
+    static_cast<uint32_t>(MessageKind::kObsSnapshot) + 1;
+
+const RpcMetrics& WorkerRpcMetrics(MessageKind kind) {
+  static const std::array<RpcMetrics, kNumKinds>& table = *[] {
+    auto* t = new std::array<RpcMetrics, kNumKinds>{};
+    auto& reg = obs::MetricsRegistry::Global();
+    for (uint32_t k = 1; k < kNumKinds; ++k) {
+      const std::string base =
+          std::string("shard.rpc.") +
+          MessageKindName(static_cast<MessageKind>(k));
+      (*t)[k] = RpcMetrics{
+          .handle_ns = reg.GetHistogram(base + ".handle_ns"),
+          .req_bytes = reg.GetHistogram(base + ".req_bytes"),
+          .resp_bytes = reg.GetHistogram(base + ".resp_bytes"),
+      };
+    }
+    return t;
+  }();
+  return table[static_cast<uint32_t>(kind)];
+}
+
+/// Span names must be literals (SpanRecord stores the pointer).
+const char* RpcSpanName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPing: return "shard.rpc.ping";
+    case MessageKind::kRegisterVm: return "shard.rpc.register_vm";
+    case MessageKind::kIngestBatch: return "shard.rpc.ingest_batch";
+    case MessageKind::kGather: return "shard.rpc.gather";
+    case MessageKind::kExtractRange: return "shard.rpc.extract_range";
+    case MessageKind::kInstallVms: return "shard.rpc.install_vms";
+    case MessageKind::kExpectDelivery: return "shard.rpc.expect_delivery";
+    case MessageKind::kRecordShed: return "shard.rpc.record_shed";
+    case MessageKind::kAdvanceWatermark:
+      return "shard.rpc.advance_watermark";
+    case MessageKind::kCheckpoint: return "shard.rpc.checkpoint";
+    case MessageKind::kRestore: return "shard.rpc.restore";
+    case MessageKind::kHello: return "shard.rpc.hello";
+    case MessageKind::kInit: return "shard.rpc.init";
+    case MessageKind::kObsSnapshot: return "shard.rpc.obs_snapshot";
+  }
+  return "shard.rpc.unknown";
+}
+
 /// Kinds that mutate engine state and therefore participate in the
 /// exactly-once session protocol (dedup + response cache). Read-only
 /// kinds (ping, gather, checkpoint, hello) are naturally idempotent.
@@ -46,6 +100,10 @@ bool SessionTracked(MessageKind kind) {
     case MessageKind::kAdvanceWatermark:
     case MessageKind::kRestore:
     case MessageKind::kInit:
+    // An obs pull drains the tracer (destructive), so a retry whose
+    // response the network swallowed must get the cached bytes back, not a
+    // second (now empty) capture.
+    case MessageKind::kObsSnapshot:
       return true;
     case MessageKind::kPing:
     case MessageKind::kGather:
@@ -88,42 +146,64 @@ std::string ShardService::Handle(const std::string& frame) {
   }
   RequestFrame req = std::move(req_or).value();
 
-  const bool tracked = SessionTracked(req.kind);
-  if (tracked) {
-    // Exact resend of the most recent tracked request: the network (or the
-    // chaos layer) swallowed our response. Return the original bytes.
-    if (req.request_id == cached_id_ && !cached_response_.empty()) {
-      Metrics().duplicates->Increment();
-      return cached_response_;
-    }
-    // Historical duplicate: already applied and acknowledged (a delayed or
-    // duplicated frame, or an outbox replay after session resumption).
-    // kInit/kRestore are exempt — they legitimately rewind the id space.
-    if (req.kind != MessageKind::kInit && req.kind != MessageKind::kRestore &&
-        req.request_id <= last_applied_) {
-      Metrics().duplicates->Increment();
-      return EncodeStatusResponse(req.request_id, req.kind, Status::OK());
-    }
-  }
+  // Adopt the coordinator's trace context for the duration of the request,
+  // so worker spans (the RPC span here and anything the engine opens under
+  // it) join the coordinator's trace in the merged fleet view.
+  obs::ScopedTraceContext trace_ctx(
+      obs::TraceContext{req.trace_id, req.parent_span_id});
+  obs::ScopedSpan rpc_span(RpcSpanName(req.kind));
+  const RpcMetrics& rpc = WorkerRpcMetrics(req.kind);
+  const uint64_t rpc_start_ns = obs::MonotonicNowNs();
 
-  if (!engine_.has_value() && req.kind != MessageKind::kHello &&
-      req.kind != MessageKind::kInit) {
-    return EncodeStatusResponse(
-        req.request_id, req.kind,
-        Status::FailedPrecondition("shard engine not initialized"));
-  }
-
-  std::string response = Dispatch(req, req.reader);
-
-  if (tracked) {
-    if (req.kind == MessageKind::kInit || req.kind == MessageKind::kRestore) {
-      last_applied_ = 0;
-    } else if (req.request_id > last_applied_) {
-      last_applied_ = req.request_id;
+  std::string response = [&]() -> std::string {
+    const bool tracked = SessionTracked(req.kind);
+    if (tracked) {
+      // Exact resend of the most recent tracked request: the network (or
+      // the chaos layer) swallowed our response. Return the original bytes.
+      if (req.request_id == cached_id_ && !cached_response_.empty()) {
+        Metrics().duplicates->Increment();
+        return cached_response_;
+      }
+      // Historical duplicate: already applied and acknowledged (a delayed
+      // or duplicated frame, or an outbox replay after session resumption).
+      // kInit/kRestore are exempt — they legitimately rewind the id space.
+      if (req.kind != MessageKind::kInit &&
+          req.kind != MessageKind::kRestore &&
+          req.request_id <= last_applied_) {
+        Metrics().duplicates->Increment();
+        return EncodeStatusResponse(req.request_id, req.kind, Status::OK());
+      }
     }
-    cached_id_ = req.request_id;
-    cached_response_ = response;
-  }
+
+    // kObsSnapshot is exempt from the engine guard: the obs registry and
+    // tracer exist from process start, and the coordinator pulls fleet obs
+    // even from a worker it has not (re)initialized yet.
+    if (!engine_.has_value() && req.kind != MessageKind::kHello &&
+        req.kind != MessageKind::kInit &&
+        req.kind != MessageKind::kObsSnapshot) {
+      return EncodeStatusResponse(
+          req.request_id, req.kind,
+          Status::FailedPrecondition("shard engine not initialized"));
+    }
+
+    std::string resp = Dispatch(req, req.reader);
+
+    if (tracked) {
+      if (req.kind == MessageKind::kInit ||
+          req.kind == MessageKind::kRestore) {
+        last_applied_ = 0;
+      } else if (req.request_id > last_applied_) {
+        last_applied_ = req.request_id;
+      }
+      cached_id_ = req.request_id;
+      cached_response_ = resp;
+    }
+    return resp;
+  }();
+
+  rpc.handle_ns->Record(obs::MonotonicNowNs() - rpc_start_ns);
+  rpc.req_bytes->Record(frame.size());
+  rpc.resp_bytes->Record(response.size());
   return response;
 }
 
@@ -174,6 +254,9 @@ std::string ShardService::Dispatch(const RequestFrame& req, WireReader& r) {
         weights_ = owned_weights_.get();
       }
       engine_.emplace(std::move(engine_or).value());
+      // Tracing is turn-on-only from here: a later kInit without the flag
+      // (e.g. a session rebuild) must not silently stop an ongoing trace.
+      if (cfg.enable_tracing) obs::Tracer::Global().Enable();
       return status_response(Status::OK());
     }
     case MessageKind::kPing: {
@@ -273,6 +356,16 @@ std::string ShardService::Dispatch(const RequestFrame& req, WireReader& r) {
       if (!engine_or.ok()) return status_response(engine_or.status());
       engine_.emplace(std::move(engine_or).value());
       return status_response(Status::OK());
+    }
+    case MessageKind::kObsSnapshot: {
+      const bool include_spans = r.Bool();
+      if (!r.ok()) break;
+      // Drain only when shipping spans; a metrics-only pull must not
+      // discard spans a later merged-trace pull would want.
+      obs::WorkerObsSnapshot snap =
+          obs::CaptureWorkerObs(/*drain_spans=*/include_spans);
+      if (!include_spans) snap.spans.clear();
+      return EncodeObsSnapshotResponse(req.request_id, snap);
     }
   }
   Metrics().malformed->Increment();

@@ -146,6 +146,11 @@ class WireReader {
     return n;
   }
 
+  /// Latches a decoder-level failure — a cross-field invariant the byte
+  /// reads alone cannot catch, like an out-of-range table index — into the
+  /// same error state a truncation would produce.
+  void Fail(std::string_view why) { Poison(why); }
+
   bool ok() const { return ok_; }
   bool AtEnd() const { return pos_ == frame_.size(); }
   Status status() const {

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/fleet.h"
 #include "obs/metrics.h"
 #include "obs/statusz.h"
 #include "obs/trace.h"
@@ -59,10 +60,23 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
     return Status::InvalidArgument(
         "watchdog_recovery requires flow_control and supervise_streaming");
   }
+  const bool fleet_obs =
+      options.fleet_statusz || !options.merged_trace_path.empty();
+  if (fleet_obs &&
+      (!options.sharded_cdi ||
+       options.shard_transport != shard::ShardTransportMode::kSocketProcess)) {
+    return Status::InvalidArgument(
+        "fleet_statusz/merged_trace_path require sharded_cdi over "
+        "kSocketProcess: same-process shard modes share the coordinator's "
+        "obs registry, so a fleet merge would double-count every metric");
+  }
   // Tracing for the run when a trace path is requested; restored on exit so
-  // a caller-enabled tracer is left untouched.
+  // a caller-enabled tracer is left untouched. A merged fleet trace needs
+  // the coordinator side traced too, not just the workers.
   const bool tracer_was_enabled = obs::Tracer::Global().enabled();
-  if (!options.trace_json_path.empty()) obs::Tracer::Global().Enable();
+  const bool want_tracing = !options.trace_json_path.empty() ||
+                            !options.merged_trace_path.empty();
+  if (want_tracing) obs::Tracer::Global().Enable();
   // Held in an optional so the day span can be closed before the trace file
   // is written (a still-open span would be missing from the export).
   std::optional<obs::ScopedSpan> day_span;
@@ -134,6 +148,7 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
     topo.transport = options.shard_transport;
     topo.worker_binary = options.shard_worker_binary;
     topo.weight_spec = options.shard_weight_spec;
+    topo.worker_tracing = !options.merged_trace_path.empty();
     CDIBOT_ASSIGN_OR_RETURN(
         sharded, shard::ShardCoordinator::Create(&catalog, &weights,
                                                  std::move(topo)));
@@ -468,6 +483,30 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
   }
 
   day_span.reset();
+  // Fleet obs pull before any trace export: the day span above is closed
+  // (an open span never records), and the pull itself must run while the
+  // coordinator still holds live sessions to its workers.
+  if (fleet_obs && sharded != nullptr) {
+    const bool pull_spans = !options.merged_trace_path.empty();
+    CDIBOT_ASSIGN_OR_RETURN(std::vector<obs::ProcessObs> workers,
+                            sharded->PullWorkerObs(pull_spans));
+    const obs::FleetObsSnapshot fleet_snap =
+        obs::CaptureFleetObsSnapshot(std::move(workers));
+    if (options.fleet_statusz) {
+      result.fleet_statusz_text = obs::RenderFleetStatuszText(fleet_snap);
+      result.fleet_statusz_json = obs::RenderFleetStatuszJson(fleet_snap);
+    }
+    if (!options.merged_trace_path.empty()) {
+      std::string trace_error;
+      if (!obs::WriteMergedChromeTrace(fleet_snap,
+                                       options.merged_trace_path,
+                                       &trace_error)) {
+        CDIBOT_LOG(Warning) << "could not write merged trace to "
+                            << options.merged_trace_path << ": "
+                            << trace_error;
+      }
+    }
+  }
   if (!options.trace_json_path.empty()) {
     std::string trace_error;
     if (!obs::Tracer::Global().WriteChromeTrace(options.trace_json_path,
@@ -475,8 +514,8 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
       CDIBOT_LOG(Warning) << "could not write trace to "
                           << options.trace_json_path << ": " << trace_error;
     }
-    if (!tracer_was_enabled) obs::Tracer::Global().Disable();
   }
+  if (want_tracing && !tracer_was_enabled) obs::Tracer::Global().Disable();
   if (options.capture_statusz) {
     result.statusz_text = obs::RenderStatuszText(obs::CaptureObsSnapshot());
   }

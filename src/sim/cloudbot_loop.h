@@ -120,6 +120,18 @@ struct AutomationLoopOptions {
   /// run and a Chrome-trace JSON (loadable in chrome://tracing or Perfetto)
   /// is written here at the end.
   std::string trace_json_path;
+  /// When true, the day ends with a fleet obs pull: every shard worker's
+  /// metrics/spans are gathered over the wire and merged with this
+  /// process's into result.fleet_statusz_text / fleet_statusz_json.
+  /// Requires sharded_cdi over kSocketProcess — the only transport whose
+  /// workers have their own obs registries; the same-process shard modes
+  /// share this registry and a merge would double-count every metric.
+  bool fleet_statusz = false;
+  /// When non-empty (same transport requirement), workers run with tracing
+  /// on (via kInit) and the day ends with one merged Chrome trace written
+  /// here: a named track per process, worker clocks aligned onto the
+  /// coordinator's, worker RPC spans sharing the coordinator's trace ids.
+  std::string merged_trace_path;
 };
 
 /// Outcome of a simulated day.
@@ -160,6 +172,9 @@ struct AutomationLoopResult {
   size_t breaker_trips = 0;
   /// Final statusz report; populated only when options.capture_statusz.
   std::string statusz_text;
+  /// Fleet-merged obs reports; populated only when options.fleet_statusz.
+  std::string fleet_statusz_text;
+  std::string fleet_statusz_json;
 };
 
 /// Runs one day of the full CloudBot control loop on a synthetic fleet:

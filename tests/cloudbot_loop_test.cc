@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
 #include "sim/cloudbot_loop.h"
+#include "strict_json.h"
 
 // Baked in by tests/CMakeLists.txt; points at the built shard_worker.
 #ifndef SHARD_WORKER_BIN
@@ -188,6 +193,96 @@ TEST_F(CloudBotLoopTest, MultiProcessShardedModeMatchesStreamingBitExactly) {
             result->fleet_cdi_streaming.service_time);
   EXPECT_EQ(result->shard_stats.shards_alive, 2u);
   EXPECT_GT(result->shard_stats.events_routed, 0u);
+}
+
+// The fleet-observability wiring on the same multi-process day: the run
+// ends with an obs pull over the wire, a merged statusz whose fleet
+// counters are exact sums of the per-process rows, and one merged Chrome
+// trace with a named track per process.
+TEST_F(CloudBotLoopTest, MultiProcessFleetStatuszAndMergedTrace) {
+  const std::string binary = SHARD_WORKER_BIN;
+  ASSERT_FALSE(binary.empty()) << "SHARD_WORKER_BIN not baked in";
+  AutomationLoopOptions options;
+  options.incident_probability = 0.4;
+  options.streaming_cdi = true;
+  options.sharded_cdi = true;
+  options.cdi_shards = 2;
+  options.shard_transport = shard::ShardTransportMode::kSocketProcess;
+  options.shard_worker_binary = binary;
+  shard::WeightSpec spec;
+  spec.ticket_counts = {
+      {"slow_io", 100}, {"nic_flapping", 30}, {"live_migration", 5}};
+  spec.ticket_levels = 4;
+  options.shard_weight_spec = spec;
+  options.fleet_statusz = true;
+  const std::string trace_path =
+      ::testing::TempDir() + "/sim_merged_trace.json";
+  options.merged_trace_path = trace_path;
+  Rng rng(11);
+  auto result = RunAutomationDay(*fleet_, T("2024-01-01 00:00"), catalog_,
+                                 *weights_, options, &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->incidents, 0u);
+
+  // The statusz JSON is strict JSON, lists all three processes, and its
+  // fleet counters equal the sum of their by_process rows exactly.
+  testjson::JsonValue statusz;
+  std::string error;
+  ASSERT_TRUE(
+      testjson::ParseStrictJson(result->fleet_statusz_json, &statusz, &error))
+      << error;
+  const testjson::JsonValue* processes = statusz.Find("processes");
+  ASSERT_NE(processes, nullptr);
+  std::vector<std::string> names;
+  for (const auto& p : processes->array) names.push_back(p.str);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"coordinator", "shard-0",
+                                             "shard-1"}));
+  const testjson::JsonValue* counters = statusz.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_FALSE(counters->object.empty());
+  for (const auto& [name, row] : counters->object) {
+    double sum = 0;
+    for (const auto& [proc, v] : row.Find("by_process")->object) {
+      sum += v.number;
+    }
+    EXPECT_EQ(row.Find("fleet")->number, sum) << name;
+  }
+  EXPECT_NE(result->fleet_statusz_text.find("shard-1"), std::string::npos);
+
+  // The merged trace on disk is strict JSON with one process_name
+  // metadata track per process.
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  testjson::JsonValue trace;
+  ASSERT_TRUE(testjson::ParseStrictJson(buf.str(), &trace, &error)) << error;
+  std::vector<std::string> tracks;
+  for (const auto& ev : trace.Find("traceEvents")->array) {
+    const testjson::JsonValue* ph = ev.Find("ph");
+    if (ph != nullptr && ph->str == "M") {
+      tracks.push_back(ev.Find("args")->Find("name")->str);
+    }
+  }
+  std::sort(tracks.begin(), tracks.end());
+  EXPECT_EQ(tracks, (std::vector<std::string>{"coordinator", "shard-0",
+                                              "shard-1"}));
+}
+
+// Fleet obs over a same-process shard topology would double-count every
+// metric (all shards share this registry); the loop must refuse it.
+TEST_F(CloudBotLoopTest, FleetStatuszRequiresMultiProcessTransport) {
+  AutomationLoopOptions options;
+  options.streaming_cdi = true;
+  options.sharded_cdi = true;
+  options.cdi_shards = 2;
+  options.fleet_statusz = true;  // default kInProcess transport
+  Rng rng(3);
+  EXPECT_TRUE(RunAutomationDay(*fleet_, T("2024-01-01 00:00"), catalog_,
+                               *weights_, options, &rng)
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST_F(CloudBotLoopTest, ZeroIncidentProbabilityIsCleanDay) {

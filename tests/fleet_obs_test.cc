@@ -1,0 +1,524 @@
+// Fleet observability end-to-end: a coordinator over real shard_worker
+// child processes (kSocketProcess — the honest failure boundary) pulls each
+// worker's obs snapshot over the session layer and merges it with its own.
+// The suite pins the three claims the subsystem makes:
+//   1. aggregation is exact — fleet counters equal the sum of the per-shard
+//      rows and fleet histograms are bucket-exact merges, never re-sampled;
+//   2. trace identity crosses the process boundary — worker RPC spans carry
+//      the coordinator's trace ids and parent into the merged Chrome trace,
+//      with one named track per process and clocks aligned onto the
+//      coordinator's;
+//   3. the pull degrades like a gather — a worker killed with SIGKILL
+//      mid-day drops out of the fleet view (degraded, not wrong) and
+//      rejoins it after RecoverShard.
+// JSON outputs are checked with the strict RFC 8259 parser, not a lenient
+// validator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/fleet.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "shard/coordinator.h"
+#include "shard_equivalence_harness.h"
+#include "strict_json.h"
+
+// Baked in by tests/CMakeLists.txt; points at the built shard_worker.
+#ifndef SHARD_WORKER_BIN
+#define SHARD_WORKER_BIN ""
+#endif
+
+namespace cdibot {
+namespace {
+
+const Interval kDay{TimePoint::FromMillis(0), TimePoint::FromMillis(86400000)};
+
+VmServiceInfo FleetVm(const std::string& id) {
+  VmServiceInfo vm;
+  vm.vm_id = id;
+  vm.dims = {{"region", "r1"}};
+  vm.service_period = kDay;
+  return vm;
+}
+
+RawEvent FleetEvent(const std::string& name, const std::string& target,
+                    int64_t at_ms) {
+  RawEvent ev;
+  ev.name = name;
+  ev.time = TimePoint::FromMillis(at_ms);
+  ev.target = target;
+  ev.expire_interval = Duration::Minutes(10);
+  ev.attrs = {{"duration_ms", "1500"}};
+  return ev;
+}
+
+/// Matches fleet.cc's HexId: how span ids appear in merged-trace args.
+std::string HexId(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+class FleetObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string binary = SHARD_WORKER_BIN;
+    ASSERT_FALSE(binary.empty()) << "SHARD_WORKER_BIN not baked in";
+    // A clean local registry/tracer so "fleet == sum of rows" sums small,
+    // inspectable numbers (handles cached elsewhere stay valid).
+    obs::MetricsRegistry::Global().Reset();
+    obs::Tracer::Global().Clear();
+    obs::Tracer::Global().Enable();
+  }
+  void TearDown() override {
+    obs::Tracer::Global().Disable();
+    obs::Tracer::Global().Clear();
+  }
+
+  std::unique_ptr<shard::ShardCoordinator> MakeFleet(size_t num_shards) {
+    shard::ShardTopologyOptions topo;
+    topo.num_shards = num_shards;
+    topo.engine.window = kDay;
+    topo.transport = shard::ShardTransportMode::kSocketProcess;
+    topo.worker_binary = SHARD_WORKER_BIN;
+    topo.weight_spec = testutil::CanonicalWeightSpec();
+    topo.worker_tracing = true;  // kInit turns each worker's tracer on
+    auto coord_or = shard::ShardCoordinator::Create(&catalog_, &weights_,
+                                                    std::move(topo));
+    EXPECT_TRUE(coord_or.ok()) << coord_or.status().ToString();
+    return std::move(coord_or).value();
+  }
+
+  /// Registers a small fleet and streams one round of events through it,
+  /// ending on a settled gather (which exercises every worker's RPC path).
+  void RunTraffic(shard::ShardCoordinator& coord, int64_t base_ms) {
+    std::vector<VmServiceInfo> vms;
+    for (char c = 'a'; c <= 'f'; ++c) {
+      vms.push_back(FleetVm(std::string("vm-") + c));
+    }
+    ASSERT_TRUE(coord.RegisterVms(vms).ok());
+    std::vector<RawEvent> events;
+    for (int i = 0; i < 24; ++i) {
+      const std::string target =
+          std::string("vm-") + static_cast<char>('a' + i % 6);
+      events.push_back(FleetEvent(i % 2 == 0 ? "slow_io" : "packet_loss",
+                                  target, base_ms + i * 60000));
+    }
+    ASSERT_TRUE(coord.IngestBatch(events).ok());
+    auto snap = coord.Snapshot();
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  }
+
+  /// The exactness contract: every fleet-aggregated number in `fleet` must
+  /// re-derive, exactly, from the per-process rows it was merged from.
+  static void ExpectAggregatesExact(const obs::FleetObsSnapshot& fleet) {
+    for (const obs::CounterSnapshot& c : fleet.counters) {
+      uint64_t sum = 0;
+      for (const obs::ProcessObs& p : fleet.processes) {
+        for (const obs::CounterSnapshot& pc : p.snap.counters) {
+          if (pc.name == c.name) sum += pc.value;
+        }
+      }
+      EXPECT_EQ(c.value, sum) << c.name;
+    }
+    // No process counter is dropped from the fleet list.
+    for (const obs::ProcessObs& p : fleet.processes) {
+      for (const obs::CounterSnapshot& pc : p.snap.counters) {
+        bool found = false;
+        for (const obs::CounterSnapshot& c : fleet.counters) {
+          if (c.name == pc.name) found = true;
+        }
+        EXPECT_TRUE(found) << p.process << " counter " << pc.name;
+      }
+    }
+    // Histograms: the fleet buckets are exactly MergeHistogramBuckets over
+    // the per-process buckets — same counts, sums, and sparse bucket list.
+    for (const obs::HistogramBuckets& h : fleet.histograms) {
+      obs::HistogramBuckets manual;
+      manual.name = h.name;
+      for (const obs::ProcessObs& p : fleet.processes) {
+        for (const obs::HistogramBuckets& ph : p.snap.histograms) {
+          if (ph.name == h.name) obs::MergeHistogramBuckets(&manual, ph);
+        }
+      }
+      EXPECT_EQ(h.count, manual.count) << h.name;
+      EXPECT_EQ(h.sum, manual.sum) << h.name;
+      EXPECT_EQ(h.min, manual.min) << h.name;
+      EXPECT_EQ(h.max, manual.max) << h.name;
+      EXPECT_EQ(h.buckets, manual.buckets) << h.name;
+    }
+  }
+
+  static const obs::ProcessObs* FindProcess(const obs::FleetObsSnapshot& fleet,
+                                            const std::string& name) {
+    for (const obs::ProcessObs& p : fleet.processes) {
+      if (p.process == name) return &p;
+    }
+    return nullptr;
+  }
+
+  EventCatalog catalog_ = EventCatalog::BuiltIn();
+  EventWeightModel weights_ = testutil::BuildCanonicalWeights();
+};
+
+TEST_F(FleetObsTest, FleetCountersEqualSumOfPerShardRows) {
+  auto coord = MakeFleet(2);
+  ASSERT_NE(coord, nullptr);
+  RunTraffic(*coord, 3600000);
+
+  auto workers = coord->PullWorkerObs(/*include_spans=*/true);
+  ASSERT_TRUE(workers.ok()) << workers.status().ToString();
+  ASSERT_EQ(workers->size(), 2u);
+  const obs::FleetObsSnapshot fleet =
+      obs::CaptureFleetObsSnapshot(std::move(workers).value());
+
+  ASSERT_EQ(fleet.processes.size(), 3u);
+  EXPECT_EQ(fleet.processes[0].process, "coordinator");
+  EXPECT_EQ(fleet.processes[0].clock_offset_ns, 0);
+  ASSERT_NE(FindProcess(fleet, "shard-0"), nullptr);
+  ASSERT_NE(FindProcess(fleet, "shard-1"), nullptr);
+
+  ExpectAggregatesExact(fleet);
+
+  // Not vacuous: both sides actually contributed. The coordinator counted
+  // gathers; every worker handled at least one gather RPC and timed it.
+  bool fleet_gathers = false;
+  for (const obs::CounterSnapshot& c : fleet.counters) {
+    if (c.name == "shard.gathers" && c.value >= 1) fleet_gathers = true;
+  }
+  EXPECT_TRUE(fleet_gathers);
+  for (const std::string shard : {"shard-0", "shard-1"}) {
+    const obs::ProcessObs* p = FindProcess(fleet, shard);
+    ASSERT_NE(p, nullptr);
+    bool handled_gather = false;
+    for (const obs::HistogramBuckets& h : p->snap.histograms) {
+      if (h.name == "shard.rpc.gather.handle_ns" && h.count >= 1) {
+        handled_gather = true;
+      }
+    }
+    EXPECT_TRUE(handled_gather) << shard;
+    EXPECT_TRUE(p->snap.tracing_enabled) << shard;  // kInit turned it on
+  }
+
+  // The statusz renders agree with the structs: strict-parse the JSON and
+  // re-check fleet == sum(by_process) for every counter in the document.
+  const std::string json = obs::RenderFleetStatuszJson(fleet);
+  testjson::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(testjson::ParseStrictJson(json, &doc, &error)) << error;
+  const testjson::JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  EXPECT_FALSE(counters->object.empty());
+  for (const auto& [name, entry] : counters->object) {
+    const testjson::JsonValue* fleet_value = entry.Find("fleet");
+    const testjson::JsonValue* by_process = entry.Find("by_process");
+    ASSERT_NE(fleet_value, nullptr) << name;
+    ASSERT_NE(by_process, nullptr) << name;
+    double sum = 0.0;
+    for (const auto& [proc, v] : by_process->object) sum += v.number;
+    EXPECT_DOUBLE_EQ(fleet_value->number, sum) << name;
+  }
+  const testjson::JsonValue* processes = doc.Find("processes");
+  ASSERT_NE(processes, nullptr);
+  EXPECT_EQ(processes->array.size(), 3u);
+
+  const std::string text = obs::RenderFleetStatuszText(fleet);
+  EXPECT_NE(text.find("coordinator"), std::string::npos);
+  EXPECT_NE(text.find("shard-0"), std::string::npos);
+  EXPECT_NE(text.find("shard-1"), std::string::npos);
+  EXPECT_NE(text.find("[fleet counters]"), std::string::npos);
+}
+
+TEST_F(FleetObsTest, WorkerRpcSpansShareCoordinatorTraceIds) {
+  const uint64_t test_start_ns = obs::MonotonicNowNs();
+  auto coord = MakeFleet(2);
+  ASSERT_NE(coord, nullptr);
+
+  // Traffic under one named root span: every scatter leg adopts this
+  // context, so every worker-side RPC span must land in this trace.
+  obs::TraceContext day_ctx;
+  {
+    TRACE_SPAN("test.fleet_day");
+    day_ctx = obs::CurrentTraceContext();
+    RunTraffic(*coord, 3600000);
+  }
+  ASSERT_NE(day_ctx.trace_id, 0u);
+
+  auto workers = coord->PullWorkerObs(/*include_spans=*/true);
+  const uint64_t pull_end_ns = obs::MonotonicNowNs();
+  ASSERT_TRUE(workers.ok()) << workers.status().ToString();
+  const obs::FleetObsSnapshot fleet =
+      obs::CaptureFleetObsSnapshot(std::move(workers).value());
+
+  // Coordinator side: the per-shard scatter spans belong to the day trace.
+  std::set<uint64_t> scatter_span_ids;
+  for (const obs::PortableSpan& s : fleet.processes[0].snap.spans) {
+    if (s.name == "shard.gather.shard" && s.trace_id == day_ctx.trace_id) {
+      scatter_span_ids.insert(s.span_id);
+    }
+  }
+  ASSERT_FALSE(scatter_span_ids.empty());
+
+  // Worker side: every gather RPC span carries the coordinator's trace id,
+  // and its parent is one of the coordinator's scatter spans — the header's
+  // trace context survived encode, wire, decode, and adoption.
+  size_t worker_gather_spans = 0;
+  for (const obs::ProcessObs& p : fleet.processes) {
+    if (p.process == "coordinator") continue;
+    for (const obs::PortableSpan& s : p.snap.spans) {
+      if (s.name != "shard.rpc.gather") continue;
+      ++worker_gather_spans;
+      EXPECT_EQ(s.trace_id, day_ctx.trace_id) << p.process;
+      EXPECT_EQ(scatter_span_ids.count(s.parent_span_id), 1u) << p.process;
+      // Clock alignment: the worker's span, shifted by the measured offset,
+      // lands inside the coordinator-clock window of this test (sub-RTT
+      // accuracy; allow 100ms of slack for scheduling).
+      const int64_t shifted =
+          static_cast<int64_t>(s.start_ns) + p.clock_offset_ns;
+      EXPECT_GT(shifted, static_cast<int64_t>(test_start_ns) - 100000000)
+          << p.process;
+      EXPECT_LT(shifted, static_cast<int64_t>(pull_end_ns) + 100000000)
+          << p.process;
+    }
+  }
+  EXPECT_GE(worker_gather_spans, 2u);  // at least one per worker
+
+  // Merged Chrome trace: strictly valid JSON, one named track per process,
+  // and a worker-track event still wearing the day's trace id.
+  const std::string trace_json = obs::MergedChromeTraceJson(fleet);
+  testjson::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(testjson::ParseStrictJson(trace_json, &doc, &error)) << error;
+  const testjson::JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::map<std::string, double> track_pids;  // process name -> pid
+  bool worker_event_in_day_trace = false;
+  const std::string day_trace_hex = HexId(day_ctx.trace_id);
+  for (const testjson::JsonValue& ev : events->array) {
+    const testjson::JsonValue* ph = ev.Find("ph");
+    const testjson::JsonValue* name = ev.Find("name");
+    const testjson::JsonValue* pid = ev.Find("pid");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(pid, nullptr);
+    if (ph->str == "M" && name->str == "process_name") {
+      const testjson::JsonValue* args = ev.Find("args");
+      ASSERT_NE(args, nullptr);
+      const testjson::JsonValue* track = args->Find("name");
+      ASSERT_NE(track, nullptr);
+      track_pids[track->str] = pid->number;
+      continue;
+    }
+    if (name->str == "shard.rpc.gather" && pid->number >= 2) {
+      const testjson::JsonValue* args = ev.Find("args");
+      ASSERT_NE(args, nullptr);
+      const testjson::JsonValue* trace_id = args->Find("trace_id");
+      ASSERT_NE(trace_id, nullptr);
+      if (trace_id->str == day_trace_hex) worker_event_in_day_trace = true;
+    }
+  }
+  ASSERT_EQ(track_pids.count("coordinator"), 1u);
+  ASSERT_EQ(track_pids.count("shard-0"), 1u);
+  ASSERT_EQ(track_pids.count("shard-1"), 1u);
+  std::set<double> distinct_pids;
+  for (const auto& [proc, pid] : track_pids) distinct_pids.insert(pid);
+  EXPECT_EQ(distinct_pids.size(), track_pids.size());
+  EXPECT_TRUE(worker_event_in_day_trace);
+
+  // And the file writer round-trips the same bytes.
+  const std::string path =
+      ::testing::TempDir() + "fleet_obs_merged_trace.json";
+  ASSERT_TRUE(obs::WriteMergedChromeTrace(fleet, path, &error)) << error;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string readback(trace_json.size() + 1, '\0');
+  const size_t n = std::fread(readback.data(), 1, readback.size(), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  readback.resize(n);
+  EXPECT_EQ(readback, trace_json);
+}
+
+TEST_F(FleetObsTest, SpansAreDrainedExactlyOnceAcrossPulls) {
+  auto coord = MakeFleet(2);
+  ASSERT_NE(coord, nullptr);
+  RunTraffic(*coord, 3600000);
+
+  auto first = coord->PullWorkerObs(/*include_spans=*/true);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::set<uint64_t> first_span_ids;
+  size_t first_spans = 0;
+  for (const obs::ProcessObs& p : *first) {
+    for (const obs::PortableSpan& s : p.snap.spans) {
+      first_span_ids.insert(s.span_id);
+      ++first_spans;
+    }
+  }
+  EXPECT_GT(first_spans, 0u);
+
+  // The pull drains: a second pull ships only spans recorded since (the
+  // first pull's own RPC spans), never a span already shipped — the session
+  // layer's dedup keeps retries from double-draining, and the drain keeps
+  // pulls from double-shipping.
+  auto second = coord->PullWorkerObs(/*include_spans=*/true);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  for (const obs::ProcessObs& p : *second) {
+    for (const obs::PortableSpan& s : p.snap.spans) {
+      EXPECT_EQ(first_span_ids.count(s.span_id), 0u)
+          << p.process << " re-shipped span " << s.name;
+    }
+  }
+
+  // A metrics-only pull must NOT cost the tracer its buffered spans: the
+  // third (spanful) pull still sees the second pull's RPC spans.
+  auto metrics_only = coord->PullWorkerObs(/*include_spans=*/false);
+  ASSERT_TRUE(metrics_only.ok()) << metrics_only.status().ToString();
+  for (const obs::ProcessObs& p : *metrics_only) {
+    EXPECT_TRUE(p.snap.spans.empty()) << p.process;
+  }
+  auto third = coord->PullWorkerObs(/*include_spans=*/true);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  size_t third_spans = 0;
+  for (const obs::ProcessObs& p : *third) third_spans += p.snap.spans.size();
+  EXPECT_GT(third_spans, 0u);
+}
+
+TEST_F(FleetObsTest, Kill9MidDayDropsOutOfFleetViewAndRejoinsAfterRecover) {
+  auto coord = MakeFleet(3);
+  ASSERT_NE(coord, nullptr);
+  RunTraffic(*coord, 3600000);
+
+  // Before: all three workers answer.
+  {
+    auto workers = coord->PullWorkerObs(/*include_spans=*/true);
+    ASSERT_TRUE(workers.ok()) << workers.status().ToString();
+    EXPECT_EQ(workers->size(), 3u);
+  }
+
+  // Mid-day SIGKILL (process mode: the kernel kills a real child).
+  ASSERT_TRUE(coord->InjectShardFailure(1).ok());
+  ASSERT_FALSE(coord->ShardAlive(1));
+
+  // Degraded, not wrong: the dead shard is absent, the rest still merge
+  // exactly, and the operator surface says who is missing.
+  {
+    auto workers = coord->PullWorkerObs(/*include_spans=*/true);
+    ASSERT_TRUE(workers.ok()) << workers.status().ToString();
+    ASSERT_EQ(workers->size(), 2u);
+    const obs::FleetObsSnapshot fleet =
+        obs::CaptureFleetObsSnapshot(std::move(workers).value());
+    EXPECT_EQ(fleet.processes.size(), 3u);  // coordinator + 2 survivors
+    EXPECT_EQ(FindProcess(fleet, "shard-1"), nullptr);
+    EXPECT_NE(FindProcess(fleet, "shard-0"), nullptr);
+    EXPECT_NE(FindProcess(fleet, "shard-2"), nullptr);
+    ExpectAggregatesExact(fleet);
+  }
+
+  // Recover: respawn + restore + replay. The rejoined worker is a fresh
+  // process — new registry, tracer re-enabled by the rebuild's kInit — and
+  // the next pull folds it back into the fleet view.
+  ASSERT_TRUE(coord->RecoverShard(1).ok());
+  ASSERT_TRUE(coord->ShardAlive(1));
+  auto snap = coord->Snapshot();  // post-recovery gather touches everyone
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+
+  auto workers = coord->PullWorkerObs(/*include_spans=*/true);
+  ASSERT_TRUE(workers.ok()) << workers.status().ToString();
+  ASSERT_EQ(workers->size(), 3u);
+  const obs::FleetObsSnapshot fleet =
+      obs::CaptureFleetObsSnapshot(std::move(workers).value());
+  EXPECT_EQ(fleet.processes.size(), 4u);
+  const obs::ProcessObs* rejoined = FindProcess(fleet, "shard-1");
+  ASSERT_NE(rejoined, nullptr);
+  EXPECT_TRUE(rejoined->snap.tracing_enabled);
+  // The respawned process replayed its session (restore + outbox) and then
+  // served the gather: its RPC service histograms are live again.
+  bool handled_rpcs = false;
+  for (const obs::HistogramBuckets& h : rejoined->snap.histograms) {
+    if (h.name == "shard.rpc.gather.handle_ns" && h.count >= 1) {
+      handled_rpcs = true;
+    }
+  }
+  EXPECT_TRUE(handled_rpcs);
+  ExpectAggregatesExact(fleet);
+
+  const std::string text = obs::RenderFleetStatuszText(fleet);
+  EXPECT_NE(text.find("shard-1"), std::string::npos);
+}
+
+// TSan arm (scripts/check.sh runs *Concurrent* under -fsanitize=thread):
+// snapshot pulls racing fleet gathers racing a kill-9/recover cycle. The
+// pull path shares the topology lock, per-handle mutexes, session rebuild
+// state, and the metrics registry with everything else; this hammers all
+// of it at once. Assertions are deliberately weak — liveness and "degraded,
+// never wrong" — the value is the interleaving coverage.
+TEST_F(FleetObsTest, PullsRaceGathersAndRecoveryConcurrent) {
+  auto coord = MakeFleet(2);
+  ASSERT_NE(coord, nullptr);
+  RunTraffic(*coord, 3600000);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> pulls_ok{0};
+  std::atomic<size_t> gathers_ok{0};
+  std::thread puller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto workers = coord->PullWorkerObs(/*include_spans=*/true);
+      if (workers.ok()) {
+        const obs::FleetObsSnapshot fleet =
+            obs::CaptureFleetObsSnapshot(std::move(workers).value());
+        ExpectAggregatesExact(fleet);
+        pulls_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread gatherer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (coord->Snapshot().ok()) {
+        gathers_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  // Shard 1 dies and comes back, twice; shard 0 stays up throughout, so
+  // pulls and gathers keep (at least degraded) answers the whole time.
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    ASSERT_TRUE(coord->InjectShardFailure(1).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ASSERT_TRUE(coord->RecoverShard(1).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  puller.join();
+  gatherer.join();
+  EXPECT_GT(pulls_ok.load(), 0u);
+  EXPECT_GT(gathers_ok.load(), 0u);
+}
+
+TEST_F(FleetObsTest, PullFailsOnlyWhenNoShardAnswers) {
+  auto coord = MakeFleet(2);
+  ASSERT_NE(coord, nullptr);
+  RunTraffic(*coord, 3600000);
+  ASSERT_TRUE(coord->InjectShardFailure(0).ok());
+  ASSERT_TRUE(coord->InjectShardFailure(1).ok());
+  auto workers = coord->PullWorkerObs(/*include_spans=*/true);
+  EXPECT_FALSE(workers.ok());
+  EXPECT_TRUE(workers.status().IsUnavailable())
+      << workers.status().ToString();
+}
+
+}  // namespace
+}  // namespace cdibot

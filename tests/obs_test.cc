@@ -9,6 +9,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/statusz.h"
 #include "obs/trace.h"
+#include "strict_json.h"
 
 namespace cdibot {
 namespace {
@@ -238,6 +240,55 @@ TEST(ObsHistogramTest, QuantilesMatchSortedReference) {
   EXPECT_EQ(snap.max, values.back());
 }
 
+TEST(ObsHistogramTest, MergeHistogramBucketsIsExact) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Histogram* a = reg.GetHistogram("obstest.merge_a");
+  obs::Histogram* b = reg.GetHistogram("obstest.merge_b");
+  obs::Histogram* all = reg.GetHistogram("obstest.merge_all");
+  Rng rng(1234);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = static_cast<uint64_t>(
+        std::pow(10.0, rng.Uniform(0.0, 7.0)));
+    obs::Histogram* target = (i % 3 == 0) ? a : b;
+    target->Record(v);
+    all->Record(v);
+  }
+
+  obs::HistogramBuckets merged = a->SnapshotBuckets();
+  obs::MergeHistogramBuckets(&merged, b->SnapshotBuckets());
+  const obs::HistogramBuckets reference = all->SnapshotBuckets();
+
+  // The merge is bucket-exact: the fleet view of two shards is bit-for-bit
+  // the histogram a single process recording both streams would hold.
+  EXPECT_EQ(merged.count, reference.count);
+  EXPECT_EQ(merged.sum, reference.sum);
+  EXPECT_EQ(merged.min, reference.min);
+  EXPECT_EQ(merged.max, reference.max);
+  ASSERT_EQ(merged.buckets.size(), reference.buckets.size());
+  for (size_t i = 0; i < merged.buckets.size(); ++i) {
+    EXPECT_EQ(merged.buckets[i], reference.buckets[i]) << "bucket " << i;
+  }
+  // And so are derived quantiles.
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(merged, q), all->Quantile(q))
+        << "q=" << q;
+  }
+}
+
+TEST(ObsHistogramTest, MergeIntoEmptyAdoptsMinMax) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Histogram* src = reg.GetHistogram("obstest.merge_src_only");
+  src->Record(7);
+  src->Record(9000);
+  obs::HistogramBuckets into;  // empty: count 0, min 0
+  into.name = "kept";
+  obs::MergeHistogramBuckets(&into, src->SnapshotBuckets());
+  EXPECT_EQ(into.name, "kept");
+  EXPECT_EQ(into.count, 2u);
+  EXPECT_EQ(into.min, 7u);  // not clamped to the empty side's 0
+  EXPECT_EQ(into.max, 9000u);
+}
+
 TEST(ObsHistogramTest, ConcurrentRecordIsExact) {
   obs::Histogram* hist =
       obs::MetricsRegistry::Global().GetHistogram("obstest.hammer_hist");
@@ -424,6 +475,100 @@ TEST_F(ObsTracerTest, BufferCapDropsAreCounted) {
   EXPECT_GE(obs::Tracer::Global().dropped(), dropped_before + 100);
 }
 
+TEST_F(ObsTracerTest, SpanIdsLinkParentToChild) {
+  // Isolate from any ambient context the test thread may carry.
+  obs::ScopedTraceContext isolate(obs::TraceContext{});
+  {
+    TRACE_SPAN("obstest.id_outer");
+    TRACE_SPAN("obstest.id_inner");
+  }
+  const auto spans = obs::Tracer::Global().CollectSpans();
+  const obs::SpanRecord* outer = nullptr;
+  const obs::SpanRecord* inner = nullptr;
+  for (const auto& s : spans) {
+    if (std::string("obstest.id_outer") == s.name) outer = &s;
+    if (std::string("obstest.id_inner") == s.name) inner = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // The outer span minted a fresh root trace; the inner one joined it.
+  EXPECT_NE(outer->trace_id, 0u);
+  EXPECT_EQ(outer->parent_span_id, 0u);
+  EXPECT_EQ(inner->trace_id, outer->trace_id);
+  EXPECT_EQ(inner->parent_span_id, outer->span_id);
+  EXPECT_NE(inner->span_id, outer->span_id);
+  EXPECT_NE(inner->span_id, 0u);
+}
+
+TEST_F(ObsTracerTest, ScopedTraceContextAdoptsForeignIds) {
+  // The worker side of an RPC: adopt the coordinator's ids, open a span,
+  // and the span must claim that foreign trace as its own parent chain.
+  const obs::TraceContext remote{obs::NewTraceId(), obs::NewTraceId()};
+  {
+    obs::ScopedTraceContext adopt(remote);
+    EXPECT_EQ(obs::CurrentTraceContext().trace_id, remote.trace_id);
+    TRACE_SPAN("obstest.adopted");
+  }
+  // Context restored after the scope.
+  EXPECT_NE(obs::CurrentTraceContext().trace_id, remote.trace_id);
+  const auto spans = obs::Tracer::Global().CollectSpans();
+  const auto it = std::find_if(
+      spans.begin(), spans.end(), [](const obs::SpanRecord& s) {
+        return std::string("obstest.adopted") == s.name;
+      });
+  ASSERT_NE(it, spans.end());
+  EXPECT_EQ(it->trace_id, remote.trace_id);
+  EXPECT_EQ(it->parent_span_id, remote.span_id);
+}
+
+TEST_F(ObsTracerTest, RecordInstantTagsCurrentContext) {
+  const obs::TraceContext ctx{obs::NewTraceId(), obs::NewTraceId()};
+  {
+    obs::ScopedTraceContext adopt(ctx);
+    obs::RecordInstant("obstest.instant");
+  }
+  const auto spans = obs::Tracer::Global().CollectSpans();
+  const auto it = std::find_if(
+      spans.begin(), spans.end(), [](const obs::SpanRecord& s) {
+        return std::string("obstest.instant") == s.name;
+      });
+  ASSERT_NE(it, spans.end());
+  EXPECT_TRUE(it->instant);
+  EXPECT_EQ(it->dur_ns, 0u);
+  EXPECT_EQ(it->trace_id, ctx.trace_id);
+  EXPECT_EQ(it->parent_span_id, ctx.span_id);
+  EXPECT_NE(it->span_id, 0u);
+
+  // Disabled tracing: RecordInstant is a no-op, not a buffered event.
+  obs::Tracer::Global().Clear();
+  obs::Tracer::Global().Disable();
+  obs::RecordInstant("obstest.instant_off");
+  EXPECT_TRUE(obs::Tracer::Global().CollectSpans().empty());
+}
+
+TEST_F(ObsTracerTest, DrainSpansMovesOutAndResetsDropCount) {
+  {
+    TRACE_SPAN("obstest.drain_a");
+    TRACE_SPAN("obstest.drain_b");
+  }
+  uint64_t dropped = 42;
+  const auto first = obs::Tracer::Global().DrainSpans(&dropped);
+  EXPECT_GE(first.size(), 2u);
+  EXPECT_EQ(dropped, 0u);
+  // Drained spans are gone: the next pull starts from an empty buffer.
+  EXPECT_TRUE(obs::Tracer::Global().CollectSpans().empty());
+  EXPECT_TRUE(obs::Tracer::Global().DrainSpans().empty());
+
+  // Dropped counts ship with the drain that observes them, then reset.
+  for (size_t i = 0; i < obs::Tracer::kMaxSpansPerThread + 50; ++i) {
+    TRACE_SPAN("obstest.drain_flood");
+  }
+  (void)obs::Tracer::Global().DrainSpans(&dropped);
+  EXPECT_GE(dropped, 50u);
+  (void)obs::Tracer::Global().DrainSpans(&dropped);
+  EXPECT_EQ(dropped, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // statusz
 
@@ -447,6 +592,75 @@ TEST(ObsStatuszTest, RendersSubsystemsAndValidJson) {
   JsonValidator validator(json);
   EXPECT_TRUE(validator.Validate()) << json;
   EXPECT_NE(json.find("\"alpha.one\""), std::string::npos);
+}
+
+TEST(ObsStatuszTest, JsonSurvivesStrictParsingWithNonFiniteGauges) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("strictjson.counter")->Add(11);
+  reg.GetGauge("strictjson.gauge_nan")
+      ->Set(std::numeric_limits<double>::quiet_NaN());
+  reg.GetGauge("strictjson.gauge_inf")
+      ->Set(std::numeric_limits<double>::infinity());
+  reg.GetGauge("strictjson.gauge_neg_inf")
+      ->Set(-std::numeric_limits<double>::infinity());
+  reg.GetHistogram("strictjson.lat_ns")->Record(123456);
+
+  const std::string json = obs::RenderStatuszJson(obs::CaptureObsSnapshot());
+  testjson::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(testjson::ParseStrictJson(json, &doc, &error))
+      << error << "\n" << json;
+
+  // NaN/Inf gauges must render as null — a printf'd "nan"/"inf" token
+  // would have failed the strict parse above, but pin the shape too.
+  const testjson::JsonValue* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_TRUE(gauges->is_object());
+  for (const char* name : {"strictjson.gauge_nan", "strictjson.gauge_inf",
+                           "strictjson.gauge_neg_inf"}) {
+    const testjson::JsonValue* g = gauges->Find(name);
+    ASSERT_NE(g, nullptr) << name;
+    EXPECT_EQ(g->kind, testjson::JsonValue::Kind::kNull) << name;
+  }
+  const testjson::JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const testjson::JsonValue* c = counters->Find("strictjson.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->is_number());
+  EXPECT_DOUBLE_EQ(c->number, 11.0);
+  const testjson::JsonValue* hists = doc.Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  EXPECT_NE(hists->Find("strictjson.lat_ns"), nullptr);
+
+  reg.GetGauge("strictjson.gauge_nan")->Set(0.0);
+  reg.GetGauge("strictjson.gauge_inf")->Set(0.0);
+  reg.GetGauge("strictjson.gauge_neg_inf")->Set(0.0);
+}
+
+TEST(ObsStatuszTest, StrictParserRejectsClassicRendererBugs) {
+  // The teeth of the strict parser itself: each of these is something a
+  // lenient validator happily accepts and a JSON consumer chokes on.
+  testjson::JsonValue v;
+  EXPECT_FALSE(testjson::ParseStrictJson("{\"a\":1,}", &v));    // trailing comma
+  EXPECT_FALSE(testjson::ParseStrictJson("[1,2,]", &v));        // trailing comma
+  EXPECT_FALSE(testjson::ParseStrictJson("{\"a\":NaN}", &v));   // bare NaN
+  EXPECT_FALSE(testjson::ParseStrictJson("{\"a\":inf}", &v));   // bare inf
+  EXPECT_FALSE(testjson::ParseStrictJson("{\"a\":-}", &v));     // dangling sign
+  EXPECT_FALSE(testjson::ParseStrictJson("{\"a\":01}", &v));    // leading zero
+  EXPECT_FALSE(testjson::ParseStrictJson("{\"a\":1.}", &v));    // bare fraction
+  EXPECT_FALSE(testjson::ParseStrictJson("{\"a\":\"\\x\"}", &v));  // bad escape
+  EXPECT_FALSE(testjson::ParseStrictJson("{\"a\":\"\\u12g4\"}", &v));
+  EXPECT_FALSE(testjson::ParseStrictJson("{\"a\":\"\n\"}", &v));  // raw control
+  EXPECT_FALSE(testjson::ParseStrictJson("{\"a\":1} x", &v));   // trailing junk
+  EXPECT_FALSE(testjson::ParseStrictJson("{'a':1}", &v));       // single quotes
+  EXPECT_FALSE(testjson::ParseStrictJson("", &v));
+  // And the happy path still parses with values intact.
+  ASSERT_TRUE(testjson::ParseStrictJson(
+      " {\"k\": [1, -2.5e3, \"s\\u00e9\", true, null]} ", &v));
+  const testjson::JsonValue* arr = v.Find("k");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->array.size(), 5u);
+  EXPECT_DOUBLE_EQ(arr->array[1].number, -2500.0);
 }
 
 // ---------------------------------------------------------------------------

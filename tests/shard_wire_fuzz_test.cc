@@ -72,6 +72,7 @@ class WireFuzzTest : public ::testing::Test {
     snapshot_resp_ = service_.Handle(shard::EncodeGather(5, -1));
     hello_resp_ = service_.Handle(shard::EncodeHello(6));
     ping_resp_ = service_.Handle(shard::EncodePing(7));
+    obs_resp_ = service_.Handle(shard::EncodeObsPull(8, /*include_spans=*/true));
     ckpt_resp_ = ckpt_resp;
   }
 
@@ -114,6 +115,9 @@ class WireFuzzTest : public ::testing::Test {
          shard::EncodeInit(1016, kDay, Duration::Minutes(5), 4, std::nullopt)},
         {"init_with_weights",
          shard::EncodeInit(1017, kDay, Duration::Minutes(5), 4, spec)},
+        {"obs_pull_spans", shard::EncodeObsPull(1018, /*include_spans=*/true)},
+        {"obs_pull_metrics",
+         shard::EncodeObsPull(1019, /*include_spans=*/false)},
     };
   }
 
@@ -128,6 +132,7 @@ class WireFuzzTest : public ::testing::Test {
         {"gather_resp", snapshot_resp_},
         {"checkpoint_resp", ckpt_resp_},
         {"hello_resp", hello_resp_},
+        {"obs_snapshot_resp", obs_resp_},
     };
   }
 
@@ -153,6 +158,7 @@ class WireFuzzTest : public ::testing::Test {
   std::string snapshot_resp_;
   std::string hello_resp_;
   std::string ping_resp_;
+  std::string obs_resp_;
   std::string ckpt_resp_;
 };
 
@@ -211,6 +217,10 @@ TEST_F(WireFuzzTest, EveryResponsePrefixTruncationDecodesAsError) {
           (void)shard::DecodeHelloInfo(hdr->reader);
           payload_ok = hdr->reader.ok();
           break;
+        case shard::MessageKind::kObsSnapshot:
+          (void)shard::DecodeWorkerObs(hdr->reader);
+          payload_ok = hdr->reader.ok();
+          break;
         default:
           // Status/ping payloads are consumed by the header or ad hoc
           // reads; a truncated reader stays bounds-checked either way.
@@ -241,6 +251,9 @@ TEST_F(WireFuzzTest, EveryResponseSingleByteCorruptionNeverCrashes) {
             break;
           case shard::MessageKind::kHello:
             (void)shard::DecodeHelloInfo(hdr->reader);
+            break;
+          case shard::MessageKind::kObsSnapshot:
+            (void)shard::DecodeWorkerObs(hdr->reader);
             break;
           default:
             break;
