@@ -74,7 +74,8 @@ int main() {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
     }
-    for (const GroupCdi& g : DrillDownBy(result->per_vm, "arch")) {
+    for (const DrilldownGroup& g :
+         RunDrilldown(result->per_vm, {.dimensions = {"arch"}})->groups) {
       if (g.key == "homogeneous") homog[d] = g.cdi.performance;
       if (g.key == "hybrid") hybrid[d] = g.cdi.performance;
     }

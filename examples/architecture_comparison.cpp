@@ -59,7 +59,8 @@ int main() {
       return 1;
     }
     double homog = 0.0, hybrid = 0.0;
-    for (const GroupCdi& g : DrillDownBy(result->per_vm, "arch")) {
+    for (const DrilldownGroup& g :
+         RunDrilldown(result->per_vm, {.dimensions = {"arch"}})->groups) {
       if (g.key == "homogeneous") homog = g.cdi.performance;
       if (g.key == "hybrid") hybrid = g.cdi.performance;
     }

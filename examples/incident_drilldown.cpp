@@ -71,7 +71,8 @@ int main() {
     std::printf("\n=== drill-down by %s ===\n", dim);
     std::printf("%-14s %6s %12s %12s %12s\n", dim, "VMs", "CDI-U", "CDI-P",
                 "CDI-C");
-    for (const GroupCdi& g : DrillDownBy(result->per_vm, dim)) {
+    for (const DrilldownGroup& g :
+         RunDrilldown(result->per_vm, {.dimensions = {dim}})->groups) {
       std::printf("%-14s %6zu %12.6f %12.6f %12.6f\n", g.key.c_str(),
                   g.vm_count, g.cdi.unavailability, g.cdi.performance,
                   g.cdi.control_plane);

@@ -16,6 +16,7 @@
 #   SKIP_SHARD=1 scripts/check.sh    # skip the standalone shard stage
 #   SKIP_SOCKET=1 scripts/check.sh   # skip the standalone socket stage
 #   SKIP_OBSFLEET=1 scripts/check.sh # skip the fleet-observability stage
+#   SKIP_SERVE=1 scripts/check.sh    # skip the query-serving stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -101,6 +102,46 @@ else
   ./build/tests/fleet_obs_test
 fi
 
+if [[ "${SKIP_SERVE:-0}" == "1" ]]; then
+  echo "== serve stage skipped (SKIP_SERVE=1) =="
+else
+  # The query-serving gate: serving-layer units (canonical key, ARC cache,
+  # cube reuse, heatmap math, facade, admission) plus the differential
+  # suite — cache/cube ON must be BIT-identical to cache/cube OFF over 24
+  # adversarial seeds, across watermark advances, churn, and a mid-day
+  # shard rebalance. A wrong-numbers bug here means the dashboard serves
+  # stale or corrupt CDI, so it fails loudly by name. Then the closed-loop
+  # bench: at the largest client arm, cached p99 must sit >= 10x below the
+  # cold (cache/cube off, full recompute) p99 — the layer's whole reason
+  # to exist.
+  echo "== serve: serving-layer units + heatmaps + admission =="
+  ./build/tests/serve_test
+
+  echo "== serve: cache-on == cache-off differential (24 seeds) =="
+  ./build/tests/serve_equivalence_test
+
+  echo "== serve: closed-loop p99 separation (cached vs cold) =="
+  ./build/bench/query_serving --benchmark_min_time=0.05 >/dev/null 2>&1
+  python3 - <<'EOF_SERVE'
+import json, sys
+runs = {b["name"]: b for b in
+        json.load(open("BENCH_query_serving.json"))["benchmarks"]}
+def p99(prefix):
+    arms = {n: b for n, b in runs.items() if n.startswith(prefix)}
+    name = max(arms, key=lambda n: arms[n].get("clients", 0))
+    return arms[name]["p99_us"], name
+cached, cname = p99("BM_QueryServingCached")
+cold, fname = p99("BM_QueryServingCold")
+ratio = cold / cached if cached > 0 else float("inf")
+print(f"   {cname}: p99 {cached:.3f}us; {fname}: p99 {cold:.3f}us "
+      f"({ratio:.0f}x separation)")
+if ratio < 10.0:
+    print(f"FAIL: cached p99 only {ratio:.1f}x below cold p99 (need >= 10x)")
+    sys.exit(1)
+EOF_SERVE
+  rm -f BENCH_query_serving.json
+fi
+
 if [[ "${SKIP_OBS:-0}" == "1" ]]; then
   echo "== observability stage skipped (SKIP_OBS=1) =="
 else
@@ -182,7 +223,8 @@ cmake -B build-asan -S . -DCDIBOT_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target common_test stream_test chaos_test storage_test obs_test \
            flow_test overload_test shard_test shard_socket_test \
-           shard_socket_equivalence_test fleet_obs_test
+           shard_socket_equivalence_test fleet_obs_test serve_test \
+           serve_equivalence_test
 
 echo "== asan+ubsan: thread pool + retry + streaming engine =="
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -214,6 +256,16 @@ echo "== asan+ubsan: socket framing/transport units + decoder fuzz corpus =="
 ./build-asan/tests/shard_socket_equivalence_test \
     --gtest_filter='Seeds/SocketShardEquivalenceTest.ProcessWorkersKill9UnderHostileNetwork/7'
 
+echo "== asan+ubsan: serving layer + one differential seed =="
+# The ARC cache moves shared_ptr payloads between resident and ghost
+# lists and the cube rebinds snapshot storage on every refresh; any
+# use-after-demote or overread in the row fold is an ASan failure here.
+# One engine-arm differential seed rides along; the full 24-seed sweep
+# runs unsanitized in the serve stage above.
+./build-asan/tests/serve_test
+./build-asan/tests/serve_equivalence_test \
+    --gtest_filter='Seeds/ServeEquivalenceTest.EngineCacheOnMatchesCacheOff/7'
+
 echo "== asan+ubsan: fleet obs scatter/gather over worker processes =="
 # The obs-snapshot codec moves raw histogram buckets and drained spans
 # across the wire; any overread in the decode or the bucket merge is an
@@ -229,7 +281,8 @@ else
   echo "== tsan: build =="
   cmake -B build-tsan -S . -DCDIBOT_TSAN=ON >/dev/null
   cmake --build build-tsan -j "$JOBS" \
-    --target obs_test flow_test shard_test shard_socket_test fleet_obs_test
+    --target obs_test flow_test shard_test shard_socket_test fleet_obs_test \
+             serve_test
 
   echo "== tsan: concurrent metrics + tracer hammering =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test \
@@ -254,6 +307,13 @@ else
   # in-process channel and the socket transport: the drain-then-Unavailable
   # contract involves a closer thread racing a blocked receiver, which is
   # precisely the ordering TSan referees.
+  # Concurrent Submits race the worker pool, the ARC cache's single
+  # mutex, and the cube refresh lock; the ConcurrentSubmitsAllResolve
+  # hammer is written to race if the layering does.
+  echo "== tsan: query server submit/worker/cache racing =="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serve_test \
+      --gtest_filter='*Concurrent*'
+
   echo "== tsan: transport close-while-blocked-in-Recv racing =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/shard_socket_test \
       --gtest_filter='*Concurrent*'

@@ -4,36 +4,125 @@
 
 namespace cdibot {
 
-std::vector<GroupCdi> DrillDownBy(const std::vector<VmCdiRecord>& records,
-                                  const std::string& dimension) {
+namespace {
+
+std::string JoinKey(const std::vector<std::string>& values) {
+  std::string key;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) key += '/';
+    key += values[i];
+  }
+  return key;
+}
+
+}  // namespace
+
+StatusOr<DrilldownResult> RunDrilldown(const std::vector<VmCdiRecord>& records,
+                                       const DrilldownQuery& query) {
+  if (query.dimensions.empty()) {
+    return Status::InvalidArgument("drill-down needs at least one dimension");
+  }
+  for (size_t i = 0; i < query.dimensions.size(); ++i) {
+    if (query.dimensions[i].empty()) {
+      return Status::InvalidArgument("drill-down dimension name is empty");
+    }
+    for (size_t j = i + 1; j < query.dimensions.size(); ++j) {
+      if (query.dimensions[i] == query.dimensions[j]) {
+        return Status::InvalidArgument("duplicate drill-down dimension: " +
+                                       query.dimensions[i]);
+      }
+    }
+  }
+
   struct Accums {
     CdiAccumulator u, p, c;
     Duration service;
     size_t count = 0;
+    DataQuality quality;
   };
-  std::map<std::string, Accums> groups;
+  // std::map over the composite value vector: groups come out sorted slot
+  // by slot, and each group's accumulators are folded in input record
+  // order — the exact fold `DrillDownBy` performed, so single-dimension
+  // queries are bit-identical to the legacy call.
+  std::map<std::vector<std::string>, Accums> groups;
+  DrilldownResult result;
+  std::vector<std::string> values(query.dimensions.size());
   for (const VmCdiRecord& rec : records) {
-    auto it = rec.dims.find(dimension);
-    const std::string key = it == rec.dims.end() ? "" : it->second;
-    Accums& acc = groups[key];
+    ++result.records_scanned;
+    bool matches = true;
+    for (const auto& [dim, want] : query.filter) {
+      auto it = rec.dims.find(dim);
+      if (it == rec.dims.end() || it->second != want) {
+        matches = false;
+        break;
+      }
+    }
+    if (!matches) {
+      ++result.records_filtered;
+      continue;
+    }
+    for (size_t i = 0; i < query.dimensions.size(); ++i) {
+      auto it = rec.dims.find(query.dimensions[i]);
+      values[i] = it == rec.dims.end() ? "" : it->second;
+    }
+    Accums& acc = groups[values];
     acc.u.Add(rec.cdi.service_time, rec.cdi.unavailability);
     acc.p.Add(rec.cdi.service_time, rec.cdi.performance);
     acc.c.Add(rec.cdi.service_time, rec.cdi.control_plane);
     acc.service += rec.cdi.service_time;
     ++acc.count;
+    acc.quality.Merge(rec.quality);
+    result.quality.Merge(rec.quality);
   }
-  std::vector<GroupCdi> out;
-  out.reserve(groups.size());
+  result.groups.reserve(groups.size());
   for (const auto& [key, acc] : groups) {
-    out.push_back(GroupCdi{
-        .key = key,
+    result.groups.push_back(DrilldownGroup{
+        .values = key,
+        .key = JoinKey(key),
         .cdi = VmCdi{.unavailability = acc.u.Value(),
                      .performance = acc.p.Value(),
                      .control_plane = acc.c.Value(),
                      .service_time = acc.service},
-        .vm_count = acc.count});
+        .vm_count = acc.count,
+        .quality = acc.quality});
   }
-  return out;  // std::map iteration is already key-sorted
+  return result;
+}
+
+std::vector<GroupCdi> DrillDownBy(const std::vector<VmCdiRecord>& records,
+                                  const std::string& dimension) {
+  // Legacy shim: a one-dimension unfiltered DrilldownQuery performs the
+  // same per-group folds in the same order, so the doubles match bitwise.
+  std::vector<GroupCdi> out;
+  if (dimension.empty()) {
+    // The legacy call grouped every record under "" for an empty dimension
+    // name (no record carries it). RunDrilldown rejects empty names, so
+    // reproduce that degenerate fold here.
+    if (records.empty()) return out;
+    CdiAccumulator u, p, c;
+    Duration service;
+    for (const VmCdiRecord& rec : records) {
+      u.Add(rec.cdi.service_time, rec.cdi.unavailability);
+      p.Add(rec.cdi.service_time, rec.cdi.performance);
+      c.Add(rec.cdi.service_time, rec.cdi.control_plane);
+      service += rec.cdi.service_time;
+    }
+    out.push_back(GroupCdi{.key = "",
+                           .cdi = VmCdi{.unavailability = u.Value(),
+                                        .performance = p.Value(),
+                                        .control_plane = c.Value(),
+                                        .service_time = service},
+                           .vm_count = records.size()});
+    return out;
+  }
+  auto result = RunDrilldown(records, DrilldownQuery{.dimensions = {dimension}});
+  if (!result.ok()) return out;  // unreachable: single non-empty dimension
+  out.reserve(result->groups.size());
+  for (const DrilldownGroup& g : result->groups) {
+    out.push_back(
+        GroupCdi{.key = g.values[0], .cdi = g.cdi, .vm_count = g.vm_count});
+  }
+  return out;
 }
 
 StatusOr<std::map<std::string, double>> EventLevelCdi(

@@ -83,9 +83,61 @@ struct GroupCdi {
   size_t vm_count = 0;
 };
 
-/// Aggregates per-VM records along one placement dimension (Sec. V: "drill
-/// down to the region, availability zone, or even the cluster level").
-/// Records missing the dimension group under "". Output sorted by key.
+/// A drill-down request. Supersedes the free-function `DrillDownBy`: it
+/// follows the `DailyCdiJob::Options` + `StatusOr` conventions (explicit
+/// request struct, validated up front, errors as Status instead of silent
+/// empty output) and supports composite group-bys — the paper's Sec. V
+/// "region, availability zone, or even the cluster level" drill-down is a
+/// one-dimension query; region × az × arch is three.
+struct DrilldownQuery {
+  /// Group-by dimensions, most-significant first. Must be non-empty, with
+  /// no duplicates and no empty names. Records missing a dimension group
+  /// under "" for that slot (same convention as `DrillDownBy`).
+  std::vector<std::string> dimensions;
+  /// Exact-match pre-filter on record dims: a record participates only if
+  /// every (dim, value) pair here matches. Empty = all records.
+  std::map<std::string, std::string> filter;
+};
+
+/// One group of a `RunDrilldown` answer.
+struct DrilldownGroup {
+  /// Dimension values, parallel to `DrilldownQuery::dimensions`.
+  std::vector<std::string> values;
+  /// Human-readable composite key: `values` joined with '/'.
+  std::string key;
+  /// Eq.-4 service-time-weighted aggregate over the group's member VMs.
+  VmCdi cdi;
+  size_t vm_count = 0;
+  /// Merged input-integrity annotation of the member rows.
+  DataQuality quality;
+};
+
+struct DrilldownResult {
+  /// Groups sorted by `values` (lexicographic, slot by slot).
+  std::vector<DrilldownGroup> groups;
+  /// Records inspected / rejected by `DrilldownQuery::filter`.
+  size_t records_scanned = 0;
+  size_t records_filtered = 0;
+  /// Merged quality over all participating records.
+  DataQuality quality;
+};
+
+/// Aggregates per-VM records along one or more placement dimensions with
+/// Eq. 4. For a single dimension and empty filter the per-group folds are
+/// performed in exactly the order `DrillDownBy` used (input record order,
+/// key-sorted groups), so results are bit-identical to the legacy call.
+///
+/// Errors: InvalidArgument when `query.dimensions` is empty, contains an
+/// empty name, or contains duplicates.
+StatusOr<DrilldownResult> RunDrilldown(const std::vector<VmCdiRecord>& records,
+                                       const DrilldownQuery& query);
+
+/// DEPRECATED — thin wrapper over `RunDrilldown` kept for source
+/// compatibility; new code should build a `DrilldownQuery`. Aggregates
+/// along one placement dimension; records missing the dimension group
+/// under "". Output sorted by key. Migration:
+///   DrillDownBy(rows, "region")
+///     -> RunDrilldown(rows, {.dimensions = {"region"}})
 std::vector<GroupCdi> DrillDownBy(const std::vector<VmCdiRecord>& records,
                                   const std::string& dimension);
 

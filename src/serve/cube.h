@@ -1,0 +1,103 @@
+#ifndef CDIBOT_SERVE_CUBE_H_
+#define CDIBOT_SERVE_CUBE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cdi/drilldown.h"
+#include "common/statusor.h"
+#include "common/time.h"
+#include "obs/metrics.h"
+
+namespace cdibot::serve {
+
+/// Maintenance counters for one cube (also mirrored to <prefix>.cube.*).
+struct CubeStats {
+  uint64_t refreshes = 0;       ///< snapshots folded in
+  uint64_t views = 0;           ///< materialized (group-by × filter) views
+  uint64_t groups_recomputed = 0;
+  uint64_t groups_reused = 0;   ///< groups whose members were bit-unchanged
+  uint64_t answers = 0;
+};
+
+/// Incrementally maintained drill-down cube over one source's per-VM rows.
+///
+/// A "view" is one (group-by dimensions, filter) combination — region,
+/// region × az, az filtered to one region, ... — materialized lazily on
+/// first query. Each view keeps, per group, the member rows' bits and the
+/// folded GroupCdi. On Refresh (a new engine snapshot, i.e. a watermark
+/// advance) every view's membership is recomputed from the new rows, but a
+/// group's Eq.-4 fold is re-run only when its member rows actually changed
+/// — bitwise — so a quiet region costs a comparison, not a fold.
+///
+/// Bit-identity contract (pinned by the differential suite): Answer() is
+/// bitwise equal to RunDrilldown(rows, query) over the current rows, for
+/// every double. This holds because members are stored in row order —
+/// snapshots sort per_vm ascending by vm_id, the same order RunDrilldown
+/// folds in — and an unchanged group's cached fold is definitionally the
+/// fold of the same bits.
+///
+/// Thread safety: none; the owning CdiQueryService serializes access.
+class DrilldownCube {
+ public:
+  explicit DrilldownCube(const std::string& metric_prefix = "serve");
+
+  /// Replaces the cube's row set with a new snapshot's per_vm rows
+  /// (assumed sorted by vm_id, as SnapshotImpl emits them) and
+  /// re-validates every materialized view against it. `watermark` is the
+  /// snapshot's source watermark, recorded as the cube's as-of point.
+  void Refresh(std::vector<VmCdiRecord> rows, TimePoint watermark);
+
+  /// Answers a drill-down query from the materialized view, creating the
+  /// view on first use. Returns exactly what RunDrilldown(rows(), query)
+  /// would, bit for bit.
+  StatusOr<DrilldownResult> Answer(const DrilldownQuery& query);
+
+  const std::vector<VmCdiRecord>& rows() const { return rows_; }
+  TimePoint as_of() const { return as_of_; }
+  bool loaded() const { return loaded_; }
+  CubeStats stats() const { return stats_; }
+
+ private:
+  struct GroupState {
+    /// Indices into rows_ of the group's members, ascending (= fold order).
+    std::vector<uint32_t> members;
+    DrilldownGroup folded;
+    /// False when Refresh found the membership bits unchanged.
+    bool dirty = true;
+  };
+
+  struct View {
+    DrilldownQuery query;
+    /// Groups keyed by their dimension values (sorted — answer order).
+    std::map<std::vector<std::string>, GroupState> groups;
+    size_t records_filtered = 0;
+  };
+
+  /// Rebuilds `view`'s membership from rows_, marking changed groups
+  /// dirty. Called on view creation and after every Refresh.
+  void RevalidateView(View& view);
+  /// Folds one dirty group (members in ascending row order — the
+  /// RunDrilldown order).
+  void FoldGroup(const View& view, const std::vector<std::string>& values,
+                 GroupState& state);
+  static std::string ViewKey(const DrilldownQuery& query);
+
+  std::vector<VmCdiRecord> rows_;
+  TimePoint as_of_;
+  bool loaded_ = false;
+  DataQuality rows_quality_;
+  std::map<std::string, View> views_;
+  CubeStats stats_;
+
+  obs::Counter* refresh_counter_;
+  obs::Counter* recompute_counter_;
+  obs::Counter* reuse_counter_;
+  obs::Gauge* view_gauge_;
+};
+
+}  // namespace cdibot::serve
+
+#endif  // CDIBOT_SERVE_CUBE_H_

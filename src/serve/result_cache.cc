@@ -1,0 +1,166 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cdibot::serve {
+
+ArcResultCache::ArcResultCache(size_t capacity,
+                               const std::string& metric_prefix)
+    : capacity_(capacity) {
+  auto& registry = obs::MetricsRegistry::Global();
+  lookup_counter_ = registry.GetCounter(metric_prefix + ".cache.lookups");
+  hit_counter_ = registry.GetCounter(metric_prefix + ".cache.hits");
+  miss_counter_ = registry.GetCounter(metric_prefix + ".cache.misses");
+  stale_counter_ =
+      registry.GetCounter(metric_prefix + ".cache.stale_rejections");
+  eviction_counter_ = registry.GetCounter(metric_prefix + ".cache.evictions");
+  ghost_hit_counter_ =
+      registry.GetCounter(metric_prefix + ".cache.ghost_hits");
+  resident_gauge_ = registry.GetGauge(metric_prefix + ".cache.resident");
+  target_gauge_ = registry.GetGauge(metric_prefix + ".cache.target_t1");
+}
+
+std::list<std::string>& ArcResultCache::ListFor(Where w) {
+  switch (w) {
+    case Where::kT1:
+      return t1_;
+    case Where::kT2:
+      return t2_;
+    case Where::kB1:
+      return b1_;
+    case Where::kB2:
+      return b2_;
+  }
+  return t1_;
+}
+
+void ArcResultCache::MoveLocked(Index::iterator it, Where to) {
+  Node& node = it->second;
+  std::list<std::string>& src = ListFor(node.where);
+  std::list<std::string>& dst = ListFor(to);
+  dst.splice(dst.begin(), src, node.pos);
+  node.where = to;
+  node.pos = dst.begin();
+}
+
+void ArcResultCache::DemoteToGhostLocked(Index::iterator it) {
+  Node& node = it->second;
+  const Where ghost = node.where == Where::kT2 ? Where::kB2 : Where::kB1;
+  node.entry = Entry{};  // drop the payload; the key alone is the ghost
+  MoveLocked(it, ghost);
+  // Ghost bounds: |T1|+|B1| <= c, |L1|+|L2| <= 2c.
+  if (ghost == Where::kB1) {
+    TrimGhostLocked(Where::kB1, capacity_ > t1_.size()
+                                    ? capacity_ - t1_.size()
+                                    : 0);
+  } else {
+    const size_t resident_and_b1 = t1_.size() + t2_.size() + b1_.size();
+    TrimGhostLocked(Where::kB2, 2 * capacity_ > resident_and_b1
+                                    ? 2 * capacity_ - resident_and_b1
+                                    : 0);
+  }
+}
+
+void ArcResultCache::TrimGhostLocked(Where w, size_t max) {
+  std::list<std::string>& list = ListFor(w);
+  while (list.size() > max) {
+    index_.erase(list.back());
+    list.pop_back();
+  }
+}
+
+void ArcResultCache::ReplaceLocked(bool ghost_hit_in_b2) {
+  // Stale rejections demote entries outside REPLACE, so the ARC invariant
+  // "|T1|+|T2| == c whenever |L1|+|L2| >= c" can be temporarily broken;
+  // with resident room there is nothing to evict.
+  if (t1_.size() + t2_.size() < capacity_) return;
+  if (!t1_.empty() &&
+      (t1_.size() > p_ || (ghost_hit_in_b2 && t1_.size() == p_))) {
+    DemoteToGhostLocked(index_.find(t1_.back()));
+  } else if (!t2_.empty()) {
+    DemoteToGhostLocked(index_.find(t2_.back()));
+  } else if (!t1_.empty()) {
+    DemoteToGhostLocked(index_.find(t1_.back()));
+  }
+  ++stats_.evictions;
+  eviction_counter_->Increment();
+}
+
+void ArcResultCache::SetGaugesLocked() {
+  stats_.resident = t1_.size() + t2_.size();
+  stats_.target_t1 = p_;
+  resident_gauge_->Set(static_cast<double>(stats_.resident));
+  target_gauge_->Set(static_cast<double>(p_));
+}
+
+void ArcResultCache::Put(const std::string& key, Entry entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end() &&
+      (it->second.where == Where::kT1 || it->second.where == Where::kT2)) {
+    // Resident: refresh the payload (a recompute after a stale rejection
+    // that raced another thread's Put) and promote.
+    it->second.entry = std::move(entry);
+    MoveLocked(it, Where::kT2);
+    ++stats_.insertions;
+    SetGaugesLocked();
+    return;
+  }
+  if (it != index_.end() && it->second.where == Where::kB1) {
+    // ARC Case II: ghost hit in B1 — recency is winning; grow T1's target.
+    const size_t delta = std::max<size_t>(1, b2_.size() / b1_.size());
+    p_ = std::min(capacity_, p_ + delta);
+    ++stats_.ghost_hits;
+    ghost_hit_counter_->Increment();
+    ReplaceLocked(false);
+    it->second.entry = std::move(entry);
+    MoveLocked(it, Where::kT2);
+  } else if (it != index_.end() && it->second.where == Where::kB2) {
+    // ARC Case III: ghost hit in B2 — frequency is winning; shrink T1's
+    // target.
+    const size_t delta = std::max<size_t>(1, b1_.size() / b2_.size());
+    p_ = p_ > delta ? p_ - delta : 0;
+    ++stats_.ghost_hits;
+    ghost_hit_counter_->Increment();
+    ReplaceLocked(true);
+    it->second.entry = std::move(entry);
+    MoveLocked(it, Where::kT2);
+  } else {
+    // ARC Case IV: a brand-new key.
+    if (t1_.size() + b1_.size() >= capacity_) {
+      if (t1_.size() < capacity_) {
+        TrimGhostLocked(Where::kB1,
+                        b1_.empty() ? 0 : b1_.size() - 1);  // drop B1 LRU
+        ReplaceLocked(false);
+      } else {
+        // B1 empty and T1 full: evict T1 LRU outright (no ghost).
+        auto victim = index_.find(t1_.back());
+        t1_.pop_back();
+        index_.erase(victim);
+        ++stats_.evictions;
+        eviction_counter_->Increment();
+      }
+    } else if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >=
+               capacity_) {
+      if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >=
+          2 * capacity_) {
+        TrimGhostLocked(Where::kB2,
+                        b2_.empty() ? 0 : b2_.size() - 1);  // drop B2 LRU
+      }
+      if (t1_.size() + t2_.size() >= capacity_) ReplaceLocked(false);
+    }
+    t1_.push_front(key);
+    index_[key] = Node{Where::kT1, t1_.begin(), std::move(entry)};
+  }
+  ++stats_.insertions;
+  SetGaugesLocked();
+}
+
+CacheStats ArcResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cdibot::serve

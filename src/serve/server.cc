@@ -1,0 +1,157 @@
+#include "serve/server.h"
+
+#include <utility>
+
+namespace cdibot::serve {
+
+namespace {
+
+flow::FlowOptions WithServePrefix(flow::FlowOptions flow) {
+  if (flow.metric_prefix == "flow.queue") flow.metric_prefix = "serve.queue";
+  return flow;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(CdiQueryService* service, QueryServerOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      queue_(WithServePrefix(options_.flow)) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const std::string& prefix = queue_.options().metric_prefix;
+  submit_counter_ = registry.GetCounter(prefix + ".submitted");
+  shed_counter_ = registry.GetCounter(prefix + ".query_shed");
+  deadline_drop_counter_ = registry.GetCounter(prefix + ".deadline_drops");
+
+  queue_.set_shed_callback([this](const QueryTicket& ticket, flow::FlowClass) {
+    // Shed at admission (or evicted to make room): the caller still gets a
+    // definitive answer, immediately.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.shed;
+    }
+    shed_counter_->Increment();
+    if (ticket.promise) {
+      ticket.promise->set_value(Status::ResourceExhausted(
+          "query shed by admission control (server overloaded)"));
+    }
+  });
+
+  const size_t workers = std::max<size_t>(1, options_.workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+flow::FlowClass QueryServer::Classify(const CdiQuery& query) const {
+  // Cheap-to-serve queries (cache hit or up-to-date cube) are the
+  // never-shed class: rejecting them saves nothing and they are the bulk
+  // of dashboard traffic. Expensive ad-hoc queries shed first, finest
+  // granularity first (class + the traits' severity ladder).
+  if (service_->ProbablyCheap(query)) {
+    return flow::FlowClass::kUnavailability;
+  }
+  if (query.group_by.size() <= 1 && !query.include_detail) {
+    return flow::FlowClass::kPerformance;
+  }
+  return flow::FlowClass::kControlPlane;
+}
+
+std::future<StatusOr<CdiQueryResponse>> QueryServer::Submit(
+    const CdiQuery& query) {
+  QueryTicket ticket;
+  ticket.query = query;
+  ticket.promise =
+      std::make_shared<std::promise<StatusOr<CdiQueryResponse>>>();
+  auto future = ticket.promise->get_future();
+  submit_counter_->Increment();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (shutdown_) {
+      ticket.promise->set_value(
+          Status::ResourceExhausted("query server is shut down"));
+      return future;
+    }
+  }
+  const flow::FlowClass klass = Classify(query);
+  auto promise = ticket.promise;  // keep reachable past the move below
+  const flow::AdmitResult admit = queue_.TryPush(std::move(ticket), klass);
+  switch (admit) {
+    case flow::AdmitResult::kAdmitted: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.admitted;
+      break;
+    }
+    case flow::AdmitResult::kShed:
+      // The shed callback already fulfilled the promise.
+      break;
+    case flow::AdmitResult::kQueueFull:
+      // Queue entirely never-shed class; unlike the telemetry joint there
+      // is no correctness reason to block a query producer — reject.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.shed;
+      }
+      shed_counter_->Increment();
+      promise->set_value(Status::ResourceExhausted(
+          "query queue full of unsheddable work"));
+      break;
+  }
+  return future;
+}
+
+void QueryServer::WorkerLoop() {
+  QueryTicket ticket;
+  while (queue_.Pop(&ticket)) {
+    if (!ticket.promise) continue;
+    if (ticket.query.deadline.Expired()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.deadline_drops;
+      }
+      deadline_drop_counter_->Increment();
+      ticket.promise->set_value(Status::ResourceExhausted(
+          "query deadline expired while queued"));
+      continue;
+    }
+    auto response = service_->Query(ticket.query);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.executed;
+    }
+    ticket.promise->set_value(std::move(response));
+  }
+}
+
+void QueryServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  queue_.Close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Drain anything the workers left behind (Close lets consumers drain,
+  // but all workers may already have exited).
+  QueryTicket ticket;
+  while (queue_.TryPop(&ticket)) {
+    if (ticket.promise) {
+      ticket.promise->set_value(
+          Status::ResourceExhausted("query server is shut down"));
+    }
+  }
+}
+
+ServerStats QueryServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cdibot::serve

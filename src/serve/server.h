@@ -1,0 +1,109 @@
+#ifndef CDIBOT_SERVE_SERVER_H_
+#define CDIBOT_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "flow/backpressure_queue.h"
+#include "serve/service.h"
+
+namespace cdibot::serve {
+
+/// One admitted query in flight: the request plus the promise its caller
+/// is waiting on. shared_ptr because the shed callback only sees a const
+/// reference, yet must still fulfill the promise with the rejection.
+struct QueryTicket {
+  CdiQuery query;
+  std::shared_ptr<std::promise<StatusOr<CdiQueryResponse>>> promise;
+};
+
+/// Within-class shed ordering for query tickets: coarser queries rank
+/// higher (shed later) — a fleet-level dashboard read is cheaper and
+/// serves more consumers than a four-dimension ad-hoc drill-down.
+struct QueryTicketFlowTraits {
+  static Severity LevelOf(const QueryTicket& ticket) {
+    const size_t dims = ticket.query.group_by.size();
+    if (ticket.query.include_detail || dims >= 3) return Severity::kInfo;
+    if (dims == 2) return Severity::kWarning;
+    if (dims == 1) return Severity::kCritical;
+    return Severity::kFatal;  // fleet-only
+  }
+};
+
+struct QueryServerOptions {
+  /// Worker threads executing admitted queries.
+  size_t workers = 2;
+  /// Admission-queue tuning; metric_prefix defaults to "serve.queue" here
+  /// (the flow default "flow.queue" belongs to the telemetry joint).
+  flow::FlowOptions flow;
+};
+
+/// Per-server admission counters.
+struct ServerStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t executed = 0;
+  uint64_t deadline_drops = 0;  ///< admitted but expired before a worker ran it
+};
+
+/// QueryServer puts admission control in front of CdiQueryService: callers
+/// Submit and wait on a future, worker threads drain the queue, and under
+/// overload the BasicBackpressureQueue sheds the expensive tail first.
+///
+/// Classification (the serving-layer reuse of the CDI-U > CDI-P > CDI-C
+/// shed ladder): a query the service can answer cheaply right now (cache
+/// or fresh cube — ProbablyCheap) is kUnavailability class and is NEVER
+/// shed; a coarse ad-hoc query (<= 1 drill-down dimension, no detail) is
+/// kPerformance; fine-grained or detail-carrying ad-hoc queries are
+/// kControlPlane and shed first. A shed or expired ticket resolves its
+/// future with ResourceExhausted — the caller always gets an answer.
+class QueryServer {
+ public:
+  /// `service` is borrowed and must outlive the server.
+  explicit QueryServer(CdiQueryService* service, QueryServerOptions options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Classifies, admits, and (eventually) executes `query`. The returned
+  /// future is always fulfilled: with the response, or with
+  /// ResourceExhausted when the ticket was shed at admission, dropped
+  /// because its deadline expired in the queue, or rejected at shutdown.
+  std::future<StatusOr<CdiQueryResponse>> Submit(const CdiQuery& query);
+
+  /// Stops accepting queries, drains the queue, joins the workers.
+  void Shutdown();
+
+  ServerStats stats() const;
+  flow::ShedStats queue_stats() const { return queue_.stats(); }
+  const CdiQueryService& service() const { return *service_; }
+
+ private:
+  using Queue =
+      flow::BasicBackpressureQueue<QueryTicket, QueryTicketFlowTraits>;
+
+  flow::FlowClass Classify(const CdiQuery& query) const;
+  void WorkerLoop();
+
+  CdiQueryService* service_;
+  QueryServerOptions options_;
+  Queue queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  ServerStats stats_;
+  bool shutdown_ = false;
+
+  obs::Counter* submit_counter_;
+  obs::Counter* shed_counter_;
+  obs::Counter* deadline_drop_counter_;
+};
+
+}  // namespace cdibot::serve
+
+#endif  // CDIBOT_SERVE_SERVER_H_

@@ -1,0 +1,214 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <utility>
+
+namespace cdibot::serve {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The freshness predicate shared by Get, Peek, and the admission probe:
+/// does `entry` (computed at entry.as_of) still satisfy `query` now that
+/// the source watermark is `wm`?
+bool EntryFresh(const ArcResultCache::Entry& entry, const CdiQuery& query,
+                TimePoint wm) {
+  switch (query.consistency) {
+    case Consistency::kFresh:
+      return false;
+    case Consistency::kCached:
+      return entry.as_of == wm;
+    case Consistency::kStaleOk:
+      return entry.as_of <= wm
+                 ? (wm - entry.as_of) <= query.max_staleness
+                 : true;  // entry ahead of a regressed clock: serve it
+  }
+  return false;
+}
+
+}  // namespace
+
+CdiQueryService::CdiQueryService(CdiReadSource* source,
+                                 CdiQueryServiceOptions options)
+    : source_(source),
+      options_(std::move(options)),
+      cache_(options_.cache_entries, options_.metric_prefix),
+      cube_(options_.metric_prefix) {
+  auto& registry = obs::MetricsRegistry::Global();
+  query_counter_ = registry.GetCounter(options_.metric_prefix + ".queries");
+  pull_counter_ =
+      registry.GetCounter(options_.metric_prefix + ".source_pulls");
+  deadline_counter_ =
+      registry.GetCounter(options_.metric_prefix + ".deadline_rejections");
+  latency_histogram_ =
+      registry.GetHistogram(options_.metric_prefix + ".query_latency_ns");
+}
+
+Status CdiQueryService::Validate(const CdiQuery& query) {
+  for (size_t i = 0; i < query.group_by.size(); ++i) {
+    if (query.group_by[i].empty()) {
+      return Status::InvalidArgument("group_by dimension name is empty");
+    }
+    for (size_t j = i + 1; j < query.group_by.size(); ++j) {
+      if (query.group_by[i] == query.group_by[j]) {
+        return Status::InvalidArgument("duplicate group_by dimension: " +
+                                       query.group_by[i]);
+      }
+    }
+  }
+  for (const auto& [dim, value] : query.filter) {
+    (void)value;
+    if (dim.empty()) {
+      return Status::InvalidArgument("filter dimension name is empty");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<CdiQueryResponse> CdiQueryService::Query(const CdiQuery& query) {
+  const uint64_t start_ns = NowNs();
+  Status valid = Validate(query);
+  if (!valid.ok()) return valid;
+  query_counter_->Increment();
+  if (query.deadline.Expired()) {
+    deadline_counter_->Increment();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries;
+    ++stats_.deadline_rejections;
+    return Status::ResourceExhausted("query deadline expired before serving");
+  }
+
+  const TimePoint wm = source_->watermark();
+  const std::string key = CanonicalQueryKey(query);
+  if (query.consistency != Consistency::kFresh) {
+    auto entry = cache_.Get(key, [&](const ArcResultCache::Entry& e) {
+      return EntryFresh(e, query, wm);
+    });
+    if (entry.has_value()) {
+      CdiQueryResponse response = *entry->response;
+      response.served_from_cache = true;
+      response.staleness =
+          entry->as_of <= wm ? wm - entry->as_of : Duration::Zero();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.queries;
+        ++stats_.cache_hits;
+      }
+      latency_histogram_->Record(NowNs() - start_ns);
+      return response;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  auto response = ComputeLocked(query, wm);
+  if (response.ok()) {
+    cache_.Put(key, ArcResultCache::Entry{
+                        std::make_shared<CdiQueryResponse>(*response),
+                        response->as_of_watermark});
+  }
+  latency_histogram_->Record(NowNs() - start_ns);
+  return response;
+}
+
+StatusOr<CdiQueryResponse> CdiQueryService::ComputeLocked(
+    const CdiQuery& query, TimePoint wm) {
+  bool need_pull = true;
+  if (options_.materialize_cubes && cube_.loaded() &&
+      query.consistency != Consistency::kFresh) {
+    if (query.consistency == Consistency::kCached) {
+      need_pull = cube_.as_of() != wm;
+    } else {  // kStaleOk
+      need_pull = cube_.as_of() <= wm
+                      ? (wm - cube_.as_of()) > query.max_staleness
+                      : false;
+    }
+  }
+
+  if (need_pull) {
+    auto pulled = source_->Pull(query.deadline);
+    if (!pulled.ok()) return pulled.status();
+    ++stats_.source_pulls;
+    pull_counter_->Increment();
+    last_fleet_ = pulled->fleet;
+    last_baseline_ = pulled->fleet_baseline;
+    last_quality_ = pulled->quality;
+    last_deferred_ = pulled->vms_deferred;
+    auto detail = std::make_shared<DailyCdiResult>(std::move(*pulled));
+    last_detail_ = detail;
+    // The cube keeps its own copy of the rows: detail is handed out to
+    // callers as an immutable payload, while the cube's rows are its
+    // private diff baseline.
+    cube_.Refresh(detail->per_vm, wm);
+  } else {
+    ++stats_.cube_answers;
+  }
+
+  CdiQueryResponse response;
+  response.as_of_watermark = cube_.as_of();
+  response.staleness =
+      cube_.as_of() <= wm ? wm - cube_.as_of() : Duration::Zero();
+  response.served_from_cube = !need_pull;
+  response.quality = last_quality_;
+  response.vms_deferred = last_deferred_;
+  response.fleet_baseline = last_baseline_;
+  if (query.fleet_fidelity == FleetFidelity::kPartialMerge) {
+    // The legacy FleetCdi() fast path: same code, same bits.
+    auto quick = source_->QuickFleetCdi();
+    if (!quick.ok()) return quick.status();
+    response.fleet = *quick;
+  } else {
+    response.fleet = last_fleet_;
+  }
+  if (!query.group_by.empty()) {
+    DrilldownQuery dq{.dimensions = query.group_by, .filter = query.filter};
+    if (options_.materialize_cubes) {
+      auto drilled = cube_.Answer(dq);
+      if (!drilled.ok()) return drilled.status();
+      response.drilldown = std::move(*drilled);
+    } else {
+      // Reference path (cubes off): recompute from the rows directly. The
+      // differential suite pins this bit-identical to the cube path.
+      auto drilled = RunDrilldown(last_detail_->per_vm, dq);
+      if (!drilled.ok()) return drilled.status();
+      response.drilldown = std::move(*drilled);
+    }
+  }
+  if (query.include_detail) response.detail = last_detail_;
+  return response;
+}
+
+bool CdiQueryService::ProbablyCheap(const CdiQuery& query) const {
+  if (Validate(query).ok() == false) return false;
+  if (query.consistency == Consistency::kFresh) return false;
+  const TimePoint wm = source_->watermark();
+  const std::string key = CanonicalQueryKey(query);
+  if (cache_.Peek(key, [&](const ArcResultCache::Entry& e) {
+        return EntryFresh(e, query, wm);
+      })) {
+    return true;
+  }
+  // An up-to-date cube answers without a source pull — cheap as well.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.materialize_cubes || !cube_.loaded()) return false;
+  if (query.consistency == Consistency::kCached) return cube_.as_of() == wm;
+  return cube_.as_of() <= wm ? (wm - cube_.as_of()) <= query.max_staleness
+                             : true;
+}
+
+CubeStats CdiQueryService::cube_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cube_.stats();
+}
+
+ServeStats CdiQueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cdibot::serve

@@ -892,6 +892,30 @@ StatusOr<VmCdi> ShardCoordinator::FleetCdi() {
   return result.fleet;
 }
 
+void ShardCoordinator::ScatterLocked(
+    const Deadline& deadline,
+    const std::function<void(size_t, Handle&, const Deadline&)>& fn) {
+  // Pool threads carry no trace context of their own, so hand them the
+  // caller's — the per-shard RPCs (and the worker spans they induce)
+  // become children of the caller's span.
+  const obs::TraceContext scatter_ctx = obs::CurrentTraceContext();
+  pool_->ParallelFor(handles_.size(), [&](size_t i) {
+    obs::ScopedTraceContext scoped_ctx(scatter_ctx);
+    Handle& h = *handles_[i];
+    std::lock_guard<std::mutex> lock(h.mu);
+    if (!h.alive.load(std::memory_order_acquire)) return;
+    // Per-shard receive budget: the caller's remaining time plus a grace
+    // window, so a straggler is dropped coordinator-side just after the
+    // worker itself would have given up.
+    const Deadline recv_deadline =
+        deadline.IsInfinite()
+            ? Deadline()
+            : Deadline::After(deadline.Remaining() +
+                              Duration::Millis(kGatherGraceMs));
+    fn(i, h, recv_deadline);
+  });
+}
+
 StatusOr<DailyCdiResult> ShardCoordinator::GatherLocked(
     const Deadline& deadline) {
   CDIBOT_RETURN_IF_ERROR(FlushAllLocked());
@@ -905,23 +929,11 @@ StatusOr<DailyCdiResult> ShardCoordinator::GatherLocked(
   std::vector<std::optional<ShardSnapshot>> snaps(n);
   // Scatter: every shard computes its local snapshot concurrently; each
   // channel is serialized by its handle mutex, the slots are disjoint.
-  // Pool threads carry no trace context of their own, so hand them the
-  // gather's — the per-shard RPCs (and the worker spans they induce)
-  // become children of the "shard.gather" span above.
-  const obs::TraceContext gather_ctx = obs::CurrentTraceContext();
-  pool_->ParallelFor(n, [&](size_t i) {
-    obs::ScopedTraceContext scoped_ctx(gather_ctx);
+  ScatterLocked(deadline, [&](size_t i, Handle& h,
+                              const Deadline& recv_deadline) {
     TRACE_SPAN("shard.gather.shard");
-    Handle& h = *handles_[i];
-    std::lock_guard<std::mutex> lock(h.mu);
-    if (!h.alive.load(std::memory_order_acquire)) return;
     obs::ScopedTimer shard_timer(m.gather_shard_ns);
     const uint64_t id = h.next_request_id++;
-    const Deadline recv_deadline =
-        deadline.IsInfinite()
-            ? Deadline()
-            : Deadline::After(deadline.Remaining() +
-                              Duration::Millis(kGatherGraceMs));
     auto frame_or =
         CallLocked(h, id, EncodeGather(id, budget_ms), recv_deadline);
     ResponseFrame hdr;
@@ -1090,21 +1102,14 @@ Status ShardCoordinator::CheckpointShards() {
 }
 
 StatusOr<std::vector<obs::ProcessObs>> ShardCoordinator::PullWorkerObs(
-    bool include_spans) {
+    bool include_spans, const Deadline& deadline) {
   std::shared_lock<std::shared_mutex> topo = ReadTopology();
   TRACE_SPAN("shard.obs_pull");
   const size_t n = handles_.size();
   std::vector<std::optional<obs::ProcessObs>> partial(n);
   std::vector<Status> errs(n);
-  const obs::TraceContext pull_ctx = obs::CurrentTraceContext();
-  pool_->ParallelFor(n, [&](size_t i) {
-    obs::ScopedTraceContext scoped_ctx(pull_ctx);
-    Handle& h = *handles_[i];
-    std::lock_guard<std::mutex> lock(h.mu);
-    if (!h.alive.load(std::memory_order_acquire)) {
-      errs[i] = Status::Unavailable("shard down");
-      return;
-    }
+  ScatterLocked(deadline, [&](size_t i, Handle& h,
+                              const Deadline& recv_deadline) {
     const uint64_t id = h.next_request_id++;
     // Bracket the call with our own clock: the worker stamps now_ns while
     // handling it, i.e. somewhere inside [t0, t1]. The midpoint estimates
@@ -1112,7 +1117,7 @@ StatusOr<std::vector<obs::ProcessObs>> ShardCoordinator::PullWorkerObs(
     // enough to land its spans on the right spot of a merged trace.
     const uint64_t t0 = obs::MonotonicNowNs();
     auto frame_or =
-        CallLocked(h, id, EncodeObsPull(id, include_spans), Deadline());
+        CallLocked(h, id, EncodeObsPull(id, include_spans), recv_deadline);
     const uint64_t t1 = obs::MonotonicNowNs();
     ResponseFrame hdr;
     Status st = CheckResponse(frame_or, &hdr);

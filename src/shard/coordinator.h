@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -213,6 +214,10 @@ class ShardCoordinator {
   /// Settled fleet snapshot: flush, scatter an unbounded gather to every
   /// shard in parallel, merge. Bit-identical to a single-node engine
   /// Snapshot over the same inputs when all shards respond.
+  ///
+  /// DEPRECATED as a consumer API: prefer serve::CdiQueryService over a
+  /// CoordinatorSource — a kFresh query is exactly this gather, plus
+  /// caching, staleness bounds, and admission control for repeat readers.
   StatusOr<DailyCdiResult> Snapshot();
 
   /// Deadline-bounded gather: each shard gets the remaining budget; a
@@ -222,6 +227,10 @@ class ShardCoordinator {
   StatusOr<DailyCdiResult> Preview(const Deadline& deadline);
 
   /// Fleet Eq.-4 CDI (canonical fold over a settled gather).
+  ///
+  /// DEPRECATED as a consumer API: prefer serve::CdiQueryService (a
+  /// fleet-only query over a CoordinatorSource), which caches the gather
+  /// instead of re-scattering on every read.
   StatusOr<VmCdi> FleetCdi();
 
   /// Global min-watermark: pings live shards for fresh values; a dead
@@ -262,9 +271,11 @@ class ShardCoordinator {
   /// maps its monotonic clock onto ours to within half the RTT). Dead
   /// shards are skipped — a fleet view missing a crashed worker is
   /// degraded, not wrong; fails only when no shard answers. Feed the
-  /// result to obs::CaptureFleetObsSnapshot.
+  /// result to obs::CaptureFleetObsSnapshot. A finite `deadline` bounds
+  /// every per-shard pull (stragglers past the grace window are skipped,
+  /// same policy as a deadline-bounded gather).
   StatusOr<std::vector<obs::ProcessObs>> PullWorkerObs(
-      bool include_spans = true);
+      bool include_spans = true, const Deadline& deadline = Deadline());
 
   bool ShardAlive(size_t shard) const;
   ShardMap Map() const;
@@ -383,6 +394,15 @@ class ShardCoordinator {
   Status CheckpointShardsLocked();
   /// Merged gather implementation. Requires topology lock (shared).
   StatusOr<DailyCdiResult> GatherLocked(const Deadline& deadline);
+  /// The shared scatter skeleton of the gather and obs-pull paths: one
+  /// pool task per shard, each carrying the caller's trace context, run
+  /// under the handle lock with dead shards skipped, and handed the
+  /// per-shard receive deadline (the caller's remaining budget plus the
+  /// straggler grace window, so a slow shard times out coordinator-side
+  /// instead of wedging the scatter). Requires topology lock (shared).
+  void ScatterLocked(
+      const Deadline& deadline,
+      const std::function<void(size_t, Handle&, const Deadline&)>& fn);
   /// VMs currently owned by `shard` per the registry. Requires topology
   /// lock (shared).
   size_t OwnedVmCountLocked(size_t shard) const;

@@ -155,6 +155,28 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
     CDIBOT_RETURN_IF_ERROR(sharded->RegisterVms(vms));
   }
   bool shards_rebalanced = false;
+  // Unified read facade: when enabled, every read below goes through a
+  // CdiQueryService per topology instead of the engines' own methods. The
+  // sources borrow the engines; `stream` lives in an optional whose
+  // storage is stable across crash/restore emplacements, so the borrowed
+  // pointer stays valid whenever stream.has_value() — and the facade is
+  // only consulted under that check.
+  std::optional<serve::EngineSource> stream_source;
+  std::optional<serve::CdiQueryService> stream_service;
+  std::optional<serve::CoordinatorSource> shard_source;
+  std::optional<serve::CdiQueryService> shard_service;
+  if (options.serve_reads) {
+    if (stream.has_value()) {
+      stream_source.emplace(&*stream);
+      stream_service.emplace(&*stream_source, options.serve_options);
+    }
+    if (sharded != nullptr) {
+      serve::CdiQueryServiceOptions shard_serve_options = options.serve_options;
+      shard_serve_options.metric_prefix += ".shard";
+      shard_source.emplace(sharded.get());
+      shard_service.emplace(&*shard_source, shard_serve_options);
+    }
+  }
   // Flow control: instead of ingesting directly, events enter a bounded
   // backpressure queue; a pump drains it into the engine after each
   // incident. Sheds are tallied per target and reported to the engine
@@ -344,11 +366,26 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
     // stands after this incident's events. Only the VMs touched since the
     // previous snapshot are recomputed.
     if (stream.has_value() && options.live_monitor != nullptr) {
-      CDIBOT_ASSIGN_OR_RETURN(const DailyCdiResult live, stream->Snapshot());
-      CDIBOT_ASSIGN_OR_RETURN(
-          const auto problems,
-          options.live_monitor->Preview(day.start, live));
-      result.live_problems += problems.size();
+      if (stream_service.has_value()) {
+        // Facade route: a fresh detail-carrying query is exactly a
+        // Snapshot() (same pull, same bits), packaged as the one response
+        // shape every other consumer uses.
+        serve::CdiQuery q;
+        q.consistency = serve::Consistency::kFresh;
+        q.include_detail = true;
+        CDIBOT_ASSIGN_OR_RETURN(const serve::CdiQueryResponse live,
+                                stream_service->Query(q));
+        CDIBOT_ASSIGN_OR_RETURN(
+            const auto problems,
+            options.live_monitor->Preview(day.start, *live.detail));
+        result.live_problems += problems.size();
+      } else {
+        CDIBOT_ASSIGN_OR_RETURN(const DailyCdiResult live, stream->Snapshot());
+        CDIBOT_ASSIGN_OR_RETURN(
+            const auto problems,
+            options.live_monitor->Preview(day.start, live));
+        result.live_problems += problems.size();
+      }
     }
 
     // Supervisor: persist the engine's durable state, then possibly kill
@@ -470,15 +507,35 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
   result.fleet_cdi = daily.fleet;
 
   if (stream.has_value()) {
-    CDIBOT_ASSIGN_OR_RETURN(const VmCdi fleet_stream, stream->FleetCdi());
-    result.fleet_cdi_streaming = fleet_stream;
+    if (stream_service.has_value()) {
+      // kPartialMerge keeps the exact bits of the legacy FleetCdi() fast
+      // path (the shard-partial merge, not the canonical fold).
+      serve::CdiQuery q;
+      q.fleet_fidelity = serve::FleetFidelity::kPartialMerge;
+      CDIBOT_ASSIGN_OR_RETURN(const serve::CdiQueryResponse fleet_resp,
+                              stream_service->Query(q));
+      result.fleet_cdi_streaming = fleet_resp.fleet;
+    } else {
+      CDIBOT_ASSIGN_OR_RETURN(const VmCdi fleet_stream, stream->FleetCdi());
+      result.fleet_cdi_streaming = fleet_stream;
+    }
     result.stream_stats = stream->stats();
   }
 
   if (sharded != nullptr) {
-    CDIBOT_ASSIGN_OR_RETURN(const DailyCdiResult sharded_day,
-                            sharded->Snapshot());
-    result.fleet_cdi_sharded = sharded_day.fleet;
+    if (shard_service.has_value()) {
+      // A fresh canonical-fidelity query is exactly the coordinator's
+      // Snapshot() gather: same scatter, same fold, same bits.
+      serve::CdiQuery q;
+      q.consistency = serve::Consistency::kFresh;
+      CDIBOT_ASSIGN_OR_RETURN(const serve::CdiQueryResponse sharded_resp,
+                              shard_service->Query(q));
+      result.fleet_cdi_sharded = sharded_resp.fleet;
+    } else {
+      CDIBOT_ASSIGN_OR_RETURN(const DailyCdiResult sharded_day,
+                              sharded->Snapshot());
+      result.fleet_cdi_sharded = sharded_day.fleet;
+    }
     result.shard_stats = sharded->stats();
   }
 
@@ -518,6 +575,43 @@ StatusOr<AutomationLoopResult> RunAutomationDay(
   if (want_tracing && !tracer_was_enabled) obs::Tracer::Global().Disable();
   if (options.capture_statusz) {
     result.statusz_text = obs::RenderStatuszText(obs::CaptureObsSnapshot());
+  }
+
+  // Heatmap endpoint: the day's damage grid, rendered straight off the
+  // event log's SoA columns (no materialization, no period resolver).
+  if (!options.heatmap_group_dim.empty()) {
+    std::map<std::string, std::map<std::string, std::string>> dims_by_target;
+    for (const VmServiceInfo& vm : vms) dims_by_target[vm.vm_id] = vm.dims;
+    serve::HeatmapSpec spec;
+    spec.window = day;
+    spec.buckets = options.heatmap_buckets;
+    spec.group_dim = options.heatmap_group_dim;
+    CDIBOT_ASSIGN_OR_RETURN(
+        const serve::HeatmapGrid grid,
+        serve::BuildHeatmap(log.QueryAll(day), catalog, dims_by_target, spec));
+    result.heatmap_json = serve::RenderHeatmapJson(spec, grid);
+  }
+
+  if (options.serve_reads) {
+    const auto add_service = [&result](const serve::CdiQueryService& svc) {
+      const serve::ServeStats s = svc.stats();
+      result.serve_stats.queries += s.queries;
+      result.serve_stats.cache_hits += s.cache_hits;
+      result.serve_stats.cube_answers += s.cube_answers;
+      result.serve_stats.source_pulls += s.source_pulls;
+      result.serve_stats.deadline_rejections += s.deadline_rejections;
+      const serve::CacheStats c = svc.cache_stats();
+      result.serve_cache_stats.lookups += c.lookups;
+      result.serve_cache_stats.hits += c.hits;
+      result.serve_cache_stats.stale_rejections += c.stale_rejections;
+      result.serve_cache_stats.misses += c.misses;
+      result.serve_cache_stats.insertions += c.insertions;
+      result.serve_cache_stats.evictions += c.evictions;
+      result.serve_cache_stats.ghost_hits += c.ghost_hits;
+      result.serve_cache_stats.resident += c.resident;
+    };
+    if (stream_service.has_value()) add_service(*stream_service);
+    if (shard_service.has_value()) add_service(*shard_service);
   }
   return result;
 }

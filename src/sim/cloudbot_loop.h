@@ -10,6 +10,8 @@
 #include "flow/watchdog.h"
 #include "ops/operation_platform.h"
 #include "rules/rule_engine.h"
+#include "serve/heatmap.h"
+#include "serve/service.h"
 #include "shard/coordinator.h"
 #include "sim/fleet.h"
 #include "stream/streaming_engine.h"
@@ -132,6 +134,22 @@ struct AutomationLoopOptions {
   /// here: a named track per process, worker clocks aligned onto the
   /// coordinator's, worker RPC spans sharing the coordinator's trace ids.
   std::string merged_trace_path;
+  /// When true, every read the loop makes from its live engines — the
+  /// intra-day live-monitor previews, the end-of-day streaming fleet CDI,
+  /// the end-of-day sharded gather — is routed through a
+  /// serve::CdiQueryService facade instead of calling Snapshot()/FleetCdi()
+  /// directly. Answers are bit-identical to the direct calls (pinned by
+  /// the serve equivalence suite); the result carries the facade's
+  /// cache/cube/query counters.
+  bool serve_reads = false;
+  /// Facade tuning when serve_reads is set (ARC capacity, cube toggle).
+  serve::CdiQueryServiceOptions serve_options = {};
+  /// When non-empty, the day ends with a fleet × time damage heatmap over
+  /// the day's event log, rows grouped by this placement dimension
+  /// ("region", "az", "cluster", ...), rendered into result.heatmap_json.
+  std::string heatmap_group_dim;
+  /// Time-bucket columns for the heatmap.
+  size_t heatmap_buckets = 24;
 };
 
 /// Outcome of a simulated day.
@@ -175,6 +193,13 @@ struct AutomationLoopResult {
   /// Fleet-merged obs reports; populated only when options.fleet_statusz.
   std::string fleet_statusz_text;
   std::string fleet_statusz_json;
+  /// Serving-facade counters; populated only when options.serve_reads
+  /// (summed over the engine-side and coordinator-side services).
+  serve::ServeStats serve_stats;
+  serve::CacheStats serve_cache_stats;
+  /// Heatmap endpoint payload; populated when options.heatmap_group_dim is
+  /// non-empty.
+  std::string heatmap_json;
 };
 
 /// Runs one day of the full CloudBot control loop on a synthetic fleet:

@@ -49,6 +49,22 @@ EventSpan EventLog::Query(const EventQuery& query) const {
   return span;
 }
 
+EventSpan EventLog::QueryAll(const Interval& interval, Duration margin) const {
+  const Interval range(interval.start - margin, interval.end + margin);
+  EventSpan span(range);
+  if (range.empty()) return span;
+  const int64_t first_day = range.start.StartOfDay().millis();
+  for (auto it = partitions_.lower_bound(first_day);
+       it != partitions_.end() && it->first < range.end.millis(); ++it) {
+    span.AddSegment(EventSpan::Segment{
+        .rows = &it->second.rows,
+        .indices = nullptr,
+        .first = 0,
+        .last = static_cast<uint32_t>(it->second.rows.size())});
+  }
+  return span;
+}
+
 namespace {
 
 /// Appends the materialized events of `rows` selected by `pick` (nullptr

@@ -58,6 +58,14 @@ class EventLog {
   /// consumers need no sort.
   EventSpan Query(const EventQuery& query) const;
 
+  /// Untargeted zero-copy scan: a span over every partition intersecting
+  /// the margin-extended interval, with the interval as the span's time
+  /// filter. Order is partition (day) order then append order. This is the
+  /// heatmap endpoint's read path — whole-fleet rendering straight off the
+  /// SoA columns, no per-target narrowing and no materialization.
+  EventSpan QueryAll(const Interval& interval,
+                     Duration margin = Duration::Zero()) const;
+
   /// All events whose extraction time falls in [range.start, range.end),
   /// sorted by time (ties keep append order). Compatibility/cold path:
   /// materializes owning RawEvents; prefer Query on hot paths.

@@ -141,6 +141,11 @@ class StreamingCdiEngine {
   /// the fleet-level CDI by merging the shard partials. Cost is
   /// O(dirty VMs + shards), independent of fleet size when the stream is
   /// quiet.
+  ///
+  /// DEPRECATED as a consumer API: new read paths should go through
+  /// serve::CdiQueryService (fleet_fidelity = kPartialMerge keeps this
+  /// method's exact bits) and gain caching, staleness bounds, and
+  /// admission control. Kept for the facade itself and existing callers.
   StatusOr<VmCdi> FleetCdi();
 
   /// Full batch-compatible snapshot: per-VM rows, per-event drill-down
@@ -149,6 +154,9 @@ class StreamingCdiEngine {
   /// assembling the row vectors is O(fleet) by necessity (the result lists
   /// every VM), but the recomputation work stays proportional to the dirty
   /// set.
+  ///
+  /// DEPRECATED as a consumer API: prefer serve::CdiQueryService with
+  /// include_detail (a kFresh detail query is exactly this snapshot).
   StatusOr<DailyCdiResult> Snapshot();
 
   /// Deadline-bounded snapshot: recomputes dirty VMs only until `deadline`
@@ -158,6 +166,10 @@ class StreamingCdiEngine {
   /// row, one never computed contributes nothing. The deferral count lands
   /// in DailyCdiResult::vms_deferred, so a non-zero value marks the result
   /// as a best-effort preview rather than a settled snapshot.
+  ///
+  /// DEPRECATED as a consumer API: prefer serve::CdiQueryService with a
+  /// finite CdiQuery::deadline, which routes here and adds the serving
+  /// layers on top.
   StatusOr<DailyCdiResult> Preview(const Deadline& deadline);
 
   /// Serializes the engine's durable state (window, watermark, registered

@@ -285,6 +285,64 @@ TEST_F(CloudBotLoopTest, FleetStatuszRequiresMultiProcessTransport) {
                   .IsInvalidArgument());
 }
 
+// Routing the loop's reads through the serve::CdiQueryService facade must
+// not change a single bit of the day's numbers — the facade is a caching
+// layer over the same engines, and the serve differential suite pins the
+// cache itself. Also drives the heatmap endpoint end to end: the rendered
+// grid must survive the strict RFC 8259 parser and carry all three planes.
+TEST_F(CloudBotLoopTest, ServeReadsMatchDirectReadsBitExactly) {
+  AutomationLoopOptions direct;
+  direct.incident_probability = 0.4;
+  direct.streaming_cdi = true;
+  direct.sharded_cdi = true;
+  direct.cdi_shards = 2;
+  AutomationLoopOptions facade = direct;
+  facade.serve_reads = true;
+  facade.heatmap_group_dim = "cluster";
+  facade.heatmap_buckets = 12;
+
+  Rng rng_direct(11), rng_facade(11);
+  auto want = RunAutomationDay(*fleet_, T("2024-01-01 00:00"), catalog_,
+                               *weights_, direct, &rng_direct);
+  auto got = RunAutomationDay(*fleet_, T("2024-01-01 00:00"), catalog_,
+                              *weights_, facade, &rng_facade);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_GT(got->incidents, 0u);
+
+  EXPECT_EQ(want->fleet_cdi_streaming.unavailability,
+            got->fleet_cdi_streaming.unavailability);
+  EXPECT_EQ(want->fleet_cdi_streaming.performance,
+            got->fleet_cdi_streaming.performance);
+  EXPECT_EQ(want->fleet_cdi_streaming.control_plane,
+            got->fleet_cdi_streaming.control_plane);
+  EXPECT_EQ(want->fleet_cdi_streaming.service_time,
+            got->fleet_cdi_streaming.service_time);
+  EXPECT_EQ(want->fleet_cdi_sharded.unavailability,
+            got->fleet_cdi_sharded.unavailability);
+  EXPECT_EQ(want->fleet_cdi_sharded.performance,
+            got->fleet_cdi_sharded.performance);
+  EXPECT_EQ(want->fleet_cdi_sharded.control_plane,
+            got->fleet_cdi_sharded.control_plane);
+  EXPECT_EQ(want->fleet_cdi_sharded.service_time,
+            got->fleet_cdi_sharded.service_time);
+
+  EXPECT_GT(got->serve_stats.queries, 0u);
+  EXPECT_GT(got->serve_stats.source_pulls, 0u);
+  EXPECT_EQ(want->serve_stats.queries, 0u);  // direct arm never serves
+
+  ASSERT_FALSE(got->heatmap_json.empty());
+  EXPECT_TRUE(want->heatmap_json.empty());
+  testjson::JsonValue grid;
+  std::string error;
+  ASSERT_TRUE(testjson::ParseStrictJson(got->heatmap_json, &grid, &error))
+      << error;
+  for (const char* plane : {"unavailability", "performance", "control_plane"}) {
+    const testjson::JsonValue* rows = grid.Find(plane);
+    ASSERT_NE(rows, nullptr) << plane;
+  }
+}
+
 TEST_F(CloudBotLoopTest, ZeroIncidentProbabilityIsCleanDay) {
   AutomationLoopOptions options;
   options.incident_probability = 0.0;

@@ -23,13 +23,16 @@ TEST(DrillDownTest, GroupsByDimension) {
       Rec("vm-2", "r0", "r0-az1", 0.3, 0.0, 0.0),
       Rec("vm-3", "r1", "r1-az0", 0.5, 0.0, 0.0),
   };
-  auto by_region = DrillDownBy(records, "region");
-  ASSERT_EQ(by_region.size(), 2u);
-  EXPECT_EQ(by_region[0].key, "r0");
-  EXPECT_EQ(by_region[0].vm_count, 2u);
-  EXPECT_NEAR(by_region[0].cdi.unavailability, 0.2, 1e-12);
-  EXPECT_EQ(by_region[1].key, "r1");
-  EXPECT_NEAR(by_region[1].cdi.unavailability, 0.5, 1e-12);
+  auto by_region = RunDrilldown(records, {.dimensions = {"region"}});
+  ASSERT_TRUE(by_region.ok());
+  ASSERT_EQ(by_region->groups.size(), 2u);
+  EXPECT_EQ(by_region->groups[0].key, "r0");
+  EXPECT_EQ(by_region->groups[0].vm_count, 2u);
+  EXPECT_NEAR(by_region->groups[0].cdi.unavailability, 0.2, 1e-12);
+  EXPECT_EQ(by_region->groups[1].key, "r1");
+  EXPECT_NEAR(by_region->groups[1].cdi.unavailability, 0.5, 1e-12);
+  EXPECT_EQ(by_region->records_scanned, 3u);
+  EXPECT_EQ(by_region->records_filtered, 0u);
 }
 
 TEST(DrillDownTest, ServiceTimeWeighting) {
@@ -37,11 +40,12 @@ TEST(DrillDownTest, ServiceTimeWeighting) {
       Rec("vm-1", "r0", "az", 0.0, 0.1, 0.0, 100),
       Rec("vm-2", "r0", "az", 0.0, 0.4, 0.0, 300),
   };
-  auto groups = DrillDownBy(records, "region");
-  ASSERT_EQ(groups.size(), 1u);
-  EXPECT_NEAR(groups[0].cdi.performance, (100 * 0.1 + 300 * 0.4) / 400.0,
-              1e-12);
-  EXPECT_EQ(groups[0].cdi.service_time, Duration::Minutes(400));
+  auto result = RunDrilldown(records, {.dimensions = {"region"}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->groups.size(), 1u);
+  EXPECT_NEAR(result->groups[0].cdi.performance,
+              (100 * 0.1 + 300 * 0.4) / 400.0, 1e-12);
+  EXPECT_EQ(result->groups[0].cdi.service_time, Duration::Minutes(400));
 }
 
 TEST(DrillDownTest, MissingDimensionGroupsUnderEmptyKey) {
@@ -50,10 +54,11 @@ TEST(DrillDownTest, MissingDimensionGroupsUnderEmptyKey) {
       .vm_id = "vm-nodim",
       .cdi = VmCdi{.unavailability = 0.9,
                    .service_time = Duration::Minutes(10)}});
-  auto groups = DrillDownBy(records, "region");
-  ASSERT_EQ(groups.size(), 2u);
-  EXPECT_EQ(groups[0].key, "");  // sorted first
-  EXPECT_EQ(groups[0].vm_count, 1u);
+  auto result = RunDrilldown(records, {.dimensions = {"region"}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->groups.size(), 2u);
+  EXPECT_EQ(result->groups[0].key, "");  // sorted first
+  EXPECT_EQ(result->groups[0].vm_count, 1u);
 }
 
 TEST(DrillDownTest, DrillDownConsistency) {
@@ -68,13 +73,100 @@ TEST(DrillDownTest, DrillDownConsistency) {
   const VmCdi global = AggregateVmCdi(all);
 
   std::vector<VmCdi> group_cdis;
-  for (const GroupCdi& g : DrillDownBy(records, "region")) {
+  auto by_region = RunDrilldown(records, {.dimensions = {"region"}});
+  ASSERT_TRUE(by_region.ok());
+  for (const DrilldownGroup& g : by_region->groups) {
     group_cdis.push_back(g.cdi);
   }
   const VmCdi regrouped = AggregateVmCdi(group_cdis);
   EXPECT_NEAR(global.unavailability, regrouped.unavailability, 1e-12);
   EXPECT_NEAR(global.performance, regrouped.performance, 1e-12);
   EXPECT_NEAR(global.control_plane, regrouped.control_plane, 1e-12);
+}
+
+TEST(DrillDownTest, MultiDimensionCompositeGroups) {
+  std::vector<VmCdiRecord> records = {
+      Rec("vm-1", "r0", "az0", 0.1, 0.0, 0.0, 100),
+      Rec("vm-2", "r0", "az1", 0.3, 0.0, 0.0, 100),
+      Rec("vm-3", "r0", "az0", 0.5, 0.0, 0.0, 100),
+      Rec("vm-4", "r1", "az0", 0.7, 0.0, 0.0, 100),
+  };
+  auto result = RunDrilldown(records, {.dimensions = {"region", "az"}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->groups.size(), 3u);
+  EXPECT_EQ(result->groups[0].key, "r0/az0");
+  EXPECT_EQ(result->groups[0].values, (std::vector<std::string>{"r0", "az0"}));
+  EXPECT_EQ(result->groups[0].vm_count, 2u);
+  EXPECT_NEAR(result->groups[0].cdi.unavailability, 0.3, 1e-12);
+  EXPECT_EQ(result->groups[1].key, "r0/az1");
+  EXPECT_EQ(result->groups[2].key, "r1/az0");
+}
+
+TEST(DrillDownTest, FilterRestrictsRecords) {
+  std::vector<VmCdiRecord> records = {
+      Rec("vm-1", "r0", "az0", 0.1, 0.0, 0.0),
+      Rec("vm-2", "r0", "az1", 0.3, 0.0, 0.0),
+      Rec("vm-3", "r1", "az2", 0.5, 0.0, 0.0),
+  };
+  auto result = RunDrilldown(
+      records, {.dimensions = {"az"}, .filter = {{"region", "r0"}}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->groups.size(), 2u);
+  EXPECT_EQ(result->groups[0].key, "az0");
+  EXPECT_EQ(result->groups[1].key, "az1");
+  EXPECT_EQ(result->records_scanned, 3u);
+  EXPECT_EQ(result->records_filtered, 1u);
+}
+
+TEST(DrillDownTest, PropagatesDataQuality) {
+  std::vector<VmCdiRecord> records = {
+      Rec("vm-1", "r0", "az0", 0.1, 0.0, 0.0),
+      Rec("vm-2", "r1", "az1", 0.3, 0.0, 0.0),
+  };
+  records[1].quality.events_shed = 3;
+  records[1].quality.Refresh();
+  auto result = RunDrilldown(records, {.dimensions = {"region"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->groups[0].quality.degraded);
+  EXPECT_TRUE(result->groups[1].quality.degraded);
+  EXPECT_EQ(result->groups[1].quality.events_shed, 3u);
+  EXPECT_TRUE(result->quality.degraded);
+}
+
+TEST(DrillDownTest, RejectsBadQueries) {
+  std::vector<VmCdiRecord> records = {Rec("vm-1", "r0", "az0", 0.1, 0, 0)};
+  EXPECT_TRUE(RunDrilldown(records, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(RunDrilldown(records, {.dimensions = {""}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RunDrilldown(records, {.dimensions = {"region", "region"}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DrillDownTest, LegacyWrapperIsBitIdentical) {
+  // DrillDownBy survives as a shim over RunDrilldown; its output must stay
+  // bitwise equal to the new API for a single unfiltered dimension.
+  std::vector<VmCdiRecord> records = {
+      Rec("vm-1", "r0", "az0", 0.017, 0.23, 0.0031, 137),
+      Rec("vm-2", "r0", "az1", 0.411, 0.051, 0.16, 291),
+      Rec("vm-3", "r1", "az2", 0.79, 0.83, 0.97, 53),
+      Rec("vm-4", "r0", "az0", 0.0, 0.0007, 0.019, 1440),
+  };
+  const auto legacy = DrillDownBy(records, "region");
+  const auto modern = RunDrilldown(records, {.dimensions = {"region"}});
+  ASSERT_TRUE(modern.ok());
+  ASSERT_EQ(legacy.size(), modern->groups.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].key, modern->groups[i].key);
+    EXPECT_EQ(legacy[i].vm_count, modern->groups[i].vm_count);
+    EXPECT_EQ(legacy[i].cdi.unavailability,
+              modern->groups[i].cdi.unavailability);
+    EXPECT_EQ(legacy[i].cdi.performance, modern->groups[i].cdi.performance);
+    EXPECT_EQ(legacy[i].cdi.control_plane,
+              modern->groups[i].cdi.control_plane);
+    EXPECT_EQ(legacy[i].cdi.service_time, modern->groups[i].cdi.service_time);
+  }
 }
 
 EventCdiRecord EvRec(const std::string& vm, const std::string& event,

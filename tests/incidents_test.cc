@@ -53,7 +53,9 @@ TEST_F(IncidentsTest, AzOutageShowsInCdiUAirAndDp) {
   EXPECT_GT(result->fleet_baseline.downtime_percentage, 0.0);
   EXPECT_GT(result->fleet_baseline.annual_interruption_rate, 0.0);
   // Only the affected AZ carries unavailability.
-  for (const GroupCdi& g : DrillDownBy(result->per_vm, "az")) {
+  auto by_az = RunDrilldown(result->per_vm, {.dimensions = {"az"}});
+  ASSERT_TRUE(by_az.ok());
+  for (const DrilldownGroup& g : by_az->groups) {
     if (g.key == "r0-az0") {
       EXPECT_GT(g.cdi.unavailability, 0.05);
     } else {
@@ -95,14 +97,18 @@ TEST_F(IncidentsTest, HybridDefectOnlyHitsDefectiveModelHybrids) {
   ASSERT_TRUE(result.ok());
   // Damage concentrates on hybrid NCs; homogeneous pools stay clean.
   double hybrid_p = 0.0, homog_p = 0.0;
-  for (const GroupCdi& g : DrillDownBy(result->per_vm, "arch")) {
+  auto by_arch = RunDrilldown(result->per_vm, {.dimensions = {"arch"}});
+  ASSERT_TRUE(by_arch.ok());
+  for (const DrilldownGroup& g : by_arch->groups) {
     if (g.key == "hybrid") hybrid_p = g.cdi.performance;
     if (g.key == "homogeneous") homog_p = g.cdi.performance;
   }
   EXPECT_GT(hybrid_p, 0.0);
   EXPECT_DOUBLE_EQ(homog_p, 0.0);
   // And only on the defective model.
-  for (const GroupCdi& g : DrillDownBy(result->per_vm, "model")) {
+  auto by_model = RunDrilldown(result->per_vm, {.dimensions = {"model"}});
+  ASSERT_TRUE(by_model.ok());
+  for (const DrilldownGroup& g : by_model->groups) {
     if (g.key == "gen3") EXPECT_DOUBLE_EQ(g.cdi.performance, 0.0);
   }
 }
@@ -118,7 +124,9 @@ TEST_F(IncidentsTest, AllocationBugConfinedToCluster) {
                                 result->fleet_service_time);
   ASSERT_TRUE(by_event.ok());
   EXPECT_GT(by_event->at("vm_allocation_failed"), 0.0);
-  for (const GroupCdi& g : DrillDownBy(result->per_vm, "cluster")) {
+  auto by_cluster = RunDrilldown(result->per_vm, {.dimensions = {"cluster"}});
+  ASSERT_TRUE(by_cluster.ok());
+  for (const DrilldownGroup& g : by_cluster->groups) {
     if (g.key != cluster) EXPECT_DOUBLE_EQ(g.cdi.performance, 0.0);
   }
 }

@@ -190,12 +190,14 @@ TEST(ExtensionsIntegrationTest, SqlOverRealJobOutputMatchesDrilldown) {
       "GROUP BY region ORDER BY region");
   ASSERT_TRUE(table.ok()) << table.status().ToString();
 
-  const auto native = DrillDownBy(result.per_vm, "region");
-  ASSERT_EQ(table->num_rows(), native.size());
-  for (size_t i = 0; i < native.size(); ++i) {
-    EXPECT_EQ(table->At(i, "region")->AsString().value(), native[i].key);
+  const auto native = RunDrilldown(result.per_vm, {.dimensions = {"region"}});
+  ASSERT_TRUE(native.ok());
+  ASSERT_EQ(table->num_rows(), native->groups.size());
+  for (size_t i = 0; i < native->groups.size(); ++i) {
+    EXPECT_EQ(table->At(i, "region")->AsString().value(),
+              native->groups[i].key);
     EXPECT_NEAR(table->At(i, "q")->AsDouble().value(),
-                native[i].cdi.performance, 1e-9);
+                native->groups[i].cdi.performance, 1e-9);
   }
 
   // CSV round trip of the report preserves it bit-for-bit in value terms.

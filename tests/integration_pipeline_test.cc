@@ -129,12 +129,14 @@ TEST_F(FullPipelineTest, BiLayerAggregatesVmTableWithDataflow) {
       ctx);
   ASSERT_TRUE(grouped.ok());
 
-  const auto native = DrillDownBy(result->per_vm, "az");
-  ASSERT_EQ(grouped->num_rows(), native.size());
-  for (size_t i = 0; i < native.size(); ++i) {
-    EXPECT_EQ(grouped->At(i, "az")->AsString().value(), native[i].key);
+  const auto native = RunDrilldown(result->per_vm, {.dimensions = {"az"}});
+  ASSERT_TRUE(native.ok());
+  ASSERT_EQ(grouped->num_rows(), native->groups.size());
+  for (size_t i = 0; i < native->groups.size(); ++i) {
+    EXPECT_EQ(grouped->At(i, "az")->AsString().value(),
+              native->groups[i].key);
     EXPECT_NEAR(grouped->At(i, "cdi_p")->AsDouble().value(),
-                native[i].cdi.performance, 1e-9);
+                native->groups[i].cdi.performance, 1e-9);
   }
 }
 
